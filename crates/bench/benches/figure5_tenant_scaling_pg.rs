@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark for the paper's Figure 5: tenant scaling of the
+//! conversion-heavy queries on the PostgreSQL-like engine (UDF cache on). The full sweep with baseline
+//! normalisation is produced by `cargo run -p bench --bin figures -- --figure 5`.
+
+use std::time::Duration;
+
+use bench::{measure_cell, scaling_deployment, DatasetSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mth::queries;
+use mtrewrite::OptLevel;
+
+fn bench_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+    for tenants in [1_i64, 10, 100] {
+        let dep = scaling_deployment(tenants, true, 0.1);
+        for &query in &queries::CONVERSION_HEAVY {
+            for level in [OptLevel::O4, OptLevel::InlineOnly] {
+                let id = format!("t{tenants}_q{query}_{}", level.label());
+                group.bench_function(&id, |b| {
+                    b.iter(|| {
+                        measure_cell(&dep, DatasetSpec::All, query, level, 1).expect("query runs")
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure);
+criterion_main!(benches);

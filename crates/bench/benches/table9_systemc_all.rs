@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark for the paper's Table 9: all tenants on the System-C-like engine.
+//! Measures the conversion-heavy queries Q1, Q6 and Q22 at every optimization
+//! level; the full 22-query table is produced by `cargo run -p bench --bin tables -- --table 9`.
+
+use std::time::Duration;
+
+use bench::{measure_cell, table_deployment, DatasetSpec, LEVELS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mth::queries;
+
+fn bench_table(c: &mut Criterion) {
+    let dep = table_deployment(false);
+    let mut group = c.benchmark_group("table9");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+    for &query in &queries::CONVERSION_HEAVY {
+        for level in LEVELS {
+            let id = format!("q{query}_{}", level.label());
+            group.bench_function(&id, |b| {
+                b.iter(|| {
+                    measure_cell(&dep, DatasetSpec::All, query, level, 1).expect("query runs")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerate the tenant-scaling figures of the MTBase paper (Figure 5 on the
+//! PostgreSQL-like engine, Figure 6 on the System-C-like engine): response
+//! time of Q1, Q6 and Q22 relative to plain TPC-H for a growing number of
+//! tenants, at optimization levels o4 and inl-only.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures                 # both figures
+//! cargo run --release -p bench --bin figures -- --figure 5
+//! cargo run --release -p bench --bin figures -- --tenants 1,10,100,1000
+//! ```
+
+use bench::{render_figure, run_figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures = vec![5u8, 6u8];
+    // The paper sweeps 1 … 100,000 tenants at sf = 100; the laptop-scale sweep
+    // keeps the shape (flat overhead) on a smaller grid by default.
+    let mut tenant_counts: Vec<i64> = vec![1, 10, 100, 1000];
+    let mut scale = 0.15;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--figure" => {
+                i += 1;
+                figures = vec![args[i].parse().expect("--figure expects 5 or 6")];
+            }
+            "--tenants" => {
+                i += 1;
+                tenant_counts = args[i]
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--tenants expects numbers"))
+                    .collect();
+            }
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale expects a float");
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: figures [--figure 5|6] [--tenants 1,10,100] [--scale 0.15]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    for figure in figures {
+        let postgres_like = figure == 5;
+        eprintln!("running figure {figure} (tenants: {tenant_counts:?}) ...");
+        match run_figure(&tenant_counts, postgres_like, scale) {
+            Ok(points) => println!("{}", render_figure(&points, figure)),
+            Err(e) => {
+                eprintln!("figure {figure} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

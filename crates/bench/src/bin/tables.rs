@@ -1,0 +1,57 @@
+//! Regenerate the response-time tables of the MTBase paper (Tables 3–5 on the
+//! PostgreSQL-like engine, Tables 7–9 on the System-C-like engine).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin tables            # all six tables, all 22 queries
+//! cargo run --release -p bench --bin tables -- --table 3
+//! cargo run --release -p bench --bin tables -- --table 5 --queries 1,6,22
+//! ```
+
+use bench::{render_table, run_table, TABLES};
+use mth::queries;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted_tables: Vec<u8> = TABLES.iter().map(|t| t.number).collect();
+    let mut query_numbers: Vec<usize> = queries::all_query_numbers().collect();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--table" => {
+                i += 1;
+                let n: u8 = args[i].parse().expect("--table expects a table number");
+                wanted_tables = vec![n];
+            }
+            "--queries" => {
+                i += 1;
+                query_numbers = args[i]
+                    .split(',')
+                    .map(|q| q.trim().parse().expect("--queries expects numbers"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: tables [--table N] [--queries 1,6,22]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    for spec in TABLES {
+        if !wanted_tables.contains(&spec.number) {
+            continue;
+        }
+        eprintln!("running table {} ...", spec.number);
+        match run_table(spec, &query_numbers) {
+            Ok(result) => println!("{}", render_table(&result, &query_numbers)),
+            Err(e) => {
+                eprintln!("table {} failed: {e}", spec.number);
+                std::process::exit(1);
+            }
+        }
+    }
+}

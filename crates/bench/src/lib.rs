@@ -1,0 +1,309 @@
+//! Shared harness code for regenerating every table and figure of the MTBase
+//! paper's evaluation (§6) on the `mtengine` substrate.
+//!
+//! * Tables 3–5: MTBase-on-"PostgreSQL" (UDF-result caching enabled), sf = 1,
+//!   T = 10, uniform shares, C = 1, D ∈ {{1}, {2}, {1..10}}, all optimization
+//!   levels, versus plain TPC-H.
+//! * Tables 7–9: the same grid on "System C" (no UDF-result caching).
+//! * Figures 5–6: tenant scaling on the conversion-heavy queries Q1, Q6 and
+//!   Q22 for the o4 and inl-only levels, relative to plain TPC-H.
+//!
+//! Absolute scale factors are shrunk to laptop size (see DESIGN.md); the
+//! *relative* behaviour — which optimization level wins, by roughly what
+//! factor, and how overhead develops with the number of tenants — is what the
+//! harness reproduces.
+
+use mtbase::EngineConfig;
+use mth::measure::{measure_baseline, measure_mt, two_significant_digits, Measurement};
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{loader, queries, MthDeployment};
+use mtrewrite::OptLevel;
+
+/// Which dataset `D` a table uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// `D = {1}`: the client's own data (Tables 3 and 7).
+    Own,
+    /// `D = {2}`: one foreign tenant (Tables 4 and 8).
+    SingleForeign,
+    /// `D = {1, …, T}`: all tenants (Tables 5 and 9).
+    All,
+}
+
+impl DatasetSpec {
+    /// The scope statement selecting this dataset.
+    pub fn scope_sql(&self, tenants: i64) -> String {
+        match self {
+            DatasetSpec::Own => "SET SCOPE = \"IN (1)\"".to_string(),
+            DatasetSpec::SingleForeign => "SET SCOPE = \"IN (2)\"".to_string(),
+            DatasetSpec::All => {
+                let ids: Vec<String> = (1..=tenants).map(|t| t.to_string()).collect();
+                format!("SET SCOPE = \"IN ({})\"", ids.join(", "))
+            }
+        }
+    }
+
+    /// Human-readable description used in harness output.
+    pub fn describe(&self, tenants: i64) -> String {
+        match self {
+            DatasetSpec::Own => "D = {1}".to_string(),
+            DatasetSpec::SingleForeign => "D = {2}".to_string(),
+            DatasetSpec::All => format!("D = {{1..{tenants}}}"),
+        }
+    }
+}
+
+/// Description of one paper table.
+#[derive(Debug, Clone, Copy)]
+pub struct TableSpec {
+    pub number: u8,
+    pub postgres_like: bool,
+    pub dataset: DatasetSpec,
+}
+
+/// The six response-time tables of the paper.
+pub const TABLES: [TableSpec; 6] = [
+    TableSpec { number: 3, postgres_like: true, dataset: DatasetSpec::Own },
+    TableSpec { number: 4, postgres_like: true, dataset: DatasetSpec::SingleForeign },
+    TableSpec { number: 5, postgres_like: true, dataset: DatasetSpec::All },
+    TableSpec { number: 7, postgres_like: false, dataset: DatasetSpec::Own },
+    TableSpec { number: 8, postgres_like: false, dataset: DatasetSpec::SingleForeign },
+    TableSpec { number: 9, postgres_like: false, dataset: DatasetSpec::All },
+];
+
+/// Optimization levels in the row order of the paper's tables.
+pub const LEVELS: [OptLevel; 6] = [
+    OptLevel::Canonical,
+    OptLevel::O1,
+    OptLevel::O2,
+    OptLevel::O3,
+    OptLevel::O4,
+    OptLevel::InlineOnly,
+];
+
+/// Default harness scale: shrunk from the paper's sf = 1 to in-memory size.
+pub const TABLE_SCALE: f64 = 0.15;
+/// Number of tenants for the table experiments (paper: T = 10).
+pub const TABLE_TENANTS: i64 = 10;
+/// Number of measured runs per cell (paper: 3, report the last).
+pub const RUNS: usize = 2;
+
+/// Build the deployment used for the table experiments.
+pub fn table_deployment(postgres_like: bool) -> MthDeployment {
+    let config = MthConfig {
+        scale: TABLE_SCALE,
+        tenants: TABLE_TENANTS,
+        distribution: TenantDistribution::Uniform,
+        seed: 42,
+    };
+    let engine = if postgres_like {
+        EngineConfig::postgres_like()
+    } else {
+        EngineConfig::system_c_like()
+    };
+    loader::load(config, engine)
+}
+
+/// Build the deployment used for a tenant-scaling point of Figures 5/6.
+pub fn scaling_deployment(tenants: i64, postgres_like: bool, scale: f64) -> MthDeployment {
+    let config = MthConfig {
+        scale,
+        tenants,
+        distribution: TenantDistribution::Zipf,
+        seed: 42,
+    };
+    let engine = if postgres_like {
+        EngineConfig::postgres_like()
+    } else {
+        EngineConfig::system_c_like()
+    };
+    loader::load(config, engine)
+}
+
+/// Measure one MT-H cell: query `q` at `level` over the given dataset.
+pub fn measure_cell(
+    dep: &MthDeployment,
+    spec: DatasetSpec,
+    query: usize,
+    level: OptLevel,
+    runs: usize,
+) -> Result<Measurement, String> {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(level);
+    conn.execute(&spec.scope_sql(dep.config.tenants))
+        .map_err(|e| e.to_string())?;
+    let sql = queries::query(query);
+    let mut last = std::time::Duration::ZERO;
+    let mut rows = 0;
+    for _ in 0..runs.max(1) {
+        dep.server.reset_stats();
+        let start = std::time::Instant::now();
+        let rs = conn.query(&sql).map_err(|e| format!("Q{query} {level:?}: {e}"))?;
+        last = start.elapsed();
+        rows = rs.rows.len();
+    }
+    Ok(Measurement {
+        query,
+        level: Some(level),
+        seconds: last.as_secs_f64(),
+        rows,
+    })
+}
+
+/// One fully-measured table: the TPC-H baseline row plus one row per level.
+pub struct TableResult {
+    pub spec: TableSpec,
+    pub baseline: Vec<Measurement>,
+    pub levels: Vec<(OptLevel, Vec<Measurement>)>,
+}
+
+/// Regenerate one of the paper's tables over the given queries.
+pub fn run_table(spec: TableSpec, query_numbers: &[usize]) -> Result<TableResult, String> {
+    let dep = table_deployment(spec.postgres_like);
+    let baseline = query_numbers
+        .iter()
+        .map(|&q| measure_baseline(&dep, q, RUNS))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut levels = Vec::new();
+    for level in LEVELS {
+        let row = query_numbers
+            .iter()
+            .map(|&q| measure_cell(&dep, spec.dataset, q, level, RUNS))
+            .collect::<Result<Vec<_>, _>>()?;
+        levels.push((level, row));
+    }
+    Ok(TableResult {
+        spec,
+        baseline,
+        levels,
+    })
+}
+
+/// Render a [`TableResult`] in the style of the paper (seconds, two
+/// significant digits).
+pub fn render_table(result: &TableResult, query_numbers: &[usize]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table {}: MTBase-on-{} with sf-equivalent scale {}, T = {}, uniform, C = 1, {}\n",
+        result.spec.number,
+        if result.spec.postgres_like {
+            "PostgreSQL-like engine (UDF cache on)"
+        } else {
+            "System-C-like engine (UDF cache off)"
+        },
+        TABLE_SCALE,
+        TABLE_TENANTS,
+        result.spec.dataset.describe(TABLE_TENANTS),
+    ));
+    out.push_str(&format!("{:<10}", "level"));
+    for q in query_numbers {
+        out.push_str(&format!("{:>8}", format!("Q{q:02}")));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<10}", "tpch"));
+    for m in &result.baseline {
+        out.push_str(&format!("{:>8}", two_significant_digits(m.seconds)));
+    }
+    out.push('\n');
+    for (level, row) in &result.levels {
+        out.push_str(&format!("{:<10}", level.label()));
+        for m in row {
+            out.push_str(&format!("{:>8}", two_significant_digits(m.seconds)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One point of a tenant-scaling figure.
+pub struct FigurePoint {
+    pub tenants: i64,
+    pub query: usize,
+    /// Response time of plain TPC-H on the same data volume.
+    pub tpch_seconds: f64,
+    /// MT-H response time at o4, relative to TPC-H.
+    pub o4_relative: f64,
+    /// MT-H response time at inl-only, relative to TPC-H.
+    pub inl_only_relative: f64,
+}
+
+/// Regenerate one tenant-scaling figure (Figure 5 with `postgres_like`,
+/// Figure 6 without).
+pub fn run_figure(
+    tenant_counts: &[i64],
+    postgres_like: bool,
+    scale: f64,
+) -> Result<Vec<FigurePoint>, String> {
+    let mut points = Vec::new();
+    for &tenants in tenant_counts {
+        let dep = scaling_deployment(tenants, postgres_like, scale);
+        for &query in &queries::CONVERSION_HEAVY {
+            let baseline = measure_baseline(&dep, query, RUNS)?;
+            let o4 = measure_mt(&dep, query, OptLevel::O4, RUNS)?;
+            let inl = measure_mt(&dep, query, OptLevel::InlineOnly, RUNS)?;
+            let tpch = baseline.seconds.max(1e-9);
+            points.push(FigurePoint {
+                tenants,
+                query,
+                tpch_seconds: baseline.seconds,
+                o4_relative: o4.seconds / tpch,
+                inl_only_relative: inl.seconds / tpch,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Render figure points as the series the paper plots.
+pub fn render_figure(points: &[FigurePoint], figure_number: u8) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure {figure_number}: response time relative to TPC-H (Q1/Q6/Q22, o4 vs inl-only)\n"
+    ));
+    out.push_str(&format!(
+        "{:>8} {:>6} {:>12} {:>12} {:>12}\n",
+        "tenants", "query", "tpch[s]", "o4/tpch", "inl/tpch"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>8} {:>6} {:>12} {:>12.2} {:>12.2}\n",
+            p.tenants,
+            format!("Q{}", p.query),
+            two_significant_digits(p.tpch_seconds),
+            p.o4_relative,
+            p.inl_only_relative
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_scopes_are_valid_mtsql() {
+        for spec in [DatasetSpec::Own, DatasetSpec::SingleForeign, DatasetSpec::All] {
+            let sql = spec.scope_sql(4);
+            assert!(mtsql::parse_statement(&sql).is_ok(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn table_specs_cover_both_engines_and_all_datasets() {
+        assert_eq!(TABLES.len(), 6);
+        assert_eq!(TABLES.iter().filter(|t| t.postgres_like).count(), 3);
+        assert_eq!(
+            TABLES.iter().filter(|t| t.dataset == DatasetSpec::All).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn measure_cell_runs_a_small_query() {
+        let dep = scaling_deployment(2, true, 0.05);
+        let m = measure_cell(&dep, DatasetSpec::All, 6, OptLevel::O4, 1).unwrap();
+        assert!(m.seconds >= 0.0);
+        assert_eq!(m.query, 6);
+    }
+}

@@ -1,0 +1,483 @@
+//! Client connections: carry the client tenant `C`, the current `SCOPE`
+//! (dataset `D`) and execute MTSQL statements through the rewrite pipeline.
+
+use std::sync::Arc;
+
+use mtcatalog::{Privilege, TenantId, TTID_COLUMN};
+use mtengine::{ResultSet, Value};
+use mtrewrite::{OptLevel, Rewriter};
+use mtsql::ast::{
+    Comparability, Expr, Grantee, GrantObject, Insert, InsertSource, Query, ScopeSpec, Select,
+    SelectItem, Statement, TableRef,
+};
+
+use crate::error::{MtError, Result};
+use crate::server::{unsupported, MtBase};
+
+/// A client connection to MTBase.
+///
+/// The client tenant `C` is fixed at connect time (derived from the
+/// connection string in the paper); the dataset `D` is controlled with
+/// `SET SCOPE = "..."` and defaults to `{C}`.
+pub struct Connection {
+    server: Arc<MtBase>,
+    client: TenantId,
+    scope: ScopeSpec,
+    level: Option<OptLevel>,
+}
+
+impl Connection {
+    pub(crate) fn new(server: Arc<MtBase>, client: TenantId) -> Self {
+        Connection {
+            server,
+            client,
+            scope: ScopeSpec::Simple(vec![client]),
+            level: None,
+        }
+    }
+
+    /// The client tenant of this connection.
+    pub fn client(&self) -> TenantId {
+        self.client
+    }
+
+    /// The current scope specification.
+    pub fn scope(&self) -> &ScopeSpec {
+        &self.scope
+    }
+
+    /// Override the optimization level for this connection (defaults to the
+    /// server-wide level).
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.level = Some(level);
+    }
+
+    fn opt_level(&self) -> OptLevel {
+        self.level.unwrap_or_else(|| self.server.default_opt_level())
+    }
+
+    /// Parse and execute one MTSQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet> {
+        let stmt = mtsql::parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Shorthand for executing a query and returning its rows.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        self.execute(sql)
+    }
+
+    /// Rewrite a query without executing it (useful to inspect what MTBase
+    /// sends to the DBMS).
+    pub fn rewrite_only(&mut self, sql: &str) -> Result<Query> {
+        let query = mtsql::parse_query(sql)?;
+        let dataset = self.effective_dataset(&Statement::Select(query.clone()))?;
+        let catalog = self.server.catalog.read();
+        let rewriter =
+            Rewriter::with_inline_registry(&catalog, self.server.inline_registry.read().clone());
+        Ok(rewriter.rewrite_query(&query, self.client, &dataset, self.opt_level())?)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ResultSet> {
+        match stmt {
+            Statement::SetScope(spec) => {
+                self.scope = spec.clone();
+                Ok(ResultSet::default())
+            }
+            Statement::Select(query) => self.execute_select(stmt, query),
+            Statement::Grant(grant) => {
+                let dataset = self.resolve_dataset()?;
+                let grantees: Vec<TenantId> = match grant.grantee {
+                    Grantee::Tenant(t) => vec![t],
+                    Grantee::All => dataset,
+                };
+                let tables = self.grant_object_tables(&grant.object);
+                let mut catalog = self.server.catalog.write();
+                for grantee in grantees {
+                    catalog.register_tenant(grantee);
+                    for table in &tables {
+                        catalog
+                            .privileges_mut()
+                            .grant(self.client, table, grantee, &grant.privileges);
+                    }
+                }
+                Ok(ResultSet::default())
+            }
+            Statement::Revoke(revoke) => {
+                let dataset = self.resolve_dataset()?;
+                let grantees: Vec<TenantId> = match revoke.grantee {
+                    Grantee::Tenant(t) => vec![t],
+                    Grantee::All => dataset,
+                };
+                let tables = self.grant_object_tables(&revoke.object);
+                let mut catalog = self.server.catalog.write();
+                for grantee in grantees {
+                    for table in &tables {
+                        catalog
+                            .privileges_mut()
+                            .revoke(self.client, table, grantee, &revoke.privileges);
+                    }
+                }
+                Ok(ResultSet::default())
+            }
+            Statement::CreateTable(ct) => {
+                self.server.create_table(ct)?;
+                Ok(ResultSet::default())
+            }
+            Statement::CreateView(_) | Statement::DropView { .. } | Statement::DropTable { .. } => {
+                let mut engine = self.server.engine.write();
+                if let Statement::DropTable { name, .. } = stmt {
+                    self.server.catalog.write().drop_table(name);
+                }
+                Ok(engine.execute_statement(stmt)?)
+            }
+            Statement::CreateFunction(cf) => {
+                // The native implementation must already be registered via
+                // `MtBase::register_conversion`; accept the DDL so SQL setup
+                // scripts stay portable.
+                if self.server.engine.read().udfs().contains(&cf.name) {
+                    Ok(ResultSet::default())
+                } else {
+                    Err(unsupported(
+                        "CREATE FUNCTION without a registered native implementation",
+                    ))
+                }
+            }
+            Statement::Insert(insert) => self.execute_insert(insert),
+            Statement::Update(_) | Statement::Delete(_) => self.execute_update_delete(stmt),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    fn execute_select(&mut self, stmt: &Statement, query: &Query) -> Result<ResultSet> {
+        let dataset = self.effective_dataset(stmt)?;
+        let catalog = self.server.catalog.read();
+        let rewriter =
+            Rewriter::with_inline_registry(&catalog, self.server.inline_registry.read().clone());
+        let rewritten = rewriter.rewrite_query(query, self.client, &dataset, self.opt_level())?;
+        drop(catalog);
+        let engine = self.server.engine.read();
+        Ok(engine.execute_query(&rewritten)?)
+    }
+
+    /// Resolve the scope into `D` (evaluating complex scopes on the engine).
+    fn resolve_dataset(&self) -> Result<Vec<TenantId>> {
+        match &self.scope {
+            ScopeSpec::Simple(ids) => Ok(ids.clone()),
+            ScopeSpec::AllTenants => Ok(self.server.catalog.read().tenants().to_vec()),
+            ScopeSpec::Complex { from, selection } => {
+                let catalog = self.server.catalog.read();
+                let rewriter = Rewriter::with_inline_registry(
+                    &catalog,
+                    self.server.inline_registry.read().clone(),
+                );
+                let scope_query = rewriter.rewrite_scope(from, selection, self.client)?;
+                drop(catalog);
+                let engine = self.server.engine.read();
+                let result = engine.execute_query(&scope_query)?;
+                let mut ids: Vec<TenantId> = result
+                    .rows
+                    .iter()
+                    .filter_map(|r| r.first().and_then(Value::as_i64))
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                Ok(ids)
+            }
+        }
+    }
+
+    /// Resolve the scope and prune it by the client's read privileges on the
+    /// tenant-specific tables referenced by the statement (D → D').
+    fn effective_dataset(&self, stmt: &Statement) -> Result<Vec<TenantId>> {
+        let dataset = self.resolve_dataset()?;
+        let tables = self.server.referenced_tables(stmt);
+        let catalog = self.server.catalog.read();
+        Ok(catalog.prune_dataset(self.client, &dataset, &tables))
+    }
+
+    fn grant_object_tables(&self, object: &GrantObject) -> Vec<String> {
+        match object {
+            GrantObject::Table(t) => vec![t.clone()],
+            GrantObject::Database => self
+                .server
+                .catalog
+                .read()
+                .tables()
+                .filter(|t| t.is_tenant_specific())
+                .map(|t| t.name.clone())
+                .collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DML (§2.5: applied to each tenant in D separately, constants and WHERE
+    // interpreted with respect to C)
+    // ------------------------------------------------------------------
+
+    fn execute_insert(&mut self, insert: &Insert) -> Result<ResultSet> {
+        let dataset = self.resolve_dataset()?;
+        let table_meta = {
+            let catalog = self.server.catalog.read();
+            catalog
+                .table(&insert.table)
+                .cloned()
+                .ok_or_else(|| MtError::Other(format!("unknown table `{}`", insert.table)))?
+        };
+
+        // Determine the source rows, presented in C's format.
+        let source_rows: Vec<Vec<Value>> = match &insert.source {
+            InsertSource::Values(rows) => {
+                let engine = self.server.engine.read();
+                let empty = mtsql::ast::Query::from_select(Select {
+                    projection: rows
+                        .first()
+                        .map(|r| r.iter().cloned().map(SelectItem::expr).collect())
+                        .unwrap_or_default(),
+                    ..Select::default()
+                });
+                let mut out = Vec::new();
+                for row in rows {
+                    let q = mtsql::ast::Query::from_select(Select {
+                        projection: row.iter().cloned().map(SelectItem::expr).collect(),
+                        ..Select::default()
+                    });
+                    out.push(
+                        engine
+                            .execute_query(&q)?
+                            .rows
+                            .into_iter()
+                            .next()
+                            .unwrap_or_default(),
+                    );
+                }
+                let _ = empty;
+                out
+            }
+            InsertSource::Query(q) => {
+                // Sub-queries of DML are interpreted exactly like queries.
+                let stmt = Statement::Select((**q).clone());
+                self.execute_select(&stmt, q)?.rows
+            }
+        };
+
+        let column_names: Vec<String> = if insert.columns.is_empty() {
+            table_meta
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect()
+        } else {
+            insert.columns.clone()
+        };
+
+        let writable: Vec<TenantId> = dataset
+            .iter()
+            .copied()
+            .filter(|d| {
+                self.server.catalog.read().has_privilege(
+                    *d,
+                    &insert.table,
+                    self.client,
+                    Privilege::Insert,
+                )
+            })
+            .collect();
+
+        let mut inserted = 0i64;
+        for d in writable {
+            for row in &source_rows {
+                let mut converted = Vec::with_capacity(row.len());
+                for (value, column) in row.iter().zip(&column_names) {
+                    converted.push(self.convert_to_owner_format(
+                        &table_meta.name,
+                        column,
+                        value.clone(),
+                        d,
+                    )?);
+                }
+                let mut physical_columns = column_names.clone();
+                let mut physical_row = converted;
+                if table_meta.is_tenant_specific() {
+                    physical_columns.insert(0, TTID_COLUMN.to_string());
+                    physical_row.insert(0, Value::Int(d));
+                }
+                let target_columns = {
+                    let engine = self.server.engine.read();
+                    let table = engine.database().table(&insert.table)?;
+                    table.columns.clone()
+                };
+                // Build a full-width row in storage order.
+                let mut full = vec![Value::Null; target_columns.len()];
+                for (col, val) in physical_columns.iter().zip(physical_row) {
+                    let idx = target_columns
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(col))
+                        .ok_or_else(|| {
+                            MtError::Other(format!("no column `{col}` in `{}`", insert.table))
+                        })?;
+                    full[idx] = val;
+                }
+                self.server.load_rows(&insert.table, vec![full])?;
+                inserted += 1;
+            }
+        }
+        Ok(ResultSet {
+            columns: vec!["rows_inserted".to_string()],
+            rows: vec![vec![Value::Int(inserted)]],
+        })
+    }
+
+    fn execute_update_delete(&mut self, stmt: &Statement) -> Result<ResultSet> {
+        let (table, selection, is_update) = match stmt {
+            Statement::Update(u) => (u.table.clone(), u.selection.clone(), true),
+            Statement::Delete(d) => (d.table.clone(), d.selection.clone(), false),
+            _ => unreachable!("only called for UPDATE/DELETE"),
+        };
+        let dataset = self.resolve_dataset()?;
+        let needed = if is_update {
+            Privilege::Update
+        } else {
+            Privilege::Delete
+        };
+        let table_meta = {
+            let catalog = self.server.catalog.read();
+            catalog
+                .table(&table)
+                .cloned()
+                .ok_or_else(|| MtError::Other(format!("unknown table `{table}`")))?
+        };
+
+        let mut affected = 0i64;
+        for d in dataset {
+            if !self
+                .server
+                .catalog
+                .read()
+                .has_privilege(d, &table, self.client, needed)
+            {
+                continue;
+            }
+            // Rewrite the WHERE clause with respect to C and dataset {d} by
+            // piggy-backing on the query rewriter, then restrict to tenant d.
+            let rewritten_selection = {
+                let probe = Query::from_select(Select {
+                    projection: vec![SelectItem::Wildcard],
+                    from: vec![TableRef::table(&table)],
+                    selection: selection.clone(),
+                    ..Select::default()
+                });
+                let catalog = self.server.catalog.read();
+                let rewriter = Rewriter::new(&catalog);
+                rewriter
+                    .rewrite_query(&probe, self.client, &[d], OptLevel::Canonical)?
+                    .body
+                    .selection
+            };
+            match stmt {
+                Statement::Update(u) => {
+                    // Convert assignment values into tenant d's format by
+                    // wrapping convertible targets in conversion calls; the
+                    // engine evaluates them per row.
+                    let mut assignments = Vec::new();
+                    for (col, value_expr) in &u.assignments {
+                        let wrapped = self.wrap_assignment_for_owner(
+                            &table_meta.name,
+                            col,
+                            value_expr.clone(),
+                            d,
+                        );
+                        assignments.push((col.clone(), wrapped));
+                    }
+                    let update = mtsql::ast::Update {
+                        table: table.clone(),
+                        assignments,
+                        selection: rewritten_selection,
+                    };
+                    let mut engine = self.server.engine.write();
+                    let rs = engine.execute_statement(&Statement::Update(update))?;
+                    affected += rs.scalar().and_then(Value::as_i64).unwrap_or(0);
+                }
+                Statement::Delete(_) => {
+                    let delete = mtsql::ast::Delete {
+                        table: table.clone(),
+                        selection: rewritten_selection,
+                    };
+                    let mut engine = self.server.engine.write();
+                    let rs = engine.execute_statement(&Statement::Delete(delete))?;
+                    affected += rs.scalar().and_then(Value::as_i64).unwrap_or(0);
+                }
+                _ => unreachable!(),
+            }
+        }
+        Ok(ResultSet {
+            columns: vec![if is_update { "rows_updated" } else { "rows_deleted" }.to_string()],
+            rows: vec![vec![Value::Int(affected)]],
+        })
+    }
+
+    /// Wrap an UPDATE assignment expression (given in C's format) so that the
+    /// stored value ends up in tenant `owner`'s format.
+    fn wrap_assignment_for_owner(
+        &self,
+        table: &str,
+        column: &str,
+        value_expr: Expr,
+        owner: TenantId,
+    ) -> Expr {
+        if owner == self.client {
+            return value_expr;
+        }
+        let catalog = self.server.catalog.read();
+        match catalog.comparability(table, column) {
+            Some(Comparability::Convertible {
+                to_universal,
+                from_universal,
+            }) => Expr::call(
+                from_universal,
+                vec![
+                    Expr::call(to_universal, vec![value_expr, Expr::int(self.client)]),
+                    Expr::int(owner),
+                ],
+            ),
+            _ => value_expr,
+        }
+    }
+
+    /// Convert a value given in C's format into tenant `owner`'s format, if
+    /// the target column is convertible (§2.5).
+    fn convert_to_owner_format(
+        &self,
+        table: &str,
+        column: &str,
+        value: Value,
+        owner: TenantId,
+    ) -> Result<Value> {
+        if owner == self.client || value.is_null() {
+            return Ok(value);
+        }
+        let conv = {
+            let catalog = self.server.catalog.read();
+            match catalog.comparability(table, column) {
+                Some(Comparability::Convertible {
+                    to_universal,
+                    from_universal,
+                }) => Some((to_universal.clone(), from_universal.clone())),
+                _ => None,
+            }
+        };
+        match conv {
+            None => Ok(value),
+            Some((to, from)) => {
+                let engine = self.server.engine.read();
+                let universal = engine.udfs().call(&to, &[value, Value::Int(self.client)])?;
+                Ok(engine.udfs().call(&from, &[universal, Value::Int(owner)])?)
+            }
+        }
+    }
+}
+

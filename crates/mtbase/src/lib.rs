@@ -1,0 +1,39 @@
+//! `mtbase` — the MTSQL middleware: connections carrying the client tenant
+//! `C`, scope handling (dataset `D`), privilege pruning (`D → D'`), the
+//! rewrite pipeline and execution on the [`mtengine`] substrate.
+//!
+//! This corresponds to the middleware box of Figure 4 in the paper: clients
+//! speak MTSQL to a [`Connection`]; the connection consults the catalog,
+//! rewrites the statement to plain SQL at a configurable optimization level
+//! and runs it on the engine.
+//!
+//! # Example
+//!
+//! ```
+//! use mtbase::testkit::running_example_server;
+//! use mtengine::Value;
+//!
+//! let server = running_example_server(mtengine::EngineConfig::default());
+//! server.grant_read_all(0); // tenant 1 shares her data with tenant 0
+//! let mut conn = server.connect(0);
+//! conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+//! // Tenant 1 stores salaries in EUR; tenant 0 sees them converted to USD.
+//! let rs = conn
+//!     .query("SELECT E_name, E_salary FROM Employees WHERE E_age > 50")
+//!     .unwrap();
+//! assert_eq!(rs.rows.len(), 1);
+//! assert_eq!(rs.rows[0][0], Value::str("Nancy"));
+//! ```
+
+pub mod connection;
+pub mod error;
+pub mod server;
+pub mod testkit;
+
+pub use connection::Connection;
+pub use error::{MtError, Result};
+pub use server::{currency_udfs_from_rates, phone_udfs_from_prefixes, MtBase};
+
+pub use mtcatalog::TenantId;
+pub use mtengine::{EngineConfig, ResultSet, Value};
+pub use mtrewrite::OptLevel;

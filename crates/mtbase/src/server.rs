@@ -1,0 +1,357 @@
+//! The MTBase server: catalog + engine + conversion functions, shared by all
+//! client connections.
+
+use std::sync::Arc;
+
+use mtcatalog::{Catalog, ConversionFnPair, TenantId, TTID_COLUMN};
+use mtengine::udf::UdfImpl;
+use mtengine::{Engine, EngineConfig, ResultSet, Value};
+use mtrewrite::{InlineRegistry, OptLevel};
+use mtsql::ast::{CreateTable, Statement, TableGenerality};
+use parking_lot::RwLock;
+
+use crate::connection::Connection;
+use crate::error::{MtError, Result};
+
+/// Shared MTBase state. Connections borrow it through an [`Arc`].
+pub struct MtBase {
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) engine: RwLock<Engine>,
+    pub(crate) inline_registry: RwLock<InlineRegistry>,
+    pub(crate) default_level: RwLock<OptLevel>,
+}
+
+impl MtBase {
+    /// Create an MTBase instance on top of a fresh engine.
+    pub fn new(engine_config: EngineConfig) -> Arc<Self> {
+        Arc::new(MtBase {
+            catalog: RwLock::new(Catalog::new()),
+            engine: RwLock::new(Engine::new(engine_config)),
+            inline_registry: RwLock::new(InlineRegistry::new()),
+            default_level: RwLock::new(OptLevel::O4),
+        })
+    }
+
+    /// Create an MTBase instance wrapping an existing, already-populated
+    /// engine and catalog (used by the MT-H loader).
+    pub fn from_parts(engine: Engine, catalog: Catalog, inline_registry: InlineRegistry) -> Arc<Self> {
+        Arc::new(MtBase {
+            catalog: RwLock::new(catalog),
+            engine: RwLock::new(engine),
+            inline_registry: RwLock::new(inline_registry),
+            default_level: RwLock::new(OptLevel::O4),
+        })
+    }
+
+    /// Open a connection for the given client tenant (the connection string's
+    /// ttid in the paper). The scope defaults to `{C}`.
+    pub fn connect(self: &Arc<Self>, client: TenantId) -> Connection {
+        self.catalog.write().register_tenant(client);
+        Connection::new(Arc::clone(self), client)
+    }
+
+    /// Set the optimization level used by default for all new statements.
+    pub fn set_default_opt_level(&self, level: OptLevel) {
+        *self.default_level.write() = level;
+    }
+
+    /// The default optimization level.
+    pub fn default_opt_level(&self) -> OptLevel {
+        *self.default_level.read()
+    }
+
+    /// Register a tenant (tenants are also registered implicitly on connect).
+    pub fn register_tenant(&self, tenant: TenantId) {
+        self.catalog.write().register_tenant(tenant);
+    }
+
+    /// Register a conversion-function pair: catalog metadata, the native UDF
+    /// implementations, and (optionally) an inline specification for the o4 /
+    /// inl-only levels.
+    pub fn register_conversion(
+        &self,
+        pair: ConversionFnPair,
+        to_impl: UdfImpl,
+        from_impl: UdfImpl,
+        inline: Option<(mtrewrite::InlineSpec, mtrewrite::InlineSpec)>,
+    ) {
+        let mut engine = self.engine.write();
+        engine.register_udf(&pair.to_universal, pair.immutable, to_impl);
+        engine.register_udf(&pair.from_universal, pair.immutable, from_impl);
+        if let Some((to_spec, from_spec)) = inline {
+            let mut reg = self.inline_registry.write();
+            reg.register(&pair.to_universal, to_spec);
+            reg.register(&pair.from_universal, from_spec);
+        }
+        self.catalog.write().register_conversion(pair);
+    }
+
+    /// Execute a DDL `CREATE TABLE`: register the logical schema in the
+    /// catalog and create the physical shared table (with the invisible ttid
+    /// column for tenant-specific tables — the basic layout of Figure 2).
+    pub fn create_table(&self, ct: &CreateTable) -> Result<()> {
+        self.catalog.write().register_create_table(ct);
+        let mut columns: Vec<String> = Vec::new();
+        if ct.generality == TableGenerality::TenantSpecific {
+            columns.push(TTID_COLUMN.to_string());
+        }
+        columns.extend(ct.columns.iter().map(|c| c.name.clone()));
+        self.engine.write().create_table_owned(&ct.name, columns);
+        Ok(())
+    }
+
+    /// Run plain SQL directly against the engine, bypassing the middleware
+    /// (used for loading data and for the single-tenant TPC-H baseline).
+    pub fn raw_execute(&self, sql: &str) -> Result<ResultSet> {
+        Ok(self.engine.write().execute(sql)?)
+    }
+
+    /// Run a plain SQL query directly against the engine.
+    pub fn raw_query(&self, sql: &str) -> Result<ResultSet> {
+        Ok(self.engine.read().query(sql)?)
+    }
+
+    /// Bulk-load rows into a physical table.
+    pub fn load_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        Ok(self.engine.write().insert_values(table, rows)?)
+    }
+
+    /// Reset the engine statistics and UDF caches.
+    pub fn reset_stats(&self) {
+        self.engine.read().reset_stats();
+    }
+
+    /// Snapshot the engine statistics.
+    pub fn stats(&self) -> mtengine::stats::StatsSnapshot {
+        self.engine.read().stats()
+    }
+
+    /// Grant `grantee` read access to every registered tenant's share of all
+    /// tenant-specific tables. This is the setup used by the MT-H benchmark,
+    /// where the querying client (e.g. a research institution) has been given
+    /// access to the entire joint dataset.
+    pub fn grant_read_all(&self, grantee: TenantId) {
+        let mut catalog = self.catalog.write();
+        let owners: Vec<TenantId> = catalog.tenants().to_vec();
+        let tables: Vec<String> = catalog
+            .tables()
+            .filter(|t| t.is_tenant_specific())
+            .map(|t| t.name.clone())
+            .collect();
+        for owner in owners {
+            for table in &tables {
+                catalog
+                    .privileges_mut()
+                    .grant(owner, table, grantee, &[mtcatalog::Privilege::Read]);
+            }
+        }
+    }
+
+    /// Execute a statement issued by `client` outside of any connection (used
+    /// by tests); equivalent to `connect(client).execute(sql)`.
+    pub fn execute_as(self: &Arc<Self>, client: TenantId, sql: &str) -> Result<ResultSet> {
+        let mut conn = self.connect(client);
+        conn.execute(sql)
+    }
+
+    /// Collect all base-table names referenced anywhere in a statement (used
+    /// for privilege pruning of the dataset).
+    pub(crate) fn referenced_tables(&self, stmt: &Statement) -> Vec<String> {
+        let mut out = Vec::new();
+        match stmt {
+            Statement::Select(q) => collect_tables_query(q, &mut out),
+            Statement::Insert(i) => out.push(i.table.clone()),
+            Statement::Update(u) => out.push(u.table.clone()),
+            Statement::Delete(d) => out.push(d.table.clone()),
+            _ => {}
+        }
+        out
+    }
+}
+
+pub(crate) fn collect_tables_query(query: &mtsql::ast::Query, out: &mut Vec<String>) {
+    use mtsql::ast::{Expr, SelectItem, TableRef};
+
+    fn collect_table_ref(t: &TableRef, out: &mut Vec<String>) {
+        match t {
+            TableRef::Table { name, .. } => {
+                if !out.iter().any(|n| n.eq_ignore_ascii_case(name)) {
+                    out.push(name.clone());
+                }
+            }
+            TableRef::Derived { query, .. } => collect_tables_query(query, out),
+            TableRef::Join { left, right, .. } => {
+                collect_table_ref(left, out);
+                collect_table_ref(right, out);
+            }
+        }
+    }
+
+    fn collect_expr(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Exists { query, .. } | Expr::InSubquery { query, .. } => {
+                collect_tables_query(query, out)
+            }
+            Expr::ScalarSubquery(q) => collect_tables_query(q, out),
+            Expr::BinaryOp { left, right, .. } => {
+                collect_expr(left, out);
+                collect_expr(right, out);
+            }
+            Expr::UnaryOp { expr, .. } => collect_expr(expr, out),
+            Expr::Function(f) => f.args.iter().for_each(|a| collect_expr(a, out)),
+            Expr::InList { expr, list, .. } => {
+                collect_expr(expr, out);
+                list.iter().for_each(|i| collect_expr(i, out));
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                collect_expr(expr, out);
+                collect_expr(low, out);
+                collect_expr(high, out);
+            }
+            _ => {}
+        }
+    }
+
+    for t in &query.body.from {
+        collect_table_ref(t, out);
+    }
+    if let Some(sel) = &query.body.selection {
+        collect_expr(sel, out);
+    }
+    if let Some(h) = &query.body.having {
+        collect_expr(h, out);
+    }
+    for item in &query.body.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_expr(expr, out);
+        }
+    }
+}
+
+/// Register the paper's currency conversion pair backed by a per-tenant
+/// exchange-rate table (`Tenant(T_tenant_key, T_currency_to, T_currency_from,
+/// T_phone_prefix)`) that must already exist in the engine. Returns the rates
+/// closure used by both directions.
+pub fn currency_udfs_from_rates(rates: Arc<dyn Fn(TenantId) -> (f64, f64) + Send + Sync>) -> (UdfImpl, UdfImpl) {
+    let to_rates = Arc::clone(&rates);
+    let to_impl: UdfImpl = Arc::new(move |args: &[Value]| {
+        if args.first().is_some_and(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        let value = args
+            .first()
+            .and_then(Value::as_f64)
+            .ok_or_else(|| mtengine::EngineError::new("currencyToUniversal: numeric value expected"))?;
+        let tenant = args
+            .get(1)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| mtengine::EngineError::new("currencyToUniversal: tenant id expected"))?;
+        let (to, _) = to_rates(tenant);
+        Ok(Value::Float(value * to))
+    });
+    let from_impl: UdfImpl = Arc::new(move |args: &[Value]| {
+        if args.first().is_some_and(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        let value = args
+            .first()
+            .and_then(Value::as_f64)
+            .ok_or_else(|| mtengine::EngineError::new("currencyFromUniversal: numeric value expected"))?;
+        let tenant = args
+            .get(1)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| mtengine::EngineError::new("currencyFromUniversal: tenant id expected"))?;
+        let (_, from) = rates(tenant);
+        Ok(Value::Float(value * from))
+    });
+    (to_impl, from_impl)
+}
+
+/// Build phone-format conversion UDFs from a per-tenant prefix lookup.
+pub fn phone_udfs_from_prefixes(
+    prefixes: Arc<dyn Fn(TenantId) -> String + Send + Sync>,
+) -> (UdfImpl, UdfImpl) {
+    let to_prefixes = Arc::clone(&prefixes);
+    let to_impl: UdfImpl = Arc::new(move |args: &[Value]| {
+        if args.first().is_some_and(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        let value = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| mtengine::EngineError::new("phoneToUniversal: string expected"))?;
+        let tenant = args
+            .get(1)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| mtengine::EngineError::new("phoneToUniversal: tenant id expected"))?;
+        let prefix = to_prefixes(tenant);
+        Ok(Value::Str(
+            value.strip_prefix(&prefix).unwrap_or(value).to_string(),
+        ))
+    });
+    let from_impl: UdfImpl = Arc::new(move |args: &[Value]| {
+        if args.first().is_some_and(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        let value = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| mtengine::EngineError::new("phoneFromUniversal: string expected"))?;
+        let tenant = args
+            .get(1)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| mtengine::EngineError::new("phoneFromUniversal: tenant id expected"))?;
+        let prefix = from_prefix(&prefixes, tenant);
+        Ok(Value::Str(format!("{prefix}{value}")))
+    });
+    (to_impl, from_impl)
+}
+
+fn from_prefix(prefixes: &Arc<dyn Fn(TenantId) -> String + Send + Sync>, tenant: TenantId) -> String {
+    prefixes(tenant)
+}
+
+/// Convenience: the error for statements the middleware cannot execute.
+pub(crate) fn unsupported(what: &str) -> MtError {
+    MtError::Other(format!("unsupported statement: {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_tables_cover_subqueries() {
+        let server = MtBase::new(EngineConfig::default());
+        let stmt = mtsql::parse_statement(
+            "SELECT a FROM t1 WHERE b IN (SELECT b FROM t2) AND EXISTS (SELECT 1 FROM t3 JOIN t4 ON x = y)",
+        )
+        .unwrap();
+        let tables = server.referenced_tables(&stmt);
+        assert_eq!(tables, vec!["t1", "t2", "t3", "t4"]);
+    }
+
+    #[test]
+    fn currency_udfs_roundtrip() {
+        let rates: Arc<dyn Fn(TenantId) -> (f64, f64) + Send + Sync> =
+            Arc::new(|t| if t == 1 { (1.25, 0.8) } else { (1.0, 1.0) });
+        let (to, from) = currency_udfs_from_rates(rates);
+        let universal = to(&[Value::Float(100.0), Value::Int(1)]).unwrap();
+        assert_eq!(universal, Value::Float(125.0));
+        let back = from(&[universal, Value::Int(1)]).unwrap();
+        assert_eq!(back, Value::Float(100.0));
+    }
+
+    #[test]
+    fn phone_udfs_strip_and_prepend() {
+        let prefixes: Arc<dyn Fn(TenantId) -> String + Send + Sync> =
+            Arc::new(|t| if t == 1 { "00".to_string() } else { "+".to_string() });
+        let (to, from) = phone_udfs_from_prefixes(prefixes);
+        let universal = to(&[Value::str("0041123456"), Value::Int(1)]).unwrap();
+        assert_eq!(universal, Value::str("41123456"));
+        let back = from(&[universal, Value::Int(0)]).unwrap();
+        assert_eq!(back, Value::str("+41123456"));
+    }
+}

@@ -1,0 +1,386 @@
+//! The MTBase catalog: table / column metadata, tenants, conversion
+//! functions and privileges.
+
+use std::collections::BTreeMap;
+
+use mtsql::ast::{
+    Comparability, CreateTable, DataType, Privilege, TableGenerality, TenantId,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::conversion::ConversionFnPair;
+use crate::privileges::PrivilegeStore;
+
+/// Name of the invisible meta column holding the owning tenant of each record
+/// in a tenant-specific table (basic/ST layout, Figure 2 of the paper).
+pub const TTID_COLUMN: &str = "ttid";
+
+/// Column metadata with the *resolved* comparability (defaults already
+/// applied: columns of global tables are comparable, unannotated columns of
+/// tenant-specific tables are tenant-specific).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+    pub comparability: Comparability,
+}
+
+/// Table metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    pub name: String,
+    pub generality: TableGenerality,
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl TableMeta {
+    /// `true` for tenant-specific tables (which carry the hidden ttid column).
+    pub fn is_tenant_specific(&self) -> bool {
+        self.generality == TableGenerality::TenantSpecific
+    }
+
+    /// Look up a column by case-insensitive name.
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// The full catalog. Tables are stored case-insensitively by lower-cased name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableMeta>,
+    tenants: Vec<TenantId>,
+    conversions: BTreeMap<String, ConversionFnPair>,
+    privileges: PrivilegeStore,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // -- tables -------------------------------------------------------------
+
+    /// Register a table from a parsed MTSQL `CREATE TABLE` statement, applying
+    /// the comparability defaults of §2.2.1.
+    pub fn register_create_table(&mut self, ct: &CreateTable) {
+        let columns = ct
+            .columns
+            .iter()
+            .map(|c| {
+                let comparability = match (&c.comparability, ct.generality) {
+                    (Some(cmp), _) => cmp.clone(),
+                    (None, TableGenerality::Global) => Comparability::Comparable,
+                    (None, TableGenerality::TenantSpecific) => Comparability::TenantSpecific,
+                };
+                ColumnMeta {
+                    name: c.name.clone(),
+                    data_type: c.data_type,
+                    not_null: c.not_null,
+                    comparability,
+                }
+            })
+            .collect();
+        self.tables.insert(
+            ct.name.to_ascii_lowercase(),
+            TableMeta {
+                name: ct.name.clone(),
+                generality: ct.generality,
+                columns,
+            },
+        );
+    }
+
+    /// Register a table directly from metadata (used by the MT-H generator).
+    pub fn register_table(&mut self, table: TableMeta) {
+        self.tables.insert(table.name.to_ascii_lowercase(), table);
+    }
+
+    /// Remove a table; returns whether it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Look up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&TableMeta> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate over all registered tables.
+    pub fn tables(&self) -> impl Iterator<Item = &TableMeta> {
+        self.tables.values()
+    }
+
+    /// Find the unique table containing a column of the given name.
+    /// Returns `None` when the column is unknown or ambiguous.
+    pub fn table_of_column(&self, column: &str) -> Option<&TableMeta> {
+        let mut found = None;
+        for t in self.tables.values() {
+            if t.column(column).is_some() {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(t);
+            }
+        }
+        found
+    }
+
+    /// Resolve the comparability of `column` of table `table`.
+    pub fn comparability(&self, table: &str, column: &str) -> Option<&Comparability> {
+        self.table(table)
+            .and_then(|t| t.column(column))
+            .map(|c| &c.comparability)
+    }
+
+    // -- tenants ------------------------------------------------------------
+
+    /// Register a tenant. Registering twice is a no-op.
+    pub fn register_tenant(&mut self, tenant: TenantId) {
+        if !self.tenants.contains(&tenant) {
+            self.tenants.push(tenant);
+            self.tenants.sort_unstable();
+        }
+    }
+
+    /// All tenants currently registered (sorted).
+    pub fn tenants(&self) -> &[TenantId] {
+        &self.tenants
+    }
+
+    /// `true` when the tenant is known.
+    pub fn has_tenant(&self, tenant: TenantId) -> bool {
+        self.tenants.binary_search(&tenant).is_ok()
+    }
+
+    // -- conversion functions -------------------------------------------------
+
+    /// Register a conversion-function pair. The pair is indexed under both the
+    /// `toUniversal` and the `fromUniversal` name.
+    pub fn register_conversion(&mut self, pair: ConversionFnPair) {
+        self.conversions
+            .insert(pair.to_universal.to_ascii_lowercase(), pair.clone());
+        self.conversions
+            .insert(pair.from_universal.to_ascii_lowercase(), pair);
+    }
+
+    /// Look up a conversion pair by either of its function names.
+    pub fn conversion_by_name(&self, name: &str) -> Option<&ConversionFnPair> {
+        self.conversions.get(&name.to_ascii_lowercase())
+    }
+
+    /// The conversion pair attached to a convertible column, if any.
+    pub fn conversion_for_column(&self, table: &str, column: &str) -> Option<&ConversionFnPair> {
+        match self.comparability(table, column)? {
+            Comparability::Convertible { to_universal, .. } => {
+                self.conversion_by_name(to_universal)
+            }
+            _ => None,
+        }
+    }
+
+    // -- privileges -----------------------------------------------------------
+
+    /// Mutable access to the privilege store (used when executing DCL).
+    pub fn privileges_mut(&mut self) -> &mut PrivilegeStore {
+        &mut self.privileges
+    }
+
+    /// Read access to the privilege store.
+    pub fn privileges(&self) -> &PrivilegeStore {
+        &self.privileges
+    }
+
+    /// Prune dataset `D` to `D'` for `client` w.r.t. the *tenant-specific*
+    /// tables referenced by a statement. Global tables are readable by
+    /// everyone and therefore never prune anything.
+    pub fn prune_dataset(
+        &self,
+        client: TenantId,
+        dataset: &[TenantId],
+        tables: &[String],
+    ) -> Vec<TenantId> {
+        let specific: Vec<String> = tables
+            .iter()
+            .filter(|t| {
+                self.table(t)
+                    .map(|m| m.is_tenant_specific())
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        self.privileges.prune_dataset(client, dataset, &specific)
+    }
+
+    /// Does `client` hold `privilege` on `owner`'s share of `table`?
+    /// Global tables are readable by every tenant.
+    pub fn has_privilege(
+        &self,
+        owner: TenantId,
+        table: &str,
+        client: TenantId,
+        privilege: Privilege,
+    ) -> bool {
+        if let Some(meta) = self.table(table) {
+            if !meta.is_tenant_specific() && privilege == Privilege::Read {
+                return true;
+            }
+        }
+        self.privileges.has_privilege(owner, table, client, privilege)
+    }
+}
+
+/// Build the catalog of the running example of the paper (Figure 2):
+/// `Employees` and `Roles` are tenant-specific, `Regions` is global, and
+/// `E_salary` is convertible through the currency pair.
+pub fn running_example_catalog() -> Catalog {
+    use crate::conversion::ConversionProfile;
+    use mtsql::parse_statement;
+    use mtsql::ast::Statement;
+
+    let mut catalog = Catalog::new();
+    let ddl = [
+        "CREATE TABLE Employees SPECIFIC (
+            E_emp_id INTEGER NOT NULL SPECIFIC,
+            E_name VARCHAR(25) NOT NULL COMPARABLE,
+            E_role_id INTEGER NOT NULL SPECIFIC,
+            E_reg_id INTEGER NOT NULL COMPARABLE,
+            E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+            E_age INTEGER NOT NULL COMPARABLE,
+            CONSTRAINT pk_emp PRIMARY KEY (E_emp_id)
+        )",
+        "CREATE TABLE Roles SPECIFIC (
+            R_role_id INTEGER NOT NULL SPECIFIC,
+            R_name VARCHAR(25) NOT NULL COMPARABLE
+        )",
+        "CREATE TABLE Regions GLOBAL (
+            Re_reg_id INTEGER NOT NULL,
+            Re_name VARCHAR(25) NOT NULL
+        )",
+    ];
+    for sql in ddl {
+        match parse_statement(sql).expect("running example DDL parses") {
+            Statement::CreateTable(ct) => catalog.register_create_table(&ct),
+            _ => unreachable!(),
+        }
+    }
+    catalog.register_conversion(ConversionProfile::currency().pair);
+    for t in 0..2 {
+        catalog.register_tenant(t);
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::ConversionClass;
+
+    #[test]
+    fn running_example_matches_table1() {
+        let cat = running_example_catalog();
+        // Table 1 of the paper: comparability classification.
+        assert_eq!(
+            cat.comparability("Employees", "E_age"),
+            Some(&Comparability::Comparable)
+        );
+        assert_eq!(
+            cat.comparability("Employees", "E_reg_id"),
+            Some(&Comparability::Comparable)
+        );
+        assert!(matches!(
+            cat.comparability("Employees", "E_salary"),
+            Some(Comparability::Convertible { .. })
+        ));
+        assert_eq!(
+            cat.comparability("Employees", "E_role_id"),
+            Some(&Comparability::TenantSpecific)
+        );
+        assert_eq!(
+            cat.comparability("Roles", "R_role_id"),
+            Some(&Comparability::TenantSpecific)
+        );
+        assert_eq!(
+            cat.comparability("Regions", "Re_name"),
+            Some(&Comparability::Comparable)
+        );
+    }
+
+    #[test]
+    fn global_table_columns_default_to_comparable() {
+        let cat = running_example_catalog();
+        assert_eq!(
+            cat.comparability("Regions", "Re_reg_id"),
+            Some(&Comparability::Comparable)
+        );
+        assert!(!cat.table("Regions").unwrap().is_tenant_specific());
+        assert!(cat.table("Employees").unwrap().is_tenant_specific());
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let cat = running_example_catalog();
+        assert!(cat.table("employees").is_some());
+        assert!(cat.table("EMPLOYEES").is_some());
+        assert!(cat.comparability("employees", "e_salary").is_some());
+    }
+
+    #[test]
+    fn conversion_lookup_for_column() {
+        let cat = running_example_catalog();
+        let pair = cat.conversion_for_column("Employees", "E_salary").unwrap();
+        assert_eq!(pair.class, ConversionClass::ConstantFactor);
+        assert_eq!(pair.to_universal, "currencyToUniversal");
+        assert!(cat.conversion_for_column("Employees", "E_age").is_none());
+    }
+
+    #[test]
+    fn table_of_column_finds_unique_owner() {
+        let cat = running_example_catalog();
+        assert_eq!(cat.table_of_column("E_salary").unwrap().name, "Employees");
+        assert_eq!(cat.table_of_column("R_name").unwrap().name, "Roles");
+        assert!(cat.table_of_column("no_such_column").is_none());
+    }
+
+    #[test]
+    fn tenant_registry_is_sorted_and_deduplicated() {
+        let mut cat = Catalog::new();
+        cat.register_tenant(5);
+        cat.register_tenant(1);
+        cat.register_tenant(5);
+        assert_eq!(cat.tenants(), &[1, 5]);
+        assert!(cat.has_tenant(1));
+        assert!(!cat.has_tenant(2));
+    }
+
+    #[test]
+    fn prune_dataset_ignores_global_tables() {
+        let cat = running_example_catalog();
+        // Regions is global: reading other tenants' data through it never
+        // requires a grant.
+        let pruned = cat.prune_dataset(0, &[0, 1], &["Regions".into()]);
+        assert_eq!(pruned, vec![0, 1]);
+        // Employees is tenant-specific: without grants only C itself remains.
+        let pruned = cat.prune_dataset(0, &[0, 1], &["Employees".into()]);
+        assert_eq!(pruned, vec![0]);
+    }
+
+    #[test]
+    fn global_tables_are_readable_by_everyone() {
+        let cat = running_example_catalog();
+        assert!(cat.has_privilege(0, "Regions", 1, Privilege::Read));
+        assert!(!cat.has_privilege(0, "Employees", 1, Privilege::Read));
+    }
+
+    #[test]
+    fn drop_table_removes_metadata() {
+        let mut cat = running_example_catalog();
+        assert!(cat.drop_table("Roles"));
+        assert!(cat.table("Roles").is_none());
+        assert!(!cat.drop_table("Roles"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Conversion-function metadata and its algebraic classification.
+//!
+//! §2.2.2 of the paper defines a *conversion function pair*
+//! `(toUniversal, fromUniversal)` per convertible attribute and per tenant.
+//! Beyond the minimal equality-preserving requirement, pairs can be
+//! order-preserving, a multiplication by a constant, or linear — which
+//! determines which aggregation functions distribute over them (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The algebraic class of a conversion function pair. Classes are ordered from
+/// most to least structure; each class implies all the guarantees of the ones
+/// below it in the enum (a constant factor is linear, linear with positive
+/// slope is order-preserving, and every valid pair is equality-preserving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConversionClass {
+    /// `to(x) = c · x` with `c > 0` (e.g. currency conversion).
+    ConstantFactor,
+    /// `to(x) = a · x + b` with `a > 0` (e.g. temperature scales).
+    Linear,
+    /// Monotonic but not linear.
+    OrderPreserving,
+    /// Only the minimal guarantee from Definition 1 (e.g. phone-prefix
+    /// rewriting, which is a string transformation).
+    EqualityPreserving,
+}
+
+/// The standard SQL aggregation functions considered in Table 2 of the paper,
+/// plus `Holistic` as a stand-in for non-distributable aggregates (e.g.
+/// `MEDIAN`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateKind {
+    Count,
+    Min,
+    Max,
+    Sum,
+    Avg,
+    Holistic,
+}
+
+impl AggregateKind {
+    /// Parse an aggregate function name (`SUM`, `count`, ...).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggregateKind::Count),
+            "MIN" => Some(AggregateKind::Min),
+            "MAX" => Some(AggregateKind::Max),
+            "SUM" => Some(AggregateKind::Sum),
+            "AVG" => Some(AggregateKind::Avg),
+            _ => None,
+        }
+    }
+}
+
+impl ConversionClass {
+    /// Distributability of aggregation function `agg` over this conversion
+    /// class — a verbatim encoding of Table 2 of the paper:
+    ///
+    /// | | c·x | a·x+b | order-pres. | equality-pres. |
+    /// |---|---|---|---|---|
+    /// | COUNT | ✓ | ✓ | ✓ | ✓ |
+    /// | MIN   | ✓ | ✓ | ✓ | ✗ |
+    /// | MAX   | ✓ | ✓ | ✓ | ✗ |
+    /// | SUM   | ✓ | ✓ | ✗ | ✗ |
+    /// | AVG   | ✓ | ✓ | ✗ | ✗ |
+    /// | holistic | ✗ | ✗ | ✗ | ✗ |
+    pub fn distributes(&self, agg: AggregateKind) -> bool {
+        use AggregateKind::*;
+        use ConversionClass::*;
+        match agg {
+            Holistic => false,
+            Count => true,
+            Min | Max => matches!(self, ConstantFactor | Linear | OrderPreserving),
+            Sum | Avg => matches!(self, ConstantFactor | Linear),
+        }
+    }
+
+    /// Whether the pair preserves ordering for all tenants.
+    pub fn is_order_preserving(&self) -> bool {
+        matches!(
+            self,
+            ConversionClass::ConstantFactor | ConversionClass::Linear | ConversionClass::OrderPreserving
+        )
+    }
+}
+
+/// Metadata for a conversion-function pair registered in the catalog.
+///
+/// The actual implementations (per-tenant parameters and the computation) are
+/// registered with the engine; the catalog only needs names and the class so
+/// the rewriter can reason about applicability of optimizations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConversionFnPair {
+    /// Name of the `toUniversal(x, ttid)` function.
+    pub to_universal: String,
+    /// Name of the `fromUniversal(x, ttid)` function.
+    pub from_universal: String,
+    /// Algebraic class (drives aggregation distribution, Table 2).
+    pub class: ConversionClass,
+    /// Whether the functions may be treated as deterministic/immutable by the
+    /// executing DBMS (enables result caching à la PostgreSQL).
+    pub immutable: bool,
+}
+
+/// A named *domain* of convertible values (the paper uses `currency` and
+/// `phone format`), bundling the pair with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConversionProfile {
+    pub domain: String,
+    pub pair: ConversionFnPair,
+}
+
+impl ConversionProfile {
+    /// The currency profile from the paper: multiplication by a per-tenant
+    /// exchange rate, universal format USD.
+    pub fn currency() -> Self {
+        ConversionProfile {
+            domain: "currency".to_string(),
+            pair: ConversionFnPair {
+                to_universal: "currencyToUniversal".to_string(),
+                from_universal: "currencyFromUniversal".to_string(),
+                class: ConversionClass::ConstantFactor,
+                immutable: true,
+            },
+        }
+    }
+
+    /// The phone-format profile from the paper: prefix manipulation, universal
+    /// format is the prefix-less number. Equality-preserving only.
+    pub fn phone() -> Self {
+        ConversionProfile {
+            domain: "phone".to_string(),
+            pair: ConversionFnPair {
+                to_universal: "phoneToUniversal".to_string(),
+                from_universal: "phoneFromUniversal".to_string(),
+                class: ConversionClass::EqualityPreserving,
+                immutable: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constant_factor_column() {
+        let c = ConversionClass::ConstantFactor;
+        for agg in [
+            AggregateKind::Count,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::Sum,
+            AggregateKind::Avg,
+        ] {
+            assert!(c.distributes(agg), "{agg:?} must distribute over c*x");
+        }
+        assert!(!c.distributes(AggregateKind::Holistic));
+    }
+
+    #[test]
+    fn table2_linear_column() {
+        let c = ConversionClass::Linear;
+        assert!(c.distributes(AggregateKind::Sum));
+        assert!(c.distributes(AggregateKind::Avg));
+        assert!(c.distributes(AggregateKind::Min));
+        assert!(!c.distributes(AggregateKind::Holistic));
+    }
+
+    #[test]
+    fn table2_order_preserving_column() {
+        let c = ConversionClass::OrderPreserving;
+        assert!(c.distributes(AggregateKind::Count));
+        assert!(c.distributes(AggregateKind::Min));
+        assert!(c.distributes(AggregateKind::Max));
+        assert!(!c.distributes(AggregateKind::Sum));
+        assert!(!c.distributes(AggregateKind::Avg));
+    }
+
+    #[test]
+    fn table2_equality_preserving_column() {
+        let c = ConversionClass::EqualityPreserving;
+        assert!(c.distributes(AggregateKind::Count));
+        assert!(!c.distributes(AggregateKind::Min));
+        assert!(!c.distributes(AggregateKind::Max));
+        assert!(!c.distributes(AggregateKind::Sum));
+        assert!(!c.distributes(AggregateKind::Avg));
+    }
+
+    #[test]
+    fn aggregate_kind_parsing() {
+        assert_eq!(AggregateKind::from_name("sum"), Some(AggregateKind::Sum));
+        assert_eq!(AggregateKind::from_name("AVG"), Some(AggregateKind::Avg));
+        assert_eq!(AggregateKind::from_name("median"), None);
+    }
+
+    #[test]
+    fn paper_profiles() {
+        assert_eq!(
+            ConversionProfile::currency().pair.class,
+            ConversionClass::ConstantFactor
+        );
+        assert_eq!(
+            ConversionProfile::phone().pair.class,
+            ConversionClass::EqualityPreserving
+        );
+        // The phone pair does not distribute over SUM (paper §4.2.2), the
+        // currency pair distributes over all standard aggregates.
+        assert!(!ConversionProfile::phone()
+            .pair
+            .class
+            .distributes(AggregateKind::Sum));
+        assert!(ConversionProfile::currency()
+            .pair
+            .class
+            .distributes(AggregateKind::Sum));
+    }
+}

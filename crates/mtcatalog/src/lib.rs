@@ -1,0 +1,18 @@
+//! Catalog for an MTBase deployment: table and column metadata (including the
+//! MTSQL-specific *generality* and *comparability*), the tenant registry,
+//! conversion-function metadata and the privilege store used to prune the
+//! dataset `D` into `D'`.
+//!
+//! The catalog is deliberately independent of the execution engine: the
+//! rewriter (`mtrewrite`) only needs this metadata, while the engine
+//! (`mtengine`) additionally binds conversion-function *implementations*.
+
+pub mod catalog;
+pub mod conversion;
+pub mod privileges;
+
+pub use catalog::{running_example_catalog, Catalog, ColumnMeta, TableMeta, TTID_COLUMN};
+pub use conversion::{AggregateKind, ConversionClass, ConversionFnPair, ConversionProfile};
+pub use privileges::PrivilegeStore;
+
+pub use mtsql::ast::{Comparability, Privilege, TableGenerality, TenantId};

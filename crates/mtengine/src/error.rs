@@ -1,0 +1,58 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors produced while executing statements against the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    pub message: String,
+}
+
+impl EngineError {
+    /// Create a new error.
+    pub fn new(message: impl Into<String>) -> Self {
+        EngineError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<mtsql::ParseError> for EngineError {
+    fn from(e: mtsql::ParseError) -> Self {
+        EngineError::new(e.to_string())
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Shorthand constructor used throughout the engine.
+pub fn err<T>(message: impl Into<String>) -> Result<T> {
+    Err(EngineError::new(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = EngineError::new("no such table `t`");
+        assert!(e.to_string().contains("no such table"));
+    }
+
+    #[test]
+    fn parse_error_converts() {
+        let pe = mtsql::ParseError::new("boom");
+        let ee: EngineError = pe.into();
+        assert!(ee.message.contains("boom"));
+    }
+}

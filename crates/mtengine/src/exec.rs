@@ -1,0 +1,1583 @@
+//! Query execution: expression evaluation, joins, grouping/aggregation,
+//! sub-queries and DML.
+//!
+//! The executor is a straightforward materializing interpreter: every operator
+//! consumes and produces `(Schema, Vec<Row>)`. Equi-joins are executed as hash
+//! joins, other joins as filtered nested loops; single-table predicates are
+//! pushed below joins. Uncorrelated sub-queries are evaluated once per query
+//! and cached.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mtsql::ast::*;
+
+use crate::error::{err, EngineError, Result};
+use crate::schema::Schema;
+use crate::table::Row;
+use crate::value::{add_months, civil_from_days, parse_date, Value};
+use crate::Engine;
+
+/// A materialized intermediate result.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+/// Evaluation environment: the row currently in scope plus the chain of outer
+/// rows for correlated sub-queries.
+#[derive(Clone, Copy)]
+pub struct Env<'a> {
+    pub schema: &'a Schema,
+    pub row: &'a Row,
+    pub parent: Option<&'a Env<'a>>,
+}
+
+impl<'a> Env<'a> {
+    fn lookup(&self, col: &ColumnRef) -> Option<Value> {
+        if let Some(idx) = self.schema.resolve(col) {
+            return Some(self.row[idx].clone());
+        }
+        self.parent.and_then(|p| p.lookup(col))
+    }
+
+    fn resolves_locally(&self, col: &ColumnRef) -> bool {
+        self.schema.resolve(col).is_some()
+    }
+}
+
+/// Per-query executor borrowing the engine (tables, UDFs, statistics).
+pub struct Executor<'e> {
+    engine: &'e Engine,
+    /// Cache of uncorrelated sub-query results, keyed by their SQL text.
+    subquery_cache: RefCell<HashMap<String, Rc<Relation>>>,
+    /// `true` while the executor detected an escape to an outer row during the
+    /// currently executing sub-query (conservative correlation detection).
+    correlation_witness: Cell<bool>,
+}
+
+impl<'e> Executor<'e> {
+    /// Create an executor for one top-level query.
+    pub fn new(engine: &'e Engine) -> Self {
+        Executor {
+            engine,
+            subquery_cache: RefCell::new(HashMap::new()),
+            correlation_witness: Cell::new(false),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query execution
+    // ------------------------------------------------------------------
+
+    /// Execute a query with an optional outer environment (for correlated
+    /// sub-queries).
+    pub fn execute_query(&self, query: &Query, outer: Option<&Env>) -> Result<Relation> {
+        let select = &query.body;
+        let input = self.execute_from_where(select, outer)?;
+
+        let aggregates = collect_aggregates(select, &query.order_by);
+        let grouped = !select.group_by.is_empty() || !aggregates.is_empty();
+
+        let mut out = if grouped {
+            self.execute_grouped(query, input, aggregates, outer)?
+        } else {
+            self.execute_projection(query, input, outer)?
+        };
+
+        if query.limit.is_some() || !query.order_by.is_empty() {
+            // ordering already applied inside the two paths; only limit here
+            if let Some(limit) = query.limit {
+                out.rows.truncate(limit as usize);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Non-aggregate path: projection, DISTINCT, ORDER BY.
+    fn execute_projection(
+        &self,
+        query: &Query,
+        input: Relation,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let select = &query.body;
+        let out_schema = projection_schema(&select.projection, &input.schema)?;
+        let aliases = alias_map(&select.projection);
+        let order_exprs: Vec<Expr> = query
+            .order_by
+            .iter()
+            .map(|o| substitute_aliases(&o.expr, &aliases))
+            .collect();
+
+        let mut produced: Vec<(Row, Vec<Value>)> = Vec::with_capacity(input.rows.len());
+        for row in &input.rows {
+            let env = Env {
+                schema: &input.schema,
+                row,
+                parent: outer,
+            };
+            let out_row = self.project_row(&select.projection, &env)?;
+            let keys = order_exprs
+                .iter()
+                .map(|e| self.eval(e, &env))
+                .collect::<Result<Vec<_>>>()?;
+            produced.push((out_row, keys));
+        }
+
+        if select.distinct {
+            let mut seen = std::collections::HashSet::new();
+            produced.retain(|(row, _)| seen.insert(row.clone()));
+        }
+        sort_by_keys(&mut produced, &query.order_by);
+
+        Ok(Relation {
+            schema: out_schema,
+            rows: produced.into_iter().map(|(r, _)| r).collect(),
+        })
+    }
+
+    /// Aggregate path: grouping, aggregate evaluation, HAVING, ORDER BY.
+    fn execute_grouped(
+        &self,
+        query: &Query,
+        input: Relation,
+        aggregates: Vec<FunctionCall>,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let select = &query.body;
+        let aliases = alias_map(&select.projection);
+        let group_exprs: Vec<Expr> = select
+            .group_by
+            .iter()
+            .map(|e| substitute_aliases(e, &aliases))
+            .collect();
+
+        // Build groups preserving first-seen order.
+        let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        for (i, row) in input.rows.iter().enumerate() {
+            let env = Env {
+                schema: &input.schema,
+                row,
+                parent: outer,
+            };
+            let key = group_exprs
+                .iter()
+                .map(|e| self.eval(e, &env))
+                .collect::<Result<Vec<_>>>()?;
+            match group_index.get(&key) {
+                Some(&g) => groups[g].1.push(i),
+                None => {
+                    group_index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![i]));
+                }
+            }
+        }
+        // Aggregates without GROUP BY over empty input still produce one row.
+        if groups.is_empty() && select.group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+
+        let out_schema = projection_schema(&select.projection, &input.schema)?;
+        let having_expr = select
+            .having
+            .as_ref()
+            .map(|h| substitute_aliases(h, &aliases));
+        let order_exprs: Vec<Expr> = query
+            .order_by
+            .iter()
+            .map(|o| substitute_aliases(&o.expr, &aliases))
+            .collect();
+
+        // A group with no members (global aggregate over an empty input) still
+        // needs a representative row so that non-aggregated columns (e.g. the
+        // constant factors of inlined conversion functions) resolve — to NULL.
+        let null_row: Row = vec![Value::Null; input.schema.len()];
+        let mut produced: Vec<(Row, Vec<Value>)> = Vec::new();
+        for (key, members) in &groups {
+            // Compute aggregate values for this group.
+            let mut agg_values = Vec::with_capacity(aggregates.len());
+            for agg in &aggregates {
+                agg_values.push(self.eval_aggregate(agg, &input, members, outer)?);
+            }
+            let first_row = members.first().map(|&i| &input.rows[i]).unwrap_or(&null_row);
+            let first_schema = &input.schema;
+            let gctx = GroupContext {
+                group_exprs: &group_exprs,
+                group_key: key,
+                aggregates: &aggregates,
+                agg_values: &agg_values,
+                env: Env {
+                    schema: first_schema,
+                    row: first_row,
+                    parent: outer,
+                },
+            };
+            if let Some(h) = &having_expr {
+                let keep = self
+                    .eval_in_group(h, &gctx)?
+                    .as_bool()
+                    .unwrap_or(false);
+                if !keep {
+                    continue;
+                }
+            }
+            let mut out_row = Vec::with_capacity(select.projection.len());
+            for item in &select.projection {
+                match item {
+                    SelectItem::Wildcard => out_row.extend(gctx.env.row.iter().cloned()),
+                    SelectItem::QualifiedWildcard(q) => {
+                        for idx in gctx.env.schema.indices_of_qualifier(q) {
+                            out_row.push(gctx.env.row[idx].clone());
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => out_row.push(self.eval_in_group(expr, &gctx)?),
+                }
+            }
+            let keys = order_exprs
+                .iter()
+                .map(|e| self.eval_in_group(e, &gctx))
+                .collect::<Result<Vec<_>>>()?;
+            produced.push((out_row, keys));
+        }
+
+        if select.distinct {
+            let mut seen = std::collections::HashSet::new();
+            produced.retain(|(row, _)| seen.insert(row.clone()));
+        }
+        sort_by_keys(&mut produced, &query.order_by);
+
+        Ok(Relation {
+            schema: out_schema,
+            rows: produced.into_iter().map(|(r, _)| r).collect(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // FROM / WHERE
+    // ------------------------------------------------------------------
+
+    fn execute_from_where(&self, select: &Select, outer: Option<&Env>) -> Result<Relation> {
+        if select.from.is_empty() {
+            // `SELECT expr` without FROM: a single empty row.
+            return Ok(Relation {
+                schema: Schema::new(),
+                rows: vec![Vec::new()],
+            });
+        }
+
+        let mut items: Vec<Relation> = Vec::with_capacity(select.from.len());
+        for table_ref in &select.from {
+            items.push(self.execute_table_ref(table_ref, outer)?);
+        }
+
+        let mut conjuncts: Vec<Expr> = Vec::new();
+        if let Some(sel) = &select.selection {
+            split_conjuncts(sel, &mut conjuncts);
+        }
+
+        // Push single-item predicates (no sub-queries, fully resolvable in one
+        // item, not resolvable via the outer env only) below the joins.
+        let mut remaining: Vec<Expr> = Vec::new();
+        'conj: for c in conjuncts {
+            if !contains_subquery(&c) {
+                for item in items.iter_mut() {
+                    if expr_resolvable(&c, &item.schema) {
+                        let filtered = self.filter_relation(item, &c, outer)?;
+                        *item = filtered;
+                        continue 'conj;
+                    }
+                }
+            }
+            remaining.push(c);
+        }
+
+        // Greedy hash-join ordering over the FROM items.
+        let mut current = items.remove(0);
+        while !items.is_empty() {
+            let mut chosen: Option<(usize, Vec<(Expr, Expr)>)> = None;
+            for (i, item) in items.iter().enumerate() {
+                let keys = equi_join_keys(&remaining, &current.schema, &item.schema);
+                if !keys.is_empty() {
+                    chosen = Some((i, keys));
+                    break;
+                }
+            }
+            match chosen {
+                Some((i, keys)) => {
+                    let right = items.remove(i);
+                    // Remove the consumed conjuncts.
+                    remaining.retain(|c| {
+                        !keys.iter().any(|(l, r)| {
+                            matches!(c, Expr::BinaryOp { left, op: BinaryOperator::Eq, right: rr }
+                                if (**left == *l && **rr == *r) || (**left == *r && **rr == *l))
+                        })
+                    });
+                    current = self.hash_join(&current, &right, &keys, JoinKind::Inner, outer)?;
+                }
+                None => {
+                    let right = items.remove(0);
+                    current = cross_product(&current, &right);
+                }
+            }
+            // Apply any predicates that became resolvable, to keep
+            // intermediate results small.
+            let mut still: Vec<Expr> = Vec::new();
+            for c in remaining.drain(..) {
+                if !contains_subquery(&c) && expr_resolvable(&c, &current.schema) {
+                    current = self.filter_relation(&current, &c, outer)?;
+                } else {
+                    still.push(c);
+                }
+            }
+            remaining = still;
+        }
+
+        // Apply whatever is left (correlated predicates, sub-queries, ...).
+        for c in &remaining {
+            current = self.filter_relation(&current, c, outer)?;
+        }
+        Ok(current)
+    }
+
+    fn execute_table_ref(&self, table_ref: &TableRef, outer: Option<&Env>) -> Result<Relation> {
+        match table_ref {
+            TableRef::Table { name, alias } => {
+                let binding = alias.as_deref().unwrap_or(name);
+                if let Some(view) = self.engine.database().view(name) {
+                    let view = view.clone();
+                    let rel = self.execute_query(&view, outer)?;
+                    let names = rel.schema.names();
+                    return Ok(Relation {
+                        schema: Schema::qualified(binding, &names),
+                        rows: rel.rows,
+                    });
+                }
+                let table = self.engine.database().table(name)?;
+                self.engine.note_rows_scanned(table.rows.len() as u64);
+                Ok(Relation {
+                    schema: Schema::qualified(binding, &table.columns),
+                    rows: table.rows.clone(),
+                })
+            }
+            TableRef::Derived { query, alias } => {
+                let rel = self.execute_query(query, outer)?;
+                let names = rel.schema.names();
+                Ok(Relation {
+                    schema: Schema::qualified(alias, &names),
+                    rows: rel.rows,
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let l = self.execute_table_ref(left, outer)?;
+                let r = self.execute_table_ref(right, outer)?;
+                match kind {
+                    JoinKind::Cross => Ok(cross_product(&l, &r)),
+                    JoinKind::Inner | JoinKind::Left => {
+                        let mut conjuncts = Vec::new();
+                        if let Some(cond) = on {
+                            split_conjuncts(cond, &mut conjuncts);
+                        }
+                        let keys = equi_join_keys(&conjuncts, &l.schema, &r.schema);
+                        let residual: Vec<Expr> = conjuncts
+                            .into_iter()
+                            .filter(|c| {
+                                !keys.iter().any(|(lk, rk)| {
+                                    matches!(c, Expr::BinaryOp { left, op: BinaryOperator::Eq, right }
+                                        if (**left == *lk && **right == *rk)
+                                            || (**left == *rk && **right == *lk))
+                                })
+                            })
+                            .collect();
+                        if keys.is_empty() {
+                            self.nested_loop_join(&l, &r, &residual, *kind, outer)
+                        } else {
+                            let joined = self.hash_join_with_residual(
+                                &l, &r, &keys, &residual, *kind, outer,
+                            )?;
+                            Ok(joined)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn filter_relation(&self, rel: &Relation, pred: &Expr, outer: Option<&Env>) -> Result<Relation> {
+        let mut rows = Vec::with_capacity(rel.rows.len());
+        for row in &rel.rows {
+            let env = Env {
+                schema: &rel.schema,
+                row,
+                parent: outer,
+            };
+            if self.eval(pred, &env)?.as_bool().unwrap_or(false) {
+                rows.push(row.clone());
+            }
+        }
+        Ok(Relation {
+            schema: rel.schema.clone(),
+            rows,
+        })
+    }
+
+    fn hash_join(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        keys: &[(Expr, Expr)],
+        kind: JoinKind,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        self.hash_join_with_residual(left, right, keys, &[], kind, outer)
+    }
+
+    fn hash_join_with_residual(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        keys: &[(Expr, Expr)],
+        residual: &[Expr],
+        kind: JoinKind,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let schema = left.schema.concat(&right.schema);
+        // Build hash table on the right input.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, row) in right.rows.iter().enumerate() {
+            let env = Env {
+                schema: &right.schema,
+                row,
+                parent: outer,
+            };
+            let key = keys
+                .iter()
+                .map(|(_, r)| self.eval(r, &env))
+                .collect::<Result<Vec<_>>>()?;
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(i);
+        }
+        let right_width = right.schema.len();
+        let mut rows = Vec::new();
+        for lrow in &left.rows {
+            let lenv = Env {
+                schema: &left.schema,
+                row: lrow,
+                parent: outer,
+            };
+            let key = keys
+                .iter()
+                .map(|(l, _)| self.eval(l, &lenv))
+                .collect::<Result<Vec<_>>>()?;
+            let mut matched = false;
+            if !key.iter().any(Value::is_null) {
+                if let Some(candidates) = table.get(&key) {
+                    for &ri in candidates {
+                        let mut combined = lrow.clone();
+                        combined.extend(right.rows[ri].iter().cloned());
+                        if residual.is_empty() || {
+                            let env = Env {
+                                schema: &schema,
+                                row: &combined,
+                                parent: outer,
+                            };
+                            let mut ok = true;
+                            for r in residual {
+                                if !self.eval(r, &env)?.as_bool().unwrap_or(false) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            ok
+                        } {
+                            matched = true;
+                            rows.push(combined);
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat(Value::Null).take(right_width));
+                rows.push(combined);
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    fn nested_loop_join(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        conjuncts: &[Expr],
+        kind: JoinKind,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let schema = left.schema.concat(&right.schema);
+        let right_width = right.schema.len();
+        let mut rows = Vec::new();
+        for lrow in &left.rows {
+            let mut matched = false;
+            for rrow in &right.rows {
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                let env = Env {
+                    schema: &schema,
+                    row: &combined,
+                    parent: outer,
+                };
+                let mut ok = true;
+                for c in conjuncts {
+                    if !self.eval(c, &env)?.as_bool().unwrap_or(false) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    matched = true;
+                    rows.push(combined);
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat(Value::Null).take(right_width));
+                rows.push(combined);
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregates
+    // ------------------------------------------------------------------
+
+    fn eval_aggregate(
+        &self,
+        agg: &FunctionCall,
+        input: &Relation,
+        members: &[usize],
+        outer: Option<&Env>,
+    ) -> Result<Value> {
+        let name = agg.name.to_ascii_uppercase();
+        // COUNT(*) — no argument.
+        if agg.args.is_empty() {
+            if name != "COUNT" {
+                return err(format!("aggregate `{name}` requires an argument"));
+            }
+            return Ok(Value::Int(members.len() as i64));
+        }
+        let arg = &agg.args[0];
+        let mut values = Vec::with_capacity(members.len());
+        for &i in members {
+            let env = Env {
+                schema: &input.schema,
+                row: &input.rows[i],
+                parent: outer,
+            };
+            let v = self.eval(arg, &env)?;
+            if !v.is_null() {
+                values.push(v);
+            }
+        }
+        if agg.distinct {
+            let mut seen = std::collections::HashSet::new();
+            values.retain(|v| seen.insert(v.clone()));
+        }
+        match name.as_str() {
+            "COUNT" => Ok(Value::Int(values.len() as i64)),
+            "SUM" => {
+                if values.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let mut acc = Value::Int(0);
+                for v in &values {
+                    acc = acc.add(v)?;
+                }
+                Ok(acc)
+            }
+            "AVG" => {
+                if values.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let mut acc = 0.0;
+                for v in &values {
+                    acc += v.as_f64().ok_or_else(|| EngineError::new("AVG over non-numeric value"))?;
+                }
+                Ok(Value::Float(acc / values.len() as f64))
+            }
+            "MIN" => Ok(values
+                .into_iter()
+                .reduce(|a, b| {
+                    if b.compare(&a) == Some(Ordering::Less) {
+                        b
+                    } else {
+                        a
+                    }
+                })
+                .unwrap_or(Value::Null)),
+            "MAX" => Ok(values
+                .into_iter()
+                .reduce(|a, b| {
+                    if b.compare(&a) == Some(Ordering::Greater) {
+                        b
+                    } else {
+                        a
+                    }
+                })
+                .unwrap_or(Value::Null)),
+            other => err(format!("unsupported aggregate `{other}`")),
+        }
+    }
+
+    fn eval_in_group(&self, expr: &Expr, ctx: &GroupContext) -> Result<Value> {
+        // Group-by expressions evaluate to the group key.
+        for (i, g) in ctx.group_exprs.iter().enumerate() {
+            if g == expr {
+                return Ok(ctx.group_key[i].clone());
+            }
+        }
+        // Aggregates evaluate to their precomputed value.
+        if let Expr::Function(fc) = expr {
+            if fc.is_aggregate() {
+                for (i, a) in ctx.aggregates.iter().enumerate() {
+                    if a == fc {
+                        return Ok(ctx.agg_values[i].clone());
+                    }
+                }
+                return err(format!("aggregate `{}` was not precomputed", fc.name));
+            }
+        }
+        match expr {
+            Expr::Column(_) | Expr::Literal(_) => self.eval(expr, &ctx.env),
+            Expr::BinaryOp { left, op, right } => {
+                let l = self.eval_in_group(left, ctx)?;
+                let r = self.eval_in_group(right, ctx)?;
+                apply_binary(*op, l, r)
+            }
+            Expr::UnaryOp { op, expr: inner } => {
+                let v = self.eval_in_group(inner, ctx)?;
+                apply_unary(*op, v)
+            }
+            Expr::Case {
+                operand,
+                when_then,
+                else_expr,
+            } => {
+                let operand_val = operand
+                    .as_ref()
+                    .map(|o| self.eval_in_group(o, ctx))
+                    .transpose()?;
+                for (cond, out) in when_then {
+                    let hit = match &operand_val {
+                        Some(op_val) => {
+                            let c = self.eval_in_group(cond, ctx)?;
+                            op_val.sql_eq(&c).unwrap_or(false)
+                        }
+                        None => self
+                            .eval_in_group(cond, ctx)?
+                            .as_bool()
+                            .unwrap_or(false),
+                    };
+                    if hit {
+                        return self.eval_in_group(out, ctx);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.eval_in_group(e, ctx),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Function(fc) => {
+                let args = fc
+                    .args
+                    .iter()
+                    .map(|a| self.eval_in_group(a, ctx))
+                    .collect::<Result<Vec<_>>>()?;
+                self.call_scalar(&fc.name, &args)
+            }
+            // Everything else (sub-queries etc.) falls back to row-level
+            // evaluation against the group's representative row.
+            _ => self.eval(expr, &ctx.env),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar expression evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate an expression in an environment.
+    pub fn eval(&self, expr: &Expr, env: &Env) -> Result<Value> {
+        match expr {
+            Expr::Literal(l) => literal_value(l),
+            Expr::Column(c) => {
+                if env.resolves_locally(c) {
+                    Ok(env.row[env.schema.resolve(c).expect("checked")].clone())
+                } else if let Some(v) = env.lookup(c) {
+                    // Escaped to an outer row: this (sub-)query is correlated.
+                    self.correlation_witness.set(true);
+                    Ok(v)
+                } else {
+                    err(format!("unknown column `{}`", c.to_display()))
+                }
+            }
+            Expr::BinaryOp { left, op, right } => {
+                // Short-circuit AND/OR on the left operand.
+                match op {
+                    BinaryOperator::And => {
+                        let l = self.eval(left, env)?;
+                        if l.as_bool() == Some(false) {
+                            return Ok(Value::Bool(false));
+                        }
+                        let r = self.eval(right, env)?;
+                        return Ok(Value::Bool(
+                            l.as_bool().unwrap_or(false) && r.as_bool().unwrap_or(false),
+                        ));
+                    }
+                    BinaryOperator::Or => {
+                        let l = self.eval(left, env)?;
+                        if l.as_bool() == Some(true) {
+                            return Ok(Value::Bool(true));
+                        }
+                        let r = self.eval(right, env)?;
+                        return Ok(Value::Bool(
+                            l.as_bool().unwrap_or(false) || r.as_bool().unwrap_or(false),
+                        ));
+                    }
+                    _ => {}
+                }
+                let l = self.eval(left, env)?;
+                let r = self.eval(right, env)?;
+                apply_binary(*op, l, r)
+            }
+            Expr::UnaryOp { op, expr } => {
+                let v = self.eval(expr, env)?;
+                apply_unary(*op, v)
+            }
+            Expr::Function(fc) => {
+                if fc.is_aggregate() {
+                    return err(format!(
+                        "aggregate `{}` used outside of an aggregation context",
+                        fc.name
+                    ));
+                }
+                let args = fc
+                    .args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>>>()?;
+                self.call_scalar(&fc.name, &args)
+            }
+            Expr::Case {
+                operand,
+                when_then,
+                else_expr,
+            } => {
+                let operand_val = operand.as_ref().map(|o| self.eval(o, env)).transpose()?;
+                for (cond, out) in when_then {
+                    let hit = match &operand_val {
+                        Some(op_val) => {
+                            let c = self.eval(cond, env)?;
+                            op_val.sql_eq(&c).unwrap_or(false)
+                        }
+                        None => self.eval(cond, env)?.as_bool().unwrap_or(false),
+                    };
+                    if hit {
+                        return self.eval(out, env);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.eval(e, env),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, env)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = self.eval(expr, env)?;
+                if v.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let mut found = false;
+                for item in list {
+                    let iv = self.eval(item, env)?;
+                    if v.sql_eq(&iv) == Some(true) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = self.eval(expr, env)?;
+                let lo = self.eval(low, env)?;
+                let hi = self.eval(high, env)?;
+                let inside = matches!(v.compare(&lo), Some(Ordering::Greater | Ordering::Equal))
+                    && matches!(v.compare(&hi), Some(Ordering::Less | Ordering::Equal));
+                Ok(Value::Bool(inside != *negated))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = self.eval(expr, env)?;
+                let p = self.eval(pattern, env)?;
+                match (v.as_str(), p.as_str()) {
+                    (Some(text), Some(pat)) => Ok(Value::Bool(like_match(text, pat) != *negated)),
+                    _ => Ok(Value::Bool(false)),
+                }
+            }
+            Expr::Extract { field, expr } => {
+                let v = self.eval(expr, env)?;
+                match v {
+                    Value::Date(d) => {
+                        let (y, m, day) = civil_from_days(d);
+                        Ok(Value::Int(match field {
+                            DateField::Year => y as i64,
+                            DateField::Month => m as i64,
+                            DateField::Day => day as i64,
+                        }))
+                    }
+                    Value::Null => Ok(Value::Null),
+                    other => err(format!("EXTRACT from non-date value {other:?}")),
+                }
+            }
+            Expr::Substring {
+                expr,
+                start,
+                length,
+            } => {
+                let v = self.eval(expr, env)?;
+                let s = match v {
+                    Value::Str(s) => s,
+                    Value::Null => return Ok(Value::Null),
+                    other => other.to_string(),
+                };
+                let start = self.eval(start, env)?.as_i64().unwrap_or(1).max(1) as usize;
+                let chars: Vec<char> = s.chars().collect();
+                let from = (start - 1).min(chars.len());
+                let to = match length {
+                    Some(len) => {
+                        let l = self.eval(len, env)?.as_i64().unwrap_or(0).max(0) as usize;
+                        (from + l).min(chars.len())
+                    }
+                    None => chars.len(),
+                };
+                Ok(Value::Str(chars[from..to].iter().collect()))
+            }
+            Expr::Cast { expr, data_type } => {
+                let v = self.eval(expr, env)?;
+                cast_value(v, *data_type)
+            }
+            Expr::Exists { query, negated } => {
+                let rel = self.execute_subquery(query, env)?;
+                Ok(Value::Bool(!rel.rows.is_empty() != *negated))
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let v = self.eval(expr, env)?;
+                if v.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let rel = self.execute_subquery(query, env)?;
+                let mut found = false;
+                for row in &rel.rows {
+                    if let Some(candidate) = row.first() {
+                        if v.sql_eq(candidate) == Some(true) {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::ScalarSubquery(query) => {
+                let rel = self.execute_subquery(query, env)?;
+                match rel.rows.first() {
+                    Some(row) => Ok(row.first().cloned().unwrap_or(Value::Null)),
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    /// Evaluate a scalar (non-aggregate) function: engine built-ins first,
+    /// then registered UDFs.
+    fn call_scalar(&self, name: &str, args: &[Value]) -> Result<Value> {
+        match name.to_ascii_uppercase().as_str() {
+            "CONCAT" => {
+                let mut out = String::new();
+                for a in args {
+                    if a.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    out.push_str(&a.to_string());
+                }
+                Ok(Value::Str(out))
+            }
+            "CHAR_LENGTH" | "LENGTH" => match args.first() {
+                Some(Value::Str(s)) => Ok(Value::Int(s.chars().count() as i64)),
+                Some(Value::Null) | None => Ok(Value::Null),
+                Some(other) => Ok(Value::Int(other.to_string().chars().count() as i64)),
+            },
+            "COALESCE" => Ok(args
+                .iter()
+                .find(|a| !a.is_null())
+                .cloned()
+                .unwrap_or(Value::Null)),
+            "ABS" => match args.first() {
+                Some(Value::Int(i)) => Ok(Value::Int(i.abs())),
+                Some(Value::Float(f)) => Ok(Value::Float(f.abs())),
+                Some(Value::Null) | None => Ok(Value::Null),
+                Some(other) => err(format!("ABS of non-numeric {other:?}")),
+            },
+            _ => self.engine.udfs().call(name, args),
+        }
+    }
+
+    /// Execute a sub-query appearing inside an expression, caching the result
+    /// when it turned out to be uncorrelated.
+    fn execute_subquery(&self, query: &Query, env: &Env) -> Result<Rc<Relation>> {
+        let key = query.to_string();
+        if let Some(hit) = self.subquery_cache.borrow().get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        let saved = self.correlation_witness.replace(false);
+        let rel = Rc::new(self.execute_query(query, Some(env))?);
+        let correlated = self.correlation_witness.get();
+        self.correlation_witness.set(saved || correlated);
+        if !correlated {
+            self.subquery_cache
+                .borrow_mut()
+                .insert(key, Rc::clone(&rel));
+        }
+        Ok(rel)
+    }
+
+    fn project_row(&self, projection: &[SelectItem], env: &Env) -> Result<Row> {
+        let mut out = Vec::with_capacity(projection.len());
+        for item in projection {
+            match item {
+                SelectItem::Wildcard => out.extend(env.row.iter().cloned()),
+                SelectItem::QualifiedWildcard(q) => {
+                    for idx in env.schema.indices_of_qualifier(q) {
+                        out.push(env.row[idx].clone());
+                    }
+                }
+                SelectItem::Expr { expr, .. } => out.push(self.eval(expr, env)?),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Group-evaluation context: key values, precomputed aggregates and a
+/// representative row for functionally dependent columns.
+struct GroupContext<'a> {
+    group_exprs: &'a [Expr],
+    group_key: &'a [Value],
+    aggregates: &'a [FunctionCall],
+    agg_values: &'a [Value],
+    env: Env<'a>,
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+fn literal_value(l: &Literal) -> Result<Value> {
+    Ok(match l {
+        Literal::Null => Value::Null,
+        Literal::Boolean(b) => Value::Bool(*b),
+        Literal::Integer(i) => Value::Int(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::String(s) => Value::Str(s.clone()),
+        Literal::Date(d) => Value::Date(parse_date(d)?),
+        Literal::Interval { value, unit } => match unit {
+            // Intervals participate in date arithmetic; days become plain
+            // integers, months/years are applied via `add_months` below.
+            IntervalUnit::Day => Value::Int(*value),
+            IntervalUnit::Month => Value::Int(*value * 30),
+            IntervalUnit::Year => Value::Int(*value * 365),
+        },
+    })
+}
+
+/// Apply a binary operator to two values.
+pub fn apply_binary(op: BinaryOperator, l: Value, r: Value) -> Result<Value> {
+    use BinaryOperator::*;
+    match op {
+        Plus => add_with_calendar(l, r),
+        Minus => sub_with_calendar(l, r),
+        Multiply => l.mul(&r),
+        Divide => l.div(&r),
+        Modulo => l.modulo(&r),
+        Concat => match (l, r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => Ok(Value::Str(format!("{a}{b}"))),
+        },
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let cmp = l.compare(&r);
+            let result = match cmp {
+                None => return Ok(Value::Bool(false)),
+                Some(ordering) => match op {
+                    Eq => ordering == Ordering::Equal,
+                    NotEq => ordering != Ordering::Equal,
+                    Lt => ordering == Ordering::Less,
+                    LtEq => ordering != Ordering::Greater,
+                    Gt => ordering == Ordering::Greater,
+                    GtEq => ordering != Ordering::Less,
+                    _ => unreachable!(),
+                },
+            };
+            Ok(Value::Bool(result))
+        }
+        And | Or => {
+            let lb = l.as_bool().unwrap_or(false);
+            let rb = r.as_bool().unwrap_or(false);
+            Ok(Value::Bool(if op == And { lb && rb } else { lb || rb }))
+        }
+    }
+}
+
+/// Date-aware addition: adding an interval expressed in months/years uses
+/// calendar arithmetic. Intervals reach us as integer day counts (see
+/// [`literal_value`]), so month/year intervals are recognised by multiples of
+/// 30/365 only when added to dates; this matches how the TPC-H queries use
+/// them (`+ INTERVAL '1' YEAR`, `+ INTERVAL '3' MONTH`).
+fn add_with_calendar(l: Value, r: Value) -> Result<Value> {
+    match (&l, &r) {
+        (Value::Date(d), Value::Int(n)) => Ok(Value::Date(interval_shift(*d, *n))),
+        (Value::Int(n), Value::Date(d)) => Ok(Value::Date(interval_shift(*d, *n))),
+        _ => l.add(&r),
+    }
+}
+
+fn sub_with_calendar(l: Value, r: Value) -> Result<Value> {
+    match (&l, &r) {
+        (Value::Date(d), Value::Int(n)) => Ok(Value::Date(interval_shift(*d, -*n))),
+        _ => l.sub(&r),
+    }
+}
+
+/// Shift a date by an interval encoded as days; multiples of 365/30 are
+/// treated as calendar years/months so that month-end boundaries stay exact.
+fn interval_shift(date: i32, encoded_days: i64) -> i32 {
+    let negative = encoded_days < 0;
+    let abs = encoded_days.unsigned_abs() as i32;
+    let shifted = if abs != 0 && abs % 365 == 0 {
+        add_months(date, (abs / 365) * 12 * if negative { -1 } else { 1 })
+    } else if abs != 0 && abs % 30 == 0 {
+        add_months(date, (abs / 30) * if negative { -1 } else { 1 })
+    } else {
+        date + if negative { -abs } else { abs }
+    };
+    shifted
+}
+
+fn apply_unary(op: UnaryOperator, v: Value) -> Result<Value> {
+    match op {
+        UnaryOperator::Not => match v.as_bool() {
+            Some(b) => Ok(Value::Bool(!b)),
+            None => Ok(Value::Bool(false)),
+        },
+        UnaryOperator::Minus => v.neg(),
+        UnaryOperator::Plus => Ok(v),
+    }
+}
+
+fn cast_value(v: Value, ty: DataType) -> Result<Value> {
+    match ty {
+        DataType::Integer | DataType::BigInt => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Str(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| EngineError::new(format!("cannot cast '{s}' to integer"))),
+            other => Ok(Value::Int(other.as_i64().unwrap_or(0))),
+        },
+        DataType::Double | DataType::Decimal(_, _) => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| EngineError::new(format!("cannot cast '{s}' to double"))),
+            other => Ok(Value::Float(other.as_f64().unwrap_or(0.0))),
+        },
+        DataType::Varchar(_) | DataType::Char(_) => Ok(match v {
+            Value::Null => Value::Null,
+            other => Value::Str(other.to_string()),
+        }),
+        DataType::Date => match v {
+            Value::Date(_) | Value::Null => Ok(v),
+            Value::Str(s) => Value::date_from_str(&s),
+            other => err(format!("cannot cast {other:?} to date")),
+        },
+        DataType::Boolean => Ok(match v.as_bool() {
+            Some(b) => Value::Bool(b),
+            None => Value::Null,
+        }),
+    }
+}
+
+/// SQL LIKE pattern matching with `%` and `_` wildcards.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        if p.is_empty() {
+            return t.is_empty();
+        }
+        match p[0] {
+            '%' => {
+                // Try consuming 0..=len characters.
+                (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
+            }
+            '_' => !t.is_empty() && rec(&t[1..], &p[1..]),
+            c => !t.is_empty() && t[0] == c && rec(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+/// Break a predicate into its top-level AND conjuncts.
+pub fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::BinaryOp {
+            left,
+            op: BinaryOperator::And,
+            right,
+        } => {
+            split_conjuncts(left, out);
+            split_conjuncts(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Does this expression contain a sub-query anywhere?
+pub fn contains_subquery(expr: &Expr) -> bool {
+    match expr {
+        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,
+        Expr::BinaryOp { left, right, .. } => contains_subquery(left) || contains_subquery(right),
+        Expr::UnaryOp { expr, .. } => contains_subquery(expr),
+        Expr::Function(f) => f.args.iter().any(contains_subquery),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            operand.as_deref().is_some_and(contains_subquery)
+                || when_then
+                    .iter()
+                    .any(|(w, t)| contains_subquery(w) || contains_subquery(t))
+                || else_expr.as_deref().is_some_and(contains_subquery)
+        }
+        Expr::InList { expr, list, .. } => {
+            contains_subquery(expr) || list.iter().any(contains_subquery)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_subquery(expr) || contains_subquery(low) || contains_subquery(high),
+        Expr::Like { expr, pattern, .. } => contains_subquery(expr) || contains_subquery(pattern),
+        Expr::IsNull { expr, .. } => contains_subquery(expr),
+        Expr::Extract { expr, .. } => contains_subquery(expr),
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            contains_subquery(expr)
+                || contains_subquery(start)
+                || length.as_deref().is_some_and(contains_subquery)
+        }
+        Expr::Cast { expr, .. } => contains_subquery(expr),
+        Expr::Column(_) | Expr::Literal(_) => false,
+    }
+}
+
+/// Collect every column reference in an expression.
+pub fn collect_columns(expr: &Expr, out: &mut Vec<ColumnRef>) {
+    match expr {
+        Expr::Column(c) => out.push(c.clone()),
+        Expr::Literal(_) => {}
+        Expr::BinaryOp { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::UnaryOp { expr, .. } => collect_columns(expr, out),
+        Expr::Function(f) => f.args.iter().for_each(|a| collect_columns(a, out)),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_columns(o, out);
+            }
+            for (w, t) in when_then {
+                collect_columns(w, out);
+                collect_columns(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_columns(e, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_columns(expr, out);
+            list.iter().for_each(|i| collect_columns(i, out));
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_columns(expr, out);
+            collect_columns(low, out);
+            collect_columns(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_columns(expr, out);
+            collect_columns(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_columns(expr, out),
+        Expr::Extract { expr, .. } => collect_columns(expr, out),
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            collect_columns(expr, out);
+            collect_columns(start, out);
+            if let Some(l) = length {
+                collect_columns(l, out);
+            }
+        }
+        Expr::Cast { expr, .. } => collect_columns(expr, out),
+        // Sub-queries keep their own scope; their inner columns do not count
+        // towards the enclosing expression's requirements.
+        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {
+            if let Expr::InSubquery { expr, .. } = expr {
+                collect_columns(expr, out);
+            }
+        }
+    }
+}
+
+/// `true` when every column referenced by `expr` resolves in `schema`.
+fn expr_resolvable(expr: &Expr, schema: &Schema) -> bool {
+    let mut cols = Vec::new();
+    collect_columns(expr, &mut cols);
+    cols.iter().all(|c| schema.resolve(c).is_some())
+}
+
+/// Find equi-join keys between two schemas among the conjuncts: conjuncts of
+/// the form `lhs = rhs` where one side resolves fully in `left` and the other
+/// fully in `right`. Returns pairs `(left key expr, right key expr)`.
+fn equi_join_keys(conjuncts: &[Expr], left: &Schema, right: &Schema) -> Vec<(Expr, Expr)> {
+    let mut keys = Vec::new();
+    for c in conjuncts {
+        if let Expr::BinaryOp {
+            left: l,
+            op: BinaryOperator::Eq,
+            right: r,
+        } = c
+        {
+            if contains_subquery(c) {
+                continue;
+            }
+            let l_in_left = expr_resolvable(l, left) && has_columns(l);
+            let l_in_right = expr_resolvable(l, right) && has_columns(l);
+            let r_in_left = expr_resolvable(r, left) && has_columns(r);
+            let r_in_right = expr_resolvable(r, right) && has_columns(r);
+            if l_in_left && r_in_right && !l_in_right {
+                keys.push(((**l).clone(), (**r).clone()));
+            } else if r_in_left && l_in_right && !r_in_right {
+                keys.push(((**r).clone(), (**l).clone()));
+            }
+        }
+    }
+    keys
+}
+
+fn has_columns(expr: &Expr) -> bool {
+    let mut cols = Vec::new();
+    collect_columns(expr, &mut cols);
+    !cols.is_empty()
+}
+
+fn cross_product(left: &Relation, right: &Relation) -> Relation {
+    let schema = left.schema.concat(&right.schema);
+    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
+    for l in &left.rows {
+        for r in &right.rows {
+            let mut combined = l.clone();
+            combined.extend(r.iter().cloned());
+            rows.push(combined);
+        }
+    }
+    Relation { schema, rows }
+}
+
+/// Collect the distinct aggregate calls appearing in the projection, HAVING
+/// and ORDER BY of a select.
+fn collect_aggregates(select: &Select, order_by: &[OrderByItem]) -> Vec<FunctionCall> {
+    let mut out: Vec<FunctionCall> = Vec::new();
+    let aliases = alias_map(&select.projection);
+    let mut visit = |expr: &Expr| {
+        collect_aggregate_calls(expr, &mut out);
+    };
+    for item in &select.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            visit(expr);
+        }
+    }
+    if let Some(h) = &select.having {
+        visit(&substitute_aliases(h, &aliases));
+    }
+    for o in order_by {
+        visit(&substitute_aliases(&o.expr, &aliases));
+    }
+    out
+}
+
+fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
+    match expr {
+        Expr::Function(f) if f.is_aggregate() => {
+            if !out.contains(f) {
+                out.push(f.clone());
+            }
+        }
+        Expr::Function(f) => f.args.iter().for_each(|a| collect_aggregate_calls(a, out)),
+        Expr::BinaryOp { left, right, .. } => {
+            collect_aggregate_calls(left, out);
+            collect_aggregate_calls(right, out);
+        }
+        Expr::UnaryOp { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_aggregate_calls(o, out);
+            }
+            for (w, t) in when_then {
+                collect_aggregate_calls(w, out);
+                collect_aggregate_calls(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_aggregate_calls(e, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregate_calls(expr, out);
+            list.iter().for_each(|i| collect_aggregate_calls(i, out));
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(low, out);
+            collect_aggregate_calls(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Extract { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(start, out);
+            if let Some(l) = length {
+                collect_aggregate_calls(l, out);
+            }
+        }
+        Expr::Cast { expr, .. } => collect_aggregate_calls(expr, out),
+        // Aggregates inside sub-queries belong to the sub-query.
+        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {}
+        Expr::Column(_) | Expr::Literal(_) => {}
+    }
+}
+
+/// Map projection aliases to their expressions.
+fn alias_map(projection: &[SelectItem]) -> HashMap<String, Expr> {
+    let mut map = HashMap::new();
+    for item in projection {
+        if let SelectItem::Expr {
+            expr,
+            alias: Some(alias),
+        } = item
+        {
+            map.insert(alias.to_ascii_lowercase(), expr.clone());
+        }
+    }
+    map
+}
+
+/// Replace unqualified column references that name a projection alias with the
+/// aliased expression (SQL allows aliases in GROUP BY / ORDER BY).
+fn substitute_aliases(expr: &Expr, aliases: &HashMap<String, Expr>) -> Expr {
+    match expr {
+        Expr::Column(c) if c.table.is_none() => {
+            match aliases.get(&c.name.to_ascii_lowercase()) {
+                Some(e) => e.clone(),
+                None => expr.clone(),
+            }
+        }
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(substitute_aliases(left, aliases)),
+            op: *op,
+            right: Box::new(substitute_aliases(right, aliases)),
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(substitute_aliases(expr, aliases)),
+        },
+        Expr::Function(f) => Expr::Function(FunctionCall {
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| substitute_aliases(a, aliases))
+                .collect(),
+            distinct: f.distinct,
+        }),
+        other => other.clone(),
+    }
+}
+
+/// Schema of the projection output: alias, column name or a synthesized name.
+fn projection_schema(projection: &[SelectItem], input: &Schema) -> Result<Schema> {
+    let mut names = Vec::new();
+    for item in projection {
+        match item {
+            SelectItem::Wildcard => names.extend(input.cols.iter().map(|c| c.name.clone())),
+            SelectItem::QualifiedWildcard(q) => {
+                for idx in input.indices_of_qualifier(q) {
+                    names.push(input.cols[idx].name.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => names.push(match alias {
+                Some(a) => a.clone(),
+                None => derived_name(expr),
+            }),
+        }
+    }
+    Ok(Schema::unqualified(&names))
+}
+
+fn derived_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Column(c) => c.name.clone(),
+        Expr::Function(f) => f.name.to_ascii_lowercase(),
+        _ => "?column?".to_string(),
+    }
+}
+
+fn sort_by_keys(rows: &mut [(Row, Vec<Value>)], order_by: &[OrderByItem]) {
+    if order_by.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| {
+        for (i, item) in order_by.iter().enumerate() {
+            let cmp = a.1[i].compare(&b.1[i]).unwrap_or(Ordering::Equal);
+            let cmp = if item.asc { cmp } else { cmp.reverse() };
+            if cmp != Ordering::Equal {
+                return cmp;
+            }
+        }
+        Ordering::Equal
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("ECONOMY ANODIZED STEEL", "%ANODIZED%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", "abcd"));
+        assert!(like_match("special%case", "special%case"));
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = mtsql::parse_expression("a = 1 AND b = 2 AND (c = 3 OR d = 4)").unwrap();
+        let mut out = Vec::new();
+        split_conjuncts(&e, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn subquery_detection() {
+        let e = mtsql::parse_expression("a = 1 AND EXISTS (SELECT 1 FROM t)").unwrap();
+        assert!(contains_subquery(&e));
+        let e = mtsql::parse_expression("a = 1 AND b < 3").unwrap();
+        assert!(!contains_subquery(&e));
+    }
+
+    #[test]
+    fn alias_substitution() {
+        let aliases: HashMap<String, Expr> = [(
+            "revenue".to_string(),
+            mtsql::parse_expression("SUM(l_extendedprice)").unwrap(),
+        )]
+        .into_iter()
+        .collect();
+        let e = mtsql::parse_expression("revenue").unwrap();
+        let s = substitute_aliases(&e, &aliases);
+        assert!(matches!(s, Expr::Function(_)));
+    }
+
+    #[test]
+    fn interval_shift_years_and_months() {
+        let base = parse_date("1995-01-31").unwrap();
+        // one calendar month
+        assert_eq!(interval_shift(base, 30), parse_date("1995-02-28").unwrap());
+        // one calendar year
+        assert_eq!(interval_shift(base, 365), parse_date("1996-01-31").unwrap());
+        // plain days
+        assert_eq!(interval_shift(base, 7), base + 7);
+    }
+
+    #[test]
+    fn binary_comparison_with_null_is_false() {
+        let v = apply_binary(BinaryOperator::Eq, Value::Null, Value::Int(1)).unwrap();
+        assert_eq!(v, Value::Bool(false));
+    }
+}

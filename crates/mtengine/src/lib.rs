@@ -1,0 +1,759 @@
+//! `mtengine` — the in-memory relational SQL engine MTBase executes rewritten
+//! queries against.
+//!
+//! The paper runs MTBase on top of PostgreSQL and a commercial DBMS
+//! ("System C"); this crate is the substitute substrate: a from-scratch SQL
+//! executor with the two properties the evaluation depends on:
+//!
+//! 1. realistic per-call cost for scalar UDFs (conversion functions), and
+//! 2. optional caching of immutable UDF results — enabled it behaves like
+//!    PostgreSQL, disabled it behaves like System C.
+//!
+//! # Example
+//!
+//! ```
+//! use mtengine::{Engine, EngineConfig, Value};
+//!
+//! let mut engine = Engine::new(EngineConfig::default());
+//! engine.create_table("t", &["a", "b"]);
+//! engine
+//!     .insert_values("t", vec![vec![Value::Int(1), Value::str("x")],
+//!                              vec![Value::Int(2), Value::str("y")]])
+//!     .unwrap();
+//! let rs = engine.query("SELECT a FROM t WHERE b = 'y'").unwrap();
+//! assert_eq!(rs.rows, vec![vec![Value::Int(2)]]);
+//! ```
+
+pub mod error;
+pub mod exec;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod udf;
+pub mod value;
+
+use std::sync::Arc;
+
+use mtsql::ast::{InsertSource, Query, Statement};
+
+use crate::exec::{Env, Executor, Relation};
+use crate::schema::Schema;
+use crate::stats::{EngineCounters, StatsSnapshot};
+use crate::table::{Database, Row, Table};
+use crate::udf::{UdfImpl, UdfRegistry};
+
+pub use crate::error::{EngineError, Result};
+pub use crate::value::Value;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Cache results of `IMMUTABLE` UDFs keyed by their arguments
+    /// (PostgreSQL-like). Disable to model "System C".
+    pub cache_immutable_udfs: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_immutable_udfs: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The PostgreSQL-like configuration used in Tables 3–5 / Figure 5.
+    pub fn postgres_like() -> Self {
+        EngineConfig {
+            cache_immutable_udfs: true,
+        }
+    }
+
+    /// The "System C"-like configuration used in Tables 7–9 / Figure 6.
+    pub fn system_c_like() -> Self {
+        EngineConfig {
+            cache_immutable_udfs: false,
+        }
+    }
+}
+
+/// The result of a query: column names plus materialized rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    fn from_relation(rel: Relation) -> Self {
+        ResultSet {
+            columns: rel.schema.names(),
+            rows: rel.rows,
+        }
+    }
+
+    /// Single scalar convenience accessor (first column of first row).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// The in-memory database engine.
+pub struct Engine {
+    db: Database,
+    udfs: UdfRegistry,
+    counters: EngineCounters,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            db: Database::new(),
+            udfs: UdfRegistry::new(config.cache_immutable_udfs),
+            counters: EngineCounters::new(),
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Borrow the underlying database (used by the executor).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Borrow the UDF registry.
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// Register a native scalar UDF.
+    pub fn register_udf(&mut self, name: &str, immutable: bool, implementation: UdfImpl) {
+        self.udfs.register(name, immutable, implementation);
+    }
+
+    /// Register a UDF from a plain closure.
+    pub fn register_udf_fn<F>(&mut self, name: &str, immutable: bool, f: F)
+    where
+        F: Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.register_udf(name, immutable, Arc::new(f));
+    }
+
+    /// Create (or replace) a table with the given column names.
+    pub fn create_table(&mut self, name: &str, columns: &[&str]) {
+        self.db
+            .create_table(name, columns.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Create (or replace) a table with owned column names.
+    pub fn create_table_owned(&mut self, name: &str, columns: Vec<String>) {
+        self.db.create_table(name, columns);
+    }
+
+    /// Bulk-insert pre-built rows.
+    pub fn insert_values(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        let t = self.db.table_mut(table)?;
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Note scanned rows (called by the executor).
+    pub(crate) fn note_rows_scanned(&self, n: u64) {
+        self.counters.add_rows_scanned(n);
+    }
+
+    /// Snapshot the execution statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        let udf = self.udfs.stats();
+        StatsSnapshot {
+            rows_scanned: self.counters.rows_scanned(),
+            udf_calls: udf.calls,
+            udf_cache_hits: udf.cache_hits,
+        }
+    }
+
+    /// Reset statistics and UDF caches (between measured runs).
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+        self.udfs.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    /// Parse and execute a single SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet> {
+        let stmt = mtsql::parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Parse and execute a read-only query.
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        let query = mtsql::parse_query(sql)?;
+        self.execute_query(&query)
+    }
+
+    /// Execute a parsed query.
+    pub fn execute_query(&self, query: &Query) -> Result<ResultSet> {
+        let executor = Executor::new(self);
+        let rel = executor.execute_query(query, None)?;
+        Ok(ResultSet::from_relation(rel))
+    }
+
+    /// Execute a parsed statement (queries, DDL and DML).
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ResultSet> {
+        match stmt {
+            Statement::Select(q) => self.execute_query(q),
+            Statement::CreateTable(ct) => {
+                let columns: Vec<String> = ct.columns.iter().map(|c| c.name.clone()).collect();
+                self.db.create_table(&ct.name, columns);
+                Ok(ResultSet::default())
+            }
+            Statement::CreateView(cv) => {
+                self.db.create_view(&cv.name, cv.query.clone());
+                Ok(ResultSet::default())
+            }
+            Statement::CreateFunction(cf) => {
+                // SQL-bodied conversion functions are registered natively by
+                // the middleware; accepting the DDL keeps scripts portable.
+                if !self.udfs.contains(&cf.name) {
+                    return Err(EngineError::new(format!(
+                        "function `{}` has no native implementation registered",
+                        cf.name
+                    )));
+                }
+                Ok(ResultSet::default())
+            }
+            Statement::DropTable { name, if_exists } => {
+                let existed = self.db.drop_table(name);
+                if !existed && !if_exists {
+                    return Err(EngineError::new(format!("no such table `{name}`")));
+                }
+                Ok(ResultSet::default())
+            }
+            Statement::DropView { name, if_exists } => {
+                let existed = self.db.drop_view(name);
+                if !existed && !if_exists {
+                    return Err(EngineError::new(format!("no such view `{name}`")));
+                }
+                Ok(ResultSet::default())
+            }
+            Statement::Insert(insert) => {
+                let rows = self.build_insert_rows(insert)?;
+                let table = self.db.table_mut(&insert.table)?;
+                let mut count = 0i64;
+                for row in rows {
+                    table.push_row(row)?;
+                    count += 1;
+                }
+                Ok(ResultSet {
+                    columns: vec!["rows_inserted".to_string()],
+                    rows: vec![vec![Value::Int(count)]],
+                })
+            }
+            Statement::Update(update) => {
+                let (schema, assignments, selection) = {
+                    let table = self.db.table(&update.table)?;
+                    (
+                        Schema::qualified(&table.name, &table.columns),
+                        update.assignments.clone(),
+                        update.selection.clone(),
+                    )
+                };
+                // Evaluate per-row updates against a snapshot executor.
+                let mut new_rows = Vec::new();
+                {
+                    let executor = Executor::new(self);
+                    let table = self.db.table(&update.table)?;
+                    for row in &table.rows {
+                        let env = Env {
+                            schema: &schema,
+                            row,
+                            parent: None,
+                        };
+                        let matches = match &selection {
+                            Some(pred) => executor.eval(pred, &env)?.as_bool().unwrap_or(false),
+                            None => true,
+                        };
+                        let mut new_row = row.clone();
+                        if matches {
+                            for (col, expr) in &assignments {
+                                let idx = table.column_index(col).ok_or_else(|| {
+                                    EngineError::new(format!(
+                                        "no column `{col}` in `{}`",
+                                        update.table
+                                    ))
+                                })?;
+                                new_row[idx] = executor.eval(expr, &env)?;
+                            }
+                        }
+                        new_rows.push((matches, new_row));
+                    }
+                }
+                let changed = new_rows.iter().filter(|(m, _)| *m).count() as i64;
+                let table = self.db.table_mut(&update.table)?;
+                table.rows = new_rows.into_iter().map(|(_, r)| r).collect();
+                Ok(ResultSet {
+                    columns: vec!["rows_updated".to_string()],
+                    rows: vec![vec![Value::Int(changed)]],
+                })
+            }
+            Statement::Delete(delete) => {
+                let (schema, selection) = {
+                    let table = self.db.table(&delete.table)?;
+                    (
+                        Schema::qualified(&table.name, &table.columns),
+                        delete.selection.clone(),
+                    )
+                };
+                let mut keep = Vec::new();
+                let mut removed = 0i64;
+                {
+                    let executor = Executor::new(self);
+                    let table = self.db.table(&delete.table)?;
+                    for row in &table.rows {
+                        let env = Env {
+                            schema: &schema,
+                            row,
+                            parent: None,
+                        };
+                        let matches = match &selection {
+                            Some(pred) => executor.eval(pred, &env)?.as_bool().unwrap_or(false),
+                            None => true,
+                        };
+                        if matches {
+                            removed += 1;
+                        } else {
+                            keep.push(row.clone());
+                        }
+                    }
+                }
+                let table = self.db.table_mut(&delete.table)?;
+                table.rows = keep;
+                Ok(ResultSet {
+                    columns: vec!["rows_deleted".to_string()],
+                    rows: vec![vec![Value::Int(removed)]],
+                })
+            }
+            Statement::Grant(_) | Statement::Revoke(_) | Statement::SetScope(_) => {
+                Err(EngineError::new(
+                    "DCL and SCOPE statements are handled by the MTBase middleware, not the engine",
+                ))
+            }
+        }
+    }
+
+    fn build_insert_rows(&self, insert: &mtsql::ast::Insert) -> Result<Vec<Row>> {
+        let table = self.db.table(&insert.table)?;
+        let target_columns: Vec<String> = if insert.columns.is_empty() {
+            table.columns.clone()
+        } else {
+            insert.columns.clone()
+        };
+        let column_indices: Vec<usize> = target_columns
+            .iter()
+            .map(|c| {
+                table.column_index(c).ok_or_else(|| {
+                    EngineError::new(format!("no column `{c}` in `{}`", insert.table))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        let executor = Executor::new(self);
+        let source_rows: Vec<Row> = match &insert.source {
+            InsertSource::Values(rows) => {
+                let empty_schema = Schema::new();
+                let empty_row: Row = Vec::new();
+                let env = Env {
+                    schema: &empty_schema,
+                    row: &empty_row,
+                    parent: None,
+                };
+                rows.iter()
+                    .map(|exprs| {
+                        exprs
+                            .iter()
+                            .map(|e| executor.eval(e, &env))
+                            .collect::<Result<Row>>()
+                    })
+                    .collect::<Result<Vec<_>>>()?
+            }
+            InsertSource::Query(q) => executor.execute_query(q, None)?.rows,
+        };
+
+        let width = table.columns.len();
+        let mut out = Vec::with_capacity(source_rows.len());
+        for src in source_rows {
+            if src.len() != column_indices.len() {
+                return Err(EngineError::new(format!(
+                    "INSERT provides {} values for {} columns",
+                    src.len(),
+                    column_indices.len()
+                )));
+            }
+            let mut row = vec![Value::Null; width];
+            for (value, &idx) in src.into_iter().zip(&column_indices) {
+                row[idx] = value;
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Load a pre-built table wholesale (used by the MT-H generator).
+    pub fn load_table(&mut self, table: Table) {
+        self.db.insert_table(table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_engine() -> Engine {
+        let mut e = Engine::new(EngineConfig::default());
+        e.create_table(
+            "Employees",
+            &["ttid", "E_emp_id", "E_name", "E_role_id", "E_reg_id", "E_salary", "E_age"],
+        );
+        e.create_table("Roles", &["ttid", "R_role_id", "R_name"]);
+        e.create_table("Regions", &["Re_reg_id", "Re_name"]);
+        // Figure 2 of the paper.
+        let emp = vec![
+            (0, 0, "Patrick", 1, 3, 50_000.0, 30),
+            (0, 1, "John", 0, 3, 70_000.0, 28),
+            (0, 2, "Alice", 2, 3, 150_000.0, 46),
+            (1, 0, "Allan", 1, 2, 80_000.0, 25),
+            (1, 1, "Nancy", 2, 4, 200_000.0, 72),
+            (1, 2, "Ed", 0, 4, 1_000_000.0, 46),
+        ];
+        e.insert_values(
+            "Employees",
+            emp.into_iter()
+                .map(|(t, id, n, r, reg, sal, age)| {
+                    vec![
+                        Value::Int(t),
+                        Value::Int(id),
+                        Value::str(n),
+                        Value::Int(r),
+                        Value::Int(reg),
+                        Value::Float(sal),
+                        Value::Int(age),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let roles = vec![
+            (0, 0, "phD stud."),
+            (0, 1, "postdoc"),
+            (0, 2, "professor"),
+            (1, 0, "intern"),
+            (1, 1, "researcher"),
+            (1, 2, "executive"),
+        ];
+        e.insert_values(
+            "Roles",
+            roles
+                .into_iter()
+                .map(|(t, id, n)| vec![Value::Int(t), Value::Int(id), Value::str(n)])
+                .collect(),
+        )
+        .unwrap();
+        let regions = vec![
+            (0, "AFRICA"),
+            (1, "ASIA"),
+            (2, "AUSTRALIA"),
+            (3, "EUROPE"),
+            (4, "N-AMERICA"),
+            (5, "S-AMERICA"),
+        ];
+        e.insert_values(
+            "Regions",
+            regions
+                .into_iter()
+                .map(|(id, n)| vec![Value::Int(id), Value::str(n)])
+                .collect(),
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn simple_filter_and_projection() {
+        let e = sample_engine();
+        let rs = e
+            .query("SELECT E_name FROM Employees WHERE E_age > 40 ORDER BY E_name")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["E_name"]);
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::str("Alice")],
+                vec![Value::str("Ed")],
+                vec![Value::str("Nancy")]
+            ]
+        );
+    }
+
+    #[test]
+    fn join_with_ttid_predicate() {
+        let e = sample_engine();
+        // Joining on role id *and* ttid gives the semantically correct pairs.
+        let rs = e
+            .query(
+                "SELECT E_name, R_name FROM Employees, Roles \
+                 WHERE E_role_id = R_role_id AND Employees.ttid = Roles.ttid \
+                 ORDER BY E_name",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 6);
+        // Patrick (tenant 0, role 1) must be a postdoc, not a researcher.
+        let patrick = rs
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::str("Patrick"))
+            .unwrap();
+        assert_eq!(patrick[1], Value::str("postdoc"));
+    }
+
+    #[test]
+    fn join_without_ttid_mixes_tenants() {
+        let e = sample_engine();
+        // Without the ttid predicate the "nonsense" pairs of the paper appear.
+        let rs = e
+            .query(
+                "SELECT E_name, R_name FROM Employees, Roles \
+                 WHERE E_role_id = R_role_id AND E_name = 'Patrick'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2); // postdoc (tenant 0) and researcher (tenant 1)
+    }
+
+    #[test]
+    fn aggregation_with_group_by_and_having() {
+        let e = sample_engine();
+        let rs = e
+            .query(
+                "SELECT ttid, COUNT(*) AS cnt, AVG(E_age) AS avg_age FROM Employees \
+                 GROUP BY ttid HAVING COUNT(*) > 1 ORDER BY ttid",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert_eq!(rs.rows[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let e = sample_engine();
+        let rs = e.query("SELECT COUNT(*), MIN(E_age), MAX(E_age) FROM Employees").unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(6), Value::Int(25), Value::Int(72)]]);
+    }
+
+    #[test]
+    fn count_on_empty_input_is_zero() {
+        let e = sample_engine();
+        let rs = e
+            .query("SELECT COUNT(*) FROM Employees WHERE E_age > 1000")
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn subqueries_in_from_and_where() {
+        let e = sample_engine();
+        let rs = e
+            .query(
+                "SELECT x.E_name FROM (SELECT E_name, E_salary FROM Employees WHERE E_age >= 45) AS x \
+                 WHERE x.E_salary > (SELECT AVG(E_salary) FROM Employees) ORDER BY x.E_name",
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::str("Ed")]]);
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let e = sample_engine();
+        // Employees that have a colleague of the same tenant who is older.
+        let rs = e
+            .query(
+                "SELECT E1.E_name FROM Employees E1 WHERE EXISTS (\
+                   SELECT 1 FROM Employees E2 WHERE E2.ttid = E1.ttid AND E2.E_age > E1.E_age) \
+                 ORDER BY E1.E_name",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 4);
+    }
+
+    #[test]
+    fn in_subquery_and_distinct() {
+        let e = sample_engine();
+        let rs = e
+            .query(
+                "SELECT DISTINCT Re_name FROM Regions WHERE Re_reg_id IN \
+                 (SELECT E_reg_id FROM Employees) ORDER BY Re_name",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::str("AUSTRALIA")],
+                vec![Value::str("EUROPE")],
+                vec![Value::str("N-AMERICA")]
+            ]
+        );
+    }
+
+    #[test]
+    fn left_join_produces_nulls() {
+        let mut e = sample_engine();
+        e.create_table("Bonus", &["B_emp_id", "B_amount"]);
+        e.insert_values("Bonus", vec![vec![Value::Int(0), Value::Float(100.0)]])
+            .unwrap();
+        let rs = e
+            .query(
+                "SELECT E_name, B_amount FROM Employees LEFT OUTER JOIN Bonus \
+                 ON E_emp_id = B_emp_id WHERE ttid = 0 ORDER BY E_name",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        let john = rs.rows.iter().find(|r| r[0] == Value::str("John")).unwrap();
+        assert!(john[1].is_null());
+    }
+
+    #[test]
+    fn case_expression_and_arithmetic() {
+        let e = sample_engine();
+        let rs = e
+            .query(
+                "SELECT SUM(CASE WHEN E_age >= 45 THEN 1 ELSE 0 END) AS seniors FROM Employees",
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn udf_calls_and_caching_stats() {
+        let mut e = sample_engine();
+        e.register_udf_fn("double_it", true, |args| args[0].mul(&Value::Int(2)));
+        let rs = e
+            .query("SELECT double_it(E_age) FROM Employees WHERE ttid = 0 ORDER BY E_age")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(56));
+        let stats = e.stats();
+        assert_eq!(stats.udf_calls + stats.udf_cache_hits, 3);
+    }
+
+    #[test]
+    fn insert_update_delete_roundtrip() {
+        let mut e = sample_engine();
+        e.execute("INSERT INTO Regions (Re_reg_id, Re_name) VALUES (6, 'ANTARCTICA')")
+            .unwrap();
+        assert_eq!(
+            e.query("SELECT COUNT(*) FROM Regions").unwrap().rows[0][0],
+            Value::Int(7)
+        );
+        let rs = e
+            .execute("UPDATE Regions SET Re_name = 'ICE' WHERE Re_reg_id = 6")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+        let rs = e.execute("DELETE FROM Regions WHERE Re_reg_id = 6").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+        assert_eq!(
+            e.query("SELECT COUNT(*) FROM Regions").unwrap().rows[0][0],
+            Value::Int(6)
+        );
+    }
+
+    #[test]
+    fn insert_from_query() {
+        let mut e = sample_engine();
+        e.create_table("Names", &["n"]);
+        e.execute("INSERT INTO Names (n) (SELECT E_name FROM Employees WHERE ttid = 1)")
+            .unwrap();
+        assert_eq!(
+            e.query("SELECT COUNT(*) FROM Names").unwrap().rows[0][0],
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn views_are_expanded() {
+        let mut e = sample_engine();
+        e.execute("CREATE VIEW seniors AS SELECT E_name, E_age FROM Employees WHERE E_age >= 45")
+            .unwrap();
+        let rs = e.query("SELECT COUNT(*) FROM seniors").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn date_arithmetic_in_queries() {
+        let mut e = Engine::new(EngineConfig::default());
+        e.create_table("d", &["when_day"]);
+        e.insert_values(
+            "d",
+            vec![
+                vec![Value::date_from_str("1995-03-10").unwrap()],
+                vec![Value::date_from_str("1996-06-01").unwrap()],
+            ],
+        )
+        .unwrap();
+        let rs = e
+            .query("SELECT COUNT(*) FROM d WHERE when_day < DATE '1995-01-01' + INTERVAL '1' YEAR")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn limit_and_order() {
+        let e = sample_engine();
+        let rs = e
+            .query("SELECT E_name FROM Employees ORDER BY E_salary DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::str("Ed")], vec![Value::str("Nancy")]]);
+    }
+
+    #[test]
+    fn scalar_subquery_in_select_without_from() {
+        let e = sample_engine();
+        let rs = e.query("SELECT (SELECT MAX(E_age) FROM Employees)").unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(72)]]);
+    }
+
+    #[test]
+    fn dcl_is_rejected_by_the_engine() {
+        let mut e = sample_engine();
+        assert!(e.execute("GRANT READ ON Employees TO 42").is_err());
+        assert!(e.execute("SET SCOPE = \"IN (1)\"").is_err());
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let e = sample_engine();
+        assert!(e.query("SELECT x FROM nope").is_err());
+        assert!(e.query("SELECT no_such_col FROM Employees").is_err());
+    }
+
+    #[test]
+    fn rows_scanned_counter() {
+        let e = sample_engine();
+        e.reset_stats();
+        e.query("SELECT COUNT(*) FROM Employees").unwrap();
+        assert_eq!(e.stats().rows_scanned, 6);
+    }
+}

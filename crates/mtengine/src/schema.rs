@@ -1,0 +1,165 @@
+//! Runtime schemas: ordered lists of (optionally qualified) column names used
+//! to resolve column references during execution.
+
+use crate::error::{err, Result};
+use mtsql::ast::ColumnRef;
+
+/// One column of a runtime schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaCol {
+    /// Table name or alias this column is bound under (`None` for computed
+    /// columns of derived results).
+    pub qualifier: Option<String>,
+    /// Column (or alias) name.
+    pub name: String,
+}
+
+/// An ordered set of columns describing the rows flowing through an operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    pub cols: Vec<SchemaCol>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schema with a single qualifier applied to every column name.
+    pub fn qualified(qualifier: &str, names: &[String]) -> Self {
+        Schema {
+            cols: names
+                .iter()
+                .map(|n| SchemaCol {
+                    qualifier: Some(qualifier.to_string()),
+                    name: n.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Schema of unqualified column names (query outputs).
+    pub fn unqualified(names: &[String]) -> Self {
+        Schema {
+            cols: names
+                .iter()
+                .map(|n| SchemaCol {
+                    qualifier: None,
+                    name: n.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` if there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Concatenate two schemas (used by joins).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Schema { cols }
+    }
+
+    /// Column names without qualifiers (used to surface query results).
+    pub fn names(&self) -> Vec<String> {
+        self.cols.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Resolve a column reference to an index, if present.
+    ///
+    /// Qualified references must match both qualifier and name; unqualified
+    /// references match by name only. Matching is case-insensitive. When an
+    /// unqualified name is ambiguous the *first* match wins (rewritten queries
+    /// qualify everything that could be ambiguous).
+    pub fn resolve(&self, col: &ColumnRef) -> Option<usize> {
+        match &col.table {
+            Some(q) => self.cols.iter().position(|c| {
+                c.qualifier
+                    .as_deref()
+                    .is_some_and(|cq| cq.eq_ignore_ascii_case(q))
+                    && c.name.eq_ignore_ascii_case(&col.name)
+            }),
+            None => self
+                .cols
+                .iter()
+                .position(|c| c.name.eq_ignore_ascii_case(&col.name)),
+        }
+    }
+
+    /// Like [`Schema::resolve`] but producing an error mentioning the column.
+    pub fn resolve_required(&self, col: &ColumnRef) -> Result<usize> {
+        self.resolve(col)
+            .ok_or(())
+            .or_else(|_| err(format!("unknown column `{}`", col.to_display())))
+    }
+
+    /// All indices belonging to the given qualifier (for `alias.*`).
+    pub fn indices_of_qualifier(&self, qualifier: &str) -> Vec<usize> {
+        self.cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.qualifier
+                    .as_deref()
+                    .is_some_and(|q| q.eq_ignore_ascii_case(qualifier))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colref(table: Option<&str>, name: &str) -> ColumnRef {
+        ColumnRef {
+            table: table.map(|s| s.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn resolves_qualified_and_unqualified() {
+        let s = Schema::qualified("E", &["E_name".into(), "E_salary".into()]);
+        assert_eq!(s.resolve(&colref(Some("E"), "E_salary")), Some(1));
+        assert_eq!(s.resolve(&colref(None, "e_name")), Some(0));
+        assert_eq!(s.resolve(&colref(Some("R"), "E_salary")), None);
+    }
+
+    #[test]
+    fn concat_preserves_order_and_ambiguity_resolution() {
+        let a = Schema::qualified("E1", &["ttid".into(), "E_salary".into()]);
+        let b = Schema::qualified("E2", &["ttid".into(), "E_salary".into()]);
+        let joined = a.concat(&b);
+        assert_eq!(joined.len(), 4);
+        // unqualified picks the first occurrence
+        assert_eq!(joined.resolve(&colref(None, "ttid")), Some(0));
+        assert_eq!(joined.resolve(&colref(Some("E2"), "ttid")), Some(2));
+    }
+
+    #[test]
+    fn qualifier_indices() {
+        let a = Schema::qualified("E", &["a".into(), "b".into()]);
+        let b = Schema::qualified("R", &["c".into()]);
+        let joined = a.concat(&b);
+        assert_eq!(joined.indices_of_qualifier("R"), vec![2]);
+        assert_eq!(joined.indices_of_qualifier("e"), vec![0, 1]);
+    }
+
+    #[test]
+    fn resolve_required_reports_column_name() {
+        let s = Schema::unqualified(&["x".into()]);
+        let e = s.resolve_required(&colref(None, "missing")).unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+}

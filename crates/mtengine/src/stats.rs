@@ -1,0 +1,60 @@
+//! Execution statistics used by tests and the benchmark harness to verify the
+//! *analytic* claims of the paper (e.g. "aggregation distribution reduces the
+//! number of conversion calls from 2·N to T+1") in addition to wall-clock
+//! numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Point-in-time snapshot of engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Rows read from base tables.
+    pub rows_scanned: u64,
+    /// UDF invocations that executed the function body.
+    pub udf_calls: u64,
+    /// UDF invocations answered from the immutable-result cache.
+    pub udf_cache_hits: u64,
+}
+
+/// Internal atomic counters owned by the engine.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    rows_scanned: AtomicU64,
+}
+
+impl EngineCounters {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to the scanned-row counter.
+    pub fn add_rows_scanned(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current scanned-row count.
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.rows_scanned.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = EngineCounters::new();
+        c.add_rows_scanned(10);
+        c.add_rows_scanned(5);
+        assert_eq!(c.rows_scanned(), 15);
+        c.reset();
+        assert_eq!(c.rows_scanned(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! In-memory row storage: tables, views and the database holding them.
+
+use std::collections::BTreeMap;
+
+use mtsql::ast::Query;
+
+use crate::error::{err, Result};
+use crate::value::Value;
+
+/// A materialized row.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: a flat list of rows with named columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table name as registered.
+    pub name: String,
+    /// Column names, in storage order.
+    pub columns: Vec<String>,
+    /// Row data.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Append a row after checking its arity.
+    pub fn push_row(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return err(format!(
+                "row arity {} does not match table `{}` with {} columns",
+                row.len(),
+                self.name,
+                self.columns.len()
+            ));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// The database: a set of tables and views, keyed case-insensitively.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    views: BTreeMap<String, Query>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create (or replace) a table.
+    pub fn create_table(&mut self, name: impl Into<String>, columns: Vec<String>) {
+        let name = name.into();
+        self.tables
+            .insert(name.to_ascii_lowercase(), Table::new(name, columns));
+    }
+
+    /// Register an already-populated table.
+    pub fn insert_table(&mut self, table: Table) {
+        self.tables.insert(table.name.to_ascii_lowercase(), table);
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Get a table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or(())
+            .or_else(|_| err(format!("no such table `{name}`")))
+    }
+
+    /// Get a mutable table by name.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or(())
+            .or_else(|_| err(format!("no such table `{name}`")))
+    }
+
+    /// Does a table with that name exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Register (or replace) a view.
+    pub fn create_view(&mut self, name: impl Into<String>, query: Query) {
+        self.views.insert(name.into().to_ascii_lowercase(), query);
+    }
+
+    /// Drop a view; returns whether it existed.
+    pub fn drop_view(&mut self, name: &str) -> bool {
+        self.views.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Get a view definition by name.
+    pub fn view(&self, name: &str) -> Option<&Query> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup_is_case_insensitive() {
+        let mut db = Database::new();
+        db.create_table("Employees", vec!["a".into(), "b".into()]);
+        assert!(db.has_table("employees"));
+        assert_eq!(db.table("EMPLOYEES").unwrap().columns.len(), 2);
+        assert!(db.table("nope").is_err());
+    }
+
+    #[test]
+    fn push_row_checks_arity() {
+        let mut t = Table::new("t", vec!["a".into(), "b".into()]);
+        assert!(t.push_row(vec![Value::Int(1), Value::Int(2)]).is_ok());
+        assert!(t.push_row(vec![Value::Int(1)]).is_err());
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn views_are_stored_and_dropped() {
+        let mut db = Database::new();
+        let q = mtsql::parse_query("SELECT 1").unwrap();
+        db.create_view("v", q);
+        assert!(db.view("V").is_some());
+        assert!(db.drop_view("v"));
+        assert!(db.view("v").is_none());
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = Database::new();
+        db.create_table("t", vec!["a".into()]);
+        assert!(db.drop_table("T"));
+        assert!(!db.drop_table("t"));
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let t = Table::new("t", vec!["Alpha".into(), "beta".into()]);
+        assert_eq!(t.column_index("alpha"), Some(0));
+        assert_eq!(t.column_index("BETA"), Some(1));
+        assert_eq!(t.column_index("gamma"), None);
+    }
+}

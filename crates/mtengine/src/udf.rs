@@ -1,0 +1,200 @@
+//! User-defined scalar functions with optional result caching.
+//!
+//! Conversion functions are the hot path of MTBase query execution; the paper
+//! distinguishes DBMSs that cache results of deterministic (`IMMUTABLE`) UDFs
+//! (PostgreSQL) from ones that cannot (the commercial "System C"). The
+//! registry reproduces both behaviours behind a configuration flag and counts
+//! calls so experiments can report the analytic effect of each optimization.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{err, Result};
+use crate::value::Value;
+
+/// Signature of a native scalar UDF implementation.
+pub type UdfImpl = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// A registered UDF.
+#[derive(Clone)]
+pub struct Udf {
+    /// Function name (case-insensitive lookup).
+    pub name: String,
+    /// Whether the function is deterministic (`IMMUTABLE`), which permits
+    /// result caching when the engine is configured to do so.
+    pub immutable: bool,
+    /// Native implementation.
+    pub implementation: UdfImpl,
+}
+
+/// Counters describing UDF activity; cheap to snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UdfStats {
+    /// Number of calls that actually executed the function body.
+    pub calls: u64,
+    /// Number of calls answered from the immutable-result cache.
+    pub cache_hits: u64,
+}
+
+/// Registry of UDFs plus the immutable-result cache.
+pub struct UdfRegistry {
+    functions: HashMap<String, Udf>,
+    cache_enabled: bool,
+    cache: Mutex<HashMap<(String, Vec<Value>), Value>>,
+    calls: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl UdfRegistry {
+    /// Create a registry; `cache_enabled` models PostgreSQL-style caching of
+    /// deterministic function results (disable it to model "System C").
+    pub fn new(cache_enabled: bool) -> Self {
+        UdfRegistry {
+            functions: HashMap::new(),
+            cache_enabled,
+            cache: Mutex::new(HashMap::new()),
+            calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Register (or replace) a UDF.
+    pub fn register(&mut self, name: impl Into<String>, immutable: bool, implementation: UdfImpl) {
+        let name = name.into();
+        self.functions.insert(
+            name.to_ascii_lowercase(),
+            Udf {
+                name,
+                immutable,
+                implementation,
+            },
+        );
+    }
+
+    /// Is a function with this name registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.functions.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Invoke a UDF, consulting the immutable-result cache when allowed.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value> {
+        let Some(udf) = self.functions.get(&name.to_ascii_lowercase()) else {
+            return err(format!("unknown function `{name}`"));
+        };
+        if self.cache_enabled && udf.immutable {
+            let key = (name.to_ascii_lowercase(), args.to_vec());
+            if let Some(hit) = self.cache.lock().get(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit.clone());
+            }
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let result = (udf.implementation)(args)?;
+            self.cache.lock().insert(key, result.clone());
+            return Ok(result);
+        }
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        (udf.implementation)(args)
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> UdfStats {
+        UdfStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset counters and cache (call between measured query runs).
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache.lock().clear();
+    }
+
+    /// Whether immutable-result caching is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn make_counting_udf(counter: Arc<AtomicUsize>) -> UdfImpl {
+        Arc::new(move |args: &[Value]| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(args[0].mul(&Value::Float(2.0))?)
+        })
+    }
+
+    #[test]
+    fn call_dispatches_and_counts() {
+        let mut reg = UdfRegistry::new(false);
+        let hits = Arc::new(AtomicUsize::new(0));
+        reg.register("double", true, make_counting_udf(hits.clone()));
+        let v = reg.call("DOUBLE", &[Value::Int(21)]).unwrap();
+        assert_eq!(v, Value::Float(42.0));
+        assert_eq!(reg.stats().calls, 1);
+        assert_eq!(reg.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let reg = UdfRegistry::new(false);
+        assert!(reg.call("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn immutable_results_are_cached_when_enabled() {
+        let mut reg = UdfRegistry::new(true);
+        let executions = Arc::new(AtomicUsize::new(0));
+        reg.register("double", true, make_counting_udf(executions.clone()));
+        for _ in 0..5 {
+            reg.call("double", &[Value::Int(3)]).unwrap();
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 1);
+        let stats = reg.stats();
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.cache_hits, 4);
+    }
+
+    #[test]
+    fn caching_disabled_reexecutes_every_time() {
+        let mut reg = UdfRegistry::new(false);
+        let executions = Arc::new(AtomicUsize::new(0));
+        reg.register("double", true, make_counting_udf(executions.clone()));
+        for _ in 0..5 {
+            reg.call("double", &[Value::Int(3)]).unwrap();
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 5);
+        assert_eq!(reg.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn non_immutable_functions_are_never_cached() {
+        let mut reg = UdfRegistry::new(true);
+        let executions = Arc::new(AtomicUsize::new(0));
+        reg.register("volatile_fn", false, make_counting_udf(executions.clone()));
+        for _ in 0..3 {
+            reg.call("volatile_fn", &[Value::Int(3)]).unwrap();
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn reset_clears_cache_and_counters() {
+        let mut reg = UdfRegistry::new(true);
+        let executions = Arc::new(AtomicUsize::new(0));
+        reg.register("double", true, make_counting_udf(executions.clone()));
+        reg.call("double", &[Value::Int(3)]).unwrap();
+        reg.reset();
+        assert_eq!(reg.stats(), UdfStats::default());
+        reg.call("double", &[Value::Int(3)]).unwrap();
+        assert_eq!(executions.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! `mth` — the MT-H benchmark of the MTBase paper (§5): a TPC-H derivative for
+//! cross-tenant query processing.
+//!
+//! The crate provides
+//!
+//! * a deterministic data generator ([`gen`]) producing both the shared-table
+//!   MT database (per-tenant keys, owner-format values, invisible `ttid`) and
+//!   a plain single-tenant baseline database,
+//! * the MTSQL schema and loader ([`loader`]) wiring catalog, conversion
+//!   functions (`currency`, `phone format`) and the `Tenant` meta table,
+//! * the 22 MT-H queries ([`queries`]),
+//! * the result-validation harness of §5 ([`validate`]), and
+//! * a small measurement helper ([`measure`]) used by the benchmark binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use mth::{loader, params::MthConfig, queries, validate};
+//! use mtbase::EngineConfig;
+//! use mtrewrite::OptLevel;
+//!
+//! let dep = loader::load(
+//!     MthConfig { scale: 0.05, tenants: 2, ..MthConfig::default() },
+//!     EngineConfig::postgres_like(),
+//! );
+//! let rs = validate::run_mt_query(&dep, 6, OptLevel::O4).unwrap();
+//! assert_eq!(rs.columns, vec!["revenue"]);
+//! ```
+
+pub mod gen;
+pub mod loader;
+pub mod measure;
+pub mod params;
+pub mod queries;
+pub mod validate;
+
+pub use loader::{load, MthDeployment};
+pub use params::{MthConfig, TenantDistribution};

@@ -1,0 +1,280 @@
+//! Build a fully-wired MT-H deployment: MTSQL schema + catalog, conversion
+//! functions, tenant metadata, the MT (shared-table) database and the plain
+//! TPC-H baseline database used as the single-tenant comparison point.
+
+use std::sync::Arc;
+
+use mtbase::{currency_udfs_from_rates, phone_udfs_from_prefixes, EngineConfig, MtBase, TenantId};
+use mtcatalog::ConversionProfile;
+use mtengine::{Engine, Value};
+use mtrewrite::InlineSpec;
+use mtsql::ast::Statement;
+
+use crate::gen::{self, columns, GeneratedData};
+use crate::params::MthConfig;
+
+/// A loaded MT-H deployment.
+pub struct MthDeployment {
+    /// The MTBase middleware on top of the shared-table database.
+    pub server: Arc<MtBase>,
+    /// A plain single-tenant TPC-H database (globalised keys, universal
+    /// formats) used as the "TPC-H" rows of the paper's tables and figures.
+    pub baseline: Engine,
+    /// The benchmark configuration used to generate the data.
+    pub config: MthConfig,
+}
+
+/// MTSQL DDL of the MT-H schema (§5): `nation`, `region`, `supplier`, `part`
+/// and `partsupp` are global; `customer`, `orders` and `lineitem` are
+/// tenant-specific with convertible monetary / phone attributes.
+pub const MTH_DDL: &[&str] = &[
+    "CREATE TABLE region GLOBAL (
+        r_regionkey INTEGER NOT NULL,
+        r_name VARCHAR(25) NOT NULL,
+        r_comment VARCHAR(152))",
+    "CREATE TABLE nation GLOBAL (
+        n_nationkey INTEGER NOT NULL,
+        n_name VARCHAR(25) NOT NULL,
+        n_regionkey INTEGER NOT NULL,
+        n_comment VARCHAR(152))",
+    "CREATE TABLE supplier GLOBAL (
+        s_suppkey INTEGER NOT NULL,
+        s_name VARCHAR(25) NOT NULL,
+        s_address VARCHAR(40) NOT NULL,
+        s_nationkey INTEGER NOT NULL,
+        s_phone VARCHAR(15) NOT NULL,
+        s_acctbal DECIMAL(15,2) NOT NULL,
+        s_comment VARCHAR(101) NOT NULL)",
+    "CREATE TABLE part GLOBAL (
+        p_partkey INTEGER NOT NULL,
+        p_name VARCHAR(55) NOT NULL,
+        p_mfgr VARCHAR(25) NOT NULL,
+        p_brand VARCHAR(10) NOT NULL,
+        p_type VARCHAR(25) NOT NULL,
+        p_size INTEGER NOT NULL,
+        p_container VARCHAR(10) NOT NULL,
+        p_retailprice DECIMAL(15,2) NOT NULL,
+        p_comment VARCHAR(23) NOT NULL)",
+    "CREATE TABLE partsupp GLOBAL (
+        ps_partkey INTEGER NOT NULL,
+        ps_suppkey INTEGER NOT NULL,
+        ps_availqty INTEGER NOT NULL,
+        ps_supplycost DECIMAL(15,2) NOT NULL,
+        ps_comment VARCHAR(199) NOT NULL)",
+    "CREATE TABLE customer SPECIFIC (
+        c_custkey INTEGER NOT NULL SPECIFIC,
+        c_name VARCHAR(25) NOT NULL COMPARABLE,
+        c_address VARCHAR(40) NOT NULL COMPARABLE,
+        c_nationkey INTEGER NOT NULL COMPARABLE,
+        c_phone VARCHAR(15) NOT NULL CONVERTIBLE @phoneToUniversal @phoneFromUniversal,
+        c_acctbal DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+        c_mktsegment VARCHAR(10) NOT NULL COMPARABLE,
+        c_comment VARCHAR(117) NOT NULL COMPARABLE)",
+    "CREATE TABLE orders SPECIFIC (
+        o_orderkey INTEGER NOT NULL SPECIFIC,
+        o_custkey INTEGER NOT NULL SPECIFIC,
+        o_orderstatus VARCHAR(1) NOT NULL COMPARABLE,
+        o_totalprice DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+        o_orderdate DATE NOT NULL COMPARABLE,
+        o_orderpriority VARCHAR(15) NOT NULL COMPARABLE,
+        o_clerk VARCHAR(15) NOT NULL COMPARABLE,
+        o_shippriority INTEGER NOT NULL COMPARABLE,
+        o_comment VARCHAR(79) NOT NULL COMPARABLE)",
+    "CREATE TABLE lineitem SPECIFIC (
+        l_orderkey INTEGER NOT NULL SPECIFIC,
+        l_partkey INTEGER NOT NULL COMPARABLE,
+        l_suppkey INTEGER NOT NULL COMPARABLE,
+        l_linenumber INTEGER NOT NULL COMPARABLE,
+        l_quantity DECIMAL(15,2) NOT NULL COMPARABLE,
+        l_extendedprice DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+        l_discount DECIMAL(15,2) NOT NULL COMPARABLE,
+        l_tax DECIMAL(15,2) NOT NULL COMPARABLE,
+        l_returnflag VARCHAR(1) NOT NULL COMPARABLE,
+        l_linestatus VARCHAR(1) NOT NULL COMPARABLE,
+        l_shipdate DATE NOT NULL COMPARABLE,
+        l_commitdate DATE NOT NULL COMPARABLE,
+        l_receiptdate DATE NOT NULL COMPARABLE,
+        l_shipinstruct VARCHAR(25) NOT NULL COMPARABLE,
+        l_shipmode VARCHAR(10) NOT NULL COMPARABLE,
+        l_comment VARCHAR(44) NOT NULL COMPARABLE)",
+];
+
+/// Generate the data and load a full deployment.
+pub fn load(config: MthConfig, engine_config: EngineConfig) -> MthDeployment {
+    let data = gen::generate(&config);
+    load_from_data(config, engine_config, &data)
+}
+
+/// Load a deployment from pre-generated data (lets callers reuse one
+/// generation run across several engine configurations).
+pub fn load_from_data(
+    config: MthConfig,
+    engine_config: EngineConfig,
+    data: &GeneratedData,
+) -> MthDeployment {
+    let server = MtBase::new(engine_config);
+
+    // Schema.
+    for ddl in MTH_DDL {
+        match mtsql::parse_statement(ddl).expect("MT-H DDL parses") {
+            Statement::CreateTable(ct) => server.create_table(&ct).expect("create table"),
+            _ => unreachable!("MT-H DDL only contains CREATE TABLE"),
+        }
+    }
+
+    // Tenants.
+    for t in 1..=config.tenants {
+        server.register_tenant(t);
+    }
+
+    // Conversion functions: currency (constant factor) and phone (prefix).
+    let (currency_to, currency_from) =
+        currency_udfs_from_rates(Arc::new(MthConfig::currency_rates));
+    server.register_conversion(
+        ConversionProfile::currency().pair,
+        currency_to,
+        currency_from,
+        Some((
+            InlineSpec::Factor {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                factor_column: "T_currency_to".into(),
+            },
+            InlineSpec::Factor {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                factor_column: "T_currency_from".into(),
+            },
+        )),
+    );
+    let (phone_to, phone_from) =
+        phone_udfs_from_prefixes(Arc::new(|t: TenantId| MthConfig::phone_prefix(t)));
+    server.register_conversion(
+        ConversionProfile::phone().pair,
+        phone_to,
+        phone_from,
+        Some((
+            InlineSpec::PhoneStripPrefix {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                prefix_column: "T_phone_prefix".into(),
+            },
+            InlineSpec::PhonePrependPrefix {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                prefix_column: "T_phone_prefix".into(),
+            },
+        )),
+    );
+
+    // The Tenant meta table (drives conversion-function inlining).
+    {
+        let meta_rows: Vec<Vec<Value>> = (1..=config.tenants)
+            .map(|t| {
+                let (to, from) = MthConfig::currency_rates(t);
+                vec![
+                    Value::Int(t),
+                    Value::Float(to),
+                    Value::Float(from),
+                    Value::str(MthConfig::phone_prefix(t)),
+                ]
+            })
+            .collect();
+        server
+            .raw_execute(
+                "CREATE TABLE Tenant GLOBAL (
+                    T_tenant_key INTEGER NOT NULL,
+                    T_currency_to DECIMAL(15,6) NOT NULL,
+                    T_currency_from DECIMAL(15,6) NOT NULL,
+                    T_phone_prefix VARCHAR(8) NOT NULL)",
+            )
+            .expect("create Tenant meta table");
+        server.load_rows("Tenant", meta_rows).expect("load Tenant");
+    }
+
+    // Data.
+    for (table, rows) in &data.mt {
+        server
+            .load_rows(table, rows.clone())
+            .unwrap_or_else(|e| panic!("loading MT table {table}: {e}"));
+    }
+
+    // The benchmark client (tenant 1) has been granted access to everything.
+    server.grant_read_all(1);
+
+    // Baseline single-tenant database.
+    let mut baseline = Engine::new(EngineConfig::postgres_like());
+    let baseline_tables: [(&str, &[&str]); 8] = [
+        ("region", columns::REGION),
+        ("nation", columns::NATION),
+        ("supplier", columns::SUPPLIER),
+        ("part", columns::PART),
+        ("partsupp", columns::PARTSUPP),
+        ("customer", columns::CUSTOMER),
+        ("orders", columns::ORDERS),
+        ("lineitem", columns::LINEITEM),
+    ];
+    for (table, cols) in baseline_tables {
+        baseline.create_table(table, cols);
+        baseline
+            .insert_values(table, data.baseline[table].clone())
+            .unwrap_or_else(|e| panic!("loading baseline table {table}: {e}"));
+    }
+
+    MthDeployment {
+        server,
+        baseline,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MthConfig;
+    use mtrewrite::OptLevel;
+
+    fn tiny() -> MthDeployment {
+        load(
+            MthConfig {
+                scale: 0.1,
+                tenants: 3,
+                ..MthConfig::default()
+            },
+            EngineConfig::postgres_like(),
+        )
+    }
+
+    #[test]
+    fn deployment_has_all_tables_loaded() {
+        let dep = tiny();
+        for table in ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"] {
+            let mt = dep.server.raw_query(&format!("SELECT COUNT(*) FROM {table}")).unwrap();
+            assert!(mt.rows[0][0].as_i64().unwrap() > 0, "{table} empty in MT db");
+            let base = dep.baseline.query(&format!("SELECT COUNT(*) FROM {table}")).unwrap();
+            assert!(base.rows[0][0].as_i64().unwrap() > 0, "{table} empty in baseline");
+        }
+        let tenants = dep.server.raw_query("SELECT COUNT(*) FROM Tenant").unwrap();
+        assert_eq!(tenants.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn client_one_can_query_the_whole_dataset() {
+        let dep = tiny();
+        let mut conn = dep.server.connect(1);
+        conn.execute("SET SCOPE = \"IN ()\"").unwrap();
+        conn.set_opt_level(OptLevel::O1);
+        let mt_count = conn.query("SELECT COUNT(*) FROM lineitem").unwrap();
+        let base_count = dep.baseline.query("SELECT COUNT(*) FROM lineitem").unwrap();
+        assert_eq!(mt_count.rows[0][0], base_count.rows[0][0]);
+    }
+
+    #[test]
+    fn default_scope_restricts_to_own_share() {
+        let dep = tiny();
+        let mut conn = dep.server.connect(2);
+        let own = conn.query("SELECT COUNT(*) FROM customer").unwrap();
+        let all = dep.server.raw_query("SELECT COUNT(*) FROM customer").unwrap();
+        assert!(own.rows[0][0].as_i64().unwrap() < all.rows[0][0].as_i64().unwrap());
+    }
+}

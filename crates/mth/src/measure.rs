@@ -1,0 +1,89 @@
+//! Measurement helpers shared by the table/figure harnesses: the paper runs
+//! every query three times and reports the last measurement with two
+//! significant digits.
+
+use std::time::{Duration, Instant};
+
+use mtrewrite::OptLevel;
+
+use crate::loader::MthDeployment;
+use crate::validate::{run_baseline_query, run_mt_query};
+
+/// One measured cell of a paper table.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub query: usize,
+    pub level: Option<OptLevel>,
+    pub seconds: f64,
+    pub rows: usize,
+}
+
+/// Run an MT-H query `runs` times and report the last run (paper methodology).
+pub fn measure_mt(
+    dep: &MthDeployment,
+    query: usize,
+    level: OptLevel,
+    runs: usize,
+) -> Result<Measurement, String> {
+    let mut last = Duration::ZERO;
+    let mut rows = 0;
+    for _ in 0..runs.max(1) {
+        dep.server.reset_stats();
+        let start = Instant::now();
+        let rs = run_mt_query(dep, query, level).map_err(|e| e.to_string())?;
+        last = start.elapsed();
+        rows = rs.rows.len();
+    }
+    Ok(Measurement {
+        query,
+        level: Some(level),
+        seconds: last.as_secs_f64(),
+        rows,
+    })
+}
+
+/// Run the plain TPC-H baseline query `runs` times and report the last run.
+pub fn measure_baseline(
+    dep: &MthDeployment,
+    query: usize,
+    runs: usize,
+) -> Result<Measurement, String> {
+    let mut last = Duration::ZERO;
+    let mut rows = 0;
+    for _ in 0..runs.max(1) {
+        dep.baseline.reset_stats();
+        let start = Instant::now();
+        let rs = run_baseline_query(dep, query).map_err(|e| e.to_string())?;
+        last = start.elapsed();
+        rows = rs.rows.len();
+    }
+    Ok(Measurement {
+        query,
+        level: None,
+        seconds: last.as_secs_f64(),
+        rows,
+    })
+}
+
+/// Format a duration the way the paper's tables do: two significant digits.
+pub fn two_significant_digits(seconds: f64) -> String {
+    if seconds <= 0.0 {
+        return "0".to_string();
+    }
+    let magnitude = seconds.abs().log10().floor() as i32;
+    let digits = (1 - magnitude).max(0) as usize;
+    format!("{seconds:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(two_significant_digits(0.275), "0.28");
+        assert_eq!(two_significant_digits(2.64), "2.6");
+        assert_eq!(two_significant_digits(87.3), "87");
+        assert_eq!(two_significant_digits(0.081), "0.081");
+    }
+}

@@ -1,0 +1,164 @@
+//! Benchmark parameters of MT-H (§5 of the paper): scale factor, number of
+//! tenants and the tenant-share distribution.
+
+use serde::{Deserialize, Serialize};
+
+/// How records of the tenant-specific tables are distributed over tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantDistribution {
+    /// Every tenant owns roughly the same number of records.
+    Uniform,
+    /// Tenant 1 owns the largest share, tenant T the smallest (Zipf, s = 1).
+    Zipf,
+}
+
+/// MT-H benchmark configuration.
+///
+/// The paper's scale factor `sf` refers to TPC-H sizes (sf = 1 ≈ 6M lineitem
+/// rows). This reproduction runs on an in-memory interpreter, so `scale = 1.0`
+/// corresponds to a proportionally shrunken database (≈ 6,000 lineitem rows);
+/// all *relative* sizes between tables match TPC-H. The substitution is
+/// documented in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MthConfig {
+    /// Scale factor (1.0 ≈ 6,000 lineitem rows).
+    pub scale: f64,
+    /// Number of tenants `T`; ttids range from 1 to T.
+    pub tenants: i64,
+    /// Tenant share distribution ρ.
+    pub distribution: TenantDistribution,
+    /// Seed for the deterministic data generator.
+    pub seed: u64,
+}
+
+impl Default for MthConfig {
+    fn default() -> Self {
+        MthConfig {
+            scale: 1.0,
+            tenants: 10,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        }
+    }
+}
+
+impl MthConfig {
+    /// Scenario 1 of the paper: a business alliance of 10 small enterprises,
+    /// uniform shares.
+    pub fn scenario1(scale: f64) -> Self {
+        MthConfig {
+            scale,
+            tenants: 10,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        }
+    }
+
+    /// Scenario 2 of the paper: a large medical-records database with many
+    /// tenants of very different sizes (Zipf).
+    pub fn scenario2(scale: f64, tenants: i64) -> Self {
+        MthConfig {
+            scale,
+            tenants,
+            distribution: TenantDistribution::Zipf,
+            seed: 42,
+        }
+    }
+
+    /// Base row counts at `scale = 1.0`, before tenant assignment.
+    pub fn base_rows(&self) -> BaseRows {
+        let s = self.scale.max(0.01);
+        BaseRows {
+            customers: ((150.0 * s) as usize).max(self.tenants as usize),
+            orders_per_customer: 10,
+            max_lineitems_per_order: 7,
+            parts: ((200.0 * s) as usize).max(20),
+            suppliers: ((10.0 * s) as usize).max(5),
+            partsupp_per_part: 4,
+        }
+    }
+
+    /// The share (fraction of records) owned by tenant `t` (1-based).
+    pub fn tenant_share(&self, tenant: i64) -> f64 {
+        assert!((1..=self.tenants).contains(&tenant));
+        match self.distribution {
+            TenantDistribution::Uniform => 1.0 / self.tenants as f64,
+            TenantDistribution::Zipf => {
+                let h: f64 = (1..=self.tenants).map(|k| 1.0 / k as f64).sum();
+                (1.0 / tenant as f64) / h
+            }
+        }
+    }
+
+    /// Exchange rate of a tenant towards the universal currency (USD).
+    /// Tenant 1 uses the universal format (`(1.0, 1.0)`), matching the paper's
+    /// generator ("tenant 1 who gets the universal format for both").
+    pub fn currency_rates(tenant: i64) -> (f64, f64) {
+        if tenant <= 1 {
+            return (1.0, 1.0);
+        }
+        let to = 0.5 + ((tenant % 13) as f64) * 0.125;
+        (to, 1.0 / to)
+    }
+
+    /// Phone prefix of a tenant (tenant 1 gets the universal, prefix-less
+    /// format).
+    pub fn phone_prefix(tenant: i64) -> String {
+        const PREFIXES: [&str; 5] = ["", "+", "00", "011", "990"];
+        if tenant <= 1 {
+            String::new()
+        } else {
+            PREFIXES[(tenant as usize) % PREFIXES.len()].to_string()
+        }
+    }
+}
+
+/// Base row counts derived from the configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaseRows {
+    pub customers: usize,
+    pub orders_per_customer: usize,
+    pub max_lineitems_per_order: usize,
+    pub parts: usize,
+    pub suppliers: usize,
+    pub partsupp_per_part: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shares_sum_to_one() {
+        let cfg = MthConfig::scenario1(1.0);
+        let total: f64 = (1..=cfg.tenants).map(|t| cfg.tenant_share(t)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((cfg.tenant_share(1) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_shares_decrease_and_sum_to_one() {
+        let cfg = MthConfig::scenario2(1.0, 100);
+        let total: f64 = (1..=cfg.tenants).map(|t| cfg.tenant_share(t)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(cfg.tenant_share(1) > cfg.tenant_share(2));
+        assert!(cfg.tenant_share(2) > cfg.tenant_share(50));
+    }
+
+    #[test]
+    fn tenant_one_uses_universal_formats() {
+        assert_eq!(MthConfig::currency_rates(1), (1.0, 1.0));
+        assert_eq!(MthConfig::phone_prefix(1), "");
+        let (to, from) = MthConfig::currency_rates(7);
+        assert!((to * from - 1.0).abs() < 1e-9);
+        assert_ne!(MthConfig::phone_prefix(2), "");
+    }
+
+    #[test]
+    fn base_rows_scale() {
+        let small = MthConfig::scenario1(0.5).base_rows();
+        let big = MthConfig::scenario1(2.0).base_rows();
+        assert!(big.customers > small.customers);
+        assert!(big.parts > small.parts);
+    }
+}

@@ -1,0 +1,153 @@
+//! Query validation (§5): running an MT-H query with `C = 1` and
+//! `D = {1, …, T}` must produce the same result as plain TPC-H on the merged
+//! dataset, because tenant 1 uses the universal format for every convertible
+//! attribute.
+//!
+//! Queries whose output contains tenant-local key values (`o_orderkey`,
+//! `c_custkey`, …) are excluded, exactly as the paper excludes queries whose
+//! order-to-customer mapping differs, and defines the canonical rewrite as
+//! the gold standard for them instead.
+
+use mtengine::{ResultSet, Value};
+use mtrewrite::OptLevel;
+
+use crate::loader::MthDeployment;
+use crate::queries;
+
+/// Queries whose result sets are directly comparable between MT-H (C = 1,
+/// D = all) and the single-tenant baseline.
+pub const VALIDATABLE: [usize; 10] = [1, 4, 5, 6, 11, 12, 13, 14, 16, 19];
+
+/// Result of validating one query.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    pub query: usize,
+    pub level: OptLevel,
+    pub passed: bool,
+    pub detail: String,
+}
+
+/// Execute query `n` through MTBase as client 1 over all tenants at the given
+/// optimization level.
+pub fn run_mt_query(dep: &MthDeployment, n: usize, level: OptLevel) -> mtbase::Result<ResultSet> {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(level);
+    conn.execute("SET SCOPE = \"IN ()\"")?;
+    conn.query(&queries::query(n))
+}
+
+/// Execute query `n` directly on the single-tenant baseline database.
+pub fn run_baseline_query(dep: &MthDeployment, n: usize) -> mtengine::Result<ResultSet> {
+    dep.baseline.query(&queries::query(n))
+}
+
+/// Validate the listed queries at one optimization level.
+pub fn validate(dep: &MthDeployment, query_numbers: &[usize], level: OptLevel) -> Vec<ValidationReport> {
+    query_numbers
+        .iter()
+        .map(|&n| {
+            let mt = run_mt_query(dep, n, level);
+            let base = run_baseline_query(dep, n);
+            match (mt, base) {
+                (Ok(mt), Ok(base)) => match compare_result_sets(&mt, &base) {
+                    Ok(()) => ValidationReport {
+                        query: n,
+                        level,
+                        passed: true,
+                        detail: format!("{} rows match", mt.rows.len()),
+                    },
+                    Err(detail) => ValidationReport {
+                        query: n,
+                        level,
+                        passed: false,
+                        detail,
+                    },
+                },
+                (Err(e), _) => ValidationReport {
+                    query: n,
+                    level,
+                    passed: false,
+                    detail: format!("MT-H execution failed: {e}"),
+                },
+                (_, Err(e)) => ValidationReport {
+                    query: n,
+                    level,
+                    passed: false,
+                    detail: format!("baseline execution failed: {e}"),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Compare two result sets with a numeric tolerance (conversion round-trips
+/// introduce sub-cent rounding noise) and order-insensitively.
+pub fn compare_result_sets(a: &ResultSet, b: &ResultSet) -> Result<(), String> {
+    if a.rows.len() != b.rows.len() {
+        return Err(format!(
+            "row count mismatch: {} vs {}",
+            a.rows.len(),
+            b.rows.len()
+        ));
+    }
+    let mut a_rows = a.rows.clone();
+    let mut b_rows = b.rows.clone();
+    let key = |row: &Vec<Value>| {
+        row.iter()
+            .map(|v| match v {
+                Value::Float(f) => format!("{:.2}", f),
+                other => other.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    a_rows.sort_by_key(key);
+    b_rows.sort_by_key(key);
+    for (ra, rb) in a_rows.iter().zip(&b_rows) {
+        if ra.len() != rb.len() {
+            return Err("column count mismatch".to_string());
+        }
+        for (va, vb) in ra.iter().zip(rb) {
+            if !values_close(va, vb) {
+                return Err(format!("value mismatch: {va} vs {vb}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-4 * scale + 1e-6
+        }
+        _ => a == b || a.to_string() == b.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_close_tolerates_rounding() {
+        assert!(values_close(&Value::Float(100.0), &Value::Float(100.0001)));
+        assert!(!values_close(&Value::Float(100.0), &Value::Float(101.0)));
+        assert!(values_close(&Value::str("x"), &Value::str("x")));
+        assert!(values_close(&Value::Int(3), &Value::Float(3.0)));
+    }
+
+    #[test]
+    fn compare_detects_row_count_mismatch() {
+        let a = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)]],
+        };
+        let b = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![],
+        };
+        assert!(compare_result_sets(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,688 @@
+//! The canonical MTSQL→SQL rewrite algorithm (§3.1 of the paper, Algorithms
+//! 1 and 2), parameterised by the trivial semantic optimizations of §4.1.
+//!
+//! The rewrite maintains the paper's invariant: *the result of every
+//! (sub-)query is filtered according to D′ and presented in the format
+//! required by the client C*. It does so by
+//!
+//! * wrapping every convertible attribute `a` in
+//!   `fromUniversal(toUniversal(a, ttid), C)` in SELECT, WHERE, GROUP BY and
+//!   HAVING clauses,
+//! * adding `ttid` equality predicates to comparisons that involve
+//!   tenant-specific attributes of different tables,
+//! * rejecting comparisons that mix tenant-specific with comparable or
+//!   convertible attributes, and
+//! * adding a D-filter `t.ttid IN (D′)` for every tenant-specific base table.
+
+use mtcatalog::{Catalog, Comparability, TenantId, TTID_COLUMN};
+use mtsql::ast::*;
+use mtsql::visit::split_conjuncts;
+
+use crate::context::{
+    collect_bindings, conversion_call, resolve_column, scan_comparability, ttid_column, Binding,
+};
+use crate::error::{Result, RewriteError};
+
+/// Knobs of the canonical rewrite. The trivial optimizations of §4.1 are
+/// expressed as disabling individual rewrite ingredients; the canonical
+/// algorithm enables all of them unconditionally.
+#[derive(Debug, Clone)]
+pub struct RewriteSettings {
+    /// The client tenant `C` whose format results must be presented in.
+    pub client: TenantId,
+    /// The (privilege-pruned) dataset `D'`.
+    pub dataset: Vec<TenantId>,
+    /// Add `ttid IN (D')` filters for tenant-specific base tables.
+    pub add_d_filters: bool,
+    /// Add `a.ttid = b.ttid` predicates to tenant-specific comparisons.
+    pub add_ttid_join_predicates: bool,
+    /// Wrap convertible attributes in conversion-function calls.
+    pub add_conversions: bool,
+}
+
+impl RewriteSettings {
+    /// The canonical settings: everything enabled.
+    pub fn canonical(client: TenantId, dataset: Vec<TenantId>) -> Self {
+        RewriteSettings {
+            client,
+            dataset,
+            add_d_filters: true,
+            add_ttid_join_predicates: true,
+            add_conversions: true,
+        }
+    }
+}
+
+/// Rewrite a full MTSQL query into plain SQL.
+pub fn rewrite_query(query: &Query, catalog: &Catalog, settings: &RewriteSettings) -> Result<Query> {
+    rewrite_query_scoped(query, catalog, settings, &[])
+}
+
+/// Rewrite a complex `SET SCOPE` expression into the SQL query that computes
+/// the dataset `D` (Listing 12 of the paper): `SELECT ttid FROM ... WHERE ...`
+/// with the usual conversion treatment of the predicate.
+pub fn rewrite_complex_scope(
+    from: &[TableRef],
+    selection: &Option<Expr>,
+    catalog: &Catalog,
+    client: TenantId,
+) -> Result<Query> {
+    let settings = RewriteSettings {
+        client,
+        dataset: Vec::new(),
+        add_d_filters: false,
+        add_ttid_join_predicates: true,
+        add_conversions: true,
+    };
+    let scope_query = Query::from_select(Select {
+        distinct: true,
+        projection: vec![SelectItem::expr(Expr::col(TTID_COLUMN))],
+        from: from.to_vec(),
+        selection: selection.clone(),
+        group_by: Vec::new(),
+        having: None,
+    });
+    rewrite_query_scoped(&scope_query, catalog, &settings, &[])
+}
+
+/// Rewrite one query block; `outer_bindings` are the base-table bindings of
+/// enclosing query blocks (for correlated sub-queries).
+fn rewrite_query_scoped(
+    query: &Query,
+    catalog: &Catalog,
+    settings: &RewriteSettings,
+    outer_bindings: &[Binding],
+) -> Result<Query> {
+    let select = &query.body;
+    let own_bindings = collect_bindings(&select.from, catalog);
+    // Columns of this block resolve against its own FROM first, then against
+    // the enclosing blocks (correlated references).
+    let mut all_bindings: Vec<Binding> = own_bindings.clone();
+    all_bindings.extend(outer_bindings.iter().cloned());
+
+    let new_from = select
+        .from
+        .iter()
+        .map(|t| rewrite_table_ref(t, catalog, settings, &all_bindings))
+        .collect::<Result<Vec<_>>>()?;
+
+    let new_projection = rewrite_projection(&select.projection, catalog, settings, &all_bindings)?;
+
+    let outer_joined = nullable_join_bindings(&select.from, catalog);
+    let new_selection = rewrite_selection(
+        select.selection.as_ref(),
+        catalog,
+        settings,
+        &all_bindings,
+        &own_bindings,
+        &outer_joined,
+    )?;
+
+    let mut new_group_by = select
+        .group_by
+        .iter()
+        .map(|e| rewrite_expr(e, catalog, settings, &all_bindings))
+        .collect::<Result<Vec<_>>>()?;
+    // Grouping by a tenant-specific attribute must group per tenant as well:
+    // values of different tenants are not comparable (§2.4.2), so e.g.
+    // customer 1 of tenant A and customer 1 of tenant B are different groups.
+    if settings.add_ttid_join_predicates {
+        let mut ttid_bindings: Vec<String> = Vec::new();
+        for g in &select.group_by {
+            for b in scan_comparability(g, &all_bindings).tenant_specific_bindings {
+                if !ttid_bindings.iter().any(|x| x.eq_ignore_ascii_case(&b)) {
+                    ttid_bindings.push(b);
+                }
+            }
+        }
+        for b in ttid_bindings {
+            let ttid = ttid_column(&b);
+            if !new_group_by.contains(&ttid) {
+                new_group_by.push(ttid);
+            }
+        }
+    }
+    let new_having = select
+        .having
+        .as_ref()
+        .map(|h| rewrite_expr(h, catalog, settings, &all_bindings))
+        .transpose()?;
+
+    Ok(Query {
+        body: Select {
+            distinct: select.distinct,
+            projection: new_projection,
+            from: new_from,
+            selection: new_selection,
+            group_by: new_group_by,
+            having: new_having,
+        },
+        // ORDER BY refers to output columns which are already in client
+        // format, so it needs no rewriting (§3.1).
+        order_by: query.order_by.clone(),
+        limit: query.limit,
+    })
+}
+
+fn rewrite_table_ref(
+    table_ref: &TableRef,
+    catalog: &Catalog,
+    settings: &RewriteSettings,
+    bindings: &[Binding],
+) -> Result<TableRef> {
+    match table_ref {
+        TableRef::Table { .. } => Ok(table_ref.clone()),
+        TableRef::Derived { query, alias } => Ok(TableRef::Derived {
+            query: Box::new(rewrite_query_scoped(query, catalog, settings, bindings)?),
+            alias: alias.clone(),
+        }),
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let new_left = rewrite_table_ref(left, catalog, settings, bindings)?;
+            let new_right = rewrite_table_ref(right, catalog, settings, bindings)?;
+            let new_on = match on {
+                None => None,
+                Some(cond) => {
+                    let mut conjuncts = Vec::new();
+                    split_conjuncts(cond, &mut conjuncts);
+                    let mut rewritten = Vec::new();
+                    for c in &conjuncts {
+                        check_predicate(c, bindings)?;
+                        rewritten.push(rewrite_expr(c, catalog, settings, bindings)?);
+                    }
+                    if settings.add_ttid_join_predicates {
+                        rewritten.extend(ttid_join_predicates(&conjuncts, bindings));
+                    }
+                    // D-filters for the nullable side of an outer join must be
+                    // part of the join condition: putting them into WHERE
+                    // would silently turn the outer join into an inner join.
+                    if *kind == JoinKind::Left && settings.add_d_filters {
+                        for b in collect_bindings(std::slice::from_ref(right), catalog) {
+                            if b.table.is_tenant_specific() {
+                                rewritten.push(d_filter(&b.name, &settings.dataset));
+                            }
+                        }
+                    }
+                    Expr::conjunction(rewritten)
+                }
+            };
+            Ok(TableRef::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                kind: *kind,
+                on: new_on,
+            })
+        }
+    }
+}
+
+fn rewrite_projection(
+    projection: &[SelectItem],
+    catalog: &Catalog,
+    settings: &RewriteSettings,
+    bindings: &[Binding],
+) -> Result<Vec<SelectItem>> {
+    let mut out = Vec::new();
+    for item in projection {
+        match item {
+            // `SELECT *` must not expose the invisible ttid column; expand it
+            // into the client-visible columns, converted to client format.
+            SelectItem::Wildcard => {
+                if bindings.is_empty() {
+                    out.push(SelectItem::Wildcard);
+                } else {
+                    for b in bindings {
+                        expand_binding_columns(b, catalog, settings, &mut out)?;
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                match bindings.iter().find(|b| b.name.eq_ignore_ascii_case(q)) {
+                    Some(b) => expand_binding_columns(b, catalog, settings, &mut out)?,
+                    None => out.push(item.clone()),
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let rewritten = rewrite_expr(expr, catalog, settings, bindings)?;
+                // Preserve the output column name when the conversion wrapped
+                // a bare column reference (Listing 10 of the paper).
+                let alias = match (alias, expr, &rewritten) {
+                    (Some(a), _, _) => Some(a.clone()),
+                    (None, Expr::Column(c), r) if *r != *expr => Some(c.name.clone()),
+                    (None, _, _) => None,
+                };
+                out.push(SelectItem::Expr {
+                    expr: rewritten,
+                    alias,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn expand_binding_columns(
+    binding: &Binding,
+    catalog: &Catalog,
+    settings: &RewriteSettings,
+    out: &mut Vec<SelectItem>,
+) -> Result<()> {
+    for col in &binding.table.columns {
+        if col.name.eq_ignore_ascii_case(TTID_COLUMN) {
+            continue;
+        }
+        let expr = Expr::qcol(&binding.name, &col.name);
+        let rewritten = rewrite_expr(&expr, catalog, settings, std::slice::from_ref(binding))?;
+        out.push(SelectItem::Expr {
+            expr: rewritten,
+            alias: Some(col.name.clone()),
+        });
+    }
+    Ok(())
+}
+
+fn rewrite_selection(
+    selection: Option<&Expr>,
+    catalog: &Catalog,
+    settings: &RewriteSettings,
+    all_bindings: &[Binding],
+    own_bindings: &[Binding],
+    outer_joined_bindings: &[String],
+) -> Result<Option<Expr>> {
+    let mut conjuncts = Vec::new();
+    if let Some(sel) = selection {
+        split_conjuncts(sel, &mut conjuncts);
+    }
+
+    let mut rewritten = Vec::new();
+    for c in &conjuncts {
+        check_predicate(c, all_bindings)?;
+        rewritten.push(rewrite_expr(c, catalog, settings, all_bindings)?);
+    }
+
+    // Additional ttid predicates for tenant-specific comparisons (§2.4.2).
+    if settings.add_ttid_join_predicates {
+        rewritten.extend(ttid_join_predicates(&conjuncts, all_bindings));
+    }
+
+    // D-filters for every tenant-specific base table of *this* block (§3.1).
+    // Tables on the nullable side of a LEFT OUTER JOIN are excluded here:
+    // their D-filter lives in the join condition instead (see
+    // `rewrite_table_ref`), otherwise the filter on a NULL ttid would discard
+    // the outer join's unmatched rows.
+    if settings.add_d_filters {
+        for b in own_bindings {
+            if b.table.is_tenant_specific()
+                && !outer_joined_bindings.iter().any(|n| n.eq_ignore_ascii_case(&b.name))
+            {
+                rewritten.push(d_filter(&b.name, &settings.dataset));
+            }
+        }
+    }
+
+    Ok(Expr::conjunction(rewritten))
+}
+
+/// Names of base-table bindings that sit on the nullable (right) side of a
+/// LEFT OUTER JOIN anywhere in the FROM clause.
+fn nullable_join_bindings(from: &[TableRef], catalog: &Catalog) -> Vec<String> {
+    fn walk(item: &TableRef, catalog: &Catalog, out: &mut Vec<String>) {
+        if let TableRef::Join {
+            left, right, kind, ..
+        } = item
+        {
+            walk(left, catalog, out);
+            walk(right, catalog, out);
+            if *kind == JoinKind::Left {
+                for b in collect_bindings(std::slice::from_ref(&**right), catalog) {
+                    out.push(b.name);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for item in from {
+        walk(item, catalog, &mut out);
+    }
+    out
+}
+
+/// The D-filter `binding.ttid IN (D')`.
+pub fn d_filter(binding: &str, dataset: &[TenantId]) -> Expr {
+    Expr::InList {
+        expr: Box::new(ttid_column(binding)),
+        list: dataset.iter().map(|t| Expr::int(*t)).collect(),
+        negated: false,
+    }
+}
+
+/// Reject predicates that compare tenant-specific with comparable/convertible
+/// attributes (§2.4.2: "MTSQL does not allow to compare tenant-specific with
+/// other attributes").
+fn check_predicate(conjunct: &Expr, bindings: &[Binding]) -> Result<()> {
+    if let Expr::BinaryOp { left, op, right } = conjunct {
+        if op.is_comparison() {
+            let left_scan = scan_comparability(left, bindings);
+            let right_scan = scan_comparability(right, bindings);
+            let mixes = (left_scan.has_tenant_specific && right_scan.has_comparable_or_convertible)
+                || (right_scan.has_tenant_specific && left_scan.has_comparable_or_convertible)
+                || (left_scan.has_tenant_specific && left_scan.has_comparable_or_convertible)
+                || (right_scan.has_tenant_specific && right_scan.has_comparable_or_convertible);
+            if mixes {
+                return Err(RewriteError::new(format!(
+                    "predicate `{conjunct}` compares tenant-specific with comparable or convertible attributes"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// For every conjunct whose tenant-specific attributes span several bindings,
+/// produce the extra `a.ttid = b.ttid` predicates.
+fn ttid_join_predicates(conjuncts: &[Expr], bindings: &[Binding]) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        let scan = scan_comparability(c, bindings);
+        if scan.has_tenant_specific && scan.tenant_specific_bindings.len() >= 2 {
+            let anchor = &scan.tenant_specific_bindings[0];
+            for other in &scan.tenant_specific_bindings[1..] {
+                let pred = Expr::eq(ttid_column(anchor), ttid_column(other));
+                if !out.contains(&pred) {
+                    out.push(pred);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rewrite one expression: wrap convertible base-table columns in conversion
+/// calls and recursively rewrite nested sub-queries.
+fn rewrite_expr(
+    expr: &Expr,
+    catalog: &Catalog,
+    settings: &RewriteSettings,
+    bindings: &[Binding],
+) -> Result<Expr> {
+    let rewritten = match expr {
+        Expr::Column(col) => {
+            if settings.add_conversions {
+                if let Some(resolved) = resolve_column(col, bindings) {
+                    if let Comparability::Convertible {
+                        to_universal,
+                        from_universal,
+                    } = &resolved.column.comparability
+                    {
+                        return Ok(conversion_call(
+                            to_universal,
+                            from_universal,
+                            Expr::Column(col.clone()),
+                            ttid_column(&resolved.binding),
+                            settings.client,
+                        ));
+                    }
+                }
+            }
+            expr.clone()
+        }
+        Expr::Literal(_) => expr.clone(),
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(rewrite_expr(left, catalog, settings, bindings)?),
+            op: *op,
+            right: Box::new(rewrite_expr(right, catalog, settings, bindings)?),
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+        },
+        Expr::Function(f) => Expr::Function(FunctionCall {
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| rewrite_expr(a, catalog, settings, bindings))
+                .collect::<Result<Vec<_>>>()?,
+            distinct: f.distinct,
+        }),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| rewrite_expr(o, catalog, settings, bindings).map(Box::new))
+                .transpose()?,
+            when_then: when_then
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        rewrite_expr(w, catalog, settings, bindings)?,
+                        rewrite_expr(t, catalog, settings, bindings)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?,
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| rewrite_expr(e, catalog, settings, bindings).map(Box::new))
+                .transpose()?,
+        },
+        Expr::Exists { query, negated } => Expr::Exists {
+            query: Box::new(rewrite_query_scoped(query, catalog, settings, bindings)?),
+            negated: *negated,
+        },
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Expr::InSubquery {
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+            query: Box::new(rewrite_query_scoped(query, catalog, settings, bindings)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+            list: list
+                .iter()
+                .map(|i| rewrite_expr(i, catalog, settings, bindings))
+                .collect::<Result<Vec<_>>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+            low: Box::new(rewrite_expr(low, catalog, settings, bindings)?),
+            high: Box::new(rewrite_expr(high, catalog, settings, bindings)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+            pattern: Box::new(rewrite_expr(pattern, catalog, settings, bindings)?),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+            negated: *negated,
+        },
+        Expr::ScalarSubquery(q) => Expr::ScalarSubquery(Box::new(rewrite_query_scoped(
+            q, catalog, settings, bindings,
+        )?)),
+        Expr::Extract { field, expr } => Expr::Extract {
+            field: *field,
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+        },
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => Expr::Substring {
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+            start: Box::new(rewrite_expr(start, catalog, settings, bindings)?),
+            length: length
+                .as_ref()
+                .map(|l| rewrite_expr(l, catalog, settings, bindings).map(Box::new))
+                .transpose()?,
+        },
+        Expr::Cast { expr, data_type } => Expr::Cast {
+            expr: Box::new(rewrite_expr(expr, catalog, settings, bindings)?),
+            data_type: *data_type,
+        },
+    };
+    Ok(rewritten)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtcatalog::running_example_catalog;
+
+    fn rewrite(sql: &str, client: TenantId, dataset: &[TenantId]) -> String {
+        let catalog = running_example_catalog();
+        let q = mtsql::parse_query(sql).unwrap();
+        rewrite_query(
+            &q,
+            &catalog,
+            &RewriteSettings::canonical(client, dataset.to_vec()),
+        )
+        .unwrap()
+        .to_string()
+    }
+
+    #[test]
+    fn wraps_convertible_attributes_in_select() {
+        let out = rewrite("SELECT E_salary FROM Employees", 0, &[0, 1]);
+        assert!(out.contains("currencyFromUniversal(currencyToUniversal(E_salary, Employees.ttid), 0) AS E_salary"));
+        assert!(out.contains("Employees.ttid IN (0, 1)"));
+    }
+
+    #[test]
+    fn wraps_convertible_attributes_inside_aggregates() {
+        let out = rewrite("SELECT AVG(E_salary) AS avg_sal FROM Employees", 1, &[0, 1]);
+        assert!(out.contains("AVG(currencyFromUniversal(currencyToUniversal(E_salary, Employees.ttid), 1))"));
+    }
+
+    #[test]
+    fn adds_ttid_join_predicate_for_tenant_specific_join() {
+        let out = rewrite(
+            "SELECT E_name, R_name FROM Employees, Roles WHERE E_role_id = R_role_id",
+            0,
+            &[0, 1],
+        );
+        assert!(out.contains("(Employees.ttid = Roles.ttid)"));
+        assert!(out.contains("Employees.ttid IN (0, 1)"));
+        assert!(out.contains("Roles.ttid IN (0, 1)"));
+    }
+
+    #[test]
+    fn comparable_self_join_gets_no_ttid_predicate() {
+        // Joining employees on age is comparable across tenants (paper intro).
+        let out = rewrite(
+            "SELECT E1.E_name, E2.E_name FROM Employees E1, Employees E2 WHERE E1.E_age = E2.E_age",
+            0,
+            &[0, 1],
+        );
+        assert!(!out.contains("E1.ttid = E2.ttid"));
+    }
+
+    #[test]
+    fn rejects_mixed_comparisons() {
+        let catalog = running_example_catalog();
+        let q = mtsql::parse_query("SELECT 1 FROM Employees WHERE E_role_id = E_age").unwrap();
+        let err = rewrite_query(&q, &catalog, &RewriteSettings::canonical(0, vec![0, 1]))
+            .unwrap_err();
+        assert!(err.message.contains("tenant-specific"));
+    }
+
+    #[test]
+    fn star_expansion_hides_ttid() {
+        let out = rewrite("SELECT * FROM Roles", 0, &[0]);
+        assert!(!out.to_lowercase().contains("roles.ttid,"));
+        assert!(out.contains("R_role_id"));
+        assert!(out.contains("R_name"));
+        // the D-filter still references ttid in the WHERE clause
+        assert!(out.contains("Roles.ttid IN (0)"));
+    }
+
+    #[test]
+    fn global_tables_get_no_d_filter() {
+        let out = rewrite("SELECT Re_name FROM Regions", 0, &[0, 1]);
+        assert!(!out.contains("IN (0, 1)"));
+    }
+
+    #[test]
+    fn subqueries_are_rewritten_recursively() {
+        let out = rewrite(
+            "SELECT E_name FROM Employees WHERE E_salary > (SELECT AVG(E_salary) FROM Employees)",
+            0,
+            &[0, 1],
+        );
+        // Both the outer predicate and the inner aggregate are converted, and
+        // both levels carry a D-filter.
+        assert_eq!(out.matches("Employees.ttid IN (0, 1)").count(), 2);
+        assert!(out.matches("currencyToUniversal").count() >= 2);
+    }
+
+    #[test]
+    fn correlated_subquery_sees_outer_bindings() {
+        let out = rewrite(
+            "SELECT E1.E_name FROM Employees E1 WHERE EXISTS \
+             (SELECT 1 FROM Roles R WHERE R.R_role_id = E1.E_role_id)",
+            0,
+            &[0, 1],
+        );
+        // The correlated tenant-specific comparison gets a ttid predicate.
+        assert!(out.contains("R.ttid = E1.ttid") || out.contains("E1.ttid = R.ttid"));
+    }
+
+    #[test]
+    fn disabling_conversions_matches_trivial_optimization() {
+        let catalog = running_example_catalog();
+        let q = mtsql::parse_query("SELECT E_salary FROM Employees").unwrap();
+        let mut settings = RewriteSettings::canonical(0, vec![0]);
+        settings.add_conversions = false;
+        let out = rewrite_query(&q, &catalog, &settings).unwrap().to_string();
+        assert!(!out.contains("currencyToUniversal"));
+        assert!(out.contains("Employees.ttid IN (0)"));
+    }
+
+    #[test]
+    fn complex_scope_is_rewritten_to_ttid_projection() {
+        let catalog = running_example_catalog();
+        let stmt = mtsql::parse_statement("SET SCOPE = \"FROM Employees WHERE E_salary > 180000\"")
+            .unwrap();
+        let Statement::SetScope(ScopeSpec::Complex { from, selection }) = stmt else {
+            panic!("expected complex scope");
+        };
+        let q = rewrite_complex_scope(&from, &selection, &catalog, 0).unwrap();
+        let sql = q.to_string();
+        assert!(sql.starts_with("SELECT DISTINCT ttid FROM Employees"));
+        assert!(sql.contains("currencyToUniversal"));
+    }
+
+    #[test]
+    fn join_on_condition_is_extended_with_ttid() {
+        let out = rewrite(
+            "SELECT E_name, R_name FROM Employees JOIN Roles ON E_role_id = R_role_id",
+            0,
+            &[0, 1],
+        );
+        assert!(out.contains("Employees.ttid = Roles.ttid"));
+    }
+}

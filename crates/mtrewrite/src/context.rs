@@ -1,0 +1,288 @@
+//! Shared rewrite context: FROM-clause binding resolution and recognition of
+//! conversion-function call patterns in rewritten ASTs.
+
+use mtcatalog::{Catalog, ColumnMeta, Comparability, TableMeta, TenantId, TTID_COLUMN};
+use mtsql::ast::*;
+
+/// Binding of a name usable in column qualifiers to a base table.
+#[derive(Debug, Clone)]
+pub struct Binding<'a> {
+    /// The name the query uses (alias if given, table name otherwise).
+    pub name: String,
+    /// Catalog metadata of the underlying base table.
+    pub table: &'a TableMeta,
+}
+
+/// Resolution of a column reference against the FROM clause of one query
+/// block.
+#[derive(Debug, Clone)]
+pub struct ResolvedColumn<'a> {
+    pub binding: String,
+    pub table: &'a TableMeta,
+    pub column: &'a ColumnMeta,
+}
+
+/// Collect base-table bindings of a FROM clause (derived tables are skipped:
+/// their output is already rewritten and therefore needs no further
+/// treatment).
+pub fn collect_bindings<'a>(from: &[TableRef], catalog: &'a Catalog) -> Vec<Binding<'a>> {
+    let mut out = Vec::new();
+    for item in from {
+        collect_bindings_rec(item, catalog, &mut out);
+    }
+    out
+}
+
+fn collect_bindings_rec<'a>(item: &TableRef, catalog: &'a Catalog, out: &mut Vec<Binding<'a>>) {
+    match item {
+        TableRef::Table { name, alias } => {
+            if let Some(table) = catalog.table(name) {
+                out.push(Binding {
+                    name: alias.clone().unwrap_or_else(|| name.clone()),
+                    table,
+                });
+            }
+        }
+        TableRef::Derived { .. } => {}
+        TableRef::Join { left, right, .. } => {
+            collect_bindings_rec(left, catalog, out);
+            collect_bindings_rec(right, catalog, out);
+        }
+    }
+}
+
+/// Resolve a column reference against the bindings of the current query block.
+pub fn resolve_column<'a>(
+    col: &ColumnRef,
+    bindings: &'a [Binding<'a>],
+) -> Option<ResolvedColumn<'a>> {
+    match &col.table {
+        Some(qualifier) => bindings
+            .iter()
+            .find(|b| b.name.eq_ignore_ascii_case(qualifier))
+            .and_then(|b| {
+                b.table.column(&col.name).map(|c| ResolvedColumn {
+                    binding: b.name.clone(),
+                    table: b.table,
+                    column: c,
+                })
+            }),
+        None => bindings.iter().find_map(|b| {
+            b.table.column(&col.name).map(|c| ResolvedColumn {
+                binding: b.name.clone(),
+                table: b.table,
+                column: c,
+            })
+        }),
+    }
+}
+
+/// The ttid column of a binding, as an expression.
+pub fn ttid_column(binding: &str) -> Expr {
+    Expr::qcol(binding, TTID_COLUMN)
+}
+
+/// Build the canonical two-step conversion call
+/// `fromUniversal(toUniversal(attr, ttid), C)`.
+pub fn conversion_call(
+    to_universal: &str,
+    from_universal: &str,
+    attr: Expr,
+    ttid: Expr,
+    client: TenantId,
+) -> Expr {
+    Expr::call(
+        from_universal,
+        vec![
+            Expr::call(to_universal, vec![attr, ttid]),
+            Expr::int(client),
+        ],
+    )
+}
+
+/// A recognised canonical conversion call (`from(to(x, ttid), client)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversionCall {
+    pub to_universal: String,
+    pub from_universal: String,
+    /// The converted expression (usually a column, possibly compound after
+    /// hoisting).
+    pub attr: Expr,
+    /// The owner-ttid expression.
+    pub ttid: Expr,
+    /// The client expression (normally an integer literal).
+    pub client: Expr,
+}
+
+impl ConversionCall {
+    /// Rebuild the full canonical call.
+    pub fn to_expr(&self) -> Expr {
+        Expr::call(
+            &self.from_universal,
+            vec![
+                Expr::call(&self.to_universal, vec![self.attr.clone(), self.ttid.clone()]),
+                self.client.clone(),
+            ],
+        )
+    }
+
+    /// Build only the inner `toUniversal(attr, ttid)` call.
+    pub fn to_universal_expr(&self) -> Expr {
+        Expr::call(&self.to_universal, vec![self.attr.clone(), self.ttid.clone()])
+    }
+}
+
+/// Recognise a full canonical conversion call against the catalog.
+pub fn match_conversion_call(expr: &Expr, catalog: &Catalog) -> Option<ConversionCall> {
+    let Expr::Function(outer) = expr else {
+        return None;
+    };
+    let pair = catalog.conversion_by_name(&outer.name)?;
+    if !outer.name.eq_ignore_ascii_case(&pair.from_universal) || outer.args.len() != 2 {
+        return None;
+    }
+    let Expr::Function(inner) = &outer.args[0] else {
+        return None;
+    };
+    if !inner.name.eq_ignore_ascii_case(&pair.to_universal) || inner.args.len() != 2 {
+        return None;
+    }
+    Some(ConversionCall {
+        to_universal: pair.to_universal.clone(),
+        from_universal: pair.from_universal.clone(),
+        attr: inner.args[0].clone(),
+        ttid: inner.args[1].clone(),
+        client: outer.args[1].clone(),
+    })
+}
+
+/// `true` when the expression contains no column references at all (it is a
+/// constant from the client's point of view).
+pub fn is_constant_expr(expr: &Expr) -> bool {
+    let mut cols = Vec::new();
+    mtsql::visit::collect_columns(expr, &mut cols);
+    cols.is_empty() && !mtsql::visit::contains_subquery(expr)
+}
+
+/// Classify an expression's comparability with respect to the FROM bindings:
+/// returns the set of tenant-specific columns, whether any comparable or
+/// convertible column occurs, and the distinct bindings of tenant-specific
+/// columns.
+#[derive(Debug, Default, Clone)]
+pub struct ComparabilityScan {
+    pub tenant_specific_bindings: Vec<String>,
+    pub has_tenant_specific: bool,
+    pub has_comparable_or_convertible: bool,
+}
+
+/// Scan an expression for the comparability classes of the base-table columns
+/// it references.
+pub fn scan_comparability(expr: &Expr, bindings: &[Binding]) -> ComparabilityScan {
+    let mut cols = Vec::new();
+    mtsql::visit::collect_columns(expr, &mut cols);
+    let mut scan = ComparabilityScan::default();
+    for c in cols {
+        if c.name.eq_ignore_ascii_case(TTID_COLUMN) {
+            continue;
+        }
+        if let Some(resolved) = resolve_column(&c, bindings) {
+            match resolved.column.comparability {
+                Comparability::TenantSpecific => {
+                    scan.has_tenant_specific = true;
+                    if !scan
+                        .tenant_specific_bindings
+                        .iter()
+                        .any(|b| b.eq_ignore_ascii_case(&resolved.binding))
+                    {
+                        scan.tenant_specific_bindings.push(resolved.binding.clone());
+                    }
+                }
+                Comparability::Comparable | Comparability::Convertible { .. } => {
+                    scan.has_comparable_or_convertible = true;
+                }
+            }
+        }
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtcatalog::running_example_catalog;
+
+    #[test]
+    fn bindings_and_resolution() {
+        let catalog = running_example_catalog();
+        let q = mtsql::parse_query("SELECT 1 FROM Employees E1, Roles, (SELECT 1) AS d").unwrap();
+        let bindings = collect_bindings(&q.body.from, &catalog);
+        assert_eq!(bindings.len(), 2);
+        let r = resolve_column(
+            &ColumnRef {
+                table: Some("E1".into()),
+                name: "E_salary".into(),
+            },
+            &bindings,
+        )
+        .unwrap();
+        assert_eq!(r.table.name, "Employees");
+        let r = resolve_column(
+            &ColumnRef {
+                table: None,
+                name: "R_name".into(),
+            },
+            &bindings,
+        )
+        .unwrap();
+        assert_eq!(r.binding, "Roles");
+    }
+
+    #[test]
+    fn conversion_call_roundtrip() {
+        let catalog = running_example_catalog();
+        let call = conversion_call(
+            "currencyToUniversal",
+            "currencyFromUniversal",
+            Expr::col("E_salary"),
+            ttid_column("Employees"),
+            7,
+        );
+        let matched = match_conversion_call(&call, &catalog).unwrap();
+        assert_eq!(matched.attr, Expr::col("E_salary"));
+        assert_eq!(matched.client, Expr::int(7));
+        assert_eq!(matched.to_expr(), call);
+    }
+
+    #[test]
+    fn non_conversion_calls_are_not_matched() {
+        let catalog = running_example_catalog();
+        let e = mtsql::parse_expression("SUM(E_salary)").unwrap();
+        assert!(match_conversion_call(&e, &catalog).is_none());
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(is_constant_expr(&mtsql::parse_expression("100000 * 2").unwrap()));
+        assert!(!is_constant_expr(&mtsql::parse_expression("E_salary * 2").unwrap()));
+    }
+
+    #[test]
+    fn comparability_scan_flags_mixed_predicates() {
+        let catalog = running_example_catalog();
+        let q = mtsql::parse_query("SELECT 1 FROM Employees, Roles").unwrap();
+        let bindings = collect_bindings(&q.body.from, &catalog);
+        let scan = scan_comparability(
+            &mtsql::parse_expression("E_role_id = R_role_id").unwrap(),
+            &bindings,
+        );
+        assert!(scan.has_tenant_specific);
+        assert!(!scan.has_comparable_or_convertible);
+        assert_eq!(scan.tenant_specific_bindings.len(), 2);
+
+        let scan = scan_comparability(
+            &mtsql::parse_expression("E_role_id = E_age").unwrap(),
+            &bindings,
+        );
+        assert!(scan.has_tenant_specific && scan.has_comparable_or_convertible);
+    }
+}

@@ -1,0 +1,41 @@
+//! Rewrite error type.
+
+use std::fmt;
+
+/// Errors produced while rewriting MTSQL to SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteError {
+    pub message: String,
+}
+
+impl RewriteError {
+    /// Create a new rewrite error.
+    pub fn new(message: impl Into<String>) -> Self {
+        RewriteError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rewrite error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, RewriteError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(RewriteError::new("mixing tenant-specific and comparable attributes")
+            .to_string()
+            .contains("tenant-specific"));
+    }
+}

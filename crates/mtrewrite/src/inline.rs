@@ -1,0 +1,442 @@
+//! Conversion-function inlining (§4.2.3, Listing 17): replace UDF calls by
+//! joins against the conversion meta tables plus plain arithmetic/string
+//! expressions, so the underlying DBMS never calls a UDF at all.
+
+use std::collections::HashMap;
+
+use mtsql::ast::*;
+
+/// How a particular conversion function can be inlined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineSpec {
+    /// `f(x, t) = x * factor(t)` — currency-style conversions. The factor is
+    /// looked up in `meta_table` by joining `key_column = t`.
+    Factor {
+        meta_table: String,
+        key_column: String,
+        factor_column: String,
+    },
+    /// `toUniversal(x, t)` for phone numbers: strip the tenant's prefix.
+    PhoneStripPrefix {
+        meta_table: String,
+        key_column: String,
+        prefix_column: String,
+    },
+    /// `fromUniversal(x, t)` for phone numbers: prepend the tenant's prefix.
+    PhonePrependPrefix {
+        meta_table: String,
+        key_column: String,
+        prefix_column: String,
+    },
+}
+
+/// Registry mapping conversion-function names to inline specifications.
+#[derive(Debug, Clone, Default)]
+pub struct InlineRegistry {
+    specs: HashMap<String, InlineSpec>,
+}
+
+impl InlineRegistry {
+    /// Empty registry (inlining becomes a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an inline spec for a function name.
+    pub fn register(&mut self, function: &str, spec: InlineSpec) {
+        self.specs.insert(function.to_ascii_lowercase(), spec);
+    }
+
+    /// Look up the spec for a function name.
+    pub fn get(&self, function: &str) -> Option<&InlineSpec> {
+        self.specs.get(&function.to_ascii_lowercase())
+    }
+
+    /// Number of registered specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The registry for the MT-H benchmark: currency factors and phone
+    /// prefixes both live in the `Tenant` meta table.
+    pub fn mt_h() -> Self {
+        let mut reg = Self::new();
+        reg.register(
+            "currencyToUniversal",
+            InlineSpec::Factor {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                factor_column: "T_currency_to".into(),
+            },
+        );
+        reg.register(
+            "currencyFromUniversal",
+            InlineSpec::Factor {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                factor_column: "T_currency_from".into(),
+            },
+        );
+        reg.register(
+            "phoneToUniversal",
+            InlineSpec::PhoneStripPrefix {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                prefix_column: "T_phone_prefix".into(),
+            },
+        );
+        reg.register(
+            "phoneFromUniversal",
+            InlineSpec::PhonePrependPrefix {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                prefix_column: "T_phone_prefix".into(),
+            },
+        );
+        reg
+    }
+}
+
+/// Inline every registered conversion function in the query (and its
+/// sub-queries). Each call adds one join against the meta table to the FROM
+/// clause of the query block the call appears in.
+pub fn inline_query(query: &Query, registry: &InlineRegistry) -> Query {
+    if registry.is_empty() {
+        return query.clone();
+    }
+    let mut state = InlineState {
+        registry,
+        joins: Vec::new(),
+        counter: 0,
+    };
+    let body = &query.body;
+    let projection = body
+        .projection
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                expr: state.inline_expr(expr),
+                alias: alias.clone(),
+            },
+            other => other.clone(),
+        })
+        .collect();
+    let mut from: Vec<TableRef> = body
+        .from
+        .iter()
+        .map(|t| state.inline_table_ref(t))
+        .collect();
+    let selection = body.selection.as_ref().map(|s| state.inline_expr(s));
+    let group_by = body.group_by.iter().map(|g| state.inline_expr(g)).collect();
+    let having = body.having.as_ref().map(|h| state.inline_expr(h));
+    let order_by = query
+        .order_by
+        .iter()
+        .map(|o| OrderByItem {
+            expr: state.inline_expr(&o.expr),
+            asc: o.asc,
+        })
+        .collect();
+
+    // Attach the collected meta-table joins: new FROM entries plus equality
+    // predicates in WHERE.
+    let mut predicates: Vec<Expr> = Vec::new();
+    if let Some(sel) = selection {
+        predicates.push(sel);
+    }
+    for (table, alias, key_column, key_expr) in state.joins.drain(..) {
+        from.push(TableRef::Table {
+            name: table,
+            alias: Some(alias.clone()),
+        });
+        predicates.push(Expr::eq(Expr::qcol(alias, key_column), key_expr));
+    }
+
+    Query {
+        body: Select {
+            distinct: body.distinct,
+            projection,
+            from,
+            selection: Expr::conjunction(predicates),
+            group_by,
+            having,
+        },
+        order_by,
+        limit: query.limit,
+    }
+}
+
+struct InlineState<'a> {
+    registry: &'a InlineRegistry,
+    /// Pending joins: (meta table, alias, key column, key expression).
+    joins: Vec<(String, String, String, Expr)>,
+    counter: usize,
+}
+
+impl InlineState<'_> {
+    fn meta_join(&mut self, table: &str, key_column: &str, key_expr: Expr) -> String {
+        // Reuse an existing join when the same meta table is already joined on
+        // an identical key expression (e.g. both conversion directions of the
+        // same attribute).
+        for (t, alias, k, e) in &self.joins {
+            if t.eq_ignore_ascii_case(table) && k.eq_ignore_ascii_case(key_column) && *e == key_expr
+            {
+                return alias.clone();
+            }
+        }
+        self.counter += 1;
+        let alias = format!("mt_conv{}", self.counter);
+        self.joins
+            .push((table.to_string(), alias.clone(), key_column.to_string(), key_expr));
+        alias
+    }
+
+    fn inline_table_ref(&mut self, table_ref: &TableRef) -> TableRef {
+        match table_ref {
+            TableRef::Table { .. } => table_ref.clone(),
+            TableRef::Derived { query, alias } => TableRef::Derived {
+                query: Box::new(inline_query(query, self.registry)),
+                alias: alias.clone(),
+            },
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => TableRef::Join {
+                left: Box::new(self.inline_table_ref(left)),
+                right: Box::new(self.inline_table_ref(right)),
+                kind: *kind,
+                on: on.as_ref().map(|c| self.inline_expr(c)),
+            },
+        }
+    }
+
+    fn inline_expr(&mut self, expr: &Expr) -> Expr {
+        if let Expr::Function(f) = expr {
+            if f.args.len() == 2 {
+                if let Some(spec) = self.registry.get(&f.name).cloned() {
+                    let value = self.inline_expr(&f.args[0]);
+                    let tenant = self.inline_expr(&f.args[1]);
+                    return self.apply_spec(&spec, value, tenant);
+                }
+            }
+        }
+        match expr {
+            Expr::Column(_) | Expr::Literal(_) => expr.clone(),
+            Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+                left: Box::new(self.inline_expr(left)),
+                op: *op,
+                right: Box::new(self.inline_expr(right)),
+            },
+            Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+                op: *op,
+                expr: Box::new(self.inline_expr(expr)),
+            },
+            Expr::Function(f) => Expr::Function(FunctionCall {
+                name: f.name.clone(),
+                args: f.args.iter().map(|a| self.inline_expr(a)).collect(),
+                distinct: f.distinct,
+            }),
+            Expr::Case {
+                operand,
+                when_then,
+                else_expr,
+            } => Expr::Case {
+                operand: operand.as_ref().map(|o| Box::new(self.inline_expr(o))),
+                when_then: when_then
+                    .iter()
+                    .map(|(w, t)| (self.inline_expr(w), self.inline_expr(t)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(self.inline_expr(e))),
+            },
+            Expr::Exists { query, negated } => Expr::Exists {
+                query: Box::new(inline_query(query, self.registry)),
+                negated: *negated,
+            },
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => Expr::InSubquery {
+                expr: Box::new(self.inline_expr(expr)),
+                query: Box::new(inline_query(query, self.registry)),
+                negated: *negated,
+            },
+            Expr::ScalarSubquery(q) => Expr::ScalarSubquery(Box::new(inline_query(q, self.registry))),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.inline_expr(expr)),
+                list: list.iter().map(|i| self.inline_expr(i)).collect(),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(self.inline_expr(expr)),
+                low: Box::new(self.inline_expr(low)),
+                high: Box::new(self.inline_expr(high)),
+                negated: *negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(self.inline_expr(expr)),
+                pattern: Box::new(self.inline_expr(pattern)),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.inline_expr(expr)),
+                negated: *negated,
+            },
+            Expr::Extract { field, expr } => Expr::Extract {
+                field: *field,
+                expr: Box::new(self.inline_expr(expr)),
+            },
+            Expr::Substring {
+                expr,
+                start,
+                length,
+            } => Expr::Substring {
+                expr: Box::new(self.inline_expr(expr)),
+                start: Box::new(self.inline_expr(start)),
+                length: length.as_ref().map(|l| Box::new(self.inline_expr(l))),
+            },
+            Expr::Cast { expr, data_type } => Expr::Cast {
+                expr: Box::new(self.inline_expr(expr)),
+                data_type: *data_type,
+            },
+        }
+    }
+
+    fn apply_spec(&mut self, spec: &InlineSpec, value: Expr, tenant: Expr) -> Expr {
+        match spec {
+            InlineSpec::Factor {
+                meta_table,
+                key_column,
+                factor_column,
+            } => {
+                let alias = self.meta_join(meta_table, key_column, tenant);
+                Expr::binary(
+                    value,
+                    BinaryOperator::Multiply,
+                    Expr::qcol(alias, factor_column),
+                )
+            }
+            InlineSpec::PhoneStripPrefix {
+                meta_table,
+                key_column,
+                prefix_column,
+            } => {
+                let alias = self.meta_join(meta_table, key_column, tenant);
+                let prefix = Expr::qcol(alias, prefix_column);
+                Expr::Substring {
+                    expr: Box::new(value),
+                    start: Box::new(Expr::binary(
+                        Expr::call("CHAR_LENGTH", vec![prefix]),
+                        BinaryOperator::Plus,
+                        Expr::int(1),
+                    )),
+                    length: None,
+                }
+            }
+            InlineSpec::PhonePrependPrefix {
+                meta_table,
+                key_column,
+                prefix_column,
+            } => {
+                let alias = self.meta_join(meta_table, key_column, tenant);
+                Expr::call("CONCAT", vec![Expr::qcol(alias, prefix_column), value])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{rewrite_query, RewriteSettings};
+    use mtcatalog::running_example_catalog;
+
+    fn canonical(sql: &str) -> Query {
+        let catalog = running_example_catalog();
+        rewrite_query(
+            &mtsql::parse_query(sql).unwrap(),
+            &catalog,
+            &RewriteSettings::canonical(0, vec![0, 1]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inlines_currency_conversion_as_join_and_multiplication() {
+        let q = canonical("SELECT E_salary FROM Employees");
+        let out = inline_query(&q, &InlineRegistry::mt_h());
+        let sql = out.to_string();
+        assert!(!sql.to_lowercase().contains("currencytouniversal("));
+        assert!(sql.contains("Tenant AS mt_conv1"));
+        assert!(sql.contains("Tenant AS mt_conv2"));
+        assert!(sql.contains("T_currency_to"));
+        assert!(sql.contains("T_currency_from"));
+        assert!(sql.contains("mt_conv1.T_tenant_key = Employees.ttid") || sql.contains("mt_conv2.T_tenant_key = Employees.ttid"));
+    }
+
+    #[test]
+    fn reuses_meta_join_for_same_key() {
+        // Two references to the same convertible attribute in the same block
+        // must not explode the number of joins on the same key expression.
+        let q = canonical("SELECT E_salary FROM Employees WHERE E_salary > 100000");
+        let out = inline_query(&q, &InlineRegistry::mt_h());
+        let sql = out.to_string();
+        // one join keyed on Employees.ttid, one keyed on the constant client 0
+        assert_eq!(sql.matches("Tenant AS").count(), 2);
+    }
+
+    #[test]
+    fn empty_registry_is_a_noop() {
+        let q = canonical("SELECT E_salary FROM Employees");
+        assert_eq!(inline_query(&q, &InlineRegistry::new()), q);
+    }
+
+    #[test]
+    fn phone_specs_produce_string_expressions() {
+        let mut registry = InlineRegistry::new();
+        registry.register(
+            "phoneToUniversal",
+            InlineSpec::PhoneStripPrefix {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                prefix_column: "T_phone_prefix".into(),
+            },
+        );
+        registry.register(
+            "phoneFromUniversal",
+            InlineSpec::PhonePrependPrefix {
+                meta_table: "Tenant".into(),
+                key_column: "T_tenant_key".into(),
+                prefix_column: "T_phone_prefix".into(),
+            },
+        );
+        let q = mtsql::parse_query(
+            "SELECT phoneFromUniversal(phoneToUniversal(c_phone, ttid), 1) AS p FROM Customer",
+        )
+        .unwrap();
+        let out = inline_query(&q, &registry).to_string();
+        assert!(out.contains("SUBSTRING"));
+        assert!(out.contains("CONCAT"));
+        assert!(out.contains("CHAR_LENGTH"));
+    }
+}

@@ -1,0 +1,318 @@
+//! `mtrewrite` — the MTSQL→SQL rewrite middleware core of MTBase.
+//!
+//! The crate implements the canonical rewrite algorithm of the paper
+//! (§3.1) plus the optimization passes of §4, organised as the optimization
+//! levels evaluated in the paper (Table 6):
+//!
+//! | level | passes |
+//! |---|---|
+//! | `canonical` | none |
+//! | `o1` | trivial semantic optimizations |
+//! | `o2` | o1 + client-presentation push-up + conversion push-up |
+//! | `o3` | o2 + conversion function distribution |
+//! | `o4` | o3 + conversion function inlining |
+//! | `inl-only` | o1 + conversion function inlining |
+//!
+//! # Example
+//!
+//! ```
+//! use mtcatalog::running_example_catalog;
+//! use mtrewrite::{OptLevel, Rewriter};
+//!
+//! let catalog = running_example_catalog();
+//! let rewriter = Rewriter::new(&catalog);
+//! let query = mtsql::parse_query("SELECT AVG(E_salary) AS avg_sal FROM Employees").unwrap();
+//! let rewritten = rewriter
+//!     .rewrite_query(&query, 0, &[0, 1], OptLevel::Canonical)
+//!     .unwrap();
+//! assert!(rewritten.to_string().contains("currencyToUniversal"));
+//! ```
+
+pub mod canonical;
+pub mod context;
+pub mod error;
+pub mod inline;
+pub mod optimize;
+
+use mtcatalog::{Catalog, TenantId};
+use mtsql::ast::{Expr, Query, ScopeSpec, TableRef};
+
+pub use crate::canonical::{d_filter, rewrite_complex_scope, RewriteSettings};
+pub use crate::error::{Result, RewriteError};
+pub use crate::inline::{InlineRegistry, InlineSpec};
+
+/// The optimization levels evaluated in the paper (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Canonical rewrite without any optimization.
+    Canonical,
+    /// Trivial semantic optimizations (§4.1).
+    O1,
+    /// O1 + client presentation push-up + conversion push-up (§4.2.1).
+    O2,
+    /// O2 + conversion function distribution (§4.2.2).
+    O3,
+    /// O3 + conversion function inlining (§4.2.3).
+    O4,
+    /// O1 + conversion function inlining only.
+    InlineOnly,
+}
+
+impl OptLevel {
+    /// All levels, in the order the paper's tables report them.
+    pub const ALL: [OptLevel; 6] = [
+        OptLevel::Canonical,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::O4,
+        OptLevel::InlineOnly,
+    ];
+
+    /// The label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::Canonical => "canonical",
+            OptLevel::O1 => "o1",
+            OptLevel::O2 => "o2",
+            OptLevel::O3 => "o3",
+            OptLevel::O4 => "o4",
+            OptLevel::InlineOnly => "inl-only",
+        }
+    }
+
+    fn trivial(&self) -> bool {
+        !matches!(self, OptLevel::Canonical)
+    }
+
+    fn pushup(&self) -> bool {
+        matches!(self, OptLevel::O2 | OptLevel::O3 | OptLevel::O4)
+    }
+
+    fn distribute(&self) -> bool {
+        matches!(self, OptLevel::O3 | OptLevel::O4)
+    }
+
+    fn inline(&self) -> bool {
+        matches!(self, OptLevel::O4 | OptLevel::InlineOnly)
+    }
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = RewriteError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "canonical" | "none" => Ok(OptLevel::Canonical),
+            "o1" => Ok(OptLevel::O1),
+            "o2" => Ok(OptLevel::O2),
+            "o3" => Ok(OptLevel::O3),
+            "o4" => Ok(OptLevel::O4),
+            "inl-only" | "inline-only" | "inlonly" => Ok(OptLevel::InlineOnly),
+            other => Err(RewriteError::new(format!("unknown optimization level `{other}`"))),
+        }
+    }
+}
+
+/// The MTSQL→SQL rewriter: canonical rewrite plus optimization pipeline.
+pub struct Rewriter<'a> {
+    catalog: &'a Catalog,
+    inline_registry: InlineRegistry,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Create a rewriter without inlining information (the `o4` and
+    /// `inl-only` levels then behave like `o3` and `o1` respectively).
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Rewriter {
+            catalog,
+            inline_registry: InlineRegistry::new(),
+        }
+    }
+
+    /// Create a rewriter with an inline registry for conversion functions.
+    pub fn with_inline_registry(catalog: &'a Catalog, inline_registry: InlineRegistry) -> Self {
+        Rewriter {
+            catalog,
+            inline_registry,
+        }
+    }
+
+    /// The catalog this rewriter consults.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// Rewrite an MTSQL query for client `C` and (pruned) dataset `D'` at the
+    /// given optimization level.
+    pub fn rewrite_query(
+        &self,
+        query: &Query,
+        client: TenantId,
+        dataset: &[TenantId],
+        level: OptLevel,
+    ) -> Result<Query> {
+        let settings = self.settings(client, dataset, level);
+        let mut rewritten = canonical::rewrite_query(query, self.catalog, &settings)?;
+        if level.pushup() {
+            rewritten = optimize::pushup_query(&rewritten, self.catalog);
+        }
+        if level.distribute() {
+            rewritten = optimize::distribute_query(&rewritten, self.catalog);
+        }
+        if level.inline() {
+            rewritten = inline::inline_query(&rewritten, &self.inline_registry);
+        }
+        Ok(rewritten)
+    }
+
+    /// Rewrite the sub-query of a complex scope (Listing 12).
+    pub fn rewrite_scope(
+        &self,
+        from: &[TableRef],
+        selection: &Option<Expr>,
+        client: TenantId,
+    ) -> Result<Query> {
+        canonical::rewrite_complex_scope(from, selection, self.catalog, client)
+    }
+
+    /// Resolve a scope specification into the dataset `D` (before privilege
+    /// pruning). Simple scopes resolve directly; the empty scope means all
+    /// registered tenants; complex scopes return `None` — the caller has to
+    /// evaluate [`Rewriter::rewrite_scope`] against the database.
+    pub fn resolve_simple_scope(&self, scope: &ScopeSpec) -> Option<Vec<TenantId>> {
+        match scope {
+            ScopeSpec::Simple(ids) => Some(ids.clone()),
+            ScopeSpec::AllTenants => Some(self.catalog.tenants().to_vec()),
+            ScopeSpec::Complex { .. } => None,
+        }
+    }
+
+    /// The rewrite settings implementing the trivial optimizations (§4.1) for
+    /// the given level.
+    fn settings(&self, client: TenantId, dataset: &[TenantId], level: OptLevel) -> RewriteSettings {
+        let mut settings = RewriteSettings::canonical(client, dataset.to_vec());
+        if level.trivial() {
+            let all_tenants = {
+                let mut d = dataset.to_vec();
+                d.sort_unstable();
+                d.dedup();
+                d == self.catalog.tenants()
+            };
+            // D covers every tenant: the D-filters filter nothing.
+            if all_tenants && !self.catalog.tenants().is_empty() {
+                settings.add_d_filters = false;
+            }
+            // |D| = 1: all data stems from one tenant, ttid join predicates
+            // are redundant.
+            if dataset.len() <= 1 {
+                settings.add_ttid_join_predicates = false;
+            }
+            // D = {C}: every value is already in the client's format.
+            if dataset == [client] {
+                settings.add_conversions = false;
+            }
+        }
+        settings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtcatalog::running_example_catalog;
+
+    fn rewrite(sql: &str, client: TenantId, dataset: &[TenantId], level: OptLevel) -> String {
+        let catalog = running_example_catalog();
+        let rewriter = Rewriter::with_inline_registry(&catalog, InlineRegistry::mt_h());
+        rewriter
+            .rewrite_query(&mtsql::parse_query(sql).unwrap(), client, dataset, level)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn opt_level_labels_and_parsing() {
+        for level in OptLevel::ALL {
+            assert_eq!(level.label().parse::<OptLevel>().unwrap(), level);
+        }
+        assert!("bogus".parse::<OptLevel>().is_err());
+    }
+
+    #[test]
+    fn o1_drops_conversions_when_querying_own_data() {
+        let sql = "SELECT E_salary FROM Employees";
+        let canonical = rewrite(sql, 0, &[0], OptLevel::Canonical);
+        let o1 = rewrite(sql, 0, &[0], OptLevel::O1);
+        assert!(canonical.contains("currencyToUniversal"));
+        assert!(!o1.contains("currencyToUniversal"));
+        // The D-filter remains (Table 3: "only the D-filters remain").
+        assert!(o1.contains("Employees.ttid IN (0)"));
+    }
+
+    #[test]
+    fn o1_drops_ttid_join_predicate_for_single_foreign_tenant() {
+        let sql = "SELECT E_name, R_name FROM Employees, Roles WHERE E_role_id = R_role_id";
+        let canonical = rewrite(sql, 0, &[1], OptLevel::Canonical);
+        let o1 = rewrite(sql, 0, &[1], OptLevel::O1);
+        assert!(canonical.contains("Employees.ttid = Roles.ttid"));
+        assert!(!o1.contains("Employees.ttid = Roles.ttid"));
+        assert!(o1.contains("ttid IN (1)"));
+    }
+
+    #[test]
+    fn o1_drops_d_filter_when_querying_all_tenants() {
+        let sql = "SELECT E_age FROM Employees";
+        let o1 = rewrite(sql, 0, &[0, 1], OptLevel::O1);
+        assert!(!o1.contains("ttid IN"));
+    }
+
+    #[test]
+    fn o2_converts_constants_instead_of_attributes() {
+        let sql = "SELECT E_name FROM Employees WHERE E_salary > 100000";
+        let o2 = rewrite(sql, 0, &[0, 1], OptLevel::O2);
+        assert!(o2.contains("E_salary > currencyFromUniversal(currencyToUniversal(100000, 0)"));
+    }
+
+    #[test]
+    fn o3_distributes_aggregates() {
+        let sql = "SELECT SUM(E_salary) AS s FROM Employees";
+        let o3 = rewrite(sql, 0, &[0, 1], OptLevel::O3);
+        assert!(o3.contains("mt_partials"));
+        assert!(o3.contains("GROUP BY Employees.ttid"));
+    }
+
+    #[test]
+    fn o4_and_inl_only_remove_all_udf_calls() {
+        let sql = "SELECT SUM(E_salary) AS s FROM Employees WHERE E_salary > 100000";
+        for level in [OptLevel::O4, OptLevel::InlineOnly] {
+            let out = rewrite(sql, 0, &[0, 1], level);
+            assert!(
+                !out.to_lowercase().contains("currencytouniversal("),
+                "{level:?} still contains UDF calls: {out}"
+            );
+            assert!(out.contains("T_currency_to"));
+        }
+    }
+
+    #[test]
+    fn default_scope_is_client_only() {
+        let catalog = running_example_catalog();
+        let rewriter = Rewriter::new(&catalog);
+        assert_eq!(
+            rewriter.resolve_simple_scope(&ScopeSpec::Simple(vec![1, 3])),
+            Some(vec![1, 3])
+        );
+        assert_eq!(
+            rewriter.resolve_simple_scope(&ScopeSpec::AllTenants),
+            Some(vec![0, 1])
+        );
+        assert_eq!(
+            rewriter.resolve_simple_scope(&ScopeSpec::Complex {
+                from: vec![],
+                selection: None
+            }),
+            None
+        );
+    }
+}

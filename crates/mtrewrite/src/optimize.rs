@@ -1,0 +1,990 @@
+//! Semantic optimization passes on rewritten (plain SQL) queries:
+//! conversion / client-presentation push-up (§4.2.1) and aggregation
+//! distribution (§4.2.2).
+//!
+//! Both passes pattern-match the canonical conversion calls
+//! `fromUniversal(toUniversal(x, ttid), C)` produced by the
+//! [`canonical`](crate::canonical) rewriter and transform them into cheaper
+//! but provably equivalent forms, using the algebraic properties recorded in
+//! the catalog ([`ConversionClass`], Table 2 of the paper).
+
+use mtcatalog::{AggregateKind, Catalog, ConversionClass};
+use mtsql::ast::*;
+
+use crate::context::{is_constant_expr, match_conversion_call, ConversionCall};
+
+// ---------------------------------------------------------------------------
+// Conversion push-up (o2)
+// ---------------------------------------------------------------------------
+
+/// Apply conversion push-up and client-presentation push-up to a query
+/// (recursively, including sub-queries).
+///
+/// Two patterns are transformed in WHERE / HAVING / JOIN-ON predicates:
+///
+/// 1. `conv(attr) <cmp> constant` becomes
+///    `attr <cmp> fromUniversal(toUniversal(constant, C), ttid)`. The constant
+///    is converted *into the owner's format* once per tenant instead of
+///    converting the attribute for every row (Listing 15). Applied only when
+///    the comparison is an equality or the pair is order-preserving.
+/// 2. `conv(a) <cmp> conv(b)` compares in universal format:
+///    `toUniversal(a, ttid_a) <cmp> toUniversal(b, ttid_b)` — saving the two
+///    `fromUniversal` calls (Listing 14 / client presentation push-up).
+pub fn pushup_query(query: &Query, catalog: &Catalog) -> Query {
+    let body = &query.body;
+    Query {
+        body: Select {
+            distinct: body.distinct,
+            projection: body
+                .projection
+                .iter()
+                .map(|item| match item {
+                    SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                        expr: pushup_subqueries_only(expr, catalog),
+                        alias: alias.clone(),
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+            from: body
+                .from
+                .iter()
+                .map(|t| pushup_table_ref(t, catalog))
+                .collect(),
+            selection: body.selection.as_ref().map(|s| pushup_predicate(s, catalog)),
+            group_by: body.group_by.clone(),
+            having: body.having.as_ref().map(|h| pushup_predicate(h, catalog)),
+        },
+        order_by: query.order_by.clone(),
+        limit: query.limit,
+    }
+}
+
+fn pushup_table_ref(table_ref: &TableRef, catalog: &Catalog) -> TableRef {
+    match table_ref {
+        TableRef::Table { .. } => table_ref.clone(),
+        TableRef::Derived { query, alias } => TableRef::Derived {
+            query: Box::new(pushup_query(query, catalog)),
+            alias: alias.clone(),
+        },
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => TableRef::Join {
+            left: Box::new(pushup_table_ref(left, catalog)),
+            right: Box::new(pushup_table_ref(right, catalog)),
+            kind: *kind,
+            on: on.as_ref().map(|c| pushup_predicate(c, catalog)),
+        },
+    }
+}
+
+/// Push conversions in a predicate tree.
+fn pushup_predicate(expr: &Expr, catalog: &Catalog) -> Expr {
+    match expr {
+        Expr::BinaryOp { left, op, right } if op.is_comparison() => {
+            let lconv = match_conversion_call(left, catalog);
+            let rconv = match_conversion_call(right, catalog);
+            match (&lconv, &rconv) {
+                // conv(a) cmp conv(b): compare in universal format.
+                (Some(lc), Some(rc)) => {
+                    if pushup_applicable(lc, *op, catalog) && pushup_applicable(rc, *op, catalog) {
+                        return Expr::BinaryOp {
+                            left: Box::new(lc.to_universal_expr()),
+                            op: *op,
+                            right: Box::new(rc.to_universal_expr()),
+                        };
+                    }
+                }
+                // conv(attr) cmp constant: convert the constant instead.
+                (Some(lc), None) if is_constant_expr(right) => {
+                    if pushup_applicable(lc, *op, catalog) {
+                        return Expr::BinaryOp {
+                            left: Box::new(lc.attr.clone()),
+                            op: *op,
+                            right: Box::new(constant_to_owner_format(lc, right)),
+                        };
+                    }
+                }
+                (None, Some(rc)) if is_constant_expr(left) => {
+                    if pushup_applicable(rc, *op, catalog) {
+                        return Expr::BinaryOp {
+                            left: Box::new(constant_to_owner_format(rc, left)),
+                            op: *op,
+                            right: Box::new(rc.attr.clone()),
+                        };
+                    }
+                }
+                _ => {}
+            }
+            Expr::BinaryOp {
+                left: Box::new(pushup_predicate(left, catalog)),
+                op: *op,
+                right: Box::new(pushup_predicate(right, catalog)),
+            }
+        }
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(pushup_predicate(left, catalog)),
+            op: *op,
+            right: Box::new(pushup_predicate(right, catalog)),
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(pushup_predicate(expr, catalog)),
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            // BETWEEN over a converted attribute with constant bounds behaves
+            // like two comparisons: convert the bounds instead.
+            if let Some(conv) = match_conversion_call(expr, catalog) {
+                if conversion_class(&conv, catalog).is_some_and(|c| c.is_order_preserving())
+                    && is_constant_expr(low)
+                    && is_constant_expr(high)
+                {
+                    return Expr::Between {
+                        expr: Box::new(conv.attr.clone()),
+                        low: Box::new(constant_to_owner_format(&conv, low)),
+                        high: Box::new(constant_to_owner_format(&conv, high)),
+                        negated: *negated,
+                    };
+                }
+            }
+            expr_map_subqueries(
+                &Expr::Between {
+                    expr: expr.clone(),
+                    low: low.clone(),
+                    high: high.clone(),
+                    negated: *negated,
+                },
+                catalog,
+            )
+        }
+        other => expr_map_subqueries(other, catalog),
+    }
+}
+
+/// Is the push-up legal for this comparison operator and conversion class?
+fn pushup_applicable(conv: &ConversionCall, op: BinaryOperator, catalog: &Catalog) -> bool {
+    let Some(class) = conversion_class(conv, catalog) else {
+        return false;
+    };
+    match op {
+        BinaryOperator::Eq | BinaryOperator::NotEq => true,
+        _ => class.is_order_preserving(),
+    }
+}
+
+fn conversion_class(conv: &ConversionCall, catalog: &Catalog) -> Option<ConversionClass> {
+    catalog
+        .conversion_by_name(&conv.to_universal)
+        .map(|p| p.class)
+}
+
+/// Convert a client-format constant into the data owner's format:
+/// `fromUniversal(toUniversal(const, C), ttid)`.
+fn constant_to_owner_format(conv: &ConversionCall, constant: &Expr) -> Expr {
+    Expr::call(
+        &conv.from_universal,
+        vec![
+            Expr::call(&conv.to_universal, vec![constant.clone(), conv.client.clone()]),
+            conv.ttid.clone(),
+        ],
+    )
+}
+
+/// Recurse into sub-queries inside arbitrary expressions without rewriting the
+/// expression itself.
+fn pushup_subqueries_only(expr: &Expr, catalog: &Catalog) -> Expr {
+    expr_map_subqueries(expr, catalog)
+}
+
+fn expr_map_subqueries(expr: &Expr, catalog: &Catalog) -> Expr {
+    match expr {
+        Expr::Exists { query, negated } => Expr::Exists {
+            query: Box::new(pushup_query(query, catalog)),
+            negated: *negated,
+        },
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Expr::InSubquery {
+            expr: Box::new(expr_map_subqueries(expr, catalog)),
+            query: Box::new(pushup_query(query, catalog)),
+            negated: *negated,
+        },
+        Expr::ScalarSubquery(q) => Expr::ScalarSubquery(Box::new(pushup_query(q, catalog))),
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(expr_map_subqueries(left, catalog)),
+            op: *op,
+            right: Box::new(expr_map_subqueries(right, catalog)),
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(expr_map_subqueries(expr, catalog)),
+        },
+        Expr::Function(f) => Expr::Function(FunctionCall {
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| expr_map_subqueries(a, catalog))
+                .collect(),
+            distinct: f.distinct,
+        }),
+        other => other.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation distribution (o3)
+// ---------------------------------------------------------------------------
+
+/// Apply aggregation distribution (Listing 16 of the paper) wherever it is
+/// legal: aggregates over converted attributes are computed per tenant in the
+/// tenant's own format, the partial results converted once per tenant, and the
+/// final result converted once — reducing conversion calls from `2·N` to
+/// `T + 1`.
+///
+/// The transformation rewrites the aggregate query into a two-level query:
+/// an inner query grouping by the original keys *plus* `ttid`, and an outer
+/// query re-aggregating the partials. It is applied only when every aggregate
+/// distributes over the conversion class involved (Table 2); otherwise the
+/// query is returned unchanged (skipping an optimization is always sound).
+pub fn distribute_query(query: &Query, catalog: &Catalog) -> Query {
+    // First recurse into derived tables and sub-queries.
+    let recursed = map_query_blocks(query, catalog);
+    match try_distribute(&recursed, catalog) {
+        Some(q) => q,
+        None => recursed,
+    }
+}
+
+fn map_query_blocks(query: &Query, catalog: &Catalog) -> Query {
+    let body = &query.body;
+    Query {
+        body: Select {
+            distinct: body.distinct,
+            projection: body
+                .projection
+                .iter()
+                .map(|item| match item {
+                    SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                        expr: distribute_in_expr(expr, catalog),
+                        alias: alias.clone(),
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+            from: body
+                .from
+                .iter()
+                .map(|t| distribute_table_ref(t, catalog))
+                .collect(),
+            selection: body.selection.as_ref().map(|s| distribute_in_expr(s, catalog)),
+            group_by: body.group_by.clone(),
+            having: body.having.as_ref().map(|h| distribute_in_expr(h, catalog)),
+        },
+        order_by: query.order_by.clone(),
+        limit: query.limit,
+    }
+}
+
+fn distribute_table_ref(table_ref: &TableRef, catalog: &Catalog) -> TableRef {
+    match table_ref {
+        TableRef::Derived { query, alias } => TableRef::Derived {
+            query: Box::new(distribute_query(query, catalog)),
+            alias: alias.clone(),
+        },
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => TableRef::Join {
+            left: Box::new(distribute_table_ref(left, catalog)),
+            right: Box::new(distribute_table_ref(right, catalog)),
+            kind: *kind,
+            on: on.as_ref().map(|c| distribute_in_expr(c, catalog)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Recurse into sub-queries embedded in expressions so that both sides of a
+/// comparison (e.g. Q15's `total_revenue = (SELECT MAX(total_revenue) ...)`)
+/// receive the same treatment.
+fn distribute_in_expr(expr: &Expr, catalog: &Catalog) -> Expr {
+    match expr {
+        Expr::Exists { query, negated } => Expr::Exists {
+            query: Box::new(distribute_query(query, catalog)),
+            negated: *negated,
+        },
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Expr::InSubquery {
+            expr: Box::new(distribute_in_expr(expr, catalog)),
+            query: Box::new(distribute_query(query, catalog)),
+            negated: *negated,
+        },
+        Expr::ScalarSubquery(q) => Expr::ScalarSubquery(Box::new(distribute_query(q, catalog))),
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(distribute_in_expr(left, catalog)),
+            op: *op,
+            right: Box::new(distribute_in_expr(right, catalog)),
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(distribute_in_expr(expr, catalog)),
+        },
+        Expr::Function(f) => Expr::Function(FunctionCall {
+            name: f.name.clone(),
+            args: f.args.iter().map(|a| distribute_in_expr(a, catalog)).collect(),
+            distinct: f.distinct,
+        }),
+        other => other.clone(),
+    }
+}
+
+/// One aggregate of the original query and its distribution plan.
+struct AggPlan {
+    original: FunctionCall,
+    kind: AggregateKind,
+    /// `Some` when the (normalized) argument is a conversion call.
+    conversion: Option<ConversionCall>,
+    /// Argument of the aggregate with the conversion peeled off (or the plain
+    /// argument for unconverted aggregates). Empty for `COUNT(*)`.
+    arg: Option<Expr>,
+}
+
+fn try_distribute(query: &Query, catalog: &Catalog) -> Option<Query> {
+    let select = &query.body;
+    if select.distinct {
+        return None;
+    }
+    // Group-by keys must not themselves be converted values.
+    if select
+        .group_by
+        .iter()
+        .any(|g| match_conversion_call(g, catalog).is_some())
+    {
+        return None;
+    }
+
+    let mut aggregates: Vec<FunctionCall> = Vec::new();
+    for item in &select.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggregates(expr, &mut aggregates);
+        }
+    }
+    if let Some(h) = &select.having {
+        collect_aggregates(h, &mut aggregates);
+    }
+    for o in &query.order_by {
+        collect_aggregates(&o.expr, &mut aggregates);
+    }
+    if aggregates.is_empty() {
+        return None;
+    }
+
+    // Build per-aggregate plans.
+    let mut plans = Vec::with_capacity(aggregates.len());
+    let mut ttid_expr: Option<Expr> = None;
+    let mut any_converted = false;
+    for agg in &aggregates {
+        if agg.distinct {
+            return None;
+        }
+        let kind = AggregateKind::from_name(&agg.name)?;
+        if agg.args.is_empty() {
+            plans.push(AggPlan {
+                original: agg.clone(),
+                kind,
+                conversion: None,
+                arg: None,
+            });
+            continue;
+        }
+        let normalized = hoist_constant_factor(&agg.args[0], catalog);
+        match match_conversion_call(&normalized, catalog) {
+            Some(conv) => {
+                let class = conversion_class(&conv, catalog)?;
+                if !class.distributes(kind) {
+                    return None;
+                }
+                match &ttid_expr {
+                    None => ttid_expr = Some(conv.ttid.clone()),
+                    Some(existing) if *existing == conv.ttid => {}
+                    Some(_) => return None,
+                }
+                any_converted = true;
+                plans.push(AggPlan {
+                    original: agg.clone(),
+                    kind,
+                    arg: Some(conv.attr.clone()),
+                    conversion: Some(conv),
+                });
+            }
+            None => {
+                // Aggregates over untouched expressions distribute trivially,
+                // but bail out if a conversion call is buried somewhere we
+                // cannot peel it from.
+                if expr_contains_conversion(&normalized, catalog) {
+                    return None;
+                }
+                plans.push(AggPlan {
+                    original: agg.clone(),
+                    kind,
+                    conversion: None,
+                    arg: Some(normalized),
+                });
+            }
+        }
+    }
+    if !any_converted {
+        return None;
+    }
+    let ttid_expr = ttid_expr?;
+
+    // ------------------------------------------------------------------
+    // Inner query: per (group keys, ttid) partial aggregates.
+    // ------------------------------------------------------------------
+    let mut inner_projection: Vec<SelectItem> = Vec::new();
+    let mut group_aliases: Vec<String> = Vec::new();
+    for (i, g) in select.group_by.iter().enumerate() {
+        let alias = format!("mt_g{i}");
+        inner_projection.push(SelectItem::aliased(g.clone(), alias.clone()));
+        group_aliases.push(alias);
+    }
+    inner_projection.push(SelectItem::aliased(ttid_expr.clone(), "mt_ttid"));
+
+    // For each plan emit the partial columns and remember how to combine them.
+    let mut combine_exprs: Vec<Expr> = Vec::new();
+    for (j, plan) in plans.iter().enumerate() {
+        let partial = format!("mt_p{j}");
+        match (&plan.conversion, plan.kind) {
+            (None, AggregateKind::Count) => {
+                inner_projection.push(SelectItem::aliased(
+                    Expr::Function(plan.original.clone()),
+                    partial.clone(),
+                ));
+                combine_exprs.push(Expr::call("SUM", vec![Expr::col(&partial)]));
+            }
+            (None, AggregateKind::Sum) => {
+                inner_projection.push(SelectItem::aliased(
+                    Expr::Function(plan.original.clone()),
+                    partial.clone(),
+                ));
+                combine_exprs.push(Expr::call("SUM", vec![Expr::col(&partial)]));
+            }
+            (None, AggregateKind::Min) | (None, AggregateKind::Max) => {
+                let f = if plan.kind == AggregateKind::Min { "MIN" } else { "MAX" };
+                inner_projection.push(SelectItem::aliased(
+                    Expr::Function(plan.original.clone()),
+                    partial.clone(),
+                ));
+                combine_exprs.push(Expr::call(f, vec![Expr::col(&partial)]));
+            }
+            (None, AggregateKind::Avg) => {
+                let sum_alias = format!("{partial}_sum");
+                let cnt_alias = format!("{partial}_cnt");
+                let arg = plan.arg.clone().expect("AVG has an argument");
+                inner_projection.push(SelectItem::aliased(
+                    Expr::call("SUM", vec![arg.clone()]),
+                    sum_alias.clone(),
+                ));
+                inner_projection.push(SelectItem::aliased(
+                    Expr::call("COUNT", vec![arg]),
+                    cnt_alias.clone(),
+                ));
+                combine_exprs.push(Expr::binary(
+                    Expr::call("SUM", vec![Expr::col(&sum_alias)]),
+                    BinaryOperator::Divide,
+                    Expr::call("SUM", vec![Expr::col(&cnt_alias)]),
+                ));
+            }
+            (None, AggregateKind::Holistic) => return None,
+            (Some(conv), kind) => {
+                let arg = plan.arg.clone().expect("converted aggregates have an argument");
+                match kind {
+                    AggregateKind::Count => {
+                        inner_projection.push(SelectItem::aliased(
+                            Expr::call("COUNT", vec![arg]),
+                            partial.clone(),
+                        ));
+                        combine_exprs.push(Expr::call("SUM", vec![Expr::col(&partial)]));
+                    }
+                    AggregateKind::Min | AggregateKind::Max => {
+                        let f = if kind == AggregateKind::Min { "MIN" } else { "MAX" };
+                        // toUniversal(MIN(arg), ttid): one conversion per
+                        // (group, tenant).
+                        inner_projection.push(SelectItem::aliased(
+                            Expr::call(
+                                &conv.to_universal,
+                                vec![Expr::call(f, vec![arg]), ttid_expr.clone()],
+                            ),
+                            partial.clone(),
+                        ));
+                        combine_exprs.push(Expr::call(
+                            &conv.from_universal,
+                            vec![Expr::call(f, vec![Expr::col(&partial)]), conv.client.clone()],
+                        ));
+                    }
+                    AggregateKind::Sum | AggregateKind::Avg => {
+                        // Per-tenant average converted to universal plus the
+                        // count: correct for every linear conversion pair
+                        // (Appendix B of the paper).
+                        let avg_alias = format!("{partial}_avg");
+                        let cnt_alias = format!("{partial}_cnt");
+                        inner_projection.push(SelectItem::aliased(
+                            Expr::call(
+                                &conv.to_universal,
+                                vec![Expr::call("AVG", vec![arg.clone()]), ttid_expr.clone()],
+                            ),
+                            avg_alias.clone(),
+                        ));
+                        inner_projection.push(SelectItem::aliased(
+                            Expr::call("COUNT", vec![arg]),
+                            cnt_alias.clone(),
+                        ));
+                        let weighted_sum = Expr::call(
+                            "SUM",
+                            vec![Expr::binary(
+                                Expr::col(&avg_alias),
+                                BinaryOperator::Multiply,
+                                Expr::col(&cnt_alias),
+                            )],
+                        );
+                        let universal = if kind == AggregateKind::Sum {
+                            weighted_sum
+                        } else {
+                            Expr::binary(
+                                weighted_sum,
+                                BinaryOperator::Divide,
+                                Expr::call("SUM", vec![Expr::col(&cnt_alias)]),
+                            )
+                        };
+                        combine_exprs.push(Expr::call(
+                            &conv.from_universal,
+                            vec![universal, conv.client.clone()],
+                        ));
+                    }
+                    AggregateKind::Holistic => return None,
+                }
+            }
+        }
+    }
+
+    let mut inner_group_by = select.group_by.clone();
+    inner_group_by.push(ttid_expr);
+    let inner = Query::from_select(Select {
+        distinct: false,
+        projection: inner_projection,
+        from: select.from.clone(),
+        selection: select.selection.clone(),
+        group_by: inner_group_by,
+        having: None,
+    });
+
+    // ------------------------------------------------------------------
+    // Outer query: re-aggregate the partials.
+    // ------------------------------------------------------------------
+    let substitute = |expr: &Expr| -> Expr {
+        substitute_for_outer(expr, &select.group_by, &group_aliases, &plans, &combine_exprs)
+    };
+
+    let outer_projection: Vec<SelectItem> = select
+        .projection
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { expr, alias } => {
+                let new_alias = alias.clone().or_else(|| match expr {
+                    Expr::Column(c) => Some(c.name.clone()),
+                    _ => None,
+                });
+                SelectItem::Expr {
+                    expr: substitute(expr),
+                    alias: new_alias,
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    let outer_group_by: Vec<Expr> = group_aliases.iter().map(|a| Expr::col(a)).collect();
+    let outer_having = select.having.as_ref().map(|h| substitute(h));
+    let outer_order_by: Vec<OrderByItem> = query
+        .order_by
+        .iter()
+        .map(|o| OrderByItem {
+            expr: substitute(&o.expr),
+            asc: o.asc,
+        })
+        .collect();
+
+    // Verify the outer query references only inner output columns.
+    let inner_outputs: Vec<String> = {
+        let mut names: Vec<String> = group_aliases.clone();
+        names.push("mt_ttid".to_string());
+        for item in &inner.body.projection {
+            if let SelectItem::Expr { alias: Some(a), .. } = item {
+                if !names.contains(a) {
+                    names.push(a.clone());
+                }
+            }
+        }
+        names
+    };
+    let mut outer_cols = Vec::new();
+    for item in &outer_projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            mtsql::visit::collect_columns(expr, &mut outer_cols);
+        }
+    }
+    if let Some(h) = &outer_having {
+        mtsql::visit::collect_columns(h, &mut outer_cols);
+    }
+    for o in &outer_order_by {
+        mtsql::visit::collect_columns(&o.expr, &mut outer_cols);
+    }
+    let ok = outer_cols.iter().all(|c| {
+        inner_outputs
+            .iter()
+            .any(|n| n.eq_ignore_ascii_case(&c.name))
+    });
+    if !ok {
+        return None;
+    }
+
+    Some(Query {
+        body: Select {
+            distinct: false,
+            projection: outer_projection,
+            from: vec![TableRef::Derived {
+                query: Box::new(inner),
+                alias: "mt_partials".to_string(),
+            }],
+            selection: None,
+            group_by: outer_group_by,
+            having: outer_having,
+        },
+        order_by: outer_order_by,
+        limit: query.limit,
+    })
+}
+
+/// Replace group-by expressions with their inner aliases and aggregate calls
+/// with their combine expressions.
+fn substitute_for_outer(
+    expr: &Expr,
+    group_by: &[Expr],
+    group_aliases: &[String],
+    plans: &[AggPlan],
+    combine_exprs: &[Expr],
+) -> Expr {
+    for (i, g) in group_by.iter().enumerate() {
+        if g == expr {
+            return Expr::col(&group_aliases[i]);
+        }
+    }
+    if let Expr::Function(f) = expr {
+        if f.is_aggregate() {
+            for (j, plan) in plans.iter().enumerate() {
+                if plan.original == *f {
+                    return combine_exprs[j].clone();
+                }
+            }
+        }
+    }
+    match expr {
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(substitute_for_outer(left, group_by, group_aliases, plans, combine_exprs)),
+            op: *op,
+            right: Box::new(substitute_for_outer(
+                right,
+                group_by,
+                group_aliases,
+                plans,
+                combine_exprs,
+            )),
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(substitute_for_outer(
+                expr,
+                group_by,
+                group_aliases,
+                plans,
+                combine_exprs,
+            )),
+        },
+        Expr::Function(f) => Expr::Function(FunctionCall {
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| substitute_for_outer(a, group_by, group_aliases, plans, combine_exprs))
+                .collect(),
+            distinct: f.distinct,
+        }),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => Expr::Case {
+            operand: operand.as_ref().map(|o| {
+                Box::new(substitute_for_outer(o, group_by, group_aliases, plans, combine_exprs))
+            }),
+            when_then: when_then
+                .iter()
+                .map(|(w, t)| {
+                    (
+                        substitute_for_outer(w, group_by, group_aliases, plans, combine_exprs),
+                        substitute_for_outer(t, group_by, group_aliases, plans, combine_exprs),
+                    )
+                })
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| {
+                Box::new(substitute_for_outer(e, group_by, group_aliases, plans, combine_exprs))
+            }),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Hoist constant-factor conversions out of multiplicative expressions:
+/// `conv(x) * rest` becomes `conv(x * rest)` when the pair is a multiplication
+/// by a constant (the paper's fully-multiplication-preserving property), so
+/// that the whole aggregate argument is wrapped by a single conversion.
+pub fn hoist_constant_factor(expr: &Expr, catalog: &Catalog) -> Expr {
+    if match_conversion_call(expr, catalog).is_some() {
+        return expr.clone();
+    }
+    match expr {
+        Expr::BinaryOp { left, op, right }
+            if matches!(op, BinaryOperator::Multiply | BinaryOperator::Divide) =>
+        {
+            let l = hoist_constant_factor(left, catalog);
+            let r = hoist_constant_factor(right, catalog);
+            let lconv = match_conversion_call(&l, catalog);
+            let rconv = match_conversion_call(&r, catalog);
+            let is_constant_factor = |c: &ConversionCall| {
+                conversion_class(c, catalog) == Some(ConversionClass::ConstantFactor)
+            };
+            match (lconv, rconv) {
+                (Some(lc), None)
+                    if is_constant_factor(&lc) && !expr_contains_conversion(&r, catalog) =>
+                {
+                    ConversionCall {
+                        attr: Expr::BinaryOp {
+                            left: Box::new(lc.attr.clone()),
+                            op: *op,
+                            right: Box::new(r),
+                        },
+                        ..lc
+                    }
+                    .to_expr()
+                }
+                (None, Some(rc))
+                    if *op == BinaryOperator::Multiply
+                        && is_constant_factor(&rc)
+                        && !expr_contains_conversion(&l, catalog) =>
+                {
+                    ConversionCall {
+                        attr: Expr::BinaryOp {
+                            left: Box::new(l),
+                            op: *op,
+                            right: Box::new(rc.attr.clone()),
+                        },
+                        ..rc
+                    }
+                    .to_expr()
+                }
+                _ => Expr::BinaryOp {
+                    left: Box::new(l),
+                    op: *op,
+                    right: Box::new(r),
+                },
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Does the expression contain any conversion-function call?
+pub fn expr_contains_conversion(expr: &Expr, catalog: &Catalog) -> bool {
+    if match_conversion_call(expr, catalog).is_some() {
+        return true;
+    }
+    if let Expr::Function(f) = expr {
+        if catalog.conversion_by_name(&f.name).is_some() {
+            return true;
+        }
+    }
+    match expr {
+        Expr::BinaryOp { left, right, .. } => {
+            expr_contains_conversion(left, catalog) || expr_contains_conversion(right, catalog)
+        }
+        Expr::UnaryOp { expr, .. } => expr_contains_conversion(expr, catalog),
+        Expr::Function(f) => f.args.iter().any(|a| expr_contains_conversion(a, catalog)),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            operand
+                .as_deref()
+                .is_some_and(|o| expr_contains_conversion(o, catalog))
+                || when_then.iter().any(|(w, t)| {
+                    expr_contains_conversion(w, catalog) || expr_contains_conversion(t, catalog)
+                })
+                || else_expr
+                    .as_deref()
+                    .is_some_and(|e| expr_contains_conversion(e, catalog))
+        }
+        _ => false,
+    }
+}
+
+/// Collect aggregate function calls (top-level, not inside sub-queries).
+pub fn collect_aggregates(expr: &Expr, out: &mut Vec<FunctionCall>) {
+    match expr {
+        Expr::Function(f) if f.is_aggregate() => {
+            if !out.contains(f) {
+                out.push(f.clone());
+            }
+        }
+        Expr::Function(f) => f.args.iter().for_each(|a| collect_aggregates(a, out)),
+        Expr::BinaryOp { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::UnaryOp { expr, .. } => collect_aggregates(expr, out),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_aggregates(o, out);
+            }
+            for (w, t) in when_then {
+                collect_aggregates(w, out);
+                collect_aggregates(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_aggregates(e, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{rewrite_query, RewriteSettings};
+    use mtcatalog::running_example_catalog;
+
+    fn canonical(sql: &str) -> Query {
+        let catalog = running_example_catalog();
+        rewrite_query(
+            &mtsql::parse_query(sql).unwrap(),
+            &catalog,
+            &RewriteSettings::canonical(0, vec![0, 1]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pushup_converts_constant_instead_of_attribute() {
+        let catalog = running_example_catalog();
+        let q = canonical("SELECT E_name FROM Employees WHERE E_salary > 100000");
+        let out = pushup_query(&q, &catalog).to_string();
+        // The attribute is compared raw; the constant gets the conversion.
+        assert!(out.contains("E_salary > currencyFromUniversal(currencyToUniversal(100000, 0), Employees.ttid)"));
+    }
+
+    #[test]
+    fn pushup_compares_two_attributes_in_universal_format() {
+        let catalog = running_example_catalog();
+        let q = canonical(
+            "SELECT E1.E_name FROM Employees E1, Employees E2 WHERE E1.E_salary > E2.E_salary",
+        );
+        let out = pushup_query(&q, &catalog).to_string();
+        assert!(!out.contains("currencyFromUniversal"));
+        assert_eq!(out.matches("currencyToUniversal").count(), 2);
+    }
+
+    #[test]
+    fn pushup_preserves_select_conversions() {
+        let catalog = running_example_catalog();
+        let q = canonical("SELECT E_salary FROM Employees");
+        let out = pushup_query(&q, &catalog).to_string();
+        assert!(out.contains("currencyFromUniversal(currencyToUniversal(E_salary"));
+    }
+
+    #[test]
+    fn hoisting_pulls_constant_factor_conversion_outward() {
+        let catalog = running_example_catalog();
+        let q = canonical("SELECT SUM(E_salary * (1 - E_age)) AS x FROM Employees");
+        // grab the aggregate argument
+        let SelectItem::Expr { expr, .. } = &q.body.projection[0] else {
+            panic!()
+        };
+        let Expr::Function(f) = expr else { panic!() };
+        let hoisted = hoist_constant_factor(&f.args[0], &catalog);
+        let conv = match_conversion_call(&hoisted, &catalog).expect("hoisted to full conversion");
+        assert!(matches!(conv.attr, Expr::BinaryOp { .. }));
+    }
+
+    #[test]
+    fn distribution_produces_two_level_aggregate() {
+        let catalog = running_example_catalog();
+        let q = canonical("SELECT SUM(E_salary) AS sum_sal FROM Employees");
+        let out = distribute_query(&q, &catalog);
+        let sql = out.to_string();
+        assert!(sql.contains("GROUP BY"), "inner grouping by ttid expected: {sql}");
+        assert!(sql.contains("mt_partials"));
+        // outer conversion to client format happens exactly once
+        assert_eq!(sql.matches("currencyFromUniversal").count(), 1);
+        // inner conversion of the per-tenant partial happens on the AVG
+        assert_eq!(sql.matches("currencyToUniversal").count(), 1);
+    }
+
+    #[test]
+    fn distribution_keeps_group_by_keys() {
+        let catalog = running_example_catalog();
+        let q = canonical(
+            "SELECT E_age, AVG(E_salary) AS avg_sal, COUNT(*) AS cnt FROM Employees \
+             GROUP BY E_age ORDER BY E_age",
+        );
+        let out = distribute_query(&q, &catalog);
+        let sql = out.to_string();
+        assert!(sql.contains("mt_g0"));
+        assert!(sql.contains("GROUP BY mt_g0"));
+    }
+
+    #[test]
+    fn distribution_is_skipped_for_distinct_aggregates() {
+        let catalog = running_example_catalog();
+        let q = canonical("SELECT COUNT(DISTINCT E_salary) AS c FROM Employees");
+        let out = distribute_query(&q, &catalog);
+        assert_eq!(out, q);
+    }
+
+    #[test]
+    fn distribution_is_skipped_without_converted_aggregates() {
+        let catalog = running_example_catalog();
+        let q = canonical("SELECT COUNT(*) AS c, AVG(E_age) AS a FROM Employees GROUP BY E_reg_id");
+        let out = distribute_query(&q, &catalog);
+        assert_eq!(out, q);
+    }
+}

@@ -1,0 +1,684 @@
+//! Abstract syntax tree for SQL and MTSQL statements.
+//!
+//! The same types represent MTSQL input and plain-SQL output of the rewrite
+//! algorithm; MT-specific constructs ([`TableGenerality`], [`Comparability`],
+//! [`ScopeSpec`], [`Statement::Grant`] …) simply never appear in rewritten
+//! statements.
+
+use serde::{Deserialize, Serialize};
+
+/// A tenant identifier (`ttid` in the paper). The paper uses integers for
+/// simplicity; so do we.
+pub type TenantId = i64;
+
+/// Top-level (MT)SQL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// A query (`SELECT ...`).
+    Select(Query),
+    /// `CREATE TABLE` with MTSQL generality / comparability annotations.
+    CreateTable(CreateTable),
+    /// `CREATE VIEW name AS query`.
+    CreateView(CreateView),
+    /// `CREATE FUNCTION` used to register conversion functions.
+    CreateFunction(CreateFunction),
+    /// `DROP TABLE [IF EXISTS] name`.
+    DropTable { name: String, if_exists: bool },
+    /// `DROP VIEW [IF EXISTS] name`.
+    DropView { name: String, if_exists: bool },
+    /// `INSERT INTO ...`.
+    Insert(Insert),
+    /// `UPDATE ...`.
+    Update(Update),
+    /// `DELETE FROM ...`.
+    Delete(Delete),
+    /// MTSQL `GRANT privileges ON object TO tenant`.
+    Grant(Grant),
+    /// MTSQL `REVOKE privileges ON object FROM tenant`.
+    Revoke(Revoke),
+    /// MTSQL `SET SCOPE = "..."` — selects the dataset `D`.
+    SetScope(ScopeSpec),
+}
+
+/// A full query: a [`Select`] body plus `ORDER BY` / `LIMIT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The `SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...` body.
+    pub body: Select,
+    /// `ORDER BY` items (empty when absent).
+    pub order_by: Vec<OrderByItem>,
+    /// `LIMIT n` if present.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Wrap a [`Select`] body into a query without ordering or limit.
+    pub fn from_select(body: Select) -> Self {
+        Query {
+            body,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+}
+
+/// The body of a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// `FROM` items (comma-separated table references, possibly join trees).
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub selection: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+impl Default for Select {
+    fn default() -> Self {
+        Select {
+            distinct: false,
+            projection: Vec::new(),
+            from: Vec::new(),
+            selection: None,
+            group_by: Vec::new(),
+            having: None,
+        }
+    }
+}
+
+/// A single item of the projection list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An arbitrary expression with an optional `AS alias`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+impl SelectItem {
+    /// Convenience constructor for an un-aliased expression item.
+    pub fn expr(expr: Expr) -> Self {
+        SelectItem::Expr { expr, alias: None }
+    }
+
+    /// Convenience constructor for an aliased expression item.
+    pub fn aliased(expr: Expr, alias: impl Into<String>) -> Self {
+        SelectItem::Expr {
+            expr,
+            alias: Some(alias.into()),
+        }
+    }
+}
+
+/// A table reference in the `FROM` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableRef {
+    /// A base table (or view) with an optional alias.
+    Table { name: String, alias: Option<String> },
+    /// A derived table `( query ) AS alias`.
+    Derived { query: Box<Query>, alias: String },
+    /// An explicit join of two table references.
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        /// `ON` condition; `None` only for cross joins.
+        on: Option<Expr>,
+    },
+}
+
+impl TableRef {
+    /// A base table reference without alias.
+    pub fn table(name: impl Into<String>) -> Self {
+        TableRef::Table {
+            name: name.into(),
+            alias: None,
+        }
+    }
+
+    /// A base table reference with an alias.
+    pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef::Table {
+            name: name.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// The name the rest of the query uses to refer to this table reference
+    /// (alias if given, otherwise the table name; `None` for joins).
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Table { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Derived { alias, .. } => Some(alias),
+            TableRef::Join { .. } => None,
+        }
+    }
+}
+
+/// Join flavours supported by the engine and the rewriter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    /// `true` for ascending (default), `false` for `DESC`.
+    pub asc: bool,
+}
+
+/// Scalar/boolean expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Column reference, optionally qualified (`E1.E_salary`).
+    Column(ColumnRef),
+    /// Literal constant.
+    Literal(Literal),
+    /// Binary operation.
+    BinaryOp {
+        left: Box<Expr>,
+        op: BinaryOperator,
+        right: Box<Expr>,
+    },
+    /// Unary operation (`NOT x`, `-x`).
+    UnaryOp { op: UnaryOperator, expr: Box<Expr> },
+    /// Function call — scalar UDF or aggregate, distinguished by name.
+    Function(FunctionCall),
+    /// `CASE [operand] WHEN ... THEN ... [ELSE ...] END`.
+    Case {
+        operand: Option<Box<Expr>>,
+        when_then: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists { query: Box<Query>, negated: bool },
+    /// `expr [NOT] IN (subquery)`.
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (list…)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// Scalar subquery `(SELECT ...)` producing a single value.
+    ScalarSubquery(Box<Query>),
+    /// `EXTRACT(field FROM expr)`.
+    Extract { field: DateField, expr: Box<Expr> },
+    /// `SUBSTRING(expr FROM start [FOR length])` (1-based start).
+    Substring {
+        expr: Box<Expr>,
+        start: Box<Expr>,
+        length: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type)`.
+    Cast { expr: Box<Expr>, data_type: DataType },
+}
+
+impl Expr {
+    /// Unqualified column reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Column(ColumnRef {
+            table: None,
+            name: name.into(),
+        })
+    }
+
+    /// Qualified column reference.
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Self {
+        Expr::Column(ColumnRef {
+            table: Some(table.into()),
+            name: name.into(),
+        })
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Self {
+        Expr::Literal(Literal::Integer(v))
+    }
+
+    /// Floating point literal.
+    pub fn float(v: f64) -> Self {
+        Expr::Literal(Literal::Float(v))
+    }
+
+    /// String literal.
+    pub fn string(v: impl Into<String>) -> Self {
+        Expr::Literal(Literal::String(v.into()))
+    }
+
+    /// Binary operation helper.
+    pub fn binary(left: Expr, op: BinaryOperator, right: Expr) -> Self {
+        Expr::BinaryOp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// `left = right`.
+    pub fn eq(left: Expr, right: Expr) -> Self {
+        Expr::binary(left, BinaryOperator::Eq, right)
+    }
+
+    /// `left AND right`.
+    pub fn and(left: Expr, right: Expr) -> Self {
+        Expr::binary(left, BinaryOperator::And, right)
+    }
+
+    /// Combine a list of predicates with `AND`; `None` if the list is empty.
+    pub fn conjunction(mut preds: Vec<Expr>) -> Option<Expr> {
+        if preds.is_empty() {
+            return None;
+        }
+        let mut acc = preds.remove(0);
+        for p in preds {
+            acc = Expr::and(acc, p);
+        }
+        Some(acc)
+    }
+
+    /// Scalar function call helper.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Self {
+        Expr::Function(FunctionCall {
+            name: name.into(),
+            args,
+            distinct: false,
+        })
+    }
+}
+
+/// A reference to a column, optionally qualified by a table name or alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Canonical display form (`table.name` or `name`).
+    pub fn to_display(&self) -> String {
+        match &self.table {
+            Some(t) => format!("{t}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    Null,
+    Boolean(bool),
+    Integer(i64),
+    Float(f64),
+    String(String),
+    /// `DATE 'YYYY-MM-DD'`
+    Date(String),
+    /// `INTERVAL 'n' unit`
+    Interval { value: i64, unit: IntervalUnit },
+}
+
+/// Units for interval literals (sufficient for TPC-H date arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntervalUnit {
+    Day,
+    Month,
+    Year,
+}
+
+/// Fields usable in `EXTRACT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DateField {
+    Year,
+    Month,
+    Day,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOperator {
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Concat,
+}
+
+impl BinaryOperator {
+    /// `true` for comparison operators producing booleans.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOperator::Eq
+                | BinaryOperator::NotEq
+                | BinaryOperator::Lt
+                | BinaryOperator::LtEq
+                | BinaryOperator::Gt
+                | BinaryOperator::GtEq
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOperator {
+    Not,
+    Minus,
+    Plus,
+}
+
+/// A function call (scalar or aggregate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionCall {
+    pub name: String,
+    pub args: Vec<Expr>,
+    /// `COUNT(DISTINCT x)` style calls.
+    pub distinct: bool,
+}
+
+impl FunctionCall {
+    /// Whether this call is one of the standard SQL aggregate functions.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(
+            self.name.to_ascii_uppercase().as_str(),
+            "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+/// MTSQL table generality (§2.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TableGenerality {
+    /// Shared by all tenants (`Regions`); only comparable attributes.
+    #[default]
+    Global,
+    /// Tenant-specific data, one logical instance per tenant.
+    TenantSpecific,
+}
+
+/// MTSQL attribute comparability (Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Comparability {
+    /// Directly comparable across tenants.
+    Comparable,
+    /// Needs conversion through the universal format before comparison.
+    Convertible {
+        to_universal: String,
+        from_universal: String,
+    },
+    /// Makes no sense to compare across tenants (keys etc.).
+    TenantSpecific,
+}
+
+/// Supported column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    Integer,
+    BigInt,
+    /// DECIMAL(p, s) — evaluated as double precision by the engine.
+    Decimal(u8, u8),
+    Double,
+    Varchar(u16),
+    Char(u16),
+    Date,
+    Boolean,
+}
+
+/// Column definition within `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+    /// MTSQL comparability; `None` means "use the default for the table's
+    /// generality" (comparable for global, tenant-specific for specific).
+    pub comparability: Option<Comparability>,
+}
+
+/// Table constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableConstraint {
+    PrimaryKey {
+        name: Option<String>,
+        columns: Vec<String>,
+    },
+    ForeignKey {
+        name: Option<String>,
+        columns: Vec<String>,
+        foreign_table: String,
+        referred_columns: Vec<String>,
+    },
+    Check {
+        name: Option<String>,
+        expr: Expr,
+    },
+}
+
+/// `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateTable {
+    pub name: String,
+    pub generality: TableGenerality,
+    pub columns: Vec<ColumnDef>,
+    pub constraints: Vec<TableConstraint>,
+}
+
+/// `CREATE VIEW` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateView {
+    pub name: String,
+    pub query: Query,
+}
+
+/// `CREATE FUNCTION` statement registering a (conversion) UDF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateFunction {
+    pub name: String,
+    pub arg_types: Vec<DataType>,
+    pub returns: DataType,
+    /// The SQL body as written (kept opaque; the engine binds names to native
+    /// implementations).
+    pub body: String,
+    pub language: String,
+    pub immutable: bool,
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+/// `INSERT INTO table [(cols)] VALUES ... | query`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Insert {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub source: InsertSource,
+}
+
+/// Data source of an `INSERT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Query(Box<Query>),
+}
+
+/// `UPDATE table SET col = expr, ... [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub selection: Option<Expr>,
+}
+
+/// `DELETE FROM table [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delete {
+    pub table: String,
+    pub selection: Option<Expr>,
+}
+
+// ---------------------------------------------------------------------------
+// DCL + scope
+// ---------------------------------------------------------------------------
+
+/// Access privileges (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Privilege {
+    Read,
+    Insert,
+    Update,
+    Delete,
+    Grant,
+    Revoke,
+}
+
+/// The object a `GRANT`/`REVOKE` applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrantObject {
+    Database,
+    Table(String),
+}
+
+/// Who receives (or loses) the privileges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Grantee {
+    Tenant(TenantId),
+    /// `ALL` — interpreted w.r.t. the current dataset `D`.
+    All,
+}
+
+/// `GRANT privileges ON object TO grantee`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grant {
+    pub privileges: Vec<Privilege>,
+    pub object: GrantObject,
+    pub grantee: Grantee,
+}
+
+/// `REVOKE privileges ON object FROM grantee`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Revoke {
+    pub privileges: Vec<Privilege>,
+    pub object: GrantObject,
+    pub grantee: Grantee,
+}
+
+/// The dataset selector `D` set via `SET SCOPE = "..."` (§2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScopeSpec {
+    /// `IN (t1, t2, ...)`. The paper defines the *empty* `IN ()` list to mean
+    /// "all tenants in the database"; we model that case separately as
+    /// [`ScopeSpec::AllTenants`] to keep intent explicit.
+    Simple(Vec<TenantId>),
+    /// `IN ()` — every tenant present in the database.
+    AllTenants,
+    /// Complex scope: every tenant owning at least one record that satisfies
+    /// the `FROM`/`WHERE` sub-query is part of `D`.
+    Complex {
+        from: Vec<TableRef>,
+        selection: Option<Expr>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_helpers_build_expected_shapes() {
+        let e = Expr::eq(Expr::col("a"), Expr::int(1));
+        match e {
+            Expr::BinaryOp { op, .. } => assert_eq!(op, BinaryOperator::Eq),
+            _ => panic!("expected binary op"),
+        }
+    }
+
+    #[test]
+    fn conjunction_of_empty_list_is_none() {
+        assert_eq!(Expr::conjunction(vec![]), None);
+    }
+
+    #[test]
+    fn conjunction_folds_left() {
+        let c = Expr::conjunction(vec![Expr::col("a"), Expr::col("b"), Expr::col("c")]).unwrap();
+        // ((a AND b) AND c)
+        match c {
+            Expr::BinaryOp { left, op, .. } => {
+                assert_eq!(op, BinaryOperator::And);
+                assert!(matches!(*left, Expr::BinaryOp { .. }));
+            }
+            _ => panic!("expected conjunction"),
+        }
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = FunctionCall {
+            name: "sum".into(),
+            args: vec![Expr::col("x")],
+            distinct: false,
+        };
+        assert!(agg.is_aggregate());
+        let udf = FunctionCall {
+            name: "currencyToUniversal".into(),
+            args: vec![],
+            distinct: false,
+        };
+        assert!(!udf.is_aggregate());
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        assert_eq!(TableRef::aliased("Employees", "E1").binding_name(), Some("E1"));
+        assert_eq!(TableRef::table("Roles").binding_name(), Some("Roles"));
+    }
+
+    #[test]
+    fn table_generality_defaults_to_global() {
+        assert_eq!(TableGenerality::default(), TableGenerality::Global);
+    }
+}

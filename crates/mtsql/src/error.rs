@@ -1,0 +1,61 @@
+//! Error type shared by the lexer and the parser.
+
+use std::fmt;
+
+/// Error produced while tokenizing or parsing (MT)SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input at which the error was detected, if known.
+    pub offset: Option<usize>,
+}
+
+impl ParseError {
+    /// Create a new error without position information.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// Create a new error at the given byte offset of the input.
+    pub fn at(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "parse error at byte {}: {}", off, self.message),
+            None => write!(f, "parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenient result alias for the parser API.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_without_offset() {
+        let e = ParseError::new("unexpected end of input");
+        assert_eq!(e.to_string(), "parse error: unexpected end of input");
+    }
+
+    #[test]
+    fn display_with_offset() {
+        let e = ParseError::at("unexpected token", 17);
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected token");
+    }
+}

@@ -1,0 +1,314 @@
+//! Hand-written lexer turning (MT)SQL text into a token stream.
+
+use crate::error::{ParseError, Result};
+use crate::token::{is_keyword, Token, TokenKind};
+
+/// Tokenize the full input, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+///
+/// Comments (`-- ...` until end of line) and whitespace are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let offset = self.pos;
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semicolon),
+                b'.' => self.single(TokenKind::Dot),
+                b'*' => self.single(TokenKind::Star),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'/' => self.single(TokenKind::Slash),
+                b'%' => self.single(TokenKind::Percent),
+                b'=' => self.single(TokenKind::Eq),
+                b'|' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'|') {
+                        self.pos += 1;
+                        TokenKind::Concat
+                    } else {
+                        return Err(ParseError::at("expected `||`", offset));
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        TokenKind::NotEq
+                    } else {
+                        return Err(ParseError::at("expected `!=`", offset));
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            TokenKind::LtEq
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            TokenKind::NotEq
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        TokenKind::GtEq
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'\'' => self.string_literal()?,
+                b'@' => {
+                    self.pos += 1;
+                    let ident = self.identifier_text();
+                    if ident.is_empty() {
+                        return Err(ParseError::at("expected identifier after `@`", offset));
+                    }
+                    TokenKind::AtIdent(ident)
+                }
+                b'"' => self.quoted_identifier()?,
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let word = self.identifier_text();
+                    if is_keyword(&word) {
+                        TokenKind::Keyword(word.to_ascii_uppercase())
+                    } else {
+                        TokenKind::Ident(word)
+                    }
+                }
+                other => {
+                    return Err(ParseError::at(
+                        format!("unexpected character `{}`", other as char),
+                        offset,
+                    ))
+                }
+            };
+            tokens.push(Token { kind, offset });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn identifier_text(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        TokenKind::Number(self.input[start..self.pos].to_string())
+    }
+
+    fn string_literal(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError::at("unterminated string literal", start)),
+                Some(b'\'') => {
+                    if self.peek2() == Some(b'\'') {
+                        out.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::StringLit(out));
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is copied through verbatim.
+                    let ch_start = self.pos;
+                    let ch = self.input[ch_start..].chars().next().expect("valid utf8");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn quoted_identifier(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let ident_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let text = self.input[ident_start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(TokenKind::Ident(text));
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::at("unterminated quoted identifier", start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = kinds("SELECT a, b FROM t WHERE a >= 10;");
+        assert_eq!(toks[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(toks[1], TokenKind::Ident("a".into()));
+        assert_eq!(toks[2], TokenKind::Comma);
+        assert!(toks.contains(&TokenKind::GtEq));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = kinds("select From wHeRe");
+        assert_eq!(toks[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(toks[1], TokenKind::Keyword("FROM".into()));
+        assert_eq!(toks[2], TokenKind::Keyword("WHERE".into()));
+    }
+
+    #[test]
+    fn numbers_ints_and_decimals() {
+        let toks = kinds("42 3.14 0.5");
+        assert_eq!(toks[0], TokenKind::Number("42".into()));
+        assert_eq!(toks[1], TokenKind::Number("3.14".into()));
+        assert_eq!(toks[2], TokenKind::Number("0.5".into()));
+    }
+
+    #[test]
+    fn string_literal_with_escaped_quote() {
+        let toks = kinds("'it''s'");
+        assert_eq!(toks[0], TokenKind::StringLit("it's".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("SELECT a -- trailing comment\nFROM t");
+        assert_eq!(toks.len(), 5); // SELECT a FROM t EOF
+    }
+
+    #[test]
+    fn at_identifier_for_conversion_functions() {
+        let toks = kinds("CONVERTIBLE @currencyToUniversal @currencyFromUniversal");
+        assert_eq!(toks[1], TokenKind::AtIdent("currencyToUniversal".into()));
+        assert_eq!(toks[2], TokenKind::AtIdent("currencyFromUniversal".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = kinds("<> != <= >= < > = || + - * / %");
+        assert_eq!(toks[0], TokenKind::NotEq);
+        assert_eq!(toks[1], TokenKind::NotEq);
+        assert_eq!(toks[2], TokenKind::LtEq);
+        assert_eq!(toks[3], TokenKind::GtEq);
+        assert_eq!(toks[4], TokenKind::Lt);
+        assert_eq!(toks[5], TokenKind::Gt);
+        assert_eq!(toks[6], TokenKind::Eq);
+        assert_eq!(toks[7], TokenKind::Concat);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let toks = kinds("\"Weird Name\"");
+        assert_eq!(toks[0], TokenKind::Ident("Weird Name".into()));
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let toks = tokenize("SELECT  a").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 8);
+    }
+}

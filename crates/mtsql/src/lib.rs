@@ -1,0 +1,47 @@
+//! SQL + MTSQL front-end: lexer, abstract syntax tree, recursive-descent
+//! parser and SQL pretty-printer.
+//!
+//! MTSQL (from *MTBase: Optimizing Cross-Tenant Database Queries*, EDBT 2018)
+//! extends plain SQL with
+//!
+//! * `SET SCOPE = "..."` connection statements that select the *dataset* `D`
+//!   of tenants a statement applies to (either a simple `IN (...)` list or a
+//!   complex sub-query scope),
+//! * `CREATE TABLE ... GLOBAL | SPECIFIC` table generality,
+//! * per-column comparability annotations `COMPARABLE`, `SPECIFIC` and
+//!   `CONVERTIBLE @toUniversal @fromUniversal`,
+//! * `GRANT`/`REVOKE` statements whose meaning depends on the issuing tenant
+//!   `C` and on `D`.
+//!
+//! The same [`ast`] types describe both MTSQL input and the plain SQL output
+//! of the rewrite algorithm in the `mtrewrite` crate; plain SQL is simply the
+//! subset that uses none of the MT-specific constructs.
+//!
+//! # Example
+//!
+//! ```
+//! use mtsql::parse_statement;
+//! use mtsql::ast::Statement;
+//!
+//! let stmt = parse_statement(
+//!     "SELECT E_name, AVG(E_salary) AS avg_sal \
+//!      FROM Employees WHERE E_age >= 45 GROUP BY E_name",
+//! )
+//! .unwrap();
+//! match stmt {
+//!     Statement::Select(q) => assert_eq!(q.body.projection.len(), 2),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+pub mod visit;
+
+pub use ast::{Expr, Query, Select, Statement};
+pub use error::{ParseError, Result};
+pub use parser::{parse_expression, parse_query, parse_statement, parse_statements, Parser};

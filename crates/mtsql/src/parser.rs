@@ -1,0 +1,1686 @@
+//! Recursive-descent parser for SQL and MTSQL statements.
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse a single statement (trailing `;` allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut parser = Parser::new(input)?;
+    let stmt = parser.parse_statement()?;
+    parser.consume_optional_semicolons();
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated list of statements.
+pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
+    let mut parser = Parser::new(input)?;
+    let mut out = Vec::new();
+    loop {
+        parser.consume_optional_semicolons();
+        if parser.at_eof() {
+            return Ok(out);
+        }
+        out.push(parser.parse_statement()?);
+    }
+}
+
+/// Parse a query (`SELECT ...`).
+pub fn parse_query(input: &str) -> Result<Query> {
+    let mut parser = Parser::new(input)?;
+    let q = parser.parse_query()?;
+    parser.consume_optional_semicolons();
+    parser.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone expression (useful in tests and for scope predicates).
+pub fn parse_expression(input: &str) -> Result<Expr> {
+    let mut parser = Parser::new(input)?;
+    let e = parser.parse_expr()?;
+    parser.expect_eof()?;
+    Ok(e)
+}
+
+/// The parser state: a token stream and a cursor.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Tokenize `input` and create a parser over it.
+    pub fn new(input: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+        })
+    }
+
+    // -- token helpers ------------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                format!("expected end of input, found {}", self.peek()),
+                self.offset(),
+            ))
+        }
+    }
+
+    fn consume_optional_semicolons(&mut self) {
+        while matches!(self.peek(), TokenKind::Semicolon) {
+            self.advance();
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if k == kw)
+    }
+
+    fn keyword_ahead_is(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_ahead(n), TokenKind::Keyword(k) if k == kw)
+    }
+
+    /// Consume the given keyword if it is next; returns whether it was there.
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if self.keyword_is(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.accept_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                format!("expected keyword `{kw}`, found {}", self.peek()),
+                self.offset(),
+            ))
+        }
+    }
+
+    fn accept(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.accept(kind) {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                format!("expected {kind}, found {}", self.peek()),
+                self.offset(),
+            ))
+        }
+    }
+
+    /// Consume an identifier (also accepting keywords that commonly double as
+    /// identifiers, e.g. a column called `date`).
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(ParseError::at(
+                format!("expected identifier, found {other}"),
+                self.offset(),
+            )),
+        }
+    }
+
+    fn expect_number_i64(&mut self) -> Result<i64> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                n.parse::<i64>()
+                    .map_err(|_| ParseError::at(format!("expected integer, found `{n}`"), self.offset()))
+            }
+            other => Err(ParseError::at(
+                format!("expected number, found {other}"),
+                self.offset(),
+            )),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    /// Parse one statement starting at the current position.
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        match self.peek().clone() {
+            TokenKind::Keyword(k) => match k.as_str() {
+                "SELECT" => Ok(Statement::Select(self.parse_query()?)),
+                "CREATE" => self.parse_create(),
+                "DROP" => self.parse_drop(),
+                "INSERT" => self.parse_insert(),
+                "UPDATE" => self.parse_update(),
+                "DELETE" => self.parse_delete(),
+                "GRANT" => self.parse_grant(),
+                "REVOKE" => self.parse_revoke(),
+                "SET" => self.parse_set_scope(),
+                other => Err(ParseError::at(
+                    format!("unexpected statement keyword `{other}`"),
+                    self.offset(),
+                )),
+            },
+            other => Err(ParseError::at(
+                format!("expected a statement, found {other}"),
+                self.offset(),
+            )),
+        }
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    /// Parse a full query: SELECT body plus ORDER BY / LIMIT.
+    pub fn parse_query(&mut self) -> Result<Query> {
+        let body = self.parse_select()?;
+        let mut order_by = Vec::new();
+        if self.accept_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let asc = if self.accept_keyword("DESC") {
+                    false
+                } else {
+                    self.accept_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderByItem { expr, asc });
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.accept_keyword("LIMIT") {
+            limit = Some(self.expect_number_i64()? as u64);
+        }
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.accept_keyword("DISTINCT");
+        if !distinct {
+            self.accept_keyword("ALL");
+        }
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.parse_select_item()?);
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.accept_keyword("FROM") {
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let selection = if self.accept_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.accept_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.accept_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if matches!(self.peek(), TokenKind::Star) {
+            self.advance();
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.*
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if matches!(self.peek_ahead(1), TokenKind::Dot)
+                && matches!(self.peek_ahead(2), TokenKind::Star)
+            {
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.accept_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if let TokenKind::Ident(name) = self.peek().clone() {
+            // implicit alias: `SELECT a b FROM …` style. Only accept when the
+            // identifier is not followed by something making it part of an
+            // expression (we already finished the expression).
+            self.advance();
+            Some(name)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            let kind = if self.keyword_is("JOIN") || self.keyword_is("INNER") {
+                self.accept_keyword("INNER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::Inner
+            } else if self.keyword_is("LEFT") {
+                self.advance();
+                self.accept_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::Left
+            } else if self.keyword_is("CROSS") {
+                self.advance();
+                self.expect_keyword("JOIN")?;
+                JoinKind::Cross
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_table_factor()?;
+            let on = if kind == JoinKind::Cross {
+                None
+            } else {
+                self.expect_keyword("ON")?;
+                Some(self.parse_expr()?)
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableRef> {
+        if self.accept(&TokenKind::LParen) {
+            let query = self.parse_query()?;
+            self.expect(&TokenKind::RParen)?;
+            self.accept_keyword("AS");
+            let alias = self.expect_ident()?;
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.expect_ident()?;
+        let alias = if self.accept_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if let TokenKind::Ident(alias) = self.peek().clone() {
+            self.advance();
+            Some(alias)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    /// Parse an expression (lowest precedence: `OR`).
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.accept_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinaryOperator::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.accept_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::binary(left, BinaryOperator::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.keyword_is("NOT") && !self.keyword_ahead_is(1, "EXISTS") {
+            self.advance();
+            let inner = self.parse_not()?;
+            return Ok(Expr::UnaryOp {
+                op: UnaryOperator::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // postfix predicates: IS NULL, BETWEEN, IN, LIKE, NOT IN/LIKE/BETWEEN
+        if self.accept_keyword("IS") {
+            let negated = self.accept_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = if self.keyword_is("NOT")
+            && (self.keyword_ahead_is(1, "IN")
+                || self.keyword_ahead_is(1, "LIKE")
+                || self.keyword_ahead_is(1, "BETWEEN"))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.accept_keyword("IN") {
+            self.expect(&TokenKind::LParen)?;
+            if self.keyword_is("SELECT") {
+                let q = self.parse_query()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    list.push(self.parse_expr()?);
+                    if !self.accept(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.accept_keyword("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.accept_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(ParseError::at(
+                "expected IN, LIKE or BETWEEN after NOT",
+                self.offset(),
+            ));
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinaryOperator::Eq,
+            TokenKind::NotEq => BinaryOperator::NotEq,
+            TokenKind::Lt => BinaryOperator::Lt,
+            TokenKind::LtEq => BinaryOperator::LtEq,
+            TokenKind::Gt => BinaryOperator::Gt,
+            TokenKind::GtEq => BinaryOperator::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOperator::Plus,
+                TokenKind::Minus => BinaryOperator::Minus,
+                TokenKind::Concat => BinaryOperator::Concat,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOperator::Multiply,
+                TokenKind::Slash => BinaryOperator::Divide,
+                TokenKind::Percent => BinaryOperator::Modulo,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.advance();
+                let inner = self.parse_unary()?;
+                Ok(Expr::UnaryOp {
+                    op: UnaryOperator::Minus,
+                    expr: Box::new(inner),
+                })
+            }
+            TokenKind::Plus => {
+                self.advance();
+                self.parse_unary()
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                if n.contains('.') {
+                    let v: f64 = n
+                        .parse()
+                        .map_err(|_| ParseError::at(format!("bad number `{n}`"), self.offset()))?;
+                    Ok(Expr::Literal(Literal::Float(v)))
+                } else {
+                    let v: i64 = n
+                        .parse()
+                        .map_err(|_| ParseError::at(format!("bad number `{n}`"), self.offset()))?;
+                    Ok(Expr::Literal(Literal::Integer(v)))
+                }
+            }
+            TokenKind::StringLit(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            TokenKind::Keyword(kw) => match kw.as_str() {
+                "NULL" => {
+                    self.advance();
+                    Ok(Expr::Literal(Literal::Null))
+                }
+                "TRUE" => {
+                    self.advance();
+                    Ok(Expr::Literal(Literal::Boolean(true)))
+                }
+                "FALSE" => {
+                    self.advance();
+                    Ok(Expr::Literal(Literal::Boolean(false)))
+                }
+                "DATE" => {
+                    self.advance();
+                    match self.peek().clone() {
+                        TokenKind::StringLit(s) => {
+                            self.advance();
+                            Ok(Expr::Literal(Literal::Date(s)))
+                        }
+                        other => Err(ParseError::at(
+                            format!("expected date string, found {other}"),
+                            self.offset(),
+                        )),
+                    }
+                }
+                "INTERVAL" => {
+                    self.advance();
+                    let value = match self.peek().clone() {
+                        TokenKind::StringLit(s) => {
+                            self.advance();
+                            s.trim().parse::<i64>().map_err(|_| {
+                                ParseError::at(format!("bad interval value `{s}`"), self.offset())
+                            })?
+                        }
+                        TokenKind::Number(n) => {
+                            self.advance();
+                            n.parse::<i64>().map_err(|_| {
+                                ParseError::at(format!("bad interval value `{n}`"), self.offset())
+                            })?
+                        }
+                        other => {
+                            return Err(ParseError::at(
+                                format!("expected interval value, found {other}"),
+                                self.offset(),
+                            ))
+                        }
+                    };
+                    let unit_word = self.expect_ident()?.to_ascii_uppercase();
+                    let unit = match unit_word.as_str() {
+                        "DAY" | "DAYS" => IntervalUnit::Day,
+                        "MONTH" | "MONTHS" => IntervalUnit::Month,
+                        "YEAR" | "YEARS" => IntervalUnit::Year,
+                        other => {
+                            return Err(ParseError::at(
+                                format!("unsupported interval unit `{other}`"),
+                                self.offset(),
+                            ))
+                        }
+                    };
+                    Ok(Expr::Literal(Literal::Interval { value, unit }))
+                }
+                "CASE" => self.parse_case(),
+                "EXISTS" => {
+                    self.advance();
+                    self.expect(&TokenKind::LParen)?;
+                    let q = self.parse_query()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Exists {
+                        query: Box::new(q),
+                        negated: false,
+                    })
+                }
+                "NOT" => {
+                    // NOT EXISTS
+                    self.advance();
+                    self.expect_keyword("EXISTS")?;
+                    self.expect(&TokenKind::LParen)?;
+                    let q = self.parse_query()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Exists {
+                        query: Box::new(q),
+                        negated: true,
+                    })
+                }
+                "CAST" => {
+                    self.advance();
+                    self.expect(&TokenKind::LParen)?;
+                    let inner = self.parse_expr()?;
+                    self.expect_keyword("AS")?;
+                    let data_type = self.parse_data_type()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Cast {
+                        expr: Box::new(inner),
+                        data_type,
+                    })
+                }
+                "CONCAT" => {
+                    self.advance();
+                    self.expect(&TokenKind::LParen)?;
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.accept(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::call("CONCAT", args))
+                }
+                other => Err(ParseError::at(
+                    format!("unexpected keyword `{other}` in expression"),
+                    self.offset(),
+                )),
+            },
+            TokenKind::LParen => {
+                self.advance();
+                if self.keyword_is("SELECT") {
+                    let q = self.parse_query()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => self.parse_ident_led(name),
+            other => Err(ParseError::at(
+                format!("unexpected {other} in expression"),
+                self.offset(),
+            )),
+        }
+    }
+
+    /// Parse an expression starting with an identifier: column reference,
+    /// qualified column, function call, `EXTRACT`, `SUBSTRING`.
+    fn parse_ident_led(&mut self, name: String) -> Result<Expr> {
+        self.advance();
+        let upper = name.to_ascii_uppercase();
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.advance();
+            return match upper.as_str() {
+                "EXTRACT" => {
+                    // EXTRACT(YEAR FROM expr)
+                    let field_word = self.expect_ident()?.to_ascii_uppercase();
+                    let field = match field_word.as_str() {
+                        "YEAR" => DateField::Year,
+                        "MONTH" => DateField::Month,
+                        "DAY" => DateField::Day,
+                        other => {
+                            return Err(ParseError::at(
+                                format!("unsupported EXTRACT field `{other}`"),
+                                self.offset(),
+                            ))
+                        }
+                    };
+                    self.expect_keyword("FROM")?;
+                    let inner = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Extract {
+                        field,
+                        expr: Box::new(inner),
+                    })
+                }
+                "SUBSTRING" | "SUBSTR" => {
+                    let inner = self.parse_expr()?;
+                    let (start, length) = if self.accept_keyword("FROM") {
+                        let start = self.parse_expr()?;
+                        let length = if self.accept_keyword("FOR") || self.accept(&TokenKind::Comma)
+                        {
+                            Some(Box::new(self.parse_expr()?))
+                        } else {
+                            None
+                        };
+                        (start, length)
+                    } else {
+                        self.expect(&TokenKind::Comma)?;
+                        let start = self.parse_expr()?;
+                        let length = if self.accept(&TokenKind::Comma) {
+                            Some(Box::new(self.parse_expr()?))
+                        } else {
+                            None
+                        };
+                        (start, length)
+                    };
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Substring {
+                        expr: Box::new(inner),
+                        start: Box::new(start),
+                        length,
+                    })
+                }
+                _ => {
+                    // function call, possibly COUNT(*) or DISTINCT argument
+                    let mut distinct = false;
+                    let mut args = Vec::new();
+                    if matches!(self.peek(), TokenKind::Star) {
+                        self.advance();
+                        self.expect(&TokenKind::RParen)?;
+                        return Ok(Expr::Function(FunctionCall {
+                            name,
+                            args,
+                            distinct,
+                        }));
+                    }
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        distinct = self.accept_keyword("DISTINCT");
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.accept(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Function(FunctionCall {
+                        name,
+                        args,
+                        distinct,
+                    }))
+                }
+            };
+        }
+        if matches!(self.peek(), TokenKind::Dot) {
+            self.advance();
+            let col = self.expect_ident()?;
+            return Ok(Expr::Column(ColumnRef {
+                table: Some(name),
+                name: col,
+            }));
+        }
+        Ok(Expr::Column(ColumnRef { table: None, name }))
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_keyword("CASE")?;
+        let operand = if self.keyword_is("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut when_then = Vec::new();
+        while self.accept_keyword("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let value = self.parse_expr()?;
+            when_then.push((cond, value));
+        }
+        let else_expr = if self.accept_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        })
+    }
+
+    // -- DDL ----------------------------------------------------------------
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        self.expect_keyword("CREATE")?;
+        if self.accept_keyword("TABLE") {
+            return self.parse_create_table();
+        }
+        if self.accept_keyword("VIEW") {
+            let name = self.expect_ident()?;
+            self.expect_keyword("AS")?;
+            let query = self.parse_query()?;
+            return Ok(Statement::CreateView(CreateView { name, query }));
+        }
+        if self.accept_keyword("FUNCTION") {
+            return self.parse_create_function();
+        }
+        Err(ParseError::at(
+            format!("expected TABLE, VIEW or FUNCTION after CREATE, found {}", self.peek()),
+            self.offset(),
+        ))
+    }
+
+    fn parse_create_table(&mut self) -> Result<Statement> {
+        let name = self.expect_ident()?;
+        let generality = if self.accept_keyword("SPECIFIC") {
+            TableGenerality::TenantSpecific
+        } else {
+            self.accept_keyword("GLOBAL");
+            TableGenerality::Global
+        };
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut constraints = Vec::new();
+        loop {
+            if self.keyword_is("CONSTRAINT")
+                || self.keyword_is("PRIMARY")
+                || self.keyword_is("FOREIGN")
+                || self.keyword_is("CHECK")
+            {
+                constraints.push(self.parse_table_constraint()?);
+            } else {
+                columns.push(self.parse_column_def()?);
+            }
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Statement::CreateTable(CreateTable {
+            name,
+            generality,
+            columns,
+            constraints,
+        }))
+    }
+
+    fn parse_column_def(&mut self) -> Result<ColumnDef> {
+        let name = self.expect_ident()?;
+        let data_type = self.parse_data_type()?;
+        let mut not_null = false;
+        let mut comparability = None;
+        loop {
+            if self.keyword_is("NOT") && self.keyword_ahead_is(1, "NULL") {
+                self.advance();
+                self.advance();
+                not_null = true;
+            } else if self.accept_keyword("COMPARABLE") {
+                comparability = Some(Comparability::Comparable);
+            } else if self.accept_keyword("SPECIFIC") {
+                comparability = Some(Comparability::TenantSpecific);
+            } else if self.accept_keyword("CONVERTIBLE") {
+                let to = match self.peek().clone() {
+                    TokenKind::AtIdent(f) => {
+                        self.advance();
+                        f
+                    }
+                    other => {
+                        return Err(ParseError::at(
+                            format!("expected @toUniversal function, found {other}"),
+                            self.offset(),
+                        ))
+                    }
+                };
+                let from = match self.peek().clone() {
+                    TokenKind::AtIdent(f) => {
+                        self.advance();
+                        f
+                    }
+                    other => {
+                        return Err(ParseError::at(
+                            format!("expected @fromUniversal function, found {other}"),
+                            self.offset(),
+                        ))
+                    }
+                };
+                comparability = Some(Comparability::Convertible {
+                    to_universal: to,
+                    from_universal: from,
+                });
+            } else if self.accept_keyword("DEFAULT") {
+                // consume and ignore a default literal
+                let _ = self.parse_expr()?;
+            } else {
+                break;
+            }
+        }
+        Ok(ColumnDef {
+            name,
+            data_type,
+            not_null,
+            comparability,
+        })
+    }
+
+    fn parse_data_type(&mut self) -> Result<DataType> {
+        let word = match self.peek().clone() {
+            TokenKind::Ident(w) => {
+                self.advance();
+                w.to_ascii_uppercase()
+            }
+            TokenKind::Keyword(k) if k == "DATE" => {
+                self.advance();
+                "DATE".to_string()
+            }
+            other => {
+                return Err(ParseError::at(
+                    format!("expected data type, found {other}"),
+                    self.offset(),
+                ))
+            }
+        };
+        let ty = match word.as_str() {
+            "INTEGER" | "INT" => DataType::Integer,
+            "BIGINT" => DataType::BigInt,
+            "DOUBLE" | "FLOAT" | "REAL" => DataType::Double,
+            "BOOLEAN" | "BOOL" => DataType::Boolean,
+            "DATE" => DataType::Date,
+            "DECIMAL" | "NUMERIC" => {
+                let (p, s) = if self.accept(&TokenKind::LParen) {
+                    let p = self.expect_number_i64()? as u8;
+                    let s = if self.accept(&TokenKind::Comma) {
+                        self.expect_number_i64()? as u8
+                    } else {
+                        0
+                    };
+                    self.expect(&TokenKind::RParen)?;
+                    (p, s)
+                } else {
+                    (15, 2)
+                };
+                DataType::Decimal(p, s)
+            }
+            "VARCHAR" => {
+                let n = if self.accept(&TokenKind::LParen) {
+                    let n = self.expect_number_i64()? as u16;
+                    self.expect(&TokenKind::RParen)?;
+                    n
+                } else {
+                    255
+                };
+                DataType::Varchar(n)
+            }
+            "CHAR" | "CHARACTER" => {
+                let n = if self.accept(&TokenKind::LParen) {
+                    let n = self.expect_number_i64()? as u16;
+                    self.expect(&TokenKind::RParen)?;
+                    n
+                } else {
+                    1
+                };
+                DataType::Char(n)
+            }
+            other => {
+                return Err(ParseError::at(
+                    format!("unsupported data type `{other}`"),
+                    self.offset(),
+                ))
+            }
+        };
+        Ok(ty)
+    }
+
+    fn parse_table_constraint(&mut self) -> Result<TableConstraint> {
+        let name = if self.accept_keyword("CONSTRAINT") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        if self.accept_keyword("PRIMARY") {
+            self.expect_keyword("KEY")?;
+            let columns = self.parse_paren_name_list()?;
+            return Ok(TableConstraint::PrimaryKey { name, columns });
+        }
+        if self.accept_keyword("FOREIGN") {
+            self.expect_keyword("KEY")?;
+            let columns = self.parse_paren_name_list()?;
+            self.expect_keyword("REFERENCES")?;
+            let foreign_table = self.expect_ident()?;
+            let referred_columns = self.parse_paren_name_list()?;
+            return Ok(TableConstraint::ForeignKey {
+                name,
+                columns,
+                foreign_table,
+                referred_columns,
+            });
+        }
+        if self.accept_keyword("CHECK") {
+            self.expect(&TokenKind::LParen)?;
+            let expr = self.parse_expr()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(TableConstraint::Check { name, expr });
+        }
+        Err(ParseError::at(
+            format!("expected PRIMARY KEY, FOREIGN KEY or CHECK, found {}", self.peek()),
+            self.offset(),
+        ))
+    }
+
+    fn parse_paren_name_list(&mut self) -> Result<Vec<String>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut names = Vec::new();
+        loop {
+            names.push(self.expect_ident()?);
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(names)
+    }
+
+    fn parse_create_function(&mut self) -> Result<Statement> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut arg_types = Vec::new();
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                arg_types.push(self.parse_data_type()?);
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect_keyword("RETURNS")?;
+        let returns = self.parse_data_type()?;
+        self.expect_keyword("AS")?;
+        let body = match self.peek().clone() {
+            TokenKind::StringLit(s) => {
+                self.advance();
+                s
+            }
+            other => {
+                return Err(ParseError::at(
+                    format!("expected function body string, found {other}"),
+                    self.offset(),
+                ))
+            }
+        };
+        self.expect_keyword("LANGUAGE")?;
+        let language = match self.peek().clone() {
+            TokenKind::Ident(l) => {
+                self.advance();
+                l
+            }
+            other => {
+                return Err(ParseError::at(
+                    format!("expected language name, found {other}"),
+                    self.offset(),
+                ))
+            }
+        };
+        let immutable = self.accept_keyword("IMMUTABLE");
+        Ok(Statement::CreateFunction(CreateFunction {
+            name,
+            arg_types,
+            returns,
+            body,
+            language,
+            immutable,
+        }))
+    }
+
+    fn parse_drop(&mut self) -> Result<Statement> {
+        self.expect_keyword("DROP")?;
+        let is_view = if self.accept_keyword("TABLE") {
+            false
+        } else {
+            self.expect_keyword("VIEW")?;
+            true
+        };
+        let if_exists = if self.accept_keyword("IF") {
+            self.expect_keyword("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident()?;
+        Ok(if is_view {
+            Statement::DropView { name, if_exists }
+        } else {
+            Statement::DropTable { name, if_exists }
+        })
+    }
+
+    // -- DML ----------------------------------------------------------------
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.expect_ident()?;
+        let columns = if matches!(self.peek(), TokenKind::LParen)
+            && !self.keyword_ahead_is(1, "SELECT")
+        {
+            self.parse_paren_name_list()?
+        } else {
+            Vec::new()
+        };
+        let source = if self.accept_keyword("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&TokenKind::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.parse_expr()?);
+                    if !self.accept(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                rows.push(row);
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else {
+            let wrapped = self.accept(&TokenKind::LParen);
+            let q = self.parse_query()?;
+            if wrapped {
+                self.expect(&TokenKind::RParen)?;
+            }
+            InsertSource::Query(Box::new(q))
+        };
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            source,
+        }))
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.expect_ident()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push((col, value));
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let selection = if self.accept_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            assignments,
+            selection,
+        }))
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident()?;
+        let selection = if self.accept_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete { table, selection }))
+    }
+
+    // -- DCL + scope --------------------------------------------------------
+
+    fn parse_privileges(&mut self) -> Result<Vec<Privilege>> {
+        let mut privileges = Vec::new();
+        loop {
+            let p = if self.accept_keyword("READ") {
+                Privilege::Read
+            } else if self.accept_keyword("INSERT") {
+                Privilege::Insert
+            } else if self.accept_keyword("UPDATE") {
+                Privilege::Update
+            } else if self.accept_keyword("DELETE") {
+                Privilege::Delete
+            } else if self.accept_keyword("GRANT") {
+                Privilege::Grant
+            } else if self.accept_keyword("REVOKE") {
+                Privilege::Revoke
+            } else if self.accept_keyword("ALL") {
+                privileges.extend([
+                    Privilege::Read,
+                    Privilege::Insert,
+                    Privilege::Update,
+                    Privilege::Delete,
+                ]);
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+                continue;
+            } else {
+                return Err(ParseError::at(
+                    format!("expected privilege, found {}", self.peek()),
+                    self.offset(),
+                ));
+            };
+            privileges.push(p);
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(privileges)
+    }
+
+    fn parse_grant_object(&mut self) -> Result<GrantObject> {
+        self.expect_keyword("ON")?;
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if name.eq_ignore_ascii_case("DATABASE") {
+                self.advance();
+                return Ok(GrantObject::Database);
+            }
+            self.advance();
+            return Ok(GrantObject::Table(name));
+        }
+        Err(ParseError::at(
+            format!("expected table name or DATABASE, found {}", self.peek()),
+            self.offset(),
+        ))
+    }
+
+    fn parse_grantee(&mut self) -> Result<Grantee> {
+        if self.accept_keyword("ALL") {
+            return Ok(Grantee::All);
+        }
+        let id = self.expect_number_i64()?;
+        Ok(Grantee::Tenant(id))
+    }
+
+    fn parse_grant(&mut self) -> Result<Statement> {
+        self.expect_keyword("GRANT")?;
+        let privileges = self.parse_privileges()?;
+        let object = self.parse_grant_object()?;
+        self.expect_keyword("TO")?;
+        let grantee = self.parse_grantee()?;
+        Ok(Statement::Grant(Grant {
+            privileges,
+            object,
+            grantee,
+        }))
+    }
+
+    fn parse_revoke(&mut self) -> Result<Statement> {
+        self.expect_keyword("REVOKE")?;
+        let privileges = self.parse_privileges()?;
+        let object = self.parse_grant_object()?;
+        self.expect_keyword("FROM")?;
+        let grantee = self.parse_grantee()?;
+        Ok(Statement::Revoke(Revoke {
+            privileges,
+            object,
+            grantee,
+        }))
+    }
+
+    fn parse_set_scope(&mut self) -> Result<Statement> {
+        self.expect_keyword("SET")?;
+        self.expect_keyword("SCOPE")?;
+        self.expect(&TokenKind::Eq)?;
+        // The scope expression arrives either as a quoted string
+        // (`SET SCOPE = "IN (1,2)"` / `SET SCOPE = 'IN (1,2)'`) or inline.
+        let spec_text = match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                s
+            }
+            TokenKind::StringLit(s) => {
+                self.advance();
+                s
+            }
+            _ => {
+                // Inline form: parse directly from the remaining tokens.
+                return Ok(Statement::SetScope(self.parse_scope_spec()?));
+            }
+        };
+        let mut inner = Parser::new(&spec_text)?;
+        let spec = inner.parse_scope_spec()?;
+        inner.expect_eof()?;
+        Ok(Statement::SetScope(spec))
+    }
+
+    /// Parse a scope specification: `IN (...)` or `FROM ... [WHERE ...]`.
+    pub fn parse_scope_spec(&mut self) -> Result<ScopeSpec> {
+        if self.accept_keyword("IN") {
+            self.expect(&TokenKind::LParen)?;
+            let mut ids = Vec::new();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    ids.push(self.expect_number_i64()?);
+                    if !self.accept(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            if ids.is_empty() {
+                return Ok(ScopeSpec::AllTenants);
+            }
+            return Ok(ScopeSpec::Simple(ids));
+        }
+        if self.accept_keyword("FROM") {
+            let mut from = Vec::new();
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            let selection = if self.accept_keyword("WHERE") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(ScopeSpec::Complex { from, selection });
+        }
+        Err(ParseError::at(
+            format!("expected IN or FROM in scope expression, found {}", self.peek()),
+            self.offset(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 10").unwrap();
+        assert_eq!(q.body.projection.len(), 2);
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].asc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_joins_and_aliases() {
+        let q = parse_query(
+            "SELECT E.E_name, R.R_name FROM Employees E JOIN Roles R ON E.E_role_id = R.R_role_id",
+        )
+        .unwrap();
+        assert_eq!(q.body.from.len(), 1);
+        assert!(matches!(q.body.from[0], TableRef::Join { .. }));
+    }
+
+    #[test]
+    fn parses_left_outer_join() {
+        let q = parse_query(
+            "SELECT c_custkey, o_orderkey FROM customer LEFT OUTER JOIN orders ON c_custkey = o_custkey",
+        )
+        .unwrap();
+        match &q.body.from[0] {
+            TableRef::Join { kind, .. } => assert_eq!(*kind, JoinKind::Left),
+            _ => panic!("expected join"),
+        }
+    }
+
+    #[test]
+    fn parses_derived_table() {
+        let q = parse_query("SELECT x.a FROM (SELECT a FROM t) AS x").unwrap();
+        assert!(matches!(q.body.from[0], TableRef::Derived { .. }));
+    }
+
+    #[test]
+    fn parses_group_by_having() {
+        let q = parse_query(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3",
+        )
+        .unwrap();
+        assert_eq!(q.body.group_by.len(), 1);
+        assert!(q.body.having.is_some());
+    }
+
+    #[test]
+    fn parses_aggregates_and_distinct() {
+        let q = parse_query("SELECT COUNT(DISTINCT a), SUM(b * (1 - c)) FROM t").unwrap();
+        match &q.body.projection[0] {
+            SelectItem::Expr { expr: Expr::Function(f), .. } => {
+                assert!(f.distinct);
+                assert_eq!(f.name.to_ascii_uppercase(), "COUNT");
+            }
+            _ => panic!("expected function"),
+        }
+    }
+
+    #[test]
+    fn parses_case_expression() {
+        let e = parse_expression(
+            "CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Case { .. }));
+    }
+
+    #[test]
+    fn parses_exists_and_not_exists() {
+        let e = parse_expression("EXISTS (SELECT 1 FROM t WHERE t.a = u.a)").unwrap();
+        assert!(matches!(e, Expr::Exists { negated: false, .. }));
+        let e = parse_expression("NOT EXISTS (SELECT 1 FROM t)").unwrap();
+        assert!(matches!(e, Expr::Exists { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_in_subquery_and_in_list() {
+        let e = parse_expression("a IN (SELECT b FROM t)").unwrap();
+        assert!(matches!(e, Expr::InSubquery { negated: false, .. }));
+        let e = parse_expression("a NOT IN (1, 2, 3)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_between_and_like() {
+        let e = parse_expression("a BETWEEN 1 AND 10").unwrap();
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = parse_expression("p_type NOT LIKE '%BRASS'").unwrap();
+        assert!(matches!(e, Expr::Like { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_date_and_interval_arithmetic() {
+        let e = parse_expression("l_shipdate < DATE '1995-01-01' + INTERVAL '1' YEAR").unwrap();
+        match e {
+            Expr::BinaryOp { op, .. } => assert_eq!(op, BinaryOperator::Lt),
+            _ => panic!("expected comparison"),
+        }
+    }
+
+    #[test]
+    fn parses_extract_and_substring() {
+        let e = parse_expression("EXTRACT(YEAR FROM o_orderdate)").unwrap();
+        assert!(matches!(e, Expr::Extract { field: DateField::Year, .. }));
+        let e = parse_expression("SUBSTRING(c_phone FROM 1 FOR 2)").unwrap();
+        assert!(matches!(e, Expr::Substring { .. }));
+        let e = parse_expression("SUBSTRING(c_phone, 1, 2)").unwrap();
+        assert!(matches!(e, Expr::Substring { .. }));
+    }
+
+    #[test]
+    fn parses_scalar_subquery() {
+        let e = parse_expression("ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp)").unwrap();
+        match e {
+            Expr::BinaryOp { right, .. } => assert!(matches!(*right, Expr::ScalarSubquery(_))),
+            _ => panic!("expected comparison"),
+        }
+    }
+
+    #[test]
+    fn parses_mtsql_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE Employees SPECIFIC (
+                E_emp_id INTEGER NOT NULL SPECIFIC,
+                E_name VARCHAR(25) NOT NULL COMPARABLE,
+                E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+                E_age INTEGER NOT NULL COMPARABLE,
+                CONSTRAINT pk_emp PRIMARY KEY (E_emp_id),
+                CONSTRAINT fk_emp FOREIGN KEY (E_role_id) REFERENCES Roles (R_role_id)
+            )",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.generality, TableGenerality::TenantSpecific);
+                assert_eq!(ct.columns.len(), 4);
+                assert_eq!(
+                    ct.columns[2].comparability,
+                    Some(Comparability::Convertible {
+                        to_universal: "currencyToUniversal".into(),
+                        from_universal: "currencyFromUniversal".into()
+                    })
+                );
+                assert_eq!(ct.constraints.len(), 2);
+            }
+            _ => panic!("expected CREATE TABLE"),
+        }
+    }
+
+    #[test]
+    fn parses_create_function() {
+        let stmt = parse_statement(
+            "CREATE FUNCTION currencyToUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+             AS 'SELECT CT_to_universal*$1 FROM Tenant' LANGUAGE SQL IMMUTABLE",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateFunction(f) => {
+                assert_eq!(f.name, "currencyToUniversal");
+                assert!(f.immutable);
+                assert_eq!(f.arg_types.len(), 2);
+            }
+            _ => panic!("expected CREATE FUNCTION"),
+        }
+    }
+
+    #[test]
+    fn parses_grant_and_revoke() {
+        let stmt = parse_statement("GRANT READ ON Employees TO 42").unwrap();
+        match stmt {
+            Statement::Grant(g) => {
+                assert_eq!(g.privileges, vec![Privilege::Read]);
+                assert_eq!(g.object, GrantObject::Table("Employees".into()));
+                assert_eq!(g.grantee, Grantee::Tenant(42));
+            }
+            _ => panic!("expected GRANT"),
+        }
+        let stmt = parse_statement("REVOKE READ, UPDATE ON Employees FROM ALL").unwrap();
+        assert!(matches!(stmt, Statement::Revoke(_)));
+    }
+
+    #[test]
+    fn parses_simple_scope() {
+        let stmt = parse_statement("SET SCOPE = \"IN (1,3,42)\"").unwrap();
+        assert_eq!(stmt, Statement::SetScope(ScopeSpec::Simple(vec![1, 3, 42])));
+    }
+
+    #[test]
+    fn parses_empty_scope_as_all_tenants() {
+        let stmt = parse_statement("SET SCOPE = \"IN ()\"").unwrap();
+        assert_eq!(stmt, Statement::SetScope(ScopeSpec::AllTenants));
+    }
+
+    #[test]
+    fn parses_complex_scope() {
+        let stmt =
+            parse_statement("SET SCOPE = \"FROM Employees WHERE E_salary > 180000\"").unwrap();
+        match stmt {
+            Statement::SetScope(ScopeSpec::Complex { from, selection }) => {
+                assert_eq!(from.len(), 1);
+                assert!(selection.is_some());
+            }
+            _ => panic!("expected complex scope"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_values_and_query() {
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match stmt {
+            Statement::Insert(ins) => match ins.source {
+                InsertSource::Values(rows) => assert_eq!(rows.len(), 2),
+                _ => panic!("expected VALUES"),
+            },
+            _ => panic!("expected INSERT"),
+        }
+        let stmt = parse_statement("INSERT INTO t (a) (SELECT a FROM u WHERE a > 1)").unwrap();
+        match stmt {
+            Statement::Insert(ins) => assert!(matches!(ins.source, InsertSource::Query(_))),
+            _ => panic!("expected INSERT"),
+        }
+    }
+
+    #[test]
+    fn parses_update_and_delete() {
+        let stmt = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE c = 3").unwrap();
+        match stmt {
+            Statement::Update(u) => {
+                assert_eq!(u.assignments.len(), 2);
+                assert!(u.selection.is_some());
+            }
+            _ => panic!("expected UPDATE"),
+        }
+        let stmt = parse_statement("DELETE FROM t WHERE a IS NOT NULL").unwrap();
+        assert!(matches!(stmt, Statement::Delete(_)));
+    }
+
+    #[test]
+    fn parses_create_view_and_drop() {
+        let stmt = parse_statement("CREATE VIEW v AS SELECT a FROM t").unwrap();
+        assert!(matches!(stmt, Statement::CreateView(_)));
+        let stmt = parse_statement("DROP TABLE IF EXISTS t").unwrap();
+        assert!(matches!(stmt, Statement::DropTable { if_exists: true, .. }));
+        let stmt = parse_statement("DROP VIEW v").unwrap();
+        assert!(matches!(stmt, Statement::DropView { if_exists: false, .. }));
+    }
+
+    #[test]
+    fn parses_multiple_statements() {
+        let stmts = parse_statements("SELECT 1; SELECT 2; ").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn operator_precedence_is_sane() {
+        // a + b * c parses as a + (b * c)
+        let e = parse_expression("a + b * c").unwrap();
+        match e {
+            Expr::BinaryOp { op, right, .. } => {
+                assert_eq!(op, BinaryOperator::Plus);
+                assert!(matches!(
+                    *right,
+                    Expr::BinaryOp {
+                        op: BinaryOperator::Multiply,
+                        ..
+                    }
+                ));
+            }
+            _ => panic!("expected +"),
+        }
+        // a = 1 AND b = 2 OR c = 3 parses as ((a=1 AND b=2) OR c=3)
+        let e = parse_expression("a = 1 AND b = 2 OR c = 3").unwrap();
+        match e {
+            Expr::BinaryOp { op, .. } => assert_eq!(op, BinaryOperator::Or),
+            _ => panic!("expected OR"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("FLY ME TO THE MOON").is_err());
+        assert!(parse_query("SELECT FROM WHERE").is_err());
+        assert!(parse_expression("a +").is_err());
+    }
+
+    #[test]
+    fn count_star() {
+        let e = parse_expression("COUNT(*)").unwrap();
+        match e {
+            Expr::Function(f) => {
+                assert_eq!(f.name.to_ascii_uppercase(), "COUNT");
+                assert!(f.args.is_empty());
+            }
+            _ => panic!("expected COUNT(*)"),
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! SQL pretty-printer: `Display` implementations producing parseable SQL text.
+//!
+//! Printing then re-parsing any statement yields an equal AST (round-trip
+//! property, covered by tests and by property tests in `tests/roundtrip.rs`).
+
+use std::fmt;
+
+use crate::ast::*;
+
+fn join<T: fmt::Display>(items: &[T], sep: &str) -> String {
+    items
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::CreateTable(ct) => write!(f, "{ct}"),
+            Statement::CreateView(cv) => write!(f, "CREATE VIEW {} AS {}", cv.name, cv.query),
+            Statement::CreateFunction(cf) => write!(f, "{cf}"),
+            Statement::DropTable { name, if_exists } => {
+                if *if_exists {
+                    write!(f, "DROP TABLE IF EXISTS {name}")
+                } else {
+                    write!(f, "DROP TABLE {name}")
+                }
+            }
+            Statement::DropView { name, if_exists } => {
+                if *if_exists {
+                    write!(f, "DROP VIEW IF EXISTS {name}")
+                } else {
+                    write!(f, "DROP VIEW {name}")
+                }
+            }
+            Statement::Insert(i) => write!(f, "{i}"),
+            Statement::Update(u) => write!(f, "{u}"),
+            Statement::Delete(d) => write!(f, "{d}"),
+            Statement::Grant(g) => write!(f, "{g}"),
+            Statement::Revoke(r) => write!(f, "{r}"),
+            Statement::SetScope(s) => write!(f, "SET SCOPE = \"{s}\""),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY {}", join(&self.order_by, ", "))?;
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        write!(f, "{}", join(&self.projection, ", "))?;
+        if !self.from.is_empty() {
+            write!(f, " FROM {}", join(&self.from, ", "))?;
+        }
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", join(&self.group_by, ", "))?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => write!(f, "{expr} AS {a}"),
+                None => write!(f, "{expr}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => match alias {
+                Some(a) => write!(f, "{name} AS {a}"),
+                None => write!(f, "{name}"),
+            },
+            TableRef::Derived { query, alias } => write!(f, "({query}) AS {alias}"),
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let kw = match kind {
+                    JoinKind::Inner => "JOIN",
+                    JoinKind::Left => "LEFT OUTER JOIN",
+                    JoinKind::Cross => "CROSS JOIN",
+                };
+                write!(f, "{left} {kw} {right}")?;
+                if let Some(cond) = on {
+                    write!(f, " ON {cond}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if !self.asc {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{}", c.to_display()),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::BinaryOp { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::UnaryOp { op, expr } => match op {
+                UnaryOperator::Not => write!(f, "(NOT {expr})"),
+                UnaryOperator::Minus => write!(f, "(- {expr})"),
+                UnaryOperator::Plus => write!(f, "(+ {expr})"),
+            },
+            Expr::Function(fc) => {
+                write!(f, "{}(", fc.name)?;
+                if fc.args.is_empty() && fc.is_aggregate() {
+                    write!(f, "*")?;
+                } else {
+                    if fc.distinct {
+                        write!(f, "DISTINCT ")?;
+                    }
+                    write!(f, "{}", join(&fc.args, ", "))?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case {
+                operand,
+                when_then,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in when_then {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Exists { query, negated } => {
+                if *negated {
+                    write!(f, "NOT EXISTS ({query})")
+                } else {
+                    write!(f, "EXISTS ({query})")
+                }
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "{expr} NOT IN ({query})")
+                } else {
+                    write!(f, "{expr} IN ({query})")
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "{expr} NOT IN ({})", join(list, ", "))
+                } else {
+                    write!(f, "{expr} IN ({})", join(list, ", "))
+                }
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "{expr} NOT BETWEEN {low} AND {high}")
+                } else {
+                    write!(f, "{expr} BETWEEN {low} AND {high}")
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "{expr} NOT LIKE {pattern}")
+                } else {
+                    write!(f, "{expr} LIKE {pattern}")
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                if *negated {
+                    write!(f, "{expr} IS NOT NULL")
+                } else {
+                    write!(f, "{expr} IS NULL")
+                }
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Extract { field, expr } => write!(f, "EXTRACT({field} FROM {expr})"),
+            Expr::Substring {
+                expr,
+                start,
+                length,
+            } => match length {
+                Some(len) => write!(f, "SUBSTRING({expr} FROM {start} FOR {len})"),
+                None => write!(f, "SUBSTRING({expr} FROM {start})"),
+            },
+            Expr::Cast { expr, data_type } => write!(f, "CAST({expr} AS {data_type})"),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Boolean(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Integer(i) => write!(f, "{i}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Date(d) => write!(f, "DATE '{d}'"),
+            Literal::Interval { value, unit } => write!(f, "INTERVAL '{value}' {unit}"),
+        }
+    }
+}
+
+impl fmt::Display for IntervalUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalUnit::Day => write!(f, "DAY"),
+            IntervalUnit::Month => write!(f, "MONTH"),
+            IntervalUnit::Year => write!(f, "YEAR"),
+        }
+    }
+}
+
+impl fmt::Display for DateField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DateField::Year => write!(f, "YEAR"),
+            DateField::Month => write!(f, "MONTH"),
+            DateField::Day => write!(f, "DAY"),
+        }
+    }
+}
+
+impl fmt::Display for BinaryOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOperator::Plus => "+",
+            BinaryOperator::Minus => "-",
+            BinaryOperator::Multiply => "*",
+            BinaryOperator::Divide => "/",
+            BinaryOperator::Modulo => "%",
+            BinaryOperator::Eq => "=",
+            BinaryOperator::NotEq => "<>",
+            BinaryOperator::Lt => "<",
+            BinaryOperator::LtEq => "<=",
+            BinaryOperator::Gt => ">",
+            BinaryOperator::GtEq => ">=",
+            BinaryOperator::And => "AND",
+            BinaryOperator::Or => "OR",
+            BinaryOperator::Concat => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Integer => write!(f, "INTEGER"),
+            DataType::BigInt => write!(f, "BIGINT"),
+            DataType::Decimal(p, s) => write!(f, "DECIMAL({p}, {s})"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Varchar(n) => write!(f, "VARCHAR({n})"),
+            DataType::Char(n) => write!(f, "CHAR({n})"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Boolean => write!(f, "BOOLEAN"),
+        }
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE {}", self.name)?;
+        match self.generality {
+            TableGenerality::Global => write!(f, " GLOBAL")?,
+            TableGenerality::TenantSpecific => write!(f, " SPECIFIC")?,
+        }
+        write!(f, " (")?;
+        let mut first = true;
+        for c in &self.columns {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        for tc in &self.constraints {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{tc}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)?;
+        if self.not_null {
+            write!(f, " NOT NULL")?;
+        }
+        match &self.comparability {
+            None => {}
+            Some(Comparability::Comparable) => write!(f, " COMPARABLE")?,
+            Some(Comparability::TenantSpecific) => write!(f, " SPECIFIC")?,
+            Some(Comparability::Convertible {
+                to_universal,
+                from_universal,
+            }) => write!(f, " CONVERTIBLE @{to_universal} @{from_universal}")?,
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableConstraint::PrimaryKey { name, columns } => {
+                if let Some(n) = name {
+                    write!(f, "CONSTRAINT {n} ")?;
+                }
+                write!(f, "PRIMARY KEY ({})", columns.join(", "))
+            }
+            TableConstraint::ForeignKey {
+                name,
+                columns,
+                foreign_table,
+                referred_columns,
+            } => {
+                if let Some(n) = name {
+                    write!(f, "CONSTRAINT {n} ")?;
+                }
+                write!(
+                    f,
+                    "FOREIGN KEY ({}) REFERENCES {foreign_table} ({})",
+                    columns.join(", "),
+                    referred_columns.join(", ")
+                )
+            }
+            TableConstraint::Check { name, expr } => {
+                if let Some(n) = name {
+                    write!(f, "CONSTRAINT {n} ")?;
+                }
+                write!(f, "CHECK ({expr})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for CreateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CREATE FUNCTION {} ({}) RETURNS {} AS '{}' LANGUAGE {}",
+            self.name,
+            join(&self.arg_types, ", "),
+            self.returns,
+            self.body.replace('\'', "''"),
+            self.language
+        )?;
+        if self.immutable {
+            write!(f, " IMMUTABLE")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        match &self.source {
+            InsertSource::Values(rows) => {
+                write!(f, " VALUES ")?;
+                let rendered: Vec<String> = rows
+                    .iter()
+                    .map(|r| format!("({})", join(r, ", ")))
+                    .collect();
+                write!(f, "{}", rendered.join(", "))
+            }
+            InsertSource::Query(q) => write!(f, " ({q})"),
+        }
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        let assigns: Vec<String> = self
+            .assignments
+            .iter()
+            .map(|(c, e)| format!("{c} = {e}"))
+            .collect();
+        write!(f, "{}", assigns.join(", "))?;
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Privilege::Read => "READ",
+            Privilege::Insert => "INSERT",
+            Privilege::Update => "UPDATE",
+            Privilege::Delete => "DELETE",
+            Privilege::Grant => "GRANT",
+            Privilege::Revoke => "REVOKE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for GrantObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrantObject::Database => write!(f, "DATABASE"),
+            GrantObject::Table(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl fmt::Display for Grantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Grantee::Tenant(t) => write!(f, "{t}"),
+            Grantee::All => write!(f, "ALL"),
+        }
+    }
+}
+
+impl fmt::Display for Grant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GRANT {} ON {} TO {}",
+            join(&self.privileges, ", "),
+            self.object,
+            self.grantee
+        )
+    }
+}
+
+impl fmt::Display for Revoke {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "REVOKE {} ON {} FROM {}",
+            join(&self.privileges, ", "),
+            self.object,
+            self.grantee
+        )
+    }
+}
+
+impl fmt::Display for ScopeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopeSpec::Simple(ids) => {
+                let rendered: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+                write!(f, "IN ({})", rendered.join(", "))
+            }
+            ScopeSpec::AllTenants => write!(f, "IN ()"),
+            ScopeSpec::Complex { from, selection } => {
+                write!(f, "FROM {}", join(from, ", "))?;
+                if let Some(sel) = selection {
+                    write!(f, " WHERE {sel}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_statement};
+
+    fn roundtrip_query(sql: &str) {
+        let q1 = parse_query(sql).unwrap();
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+        assert_eq!(q1, q2, "round-trip mismatch for {sql}");
+    }
+
+    #[test]
+    fn roundtrips_selected_queries() {
+        roundtrip_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 5");
+        roundtrip_query("SELECT COUNT(DISTINCT a), SUM(b * (1 - c)) FROM t GROUP BY d HAVING SUM(b) > 10");
+        roundtrip_query("SELECT x.a FROM (SELECT a FROM t WHERE a IN (1, 2, 3)) AS x");
+        roundtrip_query(
+            "SELECT e.name FROM emp e LEFT OUTER JOIN dept d ON e.dept_id = d.id WHERE d.name LIKE 'S%'",
+        );
+        roundtrip_query(
+            "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'many' END FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a)",
+        );
+        roundtrip_query(
+            "SELECT EXTRACT(YEAR FROM o_orderdate), SUBSTRING(c_phone FROM 1 FOR 2) FROM orders, customer",
+        );
+        roundtrip_query("SELECT a FROM t WHERE d < DATE '1998-12-01' - INTERVAL '90' DAY");
+    }
+
+    #[test]
+    fn roundtrips_statements() {
+        for sql in [
+            "GRANT READ ON Employees TO 42",
+            "REVOKE READ, UPDATE ON Employees FROM ALL",
+            "SET SCOPE = \"IN (1, 3, 42)\"",
+            "SET SCOPE = \"IN ()\"",
+            "INSERT INTO t (a, b) VALUES (1, 'x''y')",
+            "UPDATE t SET a = (a + 1) WHERE b = 2",
+            "DELETE FROM t WHERE a IS NULL",
+            "DROP TABLE IF EXISTS t",
+            "CREATE VIEW v AS SELECT a FROM t",
+        ] {
+            let s1 = parse_statement(sql).unwrap();
+            let printed = s1.to_string();
+            let s2 = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+            assert_eq!(s1, s2, "round-trip mismatch for {sql}");
+        }
+    }
+
+    #[test]
+    fn create_table_roundtrip() {
+        let sql = "CREATE TABLE Employees SPECIFIC (E_emp_id INTEGER NOT NULL SPECIFIC, \
+                   E_salary DECIMAL(15, 2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal, \
+                   CONSTRAINT pk_emp PRIMARY KEY (E_emp_id))";
+        let s1 = parse_statement(sql).unwrap();
+        let s2 = parse_statement(&s1.to_string()).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn string_literal_escaping() {
+        assert_eq!(Literal::String("it's".into()).to_string(), "'it''s'");
+    }
+}

@@ -1,0 +1,140 @@
+//! Token types produced by the [`lexer`](crate::lexer).
+
+use std::fmt;
+
+/// A single lexical token together with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token in the input.
+    pub offset: usize,
+}
+
+/// The different kinds of tokens the lexer produces.
+///
+/// Keywords are recognised case-insensitively and reported as [`TokenKind::Keyword`]
+/// with the canonical upper-case spelling; everything else that looks like an
+/// identifier becomes [`TokenKind::Ident`] with its original spelling preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A SQL keyword (upper-cased canonical spelling).
+    Keyword(String),
+    /// An identifier (table, column, alias or function name).
+    Ident(String),
+    /// A numeric literal, kept as text so the parser can decide int vs float.
+    Number(String),
+    /// A single-quoted string literal (quotes removed, `''` unescaped).
+    StringLit(String),
+    /// `@name` — reference to a conversion function in a `CONVERTIBLE` clause.
+    AtIdent(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `||` string concatenation
+    Concat,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Ident(i) => write!(f, "identifier `{i}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::StringLit(s) => write!(f, "string '{s}'"),
+            TokenKind::AtIdent(s) => write!(f, "@{s}"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::NotEq => write!(f, "`<>`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::LtEq => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::GtEq => write!(f, "`>=`"),
+            TokenKind::Concat => write!(f, "`||`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// The set of words treated as keywords by the lexer.
+///
+/// Anything not in this list is an ordinary identifier. The list purposely
+/// stays minimal: function names like `SUBSTRING` or `EXTRACT` are recognised
+/// by the parser from identifier tokens instead, so user tables may reuse
+/// them.
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "ON",
+    "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE", "CASE",
+    "WHEN", "THEN", "ELSE", "END", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS",
+    "DISTINCT", "ALL", "ASC", "DESC", "UNION", "CREATE", "TABLE", "VIEW", "FUNCTION", "DROP",
+    "ALTER", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "GRANT", "REVOKE", "TO",
+    "PRIMARY", "FOREIGN", "KEY", "REFERENCES", "CONSTRAINT", "CHECK", "UNIQUE", "DEFAULT",
+    "GLOBAL", "SPECIFIC", "COMPARABLE", "CONVERTIBLE", "SCOPE", "READ", "RETURNS", "LANGUAGE",
+    "IMMUTABLE", "DATE", "INTERVAL", "CAST", "SCOPE", "IF", "CONCAT", "FOR",
+];
+
+/// Returns `true` when `word` (case-insensitive) is a SQL/MTSQL keyword.
+pub fn is_keyword(word: &str) -> bool {
+    let upper = word.to_ascii_uppercase();
+    KEYWORDS.contains(&upper.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_detection_is_case_insensitive() {
+        assert!(is_keyword("select"));
+        assert!(is_keyword("Select"));
+        assert!(is_keyword("CONVERTIBLE"));
+        assert!(!is_keyword("employees"));
+        assert!(!is_keyword("substring"));
+    }
+
+    #[test]
+    fn token_kind_display() {
+        assert_eq!(TokenKind::Keyword("SELECT".into()).to_string(), "keyword `SELECT`");
+        assert_eq!(TokenKind::Concat.to_string(), "`||`");
+    }
+}

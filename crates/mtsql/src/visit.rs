@@ -1,0 +1,154 @@
+//! Small AST traversal utilities shared by the engine and the rewriter.
+
+use crate::ast::*;
+
+/// Does this expression contain a sub-query anywhere (outside of nested
+/// sub-query scopes of its own)?
+pub fn contains_subquery(expr: &Expr) -> bool {
+    match expr {
+        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,
+        Expr::BinaryOp { left, right, .. } => contains_subquery(left) || contains_subquery(right),
+        Expr::UnaryOp { expr, .. } => contains_subquery(expr),
+        Expr::Function(f) => f.args.iter().any(contains_subquery),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            operand.as_deref().is_some_and(contains_subquery)
+                || when_then
+                    .iter()
+                    .any(|(w, t)| contains_subquery(w) || contains_subquery(t))
+                || else_expr.as_deref().is_some_and(contains_subquery)
+        }
+        Expr::InList { expr, list, .. } => {
+            contains_subquery(expr) || list.iter().any(contains_subquery)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_subquery(expr) || contains_subquery(low) || contains_subquery(high),
+        Expr::Like { expr, pattern, .. } => contains_subquery(expr) || contains_subquery(pattern),
+        Expr::IsNull { expr, .. } => contains_subquery(expr),
+        Expr::Extract { expr, .. } => contains_subquery(expr),
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            contains_subquery(expr)
+                || contains_subquery(start)
+                || length.as_deref().is_some_and(contains_subquery)
+        }
+        Expr::Cast { expr, .. } => contains_subquery(expr),
+        Expr::Column(_) | Expr::Literal(_) => false,
+    }
+}
+
+/// Collect every column reference of an expression. Columns inside sub-queries
+/// belong to the sub-query's scope and are *not* collected; only the left-hand
+/// expression of `IN (subquery)` is.
+pub fn collect_columns(expr: &Expr, out: &mut Vec<ColumnRef>) {
+    match expr {
+        Expr::Column(c) => out.push(c.clone()),
+        Expr::Literal(_) => {}
+        Expr::BinaryOp { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::UnaryOp { expr, .. } => collect_columns(expr, out),
+        Expr::Function(f) => f.args.iter().for_each(|a| collect_columns(a, out)),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_columns(o, out);
+            }
+            for (w, t) in when_then {
+                collect_columns(w, out);
+                collect_columns(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_columns(e, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_columns(expr, out);
+            list.iter().for_each(|i| collect_columns(i, out));
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_columns(expr, out);
+            collect_columns(low, out);
+            collect_columns(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_columns(expr, out);
+            collect_columns(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_columns(expr, out),
+        Expr::Extract { expr, .. } => collect_columns(expr, out),
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            collect_columns(expr, out);
+            collect_columns(start, out);
+            if let Some(l) = length {
+                collect_columns(l, out);
+            }
+        }
+        Expr::Cast { expr, .. } => collect_columns(expr, out),
+        Expr::InSubquery { expr, .. } => collect_columns(expr, out),
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+    }
+}
+
+/// Break a predicate into its top-level `AND` conjuncts.
+pub fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::BinaryOp {
+            left,
+            op: BinaryOperator::And,
+            right,
+        } => {
+            split_conjuncts(left, out);
+            split_conjuncts(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_expression;
+
+    #[test]
+    fn collects_columns_outside_subqueries() {
+        let e = parse_expression("a + b * f(c) AND d IN (SELECT x FROM t WHERE y = 1)").unwrap();
+        let mut cols = Vec::new();
+        collect_columns(&e, &mut cols);
+        let names: Vec<&str> = cols.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn detects_subqueries() {
+        assert!(contains_subquery(
+            &parse_expression("EXISTS (SELECT 1 FROM t)").unwrap()
+        ));
+        assert!(!contains_subquery(&parse_expression("a < b").unwrap()));
+    }
+
+    #[test]
+    fn splits_conjuncts() {
+        let e = parse_expression("a = 1 AND b = 2 AND c = 3").unwrap();
+        let mut out = Vec::new();
+        split_conjuncts(&e, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+}

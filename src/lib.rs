@@ -1,0 +1,19 @@
+//! Umbrella crate for the MTBase reproduction.
+//!
+//! This crate simply re-exports the workspace members so that the examples and
+//! integration tests in the repository root can use a single dependency. See
+//! the individual crates for the actual implementation:
+//!
+//! * [`mtsql`] — SQL/MTSQL lexer, parser, AST and pretty-printer.
+//! * [`mtcatalog`] — schema catalog, tenants, conversion functions, privileges.
+//! * [`mtengine`] — the in-memory SQL execution engine substrate.
+//! * [`mtrewrite`] — the MTSQL→SQL rewrite algorithm and its optimizations.
+//! * [`mtbase`] — the middleware tying everything together.
+//! * [`mth`] — the MT-H benchmark (TPC-H extension) generator and queries.
+
+pub use mtbase;
+pub use mtcatalog;
+pub use mtengine;
+pub use mth;
+pub use mtrewrite;
+pub use mtsql;

@@ -1,0 +1,118 @@
+//! Analytic checks of §4 of the paper: the optimization passes reduce the
+//! *number of conversion-function calls* in the predicted way, independent of
+//! wall-clock noise.
+//!
+//! The engine is configured like "System C" (no UDF-result caching) so that
+//! every logical conversion shows up as one counted call.
+
+use mtbase::EngineConfig;
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{loader, validate};
+use mtrewrite::OptLevel;
+
+fn deployment() -> mth::MthDeployment {
+    loader::load(
+        MthConfig {
+            scale: 0.05,
+            tenants: 5,
+            distribution: TenantDistribution::Uniform,
+            seed: 1,
+        },
+        EngineConfig::system_c_like(),
+    )
+}
+
+fn conversion_calls(dep: &mth::MthDeployment, sql: &str, level: OptLevel) -> u64 {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(level);
+    conn.execute("SET SCOPE = \"IN ()\"").unwrap();
+    dep.server.reset_stats();
+    conn.query(sql).unwrap();
+    dep.server.stats().udf_calls
+}
+
+#[test]
+fn canonical_rewrite_calls_conversions_twice_per_value() {
+    let dep = deployment();
+    let rows = dep
+        .server
+        .raw_query("SELECT COUNT(*) FROM lineitem")
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap() as u64;
+    let calls = conversion_calls(
+        &dep,
+        "SELECT SUM(l_extendedprice) AS s FROM lineitem",
+        OptLevel::Canonical,
+    );
+    // fromUniversal(toUniversal(x, ttid), C) — two calls per processed row.
+    assert_eq!(calls, 2 * rows);
+}
+
+#[test]
+fn aggregation_distribution_needs_tenants_plus_one_calls() {
+    let dep = deployment();
+    let tenants = dep.config.tenants as u64;
+    let calls = conversion_calls(
+        &dep,
+        "SELECT SUM(l_extendedprice) AS s FROM lineitem",
+        OptLevel::O3,
+    );
+    // One toUniversal per tenant-partial plus one final fromUniversal (§4.2.2).
+    assert_eq!(calls, tenants + 1);
+}
+
+#[test]
+fn inlining_eliminates_all_udf_calls() {
+    let dep = deployment();
+    for level in [OptLevel::O4, OptLevel::InlineOnly] {
+        let calls = conversion_calls(
+            &dep,
+            "SELECT SUM(l_extendedprice) AS s FROM lineitem WHERE l_extendedprice > 1000",
+            level,
+        );
+        assert_eq!(calls, 0, "{level:?} should not call any conversion UDF");
+    }
+}
+
+#[test]
+fn conversion_pushup_converts_constants_per_tenant_not_per_row() {
+    // The push-up benefit relies on the DBMS caching deterministic UDF results
+    // (the paper observes that System C, which cannot cache, does not profit
+    // from converting the constant) — so this check runs on the
+    // PostgreSQL-like engine and counts *executed* (non-cached) calls.
+    let dep = loader::load(
+        MthConfig {
+            scale: 0.05,
+            tenants: 5,
+            distribution: TenantDistribution::Uniform,
+            seed: 1,
+        },
+        EngineConfig::postgres_like(),
+    );
+    let sql = "SELECT COUNT(*) AS c FROM lineitem WHERE l_extendedprice > 20000";
+    let canonical = conversion_calls(&dep, sql, OptLevel::Canonical);
+    let o2 = conversion_calls(&dep, sql, OptLevel::O2);
+    // Canonical converts the attribute (distinct value per row → hardly any
+    // cache hits); push-up converts the constant, which only needs one
+    // toUniversal call plus one fromUniversal call per tenant.
+    assert!(
+        o2 <= (dep.config.tenants as u64) + 1,
+        "push-up should need at most T+1 executed conversions, got {o2}"
+    );
+    assert!(
+        o2 * 10 < canonical,
+        "push-up should reduce executed conversion calls by an order of magnitude ({o2} vs {canonical})"
+    );
+}
+
+#[test]
+fn all_levels_return_the_same_answer_while_saving_calls() {
+    let dep = deployment();
+    let reference = validate::run_mt_query(&dep, 6, OptLevel::Canonical).unwrap();
+    for level in [OptLevel::O2, OptLevel::O3, OptLevel::O4] {
+        let other = validate::run_mt_query(&dep, 6, level).unwrap();
+        assert!(validate::compare_result_sets(&reference, &other).is_ok());
+    }
+}

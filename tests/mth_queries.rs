@@ -1,0 +1,91 @@
+//! Integration tests spanning the whole stack: the 22 MT-H queries are
+//! parsed, rewritten by MTBase at several optimization levels and executed on
+//! the engine; results are validated against the single-tenant baseline.
+
+use mtbase::EngineConfig;
+use mth::params::MthConfig;
+use mth::{loader, queries, validate};
+use mtrewrite::OptLevel;
+
+fn tiny_deployment() -> mth::MthDeployment {
+    loader::load(
+        MthConfig {
+            scale: 0.08,
+            tenants: 4,
+            ..MthConfig::default()
+        },
+        EngineConfig::postgres_like(),
+    )
+}
+
+#[test]
+fn all_queries_execute_at_o1_and_o4() {
+    let dep = tiny_deployment();
+    for n in queries::all_query_numbers() {
+        for level in [OptLevel::O1, OptLevel::O4] {
+            let result = validate::run_mt_query(&dep, n, level);
+            assert!(
+                result.is_ok(),
+                "Q{n} failed at {level:?}: {}",
+                result.err().map(|e| e.to_string()).unwrap_or_default()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_queries_execute_at_canonical_level() {
+    let dep = tiny_deployment();
+    for n in queries::all_query_numbers() {
+        let result = validate::run_mt_query(&dep, n, OptLevel::Canonical);
+        assert!(
+            result.is_ok(),
+            "Q{n} failed at canonical level: {}",
+            result.err().map(|e| e.to_string()).unwrap_or_default()
+        );
+    }
+}
+
+#[test]
+fn all_queries_execute_on_the_baseline() {
+    let dep = tiny_deployment();
+    for n in queries::all_query_numbers() {
+        let result = validate::run_baseline_query(&dep, n);
+        assert!(
+            result.is_ok(),
+            "baseline Q{n} failed: {}",
+            result.err().map(|e| e.to_string()).unwrap_or_default()
+        );
+    }
+}
+
+#[test]
+fn validation_queries_match_the_baseline_at_every_level() {
+    let dep = tiny_deployment();
+    for level in [OptLevel::Canonical, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4] {
+        for report in validate::validate(&dep, &validate::VALIDATABLE, level) {
+            assert!(
+                report.passed,
+                "Q{} failed validation at {:?}: {}",
+                report.query, report.level, report.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_levels_agree_with_each_other() {
+    let dep = tiny_deployment();
+    // Beyond the baseline-comparable subset: every level must agree with the
+    // canonical rewrite (the paper's gold standard) on all queries.
+    for n in queries::all_query_numbers() {
+        let reference = validate::run_mt_query(&dep, n, OptLevel::Canonical).unwrap();
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4, OptLevel::InlineOnly] {
+            let other = validate::run_mt_query(&dep, n, level).unwrap();
+            assert!(
+                validate::compare_result_sets(&reference, &other).is_ok(),
+                "Q{n}: {level:?} diverges from the canonical rewrite"
+            );
+        }
+    }
+}

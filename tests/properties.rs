@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) on the core invariants of the paper:
+//! Definition 1 (valid conversion-function pairs), its corollaries, the
+//! distributability matrix (Table 2) and the parser/printer round-trip.
+
+use mtcatalog::{AggregateKind, ConversionClass};
+use mth::params::MthConfig;
+use proptest::prelude::*;
+
+proptest! {
+    /// Definition 1(iii) / Corollary 1: fromUniversal is the inverse of
+    /// toUniversal for every tenant — the currency pair of MT-H satisfies it.
+    #[test]
+    fn currency_conversion_roundtrips(value in -1.0e9_f64..1.0e9, tenant in 1_i64..500) {
+        let (to, from) = MthConfig::currency_rates(tenant);
+        let roundtrip = value * to * from;
+        prop_assert!((roundtrip - value).abs() <= value.abs() * 1e-9 + 1e-9);
+    }
+
+    /// Corollary 2: converting from tenant a's format into tenant b's format
+    /// through the universal format preserves equality.
+    #[test]
+    fn cross_tenant_conversion_preserves_equality(
+        value in -1.0e6_f64..1.0e6,
+        a in 1_i64..200,
+        b in 1_i64..200,
+    ) {
+        let (to_a, _) = MthConfig::currency_rates(a);
+        let (_, from_b) = MthConfig::currency_rates(b);
+        let (to_b, _) = MthConfig::currency_rates(b);
+        let in_b = value * to_a * from_b;
+        let back_universal = in_b * to_b;
+        prop_assert!((back_universal - value * to_a).abs() <= value.abs() * 1e-9 + 1e-9);
+    }
+
+    /// The currency pair is order-preserving (required for MIN/MAX/ranges).
+    #[test]
+    fn currency_conversion_preserves_order(
+        x in -1.0e6_f64..1.0e6,
+        y in -1.0e6_f64..1.0e6,
+        tenant in 1_i64..500,
+    ) {
+        prop_assume!(x < y);
+        let (to, _) = MthConfig::currency_rates(tenant);
+        prop_assert!(x * to < y * to);
+    }
+
+    /// Phone conversion is equality-preserving: stripping and re-adding a
+    /// tenant prefix round-trips exactly.
+    #[test]
+    fn phone_conversion_roundtrips(digits in "[0-9]{6,12}", tenant in 1_i64..500) {
+        let prefix = MthConfig::phone_prefix(tenant);
+        let stored = format!("{prefix}{digits}");
+        let universal = stored.strip_prefix(&prefix).unwrap_or(&stored).to_string();
+        prop_assert_eq!(universal, digits);
+    }
+
+    /// Table 2 monotonicity: if a *less* structured conversion class lets an
+    /// aggregate distribute, every more structured class does too.
+    #[test]
+    fn distributability_is_monotone_in_structure(agg_idx in 0_usize..5) {
+        let aggs = [
+            AggregateKind::Count,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::Sum,
+            AggregateKind::Avg,
+        ];
+        let agg = aggs[agg_idx];
+        let ordered = [
+            ConversionClass::ConstantFactor,
+            ConversionClass::Linear,
+            ConversionClass::OrderPreserving,
+            ConversionClass::EqualityPreserving,
+        ];
+        for window in ordered.windows(2) {
+            if window[1].distributes(agg) {
+                prop_assert!(window[0].distributes(agg));
+            }
+        }
+    }
+
+    /// COUNT distributes over every conversion class, holistic aggregates over
+    /// none (Table 2, first and last row).
+    #[test]
+    fn count_always_distributes_and_holistic_never(class_idx in 0_usize..4) {
+        let classes = [
+            ConversionClass::ConstantFactor,
+            ConversionClass::Linear,
+            ConversionClass::OrderPreserving,
+            ConversionClass::EqualityPreserving,
+        ];
+        let class = classes[class_idx];
+        prop_assert!(class.distributes(AggregateKind::Count));
+        prop_assert!(!class.distributes(AggregateKind::Holistic));
+    }
+
+    /// Printing a generated expression and re-parsing it yields the same AST.
+    #[test]
+    fn expression_print_parse_roundtrip(
+        a in 0_i64..1000,
+        b in 0_i64..1000,
+        col_suffix in "[a-z][a-z_]{0,8}",
+        pick in 0_usize..4,
+    ) {
+        use mtsql::ast::{BinaryOperator, Expr};
+        // Prefix the generated identifier so it can never collide with a SQL keyword.
+        let col = format!("c_{col_suffix}");
+        let ops = [
+            BinaryOperator::Plus,
+            BinaryOperator::Multiply,
+            BinaryOperator::Lt,
+            BinaryOperator::Eq,
+        ];
+        let expr = Expr::binary(
+            Expr::binary(Expr::col(col.clone()), ops[pick], Expr::int(a)),
+            BinaryOperator::And,
+            Expr::binary(Expr::int(b), BinaryOperator::LtEq, Expr::col(col)),
+        );
+        let printed = expr.to_string();
+        let reparsed = mtsql::parse_expression(&printed).unwrap();
+        prop_assert_eq!(expr, reparsed);
+    }
+
+    /// Query print/parse round-trip on a small generated family of queries.
+    #[test]
+    fn query_print_parse_roundtrip(
+        limit in 1_u64..50,
+        threshold in 0_i64..100_000,
+        desc in any::<bool>(),
+    ) {
+        let sql = format!(
+            "SELECT a, SUM(b) AS total FROM t WHERE c > {threshold} GROUP BY a \
+             HAVING COUNT(*) > 1 ORDER BY total{} LIMIT {limit}",
+            if desc { " DESC" } else { "" }
+        );
+        let q1 = mtsql::parse_query(&sql).unwrap();
+        let q2 = mtsql::parse_query(&q1.to_string()).unwrap();
+        prop_assert_eq!(q1, q2);
+    }
+
+    /// Tenant shares always form a probability distribution.
+    #[test]
+    fn tenant_shares_sum_to_one(tenants in 1_i64..200, zipf in any::<bool>()) {
+        let cfg = if zipf {
+            MthConfig::scenario2(1.0, tenants)
+        } else {
+            MthConfig { tenants, ..MthConfig::scenario1(1.0) }
+        };
+        let total: f64 = (1..=tenants).map(|t| cfg.tenant_share(t)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+}
