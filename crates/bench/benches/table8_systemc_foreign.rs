@@ -19,7 +19,8 @@ fn bench_table(c: &mut Criterion) {
             let id = format!("q{query}_{}", level.label());
             group.bench_function(&id, |b| {
                 b.iter(|| {
-                    measure_cell(&dep, DatasetSpec::SingleForeign, query, level, 1).expect("query runs")
+                    measure_cell(&dep, DatasetSpec::SingleForeign, query, level, 1)
+                        .expect("query runs")
                 })
             });
         }

@@ -1,0 +1,162 @@
+//! Benchmark for the tenant-partitioned storage layer (PR 1): compare
+//! scan-time partition pruning against the unpartitioned full-scan baseline
+//! on the conversion-heavy MT-H queries.
+//!
+//! Runs Q1, Q6 and Q22 at the o4 level with scope `D = {1}` on a 10-tenant
+//! deployment, once with pruning enabled and once disabled (same generated
+//! data), and writes wall-clock plus scan-counter results to
+//! `BENCH_pr1.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin pr1_pruning            # default scale 0.15
+//! cargo run --release -p bench --bin pr1_pruning -- --scale 0.3 --runs 5
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mtbase::EngineConfig;
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{gen, loader, queries, MthDeployment};
+use mtrewrite::OptLevel;
+
+const TENANTS: i64 = 10;
+const QUERIES: [usize; 3] = [1, 6, 22];
+
+struct Cell {
+    seconds: f64,
+    rows_scanned: u64,
+    partitions_scanned: u64,
+    partitions_pruned: u64,
+    result_rows: usize,
+}
+
+fn measure(dep: &MthDeployment, query: usize, runs: usize) -> Cell {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(OptLevel::O4);
+    conn.execute("SET SCOPE = \"IN (1)\"").expect("scope");
+    let sql = queries::query(query);
+    let mut best = f64::INFINITY;
+    let mut stats = conn.last_query_stats();
+    let mut result_rows = 0;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let rs = conn.query(&sql).unwrap_or_else(|e| panic!("Q{query}: {e}"));
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        stats = conn.last_query_stats();
+        result_rows = rs.rows.len();
+    }
+    Cell {
+        seconds: best,
+        rows_scanned: stats.rows_scanned,
+        partitions_scanned: stats.partitions_scanned,
+        partitions_pruned: stats.partitions_pruned,
+        result_rows,
+    }
+}
+
+fn cell_json(cell: &Cell) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"rows_scanned\": {}, \"partitions_scanned\": {}, \"partitions_pruned\": {}, \"result_rows\": {}}}",
+        cell.seconds, cell.rows_scanned, cell.partitions_scanned, cell.partitions_pruned, cell.result_rows
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.15;
+    let mut runs = 3usize;
+    let mut out_path = "BENCH_pr1.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale expects a number");
+            }
+            "--runs" => {
+                i += 1;
+                runs = args[i].parse().expect("--runs expects a count");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: pr1_pruning [--scale F] [--runs N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let config = MthConfig {
+        scale,
+        tenants: TENANTS,
+        distribution: TenantDistribution::Uniform,
+        seed: 42,
+    };
+    eprintln!("generating MT-H data (scale {scale}, {TENANTS} tenants) ...");
+    let data = gen::generate(&config);
+    let dep_pruned = loader::load_from_data(config, EngineConfig::postgres_like(), &data);
+    let dep_full = loader::load_from_data(
+        config,
+        EngineConfig::postgres_like().without_partition_pruning(),
+        &data,
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"benchmark\": \"tenant-partitioned storage with scan-time pruning (PR 1)\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"scale\": {scale}, \"tenants\": {TENANTS}, \"scope\": \"IN (1)\", \"level\": \"o4\", \"runs\": {runs}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"queries\": [").unwrap();
+
+    let mut ok = true;
+    for (qi, &query) in QUERIES.iter().enumerate() {
+        eprintln!("measuring Q{query} ...");
+        let pruned = measure(&dep_pruned, query, runs);
+        let full = measure(&dep_full, query, runs);
+        let speedup = full.seconds / pruned.seconds.max(1e-9);
+        let scan_reduction = full.rows_scanned as f64 / pruned.rows_scanned.max(1) as f64;
+        println!(
+            "Q{query:<2}  pruned {:>9.6}s ({} rows)   full {:>9.6}s ({} rows)   speedup {speedup:.2}x   scan reduction {scan_reduction:.1}x",
+            pruned.seconds, pruned.rows_scanned, full.seconds, full.rows_scanned
+        );
+        if pruned.result_rows != full.result_rows {
+            eprintln!("ERROR: Q{query} result cardinality differs with pruning on/off");
+            ok = false;
+        }
+        if pruned.rows_scanned * 5 > full.rows_scanned {
+            eprintln!("ERROR: Q{query} scan reduction below the expected 5x");
+            ok = false;
+        }
+        writeln!(
+            json,
+            "    {{\"query\": {query}, \"pruned\": {}, \"full_scan\": {}, \"speedup\": {speedup:.3}, \"scan_reduction\": {scan_reduction:.2}}}{}",
+            cell_json(&pruned),
+            cell_json(&full),
+            if qi + 1 == QUERIES.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, json).expect("write results file");
+    eprintln!("wrote {out_path}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -63,12 +63,36 @@ pub struct TableSpec {
 
 /// The six response-time tables of the paper.
 pub const TABLES: [TableSpec; 6] = [
-    TableSpec { number: 3, postgres_like: true, dataset: DatasetSpec::Own },
-    TableSpec { number: 4, postgres_like: true, dataset: DatasetSpec::SingleForeign },
-    TableSpec { number: 5, postgres_like: true, dataset: DatasetSpec::All },
-    TableSpec { number: 7, postgres_like: false, dataset: DatasetSpec::Own },
-    TableSpec { number: 8, postgres_like: false, dataset: DatasetSpec::SingleForeign },
-    TableSpec { number: 9, postgres_like: false, dataset: DatasetSpec::All },
+    TableSpec {
+        number: 3,
+        postgres_like: true,
+        dataset: DatasetSpec::Own,
+    },
+    TableSpec {
+        number: 4,
+        postgres_like: true,
+        dataset: DatasetSpec::SingleForeign,
+    },
+    TableSpec {
+        number: 5,
+        postgres_like: true,
+        dataset: DatasetSpec::All,
+    },
+    TableSpec {
+        number: 7,
+        postgres_like: false,
+        dataset: DatasetSpec::Own,
+    },
+    TableSpec {
+        number: 8,
+        postgres_like: false,
+        dataset: DatasetSpec::SingleForeign,
+    },
+    TableSpec {
+        number: 9,
+        postgres_like: false,
+        dataset: DatasetSpec::All,
+    },
 ];
 
 /// Optimization levels in the row order of the paper's tables.
@@ -138,7 +162,9 @@ pub fn measure_cell(
     for _ in 0..runs.max(1) {
         dep.server.reset_stats();
         let start = std::time::Instant::now();
-        let rs = conn.query(&sql).map_err(|e| format!("Q{query} {level:?}: {e}"))?;
+        let rs = conn
+            .query(&sql)
+            .map_err(|e| format!("Q{query} {level:?}: {e}"))?;
         last = start.elapsed();
         rows = rs.rows.len();
     }
@@ -283,7 +309,11 @@ mod tests {
 
     #[test]
     fn dataset_scopes_are_valid_mtsql() {
-        for spec in [DatasetSpec::Own, DatasetSpec::SingleForeign, DatasetSpec::All] {
+        for spec in [
+            DatasetSpec::Own,
+            DatasetSpec::SingleForeign,
+            DatasetSpec::All,
+        ] {
             let sql = spec.scope_sql(4);
             assert!(mtsql::parse_statement(&sql).is_ok(), "{sql}");
         }
@@ -294,7 +324,10 @@ mod tests {
         assert_eq!(TABLES.len(), 6);
         assert_eq!(TABLES.iter().filter(|t| t.postgres_like).count(), 3);
         assert_eq!(
-            TABLES.iter().filter(|t| t.dataset == DatasetSpec::All).count(),
+            TABLES
+                .iter()
+                .filter(|t| t.dataset == DatasetSpec::All)
+                .count(),
             2
         );
     }

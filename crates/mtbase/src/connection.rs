@@ -4,10 +4,11 @@
 use std::sync::Arc;
 
 use mtcatalog::{Privilege, TenantId, TTID_COLUMN};
+use mtengine::stats::StatsSnapshot;
 use mtengine::{ResultSet, Value};
 use mtrewrite::{OptLevel, Rewriter};
 use mtsql::ast::{
-    Comparability, Expr, Grantee, GrantObject, Insert, InsertSource, Query, ScopeSpec, Select,
+    Comparability, Expr, GrantObject, Grantee, Insert, InsertSource, Query, ScopeSpec, Select,
     SelectItem, Statement, TableRef,
 };
 
@@ -24,6 +25,8 @@ pub struct Connection {
     client: TenantId,
     scope: ScopeSpec,
     level: Option<OptLevel>,
+    /// Engine-counter delta recorded around the last executed statement.
+    last_stats: StatsSnapshot,
 }
 
 impl Connection {
@@ -33,6 +36,7 @@ impl Connection {
             client,
             scope: ScopeSpec::Simple(vec![client]),
             level: None,
+            last_stats: StatsSnapshot::default(),
         }
     }
 
@@ -53,7 +57,16 @@ impl Connection {
     }
 
     fn opt_level(&self) -> OptLevel {
-        self.level.unwrap_or_else(|| self.server.default_opt_level())
+        self.level
+            .unwrap_or_else(|| self.server.default_opt_level())
+    }
+
+    /// Scan counters (rows scanned, partitions scanned/pruned, UDF activity)
+    /// attributable to the last statement this connection executed. The delta
+    /// is taken over the shared engine counters, so interleaving statements
+    /// from other connections inflate it.
+    pub fn last_query_stats(&self) -> StatsSnapshot {
+        self.last_stats
     }
 
     /// Parse and execute one MTSQL statement.
@@ -78,8 +91,28 @@ impl Connection {
         Ok(rewriter.rewrite_query(&query, self.client, &dataset, self.opt_level())?)
     }
 
-    /// Execute a parsed statement.
+    /// Execute a parsed statement, recording the engine-counter delta as this
+    /// connection's last-query scan statistics.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ResultSet> {
+        let before = self.server.stats();
+        let result = self.execute_statement_inner(stmt);
+        let after = self.server.stats();
+        // Saturating: a concurrent `reset_stats` may move counters backwards.
+        self.last_stats = StatsSnapshot {
+            rows_scanned: after.rows_scanned.saturating_sub(before.rows_scanned),
+            partitions_scanned: after
+                .partitions_scanned
+                .saturating_sub(before.partitions_scanned),
+            partitions_pruned: after
+                .partitions_pruned
+                .saturating_sub(before.partitions_pruned),
+            udf_calls: after.udf_calls.saturating_sub(before.udf_calls),
+            udf_cache_hits: after.udf_cache_hits.saturating_sub(before.udf_cache_hits),
+        };
+        result
+    }
+
+    fn execute_statement_inner(&mut self, stmt: &Statement) -> Result<ResultSet> {
         match stmt {
             Statement::SetScope(spec) => {
                 self.scope = spec.clone();
@@ -97,9 +130,12 @@ impl Connection {
                 for grantee in grantees {
                     catalog.register_tenant(grantee);
                     for table in &tables {
-                        catalog
-                            .privileges_mut()
-                            .grant(self.client, table, grantee, &grant.privileges);
+                        catalog.privileges_mut().grant(
+                            self.client,
+                            table,
+                            grantee,
+                            &grant.privileges,
+                        );
                     }
                 }
                 Ok(ResultSet::default())
@@ -114,9 +150,12 @@ impl Connection {
                 let mut catalog = self.server.catalog.write();
                 for grantee in grantees {
                     for table in &tables {
-                        catalog
-                            .privileges_mut()
-                            .revoke(self.client, table, grantee, &revoke.privileges);
+                        catalog.privileges_mut().revoke(
+                            self.client,
+                            table,
+                            grantee,
+                            &revoke.privileges,
+                        );
                     }
                 }
                 Ok(ResultSet::default())
@@ -266,11 +305,7 @@ impl Connection {
         };
 
         let column_names: Vec<String> = if insert.columns.is_empty() {
-            table_meta
-                .columns
-                .iter()
-                .map(|c| c.name.clone())
-                .collect()
+            table_meta.columns.iter().map(|c| c.name.clone()).collect()
         } else {
             insert.columns.clone()
         };
@@ -415,7 +450,12 @@ impl Connection {
             }
         }
         Ok(ResultSet {
-            columns: vec![if is_update { "rows_updated" } else { "rows_deleted" }.to_string()],
+            columns: vec![if is_update {
+                "rows_updated"
+            } else {
+                "rows_deleted"
+            }
+            .to_string()],
             rows: vec![vec![Value::Int(affected)]],
         })
     }
@@ -480,4 +520,3 @@ impl Connection {
         }
     }
 }
-

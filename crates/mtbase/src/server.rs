@@ -34,7 +34,11 @@ impl MtBase {
 
     /// Create an MTBase instance wrapping an existing, already-populated
     /// engine and catalog (used by the MT-H loader).
-    pub fn from_parts(engine: Engine, catalog: Catalog, inline_registry: InlineRegistry) -> Arc<Self> {
+    pub fn from_parts(
+        engine: Engine,
+        catalog: Catalog,
+        inline_registry: InlineRegistry,
+    ) -> Arc<Self> {
         Arc::new(MtBase {
             catalog: RwLock::new(catalog),
             engine: RwLock::new(engine),
@@ -89,14 +93,21 @@ impl MtBase {
     /// Execute a DDL `CREATE TABLE`: register the logical schema in the
     /// catalog and create the physical shared table (with the invisible ttid
     /// column for tenant-specific tables — the basic layout of Figure 2).
+    /// Tenant-specific tables are partitioned by `ttid`, so scans can prune
+    /// foreign tenants that the statement's scope excludes.
     pub fn create_table(&self, ct: &CreateTable) -> Result<()> {
         self.catalog.write().register_create_table(ct);
+        let tenant_specific = ct.generality == TableGenerality::TenantSpecific;
         let mut columns: Vec<String> = Vec::new();
-        if ct.generality == TableGenerality::TenantSpecific {
+        if tenant_specific {
             columns.push(TTID_COLUMN.to_string());
         }
         columns.extend(ct.columns.iter().map(|c| c.name.clone()));
-        self.engine.write().create_table_owned(&ct.name, columns);
+        let mut engine = self.engine.write();
+        engine.create_table_owned(&ct.name, columns);
+        if tenant_specific {
+            engine.set_table_partition(&ct.name, TTID_COLUMN)?;
+        }
         Ok(())
     }
 
@@ -140,9 +151,12 @@ impl MtBase {
             .collect();
         for owner in owners {
             for table in &tables {
-                catalog
-                    .privileges_mut()
-                    .grant(owner, table, grantee, &[mtcatalog::Privilege::Read]);
+                catalog.privileges_mut().grant(
+                    owner,
+                    table,
+                    grantee,
+                    &[mtcatalog::Privilege::Read],
+                );
             }
         }
     }
@@ -234,16 +248,17 @@ pub(crate) fn collect_tables_query(query: &mtsql::ast::Query, out: &mut Vec<Stri
 /// exchange-rate table (`Tenant(T_tenant_key, T_currency_to, T_currency_from,
 /// T_phone_prefix)`) that must already exist in the engine. Returns the rates
 /// closure used by both directions.
-pub fn currency_udfs_from_rates(rates: Arc<dyn Fn(TenantId) -> (f64, f64) + Send + Sync>) -> (UdfImpl, UdfImpl) {
+pub fn currency_udfs_from_rates(
+    rates: Arc<dyn Fn(TenantId) -> (f64, f64) + Send + Sync>,
+) -> (UdfImpl, UdfImpl) {
     let to_rates = Arc::clone(&rates);
     let to_impl: UdfImpl = Arc::new(move |args: &[Value]| {
         if args.first().is_some_and(Value::is_null) {
             return Ok(Value::Null);
         }
-        let value = args
-            .first()
-            .and_then(Value::as_f64)
-            .ok_or_else(|| mtengine::EngineError::new("currencyToUniversal: numeric value expected"))?;
+        let value = args.first().and_then(Value::as_f64).ok_or_else(|| {
+            mtengine::EngineError::new("currencyToUniversal: numeric value expected")
+        })?;
         let tenant = args
             .get(1)
             .and_then(Value::as_i64)
@@ -255,14 +270,12 @@ pub fn currency_udfs_from_rates(rates: Arc<dyn Fn(TenantId) -> (f64, f64) + Send
         if args.first().is_some_and(Value::is_null) {
             return Ok(Value::Null);
         }
-        let value = args
-            .first()
-            .and_then(Value::as_f64)
-            .ok_or_else(|| mtengine::EngineError::new("currencyFromUniversal: numeric value expected"))?;
-        let tenant = args
-            .get(1)
-            .and_then(Value::as_i64)
-            .ok_or_else(|| mtengine::EngineError::new("currencyFromUniversal: tenant id expected"))?;
+        let value = args.first().and_then(Value::as_f64).ok_or_else(|| {
+            mtengine::EngineError::new("currencyFromUniversal: numeric value expected")
+        })?;
+        let tenant = args.get(1).and_then(Value::as_i64).ok_or_else(|| {
+            mtengine::EngineError::new("currencyFromUniversal: tenant id expected")
+        })?;
         let (_, from) = rates(tenant);
         Ok(Value::Float(value * from))
     });
@@ -287,7 +300,7 @@ pub fn phone_udfs_from_prefixes(
             .and_then(Value::as_i64)
             .ok_or_else(|| mtengine::EngineError::new("phoneToUniversal: tenant id expected"))?;
         let prefix = to_prefixes(tenant);
-        Ok(Value::Str(
+        Ok(Value::str(
             value.strip_prefix(&prefix).unwrap_or(value).to_string(),
         ))
     });
@@ -304,12 +317,15 @@ pub fn phone_udfs_from_prefixes(
             .and_then(Value::as_i64)
             .ok_or_else(|| mtengine::EngineError::new("phoneFromUniversal: tenant id expected"))?;
         let prefix = from_prefix(&prefixes, tenant);
-        Ok(Value::Str(format!("{prefix}{value}")))
+        Ok(Value::str(format!("{prefix}{value}")))
     });
     (to_impl, from_impl)
 }
 
-fn from_prefix(prefixes: &Arc<dyn Fn(TenantId) -> String + Send + Sync>, tenant: TenantId) -> String {
+fn from_prefix(
+    prefixes: &Arc<dyn Fn(TenantId) -> String + Send + Sync>,
+    tenant: TenantId,
+) -> String {
     prefixes(tenant)
 }
 
@@ -346,8 +362,13 @@ mod tests {
 
     #[test]
     fn phone_udfs_strip_and_prepend() {
-        let prefixes: Arc<dyn Fn(TenantId) -> String + Send + Sync> =
-            Arc::new(|t| if t == 1 { "00".to_string() } else { "+".to_string() });
+        let prefixes: Arc<dyn Fn(TenantId) -> String + Send + Sync> = Arc::new(|t| {
+            if t == 1 {
+                "00".to_string()
+            } else {
+                "+".to_string()
+            }
+        });
         let (to, from) = phone_udfs_from_prefixes(prefixes);
         let universal = to(&[Value::str("0041123456"), Value::Int(1)]).unwrap();
         assert_eq!(universal, Value::str("41123456"));

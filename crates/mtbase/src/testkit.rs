@@ -57,8 +57,7 @@ pub fn running_example_server(config: EngineConfig) -> Arc<MtBase> {
     for t in 0..2 {
         server.register_tenant(t);
     }
-    let (to_impl, from_impl) =
-        currency_udfs_from_rates(Arc::new(|t: TenantId| example_rates(t)));
+    let (to_impl, from_impl) = currency_udfs_from_rates(Arc::new(|t: TenantId| example_rates(t)));
     server.register_conversion(
         ConversionProfile::currency().pair,
         to_impl,
@@ -82,7 +81,12 @@ pub fn running_example_server(config: EngineConfig) -> Arc<MtBase> {
         let mut engine = server.engine.write();
         engine.create_table(
             "Tenant",
-            &["T_tenant_key", "T_currency_to", "T_currency_from", "T_phone_prefix"],
+            &[
+                "T_tenant_key",
+                "T_currency_to",
+                "T_currency_from",
+                "T_phone_prefix",
+            ],
         );
         engine
             .insert_values(
@@ -182,7 +186,9 @@ mod tests {
     fn default_scope_sees_only_own_data() {
         let server = server();
         let mut conn = server.connect(0);
-        let rs = conn.query("SELECT E_name FROM Employees ORDER BY E_name").unwrap();
+        let rs = conn
+            .query("SELECT E_name FROM Employees ORDER BY E_name")
+            .unwrap();
         assert_eq!(rs.rows.len(), 3);
         assert_eq!(rs.rows[0][0], Value::str("Alice"));
     }
@@ -200,7 +206,11 @@ mod tests {
         assert_eq!(rs.rows.len(), 2);
         let ed = rs.rows.iter().find(|r| r[0] == Value::str("Ed")).unwrap();
         assert_eq!(ed[1], Value::Float(1_250_000.0));
-        let alice = rs.rows.iter().find(|r| r[0] == Value::str("Alice")).unwrap();
+        let alice = rs
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::str("Alice"))
+            .unwrap();
         assert_eq!(alice[1], Value::Float(150_000.0));
     }
 
@@ -307,7 +317,9 @@ mod tests {
         let server = server();
         // Tenant 1 allows tenant 0 to insert.
         let mut owner = server.connect(1);
-        owner.execute("GRANT INSERT, READ ON Employees TO 0").unwrap();
+        owner
+            .execute("GRANT INSERT, READ ON Employees TO 0")
+            .unwrap();
 
         let mut conn = server.connect(0);
         conn.execute("SET SCOPE = \"IN (1)\"").unwrap();
@@ -332,7 +344,9 @@ mod tests {
             .execute("UPDATE Employees SET E_age = E_age WHERE E_age > 20")
             .unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(3));
-        let rs = conn.execute("DELETE FROM Employees WHERE E_name = 'Ed'").unwrap();
+        let rs = conn
+            .execute("DELETE FROM Employees WHERE E_name = 'Ed'")
+            .unwrap();
         // Ed belongs to tenant 1 — nothing deleted without a grant.
         assert_eq!(rs.rows[0][0], Value::Int(0));
     }
@@ -343,7 +357,9 @@ mod tests {
         let mut conn = server.connect(0);
         conn.set_opt_level(OptLevel::Canonical);
         conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
-        let q = conn.rewrite_only("SELECT AVG(E_salary) AS a FROM Employees").unwrap();
+        let q = conn
+            .rewrite_only("SELECT AVG(E_salary) AS a FROM Employees")
+            .unwrap();
         assert!(q.to_string().contains("currencyToUniversal"));
     }
 }

@@ -3,9 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use mtsql::ast::{
-    Comparability, CreateTable, DataType, Privilege, TableGenerality, TenantId,
-};
+use mtsql::ast::{Comparability, CreateTable, DataType, Privilege, TableGenerality, TenantId};
 use serde::{Deserialize, Serialize};
 
 use crate::conversion::ConversionFnPair;
@@ -230,7 +228,8 @@ impl Catalog {
                 return true;
             }
         }
-        self.privileges.has_privilege(owner, table, client, privilege)
+        self.privileges
+            .has_privilege(owner, table, client, privilege)
     }
 }
 
@@ -239,8 +238,8 @@ impl Catalog {
 /// `E_salary` is convertible through the currency pair.
 pub fn running_example_catalog() -> Catalog {
     use crate::conversion::ConversionProfile;
-    use mtsql::parse_statement;
     use mtsql::ast::Statement;
+    use mtsql::parse_statement;
 
     let mut catalog = Catalog::new();
     let ddl = [

@@ -79,7 +79,9 @@ impl ConversionClass {
     pub fn is_order_preserving(&self) -> bool {
         matches!(
             self,
-            ConversionClass::ConstantFactor | ConversionClass::Linear | ConversionClass::OrderPreserving
+            ConversionClass::ConstantFactor
+                | ConversionClass::Linear
+                | ConversionClass::OrderPreserving
         )
     }
 }

@@ -45,7 +45,10 @@ impl PrivilegeStore {
             table: table.to_string(),
             grantee,
         };
-        self.grants.entry(key).or_default().extend(privileges.iter().copied());
+        self.grants
+            .entry(key)
+            .or_default()
+            .extend(privileges.iter().copied());
     }
 
     /// Record `REVOKE privileges ON table FROM grantee` issued by `owner`.

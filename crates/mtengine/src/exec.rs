@@ -1,30 +1,35 @@
 //! Query execution: expression evaluation, joins, grouping/aggregation,
 //! sub-queries and DML.
 //!
-//! The executor is a straightforward materializing interpreter: every operator
-//! consumes and produces `(Schema, Vec<Row>)`. Equi-joins are executed as hash
-//! joins, other joins as filtered nested loops; single-table predicates are
-//! pushed below joins. Uncorrelated sub-queries are evaluated once per query
-//! and cached.
+//! The executor is a materializing interpreter: every operator consumes and
+//! produces a [`Relation`] of reference-counted [`SharedRow`]s, so relations
+//! flowing between operators share row storage with the base tables instead
+//! of deep-cloning it. Base-table scans evaluate the single-table conjuncts
+//! of the WHERE clause *during* the scan (non-qualifying rows are never
+//! copied) and use `ttid = k` / `ttid IN (...)` conjuncts to skip entire
+//! partition buckets of tenant-partitioned tables. Equi-joins are executed as
+//! hash joins, other joins as filtered nested loops. Uncorrelated sub-queries
+//! are evaluated once per query and cached.
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
 use mtsql::ast::*;
 
 use crate::error::{err, EngineError, Result};
 use crate::schema::Schema;
-use crate::table::Row;
+use crate::table::{Row, SharedRow, Table};
 use crate::value::{add_months, civil_from_days, parse_date, Value};
 use crate::Engine;
 
-/// A materialized intermediate result.
+/// A materialized intermediate result. Rows are shared with their producers;
+/// cloning a relation (or filtering one) copies pointers, not values.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     pub schema: Schema,
-    pub rows: Vec<Row>,
+    pub rows: Vec<SharedRow>,
 }
 
 /// Evaluation environment: the row currently in scope plus the chain of outer
@@ -32,20 +37,21 @@ pub struct Relation {
 #[derive(Clone, Copy)]
 pub struct Env<'a> {
     pub schema: &'a Schema,
-    pub row: &'a Row,
+    pub row: &'a [Value],
     pub parent: Option<&'a Env<'a>>,
 }
 
 impl<'a> Env<'a> {
-    fn lookup(&self, col: &ColumnRef) -> Option<Value> {
+    /// Borrowing column lookup: the resolved value plus whether it came from
+    /// an outer (parent) environment. Comparison-only call sites use the
+    /// borrow directly; owning sites clone the (cheap, `Arc`-interned) value.
+    fn lookup_ref(&self, col: &ColumnRef) -> Option<(&'a Value, bool)> {
         if let Some(idx) = self.schema.resolve(col) {
-            return Some(self.row[idx].clone());
+            return Some((&self.row[idx], false));
         }
-        self.parent.and_then(|p| p.lookup(col))
-    }
-
-    fn resolves_locally(&self, col: &ColumnRef) -> bool {
-        self.schema.resolve(col).is_some()
+        self.parent
+            .and_then(|p| p.lookup_ref(col))
+            .map(|(v, _)| (v, true))
     }
 }
 
@@ -54,6 +60,8 @@ pub struct Executor<'e> {
     engine: &'e Engine,
     /// Cache of uncorrelated sub-query results, keyed by their SQL text.
     subquery_cache: RefCell<HashMap<String, Rc<Relation>>>,
+    /// LIKE patterns precompiled once per pattern text instead of once per row.
+    like_cache: RefCell<HashMap<String, Rc<LikePattern>>>,
     /// `true` while the executor detected an escape to an outer row during the
     /// currently executing sub-query (conservative correlation detection).
     correlation_witness: Cell<bool>,
@@ -65,8 +73,21 @@ impl<'e> Executor<'e> {
         Executor {
             engine,
             subquery_cache: RefCell::new(HashMap::new()),
+            like_cache: RefCell::new(HashMap::new()),
             correlation_witness: Cell::new(false),
         }
+    }
+
+    /// The compiled form of a LIKE pattern, cached per executor.
+    fn compiled_like(&self, pattern: &str) -> Rc<LikePattern> {
+        if let Some(hit) = self.like_cache.borrow().get(pattern) {
+            return Rc::clone(hit);
+        }
+        let compiled = Rc::new(LikePattern::new(pattern));
+        self.like_cache
+            .borrow_mut()
+            .insert(pattern.to_string(), Rc::clone(&compiled));
+        compiled
     }
 
     // ------------------------------------------------------------------
@@ -136,7 +157,7 @@ impl<'e> Executor<'e> {
 
         Ok(Relation {
             schema: out_schema,
-            rows: produced.into_iter().map(|(r, _)| r).collect(),
+            rows: produced.into_iter().map(|(r, _)| r.into()).collect(),
         })
     }
 
@@ -204,7 +225,10 @@ impl<'e> Executor<'e> {
             for agg in &aggregates {
                 agg_values.push(self.eval_aggregate(agg, &input, members, outer)?);
             }
-            let first_row = members.first().map(|&i| &input.rows[i]).unwrap_or(&null_row);
+            let first_row: &[Value] = members
+                .first()
+                .map(|&i| input.rows[i].as_ref())
+                .unwrap_or(&null_row);
             let first_schema = &input.schema;
             let gctx = GroupContext {
                 group_exprs: &group_exprs,
@@ -218,10 +242,7 @@ impl<'e> Executor<'e> {
                 },
             };
             if let Some(h) = &having_expr {
-                let keep = self
-                    .eval_in_group(h, &gctx)?
-                    .as_bool()
-                    .unwrap_or(false);
+                let keep = self.eval_in_group(h, &gctx)?.as_bool().unwrap_or(false);
                 if !keep {
                     continue;
                 }
@@ -253,7 +274,7 @@ impl<'e> Executor<'e> {
 
         Ok(Relation {
             schema: out_schema,
-            rows: produced.into_iter().map(|(r, _)| r).collect(),
+            rows: produced.into_iter().map(|(r, _)| r.into()).collect(),
         })
     }
 
@@ -266,13 +287,8 @@ impl<'e> Executor<'e> {
             // `SELECT expr` without FROM: a single empty row.
             return Ok(Relation {
                 schema: Schema::new(),
-                rows: vec![Vec::new()],
+                rows: vec![Vec::new().into()],
             });
-        }
-
-        let mut items: Vec<Relation> = Vec::with_capacity(select.from.len());
-        for table_ref in &select.from {
-            items.push(self.execute_table_ref(table_ref, outer)?);
         }
 
         let mut conjuncts: Vec<Expr> = Vec::new();
@@ -280,21 +296,19 @@ impl<'e> Executor<'e> {
             split_conjuncts(sel, &mut conjuncts);
         }
 
-        // Push single-item predicates (no sub-queries, fully resolvable in one
-        // item, not resolvable via the outer env only) below the joins.
-        let mut remaining: Vec<Expr> = Vec::new();
-        'conj: for c in conjuncts {
-            if !contains_subquery(&c) {
-                for item in items.iter_mut() {
-                    if expr_resolvable(&c, &item.schema) {
-                        let filtered = self.filter_relation(item, &c, outer)?;
-                        *item = filtered;
-                        continue 'conj;
-                    }
-                }
-            }
-            remaining.push(c);
+        // Scan each FROM item with its single-item predicates (no sub-queries,
+        // fully resolvable in that item) pushed into the scan itself: base
+        // tables evaluate them row-by-row without materializing non-qualifying
+        // rows, and `ttid` scope conjuncts prune whole partition buckets.
+        // Consumed conjuncts are removed from the list; FROM order decides
+        // which item claims an ambiguous (multi-resolvable) conjunct, exactly
+        // like the post-materialization pushdown did before.
+        let mut items: Vec<Relation> = Vec::with_capacity(select.from.len());
+        for table_ref in &select.from {
+            items.push(self.execute_table_ref_filtered(table_ref, &mut conjuncts, outer)?);
         }
+
+        let mut remaining: Vec<Expr> = conjuncts;
 
         // Greedy hash-join ordering over the FROM items.
         let mut current = items.remove(0);
@@ -345,6 +359,22 @@ impl<'e> Executor<'e> {
     }
 
     fn execute_table_ref(&self, table_ref: &TableRef, outer: Option<&Env>) -> Result<Relation> {
+        let mut no_filters = Vec::new();
+        self.execute_table_ref_filtered(table_ref, &mut no_filters, outer)
+    }
+
+    /// Execute a FROM item with a pool of candidate filter conjuncts. Every
+    /// conjunct that is fully resolvable against the item (and sub-query free)
+    /// is *consumed* from `conjuncts` and applied as early as possible: at
+    /// scan time for base tables (including partition pruning on `ttid`
+    /// predicates), immediately after materialization for views, derived
+    /// tables and joins.
+    fn execute_table_ref_filtered(
+        &self,
+        table_ref: &TableRef,
+        conjuncts: &mut Vec<Expr>,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
         match table_ref {
             TableRef::Table { name, alias } => {
                 let binding = alias.as_deref().unwrap_or(name);
@@ -352,25 +382,25 @@ impl<'e> Executor<'e> {
                     let view = view.clone();
                     let rel = self.execute_query(&view, outer)?;
                     let names = rel.schema.names();
-                    return Ok(Relation {
+                    let rel = Relation {
                         schema: Schema::qualified(binding, &names),
                         rows: rel.rows,
-                    });
+                    };
+                    return self.apply_pushed_filters(rel, conjuncts, outer);
                 }
                 let table = self.engine.database().table(name)?;
-                self.engine.note_rows_scanned(table.rows.len() as u64);
-                Ok(Relation {
-                    schema: Schema::qualified(binding, &table.columns),
-                    rows: table.rows.clone(),
-                })
+                let schema = Schema::qualified(binding, &table.columns);
+                let pushed = take_applicable(conjuncts, &schema);
+                self.scan_table(table, schema, &pushed, outer)
             }
             TableRef::Derived { query, alias } => {
                 let rel = self.execute_query(query, outer)?;
                 let names = rel.schema.names();
-                Ok(Relation {
+                let rel = Relation {
                     schema: Schema::qualified(alias, &names),
                     rows: rel.rows,
-                })
+                };
+                self.apply_pushed_filters(rel, conjuncts, outer)
             }
             TableRef::Join {
                 left,
@@ -378,56 +408,448 @@ impl<'e> Executor<'e> {
                 kind,
                 on,
             } => {
-                let l = self.execute_table_ref(left, outer)?;
-                let r = self.execute_table_ref(right, outer)?;
-                match kind {
-                    JoinKind::Cross => Ok(cross_product(&l, &r)),
-                    JoinKind::Inner | JoinKind::Left => {
-                        let mut conjuncts = Vec::new();
-                        if let Some(cond) = on {
-                            split_conjuncts(cond, &mut conjuncts);
-                        }
-                        let keys = equi_join_keys(&conjuncts, &l.schema, &r.schema);
-                        let residual: Vec<Expr> = conjuncts
-                            .into_iter()
-                            .filter(|c| {
-                                !keys.iter().any(|(lk, rk)| {
-                                    matches!(c, Expr::BinaryOp { left, op: BinaryOperator::Eq, right }
-                                        if (**left == *lk && **right == *rk)
-                                            || (**left == *rk && **right == *lk))
-                                })
-                            })
-                            .collect();
-                        if keys.is_empty() {
-                            self.nested_loop_join(&l, &r, &residual, *kind, outer)
-                        } else {
-                            let joined = self.hash_join_with_residual(
-                                &l, &r, &keys, &residual, *kind, outer,
-                            )?;
-                            Ok(joined)
-                        }
-                    }
+                let mut on_conjuncts = Vec::new();
+                if let Some(cond) = on {
+                    split_conjuncts(cond, &mut on_conjuncts);
                 }
+                let (l, r) = match kind {
+                    JoinKind::Inner => {
+                        // Single-side ON conjuncts of an inner join may be
+                        // evaluated below the join; the left leg claims
+                        // ambiguous ones first, matching how unqualified
+                        // names resolve on the combined schema.
+                        let l = self.execute_table_ref_filtered(left, &mut on_conjuncts, outer)?;
+                        let r = self.execute_table_ref_filtered(right, &mut on_conjuncts, outer)?;
+                        (l, r)
+                    }
+                    JoinKind::Left => {
+                        // The preserved (left) side must not be pre-filtered
+                        // by ON predicates; right-side-only predicates may be
+                        // pushed into the right scan (non-matching right rows
+                        // are simply absent, left rows still null-extend).
+                        let l = self.execute_table_ref(left, outer)?;
+                        let mut right_only: Vec<Expr> = Vec::new();
+                        if let Some(rschema) = self.base_table_schema(right) {
+                            on_conjuncts.retain(|c| {
+                                let push = !contains_subquery(c)
+                                    && expr_resolvable(c, &rschema)
+                                    && !expr_resolvable(c, &l.schema);
+                                if push {
+                                    right_only.push(c.clone());
+                                }
+                                !push
+                            });
+                        }
+                        let r = self.execute_table_ref_filtered(right, &mut right_only, outer)?;
+                        // Anything the right leg could not consume keeps its
+                        // place in the ON clause.
+                        on_conjuncts.append(&mut right_only);
+                        (l, r)
+                    }
+                    JoinKind::Cross => {
+                        let l = self.execute_table_ref(left, outer)?;
+                        let r = self.execute_table_ref(right, outer)?;
+                        let rel = cross_product(&l, &r);
+                        return self.apply_pushed_filters(rel, conjuncts, outer);
+                    }
+                };
+                let keys = equi_join_keys(&on_conjuncts, &l.schema, &r.schema);
+                let residual: Vec<Expr> = on_conjuncts
+                    .into_iter()
+                    .filter(|c| {
+                        !keys.iter().any(|(lk, rk)| {
+                            matches!(c, Expr::BinaryOp { left, op: BinaryOperator::Eq, right }
+                                if (**left == *lk && **right == *rk)
+                                    || (**left == *rk && **right == *lk))
+                        })
+                    })
+                    .collect();
+                let joined = if keys.is_empty() {
+                    self.nested_loop_join(&l, &r, &residual, *kind, outer)?
+                } else {
+                    self.hash_join_with_residual(&l, &r, &keys, &residual, *kind, outer)?
+                };
+                self.apply_pushed_filters(joined, conjuncts, outer)
             }
         }
     }
 
-    fn filter_relation(&self, rel: &Relation, pred: &Expr, outer: Option<&Env>) -> Result<Relation> {
+    /// Schema of a FROM item when it is a plain base table (not a view);
+    /// usable for pushability checks without executing the item.
+    fn base_table_schema(&self, table_ref: &TableRef) -> Option<Schema> {
+        match table_ref {
+            TableRef::Table { name, alias } if self.engine.database().view(name).is_none() => {
+                let binding = alias.as_deref().unwrap_or(name);
+                let table = self.engine.database().table(name).ok()?;
+                Some(Schema::qualified(binding, &table.columns))
+            }
+            _ => None,
+        }
+    }
+
+    /// Apply (and consume) every pushable conjunct that resolves against an
+    /// already-materialized relation.
+    fn apply_pushed_filters(
+        &self,
+        rel: Relation,
+        conjuncts: &mut Vec<Expr>,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let applicable = take_applicable(conjuncts, &rel.schema);
+        if applicable.is_empty() {
+            return Ok(rel);
+        }
+        let filter = self.compile_filter(&applicable, &rel.schema);
         let mut rows = Vec::with_capacity(rel.rows.len());
         for row in &rel.rows {
-            let env = Env {
-                schema: &rel.schema,
-                row,
-                parent: outer,
-            };
-            if self.eval(pred, &env)?.as_bool().unwrap_or(false) {
-                rows.push(row.clone());
+            if self.filter_matches(&filter, &rel.schema, row, outer)? {
+                rows.push(SharedRow::clone(row));
+            }
+        }
+        Ok(Relation {
+            schema: rel.schema,
+            rows,
+        })
+    }
+
+    /// Scan one base table: prune partition buckets using `ttid` conjuncts,
+    /// evaluate the remaining pushed filters per row, and share (rather than
+    /// copy) every qualifying row.
+    fn scan_table(
+        &self,
+        table: &Table,
+        schema: Schema,
+        pushed: &[Expr],
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        // Partition pruning: intersect the key sets implied by every pushed
+        // `ttid = k` / `ttid IN (...)` conjunct.
+        let mut prune_keys: Option<BTreeSet<i64>> = None;
+        let mut pruning_preds: Vec<&Expr> = Vec::new();
+        if self.engine.config().partition_pruning {
+            if let Some(pidx) = table.partition_column() {
+                for c in pushed {
+                    if let Some(keys) = self.partition_keys_of_conjunct(c, &schema, pidx) {
+                        pruning_preds.push(c);
+                        prune_keys = Some(match prune_keys {
+                            None => keys,
+                            Some(prev) => prev.intersection(&keys).copied().collect(),
+                        });
+                    }
+                }
+            }
+        }
+        // Filters evaluated per visited row. Rows inside a selected bucket
+        // satisfy the pruning predicates by construction (the bucket key *is*
+        // the ttid value), so those predicates are skipped for bucketed rows
+        // and only re-checked for loose rows, which carry arbitrary keys.
+        let residual: Vec<Expr> = pushed
+            .iter()
+            .filter(|c| !pruning_preds.contains(c))
+            .cloned()
+            .collect();
+        let residual_filter = self.compile_filter(&residual, &schema);
+        let full_filter = self.compile_filter(pushed, &schema);
+
+        let mut rows: Vec<SharedRow> = Vec::new();
+        let mut visited: u64 = 0;
+        let mut buckets_scanned: u64 = 0;
+        let mut buckets_pruned: u64 = 0;
+
+        match &prune_keys {
+            Some(keys) => {
+                for (key, bucket) in table.partitions() {
+                    if !keys.contains(&key) {
+                        buckets_pruned += 1;
+                        continue;
+                    }
+                    buckets_scanned += 1;
+                    for row in bucket {
+                        visited += 1;
+                        if self.filter_matches(&residual_filter, &schema, row, outer)? {
+                            rows.push(SharedRow::clone(row));
+                        }
+                    }
+                }
+                for row in table.loose_rows() {
+                    visited += 1;
+                    if self.filter_matches(&full_filter, &schema, row, outer)? {
+                        rows.push(SharedRow::clone(row));
+                    }
+                }
+            }
+            None => {
+                buckets_scanned = table.partition_count() as u64;
+                for row in table.rows() {
+                    visited += 1;
+                    if self.filter_matches(&full_filter, &schema, row, outer)? {
+                        rows.push(SharedRow::clone(row));
+                    }
+                }
+            }
+        }
+
+        self.engine.note_rows_scanned(visited);
+        self.engine.note_partitions(buckets_scanned, buckets_pruned);
+        Ok(Relation { schema, rows })
+    }
+
+    /// The set of partition keys a conjunct restricts the partition column
+    /// to, or `None` when the conjunct is not a recognizable key predicate.
+    fn partition_keys_of_conjunct(
+        &self,
+        conjunct: &Expr,
+        schema: &Schema,
+        partition_col: usize,
+    ) -> Option<BTreeSet<i64>> {
+        let is_partition_column =
+            |e: &Expr| matches!(e, Expr::Column(c) if schema.resolve(c) == Some(partition_col));
+        match conjunct {
+            Expr::BinaryOp {
+                left,
+                op: BinaryOperator::Eq,
+                right,
+            } => {
+                let key_expr = if is_partition_column(left) {
+                    right
+                } else if is_partition_column(right) {
+                    left
+                } else {
+                    return None;
+                };
+                match self.fold_const(key_expr)? {
+                    Value::Int(k) => Some([k].into_iter().collect()),
+                    _ => None,
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated: false,
+            } if is_partition_column(expr) => {
+                let mut keys = BTreeSet::new();
+                for item in list {
+                    match self.fold_const(item)? {
+                        Value::Int(k) => {
+                            keys.insert(k);
+                        }
+                        _ => return None,
+                    }
+                }
+                Some(keys)
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluate a column- and sub-query-free expression to a constant.
+    fn fold_const(&self, expr: &Expr) -> Option<Value> {
+        if has_columns(expr) || contains_subquery(expr) {
+            return None;
+        }
+        let schema = Schema::new();
+        let env = Env {
+            schema: &schema,
+            row: &[],
+            parent: None,
+        };
+        self.eval(expr, &env).ok()
+    }
+
+    fn filter_relation(
+        &self,
+        rel: &Relation,
+        pred: &Expr,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let compiled = self.compile_filter(std::slice::from_ref(pred), &rel.schema);
+        let mut rows = Vec::with_capacity(rel.rows.len());
+        for row in &rel.rows {
+            if self.filter_matches(&compiled, &rel.schema, row, outer)? {
+                rows.push(SharedRow::clone(row));
             }
         }
         Ok(Relation {
             schema: rel.schema.clone(),
             rows,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Compiled scan filters
+    // ------------------------------------------------------------------
+
+    /// Compile conjuncts into the fast per-row predicate forms where possible
+    /// (pre-resolved column index, pre-folded constants, precompiled LIKE
+    /// patterns); everything else falls back to interpreted evaluation.
+    fn compile_filter(&self, conjuncts: &[Expr], schema: &Schema) -> Vec<CompiledPred> {
+        conjuncts
+            .iter()
+            .map(|c| self.compile_pred(c, schema))
+            .collect()
+    }
+
+    fn compile_pred(&self, conjunct: &Expr, schema: &Schema) -> CompiledPred {
+        let column_index = |e: &Expr| match e {
+            Expr::Column(c) => schema.resolve(c),
+            _ => None,
+        };
+        match conjunct {
+            Expr::BinaryOp { left, op, right }
+                if matches!(
+                    op,
+                    BinaryOperator::Eq
+                        | BinaryOperator::NotEq
+                        | BinaryOperator::Lt
+                        | BinaryOperator::LtEq
+                        | BinaryOperator::Gt
+                        | BinaryOperator::GtEq
+                ) =>
+            {
+                if let (Some(idx), Some(value)) = (column_index(left), self.fold_const(right)) {
+                    return CompiledPred::Compare {
+                        idx,
+                        op: *op,
+                        value,
+                    };
+                }
+                if let (Some(idx), Some(value)) = (column_index(right), self.fold_const(left)) {
+                    return CompiledPred::Compare {
+                        idx,
+                        op: flip_comparison(*op),
+                        value,
+                    };
+                }
+                CompiledPred::Generic(conjunct.clone())
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                if let Some(idx) = column_index(expr) {
+                    let values: Option<Vec<Value>> =
+                        list.iter().map(|i| self.fold_const(i)).collect();
+                    if let Some(values) = values {
+                        return CompiledPred::InSet {
+                            idx,
+                            values,
+                            negated: *negated,
+                        };
+                    }
+                }
+                CompiledPred::Generic(conjunct.clone())
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                if let (Some(idx), Some(lo), Some(hi)) = (
+                    column_index(expr),
+                    self.fold_const(low),
+                    self.fold_const(high),
+                ) {
+                    return CompiledPred::Between {
+                        idx,
+                        lo,
+                        hi,
+                        negated: *negated,
+                    };
+                }
+                CompiledPred::Generic(conjunct.clone())
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                if let (Some(idx), Expr::Literal(Literal::String(p))) =
+                    (column_index(expr), pattern.as_ref())
+                {
+                    return CompiledPred::Like {
+                        idx,
+                        pattern: self.compiled_like(p),
+                        negated: *negated,
+                    };
+                }
+                CompiledPred::Generic(conjunct.clone())
+            }
+            other => CompiledPred::Generic(other.clone()),
+        }
+    }
+
+    /// `true` when every compiled conjunct accepts the row. The fast forms
+    /// compare against borrowed values; only the generic fallback builds an
+    /// evaluation environment.
+    fn filter_matches(
+        &self,
+        filter: &[CompiledPred],
+        schema: &Schema,
+        row: &[Value],
+        outer: Option<&Env>,
+    ) -> Result<bool> {
+        for pred in filter {
+            let ok = match pred {
+                CompiledPred::Compare { idx, op, value } => match row[*idx].compare(value) {
+                    None => false,
+                    Some(ord) => match op {
+                        BinaryOperator::Eq => ord == Ordering::Equal,
+                        BinaryOperator::NotEq => ord != Ordering::Equal,
+                        BinaryOperator::Lt => ord == Ordering::Less,
+                        BinaryOperator::LtEq => ord != Ordering::Greater,
+                        BinaryOperator::Gt => ord == Ordering::Greater,
+                        BinaryOperator::GtEq => ord != Ordering::Less,
+                        _ => unreachable!("compile_pred only emits comparisons"),
+                    },
+                },
+                CompiledPred::InSet {
+                    idx,
+                    values,
+                    negated,
+                } => {
+                    let v = &row[*idx];
+                    if v.is_null() {
+                        false
+                    } else {
+                        let found = values.iter().any(|i| v.sql_eq(i) == Some(true));
+                        found != *negated
+                    }
+                }
+                CompiledPred::Between {
+                    idx,
+                    lo,
+                    hi,
+                    negated,
+                } => {
+                    let v = &row[*idx];
+                    let inside = matches!(v.compare(lo), Some(Ordering::Greater | Ordering::Equal))
+                        && matches!(v.compare(hi), Some(Ordering::Less | Ordering::Equal));
+                    inside != *negated
+                }
+                CompiledPred::Like {
+                    idx,
+                    pattern,
+                    negated,
+                } => match row[*idx].as_str() {
+                    Some(text) => pattern.matches(text) != *negated,
+                    None => false,
+                },
+                CompiledPred::Generic(expr) => {
+                    let env = Env {
+                        schema,
+                        row,
+                        parent: outer,
+                    };
+                    self.eval(expr, &env)?.as_bool().unwrap_or(false)
+                }
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     fn hash_join(
@@ -484,8 +906,7 @@ impl<'e> Executor<'e> {
             if !key.iter().any(Value::is_null) {
                 if let Some(candidates) = table.get(&key) {
                     for &ri in candidates {
-                        let mut combined = lrow.clone();
-                        combined.extend(right.rows[ri].iter().cloned());
+                        let combined = concat_rows(lrow, &right.rows[ri]);
                         if residual.is_empty() || {
                             let env = Env {
                                 schema: &schema,
@@ -502,15 +923,13 @@ impl<'e> Executor<'e> {
                             ok
                         } {
                             matched = true;
-                            rows.push(combined);
+                            rows.push(combined.into());
                         }
                     }
                 }
             }
             if !matched && kind == JoinKind::Left {
-                let mut combined = lrow.clone();
-                combined.extend(std::iter::repeat(Value::Null).take(right_width));
-                rows.push(combined);
+                rows.push(null_extend(lrow, right_width));
             }
         }
         Ok(Relation { schema, rows })
@@ -530,8 +949,7 @@ impl<'e> Executor<'e> {
         for lrow in &left.rows {
             let mut matched = false;
             for rrow in &right.rows {
-                let mut combined = lrow.clone();
-                combined.extend(rrow.iter().cloned());
+                let combined = concat_rows(lrow, rrow);
                 let env = Env {
                     schema: &schema,
                     row: &combined,
@@ -546,13 +964,11 @@ impl<'e> Executor<'e> {
                 }
                 if ok {
                     matched = true;
-                    rows.push(combined);
+                    rows.push(combined.into());
                 }
             }
             if !matched && kind == JoinKind::Left {
-                let mut combined = lrow.clone();
-                combined.extend(std::iter::repeat(Value::Null).take(right_width));
-                rows.push(combined);
+                rows.push(null_extend(lrow, right_width));
             }
         }
         Ok(Relation { schema, rows })
@@ -612,7 +1028,9 @@ impl<'e> Executor<'e> {
                 }
                 let mut acc = 0.0;
                 for v in &values {
-                    acc += v.as_f64().ok_or_else(|| EngineError::new("AVG over non-numeric value"))?;
+                    acc += v
+                        .as_f64()
+                        .ok_or_else(|| EngineError::new("AVG over non-numeric value"))?;
                 }
                 Ok(Value::Float(acc / values.len() as f64))
             }
@@ -684,10 +1102,7 @@ impl<'e> Executor<'e> {
                             let c = self.eval_in_group(cond, ctx)?;
                             op_val.sql_eq(&c).unwrap_or(false)
                         }
-                        None => self
-                            .eval_in_group(cond, ctx)?
-                            .as_bool()
-                            .unwrap_or(false),
+                        None => self.eval_in_group(cond, ctx)?.as_bool().unwrap_or(false),
                     };
                     if hit {
                         return self.eval_in_group(out, ctx);
@@ -720,17 +1135,17 @@ impl<'e> Executor<'e> {
     pub fn eval(&self, expr: &Expr, env: &Env) -> Result<Value> {
         match expr {
             Expr::Literal(l) => literal_value(l),
-            Expr::Column(c) => {
-                if env.resolves_locally(c) {
-                    Ok(env.row[env.schema.resolve(c).expect("checked")].clone())
-                } else if let Some(v) = env.lookup(c) {
-                    // Escaped to an outer row: this (sub-)query is correlated.
-                    self.correlation_witness.set(true);
-                    Ok(v)
-                } else {
-                    err(format!("unknown column `{}`", c.to_display()))
+            Expr::Column(c) => match env.lookup_ref(c) {
+                Some((v, escaped)) => {
+                    if escaped {
+                        // Escaped to an outer row: this (sub-)query is
+                        // correlated.
+                        self.correlation_witness.set(true);
+                    }
+                    Ok(v.clone())
                 }
-            }
+                None => err(format!("unknown column `{}`", c.to_display())),
+            },
             Expr::BinaryOp { left, op, right } => {
                 // Short-circuit AND/OR on the left operand.
                 match op {
@@ -843,11 +1258,21 @@ impl<'e> Executor<'e> {
                 negated,
             } => {
                 let v = self.eval(expr, env)?;
-                let p = self.eval(pattern, env)?;
-                match (v.as_str(), p.as_str()) {
-                    (Some(text), Some(pat)) => Ok(Value::Bool(like_match(text, pat) != *negated)),
-                    _ => Ok(Value::Bool(false)),
-                }
+                // Literal patterns (the common case) are compiled once per
+                // executor; dynamic patterns are compiled per evaluation.
+                let outcome = match v.as_str() {
+                    None => None,
+                    Some(text) => match pattern.as_ref() {
+                        Expr::Literal(Literal::String(p)) => {
+                            Some(self.compiled_like(p).matches(text))
+                        }
+                        dynamic => self
+                            .eval(dynamic, env)?
+                            .as_str()
+                            .map(|pat| LikePattern::new(pat).matches(text)),
+                    },
+                };
+                Ok(Value::Bool(outcome.map(|m| m != *negated).unwrap_or(false)))
             }
             Expr::Extract { field, expr } => {
                 let v = self.eval(expr, env)?;
@@ -871,7 +1296,7 @@ impl<'e> Executor<'e> {
             } => {
                 let v = self.eval(expr, env)?;
                 let s = match v {
-                    Value::Str(s) => s,
+                    Value::Str(s) => s.to_string(),
                     Value::Null => return Ok(Value::Null),
                     other => other.to_string(),
                 };
@@ -885,7 +1310,7 @@ impl<'e> Executor<'e> {
                     }
                     None => chars.len(),
                 };
-                Ok(Value::Str(chars[from..to].iter().collect()))
+                Ok(Value::str(chars[from..to].iter().collect::<String>()))
             }
             Expr::Cast { expr, data_type } => {
                 let v = self.eval(expr, env)?;
@@ -893,7 +1318,7 @@ impl<'e> Executor<'e> {
             }
             Expr::Exists { query, negated } => {
                 let rel = self.execute_subquery(query, env)?;
-                Ok(Value::Bool(!rel.rows.is_empty() != *negated))
+                Ok(Value::Bool(rel.rows.is_empty() == *negated))
             }
             Expr::InSubquery {
                 expr,
@@ -938,7 +1363,7 @@ impl<'e> Executor<'e> {
                     }
                     out.push_str(&a.to_string());
                 }
-                Ok(Value::Str(out))
+                Ok(Value::str(out))
             }
             "CHAR_LENGTH" | "LENGTH" => match args.first() {
                 Some(Value::Str(s)) => Ok(Value::Int(s.chars().count() as i64)),
@@ -1016,7 +1441,7 @@ fn literal_value(l: &Literal) -> Result<Value> {
         Literal::Boolean(b) => Value::Bool(*b),
         Literal::Integer(i) => Value::Int(*i),
         Literal::Float(f) => Value::Float(*f),
-        Literal::String(s) => Value::Str(s.clone()),
+        Literal::String(s) => Value::str(s.clone()),
         Literal::Date(d) => Value::Date(parse_date(d)?),
         Literal::Interval { value, unit } => match unit {
             // Intervals participate in date arithmetic; days become plain
@@ -1039,7 +1464,7 @@ pub fn apply_binary(op: BinaryOperator, l: Value, r: Value) -> Result<Value> {
         Modulo => l.modulo(&r),
         Concat => match (l, r) {
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-            (a, b) => Ok(Value::Str(format!("{a}{b}"))),
+            (a, b) => Ok(Value::str(format!("{a}{b}"))),
         },
         Eq | NotEq | Lt | LtEq | Gt | GtEq => {
             let cmp = l.compare(&r);
@@ -1090,14 +1515,14 @@ fn sub_with_calendar(l: Value, r: Value) -> Result<Value> {
 fn interval_shift(date: i32, encoded_days: i64) -> i32 {
     let negative = encoded_days < 0;
     let abs = encoded_days.unsigned_abs() as i32;
-    let shifted = if abs != 0 && abs % 365 == 0 {
+
+    if abs != 0 && abs % 365 == 0 {
         add_months(date, (abs / 365) * 12 * if negative { -1 } else { 1 })
     } else if abs != 0 && abs % 30 == 0 {
         add_months(date, (abs / 30) * if negative { -1 } else { 1 })
     } else {
         date + if negative { -abs } else { abs }
-    };
-    shifted
+    }
 }
 
 fn apply_unary(op: UnaryOperator, v: Value) -> Result<Value> {
@@ -1133,7 +1558,7 @@ fn cast_value(v: Value, ty: DataType) -> Result<Value> {
         },
         DataType::Varchar(_) | DataType::Char(_) => Ok(match v {
             Value::Null => Value::Null,
-            other => Value::Str(other.to_string()),
+            other => Value::str(other.to_string()),
         }),
         DataType::Date => match v {
             Value::Date(_) | Value::Null => Ok(v),
@@ -1147,24 +1572,104 @@ fn cast_value(v: Value, ty: DataType) -> Result<Value> {
     }
 }
 
-/// SQL LIKE pattern matching with `%` and `_` wildcards.
-pub fn like_match(text: &str, pattern: &str) -> bool {
-    fn rec(t: &[char], p: &[char]) -> bool {
-        if p.is_empty() {
-            return t.is_empty();
-        }
-        match p[0] {
-            '%' => {
-                // Try consuming 0..=len characters.
-                (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
-            }
-            '_' => !t.is_empty() && rec(&t[1..], &p[1..]),
-            c => !t.is_empty() && t[0] == c && rec(&t[1..], &p[1..]),
+/// A SQL LIKE pattern (`%` and `_` wildcards) precompiled to its character
+/// sequence, so matching a row does not re-collect the pattern.
+#[derive(Debug, Clone)]
+pub struct LikePattern {
+    chars: Vec<char>,
+}
+
+impl LikePattern {
+    /// Compile a pattern.
+    pub fn new(pattern: &str) -> Self {
+        LikePattern {
+            chars: pattern.chars().collect(),
         }
     }
-    let t: Vec<char> = text.chars().collect();
-    let p: Vec<char> = pattern.chars().collect();
-    rec(&t, &p)
+
+    /// Match a text against the pattern.
+    pub fn matches(&self, text: &str) -> bool {
+        fn rec(t: &[char], p: &[char]) -> bool {
+            if p.is_empty() {
+                return t.is_empty();
+            }
+            match p[0] {
+                '%' => {
+                    // Try consuming 0..=len characters.
+                    (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
+                }
+                '_' => !t.is_empty() && rec(&t[1..], &p[1..]),
+                c => !t.is_empty() && t[0] == c && rec(&t[1..], &p[1..]),
+            }
+        }
+        let t: Vec<char> = text.chars().collect();
+        rec(&t, &self.chars)
+    }
+}
+
+/// SQL LIKE pattern matching with `%` and `_` wildcards (one-shot form; hot
+/// paths precompile via [`LikePattern`]).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    LikePattern::new(pattern).matches(text)
+}
+
+/// One conjunct of a scan filter, pre-lowered for per-row evaluation.
+#[derive(Debug, Clone)]
+enum CompiledPred {
+    /// `column <cmp> constant` with a pre-resolved column index.
+    Compare {
+        idx: usize,
+        op: BinaryOperator,
+        value: Value,
+    },
+    /// `column [NOT] IN (constants)`.
+    InSet {
+        idx: usize,
+        values: Vec<Value>,
+        negated: bool,
+    },
+    /// `column [NOT] BETWEEN constant AND constant`.
+    Between {
+        idx: usize,
+        lo: Value,
+        hi: Value,
+        negated: bool,
+    },
+    /// `column [NOT] LIKE 'literal'` with a precompiled pattern.
+    Like {
+        idx: usize,
+        pattern: Rc<LikePattern>,
+        negated: bool,
+    },
+    /// Any other conjunct, evaluated by the interpreter.
+    Generic(Expr),
+}
+
+/// Mirror a comparison operator for swapped operands (`5 < x` ⇒ `x > 5`).
+fn flip_comparison(op: BinaryOperator) -> BinaryOperator {
+    match op {
+        BinaryOperator::Lt => BinaryOperator::Gt,
+        BinaryOperator::LtEq => BinaryOperator::GtEq,
+        BinaryOperator::Gt => BinaryOperator::Lt,
+        BinaryOperator::GtEq => BinaryOperator::LtEq,
+        other => other,
+    }
+}
+
+/// Remove (and return) every conjunct that is sub-query free and fully
+/// resolvable against `schema` — the ones a scan of that schema may evaluate
+/// itself.
+fn take_applicable(conjuncts: &mut Vec<Expr>, schema: &Schema) -> Vec<Expr> {
+    let mut taken = Vec::new();
+    conjuncts.retain(|c| {
+        if !contains_subquery(c) && expr_resolvable(c, schema) {
+            taken.push(c.clone());
+            false
+        } else {
+            true
+        }
+    });
+    taken
 }
 
 /// Break a predicate into its top-level AND conjuncts.
@@ -1336,12 +1841,26 @@ fn cross_product(left: &Relation, right: &Relation) -> Relation {
     let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
     for l in &left.rows {
         for r in &right.rows {
-            let mut combined = l.clone();
-            combined.extend(r.iter().cloned());
-            rows.push(combined);
+            rows.push(concat_rows(l, r).into());
         }
     }
     Relation { schema, rows }
+}
+
+/// Concatenate two rows into a fresh build-time row.
+fn concat_rows(left: &[Value], right: &[Value]) -> Row {
+    let mut combined = Vec::with_capacity(left.len() + right.len());
+    combined.extend_from_slice(left);
+    combined.extend_from_slice(right);
+    combined
+}
+
+/// A left row extended with NULLs for an unmatched outer join.
+fn null_extend(left: &[Value], right_width: usize) -> SharedRow {
+    let mut combined = Vec::with_capacity(left.len() + right_width);
+    combined.extend_from_slice(left);
+    combined.extend(std::iter::repeat_n(Value::Null, right_width));
+    combined.into()
 }
 
 /// Collect the distinct aggregate calls appearing in the projection, HAVING
@@ -1449,12 +1968,10 @@ fn alias_map(projection: &[SelectItem]) -> HashMap<String, Expr> {
 /// aliased expression (SQL allows aliases in GROUP BY / ORDER BY).
 fn substitute_aliases(expr: &Expr, aliases: &HashMap<String, Expr>) -> Expr {
     match expr {
-        Expr::Column(c) if c.table.is_none() => {
-            match aliases.get(&c.name.to_ascii_lowercase()) {
-                Some(e) => e.clone(),
-                None => expr.clone(),
-            }
-        }
+        Expr::Column(c) if c.table.is_none() => match aliases.get(&c.name.to_ascii_lowercase()) {
+            Some(e) => e.clone(),
+            None => expr.clone(),
+        },
         Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
             left: Box::new(substitute_aliases(left, aliases)),
             op: *op,

@@ -9,6 +9,38 @@
 //! 2. optional caching of immutable UDF results — enabled it behaves like
 //!    PostgreSQL, disabled it behaves like System C.
 //!
+//! # Storage layout
+//!
+//! Tables hold rows behind reference-counted [`table::SharedRow`] handles
+//! (`Arc<[Value]>`, with strings interned as `Arc<str>`), so relations
+//! flowing through the executor share storage with the base tables instead
+//! of deep-cloning it. A table may declare a **partition column** via
+//! [`Engine::set_table_partition`] — for the MTBase shared-table layout this
+//! is the invisible `ttid` — which buckets rows per tenant:
+//!
+//! ```text
+//! Table "lineitem" (partition column: ttid)
+//!   bucket ttid=1 → [row, row, ...]      ← scanned when 1 ∈ D
+//!   bucket ttid=2 → [row, row, ...]      ← skipped entirely when 2 ∉ D
+//!   ...
+//!   loose rows    → []                   ← non-integer partition keys
+//! ```
+//!
+//! Base-table scans evaluate the single-table WHERE conjuncts *during* the
+//! scan (non-qualifying rows are never materialized) and recognise
+//! `ttid = k` / `ttid IN (...)` conjuncts — the D-filters every rewritten
+//! MT-H query carries — to skip foreign tenants' buckets without touching
+//! their rows, making tenant-scoped queries scale with |D| instead of the
+//! total tenant count T.
+//!
+//! # Observability
+//!
+//! [`stats::StatsSnapshot`] exposes `rows_scanned` (rows actually visited,
+//! after pruning), `partitions_scanned` / `partitions_pruned` (bucket
+//! accounting per scan) and the UDF call/cache counters. Pruning can be
+//! disabled per engine (`EngineConfig::partition_pruning`) to recover the
+//! full-scan baseline for comparisons; results must be identical either way.
+//!
 //! # Example
 //!
 //! ```
@@ -51,12 +83,17 @@ pub struct EngineConfig {
     /// Cache results of `IMMUTABLE` UDFs keyed by their arguments
     /// (PostgreSQL-like). Disable to model "System C".
     pub cache_immutable_udfs: bool,
+    /// Skip partition buckets that `ttid = k` / `ttid IN (...)` scan
+    /// predicates exclude. Disabling falls back to full scans (the pre-
+    /// partitioning behaviour) — useful as a benchmark baseline.
+    pub partition_pruning: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             cache_immutable_udfs: true,
+            partition_pruning: true,
         }
     }
 }
@@ -66,6 +103,7 @@ impl EngineConfig {
     pub fn postgres_like() -> Self {
         EngineConfig {
             cache_immutable_udfs: true,
+            ..EngineConfig::default()
         }
     }
 
@@ -73,7 +111,14 @@ impl EngineConfig {
     pub fn system_c_like() -> Self {
         EngineConfig {
             cache_immutable_udfs: false,
+            ..EngineConfig::default()
         }
+    }
+
+    /// Disable partition pruning (builder-style, for baseline comparisons).
+    pub fn without_partition_pruning(mut self) -> Self {
+        self.partition_pruning = false;
+        self
     }
 }
 
@@ -86,9 +131,11 @@ pub struct ResultSet {
 
 impl ResultSet {
     fn from_relation(rel: Relation) -> Self {
+        // Materialize the (small) final result; intermediate relations stay
+        // shared. Value clones here are pointer-sized (`Arc`-interned).
         ResultSet {
             columns: rel.schema.names(),
-            rows: rel.rows,
+            rows: rel.rows.iter().map(|r| r.to_vec()).collect(),
         }
     }
 
@@ -161,6 +208,18 @@ impl Engine {
         self.db.create_table(name, columns);
     }
 
+    /// Declare the partition column of a table (typically the invisible
+    /// `ttid` of tenant-specific tables). Existing rows are re-bucketed.
+    pub fn set_table_partition(&mut self, table: &str, column: &str) -> Result<()> {
+        let t = self.db.table_mut(table)?;
+        if !t.set_partition_column(Some(column)) {
+            return Err(EngineError::new(format!(
+                "no column `{column}` in `{table}` to partition by"
+            )));
+        }
+        Ok(())
+    }
+
     /// Bulk-insert pre-built rows.
     pub fn insert_values(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
         let t = self.db.table_mut(table)?;
@@ -175,11 +234,18 @@ impl Engine {
         self.counters.add_rows_scanned(n);
     }
 
+    /// Note one base-table scan's bucket accounting (called by the executor).
+    pub(crate) fn note_partitions(&self, scanned: u64, pruned: u64) {
+        self.counters.add_partitions(scanned, pruned);
+    }
+
     /// Snapshot the execution statistics.
     pub fn stats(&self) -> StatsSnapshot {
         let udf = self.udfs.stats();
         StatsSnapshot {
             rows_scanned: self.counters.rows_scanned(),
+            partitions_scanned: self.counters.partitions_scanned(),
+            partitions_pruned: self.counters.partitions_pruned(),
             udf_calls: udf.calls,
             udf_cache_hits: udf.cache_hits,
         }
@@ -275,11 +341,11 @@ impl Engine {
                     )
                 };
                 // Evaluate per-row updates against a snapshot executor.
-                let mut new_rows = Vec::new();
+                let mut new_rows: Vec<(bool, table::SharedRow)> = Vec::new();
                 {
                     let executor = Executor::new(self);
                     let table = self.db.table(&update.table)?;
-                    for row in &table.rows {
+                    for row in table.rows() {
                         let env = Env {
                             schema: &schema,
                             row,
@@ -289,8 +355,8 @@ impl Engine {
                             Some(pred) => executor.eval(pred, &env)?.as_bool().unwrap_or(false),
                             None => true,
                         };
-                        let mut new_row = row.clone();
                         if matches {
+                            let mut new_row = row.to_vec();
                             for (col, expr) in &assignments {
                                 let idx = table.column_index(col).ok_or_else(|| {
                                     EngineError::new(format!(
@@ -300,13 +366,20 @@ impl Engine {
                                 })?;
                                 new_row[idx] = executor.eval(expr, &env)?;
                             }
+                            new_rows.push((true, new_row.into()));
+                        } else {
+                            new_rows.push((false, table::SharedRow::clone(row)));
                         }
-                        new_rows.push((matches, new_row));
                     }
                 }
                 let changed = new_rows.iter().filter(|(m, _)| *m).count() as i64;
                 let table = self.db.table_mut(&update.table)?;
-                table.rows = new_rows.into_iter().map(|(_, r)| r).collect();
+                table.take_rows();
+                for (_, row) in new_rows {
+                    // Re-bucketing on insert keeps the partition layout right
+                    // even when an UPDATE rewrites the partition key itself.
+                    table.push_shared(row);
+                }
                 Ok(ResultSet {
                     columns: vec!["rows_updated".to_string()],
                     rows: vec![vec![Value::Int(changed)]],
@@ -320,12 +393,12 @@ impl Engine {
                         delete.selection.clone(),
                     )
                 };
-                let mut keep = Vec::new();
+                let mut keep: Vec<table::SharedRow> = Vec::new();
                 let mut removed = 0i64;
                 {
                     let executor = Executor::new(self);
                     let table = self.db.table(&delete.table)?;
-                    for row in &table.rows {
+                    for row in table.rows() {
                         let env = Env {
                             schema: &schema,
                             row,
@@ -338,12 +411,15 @@ impl Engine {
                         if matches {
                             removed += 1;
                         } else {
-                            keep.push(row.clone());
+                            keep.push(table::SharedRow::clone(row));
                         }
                     }
                 }
                 let table = self.db.table_mut(&delete.table)?;
-                table.rows = keep;
+                table.take_rows();
+                for row in keep {
+                    table.push_shared(row);
+                }
                 Ok(ResultSet {
                     columns: vec!["rows_deleted".to_string()],
                     rows: vec![vec![Value::Int(removed)]],
@@ -392,7 +468,12 @@ impl Engine {
                     })
                     .collect::<Result<Vec<_>>>()?
             }
-            InsertSource::Query(q) => executor.execute_query(q, None)?.rows,
+            InsertSource::Query(q) => executor
+                .execute_query(q, None)?
+                .rows
+                .iter()
+                .map(|r| r.to_vec())
+                .collect(),
         };
 
         let width = table.columns.len();
@@ -428,7 +509,15 @@ mod tests {
         let mut e = Engine::new(EngineConfig::default());
         e.create_table(
             "Employees",
-            &["ttid", "E_emp_id", "E_name", "E_role_id", "E_reg_id", "E_salary", "E_age"],
+            &[
+                "ttid",
+                "E_emp_id",
+                "E_name",
+                "E_role_id",
+                "E_reg_id",
+                "E_salary",
+                "E_age",
+            ],
         );
         e.create_table("Roles", &["ttid", "R_role_id", "R_name"]);
         e.create_table("Regions", &["Re_reg_id", "Re_name"]);
@@ -561,8 +650,13 @@ mod tests {
     #[test]
     fn global_aggregate_without_group_by() {
         let e = sample_engine();
-        let rs = e.query("SELECT COUNT(*), MIN(E_age), MAX(E_age) FROM Employees").unwrap();
-        assert_eq!(rs.rows, vec![vec![Value::Int(6), Value::Int(25), Value::Int(72)]]);
+        let rs = e
+            .query("SELECT COUNT(*), MIN(E_age), MAX(E_age) FROM Employees")
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::Int(6), Value::Int(25), Value::Int(72)]]
+        );
     }
 
     #[test]
@@ -640,9 +734,7 @@ mod tests {
     fn case_expression_and_arithmetic() {
         let e = sample_engine();
         let rs = e
-            .query(
-                "SELECT SUM(CASE WHEN E_age >= 45 THEN 1 ELSE 0 END) AS seniors FROM Employees",
-            )
+            .query("SELECT SUM(CASE WHEN E_age >= 45 THEN 1 ELSE 0 END) AS seniors FROM Employees")
             .unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
     }
@@ -672,7 +764,9 @@ mod tests {
             .execute("UPDATE Regions SET Re_name = 'ICE' WHERE Re_reg_id = 6")
             .unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(1));
-        let rs = e.execute("DELETE FROM Regions WHERE Re_reg_id = 6").unwrap();
+        let rs = e
+            .execute("DELETE FROM Regions WHERE Re_reg_id = 6")
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(1));
         assert_eq!(
             e.query("SELECT COUNT(*) FROM Regions").unwrap().rows[0][0],
@@ -725,13 +819,18 @@ mod tests {
         let rs = e
             .query("SELECT E_name FROM Employees ORDER BY E_salary DESC LIMIT 2")
             .unwrap();
-        assert_eq!(rs.rows, vec![vec![Value::str("Ed")], vec![Value::str("Nancy")]]);
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::str("Ed")], vec![Value::str("Nancy")]]
+        );
     }
 
     #[test]
     fn scalar_subquery_in_select_without_from() {
         let e = sample_engine();
-        let rs = e.query("SELECT (SELECT MAX(E_age) FROM Employees)").unwrap();
+        let rs = e
+            .query("SELECT (SELECT MAX(E_age) FROM Employees)")
+            .unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(72)]]);
     }
 
@@ -755,5 +854,112 @@ mod tests {
         e.reset_stats();
         e.query("SELECT COUNT(*) FROM Employees").unwrap();
         assert_eq!(e.stats().rows_scanned, 6);
+    }
+
+    #[test]
+    fn partition_pruning_skips_foreign_buckets() {
+        let mut e = sample_engine();
+        e.set_table_partition("Employees", "ttid").unwrap();
+        e.reset_stats();
+        let rs = e
+            .query("SELECT COUNT(*) FROM Employees WHERE ttid = 0")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+        let stats = e.stats();
+        // Only tenant 0's bucket is visited; tenant 1's rows are never read.
+        assert_eq!(stats.rows_scanned, 3);
+        assert_eq!(stats.partitions_scanned, 1);
+        assert_eq!(stats.partitions_pruned, 1);
+    }
+
+    #[test]
+    fn partition_pruning_handles_in_lists() {
+        let mut e = sample_engine();
+        e.set_table_partition("Employees", "ttid").unwrap();
+        e.reset_stats();
+        let rs = e
+            .query("SELECT COUNT(*) FROM Employees WHERE ttid IN (0, 1, 7)")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(6));
+        assert_eq!(e.stats().rows_scanned, 6);
+        assert_eq!(e.stats().partitions_pruned, 0);
+
+        e.reset_stats();
+        let rs = e
+            .query("SELECT COUNT(*) FROM Employees WHERE ttid IN (1) AND E_age < 70")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+        // The scan visits only tenant 1's bucket; the residual age filter is
+        // evaluated during the scan rather than after materialization.
+        assert_eq!(e.stats().rows_scanned, 3);
+        assert_eq!(e.stats().partitions_pruned, 1);
+    }
+
+    #[test]
+    fn disabled_pruning_scans_everything_but_agrees_on_results() {
+        let run = |pruning: bool| {
+            let config = EngineConfig {
+                partition_pruning: pruning,
+                ..EngineConfig::default()
+            };
+            let mut e = Engine::new(config);
+            e.create_table("t", &["ttid", "v"]);
+            e.insert_values(
+                "t",
+                (0..4)
+                    .flat_map(|tenant| {
+                        (0..5).map(move |v| vec![Value::Int(tenant), Value::Int(v * 10)])
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            e.set_table_partition("t", "ttid").unwrap();
+            e.reset_stats();
+            let rs = e
+                .query("SELECT SUM(v) FROM t WHERE ttid = 2 AND v >= 10")
+                .unwrap();
+            (rs, e.stats().rows_scanned, e.stats().partitions_pruned)
+        };
+        let (rs_on, scanned_on, pruned_on) = run(true);
+        let (rs_off, scanned_off, pruned_off) = run(false);
+        assert_eq!(rs_on, rs_off);
+        assert_eq!(scanned_on, 5);
+        assert_eq!(pruned_on, 3);
+        assert_eq!(scanned_off, 20);
+        assert_eq!(pruned_off, 0);
+    }
+
+    #[test]
+    fn updates_keep_partitioned_rows_in_the_right_bucket() {
+        let mut e = sample_engine();
+        e.set_table_partition("Employees", "ttid").unwrap();
+        // Move Patrick from tenant 0 to tenant 1 and make sure scans of both
+        // buckets see the change.
+        e.execute("UPDATE Employees SET ttid = 1 WHERE E_name = 'Patrick'")
+            .unwrap();
+        let rs = e
+            .query("SELECT COUNT(*) FROM Employees WHERE ttid = 0")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+        let rs = e
+            .query("SELECT COUNT(*) FROM Employees WHERE ttid = 1")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(4));
+        e.execute("DELETE FROM Employees WHERE ttid = 1").unwrap();
+        let rs = e.query("SELECT COUNT(*) FROM Employees").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn contradictory_partition_predicates_scan_nothing() {
+        let mut e = sample_engine();
+        e.set_table_partition("Employees", "ttid").unwrap();
+        e.reset_stats();
+        let rs = e
+            .query("SELECT COUNT(*) FROM Employees WHERE ttid = 0 AND ttid IN (1)")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert_eq!(e.stats().rows_scanned, 0);
+        assert_eq!(e.stats().partitions_pruned, 2);
     }
 }

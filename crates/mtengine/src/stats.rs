@@ -2,14 +2,23 @@
 //! *analytic* claims of the paper (e.g. "aggregation distribution reduces the
 //! number of conversion calls from 2·N to T+1") in addition to wall-clock
 //! numbers.
+//!
+//! Since the tenant-partitioned storage layer landed, the counters also make
+//! partition pruning observable: `rows_scanned` counts only the rows a scan
+//! actually visited, while `partitions_pruned` counts the foreign-tenant
+//! buckets it skipped without touching their rows.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Point-in-time snapshot of engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Rows read from base tables.
+    /// Rows read from base tables (after partition pruning).
     pub rows_scanned: u64,
+    /// Partition buckets visited by base-table scans.
+    pub partitions_scanned: u64,
+    /// Partition buckets skipped entirely thanks to `ttid` scope predicates.
+    pub partitions_pruned: u64,
     /// UDF invocations that executed the function body.
     pub udf_calls: u64,
     /// UDF invocations answered from the immutable-result cache.
@@ -20,6 +29,8 @@ pub struct StatsSnapshot {
 #[derive(Debug, Default)]
 pub struct EngineCounters {
     rows_scanned: AtomicU64,
+    partitions_scanned: AtomicU64,
+    partitions_pruned: AtomicU64,
 }
 
 impl EngineCounters {
@@ -33,14 +44,33 @@ impl EngineCounters {
         self.rows_scanned.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one base-table scan: buckets visited and buckets pruned.
+    pub fn add_partitions(&self, scanned: u64, pruned: u64) {
+        self.partitions_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+        self.partitions_pruned.fetch_add(pruned, Ordering::Relaxed);
+    }
+
     /// Current scanned-row count.
     pub fn rows_scanned(&self) -> u64 {
         self.rows_scanned.load(Ordering::Relaxed)
     }
 
+    /// Current visited-bucket count.
+    pub fn partitions_scanned(&self) -> u64 {
+        self.partitions_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Current pruned-bucket count.
+    pub fn partitions_pruned(&self) -> u64 {
+        self.partitions_pruned.load(Ordering::Relaxed)
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.rows_scanned.store(0, Ordering::Relaxed);
+        self.partitions_scanned.store(0, Ordering::Relaxed);
+        self.partitions_pruned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -53,8 +83,14 @@ mod tests {
         let c = EngineCounters::new();
         c.add_rows_scanned(10);
         c.add_rows_scanned(5);
+        c.add_partitions(1, 9);
+        c.add_partitions(2, 8);
         assert_eq!(c.rows_scanned(), 15);
+        assert_eq!(c.partitions_scanned(), 3);
+        assert_eq!(c.partitions_pruned(), 17);
         c.reset();
         assert_eq!(c.rows_scanned(), 0);
+        assert_eq!(c.partitions_scanned(), 0);
+        assert_eq!(c.partitions_pruned(), 0);
     }
 }

@@ -1,24 +1,42 @@
 //! In-memory row storage: tables, views and the database holding them.
+//!
+//! Tables store rows behind [`SharedRow`] (`Arc<[Value]>`) handles so that
+//! scans hand out reference-counted pointers instead of deep copies. A table
+//! may additionally declare a *partition column* (the invisible `ttid` of the
+//! MTBase shared-table layout): rows are then bucketed by that column's
+//! integer value, and the executor can skip entire foreign-tenant buckets
+//! when the query carries a `ttid = k` / `ttid IN (...)` scope predicate.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mtsql::ast::Query;
 
 use crate::error::{err, Result};
 use crate::value::Value;
 
-/// A materialized row.
+/// A mutable row under construction (DML, projections).
 pub type Row = Vec<Value>;
 
-/// An in-memory table: a flat list of rows with named columns.
+/// An immutable, reference-counted stored row. Cloning is a pointer bump.
+pub type SharedRow = Arc<[Value]>;
+
+/// An in-memory table: named columns plus rows, optionally bucketed by a
+/// partition column.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     /// Table name as registered.
     pub name: String,
     /// Column names, in storage order.
     pub columns: Vec<String>,
-    /// Row data.
-    pub rows: Vec<Row>,
+    /// Index of the partition column, when declared.
+    partition_col: Option<usize>,
+    /// Rows bucketed by partition-key value (partitioned tables only).
+    buckets: BTreeMap<i64, Vec<SharedRow>>,
+    /// Rows of unpartitioned tables, plus rows of partitioned tables whose
+    /// partition key is not an integer (never produced by the MT layout, but
+    /// kept correct regardless).
+    loose: Vec<SharedRow>,
 }
 
 impl Table {
@@ -27,7 +45,9 @@ impl Table {
         Table {
             name: name.into(),
             columns,
-            rows: Vec::new(),
+            partition_col: None,
+            buckets: BTreeMap::new(),
+            loose: Vec::new(),
         }
     }
 
@@ -36,6 +56,52 @@ impl Table {
         self.columns
             .iter()
             .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Declare (or clear) the partition column by name, re-bucketing any
+    /// existing rows. Returns `false` when the column does not exist.
+    pub fn set_partition_column(&mut self, column: Option<&str>) -> bool {
+        let idx = match column {
+            None => None,
+            Some(name) => match self.column_index(name) {
+                Some(i) => Some(i),
+                None => return false,
+            },
+        };
+        if idx == self.partition_col {
+            return true;
+        }
+        let rows = self.take_rows();
+        self.partition_col = idx;
+        for row in rows {
+            self.push_shared(row);
+        }
+        true
+    }
+
+    /// The declared partition column index, if any.
+    pub fn partition_column(&self) -> Option<usize> {
+        self.partition_col
+    }
+
+    /// Number of partition buckets currently holding rows.
+    pub fn partition_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The rows of one partition bucket (empty slice for absent keys).
+    pub fn partition(&self, key: i64) -> &[SharedRow] {
+        self.buckets.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate over `(key, rows)` of every partition bucket, in key order.
+    pub fn partitions(&self) -> impl Iterator<Item = (i64, &[SharedRow])> {
+        self.buckets.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Rows that are not held in any partition bucket.
+    pub fn loose_rows(&self) -> &[SharedRow] {
+        &self.loose
     }
 
     /// Append a row after checking its arity.
@@ -48,18 +114,52 @@ impl Table {
                 self.columns.len()
             ));
         }
-        self.rows.push(row);
+        self.push_shared(row.into());
         Ok(())
+    }
+
+    /// Append an already-shared row, routing it into its partition bucket.
+    /// The arity must have been checked by the caller.
+    pub fn push_shared(&mut self, row: SharedRow) {
+        match self.partition_col {
+            Some(idx) => match row.get(idx) {
+                Some(Value::Int(key)) => {
+                    let key = *key;
+                    self.buckets.entry(key).or_default().push(row);
+                }
+                _ => self.loose.push(row),
+            },
+            None => self.loose.push(row),
+        }
+    }
+
+    /// Iterate over all rows: partition buckets in key order, then loose rows.
+    pub fn rows(&self) -> impl Iterator<Item = &SharedRow> {
+        self.buckets
+            .values()
+            .flat_map(|b| b.iter())
+            .chain(self.loose.iter())
+    }
+
+    /// Remove and return every row, leaving the table empty (used by DML that
+    /// rewrites the row set; re-inserting re-buckets).
+    pub fn take_rows(&mut self) -> Vec<SharedRow> {
+        let mut out: Vec<SharedRow> = Vec::with_capacity(self.len());
+        for bucket in std::mem::take(&mut self.buckets).into_values() {
+            out.extend(bucket);
+        }
+        out.append(&mut self.loose);
+        out
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.buckets.values().map(Vec::len).sum::<usize>() + self.loose.len()
     }
 
     /// `true` when the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.loose.is_empty() && self.buckets.values().all(Vec::is_empty)
     }
 }
 
@@ -181,5 +281,69 @@ mod tests {
         assert_eq!(t.column_index("alpha"), Some(0));
         assert_eq!(t.column_index("BETA"), Some(1));
         assert_eq!(t.column_index("gamma"), None);
+    }
+
+    fn tenant_row(t: i64, v: i64) -> Row {
+        vec![Value::Int(t), Value::Int(v)]
+    }
+
+    #[test]
+    fn partitioning_buckets_rows_by_key() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        assert!(t.set_partition_column(Some("TTID")));
+        for (tenant, v) in [(1, 10), (2, 20), (1, 11), (3, 30)] {
+            t.push_row(tenant_row(tenant, v)).unwrap();
+        }
+        assert_eq!(t.partition_count(), 3);
+        assert_eq!(t.partition(1).len(), 2);
+        assert_eq!(t.partition(2).len(), 1);
+        assert_eq!(t.partition(99).len(), 0);
+        assert_eq!(t.len(), 4);
+        assert!(t.loose_rows().is_empty());
+    }
+
+    #[test]
+    fn declaring_partition_late_rebuckets_existing_rows() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        t.push_row(tenant_row(1, 10)).unwrap();
+        t.push_row(tenant_row(2, 20)).unwrap();
+        assert_eq!(t.partition_count(), 0);
+        assert!(t.set_partition_column(Some("ttid")));
+        assert_eq!(t.partition_count(), 2);
+        assert!(t.loose_rows().is_empty());
+        // clearing the partition moves rows back to loose storage
+        assert!(t.set_partition_column(None));
+        assert_eq!(t.partition_count(), 0);
+        assert_eq!(t.loose_rows().len(), 2);
+    }
+
+    #[test]
+    fn non_integer_partition_keys_fall_back_to_loose_rows() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.push_row(vec![Value::str("odd"), Value::Int(1)]).unwrap();
+        t.push_row(tenant_row(1, 10)).unwrap();
+        assert_eq!(t.loose_rows().len(), 1);
+        assert_eq!(t.partition(1).len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unknown_partition_column_is_rejected() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        assert!(!t.set_partition_column(Some("nope")));
+        assert_eq!(t.partition_column(), None);
+    }
+
+    #[test]
+    fn take_rows_empties_all_storage() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.push_row(tenant_row(1, 10)).unwrap();
+        t.push_row(tenant_row(2, 20)).unwrap();
+        let rows = t.take_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.partition_count(), 0);
     }
 }

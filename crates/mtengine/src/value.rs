@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -11,19 +12,23 @@ use crate::error::{err, Result};
 /// A runtime value. Dates are stored as days since 1970-01-01 (can be
 /// negative); decimals are evaluated in double precision which is sufficient
 /// for the benchmark workloads.
+///
+/// Strings are interned behind an `Arc<str>` so that cloning a value — which
+/// the row-sharing executor does only for residual materializations — is a
+/// reference-count bump rather than a heap copy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Value {
     Null,
     Bool(bool),
     Int(i64),
     Float(f64),
-    Str(String),
+    Str(Arc<str>),
     Date(i32),
 }
 
 impl Value {
     /// String constructor.
-    pub fn str(s: impl Into<String>) -> Self {
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
         Value::Str(s.into())
     }
 
@@ -60,7 +65,7 @@ impl Value {
     /// String view.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -108,7 +113,7 @@ impl Value {
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
             (Value::Date(d), Value::Int(days)) => Ok(Value::Date(d + *days as i32)),
             (Value::Int(days), Value::Date(d)) => Ok(Value::Date(d + *days as i32)),
-            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+            (Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
             _ => match (self.as_f64(), other.as_f64()) {
                 (Some(a), Some(b)) => Ok(Value::Float(a + b)),
                 _ => err(format!("cannot add {self:?} and {other:?}")),
@@ -147,8 +152,13 @@ impl Value {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
             _ => match (self.as_f64(), other.as_f64()) {
-                (Some(_), Some(b)) if b == 0.0 => err("division by zero"),
-                (Some(a), Some(b)) => Ok(Value::Float(a / b)),
+                (Some(a), Some(b)) => {
+                    if b == 0.0 {
+                        err("division by zero")
+                    } else {
+                        Ok(Value::Float(a / b))
+                    }
+                }
                 _ => err(format!("cannot divide {self:?} by {other:?}")),
             },
         }
@@ -183,9 +193,7 @@ impl PartialEq for Value {
             (Value::Date(a), Value::Date(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             _ => false,
         }
     }
@@ -272,9 +280,15 @@ pub fn parse_date(s: &str) -> Result<i32> {
     if parts.len() != 3 {
         return err(format!("invalid date literal `{s}`"));
     }
-    let y: i32 = parts[0].parse().map_err(|_| crate::error::EngineError::new(format!("bad year in `{s}`")))?;
-    let m: u32 = parts[1].parse().map_err(|_| crate::error::EngineError::new(format!("bad month in `{s}`")))?;
-    let d: u32 = parts[2].parse().map_err(|_| crate::error::EngineError::new(format!("bad day in `{s}`")))?;
+    let y: i32 = parts[0]
+        .parse()
+        .map_err(|_| crate::error::EngineError::new(format!("bad year in `{s}`")))?;
+    let m: u32 = parts[1]
+        .parse()
+        .map_err(|_| crate::error::EngineError::new(format!("bad month in `{s}`")))?;
+    let d: u32 = parts[2]
+        .parse()
+        .map_err(|_| crate::error::EngineError::new(format!("bad day in `{s}`")))?;
     if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
         return err(format!("date out of range `{s}`"));
     }
@@ -318,7 +332,13 @@ mod tests {
 
     #[test]
     fn date_roundtrip() {
-        for s in ["1970-01-01", "1992-02-29", "1998-12-01", "2024-07-15", "1900-03-01"] {
+        for s in [
+            "1970-01-01",
+            "1992-02-29",
+            "1998-12-01",
+            "2024-07-15",
+            "1900-03-01",
+        ] {
             let days = parse_date(s).unwrap();
             assert_eq!(format_date(days), s);
         }

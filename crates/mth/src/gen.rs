@@ -25,27 +25,70 @@ pub mod columns {
     pub const REGION: &[&str] = &["r_regionkey", "r_name", "r_comment"];
     pub const NATION: &[&str] = &["n_nationkey", "n_name", "n_regionkey", "n_comment"];
     pub const SUPPLIER: &[&str] = &[
-        "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment",
+        "s_suppkey",
+        "s_name",
+        "s_address",
+        "s_nationkey",
+        "s_phone",
+        "s_acctbal",
+        "s_comment",
     ];
     pub const PART: &[&str] = &[
-        "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
-        "p_retailprice", "p_comment",
+        "p_partkey",
+        "p_name",
+        "p_mfgr",
+        "p_brand",
+        "p_type",
+        "p_size",
+        "p_container",
+        "p_retailprice",
+        "p_comment",
     ];
     pub const PARTSUPP: &[&str] = &[
-        "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment",
+        "ps_partkey",
+        "ps_suppkey",
+        "ps_availqty",
+        "ps_supplycost",
+        "ps_comment",
     ];
     pub const CUSTOMER: &[&str] = &[
-        "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment",
+        "c_custkey",
+        "c_name",
+        "c_address",
+        "c_nationkey",
+        "c_phone",
+        "c_acctbal",
+        "c_mktsegment",
         "c_comment",
     ];
     pub const ORDERS: &[&str] = &[
-        "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
-        "o_orderpriority", "o_clerk", "o_shippriority", "o_comment",
+        "o_orderkey",
+        "o_custkey",
+        "o_orderstatus",
+        "o_totalprice",
+        "o_orderdate",
+        "o_orderpriority",
+        "o_clerk",
+        "o_shippriority",
+        "o_comment",
     ];
     pub const LINEITEM: &[&str] = &[
-        "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice",
-        "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
-        "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment",
+        "l_orderkey",
+        "l_partkey",
+        "l_suppkey",
+        "l_linenumber",
+        "l_quantity",
+        "l_extendedprice",
+        "l_discount",
+        "l_tax",
+        "l_returnflag",
+        "l_linestatus",
+        "l_shipdate",
+        "l_commitdate",
+        "l_receiptdate",
+        "l_shipinstruct",
+        "l_shipmode",
+        "l_comment",
     ];
 }
 
@@ -65,32 +108,85 @@ pub struct GeneratedData {
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [(&str, i64); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const SHIPINSTRUCT: [&str; 4] = [
-    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
 ];
 const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PKG",
+    "WRAP JAR",
 ];
 const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const PART_NAMES: [&str; 10] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "blanched", "blue", "blush",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "blanched",
+    "blue",
+    "blush",
     "brown",
 ];
 const COMMENT_WORDS: [&str; 12] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "pending",
-    "regular", "express", "special", "deposits",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "pending",
+    "regular",
+    "express",
+    "special",
+    "deposits",
 ];
 
 fn date(y: i32, m: u32, d: u32) -> i32 {
@@ -230,9 +326,7 @@ pub fn generate(cfg: &MthConfig) -> GeneratedData {
     for t in 1..=cfg.tenants {
         let share = cfg.tenant_share(t);
         let mut count = match cfg.distribution {
-            TenantDistribution::Uniform => {
-                (base.customers as f64 * share).round() as usize
-            }
+            TenantDistribution::Uniform => (base.customers as f64 * share).round() as usize,
             TenantDistribution::Zipf => (base.customers as f64 * share).ceil() as usize,
         };
         count = count.max(1).min(remaining.max(1));
@@ -286,9 +380,8 @@ pub fn generate(cfg: &MthConfig) -> GeneratedData {
                 Value::str(c_comment),
             ]);
 
-            let n_orders = rng.gen_range(
-                (base.orders_per_customer / 2).max(1)..=base.orders_per_customer + 3,
-            );
+            let n_orders =
+                rng.gen_range((base.orders_per_customer / 2).max(1)..=base.orders_per_customer + 3);
             for _ in 0..n_orders {
                 order_seq += 1;
                 let orderkey = order_seq;

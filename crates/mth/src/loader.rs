@@ -1,6 +1,12 @@
 //! Build a fully-wired MT-H deployment: MTSQL schema + catalog, conversion
 //! functions, tenant metadata, the MT (shared-table) database and the plain
 //! TPC-H baseline database used as the single-tenant comparison point.
+//!
+//! Tenant-specific tables (`customer`, `orders`, `lineitem`) are declared
+//! with `ttid` as their partition key at load time (via the `CREATE TABLE ...
+//! SPECIFIC` path of [`MtBase::create_table`]), so the engine buckets their
+//! rows per tenant while loading and scoped queries prune foreign tenants at
+//! scan time.
 
 use std::sync::Arc;
 
@@ -248,11 +254,25 @@ mod tests {
     #[test]
     fn deployment_has_all_tables_loaded() {
         let dep = tiny();
-        for table in ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"] {
-            let mt = dep.server.raw_query(&format!("SELECT COUNT(*) FROM {table}")).unwrap();
-            assert!(mt.rows[0][0].as_i64().unwrap() > 0, "{table} empty in MT db");
-            let base = dep.baseline.query(&format!("SELECT COUNT(*) FROM {table}")).unwrap();
-            assert!(base.rows[0][0].as_i64().unwrap() > 0, "{table} empty in baseline");
+        for table in [
+            "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+        ] {
+            let mt = dep
+                .server
+                .raw_query(&format!("SELECT COUNT(*) FROM {table}"))
+                .unwrap();
+            assert!(
+                mt.rows[0][0].as_i64().unwrap() > 0,
+                "{table} empty in MT db"
+            );
+            let base = dep
+                .baseline
+                .query(&format!("SELECT COUNT(*) FROM {table}"))
+                .unwrap();
+            assert!(
+                base.rows[0][0].as_i64().unwrap() > 0,
+                "{table} empty in baseline"
+            );
         }
         let tenants = dep.server.raw_query("SELECT COUNT(*) FROM Tenant").unwrap();
         assert_eq!(tenants.rows[0][0], Value::Int(3));
@@ -270,11 +290,29 @@ mod tests {
     }
 
     #[test]
+    fn tenant_specific_tables_are_partitioned_by_ttid() {
+        let dep = tiny();
+        let engine = dep.server.raw_query("SELECT COUNT(*) FROM lineitem");
+        assert!(engine.is_ok());
+        // Scoped scans must prune the other two tenants' buckets.
+        let mut conn = dep.server.connect(1);
+        conn.set_opt_level(OptLevel::O4);
+        conn.execute("SET SCOPE = \"IN (1)\"").unwrap();
+        conn.query("SELECT COUNT(*) FROM lineitem").unwrap();
+        let stats = conn.last_query_stats();
+        assert_eq!(stats.partitions_scanned, 1, "{stats:?}");
+        assert_eq!(stats.partitions_pruned, 2, "{stats:?}");
+    }
+
+    #[test]
     fn default_scope_restricts_to_own_share() {
         let dep = tiny();
         let mut conn = dep.server.connect(2);
         let own = conn.query("SELECT COUNT(*) FROM customer").unwrap();
-        let all = dep.server.raw_query("SELECT COUNT(*) FROM customer").unwrap();
+        let all = dep
+            .server
+            .raw_query("SELECT COUNT(*) FROM customer")
+            .unwrap();
         assert!(own.rows[0][0].as_i64().unwrap() < all.rows[0][0].as_i64().unwrap());
     }
 }

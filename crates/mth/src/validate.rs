@@ -42,7 +42,11 @@ pub fn run_baseline_query(dep: &MthDeployment, n: usize) -> mtengine::Result<Res
 }
 
 /// Validate the listed queries at one optimization level.
-pub fn validate(dep: &MthDeployment, query_numbers: &[usize], level: OptLevel) -> Vec<ValidationReport> {
+pub fn validate(
+    dep: &MthDeployment,
+    query_numbers: &[usize],
+    level: OptLevel,
+) -> Vec<ValidationReport> {
     query_numbers
         .iter()
         .map(|&n| {

@@ -54,7 +54,11 @@ impl RewriteSettings {
 }
 
 /// Rewrite a full MTSQL query into plain SQL.
-pub fn rewrite_query(query: &Query, catalog: &Catalog, settings: &RewriteSettings) -> Result<Query> {
+pub fn rewrite_query(
+    query: &Query,
+    catalog: &Catalog,
+    settings: &RewriteSettings,
+) -> Result<Query> {
     rewrite_query_scoped(query, catalog, settings, &[])
 }
 
@@ -317,7 +321,9 @@ fn rewrite_selection(
     if settings.add_d_filters {
         for b in own_bindings {
             if b.table.is_tenant_specific()
-                && !outer_joined_bindings.iter().any(|n| n.eq_ignore_ascii_case(&b.name))
+                && !outer_joined_bindings
+                    .iter()
+                    .any(|n| n.eq_ignore_ascii_case(&b.name))
             {
                 rewritten.push(d_filter(&b.name, &settings.dataset));
             }
@@ -368,10 +374,11 @@ fn check_predicate(conjunct: &Expr, bindings: &[Binding]) -> Result<()> {
         if op.is_comparison() {
             let left_scan = scan_comparability(left, bindings);
             let right_scan = scan_comparability(right, bindings);
-            let mixes = (left_scan.has_tenant_specific && right_scan.has_comparable_or_convertible)
-                || (right_scan.has_tenant_specific && left_scan.has_comparable_or_convertible)
-                || (left_scan.has_tenant_specific && left_scan.has_comparable_or_convertible)
-                || (right_scan.has_tenant_specific && right_scan.has_comparable_or_convertible);
+            // Equivalent to the four pairwise products: any tenant-specific
+            // side combined with any comparable/convertible side mixes.
+            let mixes = (left_scan.has_tenant_specific || right_scan.has_tenant_specific)
+                && (left_scan.has_comparable_or_convertible
+                    || right_scan.has_comparable_or_convertible);
             if mixes {
                 return Err(RewriteError::new(format!(
                     "predicate `{conjunct}` compares tenant-specific with comparable or convertible attributes"
@@ -568,14 +575,18 @@ mod tests {
     #[test]
     fn wraps_convertible_attributes_in_select() {
         let out = rewrite("SELECT E_salary FROM Employees", 0, &[0, 1]);
-        assert!(out.contains("currencyFromUniversal(currencyToUniversal(E_salary, Employees.ttid), 0) AS E_salary"));
+        assert!(out.contains(
+            "currencyFromUniversal(currencyToUniversal(E_salary, Employees.ttid), 0) AS E_salary"
+        ));
         assert!(out.contains("Employees.ttid IN (0, 1)"));
     }
 
     #[test]
     fn wraps_convertible_attributes_inside_aggregates() {
         let out = rewrite("SELECT AVG(E_salary) AS avg_sal FROM Employees", 1, &[0, 1]);
-        assert!(out.contains("AVG(currencyFromUniversal(currencyToUniversal(E_salary, Employees.ttid), 1))"));
+        assert!(out.contains(
+            "AVG(currencyFromUniversal(currencyToUniversal(E_salary, Employees.ttid), 1))"
+        ));
     }
 
     #[test]
@@ -605,8 +616,8 @@ mod tests {
     fn rejects_mixed_comparisons() {
         let catalog = running_example_catalog();
         let q = mtsql::parse_query("SELECT 1 FROM Employees WHERE E_role_id = E_age").unwrap();
-        let err = rewrite_query(&q, &catalog, &RewriteSettings::canonical(0, vec![0, 1]))
-            .unwrap_err();
+        let err =
+            rewrite_query(&q, &catalog, &RewriteSettings::canonical(0, vec![0, 1])).unwrap_err();
         assert!(err.message.contains("tenant-specific"));
     }
 

@@ -120,7 +120,10 @@ impl ConversionCall {
         Expr::call(
             &self.from_universal,
             vec![
-                Expr::call(&self.to_universal, vec![self.attr.clone(), self.ttid.clone()]),
+                Expr::call(
+                    &self.to_universal,
+                    vec![self.attr.clone(), self.ttid.clone()],
+                ),
                 self.client.clone(),
             ],
         )
@@ -128,7 +131,10 @@ impl ConversionCall {
 
     /// Build only the inner `toUniversal(attr, ttid)` call.
     pub fn to_universal_expr(&self) -> Expr {
-        Expr::call(&self.to_universal, vec![self.attr.clone(), self.ttid.clone()])
+        Expr::call(
+            &self.to_universal,
+            vec![self.attr.clone(), self.ttid.clone()],
+        )
     }
 }
 
@@ -262,8 +268,12 @@ mod tests {
 
     #[test]
     fn constant_detection() {
-        assert!(is_constant_expr(&mtsql::parse_expression("100000 * 2").unwrap()));
-        assert!(!is_constant_expr(&mtsql::parse_expression("E_salary * 2").unwrap()));
+        assert!(is_constant_expr(
+            &mtsql::parse_expression("100000 * 2").unwrap()
+        ));
+        assert!(!is_constant_expr(
+            &mtsql::parse_expression("E_salary * 2").unwrap()
+        ));
     }
 
     #[test]

@@ -34,8 +34,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(RewriteError::new("mixing tenant-specific and comparable attributes")
-            .to_string()
-            .contains("tenant-specific"));
+        assert!(
+            RewriteError::new("mixing tenant-specific and comparable attributes")
+                .to_string()
+                .contains("tenant-specific")
+        );
     }
 }

@@ -191,8 +191,12 @@ impl InlineState<'_> {
         }
         self.counter += 1;
         let alias = format!("mt_conv{}", self.counter);
-        self.joins
-            .push((table.to_string(), alias.clone(), key_column.to_string(), key_expr));
+        self.joins.push((
+            table.to_string(),
+            alias.clone(),
+            key_column.to_string(),
+            key_expr,
+        ));
         alias
     }
 
@@ -268,7 +272,9 @@ impl InlineState<'_> {
                 query: Box::new(inline_query(query, self.registry)),
                 negated: *negated,
             },
-            Expr::ScalarSubquery(q) => Expr::ScalarSubquery(Box::new(inline_query(q, self.registry))),
+            Expr::ScalarSubquery(q) => {
+                Expr::ScalarSubquery(Box::new(inline_query(q, self.registry)))
+            }
             Expr::InList {
                 expr,
                 list,
@@ -391,7 +397,10 @@ mod tests {
         assert!(sql.contains("Tenant AS mt_conv2"));
         assert!(sql.contains("T_currency_to"));
         assert!(sql.contains("T_currency_from"));
-        assert!(sql.contains("mt_conv1.T_tenant_key = Employees.ttid") || sql.contains("mt_conv2.T_tenant_key = Employees.ttid"));
+        assert!(
+            sql.contains("mt_conv1.T_tenant_key = Employees.ttid")
+                || sql.contains("mt_conv2.T_tenant_key = Employees.ttid")
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl std::str::FromStr for OptLevel {
             "o3" => Ok(OptLevel::O3),
             "o4" => Ok(OptLevel::O4),
             "inl-only" | "inline-only" | "inlonly" => Ok(OptLevel::InlineOnly),
-            other => Err(RewriteError::new(format!("unknown optimization level `{other}`"))),
+            other => Err(RewriteError::new(format!(
+                "unknown optimization level `{other}`"
+            ))),
         }
     }
 }

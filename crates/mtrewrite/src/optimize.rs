@@ -51,7 +51,10 @@ pub fn pushup_query(query: &Query, catalog: &Catalog) -> Query {
                 .iter()
                 .map(|t| pushup_table_ref(t, catalog))
                 .collect(),
-            selection: body.selection.as_ref().map(|s| pushup_predicate(s, catalog)),
+            selection: body
+                .selection
+                .as_ref()
+                .map(|s| pushup_predicate(s, catalog)),
             group_by: body.group_by.clone(),
             having: body.having.as_ref().map(|h| pushup_predicate(h, catalog)),
         },
@@ -89,33 +92,34 @@ fn pushup_predicate(expr: &Expr, catalog: &Catalog) -> Expr {
             let rconv = match_conversion_call(right, catalog);
             match (&lconv, &rconv) {
                 // conv(a) cmp conv(b): compare in universal format.
-                (Some(lc), Some(rc)) => {
-                    if pushup_applicable(lc, *op, catalog) && pushup_applicable(rc, *op, catalog) {
-                        return Expr::BinaryOp {
-                            left: Box::new(lc.to_universal_expr()),
-                            op: *op,
-                            right: Box::new(rc.to_universal_expr()),
-                        };
-                    }
+                (Some(lc), Some(rc))
+                    if pushup_applicable(lc, *op, catalog)
+                        && pushup_applicable(rc, *op, catalog) =>
+                {
+                    return Expr::BinaryOp {
+                        left: Box::new(lc.to_universal_expr()),
+                        op: *op,
+                        right: Box::new(rc.to_universal_expr()),
+                    };
                 }
                 // conv(attr) cmp constant: convert the constant instead.
-                (Some(lc), None) if is_constant_expr(right) => {
-                    if pushup_applicable(lc, *op, catalog) {
-                        return Expr::BinaryOp {
-                            left: Box::new(lc.attr.clone()),
-                            op: *op,
-                            right: Box::new(constant_to_owner_format(lc, right)),
-                        };
-                    }
+                (Some(lc), None)
+                    if is_constant_expr(right) && pushup_applicable(lc, *op, catalog) =>
+                {
+                    return Expr::BinaryOp {
+                        left: Box::new(lc.attr.clone()),
+                        op: *op,
+                        right: Box::new(constant_to_owner_format(lc, right)),
+                    };
                 }
-                (None, Some(rc)) if is_constant_expr(left) => {
-                    if pushup_applicable(rc, *op, catalog) {
-                        return Expr::BinaryOp {
-                            left: Box::new(constant_to_owner_format(rc, left)),
-                            op: *op,
-                            right: Box::new(rc.attr.clone()),
-                        };
-                    }
+                (None, Some(rc))
+                    if is_constant_expr(left) && pushup_applicable(rc, *op, catalog) =>
+                {
+                    return Expr::BinaryOp {
+                        left: Box::new(constant_to_owner_format(rc, left)),
+                        op: *op,
+                        right: Box::new(rc.attr.clone()),
+                    };
                 }
                 _ => {}
             }
@@ -192,7 +196,10 @@ fn constant_to_owner_format(conv: &ConversionCall, constant: &Expr) -> Expr {
     Expr::call(
         &conv.from_universal,
         vec![
-            Expr::call(&conv.to_universal, vec![constant.clone(), conv.client.clone()]),
+            Expr::call(
+                &conv.to_universal,
+                vec![constant.clone(), conv.client.clone()],
+            ),
             conv.ttid.clone(),
         ],
     )
@@ -287,7 +294,10 @@ fn map_query_blocks(query: &Query, catalog: &Catalog) -> Query {
                 .iter()
                 .map(|t| distribute_table_ref(t, catalog))
                 .collect(),
-            selection: body.selection.as_ref().map(|s| distribute_in_expr(s, catalog)),
+            selection: body
+                .selection
+                .as_ref()
+                .map(|s| distribute_in_expr(s, catalog)),
             group_by: body.group_by.clone(),
             having: body.having.as_ref().map(|h| distribute_in_expr(h, catalog)),
         },
@@ -347,7 +357,11 @@ fn distribute_in_expr(expr: &Expr, catalog: &Catalog) -> Expr {
         },
         Expr::Function(f) => Expr::Function(FunctionCall {
             name: f.name.clone(),
-            args: f.args.iter().map(|a| distribute_in_expr(a, catalog)).collect(),
+            args: f
+                .args
+                .iter()
+                .map(|a| distribute_in_expr(a, catalog))
+                .collect(),
             distinct: f.distinct,
         }),
         other => other.clone(),
@@ -486,7 +500,11 @@ fn try_distribute(query: &Query, catalog: &Catalog) -> Option<Query> {
                 combine_exprs.push(Expr::call("SUM", vec![Expr::col(&partial)]));
             }
             (None, AggregateKind::Min) | (None, AggregateKind::Max) => {
-                let f = if plan.kind == AggregateKind::Min { "MIN" } else { "MAX" };
+                let f = if plan.kind == AggregateKind::Min {
+                    "MIN"
+                } else {
+                    "MAX"
+                };
                 inner_projection.push(SelectItem::aliased(
                     Expr::Function(plan.original.clone()),
                     partial.clone(),
@@ -513,7 +531,10 @@ fn try_distribute(query: &Query, catalog: &Catalog) -> Option<Query> {
             }
             (None, AggregateKind::Holistic) => return None,
             (Some(conv), kind) => {
-                let arg = plan.arg.clone().expect("converted aggregates have an argument");
+                let arg = plan
+                    .arg
+                    .clone()
+                    .expect("converted aggregates have an argument");
                 match kind {
                     AggregateKind::Count => {
                         inner_projection.push(SelectItem::aliased(
@@ -523,7 +544,11 @@ fn try_distribute(query: &Query, catalog: &Catalog) -> Option<Query> {
                         combine_exprs.push(Expr::call("SUM", vec![Expr::col(&partial)]));
                     }
                     AggregateKind::Min | AggregateKind::Max => {
-                        let f = if kind == AggregateKind::Min { "MIN" } else { "MAX" };
+                        let f = if kind == AggregateKind::Min {
+                            "MIN"
+                        } else {
+                            "MAX"
+                        };
                         // toUniversal(MIN(arg), ttid): one conversion per
                         // (group, tenant).
                         inner_projection.push(SelectItem::aliased(
@@ -535,7 +560,10 @@ fn try_distribute(query: &Query, catalog: &Catalog) -> Option<Query> {
                         ));
                         combine_exprs.push(Expr::call(
                             &conv.from_universal,
-                            vec![Expr::call(f, vec![Expr::col(&partial)]), conv.client.clone()],
+                            vec![
+                                Expr::call(f, vec![Expr::col(&partial)]),
+                                conv.client.clone(),
+                            ],
                         ));
                     }
                     AggregateKind::Sum | AggregateKind::Avg => {
@@ -598,7 +626,13 @@ fn try_distribute(query: &Query, catalog: &Catalog) -> Option<Query> {
     // Outer query: re-aggregate the partials.
     // ------------------------------------------------------------------
     let substitute = |expr: &Expr| -> Expr {
-        substitute_for_outer(expr, &select.group_by, &group_aliases, &plans, &combine_exprs)
+        substitute_for_outer(
+            expr,
+            &select.group_by,
+            &group_aliases,
+            &plans,
+            &combine_exprs,
+        )
     };
 
     let outer_projection: Vec<SelectItem> = select
@@ -618,8 +652,8 @@ fn try_distribute(query: &Query, catalog: &Catalog) -> Option<Query> {
             other => other.clone(),
         })
         .collect();
-    let outer_group_by: Vec<Expr> = group_aliases.iter().map(|a| Expr::col(a)).collect();
-    let outer_having = select.having.as_ref().map(|h| substitute(h));
+    let outer_group_by: Vec<Expr> = group_aliases.iter().map(Expr::col).collect();
+    let outer_having = select.having.as_ref().map(&substitute);
     let outer_order_by: Vec<OrderByItem> = query
         .order_by
         .iter()
@@ -705,7 +739,13 @@ fn substitute_for_outer(
     }
     match expr {
         Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
-            left: Box::new(substitute_for_outer(left, group_by, group_aliases, plans, combine_exprs)),
+            left: Box::new(substitute_for_outer(
+                left,
+                group_by,
+                group_aliases,
+                plans,
+                combine_exprs,
+            )),
             op: *op,
             right: Box::new(substitute_for_outer(
                 right,
@@ -740,7 +780,13 @@ fn substitute_for_outer(
             else_expr,
         } => Expr::Case {
             operand: operand.as_ref().map(|o| {
-                Box::new(substitute_for_outer(o, group_by, group_aliases, plans, combine_exprs))
+                Box::new(substitute_for_outer(
+                    o,
+                    group_by,
+                    group_aliases,
+                    plans,
+                    combine_exprs,
+                ))
             }),
             when_then: when_then
                 .iter()
@@ -752,7 +798,13 @@ fn substitute_for_outer(
                 })
                 .collect(),
             else_expr: else_expr.as_ref().map(|e| {
-                Box::new(substitute_for_outer(e, group_by, group_aliases, plans, combine_exprs))
+                Box::new(substitute_for_outer(
+                    e,
+                    group_by,
+                    group_aliases,
+                    plans,
+                    combine_exprs,
+                ))
             }),
         },
         other => other.clone(),
@@ -856,10 +908,8 @@ pub fn expr_contains_conversion(expr: &Expr, catalog: &Catalog) -> bool {
 /// Collect aggregate function calls (top-level, not inside sub-queries).
 pub fn collect_aggregates(expr: &Expr, out: &mut Vec<FunctionCall>) {
     match expr {
-        Expr::Function(f) if f.is_aggregate() => {
-            if !out.contains(f) {
-                out.push(f.clone());
-            }
+        Expr::Function(f) if f.is_aggregate() && !out.contains(f) => {
+            out.push(f.clone());
         }
         Expr::Function(f) => f.args.iter().for_each(|a| collect_aggregates(a, out)),
         Expr::BinaryOp { left, right, .. } => {
@@ -909,7 +959,9 @@ mod tests {
         let q = canonical("SELECT E_name FROM Employees WHERE E_salary > 100000");
         let out = pushup_query(&q, &catalog).to_string();
         // The attribute is compared raw; the constant gets the conversion.
-        assert!(out.contains("E_salary > currencyFromUniversal(currencyToUniversal(100000, 0), Employees.ttid)"));
+        assert!(out.contains(
+            "E_salary > currencyFromUniversal(currencyToUniversal(100000, 0), Employees.ttid)"
+        ));
     }
 
     #[test]
@@ -951,7 +1003,10 @@ mod tests {
         let q = canonical("SELECT SUM(E_salary) AS sum_sal FROM Employees");
         let out = distribute_query(&q, &catalog);
         let sql = out.to_string();
-        assert!(sql.contains("GROUP BY"), "inner grouping by ttid expected: {sql}");
+        assert!(
+            sql.contains("GROUP BY"),
+            "inner grouping by ttid expected: {sql}"
+        );
         assert!(sql.contains("mt_partials"));
         // outer conversion to client format happens exactly once
         assert_eq!(sql.matches("currencyFromUniversal").count(), 1);

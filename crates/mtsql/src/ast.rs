@@ -63,7 +63,7 @@ impl Query {
 }
 
 /// The body of a query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Select {
     /// `SELECT DISTINCT`?
     pub distinct: bool,
@@ -77,19 +77,6 @@ pub struct Select {
     pub group_by: Vec<Expr>,
     /// `HAVING` predicate.
     pub having: Option<Expr>,
-}
-
-impl Default for Select {
-    fn default() -> Self {
-        Select {
-            distinct: false,
-            projection: Vec::new(),
-            from: Vec::new(),
-            selection: None,
-            group_by: Vec::new(),
-            having: None,
-        }
-    }
 }
 
 /// A single item of the projection list.
@@ -242,7 +229,10 @@ pub enum Expr {
         length: Option<Box<Expr>>,
     },
     /// `CAST(expr AS type)`.
-    Cast { expr: Box<Expr>, data_type: DataType },
+    Cast {
+        expr: Box<Expr>,
+        data_type: DataType,
+    },
 }
 
 impl Expr {
@@ -346,7 +336,10 @@ pub enum Literal {
     /// `DATE 'YYYY-MM-DD'`
     Date(String),
     /// `INTERVAL 'n' unit`
-    Interval { value: i64, unit: IntervalUnit },
+    Interval {
+        value: i64,
+        unit: IntervalUnit,
+    },
 }
 
 /// Units for interval literals (sufficient for TPC-H date arithmetic).
@@ -673,7 +666,10 @@ mod tests {
 
     #[test]
     fn binding_name_prefers_alias() {
-        assert_eq!(TableRef::aliased("Employees", "E1").binding_name(), Some("E1"));
+        assert_eq!(
+            TableRef::aliased("Employees", "E1").binding_name(),
+            Some("E1")
+        );
         assert_eq!(TableRef::table("Roles").binding_name(), Some("Roles"));
     }
 

@@ -74,7 +74,9 @@ impl Parser {
     }
 
     fn advance(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -170,8 +172,9 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Number(n) => {
                 self.advance();
-                n.parse::<i64>()
-                    .map_err(|_| ParseError::at(format!("expected integer, found `{n}`"), self.offset()))
+                n.parse::<i64>().map_err(|_| {
+                    ParseError::at(format!("expected integer, found `{n}`"), self.offset())
+                })
             }
             other => Err(ParseError::at(
                 format!("expected number, found {other}"),
@@ -851,7 +854,10 @@ impl Parser {
             return self.parse_create_function();
         }
         Err(ParseError::at(
-            format!("expected TABLE, VIEW or FUNCTION after CREATE, found {}", self.peek()),
+            format!(
+                "expected TABLE, VIEW or FUNCTION after CREATE, found {}",
+                self.peek()
+            ),
             self.offset(),
         ))
     }
@@ -1047,7 +1053,10 @@ impl Parser {
             return Ok(TableConstraint::Check { name, expr });
         }
         Err(ParseError::at(
-            format!("expected PRIMARY KEY, FOREIGN KEY or CHECK, found {}", self.peek()),
+            format!(
+                "expected PRIMARY KEY, FOREIGN KEY or CHECK, found {}",
+                self.peek()
+            ),
             self.offset(),
         ))
     }
@@ -1145,13 +1154,12 @@ impl Parser {
         self.expect_keyword("INSERT")?;
         self.expect_keyword("INTO")?;
         let table = self.expect_ident()?;
-        let columns = if matches!(self.peek(), TokenKind::LParen)
-            && !self.keyword_ahead_is(1, "SELECT")
-        {
-            self.parse_paren_name_list()?
-        } else {
-            Vec::new()
-        };
+        let columns =
+            if matches!(self.peek(), TokenKind::LParen) && !self.keyword_ahead_is(1, "SELECT") {
+                self.parse_paren_name_list()?
+            } else {
+                Vec::new()
+            };
         let source = if self.accept_keyword("VALUES") {
             let mut rows = Vec::new();
             loop {
@@ -1376,7 +1384,10 @@ impl Parser {
             return Ok(ScopeSpec::Complex { from, selection });
         }
         Err(ParseError::at(
-            format!("expected IN or FROM in scope expression, found {}", self.peek()),
+            format!(
+                "expected IN or FROM in scope expression, found {}",
+                self.peek()
+            ),
             self.offset(),
         ))
     }
@@ -1388,7 +1399,8 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let q = parse_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 10").unwrap();
+        let q =
+            parse_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 10").unwrap();
         assert_eq!(q.body.projection.len(), 2);
         assert_eq!(q.order_by.len(), 1);
         assert!(!q.order_by[0].asc);
@@ -1425,10 +1437,8 @@ mod tests {
 
     #[test]
     fn parses_group_by_having() {
-        let q = parse_query(
-            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3",
-        )
-        .unwrap();
+        let q = parse_query("SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3")
+            .unwrap();
         assert_eq!(q.body.group_by.len(), 1);
         assert!(q.body.having.is_some());
     }
@@ -1437,7 +1447,10 @@ mod tests {
     fn parses_aggregates_and_distinct() {
         let q = parse_query("SELECT COUNT(DISTINCT a), SUM(b * (1 - c)) FROM t").unwrap();
         match &q.body.projection[0] {
-            SelectItem::Expr { expr: Expr::Function(f), .. } => {
+            SelectItem::Expr {
+                expr: Expr::Function(f),
+                ..
+            } => {
                 assert!(f.distinct);
                 assert_eq!(f.name.to_ascii_uppercase(), "COUNT");
             }
@@ -1447,10 +1460,8 @@ mod tests {
 
     #[test]
     fn parses_case_expression() {
-        let e = parse_expression(
-            "CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END",
-        )
-        .unwrap();
+        let e =
+            parse_expression("CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END").unwrap();
         assert!(matches!(e, Expr::Case { .. }));
     }
 
@@ -1490,7 +1501,13 @@ mod tests {
     #[test]
     fn parses_extract_and_substring() {
         let e = parse_expression("EXTRACT(YEAR FROM o_orderdate)").unwrap();
-        assert!(matches!(e, Expr::Extract { field: DateField::Year, .. }));
+        assert!(matches!(
+            e,
+            Expr::Extract {
+                field: DateField::Year,
+                ..
+            }
+        ));
         let e = parse_expression("SUBSTRING(c_phone FROM 1 FOR 2)").unwrap();
         assert!(matches!(e, Expr::Substring { .. }));
         let e = parse_expression("SUBSTRING(c_phone, 1, 2)").unwrap();
@@ -1499,7 +1516,8 @@ mod tests {
 
     #[test]
     fn parses_scalar_subquery() {
-        let e = parse_expression("ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp)").unwrap();
+        let e =
+            parse_expression("ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp)").unwrap();
         match e {
             Expr::BinaryOp { right, .. } => assert!(matches!(*right, Expr::ScalarSubquery(_))),
             _ => panic!("expected comparison"),
@@ -1629,9 +1647,21 @@ mod tests {
         let stmt = parse_statement("CREATE VIEW v AS SELECT a FROM t").unwrap();
         assert!(matches!(stmt, Statement::CreateView(_)));
         let stmt = parse_statement("DROP TABLE IF EXISTS t").unwrap();
-        assert!(matches!(stmt, Statement::DropTable { if_exists: true, .. }));
+        assert!(matches!(
+            stmt,
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
+        ));
         let stmt = parse_statement("DROP VIEW v").unwrap();
-        assert!(matches!(stmt, Statement::DropView { if_exists: false, .. }));
+        assert!(matches!(
+            stmt,
+            Statement::DropView {
+                if_exists: false,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -560,7 +560,9 @@ mod tests {
     #[test]
     fn roundtrips_selected_queries() {
         roundtrip_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 5");
-        roundtrip_query("SELECT COUNT(DISTINCT a), SUM(b * (1 - c)) FROM t GROUP BY d HAVING SUM(b) > 10");
+        roundtrip_query(
+            "SELECT COUNT(DISTINCT a), SUM(b * (1 - c)) FROM t GROUP BY d HAVING SUM(b) > 10",
+        );
         roundtrip_query("SELECT x.a FROM (SELECT a FROM t WHERE a IN (1, 2, 3)) AS x");
         roundtrip_query(
             "SELECT e.name FROM emp e LEFT OUTER JOIN dept d ON e.dept_id = d.id WHERE d.name LIKE 'S%'",
@@ -589,8 +591,8 @@ mod tests {
         ] {
             let s1 = parse_statement(sql).unwrap();
             let printed = s1.to_string();
-            let s2 = parse_statement(&printed)
-                .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+            let s2 =
+                parse_statement(&printed).unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
             assert_eq!(s1, s2, "round-trip mismatch for {sql}");
         }
     }

@@ -103,14 +103,84 @@ impl fmt::Display for TokenKind {
 /// by the parser from identifier tokens instead, so user tables may reuse
 /// them.
 pub const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "ON",
-    "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE", "CASE",
-    "WHEN", "THEN", "ELSE", "END", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS",
-    "DISTINCT", "ALL", "ASC", "DESC", "UNION", "CREATE", "TABLE", "VIEW", "FUNCTION", "DROP",
-    "ALTER", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "GRANT", "REVOKE", "TO",
-    "PRIMARY", "FOREIGN", "KEY", "REFERENCES", "CONSTRAINT", "CHECK", "UNIQUE", "DEFAULT",
-    "GLOBAL", "SPECIFIC", "COMPARABLE", "CONVERTIBLE", "SCOPE", "READ", "RETURNS", "LANGUAGE",
-    "IMMUTABLE", "DATE", "INTERVAL", "CAST", "SCOPE", "IF", "CONCAT", "FOR",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "EXISTS",
+    "BETWEEN",
+    "LIKE",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "OUTER",
+    "CROSS",
+    "DISTINCT",
+    "ALL",
+    "ASC",
+    "DESC",
+    "UNION",
+    "CREATE",
+    "TABLE",
+    "VIEW",
+    "FUNCTION",
+    "DROP",
+    "ALTER",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "GRANT",
+    "REVOKE",
+    "TO",
+    "PRIMARY",
+    "FOREIGN",
+    "KEY",
+    "REFERENCES",
+    "CONSTRAINT",
+    "CHECK",
+    "UNIQUE",
+    "DEFAULT",
+    "GLOBAL",
+    "SPECIFIC",
+    "COMPARABLE",
+    "CONVERTIBLE",
+    "SCOPE",
+    "READ",
+    "RETURNS",
+    "LANGUAGE",
+    "IMMUTABLE",
+    "DATE",
+    "INTERVAL",
+    "CAST",
+    "SCOPE",
+    "IF",
+    "CONCAT",
+    "FOR",
 ];
 
 /// Returns `true` when `word` (case-insensitive) is a SQL/MTSQL keyword.
@@ -134,7 +204,10 @@ mod tests {
 
     #[test]
     fn token_kind_display() {
-        assert_eq!(TokenKind::Keyword("SELECT".into()).to_string(), "keyword `SELECT`");
+        assert_eq!(
+            TokenKind::Keyword("SELECT".into()).to_string(),
+            "keyword `SELECT`"
+        );
         assert_eq!(TokenKind::Concat.to_string(), "`||`");
     }
 }

@@ -1,0 +1,141 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the small API subset used by the workspace benches
+//! (`benchmark_group`, `sample_size`, `measurement_time`, `warm_up_time`,
+//! `bench_function`, `iter`, `criterion_group!`, `criterion_main!`) as a
+//! plain wall-clock harness: each benchmark runs for the configured
+//! measurement time and reports mean iteration latency. No statistics, no
+//! reports — swap the path dependency for the real crates.io `criterion` to
+//! get those back.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to the benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up: run without recording.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            f(&mut bencher);
+        }
+        bencher.iterations = 0;
+        bencher.elapsed = Duration::ZERO;
+        let deadline = Instant::now() + self.measurement_time;
+        let mut samples = 0usize;
+        while samples < self.sample_size || Instant::now() < deadline {
+            f(&mut bencher);
+            samples += 1;
+            if samples >= self.sample_size && Instant::now() >= deadline {
+                break;
+            }
+        }
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+        let label = if self.name.is_empty() {
+            id.as_ref().to_string()
+        } else {
+            format!("{}/{}", self.name, id.as_ref())
+        };
+        println!(
+            "{label:<40} {:>10} iters  mean {:.6} s",
+            bencher.iterations, mean
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timer driver.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Prevent the optimizer from discarding a value (std-backed).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro over functions with `arg in strategy` parameters, range strategies
+//! for the primitive numeric types, a small regex-like string strategy
+//! (character classes and `{m,n}` repetitions), `any::<bool>()`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Cases are
+//! generated from a fixed-seed deterministic PRNG; there is no shrinking —
+//! a failing case panics with the stringified condition. Swap the path
+//! dependency for the real crates.io `proptest` to restore full behaviour.
+
+pub mod test_runner {
+    /// Deterministic case generator (SplitMix64).
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl TestRunner {
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generator of values (subset of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (runner.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, runner: &mut TestRunner) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + runner.next_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String strategy from a miniature regex dialect: literal characters,
+    /// `[...]` character classes with `a-z` ranges, and `{m}` / `{m,n}`
+    /// repetitions.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, runner: &mut TestRunner) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (choices, lo, hi) in atoms {
+                let n = if lo == hi {
+                    lo
+                } else {
+                    lo + (runner.next_u64() as usize % (hi - lo + 1))
+                };
+                for _ in 0..n {
+                    let idx = runner.next_u64() as usize % choices.len();
+                    out.push(choices[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Parse the pattern into (choices, min-repeat, max-repeat) atoms.
+    fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed [ in pattern")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed { in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let m: usize = body.trim().parse().expect("bad {m}");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((choices, lo, hi));
+        }
+        atoms
+    }
+
+    /// Strategy produced by [`crate::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+}
+
+/// The canonical strategy for a type (subset of `proptest::prelude::any`).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Number of accepted cases each property runs.
+pub const CASES: u32 = 64;
+/// Upper bound on generated cases including `prop_assume!` rejections.
+pub const MAX_ATTEMPTS: u32 = 4096;
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner = $crate::test_runner::TestRunner::default();
+                let mut __accepted = 0u32;
+                let mut __attempts = 0u32;
+                while __accepted < $crate::CASES {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= $crate::MAX_ATTEMPTS,
+                        "prop_assume! rejected too many generated cases"
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __runner);)*
+                    let __result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property `{}` failed: {}", stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_regex_strategies_work(
+            x in 0_i64..100,
+            s in "[a-z]{2,4}",
+            flip in any::<bool>(),
+        ) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let _ = flip;
+        }
+
+        #[test]
+        fn assume_rejects_cases(a in 0_i64..10, b in 0_i64..10) {
+            prop_assume!(a < b);
+            prop_assert!(a < b);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! No-op stand-in for `serde`, used because this repository builds in an
+//! offline environment. Only the derive macro names are provided; they expand
+//! to nothing (see the sibling `serde_derive` shim). Swap this path
+//! dependency for the real crates.io `serde` to restore serialization.
+
+pub use serde_derive::{Deserialize, Serialize};

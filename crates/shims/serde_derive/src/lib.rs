@@ -1,0 +1,16 @@
+//! No-op stand-in for `serde_derive`, used because this repository builds in
+//! an offline environment. The real serde is not needed at runtime: the
+//! workspace only decorates types with `#[derive(Serialize, Deserialize)]`
+//! and never serializes them, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

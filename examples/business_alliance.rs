@@ -18,15 +18,24 @@ fn main() {
         distribution: TenantDistribution::Uniform,
         seed: 7,
     };
-    println!("loading MT-H (scale {}, {} tenants, uniform) ...", config.scale, config.tenants);
+    println!(
+        "loading MT-H (scale {}, {} tenants, uniform) ...",
+        config.scale, config.tenants
+    );
     let dep = loader::load(config, EngineConfig::postgres_like());
 
     let mut conn = dep.server.connect(1);
-    conn.execute("SET SCOPE = \"IN ()\"").expect("scope = all tenants");
+    conn.execute("SET SCOPE = \"IN ()\"")
+        .expect("scope = all tenants");
 
     // The alliance-wide pricing summary (Q1) at increasing optimization levels.
     println!("\nQ1 (pricing summary across all 10 companies):");
-    for level in [OptLevel::Canonical, OptLevel::O1, OptLevel::O3, OptLevel::O4] {
+    for level in [
+        OptLevel::Canonical,
+        OptLevel::O1,
+        OptLevel::O3,
+        OptLevel::O4,
+    ] {
         conn.set_opt_level(level);
         dep.server.reset_stats();
         let start = Instant::now();
@@ -60,6 +69,11 @@ fn main() {
 
     // Each member can still only see its own share by default.
     let mut member = dep.server.connect(3);
-    let own = member.query("SELECT COUNT(*) FROM orders").expect("own orders");
-    println!("\ntenant 3, default scope: {} own orders visible", own.rows[0][0]);
+    let own = member
+        .query("SELECT COUNT(*) FROM orders")
+        .expect("own orders");
+    println!(
+        "\ntenant 3, default scope: {} own orders visible",
+        own.rows[0][0]
+    );
 }

@@ -28,11 +28,14 @@ fn main() {
     // The research institution connects as tenant 1 and analyses everything.
     let mut conn = dep.server.connect(1);
     conn.set_opt_level(OptLevel::O4);
-    conn.execute("SET SCOPE = \"IN ()\"").expect("scope = all tenants");
+    conn.execute("SET SCOPE = \"IN ()\"")
+        .expect("scope = all tenants");
 
     let per_tenant = dep
         .server
-        .raw_query("SELECT ttid, COUNT(*) FROM customer GROUP BY ttid ORDER BY COUNT(*) DESC LIMIT 5")
+        .raw_query(
+            "SELECT ttid, COUNT(*) FROM customer GROUP BY ttid ORDER BY COUNT(*) DESC LIMIT 5",
+        )
         .expect("share query");
     println!("\nlargest tenants by customer count (zipf skew):");
     for row in &per_tenant.rows {
@@ -40,7 +43,10 @@ fn main() {
     }
 
     let q6 = conn.query(&queries::query(6)).expect("Q6");
-    println!("\nQ6 revenue across the whole federation (universal format): {}", q6.rows[0][0]);
+    println!(
+        "\nQ6 revenue across the whole federation (universal format): {}",
+        q6.rows[0][0]
+    );
 
     let priorities = conn.query(&queries::query(4)).expect("Q4");
     println!("\nQ4 order priorities across all tenants:");

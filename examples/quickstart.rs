@@ -32,7 +32,8 @@ fn main() {
 
     // ... so tenant 0 can now query the joint dataset. Salaries stored in EUR
     // by tenant 1 are converted to USD, tenant 0's own format.
-    conn.execute("SET SCOPE = \"IN (0, 1)\"").expect("set scope");
+    conn.execute("SET SCOPE = \"IN (0, 1)\"")
+        .expect("set scope");
     let joint = conn
         .query(
             "SELECT E_name, R_name, E_salary FROM Employees, Roles \
@@ -49,16 +50,21 @@ fn main() {
     conn.set_opt_level(OptLevel::Canonical);
     println!(
         "\ncanonical rewrite:\n  {}",
-        conn.rewrite_only("SELECT AVG(E_salary) AS avg_sal FROM Employees").unwrap()
+        conn.rewrite_only("SELECT AVG(E_salary) AS avg_sal FROM Employees")
+            .unwrap()
     );
     conn.set_opt_level(OptLevel::O4);
     println!(
         "\no4 rewrite (push-up + distribution + inlining):\n  {}",
-        conn.rewrite_only("SELECT AVG(E_salary) AS avg_sal FROM Employees").unwrap()
+        conn.rewrite_only("SELECT AVG(E_salary) AS avg_sal FROM Employees")
+            .unwrap()
     );
 
     let avg = conn
         .query("SELECT AVG(E_salary) AS avg_sal FROM Employees")
         .expect("aggregate");
-    println!("\naverage salary across both tenants (USD): {}", avg.rows[0][0]);
+    println!(
+        "\naverage salary across both tenants (USD): {}",
+        avg.rows[0][0]
+    );
 }

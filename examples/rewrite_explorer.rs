@@ -9,8 +9,8 @@
 //! ```
 
 use mtbase::EngineConfig;
-use mth::params::MthConfig;
 use mth::loader;
+use mth::params::MthConfig;
 use mtrewrite::OptLevel;
 
 fn main() {
@@ -30,7 +30,8 @@ fn main() {
     );
 
     let mut conn = dep.server.connect(1);
-    conn.execute("SET SCOPE = \"IN ()\"").expect("scope = all tenants");
+    conn.execute("SET SCOPE = \"IN ()\"")
+        .expect("scope = all tenants");
 
     println!("MTSQL input:\n  {query}\n");
     for level in OptLevel::ALL {

@@ -62,7 +62,13 @@ fn all_queries_execute_on_the_baseline() {
 #[test]
 fn validation_queries_match_the_baseline_at_every_level() {
     let dep = tiny_deployment();
-    for level in [OptLevel::Canonical, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4] {
+    for level in [
+        OptLevel::Canonical,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::O4,
+    ] {
         for report in validate::validate(&dep, &validate::VALIDATABLE, level) {
             assert!(
                 report.passed,
@@ -80,7 +86,13 @@ fn optimization_levels_agree_with_each_other() {
     // canonical rewrite (the paper's gold standard) on all queries.
     for n in queries::all_query_numbers() {
         let reference = validate::run_mt_query(&dep, n, OptLevel::Canonical).unwrap();
-        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4, OptLevel::InlineOnly] {
+        for level in [
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::O4,
+            OptLevel::InlineOnly,
+        ] {
             let other = validate::run_mt_query(&dep, n, level).unwrap();
             assert!(
                 validate::compare_result_sets(&reference, &other).is_ok(),
