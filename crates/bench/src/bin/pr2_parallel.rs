@@ -1,0 +1,218 @@
+//! Benchmark for the physical-plan layer's parallel partition scans (PR 2):
+//! compare scan wall-clock with `parallel_scan` at 1 thread versus N threads
+//! on the same generated data.
+//!
+//! Runs Q1, Q6 and Q22 at the o2 level with scope `D = {1..10}` (all
+//! tenants, so every partition bucket is a parallel work unit) on a
+//! 10-tenant deployment, once serial and once with the configured worker
+//! budget, and writes wall-clock plus scan-counter results to
+//! `BENCH_pr2.json`. Results must be identical between the two runs; Q6 —
+//! whose scan filter compiles entirely to fast predicates and dominates its
+//! runtime — is where the fan-out pays off.
+//!
+//! The speedup floor (`--min-speedup`, default 1.5) is only *enforced* when
+//! the host exposes at least two CPUs — on a single-vCPU container threads
+//! cannot run concurrently and the bench reports the (≈1.0×) numbers with a
+//! warning instead of failing. The emitted JSON records `host_cpus` so
+//! readers can tell the two situations apart.
+//!
+//! ```text
+//! cargo run --release -p bench --bin pr2_parallel                 # scale 24, 4 threads
+//! cargo run --release -p bench --bin pr2_parallel -- --scale 2.0 --runs 1 --min-speedup 0
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mtbase::EngineConfig;
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{gen, loader, queries, MthDeployment};
+use mtrewrite::OptLevel;
+
+const TENANTS: i64 = 10;
+const QUERIES: [usize; 3] = [1, 6, 22];
+
+struct Cell {
+    seconds: f64,
+    rows_scanned: u64,
+    parallel_scans: u64,
+    result: mtbase::ResultSet,
+}
+
+fn measure(dep: &MthDeployment, query: usize, runs: usize) -> Cell {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(OptLevel::O2);
+    let ids: Vec<String> = (1..=TENANTS).map(|t| t.to_string()).collect();
+    conn.execute(&format!("SET SCOPE = \"IN ({})\"", ids.join(", ")))
+        .expect("scope");
+    let sql = queries::query(query);
+    let mut best = f64::INFINITY;
+    let mut stats = conn.last_query_stats();
+    let mut result = mtbase::ResultSet::default();
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let rs = conn.query(&sql).unwrap_or_else(|e| panic!("Q{query}: {e}"));
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        stats = conn.last_query_stats();
+        result = rs;
+    }
+    Cell {
+        seconds: best,
+        rows_scanned: stats.rows_scanned,
+        parallel_scans: stats.parallel_scans,
+        result,
+    }
+}
+
+fn cell_json(cell: &Cell) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"rows_scanned\": {}, \"parallel_scans\": {}, \"result_rows\": {}}}",
+        cell.seconds,
+        cell.rows_scanned,
+        cell.parallel_scans,
+        cell.result.rows.len()
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 24.0_f64;
+    let mut runs = 3usize;
+    let mut threads = 4usize;
+    let mut min_speedup = 1.5_f64;
+    let mut out_path = "BENCH_pr2.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale expects a number");
+            }
+            "--runs" => {
+                i += 1;
+                runs = args[i].parse().expect("--runs expects a count");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("--threads expects a count");
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = args[i].parse().expect("--min-speedup expects a number");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: pr2_parallel [--scale F] [--runs N] [--threads N] [--min-speedup F] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = MthConfig {
+        scale,
+        tenants: TENANTS,
+        distribution: TenantDistribution::Uniform,
+        seed: 42,
+    };
+    eprintln!("generating MT-H data (scale {scale}, {TENANTS} tenants, {host_cpus} host CPUs) ...");
+    let data = gen::generate(&config);
+    let dep_serial = loader::load_from_data(config, EngineConfig::postgres_like(), &data);
+    let dep_parallel = loader::load_from_data(
+        config,
+        EngineConfig::postgres_like().with_parallel_scan(threads),
+        &data,
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"benchmark\": \"parallel partition scans in the physical-plan layer (PR 2)\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"scale\": {scale}, \"tenants\": {TENANTS}, \"scope\": \"IN (1..{TENANTS})\", \"level\": \"o2\", \"threads\": {threads}, \"runs\": {runs}, \"host_cpus\": {host_cpus}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"queries\": [").unwrap();
+
+    let mut ok = true;
+    let mut best_speedup = 0.0_f64;
+    let mut engaged = false;
+    for (qi, &query) in QUERIES.iter().enumerate() {
+        eprintln!("measuring Q{query} ...");
+        let serial = measure(&dep_serial, query, runs);
+        let parallel = measure(&dep_parallel, query, runs);
+        let speedup = serial.seconds / parallel.seconds.max(1e-9);
+        best_speedup = best_speedup.max(speedup);
+        println!(
+            "Q{query:<2}  1 thread {:>9.6}s   {threads} threads {:>9.6}s   speedup {speedup:.2}x   ({} parallel scans, {} rows scanned)",
+            serial.seconds, parallel.seconds, parallel.parallel_scans, parallel.rows_scanned
+        );
+        engaged |= parallel.parallel_scans > 0;
+        if serial.result != parallel.result {
+            eprintln!("ERROR: Q{query} results differ between serial and parallel scans");
+            ok = false;
+        }
+        if serial.parallel_scans > 0 {
+            eprintln!("ERROR: Q{query} serial configuration reported parallel scans");
+            ok = false;
+        }
+        if serial.rows_scanned != parallel.rows_scanned {
+            eprintln!("ERROR: Q{query} scan counters differ between serial and parallel scans");
+            ok = false;
+        }
+        writeln!(
+            json,
+            "    {{\"query\": {query}, \"serial\": {}, \"parallel\": {}, \"speedup\": {speedup:.3}, \"identical_results\": {}}}{}",
+            cell_json(&serial),
+            cell_json(&parallel),
+            serial.result == parallel.result,
+            if qi + 1 == QUERIES.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    // The deterministic gate: the fan-out must actually engage (and only in
+    // the parallel configuration). The wall-clock gate below is inherently
+    // host-dependent.
+    if threads > 1 && !engaged {
+        eprintln!("ERROR: no query engaged the parallel scan path at {threads} threads");
+        ok = false;
+    }
+    if best_speedup < min_speedup {
+        if host_cpus >= 2 {
+            eprintln!(
+                "ERROR: best parallel speedup {best_speedup:.2}x is below the required {min_speedup:.2}x"
+            );
+            ok = false;
+        } else {
+            eprintln!(
+                "WARNING: best parallel speedup {best_speedup:.2}x below {min_speedup:.2}x, but the \
+                 host has a single CPU — threads cannot run concurrently; not failing"
+            );
+        }
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"best_speedup\": {best_speedup:.3}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, json).expect("write results file");
+    eprintln!("wrote {out_path}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

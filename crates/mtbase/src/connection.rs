@@ -84,11 +84,18 @@ impl Connection {
     /// sends to the DBMS).
     pub fn rewrite_only(&mut self, sql: &str) -> Result<Query> {
         let query = mtsql::parse_query(sql)?;
+        self.rewrite(&query)
+    }
+
+    /// The full rewrite pipeline for one query: resolve the effective dataset
+    /// (scope ∩ read privileges on the referenced tables), then apply the
+    /// MT-to-SQL rewrite at this connection's optimization level.
+    fn rewrite(&self, query: &Query) -> Result<Query> {
         let dataset = self.effective_dataset(&Statement::Select(query.clone()))?;
         let catalog = self.server.catalog.read();
         let rewriter =
             Rewriter::with_inline_registry(&catalog, self.server.inline_registry.read().clone());
-        Ok(rewriter.rewrite_query(&query, self.client, &dataset, self.opt_level())?)
+        Ok(rewriter.rewrite_query(query, self.client, &dataset, self.opt_level())?)
     }
 
     /// Execute a parsed statement, recording the engine-counter delta as this
@@ -106,6 +113,7 @@ impl Connection {
             partitions_pruned: after
                 .partitions_pruned
                 .saturating_sub(before.partitions_pruned),
+            parallel_scans: after.parallel_scans.saturating_sub(before.parallel_scans),
             udf_calls: after.udf_calls.saturating_sub(before.udf_calls),
             udf_cache_hits: after.udf_cache_hits.saturating_sub(before.udf_cache_hits),
         };
@@ -118,7 +126,8 @@ impl Connection {
                 self.scope = spec.clone();
                 Ok(ResultSet::default())
             }
-            Statement::Select(query) => self.execute_select(stmt, query),
+            Statement::Select(query) => self.execute_select(query),
+            Statement::Explain(query) => self.execute_explain(query),
             Statement::Grant(grant) => {
                 let dataset = self.resolve_dataset()?;
                 let grantees: Vec<TenantId> = match grant.grantee {
@@ -192,15 +201,19 @@ impl Connection {
     // Queries
     // ------------------------------------------------------------------
 
-    fn execute_select(&mut self, stmt: &Statement, query: &Query) -> Result<ResultSet> {
-        let dataset = self.effective_dataset(stmt)?;
-        let catalog = self.server.catalog.read();
-        let rewriter =
-            Rewriter::with_inline_registry(&catalog, self.server.inline_registry.read().clone());
-        let rewritten = rewriter.rewrite_query(query, self.client, &dataset, self.opt_level())?;
-        drop(catalog);
+    fn execute_select(&mut self, query: &Query) -> Result<ResultSet> {
+        let rewritten = self.rewrite(query)?;
         let engine = self.server.engine.read();
         Ok(engine.execute_query(&rewritten)?)
+    }
+
+    /// `EXPLAIN <query>`: rewrite the query exactly like `execute_select`
+    /// would (same scope, same optimization level), then render the physical
+    /// plan the engine would run — instead of running it.
+    fn execute_explain(&mut self, query: &Query) -> Result<ResultSet> {
+        let rewritten = self.rewrite(query)?;
+        let engine = self.server.engine.read();
+        Ok(engine.explain_query(&rewritten)?)
     }
 
     /// Resolve the scope into `D` (evaluating complex scopes on the engine).
@@ -299,8 +312,7 @@ impl Connection {
             }
             InsertSource::Query(q) => {
                 // Sub-queries of DML are interpreted exactly like queries.
-                let stmt = Statement::Select((**q).clone());
-                self.execute_select(&stmt, q)?.rows
+                self.execute_select(q)?.rows
             }
         };
 

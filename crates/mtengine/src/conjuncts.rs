@@ -1,0 +1,320 @@
+//! Conjunct analysis shared by the planner and the executor.
+//!
+//! The WHERE clause of a rewritten query is handled as a pool of top-level
+//! AND conjuncts (split by [`mtsql::visit::split_conjuncts`]). This module
+//! answers the questions the planner asks about individual conjuncts:
+//! against which schemas they resolve, which of them form equi-join keys,
+//! which restrict a partition column to a computable key set, and what a
+//! column-free expression folds to without running the executor.
+
+use std::collections::BTreeSet;
+
+use mtsql::ast::{BinaryOperator, ColumnRef, Expr, FunctionCall};
+use mtsql::visit::{collect_aggregate_calls, collect_columns, contains_subquery};
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// `true` when every column referenced by `expr` resolves in `schema`.
+pub fn expr_resolvable(expr: &Expr, schema: &Schema) -> bool {
+    let mut cols = Vec::new();
+    collect_columns(expr, &mut cols);
+    cols.iter().all(|c| schema.resolve(c).is_some())
+}
+
+/// Does the expression reference any column at all?
+pub fn has_columns(expr: &Expr) -> bool {
+    let mut cols = Vec::new();
+    collect_columns(expr, &mut cols);
+    !cols.is_empty()
+}
+
+/// Remove (and return) every conjunct that is sub-query free and fully
+/// resolvable against `schema` — the ones a scan of that schema may evaluate
+/// itself.
+pub fn take_applicable(conjuncts: &mut Vec<Expr>, schema: &Schema) -> Vec<Expr> {
+    let mut taken = Vec::new();
+    conjuncts.retain(|c| {
+        if !contains_subquery(c) && expr_resolvable(c, schema) {
+            taken.push(c.clone());
+            false
+        } else {
+            true
+        }
+    });
+    taken
+}
+
+/// Find equi-join keys between two schemas among the conjuncts: conjuncts of
+/// the form `lhs = rhs` where one side resolves fully in `left` and the other
+/// fully in `right`. Returns pairs `(left key expr, right key expr)`.
+pub fn equi_join_keys(conjuncts: &[Expr], left: &Schema, right: &Schema) -> Vec<(Expr, Expr)> {
+    let mut keys = Vec::new();
+    for c in conjuncts {
+        if let Expr::BinaryOp {
+            left: l,
+            op: BinaryOperator::Eq,
+            right: r,
+        } = c
+        {
+            if contains_subquery(c) {
+                continue;
+            }
+            let l_in_left = expr_resolvable(l, left) && has_columns(l);
+            let l_in_right = expr_resolvable(l, right) && has_columns(l);
+            let r_in_left = expr_resolvable(r, left) && has_columns(r);
+            let r_in_right = expr_resolvable(r, right) && has_columns(r);
+            if l_in_left && r_in_right && !l_in_right {
+                keys.push(((**l).clone(), (**r).clone()));
+            } else if r_in_left && l_in_right && !r_in_right {
+                keys.push(((**r).clone(), (**l).clone()));
+            }
+        }
+    }
+    keys
+}
+
+/// Is this conjunct one of the equalities a hash join consumed as a key pair?
+pub fn is_consumed_equi_key(conjunct: &Expr, keys: &[(Expr, Expr)]) -> bool {
+    keys.iter().any(|(l, r)| {
+        matches!(conjunct, Expr::BinaryOp { left, op: BinaryOperator::Eq, right }
+            if (**left == *l && **right == *r) || (**left == *r && **right == *l))
+    })
+}
+
+/// The set of partition keys a conjunct restricts the partition column to, or
+/// `None` when the conjunct is not a recognizable key predicate
+/// (`col = constant` / `col IN (constants)` on the partition column). The
+/// `fold` callback evaluates candidate key expressions to constants — the
+/// planner passes the executor's full constant folder so pruning recognises
+/// every constant form a scan filter would.
+pub fn partition_keys_of_conjunct(
+    conjunct: &Expr,
+    schema: &Schema,
+    partition_col: usize,
+    fold: &dyn Fn(&Expr) -> Option<Value>,
+) -> Option<BTreeSet<i64>> {
+    let is_partition_column =
+        |e: &Expr| matches!(e, Expr::Column(c) if schema.resolve(c) == Some(partition_col));
+    match conjunct {
+        Expr::BinaryOp {
+            left,
+            op: BinaryOperator::Eq,
+            right,
+        } => {
+            let key_expr = if is_partition_column(left) {
+                right
+            } else if is_partition_column(right) {
+                left
+            } else {
+                return None;
+            };
+            match fold(key_expr)? {
+                Value::Int(k) => Some([k].into_iter().collect()),
+                _ => None,
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } if is_partition_column(expr) => {
+            let mut keys = BTreeSet::new();
+            for item in list {
+                match fold(item)? {
+                    Value::Int(k) => {
+                        keys.insert(k);
+                    }
+                    _ => return None,
+                }
+            }
+            Some(keys)
+        }
+        _ => None,
+    }
+}
+
+/// Does the expression contain an aggregate call (outside sub-queries)?
+pub fn contains_aggregate(expr: &Expr) -> bool {
+    let mut calls = Vec::new();
+    collect_aggregate_calls(expr, &mut calls);
+    !calls.is_empty()
+}
+
+/// Rebuild `expr` with every column reference replaced through `subst`;
+/// `None` when any substitution fails. Sub-query variants are rejected — the
+/// callers only pass sub-query-free conjuncts.
+pub fn map_columns(expr: &Expr, subst: &mut dyn FnMut(&ColumnRef) -> Option<Expr>) -> Option<Expr> {
+    let map_box = |e: &Expr, s: &mut dyn FnMut(&ColumnRef) -> Option<Expr>| -> Option<Box<Expr>> {
+        map_columns(e, s).map(Box::new)
+    };
+    Some(match expr {
+        Expr::Column(c) => return subst(c),
+        Expr::Literal(l) => Expr::Literal(l.clone()),
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: map_box(left, subst)?,
+            op: *op,
+            right: map_box(right, subst)?,
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: map_box(expr, subst)?,
+        },
+        Expr::Function(f) => Expr::Function(FunctionCall {
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| map_columns(a, subst))
+                .collect::<Option<Vec<_>>>()?,
+            distinct: f.distinct,
+        }),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => Expr::Case {
+            operand: match operand {
+                Some(o) => Some(map_box(o, subst)?),
+                None => None,
+            },
+            when_then: when_then
+                .iter()
+                .map(|(w, t)| Some((map_columns(w, subst)?, map_columns(t, subst)?)))
+                .collect::<Option<Vec<_>>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(map_box(e, subst)?),
+                None => None,
+            },
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: map_box(expr, subst)?,
+            list: list
+                .iter()
+                .map(|i| map_columns(i, subst))
+                .collect::<Option<Vec<_>>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: map_box(expr, subst)?,
+            low: map_box(low, subst)?,
+            high: map_box(high, subst)?,
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: map_box(expr, subst)?,
+            pattern: map_box(pattern, subst)?,
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: map_box(expr, subst)?,
+            negated: *negated,
+        },
+        Expr::Extract { field, expr } => Expr::Extract {
+            field: *field,
+            expr: map_box(expr, subst)?,
+        },
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => Expr::Substring {
+            expr: map_box(expr, subst)?,
+            start: map_box(start, subst)?,
+            length: match length {
+                Some(l) => Some(map_box(l, subst)?),
+                None => None,
+            },
+        },
+        Expr::Cast { expr, data_type } => Expr::Cast {
+            expr: map_box(expr, subst)?,
+            data_type: *data_type,
+        },
+        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsql::parse_expression;
+
+    fn schema() -> Schema {
+        Schema::qualified("t", &["ttid".into(), "v".into()])
+    }
+
+    /// The production fold: the executor's full constant folder over an
+    /// empty engine (what the planner passes in).
+    fn with_fold(check: impl FnOnce(&dyn Fn(&Expr) -> Option<Value>)) {
+        let engine = crate::Engine::new(crate::EngineConfig::default());
+        let executor = crate::exec::Executor::new(&engine);
+        check(&|e: &Expr| executor.fold_const(e));
+    }
+
+    #[test]
+    fn take_applicable_consumes_resolvable_conjuncts() {
+        let mut pool = vec![
+            parse_expression("t.v > 10").unwrap(),
+            parse_expression("other.x = 1").unwrap(),
+            parse_expression("v IN (SELECT v FROM s)").unwrap(),
+        ];
+        let taken = take_applicable(&mut pool, &schema());
+        assert_eq!(taken.len(), 1);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn partition_keys_from_eq_and_in() {
+        with_fold(|fold| {
+            let s = schema();
+            let eq = parse_expression("t.ttid = 3").unwrap();
+            assert_eq!(
+                partition_keys_of_conjunct(&eq, &s, 0, fold),
+                Some([3].into_iter().collect())
+            );
+            let folded = parse_expression("ttid = 1 + 2").unwrap();
+            assert_eq!(
+                partition_keys_of_conjunct(&folded, &s, 0, fold),
+                Some([3].into_iter().collect())
+            );
+            let cast = parse_expression("ttid = CAST('4' AS INTEGER)").unwrap();
+            assert_eq!(
+                partition_keys_of_conjunct(&cast, &s, 0, fold),
+                Some([4].into_iter().collect())
+            );
+            let inl = parse_expression("ttid IN (1, 2, 5)").unwrap();
+            assert_eq!(
+                partition_keys_of_conjunct(&inl, &s, 0, fold),
+                Some([1, 2, 5].into_iter().collect())
+            );
+            let other = parse_expression("v = 3").unwrap();
+            assert_eq!(partition_keys_of_conjunct(&other, &s, 0, fold), None);
+            let column_bound = parse_expression("ttid = v + 1").unwrap();
+            assert_eq!(partition_keys_of_conjunct(&column_bound, &s, 0, fold), None);
+        });
+    }
+
+    #[test]
+    fn map_columns_substitutes_everywhere() {
+        let e =
+            parse_expression("x BETWEEN 1 AND 10 AND SUBSTRING(x FROM 1 FOR 2) = 'ab'").unwrap();
+        let replacement = parse_expression("base.col * 2").unwrap();
+        let mapped = map_columns(&e, &mut |_| Some(replacement.clone())).unwrap();
+        let mut cols = Vec::new();
+        collect_columns(&mapped, &mut cols);
+        assert!(cols.iter().all(|c| c.name == "col"));
+    }
+}

@@ -1,28 +1,86 @@
-//! Query execution: expression evaluation, joins, grouping/aggregation,
-//! sub-queries and DML.
+//! Plan execution: expression evaluation, joins, grouping/aggregation,
+//! sub-queries and the operator-DAG walker.
 //!
-//! The executor is a materializing interpreter: every operator consumes and
-//! produces a [`Relation`] of reference-counted [`SharedRow`]s, so relations
-//! flowing between operators share row storage with the base tables instead
-//! of deep-cloning it. Base-table scans evaluate the single-table conjuncts
-//! of the WHERE clause *during* the scan (non-qualifying rows are never
-//! copied) and use `ttid = k` / `ttid IN (...)` conjuncts to skip entire
-//! partition buckets of tenant-partitioned tables. Equi-joins are executed as
-//! hash joins, other joins as filtered nested loops. Uncorrelated sub-queries
-//! are evaluated once per query and cached.
+//! Queries are first lowered by [`crate::plan::Planner`] into a physical
+//! [`Plan`] (scans with pushed-down conjuncts and partition pruning, hash /
+//! nested-loop joins, aggregation, sort, limit); the [`Executor`] walks that
+//! DAG. Every operator consumes and produces a [`Relation`] of
+//! reference-counted [`SharedRow`]s, so relations flowing between operators
+//! share row storage with the base tables instead of deep-cloning it.
+//!
+//! [`Plan::SeqScan`] evaluates its pushed conjuncts *during* the scan
+//! (non-qualifying rows are never copied), skips partition buckets its
+//! `ttid = k` / `ttid IN (...)` pruning predicates exclude, and — when
+//! [`crate::EngineConfig::parallel_scan`] allows and every pushed conjunct
+//! compiled to a fast predicate form — fans the selected buckets out to a
+//! scoped thread pool, merging the per-bucket outputs in bucket order so the
+//! result is bit-identical to a serial scan. Uncorrelated sub-queries are
+//! evaluated once per query and cached; sub-query *plans* are cached even for
+//! correlated sub-queries, which are re-executed per outer row.
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use mtsql::ast::*;
+use mtsql::visit::contains_subquery;
 
+use crate::conjuncts::has_columns;
 use crate::error::{err, EngineError, Result};
+use crate::plan::{HashAggregate, Plan, Planner, Project, SeqScan, SortKey};
 use crate::schema::Schema;
-use crate::table::{Row, SharedRow, Table};
+use crate::table::{Row, SharedRow};
 use crate::value::{add_months, civil_from_days, parse_date, Value};
 use crate::Engine;
+
+/// Minimum number of selected-bucket rows before a scan fans out to worker
+/// threads; below this the spawn overhead dominates the scan itself.
+const PARALLEL_SCAN_MIN_ROWS: usize = 8192;
+
+/// Minimum rows each worker should own — the thread count is capped so a
+/// spawned thread always has enough work to amortize its spawn cost.
+const PARALLEL_SCAN_MIN_ROWS_PER_WORKER: usize = 4096;
+
+/// Number of workers a scan over `total_rows` spread across `bucket_count`
+/// buckets uses under a `parallel_scan` budget — `1` means serial. Shared by
+/// the scan itself and the EXPLAIN renderer so both report the same decision.
+pub(crate) fn scan_worker_count(budget: usize, bucket_count: usize, total_rows: usize) -> usize {
+    if total_rows < PARALLEL_SCAN_MIN_ROWS {
+        return 1;
+    }
+    budget
+        .max(1)
+        .min(bucket_count)
+        .min((total_rows / PARALLEL_SCAN_MIN_ROWS_PER_WORKER).max(1))
+}
+
+/// Split buckets into at most `threads` contiguous chunks balanced by row
+/// count (chunk order preserves bucket order). A new chunk opens when adding
+/// the next bucket would push the current chunk past the per-worker target,
+/// so one large bucket behind small ones still lands in its own chunk.
+fn chunk_buckets<'a>(
+    buckets: &[&'a [SharedRow]],
+    threads: usize,
+    total: usize,
+) -> Vec<Vec<&'a [SharedRow]>> {
+    let target = total.div_ceil(threads);
+    let mut chunks: Vec<Vec<&'a [SharedRow]>> = vec![Vec::new()];
+    let mut filled = 0usize;
+    for bucket in buckets {
+        if filled > 0 && filled + bucket.len() > target && chunks.len() < threads {
+            chunks.push(Vec::new());
+            filled = 0;
+        }
+        chunks
+            .last_mut()
+            .expect("chunks is never empty")
+            .push(bucket);
+        filled += bucket.len();
+    }
+    chunks
+}
 
 /// A materialized intermediate result. Rows are shared with their producers;
 /// cloning a relation (or filtering one) copies pointers, not values.
@@ -60,8 +118,11 @@ pub struct Executor<'e> {
     engine: &'e Engine,
     /// Cache of uncorrelated sub-query results, keyed by their SQL text.
     subquery_cache: RefCell<HashMap<String, Rc<Relation>>>,
+    /// Cache of sub-query plans (correlated sub-queries re-execute per outer
+    /// row but are lowered only once).
+    plan_cache: RefCell<HashMap<String, Rc<Plan>>>,
     /// LIKE patterns precompiled once per pattern text instead of once per row.
-    like_cache: RefCell<HashMap<String, Rc<LikePattern>>>,
+    like_cache: RefCell<HashMap<String, Arc<LikePattern>>>,
     /// `true` while the executor detected an escape to an outer row during the
     /// currently executing sub-query (conservative correlation detection).
     correlation_witness: Cell<bool>,
@@ -73,182 +134,199 @@ impl<'e> Executor<'e> {
         Executor {
             engine,
             subquery_cache: RefCell::new(HashMap::new()),
+            plan_cache: RefCell::new(HashMap::new()),
             like_cache: RefCell::new(HashMap::new()),
             correlation_witness: Cell::new(false),
         }
     }
 
     /// The compiled form of a LIKE pattern, cached per executor.
-    fn compiled_like(&self, pattern: &str) -> Rc<LikePattern> {
+    fn compiled_like(&self, pattern: &str) -> Arc<LikePattern> {
         if let Some(hit) = self.like_cache.borrow().get(pattern) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
-        let compiled = Rc::new(LikePattern::new(pattern));
+        let compiled = Arc::new(LikePattern::new(pattern));
         self.like_cache
             .borrow_mut()
-            .insert(pattern.to_string(), Rc::clone(&compiled));
+            .insert(pattern.to_string(), Arc::clone(&compiled));
         compiled
     }
 
     // ------------------------------------------------------------------
-    // Query execution
+    // Query execution: lower to a plan, walk the plan
     // ------------------------------------------------------------------
 
     /// Execute a query with an optional outer environment (for correlated
-    /// sub-queries).
+    /// sub-queries): lower it to a physical plan and walk that.
     pub fn execute_query(&self, query: &Query, outer: Option<&Env>) -> Result<Relation> {
-        let select = &query.body;
-        let input = self.execute_from_where(select, outer)?;
-
-        let aggregates = collect_aggregates(select, &query.order_by);
-        let grouped = !select.group_by.is_empty() || !aggregates.is_empty();
-
-        let mut out = if grouped {
-            self.execute_grouped(query, input, aggregates, outer)?
-        } else {
-            self.execute_projection(query, input, outer)?
-        };
-
-        if query.limit.is_some() || !query.order_by.is_empty() {
-            // ordering already applied inside the two paths; only limit here
-            if let Some(limit) = query.limit {
-                out.rows.truncate(limit as usize);
-            }
-        }
-        Ok(out)
+        let plan = Planner::new(self.engine).plan_query(query)?;
+        self.execute_plan(&plan, outer)
     }
 
-    /// Non-aggregate path: projection, DISTINCT, ORDER BY.
-    fn execute_projection(
-        &self,
-        query: &Query,
-        input: Relation,
-        outer: Option<&Env>,
-    ) -> Result<Relation> {
-        let select = &query.body;
-        let out_schema = projection_schema(&select.projection, &input.schema)?;
-        let aliases = alias_map(&select.projection);
-        let order_exprs: Vec<Expr> = query
-            .order_by
-            .iter()
-            .map(|o| substitute_aliases(&o.expr, &aliases))
-            .collect();
+    /// Execute a physical plan.
+    pub fn execute_plan(&self, plan: &Plan, outer: Option<&Env>) -> Result<Relation> {
+        match plan {
+            Plan::Empty { .. } => Ok(Relation {
+                schema: Schema::new(),
+                rows: vec![Vec::new().into()],
+            }),
+            Plan::SeqScan(scan) => self.exec_scan(scan, outer),
+            Plan::Filter { input, predicates } => {
+                let rel = self.execute_plan(input, outer)?;
+                self.filter_relation(&rel, predicates, outer)
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                keys,
+                residual,
+                kind,
+                ..
+            } => {
+                let l = self.execute_plan(left, outer)?;
+                let r = self.execute_plan(right, outer)?;
+                self.hash_join(&l, &r, keys, residual, *kind, outer)
+            }
+            Plan::NestedLoopJoin {
+                left,
+                right,
+                predicates,
+                kind,
+                ..
+            } => {
+                let l = self.execute_plan(left, outer)?;
+                let r = self.execute_plan(right, outer)?;
+                if predicates.is_empty() && *kind == JoinKind::Cross {
+                    Ok(cross_product(&l, &r))
+                } else {
+                    self.nested_loop_join(&l, &r, predicates, *kind, outer)
+                }
+            }
+            Plan::Subquery { input, schema, .. } => {
+                let rel = self.execute_plan(input, outer)?;
+                Ok(Relation {
+                    schema: schema.clone(),
+                    rows: rel.rows,
+                })
+            }
+            Plan::Project(project) => self.exec_project(project, outer),
+            Plan::HashAggregate(agg) => self.exec_hash_aggregate(agg, outer),
+            Plan::Sort {
+                input,
+                keys,
+                prune_to,
+            } => {
+                let mut rel = self.execute_plan(input, outer)?;
+                sort_rows(&mut rel.rows, keys);
+                if let Some(width) = prune_to {
+                    // Strip the hidden sort-key columns appended by the
+                    // projection head.
+                    for row in &mut rel.rows {
+                        *row = row[..*width].to_vec().into();
+                    }
+                }
+                Ok(rel)
+            }
+            Plan::Limit { input, limit } => {
+                let mut rel = self.execute_plan(input, outer)?;
+                rel.rows.truncate(*limit as usize);
+                Ok(rel)
+            }
+        }
+    }
 
-        let mut produced: Vec<(Row, Vec<Value>)> = Vec::with_capacity(input.rows.len());
+    /// Projection head: evaluate the output items (visible projection plus
+    /// hidden sort keys) per row, then DISTINCT on the visible prefix.
+    fn exec_project(&self, project: &Project, outer: Option<&Env>) -> Result<Relation> {
+        let input = self.execute_plan(&project.input, outer)?;
+        let mut rows: Vec<SharedRow> = Vec::with_capacity(input.rows.len());
         for row in &input.rows {
             let env = Env {
                 schema: &input.schema,
                 row,
                 parent: outer,
             };
-            let out_row = self.project_row(&select.projection, &env)?;
-            let keys = order_exprs
-                .iter()
-                .map(|e| self.eval(e, &env))
-                .collect::<Result<Vec<_>>>()?;
-            produced.push((out_row, keys));
+            rows.push(self.project_row(&project.items, &env)?.into());
         }
-
-        if select.distinct {
-            let mut seen = std::collections::HashSet::new();
-            produced.retain(|(row, _)| seen.insert(row.clone()));
+        if project.distinct {
+            dedup_visible(&mut rows, project.visible_width);
         }
-        sort_by_keys(&mut produced, &query.order_by);
-
         Ok(Relation {
-            schema: out_schema,
-            rows: produced.into_iter().map(|(r, _)| r.into()).collect(),
+            schema: project.schema.clone(),
+            rows,
         })
     }
 
-    /// Aggregate path: grouping, aggregate evaluation, HAVING, ORDER BY.
-    fn execute_grouped(
-        &self,
-        query: &Query,
-        input: Relation,
-        aggregates: Vec<FunctionCall>,
-        outer: Option<&Env>,
-    ) -> Result<Relation> {
-        let select = &query.body;
-        let aliases = alias_map(&select.projection);
-        let group_exprs: Vec<Expr> = select
-            .group_by
-            .iter()
-            .map(|e| substitute_aliases(e, &aliases))
-            .collect();
+    /// Grouping head: hash rows into groups (first-seen order), evaluate
+    /// aggregates, HAVING and the output items per group.
+    fn exec_hash_aggregate(&self, agg: &HashAggregate, outer: Option<&Env>) -> Result<Relation> {
+        let input = self.execute_plan(&agg.input, outer)?;
 
-        // Build groups preserving first-seen order.
+        // Build groups preserving first-seen order. The index map *owns* each
+        // key (moved in, never cloned); lookups borrow the candidate key.
         let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
-        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
         for (i, row) in input.rows.iter().enumerate() {
             let env = Env {
                 schema: &input.schema,
                 row,
                 parent: outer,
             };
-            let key = group_exprs
+            let key = agg
+                .group_exprs
                 .iter()
                 .map(|e| self.eval(e, &env))
                 .collect::<Result<Vec<_>>>()?;
-            match group_index.get(&key) {
-                Some(&g) => groups[g].1.push(i),
+            match group_index.get(key.as_slice()) {
+                Some(&g) => members[g].push(i),
                 None => {
-                    group_index.insert(key.clone(), groups.len());
-                    groups.push((key, vec![i]));
+                    members.push(vec![i]);
+                    group_index.insert(key, members.len() - 1);
                 }
             }
         }
-        // Aggregates without GROUP BY over empty input still produce one row.
-        if groups.is_empty() && select.group_by.is_empty() {
-            groups.push((Vec::new(), Vec::new()));
+        let mut keys: Vec<Vec<Value>> = vec![Vec::new(); members.len()];
+        for (key, g) in group_index {
+            keys[g] = key;
         }
-
-        let out_schema = projection_schema(&select.projection, &input.schema)?;
-        let having_expr = select
-            .having
-            .as_ref()
-            .map(|h| substitute_aliases(h, &aliases));
-        let order_exprs: Vec<Expr> = query
-            .order_by
-            .iter()
-            .map(|o| substitute_aliases(&o.expr, &aliases))
-            .collect();
+        // Aggregates without GROUP BY over empty input still produce one row.
+        if members.is_empty() && agg.group_exprs.is_empty() {
+            members.push(Vec::new());
+            keys.push(Vec::new());
+        }
 
         // A group with no members (global aggregate over an empty input) still
         // needs a representative row so that non-aggregated columns (e.g. the
         // constant factors of inlined conversion functions) resolve — to NULL.
         let null_row: Row = vec![Value::Null; input.schema.len()];
-        let mut produced: Vec<(Row, Vec<Value>)> = Vec::new();
-        for (key, members) in &groups {
-            // Compute aggregate values for this group.
-            let mut agg_values = Vec::with_capacity(aggregates.len());
-            for agg in &aggregates {
-                agg_values.push(self.eval_aggregate(agg, &input, members, outer)?);
+        let mut rows: Vec<SharedRow> = Vec::new();
+        for (key, group_members) in keys.iter().zip(&members) {
+            let mut agg_values = Vec::with_capacity(agg.aggregates.len());
+            for call in &agg.aggregates {
+                agg_values.push(self.eval_aggregate(call, &input, group_members, outer)?);
             }
-            let first_row: &[Value] = members
+            let first_row: &[Value] = group_members
                 .first()
                 .map(|&i| input.rows[i].as_ref())
                 .unwrap_or(&null_row);
-            let first_schema = &input.schema;
             let gctx = GroupContext {
-                group_exprs: &group_exprs,
+                group_exprs: &agg.group_exprs,
                 group_key: key,
-                aggregates: &aggregates,
+                aggregates: &agg.aggregates,
                 agg_values: &agg_values,
                 env: Env {
-                    schema: first_schema,
+                    schema: &input.schema,
                     row: first_row,
                     parent: outer,
                 },
             };
-            if let Some(h) = &having_expr {
-                let keep = self.eval_in_group(h, &gctx)?.as_bool().unwrap_or(false);
-                if !keep {
+            if let Some(h) = &agg.having {
+                if !self.eval_in_group(h, &gctx)?.as_bool().unwrap_or(false) {
                     continue;
                 }
             }
-            let mut out_row = Vec::with_capacity(select.projection.len());
-            for item in &select.projection {
+            let mut out_row = Vec::with_capacity(agg.items.len());
+            for item in &agg.items {
                 match item {
                     SelectItem::Wildcard => out_row.extend(gctx.env.row.iter().cloned()),
                     SelectItem::QualifiedWildcard(q) => {
@@ -259,391 +337,189 @@ impl<'e> Executor<'e> {
                     SelectItem::Expr { expr, .. } => out_row.push(self.eval_in_group(expr, &gctx)?),
                 }
             }
-            let keys = order_exprs
-                .iter()
-                .map(|e| self.eval_in_group(e, &gctx))
-                .collect::<Result<Vec<_>>>()?;
-            produced.push((out_row, keys));
+            rows.push(out_row.into());
         }
-
-        if select.distinct {
-            let mut seen = std::collections::HashSet::new();
-            produced.retain(|(row, _)| seen.insert(row.clone()));
-        }
-        sort_by_keys(&mut produced, &query.order_by);
-
-        Ok(Relation {
-            schema: out_schema,
-            rows: produced.into_iter().map(|(r, _)| r.into()).collect(),
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // FROM / WHERE
-    // ------------------------------------------------------------------
-
-    fn execute_from_where(&self, select: &Select, outer: Option<&Env>) -> Result<Relation> {
-        if select.from.is_empty() {
-            // `SELECT expr` without FROM: a single empty row.
-            return Ok(Relation {
-                schema: Schema::new(),
-                rows: vec![Vec::new().into()],
-            });
-        }
-
-        let mut conjuncts: Vec<Expr> = Vec::new();
-        if let Some(sel) = &select.selection {
-            split_conjuncts(sel, &mut conjuncts);
-        }
-
-        // Scan each FROM item with its single-item predicates (no sub-queries,
-        // fully resolvable in that item) pushed into the scan itself: base
-        // tables evaluate them row-by-row without materializing non-qualifying
-        // rows, and `ttid` scope conjuncts prune whole partition buckets.
-        // Consumed conjuncts are removed from the list; FROM order decides
-        // which item claims an ambiguous (multi-resolvable) conjunct, exactly
-        // like the post-materialization pushdown did before.
-        let mut items: Vec<Relation> = Vec::with_capacity(select.from.len());
-        for table_ref in &select.from {
-            items.push(self.execute_table_ref_filtered(table_ref, &mut conjuncts, outer)?);
-        }
-
-        let mut remaining: Vec<Expr> = conjuncts;
-
-        // Greedy hash-join ordering over the FROM items.
-        let mut current = items.remove(0);
-        while !items.is_empty() {
-            let mut chosen: Option<(usize, Vec<(Expr, Expr)>)> = None;
-            for (i, item) in items.iter().enumerate() {
-                let keys = equi_join_keys(&remaining, &current.schema, &item.schema);
-                if !keys.is_empty() {
-                    chosen = Some((i, keys));
-                    break;
-                }
-            }
-            match chosen {
-                Some((i, keys)) => {
-                    let right = items.remove(i);
-                    // Remove the consumed conjuncts.
-                    remaining.retain(|c| {
-                        !keys.iter().any(|(l, r)| {
-                            matches!(c, Expr::BinaryOp { left, op: BinaryOperator::Eq, right: rr }
-                                if (**left == *l && **rr == *r) || (**left == *r && **rr == *l))
-                        })
-                    });
-                    current = self.hash_join(&current, &right, &keys, JoinKind::Inner, outer)?;
-                }
-                None => {
-                    let right = items.remove(0);
-                    current = cross_product(&current, &right);
-                }
-            }
-            // Apply any predicates that became resolvable, to keep
-            // intermediate results small.
-            let mut still: Vec<Expr> = Vec::new();
-            for c in remaining.drain(..) {
-                if !contains_subquery(&c) && expr_resolvable(&c, &current.schema) {
-                    current = self.filter_relation(&current, &c, outer)?;
-                } else {
-                    still.push(c);
-                }
-            }
-            remaining = still;
-        }
-
-        // Apply whatever is left (correlated predicates, sub-queries, ...).
-        for c in &remaining {
-            current = self.filter_relation(&current, c, outer)?;
-        }
-        Ok(current)
-    }
-
-    fn execute_table_ref(&self, table_ref: &TableRef, outer: Option<&Env>) -> Result<Relation> {
-        let mut no_filters = Vec::new();
-        self.execute_table_ref_filtered(table_ref, &mut no_filters, outer)
-    }
-
-    /// Execute a FROM item with a pool of candidate filter conjuncts. Every
-    /// conjunct that is fully resolvable against the item (and sub-query free)
-    /// is *consumed* from `conjuncts` and applied as early as possible: at
-    /// scan time for base tables (including partition pruning on `ttid`
-    /// predicates), immediately after materialization for views, derived
-    /// tables and joins.
-    fn execute_table_ref_filtered(
-        &self,
-        table_ref: &TableRef,
-        conjuncts: &mut Vec<Expr>,
-        outer: Option<&Env>,
-    ) -> Result<Relation> {
-        match table_ref {
-            TableRef::Table { name, alias } => {
-                let binding = alias.as_deref().unwrap_or(name);
-                if let Some(view) = self.engine.database().view(name) {
-                    let view = view.clone();
-                    let rel = self.execute_query(&view, outer)?;
-                    let names = rel.schema.names();
-                    let rel = Relation {
-                        schema: Schema::qualified(binding, &names),
-                        rows: rel.rows,
-                    };
-                    return self.apply_pushed_filters(rel, conjuncts, outer);
-                }
-                let table = self.engine.database().table(name)?;
-                let schema = Schema::qualified(binding, &table.columns);
-                let pushed = take_applicable(conjuncts, &schema);
-                self.scan_table(table, schema, &pushed, outer)
-            }
-            TableRef::Derived { query, alias } => {
-                let rel = self.execute_query(query, outer)?;
-                let names = rel.schema.names();
-                let rel = Relation {
-                    schema: Schema::qualified(alias, &names),
-                    rows: rel.rows,
-                };
-                self.apply_pushed_filters(rel, conjuncts, outer)
-            }
-            TableRef::Join {
-                left,
-                right,
-                kind,
-                on,
-            } => {
-                let mut on_conjuncts = Vec::new();
-                if let Some(cond) = on {
-                    split_conjuncts(cond, &mut on_conjuncts);
-                }
-                let (l, r) = match kind {
-                    JoinKind::Inner => {
-                        // Single-side ON conjuncts of an inner join may be
-                        // evaluated below the join; the left leg claims
-                        // ambiguous ones first, matching how unqualified
-                        // names resolve on the combined schema.
-                        let l = self.execute_table_ref_filtered(left, &mut on_conjuncts, outer)?;
-                        let r = self.execute_table_ref_filtered(right, &mut on_conjuncts, outer)?;
-                        (l, r)
-                    }
-                    JoinKind::Left => {
-                        // The preserved (left) side must not be pre-filtered
-                        // by ON predicates; right-side-only predicates may be
-                        // pushed into the right scan (non-matching right rows
-                        // are simply absent, left rows still null-extend).
-                        let l = self.execute_table_ref(left, outer)?;
-                        let mut right_only: Vec<Expr> = Vec::new();
-                        if let Some(rschema) = self.base_table_schema(right) {
-                            on_conjuncts.retain(|c| {
-                                let push = !contains_subquery(c)
-                                    && expr_resolvable(c, &rschema)
-                                    && !expr_resolvable(c, &l.schema);
-                                if push {
-                                    right_only.push(c.clone());
-                                }
-                                !push
-                            });
-                        }
-                        let r = self.execute_table_ref_filtered(right, &mut right_only, outer)?;
-                        // Anything the right leg could not consume keeps its
-                        // place in the ON clause.
-                        on_conjuncts.append(&mut right_only);
-                        (l, r)
-                    }
-                    JoinKind::Cross => {
-                        let l = self.execute_table_ref(left, outer)?;
-                        let r = self.execute_table_ref(right, outer)?;
-                        let rel = cross_product(&l, &r);
-                        return self.apply_pushed_filters(rel, conjuncts, outer);
-                    }
-                };
-                let keys = equi_join_keys(&on_conjuncts, &l.schema, &r.schema);
-                let residual: Vec<Expr> = on_conjuncts
-                    .into_iter()
-                    .filter(|c| {
-                        !keys.iter().any(|(lk, rk)| {
-                            matches!(c, Expr::BinaryOp { left, op: BinaryOperator::Eq, right }
-                                if (**left == *lk && **right == *rk)
-                                    || (**left == *rk && **right == *lk))
-                        })
-                    })
-                    .collect();
-                let joined = if keys.is_empty() {
-                    self.nested_loop_join(&l, &r, &residual, *kind, outer)?
-                } else {
-                    self.hash_join_with_residual(&l, &r, &keys, &residual, *kind, outer)?
-                };
-                self.apply_pushed_filters(joined, conjuncts, outer)
-            }
-        }
-    }
-
-    /// Schema of a FROM item when it is a plain base table (not a view);
-    /// usable for pushability checks without executing the item.
-    fn base_table_schema(&self, table_ref: &TableRef) -> Option<Schema> {
-        match table_ref {
-            TableRef::Table { name, alias } if self.engine.database().view(name).is_none() => {
-                let binding = alias.as_deref().unwrap_or(name);
-                let table = self.engine.database().table(name).ok()?;
-                Some(Schema::qualified(binding, &table.columns))
-            }
-            _ => None,
-        }
-    }
-
-    /// Apply (and consume) every pushable conjunct that resolves against an
-    /// already-materialized relation.
-    fn apply_pushed_filters(
-        &self,
-        rel: Relation,
-        conjuncts: &mut Vec<Expr>,
-        outer: Option<&Env>,
-    ) -> Result<Relation> {
-        let applicable = take_applicable(conjuncts, &rel.schema);
-        if applicable.is_empty() {
-            return Ok(rel);
-        }
-        let filter = self.compile_filter(&applicable, &rel.schema);
-        let mut rows = Vec::with_capacity(rel.rows.len());
-        for row in &rel.rows {
-            if self.filter_matches(&filter, &rel.schema, row, outer)? {
-                rows.push(SharedRow::clone(row));
-            }
+        if agg.distinct {
+            dedup_visible(&mut rows, agg.visible_width);
         }
         Ok(Relation {
-            schema: rel.schema,
+            schema: agg.schema.clone(),
             rows,
         })
     }
 
-    /// Scan one base table: prune partition buckets using `ttid` conjuncts,
-    /// evaluate the remaining pushed filters per row, and share (rather than
-    /// copy) every qualifying row.
-    fn scan_table(
-        &self,
-        table: &Table,
-        schema: Schema,
-        pushed: &[Expr],
-        outer: Option<&Env>,
-    ) -> Result<Relation> {
-        // Partition pruning: intersect the key sets implied by every pushed
-        // `ttid = k` / `ttid IN (...)` conjunct.
-        let mut prune_keys: Option<BTreeSet<i64>> = None;
-        let mut pruning_preds: Vec<&Expr> = Vec::new();
-        if self.engine.config().partition_pruning {
-            if let Some(pidx) = table.partition_column() {
-                for c in pushed {
-                    if let Some(keys) = self.partition_keys_of_conjunct(c, &schema, pidx) {
-                        pruning_preds.push(c);
-                        prune_keys = Some(match prune_keys {
-                            None => keys,
-                            Some(prev) => prev.intersection(&keys).copied().collect(),
-                        });
-                    }
-                }
-            }
-        }
-        // Filters evaluated per visited row. Rows inside a selected bucket
-        // satisfy the pruning predicates by construction (the bucket key *is*
-        // the ttid value), so those predicates are skipped for bucketed rows
-        // and only re-checked for loose rows, which carry arbitrary keys.
-        let residual: Vec<Expr> = pushed
-            .iter()
-            .filter(|c| !pruning_preds.contains(c))
-            .cloned()
-            .collect();
-        let residual_filter = self.compile_filter(&residual, &schema);
-        let full_filter = self.compile_filter(pushed, &schema);
+    // ------------------------------------------------------------------
+    // Scans
+    // ------------------------------------------------------------------
+
+    /// Execute one base-table scan: skip partition buckets the plan's pruning
+    /// keys exclude, evaluate the pushed filter per visited row, and share
+    /// (rather than copy) every qualifying row.
+    fn exec_scan(&self, scan: &SeqScan, outer: Option<&Env>) -> Result<Relation> {
+        let table = self.engine.database().table(&scan.table)?;
 
         let mut rows: Vec<SharedRow> = Vec::new();
         let mut visited: u64 = 0;
         let mut buckets_scanned: u64 = 0;
         let mut buckets_pruned: u64 = 0;
 
-        match &prune_keys {
+        // Loose rows carry arbitrary partition keys, so the full pushed
+        // filter (including pruning predicates) applies to them; the pruned
+        // branch compiles it only when loose rows exist.
+        let full_filter = match &scan.prune_keys {
             Some(keys) => {
+                // Rows inside a selected bucket satisfy the pruning
+                // predicates by construction (the bucket key *is* the ttid
+                // value), so only the residual filter runs per bucketed row.
+                let residual_filter = self.compile_filter(&scan.residual, &scan.schema);
+                let mut selected: Vec<&[SharedRow]> = Vec::new();
                 for (key, bucket) in table.partitions() {
-                    if !keys.contains(&key) {
+                    if keys.contains(&key) {
+                        buckets_scanned += 1;
+                        selected.push(bucket);
+                    } else {
                         buckets_pruned += 1;
-                        continue;
-                    }
-                    buckets_scanned += 1;
-                    for row in bucket {
-                        visited += 1;
-                        if self.filter_matches(&residual_filter, &schema, row, outer)? {
-                            rows.push(SharedRow::clone(row));
-                        }
                     }
                 }
-                for row in table.loose_rows() {
-                    visited += 1;
-                    if self.filter_matches(&full_filter, &schema, row, outer)? {
-                        rows.push(SharedRow::clone(row));
-                    }
+                self.scan_buckets(
+                    &selected,
+                    &residual_filter,
+                    &scan.schema,
+                    outer,
+                    &mut rows,
+                    &mut visited,
+                )?;
+                if table.loose_rows().is_empty() {
+                    None
+                } else {
+                    Some(self.compile_full_scan_filter(scan))
                 }
             }
             None => {
                 buckets_scanned = table.partition_count() as u64;
-                for row in table.rows() {
-                    visited += 1;
-                    if self.filter_matches(&full_filter, &schema, row, outer)? {
-                        rows.push(SharedRow::clone(row));
-                    }
+                let full_filter = self.compile_full_scan_filter(scan);
+                let selected: Vec<&[SharedRow]> = table.partitions().map(|(_, b)| b).collect();
+                self.scan_buckets(
+                    &selected,
+                    &full_filter,
+                    &scan.schema,
+                    outer,
+                    &mut rows,
+                    &mut visited,
+                )?;
+                Some(full_filter)
+            }
+        };
+        if let Some(full_filter) = &full_filter {
+            for row in table.loose_rows() {
+                visited += 1;
+                if self.filter_matches(full_filter, &scan.schema, row, outer)? {
+                    rows.push(SharedRow::clone(row));
                 }
             }
         }
 
         self.engine.note_rows_scanned(visited);
         self.engine.note_partitions(buckets_scanned, buckets_pruned);
-        Ok(Relation { schema, rows })
+        Ok(Relation {
+            schema: scan.schema.clone(),
+            rows,
+        })
     }
 
-    /// The set of partition keys a conjunct restricts the partition column
-    /// to, or `None` when the conjunct is not a recognizable key predicate.
-    fn partition_keys_of_conjunct(
+    /// Scan the selected buckets, serially or on a scoped thread pool. The
+    /// parallel path requires every predicate to be in a compiled fast form
+    /// (pure value comparisons — no expression evaluation, no engine access)
+    /// and merges per-chunk outputs in bucket order, so results and row order
+    /// are identical to the serial scan.
+    fn scan_buckets(
         &self,
-        conjunct: &Expr,
+        buckets: &[&[SharedRow]],
+        filter: &[CompiledPred],
         schema: &Schema,
-        partition_col: usize,
-    ) -> Option<BTreeSet<i64>> {
-        let is_partition_column =
-            |e: &Expr| matches!(e, Expr::Column(c) if schema.resolve(c) == Some(partition_col));
-        match conjunct {
-            Expr::BinaryOp {
-                left,
-                op: BinaryOperator::Eq,
-                right,
-            } => {
-                let key_expr = if is_partition_column(left) {
-                    right
-                } else if is_partition_column(right) {
-                    left
-                } else {
-                    return None;
-                };
-                match self.fold_const(key_expr)? {
-                    Value::Int(k) => Some([k].into_iter().collect()),
-                    _ => None,
-                }
+        outer: Option<&Env>,
+        rows: &mut Vec<SharedRow>,
+        visited: &mut u64,
+    ) -> Result<()> {
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        let threads = scan_worker_count(self.engine.config().parallel_scan, buckets.len(), total);
+        let fast = filter
+            .iter()
+            .all(|p| !matches!(p, CompiledPred::Generic(_)));
+        let chunks = if threads > 1 && fast {
+            chunk_buckets(buckets, threads, total)
+        } else {
+            Vec::new()
+        };
+        if chunks.len() > 1 {
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut local: Vec<SharedRow> = Vec::new();
+                            let mut count = 0u64;
+                            for bucket in chunk {
+                                for row in *bucket {
+                                    count += 1;
+                                    if fast_filter_matches(filter, row) {
+                                        local.push(SharedRow::clone(row));
+                                    }
+                                }
+                            }
+                            (local, count)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (local, count) in results {
+                rows.extend(local);
+                *visited += count;
             }
-            Expr::InList {
-                expr,
-                list,
-                negated: false,
-            } if is_partition_column(expr) => {
-                let mut keys = BTreeSet::new();
-                for item in list {
-                    match self.fold_const(item)? {
-                        Value::Int(k) => {
-                            keys.insert(k);
-                        }
-                        _ => return None,
+            self.engine.note_parallel_scan();
+        } else {
+            for bucket in buckets {
+                for row in *bucket {
+                    *visited += 1;
+                    if self.filter_matches(filter, schema, row, outer)? {
+                        rows.push(SharedRow::clone(row));
                     }
                 }
-                Some(keys)
             }
-            _ => None,
         }
+        Ok(())
     }
 
-    /// Evaluate a column- and sub-query-free expression to a constant.
-    fn fold_const(&self, expr: &Expr) -> Option<Value> {
+    /// The full pushed filter of a scan — pruning predicates followed by the
+    /// residual ones — as applied to loose rows and un-pruned scans.
+    fn compile_full_scan_filter(&self, scan: &SeqScan) -> Vec<CompiledPred> {
+        let mut preds = self.compile_filter(&scan.pruning, &scan.schema);
+        preds.extend(self.compile_filter(&scan.residual, &scan.schema));
+        preds
+    }
+
+    /// Would this scan's per-bucket filter run on the parallel fast path?
+    /// (Used by the EXPLAIN renderer.)
+    pub(crate) fn scan_parallelizable(&self, scan: &SeqScan) -> bool {
+        let filter = if scan.prune_keys.is_some() {
+            self.compile_filter(&scan.residual, &scan.schema)
+        } else {
+            self.compile_full_scan_filter(scan)
+        };
+        filter
+            .iter()
+            .all(|p| !matches!(p, CompiledPred::Generic(_)))
+    }
+
+    /// Evaluate a column- and sub-query-free expression to a constant. Also
+    /// used by the planner to fold partition-key predicates, so pruning
+    /// recognises every constant form the scan filter would (functions and
+    /// UDFs over literals included).
+    pub(crate) fn fold_const(&self, expr: &Expr) -> Option<Value> {
         if has_columns(expr) || contains_subquery(expr) {
             return None;
         }
@@ -659,10 +535,10 @@ impl<'e> Executor<'e> {
     fn filter_relation(
         &self,
         rel: &Relation,
-        pred: &Expr,
+        predicates: &[Expr],
         outer: Option<&Env>,
     ) -> Result<Relation> {
-        let compiled = self.compile_filter(std::slice::from_ref(pred), &rel.schema);
+        let compiled = self.compile_filter(predicates, &rel.schema);
         let mut rows = Vec::with_capacity(rel.rows.len());
         for row in &rel.rows {
             if self.filter_matches(&compiled, &rel.schema, row, outer)? {
@@ -792,50 +668,6 @@ impl<'e> Executor<'e> {
     ) -> Result<bool> {
         for pred in filter {
             let ok = match pred {
-                CompiledPred::Compare { idx, op, value } => match row[*idx].compare(value) {
-                    None => false,
-                    Some(ord) => match op {
-                        BinaryOperator::Eq => ord == Ordering::Equal,
-                        BinaryOperator::NotEq => ord != Ordering::Equal,
-                        BinaryOperator::Lt => ord == Ordering::Less,
-                        BinaryOperator::LtEq => ord != Ordering::Greater,
-                        BinaryOperator::Gt => ord == Ordering::Greater,
-                        BinaryOperator::GtEq => ord != Ordering::Less,
-                        _ => unreachable!("compile_pred only emits comparisons"),
-                    },
-                },
-                CompiledPred::InSet {
-                    idx,
-                    values,
-                    negated,
-                } => {
-                    let v = &row[*idx];
-                    if v.is_null() {
-                        false
-                    } else {
-                        let found = values.iter().any(|i| v.sql_eq(i) == Some(true));
-                        found != *negated
-                    }
-                }
-                CompiledPred::Between {
-                    idx,
-                    lo,
-                    hi,
-                    negated,
-                } => {
-                    let v = &row[*idx];
-                    let inside = matches!(v.compare(lo), Some(Ordering::Greater | Ordering::Equal))
-                        && matches!(v.compare(hi), Some(Ordering::Less | Ordering::Equal));
-                    inside != *negated
-                }
-                CompiledPred::Like {
-                    idx,
-                    pattern,
-                    negated,
-                } => match row[*idx].as_str() {
-                    Some(text) => pattern.matches(text) != *negated,
-                    None => false,
-                },
                 CompiledPred::Generic(expr) => {
                     let env = Env {
                         schema,
@@ -844,6 +676,7 @@ impl<'e> Executor<'e> {
                     };
                     self.eval(expr, &env)?.as_bool().unwrap_or(false)
                 }
+                fast => fast_pred_matches(fast, row),
             };
             if !ok {
                 return Ok(false);
@@ -853,17 +686,6 @@ impl<'e> Executor<'e> {
     }
 
     fn hash_join(
-        &self,
-        left: &Relation,
-        right: &Relation,
-        keys: &[(Expr, Expr)],
-        kind: JoinKind,
-        outer: Option<&Env>,
-    ) -> Result<Relation> {
-        self.hash_join_with_residual(left, right, keys, &[], kind, outer)
-    }
-
-    fn hash_join_with_residual(
         &self,
         left: &Relation,
         right: &Relation,
@@ -1121,8 +943,66 @@ impl<'e> Executor<'e> {
                     .collect::<Result<Vec<_>>>()?;
                 self.call_scalar(&fc.name, &args)
             }
-            // Everything else (sub-queries etc.) falls back to row-level
-            // evaluation against the group's representative row.
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = self.eval_in_group(expr, ctx)?;
+                let lo = self.eval_in_group(low, ctx)?;
+                let hi = self.eval_in_group(high, ctx)?;
+                let inside = matches!(v.compare(&lo), Some(Ordering::Greater | Ordering::Equal))
+                    && matches!(v.compare(&hi), Some(Ordering::Less | Ordering::Equal));
+                Ok(Value::Bool(inside != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = self.eval_in_group(expr, ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let mut found = false;
+                for item in list {
+                    if v.sql_eq(&self.eval_in_group(item, ctx)?) == Some(true) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval_in_group(expr, ctx)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = self.eval_in_group(expr, ctx)?;
+                let outcome = match v.as_str() {
+                    None => None,
+                    Some(text) => self
+                        .eval_in_group(pattern, ctx)?
+                        .as_str()
+                        .map(|p| self.compiled_like(p).matches(text)),
+                };
+                Ok(Value::Bool(outcome.map(|m| m != *negated).unwrap_or(false)))
+            }
+            Expr::Cast {
+                expr: inner,
+                data_type,
+            } => {
+                let v = self.eval_in_group(inner, ctx)?;
+                cast_value(v, *data_type)
+            }
+            // Everything else (sub-queries, EXTRACT/SUBSTRING over group
+            // values, ...) falls back to row-level evaluation against the
+            // group's representative row.
             _ => self.eval(expr, &ctx.env),
         }
     }
@@ -1386,14 +1266,26 @@ impl<'e> Executor<'e> {
     }
 
     /// Execute a sub-query appearing inside an expression, caching the result
-    /// when it turned out to be uncorrelated.
+    /// when it turned out to be uncorrelated. The *plan* is cached either way,
+    /// so a correlated sub-query re-executed per outer row is lowered once.
     fn execute_subquery(&self, query: &Query, env: &Env) -> Result<Rc<Relation>> {
         let key = query.to_string();
         if let Some(hit) = self.subquery_cache.borrow().get(&key) {
             return Ok(Rc::clone(hit));
         }
+        let cached_plan = self.plan_cache.borrow().get(&key).cloned();
+        let plan = match cached_plan {
+            Some(plan) => plan,
+            None => {
+                let plan = Rc::new(Planner::new(self.engine).plan_query(query)?);
+                self.plan_cache
+                    .borrow_mut()
+                    .insert(key.clone(), Rc::clone(&plan));
+                plan
+            }
+        };
         let saved = self.correlation_witness.replace(false);
-        let rel = Rc::new(self.execute_query(query, Some(env))?);
+        let rel = Rc::new(self.execute_plan(&plan, Some(env))?);
         let correlated = self.correlation_witness.get();
         self.correlation_witness.set(saved || correlated);
         if !correlated {
@@ -1435,7 +1327,32 @@ struct GroupContext<'a> {
 // Helpers
 // ---------------------------------------------------------------------------
 
-fn literal_value(l: &Literal) -> Result<Value> {
+/// Sort shared rows in place by pre-resolved key columns: comparisons borrow
+/// the row values directly — no per-row key extraction or cloning.
+fn sort_rows(rows: &mut [SharedRow], keys: &[SortKey]) {
+    if keys.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| {
+        for key in keys {
+            let cmp = a[key.col].compare(&b[key.col]).unwrap_or(Ordering::Equal);
+            let cmp = if key.asc { cmp } else { cmp.reverse() };
+            if cmp != Ordering::Equal {
+                return cmp;
+            }
+        }
+        Ordering::Equal
+    });
+}
+
+/// DISTINCT on the visible prefix of each row (hidden sort-key columns do not
+/// participate), keeping the first occurrence.
+fn dedup_visible(rows: &mut Vec<SharedRow>, width: usize) {
+    let mut seen = std::collections::HashSet::new();
+    rows.retain(|row| seen.insert(row[..width].to_vec()));
+}
+
+pub(crate) fn literal_value(l: &Literal) -> Result<Value> {
     Ok(match l {
         Literal::Null => Value::Null,
         Literal::Boolean(b) => Value::Bool(*b),
@@ -1525,7 +1442,7 @@ fn interval_shift(date: i32, encoded_days: i64) -> i32 {
     }
 }
 
-fn apply_unary(op: UnaryOperator, v: Value) -> Result<Value> {
+pub(crate) fn apply_unary(op: UnaryOperator, v: Value) -> Result<Value> {
     match op {
         UnaryOperator::Not => match v.as_bool() {
             Some(b) => Ok(Value::Bool(!b)),
@@ -1536,7 +1453,7 @@ fn apply_unary(op: UnaryOperator, v: Value) -> Result<Value> {
     }
 }
 
-fn cast_value(v: Value, ty: DataType) -> Result<Value> {
+pub(crate) fn cast_value(v: Value, ty: DataType) -> Result<Value> {
     match ty {
         DataType::Integer | DataType::BigInt => match v {
             Value::Null => Ok(Value::Null),
@@ -1613,7 +1530,10 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
     LikePattern::new(pattern).matches(text)
 }
 
-/// One conjunct of a scan filter, pre-lowered for per-row evaluation.
+/// One conjunct of a scan filter, pre-lowered for per-row evaluation. All
+/// variants except [`CompiledPred::Generic`] are pure value comparisons:
+/// `Send + Sync`, no engine access — the forms parallel scans may evaluate
+/// on worker threads.
 #[derive(Debug, Clone)]
 enum CompiledPred {
     /// `column <cmp> constant` with a pre-resolved column index.
@@ -1638,11 +1558,69 @@ enum CompiledPred {
     /// `column [NOT] LIKE 'literal'` with a precompiled pattern.
     Like {
         idx: usize,
-        pattern: Rc<LikePattern>,
+        pattern: Arc<LikePattern>,
         negated: bool,
     },
-    /// Any other conjunct, evaluated by the interpreter.
+    /// Any other conjunct, evaluated by the interpreter (serial scans only).
     Generic(Expr),
+}
+
+/// Evaluate one *fast* compiled predicate against a row. Panics on
+/// [`CompiledPred::Generic`] — callers route those through
+/// [`Executor::filter_matches`].
+fn fast_pred_matches(pred: &CompiledPred, row: &[Value]) -> bool {
+    match pred {
+        CompiledPred::Compare { idx, op, value } => match row[*idx].compare(value) {
+            None => false,
+            Some(ord) => match op {
+                BinaryOperator::Eq => ord == Ordering::Equal,
+                BinaryOperator::NotEq => ord != Ordering::Equal,
+                BinaryOperator::Lt => ord == Ordering::Less,
+                BinaryOperator::LtEq => ord != Ordering::Greater,
+                BinaryOperator::Gt => ord == Ordering::Greater,
+                BinaryOperator::GtEq => ord != Ordering::Less,
+                _ => unreachable!("compile_pred only emits comparisons"),
+            },
+        },
+        CompiledPred::InSet {
+            idx,
+            values,
+            negated,
+        } => {
+            let v = &row[*idx];
+            if v.is_null() {
+                false
+            } else {
+                let found = values.iter().any(|i| v.sql_eq(i) == Some(true));
+                found != *negated
+            }
+        }
+        CompiledPred::Between {
+            idx,
+            lo,
+            hi,
+            negated,
+        } => {
+            let v = &row[*idx];
+            let inside = matches!(v.compare(lo), Some(Ordering::Greater | Ordering::Equal))
+                && matches!(v.compare(hi), Some(Ordering::Less | Ordering::Equal));
+            inside != *negated
+        }
+        CompiledPred::Like {
+            idx,
+            pattern,
+            negated,
+        } => match row[*idx].as_str() {
+            Some(text) => pattern.matches(text) != *negated,
+            None => false,
+        },
+        CompiledPred::Generic(_) => unreachable!("parallel scans only run fast predicates"),
+    }
+}
+
+/// `true` when every fast predicate accepts the row (parallel scan workers).
+fn fast_filter_matches(filter: &[CompiledPred], row: &[Value]) -> bool {
+    filter.iter().all(|p| fast_pred_matches(p, row))
 }
 
 /// Mirror a comparison operator for swapped operands (`5 < x` ⇒ `x > 5`).
@@ -1654,186 +1632,6 @@ fn flip_comparison(op: BinaryOperator) -> BinaryOperator {
         BinaryOperator::GtEq => BinaryOperator::LtEq,
         other => other,
     }
-}
-
-/// Remove (and return) every conjunct that is sub-query free and fully
-/// resolvable against `schema` — the ones a scan of that schema may evaluate
-/// itself.
-fn take_applicable(conjuncts: &mut Vec<Expr>, schema: &Schema) -> Vec<Expr> {
-    let mut taken = Vec::new();
-    conjuncts.retain(|c| {
-        if !contains_subquery(c) && expr_resolvable(c, schema) {
-            taken.push(c.clone());
-            false
-        } else {
-            true
-        }
-    });
-    taken
-}
-
-/// Break a predicate into its top-level AND conjuncts.
-pub fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
-    match expr {
-        Expr::BinaryOp {
-            left,
-            op: BinaryOperator::And,
-            right,
-        } => {
-            split_conjuncts(left, out);
-            split_conjuncts(right, out);
-        }
-        other => out.push(other.clone()),
-    }
-}
-
-/// Does this expression contain a sub-query anywhere?
-pub fn contains_subquery(expr: &Expr) -> bool {
-    match expr {
-        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,
-        Expr::BinaryOp { left, right, .. } => contains_subquery(left) || contains_subquery(right),
-        Expr::UnaryOp { expr, .. } => contains_subquery(expr),
-        Expr::Function(f) => f.args.iter().any(contains_subquery),
-        Expr::Case {
-            operand,
-            when_then,
-            else_expr,
-        } => {
-            operand.as_deref().is_some_and(contains_subquery)
-                || when_then
-                    .iter()
-                    .any(|(w, t)| contains_subquery(w) || contains_subquery(t))
-                || else_expr.as_deref().is_some_and(contains_subquery)
-        }
-        Expr::InList { expr, list, .. } => {
-            contains_subquery(expr) || list.iter().any(contains_subquery)
-        }
-        Expr::Between {
-            expr, low, high, ..
-        } => contains_subquery(expr) || contains_subquery(low) || contains_subquery(high),
-        Expr::Like { expr, pattern, .. } => contains_subquery(expr) || contains_subquery(pattern),
-        Expr::IsNull { expr, .. } => contains_subquery(expr),
-        Expr::Extract { expr, .. } => contains_subquery(expr),
-        Expr::Substring {
-            expr,
-            start,
-            length,
-        } => {
-            contains_subquery(expr)
-                || contains_subquery(start)
-                || length.as_deref().is_some_and(contains_subquery)
-        }
-        Expr::Cast { expr, .. } => contains_subquery(expr),
-        Expr::Column(_) | Expr::Literal(_) => false,
-    }
-}
-
-/// Collect every column reference in an expression.
-pub fn collect_columns(expr: &Expr, out: &mut Vec<ColumnRef>) {
-    match expr {
-        Expr::Column(c) => out.push(c.clone()),
-        Expr::Literal(_) => {}
-        Expr::BinaryOp { left, right, .. } => {
-            collect_columns(left, out);
-            collect_columns(right, out);
-        }
-        Expr::UnaryOp { expr, .. } => collect_columns(expr, out),
-        Expr::Function(f) => f.args.iter().for_each(|a| collect_columns(a, out)),
-        Expr::Case {
-            operand,
-            when_then,
-            else_expr,
-        } => {
-            if let Some(o) = operand {
-                collect_columns(o, out);
-            }
-            for (w, t) in when_then {
-                collect_columns(w, out);
-                collect_columns(t, out);
-            }
-            if let Some(e) = else_expr {
-                collect_columns(e, out);
-            }
-        }
-        Expr::InList { expr, list, .. } => {
-            collect_columns(expr, out);
-            list.iter().for_each(|i| collect_columns(i, out));
-        }
-        Expr::Between {
-            expr, low, high, ..
-        } => {
-            collect_columns(expr, out);
-            collect_columns(low, out);
-            collect_columns(high, out);
-        }
-        Expr::Like { expr, pattern, .. } => {
-            collect_columns(expr, out);
-            collect_columns(pattern, out);
-        }
-        Expr::IsNull { expr, .. } => collect_columns(expr, out),
-        Expr::Extract { expr, .. } => collect_columns(expr, out),
-        Expr::Substring {
-            expr,
-            start,
-            length,
-        } => {
-            collect_columns(expr, out);
-            collect_columns(start, out);
-            if let Some(l) = length {
-                collect_columns(l, out);
-            }
-        }
-        Expr::Cast { expr, .. } => collect_columns(expr, out),
-        // Sub-queries keep their own scope; their inner columns do not count
-        // towards the enclosing expression's requirements.
-        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {
-            if let Expr::InSubquery { expr, .. } = expr {
-                collect_columns(expr, out);
-            }
-        }
-    }
-}
-
-/// `true` when every column referenced by `expr` resolves in `schema`.
-fn expr_resolvable(expr: &Expr, schema: &Schema) -> bool {
-    let mut cols = Vec::new();
-    collect_columns(expr, &mut cols);
-    cols.iter().all(|c| schema.resolve(c).is_some())
-}
-
-/// Find equi-join keys between two schemas among the conjuncts: conjuncts of
-/// the form `lhs = rhs` where one side resolves fully in `left` and the other
-/// fully in `right`. Returns pairs `(left key expr, right key expr)`.
-fn equi_join_keys(conjuncts: &[Expr], left: &Schema, right: &Schema) -> Vec<(Expr, Expr)> {
-    let mut keys = Vec::new();
-    for c in conjuncts {
-        if let Expr::BinaryOp {
-            left: l,
-            op: BinaryOperator::Eq,
-            right: r,
-        } = c
-        {
-            if contains_subquery(c) {
-                continue;
-            }
-            let l_in_left = expr_resolvable(l, left) && has_columns(l);
-            let l_in_right = expr_resolvable(l, right) && has_columns(l);
-            let r_in_left = expr_resolvable(r, left) && has_columns(r);
-            let r_in_right = expr_resolvable(r, right) && has_columns(r);
-            if l_in_left && r_in_right && !l_in_right {
-                keys.push(((**l).clone(), (**r).clone()));
-            } else if r_in_left && l_in_right && !r_in_right {
-                keys.push(((**r).clone(), (**l).clone()));
-            }
-        }
-    }
-    keys
-}
-
-fn has_columns(expr: &Expr) -> bool {
-    let mut cols = Vec::new();
-    collect_columns(expr, &mut cols);
-    !cols.is_empty()
 }
 
 fn cross_product(left: &Relation, right: &Relation) -> Relation {
@@ -1863,181 +1661,6 @@ fn null_extend(left: &[Value], right_width: usize) -> SharedRow {
     combined.into()
 }
 
-/// Collect the distinct aggregate calls appearing in the projection, HAVING
-/// and ORDER BY of a select.
-fn collect_aggregates(select: &Select, order_by: &[OrderByItem]) -> Vec<FunctionCall> {
-    let mut out: Vec<FunctionCall> = Vec::new();
-    let aliases = alias_map(&select.projection);
-    let mut visit = |expr: &Expr| {
-        collect_aggregate_calls(expr, &mut out);
-    };
-    for item in &select.projection {
-        if let SelectItem::Expr { expr, .. } = item {
-            visit(expr);
-        }
-    }
-    if let Some(h) = &select.having {
-        visit(&substitute_aliases(h, &aliases));
-    }
-    for o in order_by {
-        visit(&substitute_aliases(&o.expr, &aliases));
-    }
-    out
-}
-
-fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
-    match expr {
-        Expr::Function(f) if f.is_aggregate() => {
-            if !out.contains(f) {
-                out.push(f.clone());
-            }
-        }
-        Expr::Function(f) => f.args.iter().for_each(|a| collect_aggregate_calls(a, out)),
-        Expr::BinaryOp { left, right, .. } => {
-            collect_aggregate_calls(left, out);
-            collect_aggregate_calls(right, out);
-        }
-        Expr::UnaryOp { expr, .. } => collect_aggregate_calls(expr, out),
-        Expr::Case {
-            operand,
-            when_then,
-            else_expr,
-        } => {
-            if let Some(o) = operand {
-                collect_aggregate_calls(o, out);
-            }
-            for (w, t) in when_then {
-                collect_aggregate_calls(w, out);
-                collect_aggregate_calls(t, out);
-            }
-            if let Some(e) = else_expr {
-                collect_aggregate_calls(e, out);
-            }
-        }
-        Expr::InList { expr, list, .. } => {
-            collect_aggregate_calls(expr, out);
-            list.iter().for_each(|i| collect_aggregate_calls(i, out));
-        }
-        Expr::Between {
-            expr, low, high, ..
-        } => {
-            collect_aggregate_calls(expr, out);
-            collect_aggregate_calls(low, out);
-            collect_aggregate_calls(high, out);
-        }
-        Expr::Like { expr, pattern, .. } => {
-            collect_aggregate_calls(expr, out);
-            collect_aggregate_calls(pattern, out);
-        }
-        Expr::IsNull { expr, .. } => collect_aggregate_calls(expr, out),
-        Expr::Extract { expr, .. } => collect_aggregate_calls(expr, out),
-        Expr::Substring {
-            expr,
-            start,
-            length,
-        } => {
-            collect_aggregate_calls(expr, out);
-            collect_aggregate_calls(start, out);
-            if let Some(l) = length {
-                collect_aggregate_calls(l, out);
-            }
-        }
-        Expr::Cast { expr, .. } => collect_aggregate_calls(expr, out),
-        // Aggregates inside sub-queries belong to the sub-query.
-        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {}
-        Expr::Column(_) | Expr::Literal(_) => {}
-    }
-}
-
-/// Map projection aliases to their expressions.
-fn alias_map(projection: &[SelectItem]) -> HashMap<String, Expr> {
-    let mut map = HashMap::new();
-    for item in projection {
-        if let SelectItem::Expr {
-            expr,
-            alias: Some(alias),
-        } = item
-        {
-            map.insert(alias.to_ascii_lowercase(), expr.clone());
-        }
-    }
-    map
-}
-
-/// Replace unqualified column references that name a projection alias with the
-/// aliased expression (SQL allows aliases in GROUP BY / ORDER BY).
-fn substitute_aliases(expr: &Expr, aliases: &HashMap<String, Expr>) -> Expr {
-    match expr {
-        Expr::Column(c) if c.table.is_none() => match aliases.get(&c.name.to_ascii_lowercase()) {
-            Some(e) => e.clone(),
-            None => expr.clone(),
-        },
-        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
-            left: Box::new(substitute_aliases(left, aliases)),
-            op: *op,
-            right: Box::new(substitute_aliases(right, aliases)),
-        },
-        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
-            op: *op,
-            expr: Box::new(substitute_aliases(expr, aliases)),
-        },
-        Expr::Function(f) => Expr::Function(FunctionCall {
-            name: f.name.clone(),
-            args: f
-                .args
-                .iter()
-                .map(|a| substitute_aliases(a, aliases))
-                .collect(),
-            distinct: f.distinct,
-        }),
-        other => other.clone(),
-    }
-}
-
-/// Schema of the projection output: alias, column name or a synthesized name.
-fn projection_schema(projection: &[SelectItem], input: &Schema) -> Result<Schema> {
-    let mut names = Vec::new();
-    for item in projection {
-        match item {
-            SelectItem::Wildcard => names.extend(input.cols.iter().map(|c| c.name.clone())),
-            SelectItem::QualifiedWildcard(q) => {
-                for idx in input.indices_of_qualifier(q) {
-                    names.push(input.cols[idx].name.clone());
-                }
-            }
-            SelectItem::Expr { expr, alias } => names.push(match alias {
-                Some(a) => a.clone(),
-                None => derived_name(expr),
-            }),
-        }
-    }
-    Ok(Schema::unqualified(&names))
-}
-
-fn derived_name(expr: &Expr) -> String {
-    match expr {
-        Expr::Column(c) => c.name.clone(),
-        Expr::Function(f) => f.name.to_ascii_lowercase(),
-        _ => "?column?".to_string(),
-    }
-}
-
-fn sort_by_keys(rows: &mut [(Row, Vec<Value>)], order_by: &[OrderByItem]) {
-    if order_by.is_empty() {
-        return;
-    }
-    rows.sort_by(|a, b| {
-        for (i, item) in order_by.iter().enumerate() {
-            let cmp = a.1[i].compare(&b.1[i]).unwrap_or(Ordering::Equal);
-            let cmp = if item.asc { cmp } else { cmp.reverse() };
-            if cmp != Ordering::Equal {
-                return cmp;
-            }
-        }
-        Ordering::Equal
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2050,35 +1673,6 @@ mod tests {
         assert!(like_match("", "%"));
         assert!(!like_match("abc", "abcd"));
         assert!(like_match("special%case", "special%case"));
-    }
-
-    #[test]
-    fn conjunct_splitting() {
-        let e = mtsql::parse_expression("a = 1 AND b = 2 AND (c = 3 OR d = 4)").unwrap();
-        let mut out = Vec::new();
-        split_conjuncts(&e, &mut out);
-        assert_eq!(out.len(), 3);
-    }
-
-    #[test]
-    fn subquery_detection() {
-        let e = mtsql::parse_expression("a = 1 AND EXISTS (SELECT 1 FROM t)").unwrap();
-        assert!(contains_subquery(&e));
-        let e = mtsql::parse_expression("a = 1 AND b < 3").unwrap();
-        assert!(!contains_subquery(&e));
-    }
-
-    #[test]
-    fn alias_substitution() {
-        let aliases: HashMap<String, Expr> = [(
-            "revenue".to_string(),
-            mtsql::parse_expression("SUM(l_extendedprice)").unwrap(),
-        )]
-        .into_iter()
-        .collect();
-        let e = mtsql::parse_expression("revenue").unwrap();
-        let s = substitute_aliases(&e, &aliases);
-        assert!(matches!(s, Expr::Function(_)));
     }
 
     #[test]
@@ -2096,5 +1690,58 @@ mod tests {
     fn binary_comparison_with_null_is_false() {
         let v = apply_binary(BinaryOperator::Eq, Value::Null, Value::Int(1)).unwrap();
         assert_eq!(v, Value::Bool(false));
+    }
+
+    #[test]
+    fn sort_rows_borrows_key_columns() {
+        let mut rows: Vec<SharedRow> = vec![
+            vec![Value::Int(2), Value::str("b")].into(),
+            vec![Value::Int(1), Value::str("c")].into(),
+            vec![Value::Int(1), Value::str("a")].into(),
+        ];
+        sort_rows(
+            &mut rows,
+            &[
+                SortKey { col: 0, asc: true },
+                SortKey { col: 1, asc: false },
+            ],
+        );
+        assert_eq!(rows[0][1], Value::str("c"));
+        assert_eq!(rows[1][1], Value::str("a"));
+        assert_eq!(rows[2][0], Value::Int(2));
+    }
+
+    #[test]
+    fn chunking_splits_a_large_bucket_off_small_predecessors() {
+        let small: Vec<SharedRow> = (0..100)
+            .map(|i| SharedRow::from(vec![Value::Int(i)]))
+            .collect();
+        let large: Vec<SharedRow> = (0..20_000)
+            .map(|i| SharedRow::from(vec![Value::Int(i)]))
+            .collect();
+        let buckets: Vec<&[SharedRow]> = vec![&small, &large];
+        let chunks = chunk_buckets(&buckets, 2, 20_100);
+        assert_eq!(
+            chunks.len(),
+            2,
+            "the large bucket must land in its own chunk"
+        );
+        assert_eq!(chunks[0].len(), 1);
+        assert_eq!(chunks[1].len(), 1);
+        // Order-preserving: small bucket first.
+        assert_eq!(chunks[0][0].len(), 100);
+    }
+
+    #[test]
+    fn dedup_visible_ignores_hidden_columns() {
+        let mut rows: Vec<SharedRow> = vec![
+            vec![Value::Int(1), Value::Int(100)].into(),
+            vec![Value::Int(1), Value::Int(200)].into(),
+            vec![Value::Int(2), Value::Int(300)].into(),
+        ];
+        dedup_visible(&mut rows, 1);
+        assert_eq!(rows.len(), 2);
+        // first occurrence wins
+        assert_eq!(rows[0][1], Value::Int(100));
     }
 }

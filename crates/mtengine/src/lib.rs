@@ -33,13 +33,29 @@
 //! their rows, making tenant-scoped queries scale with |D| instead of the
 //! total tenant count T.
 //!
+//! # Physical plans
+//!
+//! Query execution is split into **plan → execute**: [`plan::Planner`]
+//! lowers a query into an operator DAG ([`plan::Plan`] — `SeqScan` with
+//! pushed conjuncts and pruning keys, `Filter`, `HashJoin`,
+//! `NestedLoopJoin`, `HashAggregate`, `Sort`, `Limit`, `Project`,
+//! `Subquery`), and [`exec::Executor`] walks that DAG. Pushdown is a plan
+//! transformation, so it also crosses derived-table boundaries (conjuncts
+//! transpose through sub-select projections onto the base scans), and scans
+//! may fan their selected buckets out to a scoped thread pool
+//! (`EngineConfig::parallel_scan`) when every pushed conjunct compiled to a
+//! fast predicate form. `EXPLAIN <query>` (or [`Engine::explain_query`])
+//! renders the plan, including pushed conjuncts, live partition-pruning
+//! counts and parallel-scan eligibility.
+//!
 //! # Observability
 //!
 //! [`stats::StatsSnapshot`] exposes `rows_scanned` (rows actually visited,
 //! after pruning), `partitions_scanned` / `partitions_pruned` (bucket
-//! accounting per scan) and the UDF call/cache counters. Pruning can be
-//! disabled per engine (`EngineConfig::partition_pruning`) to recover the
-//! full-scan baseline for comparisons; results must be identical either way.
+//! accounting per scan), `parallel_scans` (scans that fanned out to worker
+//! threads) and the UDF call/cache counters. Pruning can be disabled per
+//! engine (`EngineConfig::partition_pruning`) to recover the full-scan
+//! baseline for comparisons; results must be identical either way.
 //!
 //! # Example
 //!
@@ -56,8 +72,10 @@
 //! assert_eq!(rs.rows, vec![vec![Value::Int(2)]]);
 //! ```
 
+pub mod conjuncts;
 pub mod error;
 pub mod exec;
+pub mod plan;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -87,6 +105,12 @@ pub struct EngineConfig {
     /// predicates exclude. Disabling falls back to full scans (the pre-
     /// partitioning behaviour) — useful as a benchmark baseline.
     pub partition_pruning: bool,
+    /// Maximum worker threads a single base-table scan may fan its partition
+    /// buckets out to. `0` or `1` scans serially. Parallel scans require
+    /// every pushed conjunct to compile to a fast predicate form and merge
+    /// per-bucket outputs in bucket order, so results are identical to a
+    /// serial scan.
+    pub parallel_scan: usize,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +118,7 @@ impl Default for EngineConfig {
         EngineConfig {
             cache_immutable_udfs: true,
             partition_pruning: true,
+            parallel_scan: 1,
         }
     }
 }
@@ -118,6 +143,12 @@ impl EngineConfig {
     /// Disable partition pruning (builder-style, for baseline comparisons).
     pub fn without_partition_pruning(mut self) -> Self {
         self.partition_pruning = false;
+        self
+    }
+
+    /// Set the parallel-scan worker budget (builder-style).
+    pub fn with_parallel_scan(mut self, threads: usize) -> Self {
+        self.parallel_scan = threads;
         self
     }
 }
@@ -239,6 +270,11 @@ impl Engine {
         self.counters.add_partitions(scanned, pruned);
     }
 
+    /// Note one scan that ran its buckets on the parallel fast path.
+    pub(crate) fn note_parallel_scan(&self) {
+        self.counters.add_parallel_scan();
+    }
+
     /// Snapshot the execution statistics.
     pub fn stats(&self) -> StatsSnapshot {
         let udf = self.udfs.stats();
@@ -246,6 +282,7 @@ impl Engine {
             rows_scanned: self.counters.rows_scanned(),
             partitions_scanned: self.counters.partitions_scanned(),
             partitions_pruned: self.counters.partitions_pruned(),
+            parallel_scans: self.counters.parallel_scans(),
             udf_calls: udf.calls,
             udf_cache_hits: udf.cache_hits,
         }
@@ -280,10 +317,22 @@ impl Engine {
         Ok(ResultSet::from_relation(rel))
     }
 
+    /// Lower a query to its physical plan and render it as an `EXPLAIN`
+    /// result: one `QUERY PLAN` column, one row per plan line.
+    pub fn explain_query(&self, query: &Query) -> Result<ResultSet> {
+        let plan = plan::Planner::new(self).plan_query(query)?;
+        let text = plan::explain(self, &plan);
+        Ok(ResultSet {
+            columns: vec!["QUERY PLAN".to_string()],
+            rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
+        })
+    }
+
     /// Execute a parsed statement (queries, DDL and DML).
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ResultSet> {
         match stmt {
             Statement::Select(q) => self.execute_query(q),
+            Statement::Explain(q) => self.explain_query(q),
             Statement::CreateTable(ct) => {
                 let columns: Vec<String> = ct.columns.iter().map(|c| c.name.clone()).collect();
                 self.db.create_table(&ct.name, columns);

@@ -19,6 +19,8 @@ pub struct StatsSnapshot {
     pub partitions_scanned: u64,
     /// Partition buckets skipped entirely thanks to `ttid` scope predicates.
     pub partitions_pruned: u64,
+    /// Base-table scans that fanned their buckets out to worker threads.
+    pub parallel_scans: u64,
     /// UDF invocations that executed the function body.
     pub udf_calls: u64,
     /// UDF invocations answered from the immutable-result cache.
@@ -31,6 +33,7 @@ pub struct EngineCounters {
     rows_scanned: AtomicU64,
     partitions_scanned: AtomicU64,
     partitions_pruned: AtomicU64,
+    parallel_scans: AtomicU64,
 }
 
 impl EngineCounters {
@@ -66,11 +69,22 @@ impl EngineCounters {
         self.partitions_pruned.load(Ordering::Relaxed)
     }
 
+    /// Record one scan executed on the parallel fast path.
+    pub fn add_parallel_scan(&self) {
+        self.parallel_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current parallel-scan count.
+    pub fn parallel_scans(&self) -> u64 {
+        self.parallel_scans.load(Ordering::Relaxed)
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.partitions_scanned.store(0, Ordering::Relaxed);
         self.partitions_pruned.store(0, Ordering::Relaxed);
+        self.parallel_scans.store(0, Ordering::Relaxed);
     }
 }
 

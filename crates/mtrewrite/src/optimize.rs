@@ -10,6 +10,7 @@
 
 use mtcatalog::{AggregateKind, Catalog, ConversionClass};
 use mtsql::ast::*;
+use mtsql::visit::collect_aggregate_calls;
 
 use crate::context::{is_constant_expr, match_conversion_call, ConversionCall};
 
@@ -396,14 +397,14 @@ fn try_distribute(query: &Query, catalog: &Catalog) -> Option<Query> {
     let mut aggregates: Vec<FunctionCall> = Vec::new();
     for item in &select.projection {
         if let SelectItem::Expr { expr, .. } = item {
-            collect_aggregates(expr, &mut aggregates);
+            collect_aggregate_calls(expr, &mut aggregates);
         }
     }
     if let Some(h) = &select.having {
-        collect_aggregates(h, &mut aggregates);
+        collect_aggregate_calls(h, &mut aggregates);
     }
     for o in &query.order_by {
-        collect_aggregates(&o.expr, &mut aggregates);
+        collect_aggregate_calls(&o.expr, &mut aggregates);
     }
     if aggregates.is_empty() {
         return None;
@@ -902,38 +903,6 @@ pub fn expr_contains_conversion(expr: &Expr, catalog: &Catalog) -> bool {
                     .is_some_and(|e| expr_contains_conversion(e, catalog))
         }
         _ => false,
-    }
-}
-
-/// Collect aggregate function calls (top-level, not inside sub-queries).
-pub fn collect_aggregates(expr: &Expr, out: &mut Vec<FunctionCall>) {
-    match expr {
-        Expr::Function(f) if f.is_aggregate() && !out.contains(f) => {
-            out.push(f.clone());
-        }
-        Expr::Function(f) => f.args.iter().for_each(|a| collect_aggregates(a, out)),
-        Expr::BinaryOp { left, right, .. } => {
-            collect_aggregates(left, out);
-            collect_aggregates(right, out);
-        }
-        Expr::UnaryOp { expr, .. } => collect_aggregates(expr, out),
-        Expr::Case {
-            operand,
-            when_then,
-            else_expr,
-        } => {
-            if let Some(o) = operand {
-                collect_aggregates(o, out);
-            }
-            for (w, t) in when_then {
-                collect_aggregates(w, out);
-                collect_aggregates(t, out);
-            }
-            if let Some(e) = else_expr {
-                collect_aggregates(e, out);
-            }
-        }
-        _ => {}
     }
 }
 

@@ -16,6 +16,8 @@ pub type TenantId = i64;
 pub enum Statement {
     /// A query (`SELECT ...`).
     Select(Query),
+    /// `EXPLAIN query` — render the physical plan instead of executing.
+    Explain(Query),
     /// `CREATE TABLE` with MTSQL generality / comparability annotations.
     CreateTable(CreateTable),
     /// `CREATE VIEW name AS query`.

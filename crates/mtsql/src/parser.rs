@@ -190,6 +190,10 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Keyword(k) => match k.as_str() {
                 "SELECT" => Ok(Statement::Select(self.parse_query()?)),
+                "EXPLAIN" => {
+                    self.advance();
+                    Ok(Statement::Explain(self.parse_query()?))
+                }
                 "CREATE" => self.parse_create(),
                 "DROP" => self.parse_drop(),
                 "INSERT" => self.parse_insert(),

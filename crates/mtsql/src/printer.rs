@@ -19,6 +19,7 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Select(q) => write!(f, "{q}"),
+            Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
             Statement::CreateTable(ct) => write!(f, "{ct}"),
             Statement::CreateView(cv) => write!(f, "CREATE VIEW {} AS {}", cv.name, cv.query),
             Statement::CreateFunction(cf) => write!(f, "{cf}"),

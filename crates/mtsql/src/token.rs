@@ -181,6 +181,7 @@ pub const KEYWORDS: &[&str] = &[
     "IF",
     "CONCAT",
     "FOR",
+    "EXPLAIN",
 ];
 
 /// Returns `true` when `word` (case-insensitive) is a SQL/MTSQL keyword.

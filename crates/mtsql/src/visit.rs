@@ -107,6 +107,73 @@ pub fn collect_columns(expr: &Expr, out: &mut Vec<ColumnRef>) {
     }
 }
 
+/// Collect the distinct aggregate function calls appearing in an expression.
+/// Aggregates inside sub-queries belong to the sub-query and are *not*
+/// collected.
+pub fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
+    match expr {
+        Expr::Function(f) if f.is_aggregate() => {
+            if !out.contains(f) {
+                out.push(f.clone());
+            }
+        }
+        Expr::Function(f) => f.args.iter().for_each(|a| collect_aggregate_calls(a, out)),
+        Expr::BinaryOp { left, right, .. } => {
+            collect_aggregate_calls(left, out);
+            collect_aggregate_calls(right, out);
+        }
+        Expr::UnaryOp { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_aggregate_calls(o, out);
+            }
+            for (w, t) in when_then {
+                collect_aggregate_calls(w, out);
+                collect_aggregate_calls(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_aggregate_calls(e, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregate_calls(expr, out);
+            list.iter().for_each(|i| collect_aggregate_calls(i, out));
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(low, out);
+            collect_aggregate_calls(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Extract { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(start, out);
+            if let Some(l) = length {
+                collect_aggregate_calls(l, out);
+            }
+        }
+        Expr::Cast { expr, .. } => collect_aggregate_calls(expr, out),
+        // Aggregates inside sub-queries belong to the sub-query.
+        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {}
+        Expr::Column(_) | Expr::Literal(_) => {}
+    }
+}
+
 /// Break a predicate into its top-level `AND` conjuncts.
 pub fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
     match expr {

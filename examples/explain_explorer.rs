@@ -1,0 +1,43 @@
+//! EXPLAIN explorer: print the physical plan MTBase executes for an MTSQL
+//! query at every optimization level — the operator DAG with pushed-down
+//! conjuncts, partition-pruning counts and parallel-scan eligibility.
+//!
+//! Run with `cargo run --example explain_explorer` or pass your own query
+//! (and optionally a scope):
+//!
+//! ```text
+//! cargo run --example explain_explorer -- "SELECT SUM(l_extendedprice) AS s FROM lineitem"
+//! ```
+
+use mtbase::EngineConfig;
+use mth::params::MthConfig;
+use mth::{loader, queries};
+use mtrewrite::OptLevel;
+
+fn main() {
+    let query = std::env::args().nth(1).unwrap_or_else(|| queries::query(6));
+
+    let dep = loader::load(
+        MthConfig {
+            scale: 0.05,
+            tenants: 4,
+            ..MthConfig::default()
+        },
+        EngineConfig::postgres_like().with_parallel_scan(4),
+    );
+
+    let mut conn = dep.server.connect(1);
+    conn.execute("SET SCOPE = \"IN (1, 2)\"")
+        .expect("scope = tenants 1 and 2");
+
+    println!("MTSQL input:\n  {query}\n");
+    for level in OptLevel::ALL {
+        conn.set_opt_level(level);
+        let rs = conn.query(&format!("EXPLAIN {query}")).expect("explain");
+        println!("== {} ==", level.label());
+        for row in &rs.rows {
+            println!("  {}", row[0].as_str().unwrap_or_default());
+        }
+        println!();
+    }
+}

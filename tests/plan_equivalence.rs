@@ -1,0 +1,148 @@
+//! Property tests pinning plan/interpreter equivalence: for randomized MT-H
+//! queries at o1–o4, the plan executor must return row-sets identical to the
+//! same deployment with `parallel_scan` off and with partition pruning
+//! disabled. All three configurations load the *same* generated data, so any
+//! divergence is an executor bug, not a data artifact.
+
+use std::sync::OnceLock;
+
+use mtbase::EngineConfig;
+use mth::gen::{self, GeneratedData};
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{loader, queries, MthDeployment};
+use mtrewrite::OptLevel;
+use proptest::prelude::*;
+
+const TENANTS: i64 = 4;
+/// Fast-running MT-H queries covering scans, joins, grouping, derived tables
+/// and correlated sub-queries.
+const QUERY_POOL: [usize; 8] = [1, 3, 5, 6, 10, 12, 14, 22];
+const LEVELS: [OptLevel; 4] = [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4];
+const SCOPES: [&str; 3] = [
+    "SET SCOPE = \"IN (1)\"",
+    "SET SCOPE = \"IN (1, 3)\"",
+    "SET SCOPE = \"IN (1, 2, 3, 4)\"",
+];
+
+struct Fixtures {
+    /// Plan executor with pruning on and parallel scans enabled.
+    parallel: MthDeployment,
+    /// Same data, serial scans.
+    serial: MthDeployment,
+    /// Same data, partition pruning disabled (full-scan baseline).
+    unpruned: MthDeployment,
+}
+
+fn fixtures() -> &'static Fixtures {
+    static FIXTURES: OnceLock<Fixtures> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        // Scale 2.0 keeps lineitem above the parallel-scan row threshold so
+        // scoped scans actually exercise the fan-out path.
+        let config = MthConfig {
+            scale: 2.0,
+            tenants: TENANTS,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        };
+        let data: GeneratedData = gen::generate(&config);
+        Fixtures {
+            parallel: loader::load_from_data(
+                config,
+                EngineConfig::postgres_like().with_parallel_scan(4),
+                &data,
+            ),
+            serial: loader::load_from_data(config, EngineConfig::postgres_like(), &data),
+            unpruned: loader::load_from_data(
+                config,
+                EngineConfig::postgres_like().without_partition_pruning(),
+                &data,
+            ),
+        }
+    })
+}
+
+fn run(dep: &MthDeployment, scope: &str, query: usize, level: OptLevel) -> mtbase::ResultSet {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(level);
+    conn.execute(scope).expect("scope statement");
+    conn.query(&queries::query(query))
+        .unwrap_or_else(|e| panic!("Q{query} at {level:?} with `{scope}`: {e}"))
+}
+
+proptest! {
+    /// The same randomized (query, level, scope) cell must produce identical
+    /// row-sets with parallel scans, serial scans, and pruning disabled.
+    #[test]
+    fn plan_executor_matches_serial_and_unpruned(
+        q_idx in 0_usize..QUERY_POOL.len(),
+        level_idx in 0_usize..LEVELS.len(),
+        scope_idx in 0_usize..SCOPES.len(),
+    ) {
+        let f = fixtures();
+        let query = QUERY_POOL[q_idx];
+        let level = LEVELS[level_idx];
+        let scope = SCOPES[scope_idx];
+
+        let with_parallel = run(&f.parallel, scope, query, level);
+        let serial = run(&f.serial, scope, query, level);
+        let unpruned = run(&f.unpruned, scope, query, level);
+
+        // The shim's prop_assert_eq! takes no context message; panic output
+        // identifies the failing cell through the stringified expressions.
+        prop_assert_eq!(&with_parallel, &serial);
+        prop_assert_eq!(&serial, &unpruned);
+    }
+}
+
+/// The parallel configuration must actually exercise the parallel scan path
+/// (otherwise the property above would vacuously compare serial to serial).
+#[test]
+fn parallel_path_engages_on_large_scans() {
+    let f = fixtures();
+    let mut conn = f.parallel.server.connect(1);
+    conn.set_opt_level(OptLevel::O2);
+    conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+    conn.query(&queries::query(6)).unwrap();
+    let stats = conn.last_query_stats();
+    assert!(
+        stats.parallel_scans > 0,
+        "expected Q6's lineitem scan to fan out, stats: {stats:?}"
+    );
+
+    // The serial deployment must never report parallel scans.
+    let mut conn = f.serial.server.connect(1);
+    conn.set_opt_level(OptLevel::O2);
+    conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+    conn.query(&queries::query(6)).unwrap();
+    assert_eq!(conn.last_query_stats().parallel_scans, 0);
+}
+
+/// Aggregates that appear only inside HAVING composites (BETWEEN, IS NULL)
+/// must give identical results at every optimization level: either the o3
+/// distribution handles them or it backs off to the undistributed form — it
+/// must never ship a half-distributed query.
+#[test]
+fn having_composite_aggregates_agree_across_levels() {
+    let f = fixtures();
+    let queries = [
+        "SELECT l_returnflag FROM lineitem GROUP BY l_returnflag \
+         HAVING SUM(l_extendedprice) BETWEEN 0 AND 100000000 ORDER BY l_returnflag",
+        "SELECT l_returnflag FROM lineitem GROUP BY l_returnflag \
+         HAVING MAX(l_extendedprice) IS NOT NULL ORDER BY l_returnflag",
+    ];
+    let mut conn = f.serial.server.connect(1);
+    conn.execute("SET SCOPE = \"IN (1, 2)\"").unwrap();
+    for q in queries {
+        let mut previous: Option<mtbase::ResultSet> = None;
+        for level in LEVELS {
+            conn.set_opt_level(level);
+            let rs = conn
+                .query(q)
+                .unwrap_or_else(|e| panic!("{q}\nat {level:?}: {e}"));
+            if let Some(prev) = &previous {
+                assert_eq!(prev, &rs, "{q} differs at {level:?}");
+            }
+            previous = Some(rs);
+        }
+    }
+}
