@@ -1,0 +1,200 @@
+//! Benchmark for the columnar bucket storage (PR 3): compare scans over
+//! columnar buckets (vectorized predicate kernels + late materialization)
+//! against the row-bucket baseline on the same generated data.
+//!
+//! Runs Q1, Q6 and Q22 at the o2 level with scope `D = {1..10}` (all
+//! tenants) on a 10-tenant deployment, once with
+//! `EngineConfig::columnar_scan` (the default) and once on the row layout
+//! (`without_columnar_scan`), and writes wall-clock plus scan-counter
+//! results to `BENCH_pr3.json`.
+//!
+//! The gates are deterministic and always enforced (CI runs them too):
+//!
+//! * results must be byte-identical between the two layouts;
+//! * the columnar run must actually engage the vectorized path
+//!   (`rows_vectorized > 0`) on every query, and the row run must never
+//!   report it;
+//! * both runs must visit the same number of rows (`rows_scanned`).
+//!
+//! The headline metric is the **rows-materialized reduction**: columnar
+//! scans touch only the predicate columns and build full rows for the
+//! qualifying row ids alone (`late_materialized`), so
+//! `rows_scanned / late_materialized` is the fraction of row constructions
+//! the layout avoids. Wall-clock speedup is reported but not gated (it is
+//! host-dependent).
+//!
+//! ```text
+//! cargo run --release -p bench --bin pr3_columnar                # scale 8, 3 runs
+//! cargo run --release -p bench --bin pr3_columnar -- --scale 1.0 --runs 1
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mtbase::EngineConfig;
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{gen, loader, queries, MthDeployment};
+use mtrewrite::OptLevel;
+
+const TENANTS: i64 = 10;
+const QUERIES: [usize; 3] = [1, 6, 22];
+
+struct Cell {
+    seconds: f64,
+    rows_scanned: u64,
+    rows_vectorized: u64,
+    late_materialized: u64,
+    result: mtbase::ResultSet,
+}
+
+fn measure(dep: &MthDeployment, query: usize, runs: usize) -> Cell {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(OptLevel::O2);
+    let ids: Vec<String> = (1..=TENANTS).map(|t| t.to_string()).collect();
+    conn.execute(&format!("SET SCOPE = \"IN ({})\"", ids.join(", ")))
+        .expect("scope");
+    let sql = queries::query(query);
+    let mut best = f64::INFINITY;
+    let mut stats = conn.last_query_stats();
+    let mut result = mtbase::ResultSet::default();
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let rs = conn.query(&sql).unwrap_or_else(|e| panic!("Q{query}: {e}"));
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        stats = conn.last_query_stats();
+        result = rs;
+    }
+    Cell {
+        seconds: best,
+        rows_scanned: stats.rows_scanned,
+        rows_vectorized: stats.rows_vectorized,
+        late_materialized: stats.late_materialized,
+        result,
+    }
+}
+
+fn cell_json(cell: &Cell) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"rows_scanned\": {}, \"rows_vectorized\": {}, \"late_materialized\": {}, \"result_rows\": {}}}",
+        cell.seconds,
+        cell.rows_scanned,
+        cell.rows_vectorized,
+        cell.late_materialized,
+        cell.result.rows.len()
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 8.0_f64;
+    let mut runs = 3usize;
+    let mut out_path = "BENCH_pr3.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale expects a number");
+            }
+            "--runs" => {
+                i += 1;
+                runs = args[i].parse().expect("--runs expects a count");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: pr3_columnar [--scale F] [--runs N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let config = MthConfig {
+        scale,
+        tenants: TENANTS,
+        distribution: TenantDistribution::Uniform,
+        seed: 42,
+    };
+    eprintln!("generating MT-H data (scale {scale}, {TENANTS} tenants) ...");
+    let data = gen::generate(&config);
+    let dep_row = loader::load_from_data(
+        config,
+        EngineConfig::postgres_like().without_columnar_scan(),
+        &data,
+    );
+    let dep_columnar = loader::load_from_data(config, EngineConfig::postgres_like(), &data);
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"benchmark\": \"columnar bucket storage with vectorized predicate evaluation (PR 3)\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"scale\": {scale}, \"tenants\": {TENANTS}, \"scope\": \"IN (1..{TENANTS})\", \"level\": \"o2\", \"runs\": {runs}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"queries\": [").unwrap();
+
+    let mut ok = true;
+    let mut best_reduction = 0.0_f64;
+    for (qi, &query) in QUERIES.iter().enumerate() {
+        eprintln!("measuring Q{query} ...");
+        let row = measure(&dep_row, query, runs);
+        let columnar = measure(&dep_columnar, query, runs);
+        let speedup = row.seconds / columnar.seconds.max(1e-9);
+        let reduction = columnar.rows_scanned as f64 / columnar.late_materialized.max(1) as f64;
+        best_reduction = best_reduction.max(reduction);
+        println!(
+            "Q{query:<2}  row {:>9.6}s   columnar {:>9.6}s   speedup {speedup:.2}x   materialized {} of {} scanned rows ({reduction:.1}x fewer)",
+            row.seconds, columnar.seconds, columnar.late_materialized, columnar.rows_scanned
+        );
+        if row.result != columnar.result {
+            eprintln!("ERROR: Q{query} results differ between row and columnar scans");
+            ok = false;
+        }
+        if columnar.rows_vectorized == 0 {
+            eprintln!("ERROR: Q{query} did not engage the vectorized columnar path");
+            ok = false;
+        }
+        if row.rows_vectorized != 0 {
+            eprintln!("ERROR: Q{query} row-layout run reported vectorized rows");
+            ok = false;
+        }
+        if row.rows_scanned != columnar.rows_scanned {
+            eprintln!("ERROR: Q{query} scan counters differ between row and columnar scans");
+            ok = false;
+        }
+        writeln!(
+            json,
+            "    {{\"query\": {query}, \"row\": {}, \"columnar\": {}, \"speedup\": {speedup:.3}, \"materialization_reduction\": {reduction:.3}, \"identical_results\": {}}}{}",
+            cell_json(&row),
+            cell_json(&columnar),
+            row.result == columnar.result,
+            if qi + 1 == QUERIES.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(
+        json,
+        "  \"best_materialization_reduction\": {best_reduction:.3}"
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, json).expect("write results file");
+    eprintln!("wrote {out_path}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

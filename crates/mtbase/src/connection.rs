@@ -114,6 +114,10 @@ impl Connection {
                 .partitions_pruned
                 .saturating_sub(before.partitions_pruned),
             parallel_scans: after.parallel_scans.saturating_sub(before.parallel_scans),
+            rows_vectorized: after.rows_vectorized.saturating_sub(before.rows_vectorized),
+            late_materialized: after
+                .late_materialized
+                .saturating_sub(before.late_materialized),
             udf_calls: after.udf_calls.saturating_sub(before.udf_calls),
             udf_cache_hits: after.udf_cache_hits.saturating_sub(before.udf_cache_hits),
         };

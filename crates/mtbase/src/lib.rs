@@ -7,6 +7,19 @@
 //! rewrites the statement to plain SQL at a configurable optimization level
 //! and runs it on the engine.
 //!
+//! # Public API
+//!
+//! * [`MtBase`] — the server: catalog + engine + conversion functions.
+//!   Build one with [`MtBase::new`] (takes an [`EngineConfig`] controlling
+//!   UDF caching, partition pruning, parallel and columnar scans) and open
+//!   per-tenant connections with [`MtBase::connect`].
+//! * [`Connection`] — executes MTSQL (`SET SCOPE`, queries, DML, DCL) at a
+//!   per-connection [`OptLevel`];
+//!   [`Connection::last_query_stats`](connection::Connection::last_query_stats)
+//!   reports the engine-counter delta (rows scanned, partitions pruned,
+//!   vectorized rows, UDF calls, ...) of the last statement.
+//! * [`testkit`] — the paper's running example wired up for tests and docs.
+//!
 //! # Example
 //!
 //! ```

@@ -1,4 +1,5 @@
-//! Conjunct analysis shared by the planner and the executor.
+//! Conjunct analysis and compiled scan predicates, shared by the planner and
+//! the executor.
 //!
 //! The WHERE clause of a rewritten query is handled as a pool of top-level
 //! AND conjuncts (split by [`mtsql::visit::split_conjuncts`]). This module
@@ -6,13 +7,23 @@
 //! against which schemas they resolve, which of them form equi-join keys,
 //! which restrict a partition column to a computable key set, and what a
 //! column-free expression folds to without running the executor.
+//!
+//! It also owns the *compiled* predicate forms a scan evaluates per row
+//! ([`CompiledPred`], produced by the executor's predicate compiler) and
+//! their **column kernels**: [`eval_vectorized`] applies one compiled
+//! predicate to a whole [`ColumnBucket`] column at a time, narrowing a
+//! [`Selection`] bitmap, so columnar scans touch only the predicate columns
+//! and materialize full rows for the surviving row ids alone.
 
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use mtsql::ast::{BinaryOperator, ColumnRef, Expr, FunctionCall};
 use mtsql::visit::{collect_aggregate_calls, collect_columns, contains_subquery};
 
 use crate::schema::Schema;
+use crate::table::{ColumnBucket, ColumnVec};
 use crate::value::Value;
 
 /// `true` when every column referenced by `expr` resolves in `schema`.
@@ -247,6 +258,399 @@ pub fn map_columns(expr: &Expr, subst: &mut dyn FnMut(&ColumnRef) -> Option<Expr
     })
 }
 
+// ---------------------------------------------------------------------------
+// Compiled scan predicates
+// ---------------------------------------------------------------------------
+
+/// One conjunct of a scan filter, pre-lowered for per-row evaluation. All
+/// variants except [`CompiledPred::Generic`] are pure value comparisons:
+/// `Send + Sync`, no engine access — the forms parallel scans may evaluate
+/// on worker threads and columnar scans may evaluate as column kernels.
+#[derive(Debug, Clone)]
+pub enum CompiledPred {
+    /// `column <cmp> constant` with a pre-resolved column index.
+    Compare {
+        /// Column index into the scan schema.
+        idx: usize,
+        /// The comparison operator (normalized so the column is on the left).
+        op: BinaryOperator,
+        /// The pre-folded constant operand.
+        value: Value,
+    },
+    /// `column [NOT] IN (constants)`.
+    InSet {
+        /// Column index into the scan schema.
+        idx: usize,
+        /// The pre-folded constant list.
+        values: Vec<Value>,
+        /// `NOT IN` when set.
+        negated: bool,
+    },
+    /// `column [NOT] BETWEEN constant AND constant`.
+    Between {
+        /// Column index into the scan schema.
+        idx: usize,
+        /// Pre-folded lower bound.
+        lo: Value,
+        /// Pre-folded upper bound.
+        hi: Value,
+        /// `NOT BETWEEN` when set.
+        negated: bool,
+    },
+    /// `column [NOT] LIKE 'literal'` with a precompiled pattern.
+    Like {
+        /// Column index into the scan schema.
+        idx: usize,
+        /// The precompiled pattern.
+        pattern: Arc<LikePattern>,
+        /// `NOT LIKE` when set.
+        negated: bool,
+    },
+    /// Any other conjunct, evaluated by the interpreter (no kernel form).
+    Generic(Expr),
+}
+
+impl CompiledPred {
+    /// `true` for the pure pre-compiled forms (everything but `Generic`) —
+    /// the predicates that may run on worker threads and as column kernels.
+    pub fn is_fast(&self) -> bool {
+        !matches!(self, CompiledPred::Generic(_))
+    }
+}
+
+/// Does the operator hold for the given concrete ordering?
+#[inline]
+fn ord_matches(op: BinaryOperator, ord: Ordering) -> bool {
+    match op {
+        BinaryOperator::Eq => ord == Ordering::Equal,
+        BinaryOperator::NotEq => ord != Ordering::Equal,
+        BinaryOperator::Lt => ord == Ordering::Less,
+        BinaryOperator::LtEq => ord != Ordering::Greater,
+        BinaryOperator::Gt => ord == Ordering::Greater,
+        BinaryOperator::GtEq => ord != Ordering::Less,
+        _ => unreachable!("predicate compilation only emits comparisons"),
+    }
+}
+
+/// SQL comparison outcome: an incomparable pair (NULL involved) is false.
+#[inline]
+fn ord_opt_matches(op: BinaryOperator, ord: Option<Ordering>) -> bool {
+    ord.is_some_and(|o| ord_matches(op, o))
+}
+
+/// Evaluate one *fast* compiled predicate against a single value (the value
+/// of the predicate's column in some row). Panics on
+/// [`CompiledPred::Generic`] — callers route those through the interpreter.
+pub fn fast_pred_value(pred: &CompiledPred, v: &Value) -> bool {
+    match pred {
+        CompiledPred::Compare { op, value, .. } => ord_opt_matches(*op, v.compare(value)),
+        CompiledPred::InSet {
+            values, negated, ..
+        } => {
+            if v.is_null() {
+                false
+            } else {
+                let found = values.iter().any(|i| v.sql_eq(i) == Some(true));
+                found != *negated
+            }
+        }
+        CompiledPred::Between {
+            lo, hi, negated, ..
+        } => {
+            // Mirrors the interpreter's `Expr::Between`: a NULL value makes
+            // `inside` false, which `negated` flips — so NULL rows *satisfy*
+            // NOT BETWEEN. This deviates from SQL three-valued logic
+            // (PostgreSQL filters the UNKNOWN row) and is a known engine-wide
+            // quirk; the column kernels reproduce it so the columnar and row
+            // layouts stay result-identical. Fix it in the interpreter first
+            // if it is ever fixed (see ROADMAP).
+            let inside = matches!(v.compare(lo), Some(Ordering::Greater | Ordering::Equal))
+                && matches!(v.compare(hi), Some(Ordering::Less | Ordering::Equal));
+            inside != *negated
+        }
+        CompiledPred::Like {
+            pattern, negated, ..
+        } => match v.as_str() {
+            Some(text) => pattern.matches(text) != *negated,
+            None => false,
+        },
+        CompiledPred::Generic(_) => unreachable!("fast paths only run compiled predicates"),
+    }
+}
+
+/// Evaluate one *fast* compiled predicate against a row.
+pub fn fast_pred_matches(pred: &CompiledPred, row: &[Value]) -> bool {
+    let idx = match pred {
+        CompiledPred::Compare { idx, .. }
+        | CompiledPred::InSet { idx, .. }
+        | CompiledPred::Between { idx, .. }
+        | CompiledPred::Like { idx, .. } => *idx,
+        CompiledPred::Generic(_) => unreachable!("fast paths only run compiled predicates"),
+    };
+    fast_pred_value(pred, &row[idx])
+}
+
+/// `true` when every fast predicate accepts the row (parallel scan workers).
+pub fn fast_filter_matches(filter: &[CompiledPred], row: &[Value]) -> bool {
+    filter.iter().all(|p| fast_pred_matches(p, row))
+}
+
+/// Mirror a comparison operator for swapped operands (`5 < x` ⇒ `x > 5`).
+pub(crate) fn flip_comparison(op: BinaryOperator) -> BinaryOperator {
+    match op {
+        BinaryOperator::Lt => BinaryOperator::Gt,
+        BinaryOperator::LtEq => BinaryOperator::GtEq,
+        BinaryOperator::Gt => BinaryOperator::Lt,
+        BinaryOperator::GtEq => BinaryOperator::LtEq,
+        other => other,
+    }
+}
+
+/// A SQL LIKE pattern (`%` and `_` wildcards) precompiled to its character
+/// sequence, so matching a row does not re-collect the pattern.
+#[derive(Debug, Clone)]
+pub struct LikePattern {
+    chars: Vec<char>,
+}
+
+impl LikePattern {
+    /// Compile a pattern.
+    pub fn new(pattern: &str) -> Self {
+        LikePattern {
+            chars: pattern.chars().collect(),
+        }
+    }
+
+    /// Match a text against the pattern.
+    pub fn matches(&self, text: &str) -> bool {
+        fn rec(t: &[char], p: &[char]) -> bool {
+            if p.is_empty() {
+                return t.is_empty();
+            }
+            match p[0] {
+                '%' => {
+                    // Try consuming 0..=len characters.
+                    (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
+                }
+                '_' => !t.is_empty() && rec(&t[1..], &p[1..]),
+                c => !t.is_empty() && t[0] == c && rec(&t[1..], &p[1..]),
+            }
+        }
+        let t: Vec<char> = text.chars().collect();
+        rec(&t, &self.chars)
+    }
+}
+
+/// SQL LIKE pattern matching with `%` and `_` wildcards (one-shot form; hot
+/// paths precompile via [`LikePattern`]).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    LikePattern::new(pattern).matches(text)
+}
+
+// ---------------------------------------------------------------------------
+// Selection bitmaps and column kernels
+// ---------------------------------------------------------------------------
+
+/// A selection bitmap over the rows of one bucket: bit set ⇒ the row is still
+/// selected. Kernels narrow the selection predicate by predicate; the
+/// surviving row ids are the ones a columnar scan materializes.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Selection {
+    /// A selection with all `len` rows selected.
+    pub fn all(len: usize) -> Self {
+        let mut words = vec![!0u64; len.div_ceil(64)];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Selection { words, len }
+    }
+
+    /// Number of rows the selection ranges over.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the selection ranges over no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of rows still selected.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Keep only the selected rows for which `keep` holds.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if !keep(w * 64 + b) {
+                    *word &= !(1u64 << b);
+                }
+            }
+        }
+    }
+
+    /// Visit every selected row id, in ascending order.
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (w, word) in self.words.iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(w * 64 + b);
+            }
+        }
+    }
+}
+
+/// Apply one fast compiled predicate to a columnar bucket, column-at-a-time,
+/// narrowing `sel` to the rows that satisfy it.
+///
+/// The typed kernels below mirror [`Value::compare`] exactly for their
+/// (column type, constant type) pair; every other combination falls back to a
+/// per-value loop over [`fast_pred_value`] — same code as the row path — so
+/// columnar and row scans are result-identical by construction. NULL slots
+/// follow the row path's semantics: they never satisfy a comparison, IN or
+/// LIKE, but a `NOT BETWEEN` keeps them (the row path computes
+/// `inside = false`, then flips it through `negated`).
+///
+/// Panics on [`CompiledPred::Generic`]; the executor interprets those against
+/// late-materialized rows instead.
+pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Selection) {
+    match pred {
+        CompiledPred::Compare { idx, op, value } => {
+            let col = bucket.column(*idx);
+            let op = *op;
+            match (col.data(), value) {
+                (ColumnVec::Int(xs), Value::Int(k)) => {
+                    let k = *k;
+                    sel.retain(|i| !col.is_null(i) && ord_matches(op, xs[i].cmp(&k)));
+                }
+                (ColumnVec::Int(xs), Value::Float(f)) => {
+                    let f = *f;
+                    sel.retain(|i| {
+                        !col.is_null(i) && ord_opt_matches(op, (xs[i] as f64).partial_cmp(&f))
+                    });
+                }
+                (ColumnVec::Float(xs), Value::Int(k)) => {
+                    let k = *k as f64;
+                    sel.retain(|i| !col.is_null(i) && ord_opt_matches(op, xs[i].partial_cmp(&k)));
+                }
+                (ColumnVec::Float(xs), Value::Float(f)) => {
+                    let f = *f;
+                    sel.retain(|i| !col.is_null(i) && ord_opt_matches(op, xs[i].partial_cmp(&f)));
+                }
+                (ColumnVec::Date(xs), Value::Date(d)) => {
+                    let d = *d;
+                    sel.retain(|i| !col.is_null(i) && ord_matches(op, xs[i].cmp(&d)));
+                }
+                (ColumnVec::Date(xs), Value::Int(k)) => {
+                    let k = *k;
+                    sel.retain(|i| !col.is_null(i) && ord_matches(op, (xs[i] as i64).cmp(&k)));
+                }
+                (ColumnVec::Str(xs), Value::Str(s)) => {
+                    let s: &str = s;
+                    sel.retain(|i| !col.is_null(i) && ord_matches(op, xs[i].as_ref().cmp(s)));
+                }
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
+            }
+        }
+        CompiledPred::Between {
+            idx,
+            lo,
+            hi,
+            negated,
+        } => {
+            let col = bucket.column(*idx);
+            let negated = *negated;
+            // NULL rows mirror the row path: `inside` is false (NULL compares
+            // to nothing), so the row survives exactly when `negated` is set.
+            match (col.data(), lo, hi) {
+                (ColumnVec::Int(xs), Value::Int(lo), Value::Int(hi)) => {
+                    let (lo, hi) = (*lo, *hi);
+                    sel.retain(|i| {
+                        let inside = !col.is_null(i) && xs[i] >= lo && xs[i] <= hi;
+                        inside != negated
+                    });
+                }
+                (ColumnVec::Float(xs), Value::Float(lo), Value::Float(hi)) => {
+                    let (lo, hi) = (*lo, *hi);
+                    sel.retain(|i| {
+                        let inside = !col.is_null(i) && xs[i] >= lo && xs[i] <= hi;
+                        inside != negated
+                    });
+                }
+                (ColumnVec::Date(xs), Value::Date(lo), Value::Date(hi)) => {
+                    let (lo, hi) = (*lo, *hi);
+                    sel.retain(|i| {
+                        let inside = !col.is_null(i) && xs[i] >= lo && xs[i] <= hi;
+                        inside != negated
+                    });
+                }
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
+            }
+        }
+        CompiledPred::InSet {
+            idx,
+            values,
+            negated,
+        } => {
+            let col = bucket.column(*idx);
+            let negated = *negated;
+            match col.data() {
+                ColumnVec::Int(xs) if values.iter().all(|v| matches!(v, Value::Int(_))) => {
+                    let set: Vec<i64> = values
+                        .iter()
+                        .filter_map(|v| match v {
+                            Value::Int(k) => Some(*k),
+                            _ => None,
+                        })
+                        .collect();
+                    sel.retain(|i| !col.is_null(i) && (set.contains(&xs[i]) != negated));
+                }
+                ColumnVec::Str(xs) if values.iter().all(|v| matches!(v, Value::Str(_))) => {
+                    sel.retain(|i| {
+                        if col.is_null(i) {
+                            return false;
+                        }
+                        let found = values
+                            .iter()
+                            .any(|v| matches!(v, Value::Str(s) if s.as_ref() == xs[i].as_ref()));
+                        found != negated
+                    });
+                }
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
+            }
+        }
+        CompiledPred::Like {
+            idx,
+            pattern,
+            negated,
+        } => {
+            let col = bucket.column(*idx);
+            let negated = *negated;
+            match col.data() {
+                ColumnVec::Str(xs) => {
+                    sel.retain(|i| !col.is_null(i) && (pattern.matches(&xs[i]) != negated));
+                }
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
+            }
+        }
+        CompiledPred::Generic(_) => unreachable!("column kernels only run compiled predicates"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +720,105 @@ mod tests {
         let mut cols = Vec::new();
         collect_columns(&mapped, &mut cols);
         assert!(cols.iter().all(|c| c.name == "col"));
+    }
+
+    #[test]
+    fn selection_bitmap_counts_retains_and_iterates() {
+        // Spanning more than one 64-bit word, with a ragged tail.
+        let mut sel = Selection::all(70);
+        assert_eq!(sel.len(), 70);
+        assert_eq!(sel.count(), 70);
+        sel.retain(|i| i % 3 == 0);
+        assert_eq!(sel.count(), 24);
+        let mut seen = Vec::new();
+        sel.for_each(|i| seen.push(i));
+        assert_eq!(seen.first(), Some(&0));
+        assert_eq!(seen.last(), Some(&69));
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "ascending order");
+        // A second retain only ever narrows.
+        sel.retain(|i| i >= 30);
+        assert_eq!(seen.iter().filter(|i| **i >= 30).count(), sel.count());
+        assert!(Selection::all(0).is_empty());
+    }
+
+    /// Every kernel must agree with the row-path evaluation of the same
+    /// predicate over the same values — including NULLs, type promotions
+    /// and the Mixed fallback.
+    #[test]
+    fn vectorized_kernels_match_row_path() {
+        use crate::table::ColumnBucket;
+
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Float(0.05), Value::str("MAIL")],
+            vec![Value::Int(24), Value::Null, Value::str("SHIP")],
+            vec![Value::Null, Value::Float(0.07), Value::str("TRUCK")],
+            vec![Value::Int(-3), Value::Float(0.061), Value::Null],
+            vec![Value::Int(100), Value::Float(-1.0), Value::str("MAILBOX")],
+        ];
+        let mut bucket = ColumnBucket::new(3);
+        for r in &rows {
+            bucket.push_row(r);
+        }
+        let preds = vec![
+            CompiledPred::Compare {
+                idx: 0,
+                op: BinaryOperator::Lt,
+                value: Value::Int(24),
+            },
+            // Int column vs Float constant promotes, like Value::compare.
+            CompiledPred::Compare {
+                idx: 0,
+                op: BinaryOperator::GtEq,
+                value: Value::Float(0.5),
+            },
+            CompiledPred::Between {
+                idx: 1,
+                lo: Value::Float(0.05),
+                hi: Value::Float(0.07),
+                negated: false,
+            },
+            // Typed negated BETWEEN: NULL rows must survive, like the row
+            // path (inside = false, flipped by `negated`).
+            CompiledPred::Between {
+                idx: 1,
+                lo: Value::Float(0.05),
+                hi: Value::Float(0.07),
+                negated: true,
+            },
+            // Mixed-type bounds take the generic fallback.
+            CompiledPred::Between {
+                idx: 1,
+                lo: Value::Int(0),
+                hi: Value::Float(0.065),
+                negated: true,
+            },
+            // Typed negated BETWEEN on the Int column (NULL at row 2).
+            CompiledPred::Between {
+                idx: 0,
+                lo: Value::Int(0),
+                hi: Value::Int(50),
+                negated: true,
+            },
+            CompiledPred::InSet {
+                idx: 2,
+                values: vec![Value::str("MAIL"), Value::str("SHIP")],
+                negated: false,
+            },
+            CompiledPred::Like {
+                idx: 2,
+                pattern: Arc::new(LikePattern::new("MAIL%")),
+                negated: false,
+            },
+        ];
+        for pred in &preds {
+            let mut sel = Selection::all(rows.len());
+            eval_vectorized(pred, &bucket, &mut sel);
+            let mut kernel_hits = Vec::new();
+            sel.for_each(|i| kernel_hits.push(i));
+            let row_hits: Vec<usize> = (0..rows.len())
+                .filter(|&i| fast_pred_matches(pred, &rows[i]))
+                .collect();
+            assert_eq!(kernel_hits, row_hits, "kernel disagrees for {pred:?}");
+        }
     }
 }

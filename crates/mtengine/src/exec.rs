@@ -14,9 +14,13 @@
 //! [`crate::EngineConfig::parallel_scan`] allows and every pushed conjunct
 //! compiled to a fast predicate form — fans the selected buckets out to a
 //! scoped thread pool, merging the per-bucket outputs in bucket order so the
-//! result is bit-identical to a serial scan. Uncorrelated sub-queries are
-//! evaluated once per query and cached; sub-query *plans* are cached even for
-//! correlated sub-queries, which are re-executed per outer row.
+//! result is bit-identical to a serial scan. Buckets stored in the columnar
+//! layout ([`crate::EngineConfig::columnar_scan`]) are scanned *vectorized*:
+//! the compiled predicates run as column kernels over a selection bitmap
+//! (see [`crate::conjuncts::eval_vectorized`]) and only the qualifying row
+//! ids are late-materialized into [`SharedRow`]s. Uncorrelated sub-queries
+//! are evaluated once per query and cached; sub-query *plans* are cached
+//! even for correlated sub-queries, which are re-executed per outer row.
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
@@ -27,13 +31,18 @@ use std::sync::Arc;
 use mtsql::ast::*;
 use mtsql::visit::contains_subquery;
 
-use crate::conjuncts::has_columns;
+use crate::conjuncts::{
+    eval_vectorized, fast_filter_matches, fast_pred_matches, flip_comparison, has_columns,
+    CompiledPred, Selection,
+};
 use crate::error::{err, EngineError, Result};
 use crate::plan::{HashAggregate, Plan, Planner, Project, SeqScan, SortKey};
 use crate::schema::Schema;
-use crate::table::{Row, SharedRow};
+use crate::table::{Bucket, BucketRead, Row, SharedRow};
 use crate::value::{add_months, civil_from_days, parse_date, Value};
 use crate::Engine;
+
+pub use crate::conjuncts::{like_match, LikePattern};
 
 /// Minimum number of selected-bucket rows before a scan fans out to worker
 /// threads; below this the spawn overhead dominates the scan itself.
@@ -60,13 +69,9 @@ pub(crate) fn scan_worker_count(budget: usize, bucket_count: usize, total_rows: 
 /// count (chunk order preserves bucket order). A new chunk opens when adding
 /// the next bucket would push the current chunk past the per-worker target,
 /// so one large bucket behind small ones still lands in its own chunk.
-fn chunk_buckets<'a>(
-    buckets: &[&'a [SharedRow]],
-    threads: usize,
-    total: usize,
-) -> Vec<Vec<&'a [SharedRow]>> {
+fn chunk_buckets<'a>(buckets: &[&'a Bucket], threads: usize, total: usize) -> Vec<Vec<&'a Bucket>> {
     let target = total.div_ceil(threads);
-    let mut chunks: Vec<Vec<&'a [SharedRow]>> = vec![Vec::new()];
+    let mut chunks: Vec<Vec<&'a Bucket>> = vec![Vec::new()];
     let mut filled = 0usize;
     for bucket in buckets {
         if filled > 0 && filled + bucket.len() > target && chunks.len() < threads {
@@ -80,6 +85,67 @@ fn chunk_buckets<'a>(
         filled += bucket.len();
     }
     chunks
+}
+
+/// Per-bucket state of [`Executor::repeated_bucket_rows`]: how many times
+/// the bucket was scanned vectorized, or its once-materialized rows.
+enum BucketScanState {
+    /// Scanned this many times so far, still on the vectorized path.
+    Scanned(u32),
+    /// Materialized on the third scan; shared by every scan after.
+    Rows(Rc<Vec<SharedRow>>),
+}
+
+/// Per-scan accounting fed into the engine counters afterwards.
+#[derive(Debug, Default, Clone, Copy)]
+struct ScanTally {
+    /// Rows visited (row loops) or covered by column kernels.
+    visited: u64,
+    /// Rows whose predicates were evaluated column-at-a-time.
+    vectorized: u64,
+    /// Rows late-materialized from columnar buckets after qualifying.
+    materialized: u64,
+}
+
+impl ScanTally {
+    fn absorb(&mut self, other: ScanTally) {
+        self.visited += other.visited;
+        self.vectorized += other.vectorized;
+        self.materialized += other.materialized;
+    }
+}
+
+/// Scan one bucket with a filter of *fast* predicates only. Pure (no engine
+/// access), so parallel scan workers call it too. Row buckets run the
+/// per-row compiled filter; columnar buckets run the predicates as column
+/// kernels over a selection bitmap and materialize the surviving row ids.
+fn scan_bucket_fast(
+    bucket: &Bucket,
+    filter: &[CompiledPred],
+    out: &mut Vec<SharedRow>,
+) -> ScanTally {
+    let mut tally = ScanTally::default();
+    match bucket {
+        Bucket::Rows(rows) => {
+            tally.visited = rows.len() as u64;
+            for row in rows {
+                if fast_filter_matches(filter, row) {
+                    out.push(SharedRow::clone(row));
+                }
+            }
+        }
+        Bucket::Columnar(cols) => {
+            let mut sel = Selection::all(cols.len());
+            for pred in filter {
+                eval_vectorized(pred, cols, &mut sel);
+            }
+            tally.visited = cols.len() as u64;
+            tally.vectorized = cols.len() as u64;
+            tally.materialized = sel.count() as u64;
+            sel.for_each(|i| out.push(cols.materialize(i)));
+        }
+    }
+    tally
 }
 
 /// A materialized intermediate result. Rows are shared with their producers;
@@ -123,6 +189,15 @@ pub struct Executor<'e> {
     plan_cache: RefCell<HashMap<String, Rc<Plan>>>,
     /// LIKE patterns precompiled once per pattern text instead of once per row.
     like_cache: RefCell<HashMap<String, Arc<LikePattern>>>,
+    /// Columnar buckets this executor has scanned before, keyed by bucket
+    /// address (stable for the executor's lifetime — it borrows the engine).
+    /// Scans of the same bucket are counted; from the third scan on the
+    /// bucket's rows are materialized once and shared, so correlated
+    /// sub-queries that re-scan the same bucket per outer row pay the
+    /// columnar row-construction cost only once while queries scanning a
+    /// bucket once or twice keep the fully vectorized, late-materializing
+    /// path.
+    bucket_row_cache: RefCell<HashMap<usize, BucketScanState>>,
     /// `true` while the executor detected an escape to an outer row during the
     /// currently executing sub-query (conservative correlation detection).
     correlation_witness: Cell<bool>,
@@ -136,7 +211,41 @@ impl<'e> Executor<'e> {
             subquery_cache: RefCell::new(HashMap::new()),
             plan_cache: RefCell::new(HashMap::new()),
             like_cache: RefCell::new(HashMap::new()),
+            bucket_row_cache: RefCell::new(HashMap::new()),
             correlation_witness: Cell::new(false),
+        }
+    }
+
+    /// Materialized rows of a columnar bucket this executor scans
+    /// *repeatedly*. The first two scans return `None` (stay vectorized — a
+    /// query that scans a bucket once or twice with selective filters must
+    /// not pay full materialization); the third scan materializes every row
+    /// once (the returned flag is `true` exactly then, so the caller charges
+    /// those constructions to the `late_materialized` counter); later scans
+    /// reuse the rows for free. Three-or-more scans of one bucket within a
+    /// single query only arise from per-outer-row re-execution of correlated
+    /// sub-queries, where the rescan count dwarfs the one-time build.
+    fn repeated_bucket_rows(
+        &self,
+        cols: &crate::table::ColumnBucket,
+    ) -> Option<(Rc<Vec<SharedRow>>, bool)> {
+        let key = cols as *const crate::table::ColumnBucket as usize;
+        let mut cache = self.bucket_row_cache.borrow_mut();
+        match cache.entry(key).or_insert(BucketScanState::Scanned(0)) {
+            BucketScanState::Rows(rows) => Some((Rc::clone(rows), false)),
+            BucketScanState::Scanned(prior) if *prior < 2 => {
+                *prior += 1;
+                None
+            }
+            slot => {
+                let rows = Rc::new(
+                    (0..cols.len())
+                        .map(|i| cols.materialize(i))
+                        .collect::<Vec<_>>(),
+                );
+                *slot = BucketScanState::Rows(Rc::clone(&rows));
+                Some((rows, true))
+            }
         }
     }
 
@@ -353,13 +462,14 @@ impl<'e> Executor<'e> {
     // ------------------------------------------------------------------
 
     /// Execute one base-table scan: skip partition buckets the plan's pruning
-    /// keys exclude, evaluate the pushed filter per visited row, and share
-    /// (rather than copy) every qualifying row.
+    /// keys exclude, evaluate the pushed filter per visited row (vectorized
+    /// for columnar buckets), and share (rather than copy) every qualifying
+    /// row.
     fn exec_scan(&self, scan: &SeqScan, outer: Option<&Env>) -> Result<Relation> {
         let table = self.engine.database().table(&scan.table)?;
 
         let mut rows: Vec<SharedRow> = Vec::new();
-        let mut visited: u64 = 0;
+        let mut tally = ScanTally::default();
         let mut buckets_scanned: u64 = 0;
         let mut buckets_pruned: u64 = 0;
 
@@ -372,7 +482,7 @@ impl<'e> Executor<'e> {
                 // predicates by construction (the bucket key *is* the ttid
                 // value), so only the residual filter runs per bucketed row.
                 let residual_filter = self.compile_filter(&scan.residual, &scan.schema);
-                let mut selected: Vec<&[SharedRow]> = Vec::new();
+                let mut selected: Vec<&Bucket> = Vec::new();
                 for (key, bucket) in table.partitions() {
                     if keys.contains(&key) {
                         buckets_scanned += 1;
@@ -387,7 +497,7 @@ impl<'e> Executor<'e> {
                     &scan.schema,
                     outer,
                     &mut rows,
-                    &mut visited,
+                    &mut tally,
                 )?;
                 if table.loose_rows().is_empty() {
                     None
@@ -398,29 +508,31 @@ impl<'e> Executor<'e> {
             None => {
                 buckets_scanned = table.partition_count() as u64;
                 let full_filter = self.compile_full_scan_filter(scan);
-                let selected: Vec<&[SharedRow]> = table.partitions().map(|(_, b)| b).collect();
+                let selected: Vec<&Bucket> = table.partitions().map(|(_, b)| b).collect();
                 self.scan_buckets(
                     &selected,
                     &full_filter,
                     &scan.schema,
                     outer,
                     &mut rows,
-                    &mut visited,
+                    &mut tally,
                 )?;
                 Some(full_filter)
             }
         };
         if let Some(full_filter) = &full_filter {
             for row in table.loose_rows() {
-                visited += 1;
+                tally.visited += 1;
                 if self.filter_matches(full_filter, &scan.schema, row, outer)? {
                     rows.push(SharedRow::clone(row));
                 }
             }
         }
 
-        self.engine.note_rows_scanned(visited);
+        self.engine.note_rows_scanned(tally.visited);
         self.engine.note_partitions(buckets_scanned, buckets_pruned);
+        self.engine
+            .note_vectorized(tally.vectorized, tally.materialized);
         Ok(Relation {
             schema: scan.schema.clone(),
             rows,
@@ -431,21 +543,20 @@ impl<'e> Executor<'e> {
     /// parallel path requires every predicate to be in a compiled fast form
     /// (pure value comparisons — no expression evaluation, no engine access)
     /// and merges per-chunk outputs in bucket order, so results and row order
-    /// are identical to the serial scan.
+    /// are identical to the serial scan. Columnar buckets are scanned
+    /// vectorized on either path.
     fn scan_buckets(
         &self,
-        buckets: &[&[SharedRow]],
+        buckets: &[&Bucket],
         filter: &[CompiledPred],
         schema: &Schema,
         outer: Option<&Env>,
         rows: &mut Vec<SharedRow>,
-        visited: &mut u64,
+        tally: &mut ScanTally,
     ) -> Result<()> {
         let total: usize = buckets.iter().map(|b| b.len()).sum();
         let threads = scan_worker_count(self.engine.config().parallel_scan, buckets.len(), total);
-        let fast = filter
-            .iter()
-            .all(|p| !matches!(p, CompiledPred::Generic(_)));
+        let fast = filter.iter().all(CompiledPred::is_fast);
         let chunks = if threads > 1 && fast {
             chunk_buckets(buckets, threads, total)
         } else {
@@ -458,16 +569,11 @@ impl<'e> Executor<'e> {
                     .map(|chunk| {
                         scope.spawn(move || {
                             let mut local: Vec<SharedRow> = Vec::new();
-                            let mut count = 0u64;
+                            let mut tally = ScanTally::default();
                             for bucket in chunk {
-                                for row in *bucket {
-                                    count += 1;
-                                    if fast_filter_matches(filter, row) {
-                                        local.push(SharedRow::clone(row));
-                                    }
-                                }
+                                tally.absorb(scan_bucket_fast(bucket, filter, &mut local));
                             }
-                            (local, count)
+                            (local, tally)
                         })
                     })
                     .collect();
@@ -476,17 +582,143 @@ impl<'e> Executor<'e> {
                     .map(|h| h.join().expect("scan worker panicked"))
                     .collect::<Vec<_>>()
             });
-            for (local, count) in results {
+            for (local, chunk_tally) in results {
                 rows.extend(local);
-                *visited += count;
+                tally.absorb(chunk_tally);
             }
             self.engine.note_parallel_scan();
+        } else if fast {
+            for bucket in buckets {
+                tally.absorb(self.scan_bucket_fast_serial(bucket, filter, rows)?);
+            }
         } else {
             for bucket in buckets {
-                for row in *bucket {
-                    *visited += 1;
+                self.scan_bucket_interpreted(bucket, filter, schema, outer, rows, tally)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serial fast-filter scan of one bucket: like [`scan_bucket_fast`], but
+    /// a columnar bucket this executor scans repeatedly switches to its
+    /// once-materialized row cache (see [`Executor::repeated_bucket_rows`]).
+    fn scan_bucket_fast_serial(
+        &self,
+        bucket: &Bucket,
+        filter: &[CompiledPred],
+        out: &mut Vec<SharedRow>,
+    ) -> Result<ScanTally> {
+        if let Bucket::Columnar(cols) = bucket {
+            if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols) {
+                return self.scan_cached_rows(&cached, freshly_built, filter, None, out);
+            }
+        }
+        Ok(scan_bucket_fast(bucket, filter, out))
+    }
+
+    /// Scan the once-materialized rows of a repeatedly-scanned columnar
+    /// bucket. Conjuncts are evaluated in the same order as the hybrid
+    /// columnar path — fast forms first, interpreted ones after — so a
+    /// query's error/UDF behaviour on the columnar layout does not depend
+    /// on how many times the bucket was rescanned before the cache engaged.
+    fn scan_cached_rows(
+        &self,
+        cached: &[SharedRow],
+        freshly_built: bool,
+        filter: &[CompiledPred],
+        interpreted_env: Option<(&Schema, Option<&Env>)>,
+        out: &mut Vec<SharedRow>,
+    ) -> Result<ScanTally> {
+        let tally = ScanTally {
+            visited: cached.len() as u64,
+            vectorized: 0,
+            materialized: if freshly_built {
+                cached.len() as u64
+            } else {
+                0
+            },
+        };
+        let interpreted: Vec<&CompiledPred> = filter.iter().filter(|p| !p.is_fast()).collect();
+        'rows: for row in cached {
+            for pred in filter.iter().filter(|p| p.is_fast()) {
+                if !fast_pred_matches(pred, row) {
+                    continue 'rows;
+                }
+            }
+            if let Some((schema, outer)) = interpreted_env {
+                for pred in &interpreted {
+                    if !self.filter_matches(std::slice::from_ref(*pred), schema, row, outer)? {
+                        continue 'rows;
+                    }
+                }
+            }
+            out.push(SharedRow::clone(row));
+        }
+        Ok(tally)
+    }
+
+    /// Scan one bucket with a filter containing interpreted
+    /// ([`CompiledPred::Generic`]) conjuncts. Row buckets evaluate the whole
+    /// filter per row; columnar buckets run a *hybrid* scan — the fast
+    /// predicates narrow the selection as column kernels first, and only the
+    /// surviving rows are materialized and checked against the interpreted
+    /// conjuncts. The conjuncts are side-effect-free boolean filters under
+    /// AND, so the reordering cannot change the qualifying row set; what it
+    /// *can* change is error/UDF behaviour — an interpreted conjunct listed
+    /// before a fast one is never evaluated (and thus cannot raise an
+    /// evaluation error or count UDF calls) for rows the fast conjunct
+    /// rejects, whereas the row path evaluates strictly in list order.
+    fn scan_bucket_interpreted(
+        &self,
+        bucket: &Bucket,
+        filter: &[CompiledPred],
+        schema: &Schema,
+        outer: Option<&Env>,
+        rows: &mut Vec<SharedRow>,
+        tally: &mut ScanTally,
+    ) -> Result<()> {
+        match bucket {
+            Bucket::Rows(bucket_rows) => {
+                for row in bucket_rows {
+                    tally.visited += 1;
                     if self.filter_matches(filter, schema, row, outer)? {
                         rows.push(SharedRow::clone(row));
+                    }
+                }
+            }
+            Bucket::Columnar(cols) => {
+                if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols) {
+                    tally.absorb(self.scan_cached_rows(
+                        &cached,
+                        freshly_built,
+                        filter,
+                        Some((schema, outer)),
+                        rows,
+                    )?);
+                    return Ok(());
+                }
+                let mut sel = Selection::all(cols.len());
+                for pred in filter.iter().filter(|p| p.is_fast()) {
+                    eval_vectorized(pred, cols, &mut sel);
+                }
+                tally.visited += cols.len() as u64;
+                tally.vectorized += cols.len() as u64;
+                let interpreted: Vec<&CompiledPred> =
+                    filter.iter().filter(|p| !p.is_fast()).collect();
+                let mut survivors: Vec<usize> = Vec::with_capacity(sel.count());
+                sel.for_each(|i| survivors.push(i));
+                for i in survivors {
+                    let row = cols.materialize(i);
+                    tally.materialized += 1;
+                    let mut ok = true;
+                    for pred in &interpreted {
+                        if !self.filter_matches(std::slice::from_ref(*pred), schema, &row, outer)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        rows.push(row);
                     }
                 }
             }
@@ -502,17 +734,17 @@ impl<'e> Executor<'e> {
         preds
     }
 
-    /// Would this scan's per-bucket filter run on the parallel fast path?
-    /// (Used by the EXPLAIN renderer.)
-    pub(crate) fn scan_parallelizable(&self, scan: &SeqScan) -> bool {
+    /// Does this scan's per-bucket filter compile entirely to fast predicate
+    /// forms? Fast filters run on the parallel fan-out path and — for
+    /// columnar buckets — fully as column kernels. (Used by the EXPLAIN
+    /// renderer.)
+    pub(crate) fn scan_compiles_fast(&self, scan: &SeqScan) -> bool {
         let filter = if scan.prune_keys.is_some() {
             self.compile_filter(&scan.residual, &scan.schema)
         } else {
             self.compile_full_scan_filter(scan)
         };
-        filter
-            .iter()
-            .all(|p| !matches!(p, CompiledPred::Generic(_)))
+        filter.iter().all(CompiledPred::is_fast)
     }
 
     /// Evaluate a column- and sub-query-free expression to a constant. Also
@@ -1489,151 +1721,6 @@ pub(crate) fn cast_value(v: Value, ty: DataType) -> Result<Value> {
     }
 }
 
-/// A SQL LIKE pattern (`%` and `_` wildcards) precompiled to its character
-/// sequence, so matching a row does not re-collect the pattern.
-#[derive(Debug, Clone)]
-pub struct LikePattern {
-    chars: Vec<char>,
-}
-
-impl LikePattern {
-    /// Compile a pattern.
-    pub fn new(pattern: &str) -> Self {
-        LikePattern {
-            chars: pattern.chars().collect(),
-        }
-    }
-
-    /// Match a text against the pattern.
-    pub fn matches(&self, text: &str) -> bool {
-        fn rec(t: &[char], p: &[char]) -> bool {
-            if p.is_empty() {
-                return t.is_empty();
-            }
-            match p[0] {
-                '%' => {
-                    // Try consuming 0..=len characters.
-                    (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
-                }
-                '_' => !t.is_empty() && rec(&t[1..], &p[1..]),
-                c => !t.is_empty() && t[0] == c && rec(&t[1..], &p[1..]),
-            }
-        }
-        let t: Vec<char> = text.chars().collect();
-        rec(&t, &self.chars)
-    }
-}
-
-/// SQL LIKE pattern matching with `%` and `_` wildcards (one-shot form; hot
-/// paths precompile via [`LikePattern`]).
-pub fn like_match(text: &str, pattern: &str) -> bool {
-    LikePattern::new(pattern).matches(text)
-}
-
-/// One conjunct of a scan filter, pre-lowered for per-row evaluation. All
-/// variants except [`CompiledPred::Generic`] are pure value comparisons:
-/// `Send + Sync`, no engine access — the forms parallel scans may evaluate
-/// on worker threads.
-#[derive(Debug, Clone)]
-enum CompiledPred {
-    /// `column <cmp> constant` with a pre-resolved column index.
-    Compare {
-        idx: usize,
-        op: BinaryOperator,
-        value: Value,
-    },
-    /// `column [NOT] IN (constants)`.
-    InSet {
-        idx: usize,
-        values: Vec<Value>,
-        negated: bool,
-    },
-    /// `column [NOT] BETWEEN constant AND constant`.
-    Between {
-        idx: usize,
-        lo: Value,
-        hi: Value,
-        negated: bool,
-    },
-    /// `column [NOT] LIKE 'literal'` with a precompiled pattern.
-    Like {
-        idx: usize,
-        pattern: Arc<LikePattern>,
-        negated: bool,
-    },
-    /// Any other conjunct, evaluated by the interpreter (serial scans only).
-    Generic(Expr),
-}
-
-/// Evaluate one *fast* compiled predicate against a row. Panics on
-/// [`CompiledPred::Generic`] — callers route those through
-/// [`Executor::filter_matches`].
-fn fast_pred_matches(pred: &CompiledPred, row: &[Value]) -> bool {
-    match pred {
-        CompiledPred::Compare { idx, op, value } => match row[*idx].compare(value) {
-            None => false,
-            Some(ord) => match op {
-                BinaryOperator::Eq => ord == Ordering::Equal,
-                BinaryOperator::NotEq => ord != Ordering::Equal,
-                BinaryOperator::Lt => ord == Ordering::Less,
-                BinaryOperator::LtEq => ord != Ordering::Greater,
-                BinaryOperator::Gt => ord == Ordering::Greater,
-                BinaryOperator::GtEq => ord != Ordering::Less,
-                _ => unreachable!("compile_pred only emits comparisons"),
-            },
-        },
-        CompiledPred::InSet {
-            idx,
-            values,
-            negated,
-        } => {
-            let v = &row[*idx];
-            if v.is_null() {
-                false
-            } else {
-                let found = values.iter().any(|i| v.sql_eq(i) == Some(true));
-                found != *negated
-            }
-        }
-        CompiledPred::Between {
-            idx,
-            lo,
-            hi,
-            negated,
-        } => {
-            let v = &row[*idx];
-            let inside = matches!(v.compare(lo), Some(Ordering::Greater | Ordering::Equal))
-                && matches!(v.compare(hi), Some(Ordering::Less | Ordering::Equal));
-            inside != *negated
-        }
-        CompiledPred::Like {
-            idx,
-            pattern,
-            negated,
-        } => match row[*idx].as_str() {
-            Some(text) => pattern.matches(text) != *negated,
-            None => false,
-        },
-        CompiledPred::Generic(_) => unreachable!("parallel scans only run fast predicates"),
-    }
-}
-
-/// `true` when every fast predicate accepts the row (parallel scan workers).
-fn fast_filter_matches(filter: &[CompiledPred], row: &[Value]) -> bool {
-    filter.iter().all(|p| fast_pred_matches(p, row))
-}
-
-/// Mirror a comparison operator for swapped operands (`5 < x` ⇒ `x > 5`).
-fn flip_comparison(op: BinaryOperator) -> BinaryOperator {
-    match op {
-        BinaryOperator::Lt => BinaryOperator::Gt,
-        BinaryOperator::LtEq => BinaryOperator::GtEq,
-        BinaryOperator::Gt => BinaryOperator::Lt,
-        BinaryOperator::GtEq => BinaryOperator::LtEq,
-        other => other,
-    }
-}
-
 fn cross_product(left: &Relation, right: &Relation) -> Relation {
     let schema = left.schema.concat(&right.schema);
     let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
@@ -1713,13 +1800,17 @@ mod tests {
 
     #[test]
     fn chunking_splits_a_large_bucket_off_small_predecessors() {
-        let small: Vec<SharedRow> = (0..100)
-            .map(|i| SharedRow::from(vec![Value::Int(i)]))
-            .collect();
-        let large: Vec<SharedRow> = (0..20_000)
-            .map(|i| SharedRow::from(vec![Value::Int(i)]))
-            .collect();
-        let buckets: Vec<&[SharedRow]> = vec![&small, &large];
+        let small = Bucket::Rows(
+            (0..100)
+                .map(|i| SharedRow::from(vec![Value::Int(i)]))
+                .collect(),
+        );
+        let large = Bucket::Rows(
+            (0..20_000)
+                .map(|i| SharedRow::from(vec![Value::Int(i)]))
+                .collect(),
+        );
+        let buckets: Vec<&Bucket> = vec![&small, &large];
         let chunks = chunk_buckets(&buckets, 2, 20_100);
         assert_eq!(
             chunks.len(),

@@ -11,20 +11,29 @@
 //!
 //! # Storage layout
 //!
-//! Tables hold rows behind reference-counted [`table::SharedRow`] handles
-//! (`Arc<[Value]>`, with strings interned as `Arc<str>`), so relations
-//! flowing through the executor share storage with the base tables instead
-//! of deep-cloning it. A table may declare a **partition column** via
-//! [`Engine::set_table_partition`] — for the MTBase shared-table layout this
-//! is the invisible `ttid` — which buckets rows per tenant:
+//! Tables hand rows out behind reference-counted [`table::SharedRow`]
+//! handles (`Arc<[Value]>`, with strings interned as `Arc<str>`), so
+//! relations flowing through the executor share storage with the base
+//! tables instead of deep-cloning it. A table may declare a **partition
+//! column** via [`Engine::set_table_partition`] — for the MTBase
+//! shared-table layout this is the invisible `ttid` — which buckets rows
+//! per tenant:
 //!
 //! ```text
-//! Table "lineitem" (partition column: ttid)
-//!   bucket ttid=1 → [row, row, ...]      ← scanned when 1 ∈ D
-//!   bucket ttid=2 → [row, row, ...]      ← skipped entirely when 2 ∉ D
+//! Table "lineitem" (partition column: ttid, columnar layout)
+//!   bucket ttid=1 → col₀[i64…] col₁[f64…] col₂[Arc<str>…] … + null bitmaps
+//!   bucket ttid=2 → …                    ← skipped entirely when 2 ∉ D
 //!   ...
-//!   loose rows    → []                   ← non-integer partition keys
+//!   loose rows    → [row, row, ...]      ← non-integer partition keys
 //! ```
+//!
+//! With [`EngineConfig::columnar_scan`] (the default) each bucket stores one
+//! typed [`table::ColumnVec`] array per column plus a null bitmap; scans
+//! evaluate compiled predicates **vectorized**, column-at-a-time over a
+//! selection bitmap ([`conjuncts::eval_vectorized`]), and *late-materialize*
+//! a `SharedRow` only for the qualifying row ids. Disabling the flag keeps
+//! the PR 1 row layout (`Vec<SharedRow>` buckets) as the equivalence
+//! baseline — results must be byte-identical either way.
 //!
 //! Base-table scans evaluate the single-table WHERE conjuncts *during* the
 //! scan (non-qualifying rows are never materialized) and recognise
@@ -53,9 +62,11 @@
 //! [`stats::StatsSnapshot`] exposes `rows_scanned` (rows actually visited,
 //! after pruning), `partitions_scanned` / `partitions_pruned` (bucket
 //! accounting per scan), `parallel_scans` (scans that fanned out to worker
-//! threads) and the UDF call/cache counters. Pruning can be disabled per
-//! engine (`EngineConfig::partition_pruning`) to recover the full-scan
-//! baseline for comparisons; results must be identical either way.
+//! threads), `rows_vectorized` / `late_materialized` (columnar-scan
+//! accounting: rows covered by column kernels vs. rows actually built) and
+//! the UDF call/cache counters. Pruning can be disabled per engine
+//! (`EngineConfig::partition_pruning`) to recover the full-scan baseline
+//! for comparisons; results must be identical either way.
 //!
 //! # Example
 //!
@@ -111,6 +122,18 @@ pub struct EngineConfig {
     /// per-bucket outputs in bucket order, so results are identical to a
     /// serial scan.
     pub parallel_scan: usize,
+    /// Store partition buckets in the columnar layout (typed per-column
+    /// arrays + null bitmaps) and scan them vectorized: compiled predicates
+    /// run as column kernels over a selection bitmap and only qualifying
+    /// rows are late-materialized. Disabling keeps the row layout
+    /// (`Vec<SharedRow>` buckets) — the equivalence baseline; result sets
+    /// are identical either way. One caveat: hybrid columnar scans evaluate
+    /// the compiled conjuncts before interpreted ones regardless of their
+    /// WHERE-clause order, so an interpreted conjunct that would *error*
+    /// (e.g. divide by zero) on a row a compiled conjunct rejects is never
+    /// evaluated — such a query can fail on the row layout and succeed on
+    /// the columnar one.
+    pub columnar_scan: bool,
 }
 
 impl Default for EngineConfig {
@@ -119,6 +142,7 @@ impl Default for EngineConfig {
             cache_immutable_udfs: true,
             partition_pruning: true,
             parallel_scan: 1,
+            columnar_scan: true,
         }
     }
 }
@@ -149,6 +173,14 @@ impl EngineConfig {
     /// Set the parallel-scan worker budget (builder-style).
     pub fn with_parallel_scan(mut self, threads: usize) -> Self {
         self.parallel_scan = threads;
+        self
+    }
+
+    /// Disable the columnar bucket layout (builder-style): partition buckets
+    /// keep the row layout, the baseline the columnar path is verified
+    /// against.
+    pub fn without_columnar_scan(mut self) -> Self {
+        self.columnar_scan = false;
         self
     }
 }
@@ -230,13 +262,16 @@ impl Engine {
 
     /// Create (or replace) a table with the given column names.
     pub fn create_table(&mut self, name: &str, columns: &[&str]) {
-        self.db
-            .create_table(name, columns.iter().map(|c| c.to_string()).collect());
+        self.create_table_owned(name, columns.iter().map(|c| c.to_string()).collect());
     }
 
-    /// Create (or replace) a table with owned column names.
+    /// Create (or replace) a table with owned column names. The bucket
+    /// layout follows [`EngineConfig::columnar_scan`].
     pub fn create_table_owned(&mut self, name: &str, columns: Vec<String>) {
         self.db.create_table(name, columns);
+        if let Ok(table) = self.db.table_mut(name) {
+            table.set_columnar(self.config.columnar_scan);
+        }
     }
 
     /// Declare the partition column of a table (typically the invisible
@@ -275,6 +310,13 @@ impl Engine {
         self.counters.add_parallel_scan();
     }
 
+    /// Note one scan's vectorized-evaluation accounting.
+    pub(crate) fn note_vectorized(&self, rows: u64, materialized: u64) {
+        if rows > 0 || materialized > 0 {
+            self.counters.add_vectorized(rows, materialized);
+        }
+    }
+
     /// Snapshot the execution statistics.
     pub fn stats(&self) -> StatsSnapshot {
         let udf = self.udfs.stats();
@@ -283,6 +325,8 @@ impl Engine {
             partitions_scanned: self.counters.partitions_scanned(),
             partitions_pruned: self.counters.partitions_pruned(),
             parallel_scans: self.counters.parallel_scans(),
+            rows_vectorized: self.counters.rows_vectorized(),
+            late_materialized: self.counters.late_materialized(),
             udf_calls: udf.calls,
             udf_cache_hits: udf.cache_hits,
         }
@@ -335,7 +379,7 @@ impl Engine {
             Statement::Explain(q) => self.explain_query(q),
             Statement::CreateTable(ct) => {
                 let columns: Vec<String> = ct.columns.iter().map(|c| c.name.clone()).collect();
-                self.db.create_table(&ct.name, columns);
+                self.create_table_owned(&ct.name, columns);
                 Ok(ResultSet::default())
             }
             Statement::CreateView(cv) => {
@@ -397,7 +441,7 @@ impl Engine {
                     for row in table.rows() {
                         let env = Env {
                             schema: &schema,
-                            row,
+                            row: &row,
                             parent: None,
                         };
                         let matches = match &selection {
@@ -417,7 +461,7 @@ impl Engine {
                             }
                             new_rows.push((true, new_row.into()));
                         } else {
-                            new_rows.push((false, table::SharedRow::clone(row)));
+                            new_rows.push((false, row));
                         }
                     }
                 }
@@ -450,7 +494,7 @@ impl Engine {
                     for row in table.rows() {
                         let env = Env {
                             schema: &schema,
-                            row,
+                            row: &row,
                             parent: None,
                         };
                         let matches = match &selection {
@@ -460,7 +504,7 @@ impl Engine {
                         if matches {
                             removed += 1;
                         } else {
-                            keep.push(table::SharedRow::clone(row));
+                            keep.push(row);
                         }
                     }
                 }
@@ -544,8 +588,10 @@ impl Engine {
         Ok(out)
     }
 
-    /// Load a pre-built table wholesale (used by the MT-H generator).
-    pub fn load_table(&mut self, table: Table) {
+    /// Load a pre-built table wholesale (used by the MT-H generator). The
+    /// bucket layout is re-encoded to follow [`EngineConfig::columnar_scan`].
+    pub fn load_table(&mut self, mut table: Table) {
+        table.set_columnar(self.config.columnar_scan);
         self.db.insert_table(table);
     }
 }

@@ -931,10 +931,7 @@ fn render(engine: &Engine, plan: &Plan, depth: usize, out: &mut String) {
             match (&scan.prune_keys, engine.database().table(&scan.table)) {
                 (Some(keys), Ok(table)) => {
                     let total = table.partition_count();
-                    let selected = keys
-                        .iter()
-                        .filter(|k| !table.partition(**k).is_empty())
-                        .count();
+                    let selected = keys.iter().filter(|k| table.partition_len(**k) > 0).count();
                     notes.push(format!(
                         "prune: {} -> {}/{} partitions ({} pruned)",
                         join_exprs(&scan.pruning),
@@ -952,9 +949,23 @@ fn render(engine: &Engine, plan: &Plan, depth: usize, out: &mut String) {
                 }
                 (None, _) => {}
             }
+            // `vectorized` marks scans over columnar buckets: predicates run
+            // as column kernels, rows late-materialize. A hybrid scan runs
+            // the compiled conjuncts vectorized and interprets the rest on
+            // the surviving rows.
+            let compiles_fast = Executor::new(engine).scan_compiles_fast(scan);
+            if let Ok(table) = engine.database().table(&scan.table) {
+                if table.is_columnar() && table.partition_count() > 0 {
+                    if compiles_fast {
+                        notes.push("vectorized".to_string());
+                    } else {
+                        notes.push("vectorized: hybrid (interpreted conjunct)".to_string());
+                    }
+                }
+            }
             let budget = engine.config().parallel_scan;
             if budget > 1 {
-                if !Executor::new(engine).scan_parallelizable(scan) {
+                if !compiles_fast {
                     notes.push("parallel: serial fallback (interpreted filter)".to_string());
                 } else if let Ok(table) = engine.database().table(&scan.table) {
                     // Mirror the executor's live sizing decision so EXPLAIN

@@ -21,6 +21,16 @@ pub struct StatsSnapshot {
     pub partitions_pruned: u64,
     /// Base-table scans that fanned their buckets out to worker threads.
     pub parallel_scans: u64,
+    /// Rows whose scan predicates were evaluated column-at-a-time by the
+    /// vectorized kernels (columnar buckets only).
+    pub rows_vectorized: u64,
+    /// Rows built into `SharedRow`s from columnar buckets: rows that
+    /// qualified a vectorized scan, plus the one-time full-bucket builds of
+    /// the repeated-scan row cache. Rows a selective scan filtered out
+    /// column-at-a-time were never built at all — `rows_scanned /
+    /// late_materialized` is the materialization reduction the `pr3`
+    /// bench reports.
+    pub late_materialized: u64,
     /// UDF invocations that executed the function body.
     pub udf_calls: u64,
     /// UDF invocations answered from the immutable-result cache.
@@ -34,6 +44,8 @@ pub struct EngineCounters {
     partitions_scanned: AtomicU64,
     partitions_pruned: AtomicU64,
     parallel_scans: AtomicU64,
+    rows_vectorized: AtomicU64,
+    late_materialized: AtomicU64,
 }
 
 impl EngineCounters {
@@ -79,12 +91,32 @@ impl EngineCounters {
         self.parallel_scans.load(Ordering::Relaxed)
     }
 
+    /// Record one scan's vectorized-evaluation accounting: rows covered by
+    /// column kernels and rows late-materialized after qualifying.
+    pub fn add_vectorized(&self, rows: u64, materialized: u64) {
+        self.rows_vectorized.fetch_add(rows, Ordering::Relaxed);
+        self.late_materialized
+            .fetch_add(materialized, Ordering::Relaxed);
+    }
+
+    /// Current vectorized-row count.
+    pub fn rows_vectorized(&self) -> u64 {
+        self.rows_vectorized.load(Ordering::Relaxed)
+    }
+
+    /// Current late-materialized row count.
+    pub fn late_materialized(&self) -> u64 {
+        self.late_materialized.load(Ordering::Relaxed)
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.partitions_scanned.store(0, Ordering::Relaxed);
         self.partitions_pruned.store(0, Ordering::Relaxed);
         self.parallel_scans.store(0, Ordering::Relaxed);
+        self.rows_vectorized.store(0, Ordering::Relaxed);
+        self.late_materialized.store(0, Ordering::Relaxed);
     }
 }
 

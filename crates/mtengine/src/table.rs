@@ -1,11 +1,30 @@
-//! In-memory row storage: tables, views and the database holding them.
+//! In-memory storage: tables, views and the database holding them.
 //!
-//! Tables store rows behind [`SharedRow`] (`Arc<[Value]>`) handles so that
-//! scans hand out reference-counted pointers instead of deep copies. A table
-//! may additionally declare a *partition column* (the invisible `ttid` of the
+//! Tables hand rows out behind [`SharedRow`] (`Arc<[Value]>`) handles so that
+//! scans share reference-counted pointers instead of deep copies. A table may
+//! additionally declare a *partition column* (the invisible `ttid` of the
 //! MTBase shared-table layout): rows are then bucketed by that column's
 //! integer value, and the executor can skip entire foreign-tenant buckets
 //! when the query carries a `ttid = k` / `ttid IN (...)` scope predicate.
+//!
+//! # Bucket layouts
+//!
+//! Each partition bucket stores its rows in one of two physical layouts,
+//! chosen per table by [`Table::set_columnar`]:
+//!
+//! * **Row buckets** (`Bucket::Rows`) — a `Vec<SharedRow>`; every row already
+//!   exists as an `Arc<[Value]>` and scans clone pointers. This is the
+//!   equivalence baseline (`EngineConfig::columnar_scan = false`).
+//! * **Columnar buckets** (`Bucket::Columnar`) — one typed [`ColumnVec`]
+//!   array per column (`i64` / `f64` / `Arc<str>` / `bool` / date days) plus
+//!   a null bitmap. Scans evaluate compiled predicates column-at-a-time over
+//!   a selection bitmap and *late-materialize* a `SharedRow` only for the
+//!   qualifying row ids.
+//!
+//! Both layouts are read through the [`BucketRead`] trait, so operators that
+//! do not care about the layout (DML, generic filters) stay layout-agnostic.
+//! Loose rows (non-integer partition keys, unpartitioned tables) always use
+//! the row layout.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -21,8 +40,319 @@ pub type Row = Vec<Value>;
 /// An immutable, reference-counted stored row. Cloning is a pointer bump.
 pub type SharedRow = Arc<[Value]>;
 
+// ---------------------------------------------------------------------------
+// Columnar bucket storage
+// ---------------------------------------------------------------------------
+
+/// One typed column array of a [`ColumnBucket`].
+///
+/// The variant is decided by the first non-null value stored; a later value
+/// of a different runtime type demotes the column to [`ColumnVec::Mixed`]
+/// (never produced by the MT-H workloads, but kept correct regardless).
+/// NULL slots hold a type-default placeholder; the authoritative null
+/// information lives in the owning [`Column`]'s bitmap.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    /// No non-null value seen yet; the column length is tracked by the null
+    /// bitmap alone.
+    Untyped,
+    /// `Value::Int` payloads.
+    Int(Vec<i64>),
+    /// `Value::Float` payloads.
+    Float(Vec<f64>),
+    /// `Value::Bool` payloads.
+    Bool(Vec<bool>),
+    /// `Value::Date` payloads (days since the epoch).
+    Date(Vec<i32>),
+    /// `Value::Str` payloads (interned, cloning is a pointer bump).
+    Str(Vec<Arc<str>>),
+    /// Mixed-type fallback storing the values directly.
+    Mixed(Vec<Value>),
+}
+
+/// One column of a [`ColumnBucket`]: the typed array plus a null bitmap
+/// (bit set ⇒ the slot is SQL NULL).
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnVec,
+    nulls: Vec<u64>,
+}
+
+impl Column {
+    fn new() -> Self {
+        Column {
+            data: ColumnVec::Untyped,
+            nulls: Vec::new(),
+        }
+    }
+
+    /// Append `value` as row `row` (callers push rows in order, so `row` is
+    /// also the column length before the push).
+    fn push(&mut self, value: &Value, row: usize) {
+        if row.is_multiple_of(64) {
+            self.nulls.push(0);
+        }
+        if value.is_null() {
+            self.nulls[row / 64] |= 1 << (row % 64);
+            match &mut self.data {
+                ColumnVec::Untyped => {}
+                ColumnVec::Int(xs) => xs.push(0),
+                ColumnVec::Float(xs) => xs.push(0.0),
+                ColumnVec::Bool(xs) => xs.push(false),
+                ColumnVec::Date(xs) => xs.push(0),
+                // Any placeholder works (the null bit masks it); reuse an
+                // existing Arc so a NULL costs a pointer bump, not an alloc.
+                ColumnVec::Str(xs) => {
+                    let placeholder = xs.first().cloned().unwrap_or_else(|| Arc::from(""));
+                    xs.push(placeholder);
+                }
+                ColumnVec::Mixed(xs) => xs.push(Value::Null),
+            }
+            return;
+        }
+        if matches!(self.data, ColumnVec::Untyped) {
+            // First non-null value: adopt its type, backfilling placeholders
+            // for the `row` null slots that preceded it.
+            self.data = match value {
+                Value::Int(_) => ColumnVec::Int(vec![0; row]),
+                Value::Float(_) => ColumnVec::Float(vec![0.0; row]),
+                Value::Bool(_) => ColumnVec::Bool(vec![false; row]),
+                Value::Date(_) => ColumnVec::Date(vec![0; row]),
+                Value::Str(_) => ColumnVec::Str(vec![Arc::from(""); row]),
+                Value::Null => unreachable!("null handled above"),
+            };
+        }
+        match (&mut self.data, value) {
+            (ColumnVec::Int(xs), Value::Int(x)) => xs.push(*x),
+            (ColumnVec::Float(xs), Value::Float(x)) => xs.push(*x),
+            (ColumnVec::Bool(xs), Value::Bool(x)) => xs.push(*x),
+            (ColumnVec::Date(xs), Value::Date(x)) => xs.push(*x),
+            (ColumnVec::Str(xs), Value::Str(x)) => xs.push(Arc::clone(x)),
+            (ColumnVec::Mixed(xs), v) => xs.push(v.clone()),
+            // Type mismatch: demote to the mixed layout and retry.
+            (_, v) => {
+                self.demote_to_mixed(row);
+                let ColumnVec::Mixed(xs) = &mut self.data else {
+                    unreachable!("demote_to_mixed installs Mixed");
+                };
+                xs.push(v.clone());
+            }
+        }
+    }
+
+    /// Rebuild the first `len` slots as a [`ColumnVec::Mixed`] array.
+    fn demote_to_mixed(&mut self, len: usize) {
+        let values: Vec<Value> = (0..len).map(|i| self.value(i)).collect();
+        self.data = ColumnVec::Mixed(values);
+    }
+
+    /// Is row `row` NULL in this column?
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        (self.nulls[row / 64] >> (row % 64)) & 1 == 1
+    }
+
+    /// The value at `row` (owned; cheap — strings are `Arc`-interned).
+    pub fn value(&self, row: usize) -> Value {
+        if self.is_null(row) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnVec::Untyped => Value::Null,
+            ColumnVec::Int(xs) => Value::Int(xs[row]),
+            ColumnVec::Float(xs) => Value::Float(xs[row]),
+            ColumnVec::Bool(xs) => Value::Bool(xs[row]),
+            ColumnVec::Date(xs) => Value::Date(xs[row]),
+            ColumnVec::Str(xs) => Value::Str(Arc::clone(&xs[row])),
+            ColumnVec::Mixed(xs) => xs[row].clone(),
+        }
+    }
+
+    /// The typed array behind this column (kernel input).
+    pub fn data(&self) -> &ColumnVec {
+        &self.data
+    }
+}
+
+/// A partition bucket in the columnar layout: one [`Column`] per table
+/// column, all of the same length.
+#[derive(Debug, Clone)]
+pub struct ColumnBucket {
+    len: usize,
+    columns: Vec<Column>,
+}
+
+impl ColumnBucket {
+    /// An empty bucket with `width` columns.
+    pub fn new(width: usize) -> Self {
+        ColumnBucket {
+            len: 0,
+            columns: (0..width).map(|_| Column::new()).collect(),
+        }
+    }
+
+    /// Append one row (arity is the caller's responsibility).
+    pub fn push_row(&mut self, row: &[Value]) {
+        for (column, value) in self.columns.iter_mut().zip(row) {
+            column.push(value, self.len);
+        }
+        self.len += 1;
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bucket holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One column by index.
+    pub fn column(&self, col: usize) -> &Column {
+        &self.columns[col]
+    }
+}
+
+/// Read access to one bucket's rows, independent of the physical layout.
+/// Implemented by row slices and by [`ColumnBucket`], so scan fallbacks and
+/// DML stay layout-agnostic. All implementations are pure reads
+/// (`Send + Sync` data), which is what lets parallel scan workers share them.
+pub trait BucketRead: Sync {
+    /// Number of rows in the bucket.
+    fn row_count(&self) -> usize;
+
+    /// The value at (`row`, `col`), owned (cheap: `Arc` bump for strings).
+    fn value(&self, row: usize, col: usize) -> Value;
+
+    /// The full row as a [`SharedRow`]. Row buckets clone the existing
+    /// pointer; columnar buckets build the row (*late materialization*).
+    fn materialize(&self, row: usize) -> SharedRow;
+}
+
+impl BucketRead for Vec<SharedRow> {
+    fn row_count(&self) -> usize {
+        self.len()
+    }
+
+    fn value(&self, row: usize, col: usize) -> Value {
+        self[row][col].clone()
+    }
+
+    fn materialize(&self, row: usize) -> SharedRow {
+        SharedRow::clone(&self[row])
+    }
+}
+
+impl BucketRead for ColumnBucket {
+    fn row_count(&self) -> usize {
+        self.len
+    }
+
+    fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    fn materialize(&self, row: usize) -> SharedRow {
+        self.columns
+            .iter()
+            .map(|c| c.value(row))
+            .collect::<Vec<_>>()
+            .into()
+    }
+}
+
+/// One partition bucket, in either physical layout.
+#[derive(Debug, Clone)]
+pub enum Bucket {
+    /// Row layout: every row pre-materialized as a [`SharedRow`].
+    Rows(Vec<SharedRow>),
+    /// Columnar layout: typed per-column arrays, rows materialized on demand.
+    Columnar(ColumnBucket),
+}
+
+impl Bucket {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Bucket::Rows(rows) => rows.len(),
+            Bucket::Columnar(cols) => cols.len(),
+        }
+    }
+
+    /// `true` when the bucket holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Layout-agnostic read access.
+    pub fn reader(&self) -> &dyn BucketRead {
+        match self {
+            Bucket::Rows(rows) => rows,
+            Bucket::Columnar(cols) => cols,
+        }
+    }
+
+    /// The columnar form, when this bucket uses it.
+    pub fn as_columns(&self) -> Option<&ColumnBucket> {
+        match self {
+            Bucket::Columnar(cols) => Some(cols),
+            Bucket::Rows(_) => None,
+        }
+    }
+
+    /// The row form, when this bucket uses it.
+    pub fn as_rows(&self) -> Option<&[SharedRow]> {
+        match self {
+            Bucket::Rows(rows) => Some(rows),
+            Bucket::Columnar(_) => None,
+        }
+    }
+
+    fn push(&mut self, row: SharedRow) {
+        match self {
+            Bucket::Rows(rows) => rows.push(row),
+            Bucket::Columnar(cols) => cols.push_row(&row),
+        }
+    }
+
+    /// Iterate over the bucket's rows as [`SharedRow`]s (materializing for
+    /// columnar buckets).
+    pub fn iter_rows(&self) -> BucketRows<'_> {
+        BucketRows {
+            bucket: self.reader(),
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over a bucket's rows as [`SharedRow`]s (see [`Bucket::iter_rows`]).
+pub struct BucketRows<'a> {
+    bucket: &'a dyn BucketRead,
+    next: usize,
+}
+
+impl Iterator for BucketRows<'_> {
+    type Item = SharedRow;
+
+    fn next(&mut self) -> Option<SharedRow> {
+        if self.next >= self.bucket.row_count() {
+            return None;
+        }
+        let row = self.bucket.materialize(self.next);
+        self.next += 1;
+        Some(row)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
 /// An in-memory table: named columns plus rows, optionally bucketed by a
-/// partition column.
+/// partition column, with per-bucket storage in either the row or the
+/// columnar layout (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     /// Table name as registered.
@@ -31,21 +361,24 @@ pub struct Table {
     pub columns: Vec<String>,
     /// Index of the partition column, when declared.
     partition_col: Option<usize>,
+    /// Store partition buckets in the columnar layout?
+    columnar: bool,
     /// Rows bucketed by partition-key value (partitioned tables only).
-    buckets: BTreeMap<i64, Vec<SharedRow>>,
+    buckets: BTreeMap<i64, Bucket>,
     /// Rows of unpartitioned tables, plus rows of partitioned tables whose
     /// partition key is not an integer (never produced by the MT layout, but
-    /// kept correct regardless).
+    /// kept correct regardless). Always row layout.
     loose: Vec<SharedRow>,
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty table (row layout).
     pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
         Table {
             name: name.into(),
             columns,
             partition_col: None,
+            columnar: false,
             buckets: BTreeMap::new(),
             loose: Vec::new(),
         }
@@ -79,6 +412,24 @@ impl Table {
         true
     }
 
+    /// Switch the partition buckets between the row and the columnar layout,
+    /// re-encoding any existing rows. Loose rows always stay in row form.
+    pub fn set_columnar(&mut self, columnar: bool) {
+        if columnar == self.columnar {
+            return;
+        }
+        let rows = self.take_rows();
+        self.columnar = columnar;
+        for row in rows {
+            self.push_shared(row);
+        }
+    }
+
+    /// Do the partition buckets use the columnar layout?
+    pub fn is_columnar(&self) -> bool {
+        self.columnar
+    }
+
     /// The declared partition column index, if any.
     pub fn partition_column(&self) -> Option<usize> {
         self.partition_col
@@ -89,14 +440,19 @@ impl Table {
         self.buckets.len()
     }
 
-    /// The rows of one partition bucket (empty slice for absent keys).
-    pub fn partition(&self, key: i64) -> &[SharedRow] {
-        self.buckets.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    /// One partition bucket by key.
+    pub fn partition(&self, key: i64) -> Option<&Bucket> {
+        self.buckets.get(&key)
     }
 
-    /// Iterate over `(key, rows)` of every partition bucket, in key order.
-    pub fn partitions(&self) -> impl Iterator<Item = (i64, &[SharedRow])> {
-        self.buckets.iter().map(|(k, v)| (*k, v.as_slice()))
+    /// Number of rows in one partition bucket (0 for absent keys).
+    pub fn partition_len(&self, key: i64) -> usize {
+        self.buckets.get(&key).map_or(0, Bucket::len)
+    }
+
+    /// Iterate over `(key, bucket)` of every partition bucket, in key order.
+    pub fn partitions(&self) -> impl Iterator<Item = (i64, &Bucket)> {
+        self.buckets.iter().map(|(k, v)| (*k, v))
     }
 
     /// Rows that are not held in any partition bucket.
@@ -125,7 +481,18 @@ impl Table {
             Some(idx) => match row.get(idx) {
                 Some(Value::Int(key)) => {
                     let key = *key;
-                    self.buckets.entry(key).or_default().push(row);
+                    let width = self.columns.len();
+                    let columnar = self.columnar;
+                    self.buckets
+                        .entry(key)
+                        .or_insert_with(|| {
+                            if columnar {
+                                Bucket::Columnar(ColumnBucket::new(width))
+                            } else {
+                                Bucket::Rows(Vec::new())
+                            }
+                        })
+                        .push(row);
                 }
                 _ => self.loose.push(row),
             },
@@ -133,20 +500,24 @@ impl Table {
         }
     }
 
-    /// Iterate over all rows: partition buckets in key order, then loose rows.
-    pub fn rows(&self) -> impl Iterator<Item = &SharedRow> {
+    /// Iterate over all rows: partition buckets in key order, then loose
+    /// rows. Rows from columnar buckets are materialized on the fly.
+    pub fn rows(&self) -> impl Iterator<Item = SharedRow> + '_ {
         self.buckets
             .values()
-            .flat_map(|b| b.iter())
-            .chain(self.loose.iter())
+            .flat_map(Bucket::iter_rows)
+            .chain(self.loose.iter().cloned())
     }
 
     /// Remove and return every row, leaving the table empty (used by DML that
-    /// rewrites the row set; re-inserting re-buckets).
+    /// rewrites the row set; re-inserting re-buckets and re-encodes).
     pub fn take_rows(&mut self) -> Vec<SharedRow> {
         let mut out: Vec<SharedRow> = Vec::with_capacity(self.len());
         for bucket in std::mem::take(&mut self.buckets).into_values() {
-            out.extend(bucket);
+            match bucket {
+                Bucket::Rows(rows) => out.extend(rows),
+                Bucket::Columnar(cols) => out.extend((0..cols.len()).map(|i| cols.materialize(i))),
+            }
         }
         out.append(&mut self.loose);
         out
@@ -154,12 +525,12 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.buckets.values().map(Vec::len).sum::<usize>() + self.loose.len()
+        self.buckets.values().map(Bucket::len).sum::<usize>() + self.loose.len()
     }
 
     /// `true` when the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.loose.is_empty() && self.buckets.values().all(Vec::is_empty)
+        self.loose.is_empty() && self.buckets.values().all(Bucket::is_empty)
     }
 }
 
@@ -295,9 +666,9 @@ mod tests {
             t.push_row(tenant_row(tenant, v)).unwrap();
         }
         assert_eq!(t.partition_count(), 3);
-        assert_eq!(t.partition(1).len(), 2);
-        assert_eq!(t.partition(2).len(), 1);
-        assert_eq!(t.partition(99).len(), 0);
+        assert_eq!(t.partition_len(1), 2);
+        assert_eq!(t.partition_len(2), 1);
+        assert_eq!(t.partition_len(99), 0);
         assert_eq!(t.len(), 4);
         assert!(t.loose_rows().is_empty());
     }
@@ -324,7 +695,7 @@ mod tests {
         t.push_row(vec![Value::str("odd"), Value::Int(1)]).unwrap();
         t.push_row(tenant_row(1, 10)).unwrap();
         assert_eq!(t.loose_rows().len(), 1);
-        assert_eq!(t.partition(1).len(), 1);
+        assert_eq!(t.partition_len(1), 1);
         assert_eq!(t.len(), 2);
     }
 
@@ -345,5 +716,81 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!(t.is_empty());
         assert_eq!(t.partition_count(), 0);
+    }
+
+    fn columnar_table() -> Table {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into(), "s".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.set_columnar(true);
+        t
+    }
+
+    #[test]
+    fn columnar_roundtrip_preserves_rows_and_order() {
+        let mut t = columnar_table();
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::Int(10), Value::str("a")],
+            vec![Value::Int(2), Value::Float(0.5), Value::str("b")],
+            vec![Value::Int(1), Value::Int(11), Value::Null],
+        ];
+        for r in rows.clone() {
+            t.push_row(r).unwrap();
+        }
+        assert!(t.is_columnar());
+        assert!(matches!(t.partition(1), Some(Bucket::Columnar(_))));
+        let bucket1 = t.partition(1).unwrap();
+        assert_eq!(bucket1.len(), 2);
+        assert_eq!(bucket1.reader().materialize(1).as_ref(), rows[2].as_slice());
+        // The full-row iterator materializes in bucket order.
+        let all: Vec<Vec<Value>> = t.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(all, vec![rows[0].clone(), rows[2].clone(), rows[1].clone()]);
+    }
+
+    #[test]
+    fn columnar_mixed_type_column_demotes_without_losing_values() {
+        let mut t = columnar_table();
+        t.push_row(vec![Value::Int(1), Value::Int(10), Value::str("a")])
+            .unwrap();
+        // `v` flips from Int to Str: the column demotes to Mixed.
+        t.push_row(vec![Value::Int(1), Value::str("oops"), Value::str("b")])
+            .unwrap();
+        let bucket = t.partition(1).unwrap().as_columns().unwrap();
+        assert!(matches!(bucket.column(1).data(), ColumnVec::Mixed(_)));
+        assert_eq!(bucket.value(0, 1), Value::Int(10));
+        assert_eq!(bucket.value(1, 1), Value::str("oops"));
+    }
+
+    #[test]
+    fn columnar_nulls_before_first_typed_value_are_backfilled() {
+        let mut t = columnar_table();
+        t.push_row(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        t.push_row(vec![Value::Int(1), Value::Int(7), Value::str("x")])
+            .unwrap();
+        let bucket = t.partition(1).unwrap().as_columns().unwrap();
+        assert!(bucket.column(1).is_null(0));
+        assert!(!bucket.column(1).is_null(1));
+        assert_eq!(bucket.value(0, 1), Value::Null);
+        assert_eq!(bucket.value(1, 1), Value::Int(7));
+        assert_eq!(bucket.value(0, 2), Value::Null);
+        assert_eq!(bucket.value(1, 2), Value::str("x"));
+    }
+
+    #[test]
+    fn set_columnar_re_encodes_existing_buckets_both_ways() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        t.set_partition_column(Some("ttid"));
+        for (tenant, v) in [(1, 10), (2, 20), (1, 11)] {
+            t.push_row(tenant_row(tenant, v)).unwrap();
+        }
+        let before: Vec<Vec<Value>> = t.rows().map(|r| r.to_vec()).collect();
+        t.set_columnar(true);
+        assert!(matches!(t.partition(1), Some(Bucket::Columnar(_))));
+        let columnar: Vec<Vec<Value>> = t.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(before, columnar);
+        t.set_columnar(false);
+        assert!(matches!(t.partition(1), Some(Bucket::Rows(_))));
+        let back: Vec<Vec<Value>> = t.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(before, back);
     }
 }

@@ -1,8 +1,8 @@
-//! Property tests pinning plan/interpreter equivalence: for randomized MT-H
-//! queries at o1–o4, the plan executor must return row-sets identical to the
-//! same deployment with `parallel_scan` off and with partition pruning
-//! disabled. All three configurations load the *same* generated data, so any
-//! divergence is an executor bug, not a data artifact.
+//! Property tests pinning executor equivalence across storage and scan
+//! configurations: for randomized MT-H queries at o1–o4, the {columnar, row}
+//! × {parallel, serial, unpruned} cross of engine configurations must return
+//! identical row-sets. All six configurations load the *same* generated
+//! data, so any divergence is an executor bug, not a data artifact.
 
 use std::sync::OnceLock;
 
@@ -25,12 +25,18 @@ const SCOPES: [&str; 3] = [
 ];
 
 struct Fixtures {
-    /// Plan executor with pruning on and parallel scans enabled.
+    /// Columnar buckets (the default layout), pruning on, parallel scans.
     parallel: MthDeployment,
-    /// Same data, serial scans.
+    /// Columnar buckets, serial scans.
     serial: MthDeployment,
-    /// Same data, partition pruning disabled (full-scan baseline).
+    /// Columnar buckets, partition pruning disabled (full-scan baseline).
     unpruned: MthDeployment,
+    /// Row buckets, pruning on, parallel scans.
+    row_parallel: MthDeployment,
+    /// Row buckets, serial scans — the PR 1/PR 2 storage baseline.
+    row_serial: MthDeployment,
+    /// Row buckets, partition pruning disabled.
+    row_unpruned: MthDeployment,
 }
 
 fn fixtures() -> &'static Fixtures {
@@ -45,17 +51,21 @@ fn fixtures() -> &'static Fixtures {
             seed: 42,
         };
         let data: GeneratedData = gen::generate(&config);
+        let load = |engine_config| loader::load_from_data(config, engine_config, &data);
         Fixtures {
-            parallel: loader::load_from_data(
-                config,
-                EngineConfig::postgres_like().with_parallel_scan(4),
-                &data,
+            parallel: load(EngineConfig::postgres_like().with_parallel_scan(4)),
+            serial: load(EngineConfig::postgres_like()),
+            unpruned: load(EngineConfig::postgres_like().without_partition_pruning()),
+            row_parallel: load(
+                EngineConfig::postgres_like()
+                    .with_parallel_scan(4)
+                    .without_columnar_scan(),
             ),
-            serial: loader::load_from_data(config, EngineConfig::postgres_like(), &data),
-            unpruned: loader::load_from_data(
-                config,
-                EngineConfig::postgres_like().without_partition_pruning(),
-                &data,
+            row_serial: load(EngineConfig::postgres_like().without_columnar_scan()),
+            row_unpruned: load(
+                EngineConfig::postgres_like()
+                    .without_partition_pruning()
+                    .without_columnar_scan(),
             ),
         }
     })
@@ -71,9 +81,10 @@ fn run(dep: &MthDeployment, scope: &str, query: usize, level: OptLevel) -> mtbas
 
 proptest! {
     /// The same randomized (query, level, scope) cell must produce identical
-    /// row-sets with parallel scans, serial scans, and pruning disabled.
+    /// row-sets across the full {columnar, row} × {parallel, serial,
+    /// unpruned} configuration cross.
     #[test]
-    fn plan_executor_matches_serial_and_unpruned(
+    fn plan_executor_matches_across_storage_and_scan_configs(
         q_idx in 0_usize..QUERY_POOL.len(),
         level_idx in 0_usize..LEVELS.len(),
         scope_idx in 0_usize..SCOPES.len(),
@@ -83,15 +94,49 @@ proptest! {
         let level = LEVELS[level_idx];
         let scope = SCOPES[scope_idx];
 
-        let with_parallel = run(&f.parallel, scope, query, level);
-        let serial = run(&f.serial, scope, query, level);
-        let unpruned = run(&f.unpruned, scope, query, level);
+        let columnar_parallel = run(&f.parallel, scope, query, level);
+        let columnar_serial = run(&f.serial, scope, query, level);
+        let columnar_unpruned = run(&f.unpruned, scope, query, level);
+        let row_parallel = run(&f.row_parallel, scope, query, level);
+        let row_serial = run(&f.row_serial, scope, query, level);
+        let row_unpruned = run(&f.row_unpruned, scope, query, level);
 
         // The shim's prop_assert_eq! takes no context message; panic output
         // identifies the failing cell through the stringified expressions.
-        prop_assert_eq!(&with_parallel, &serial);
-        prop_assert_eq!(&serial, &unpruned);
+        prop_assert_eq!(&columnar_parallel, &columnar_serial);
+        prop_assert_eq!(&columnar_serial, &columnar_unpruned);
+        prop_assert_eq!(&columnar_serial, &row_serial);
+        prop_assert_eq!(&row_parallel, &row_serial);
+        prop_assert_eq!(&row_serial, &row_unpruned);
     }
+}
+
+/// The columnar configurations must actually exercise the vectorized scan
+/// path, and the row configurations must never report it.
+#[test]
+fn vectorized_path_engages_on_columnar_deployments() {
+    let f = fixtures();
+    let mut conn = f.serial.server.connect(1);
+    conn.set_opt_level(OptLevel::O2);
+    conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+    conn.query(&queries::query(6)).unwrap();
+    let stats = conn.last_query_stats();
+    assert!(
+        stats.rows_vectorized > 0,
+        "expected Q6's lineitem scan to run vectorized, stats: {stats:?}"
+    );
+    assert!(
+        stats.late_materialized < stats.rows_vectorized,
+        "Q6's selective filter must late-materialize a strict subset, stats: {stats:?}"
+    );
+
+    let mut conn = f.row_serial.server.connect(1);
+    conn.set_opt_level(OptLevel::O2);
+    conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+    conn.query(&queries::query(6)).unwrap();
+    let stats = conn.last_query_stats();
+    assert_eq!(stats.rows_vectorized, 0, "row buckets must not vectorize");
+    assert_eq!(stats.late_materialized, 0);
 }
 
 /// The parallel configuration must actually exercise the parallel scan path

@@ -25,6 +25,22 @@ fn deployment() -> MthDeployment {
     )
 }
 
+/// The same deployment with the columnar bucket layout disabled (the row
+/// storage baseline).
+fn row_deployment() -> MthDeployment {
+    loader::load(
+        MthConfig {
+            scale: 0.05,
+            tenants: 4,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        },
+        EngineConfig::postgres_like()
+            .with_parallel_scan(4)
+            .without_columnar_scan(),
+    )
+}
+
 fn explain(dep: &MthDeployment, query: usize, level: OptLevel) -> String {
     let mut conn = dep.server.connect(1);
     conn.set_opt_level(level);
@@ -69,6 +85,27 @@ fn golden_explain_snapshots() {
             check_golden(&format!("explain_q{query}_{label}.txt"), &text);
         }
     }
+}
+
+/// Scans over columnar buckets are marked `vectorized` in EXPLAIN; the same
+/// query on the row-layout baseline must not be. The row-baseline plan is
+/// pinned as its own golden snapshot.
+#[test]
+fn explain_marks_columnar_scans_vectorized() {
+    let dep = deployment();
+    let text = explain(&dep, 6, OptLevel::O2);
+    assert!(
+        text.contains("SeqScan lineitem") && text.contains("vectorized"),
+        "columnar lineitem scan not marked vectorized:\n{text}"
+    );
+
+    let row_dep = row_deployment();
+    let row_text = explain(&row_dep, 6, OptLevel::O2);
+    assert!(
+        !row_text.contains("vectorized"),
+        "row-layout scan must not claim vectorized execution:\n{row_text}"
+    );
+    check_golden("explain_q6_o2_row.txt", &row_text);
 }
 
 /// At o4 every conversion-heavy query wraps its scans in the `mt_partials`
