@@ -1,0 +1,340 @@
+//! Benchmark for the session API v2 (PR 4): prepared statements with plan
+//! caching, and streaming cursors.
+//!
+//! Two measurements, written to `BENCH_pr4.json`:
+//!
+//! 1. **Prepared re-execute vs one-shot vs cold.** Q1, Q6 and Q22 are
+//!    executed `--iters` times per client C ∈ {1, 2} (the full 10-tenant
+//!    scope) through three front-ends: *cold* (the plan cache is cleared
+//!    before every call, so each execution pays the full parse, scope
+//!    resolution, rewrite and planning cost — the pre-PR-4 behaviour),
+//!    *one-shot* (`Connection::query`, which shares the plan cache, so
+//!    this column measures the remaining per-call cost of parsing,
+//!    normalizing, D' resolution and the key lookup), and *prepared*
+//!    (`prepare` once, `execute` per call). A parameterized Q6 re-binds a
+//!    different `l_quantity` bound per iteration to show that rebinding
+//!    never replans.
+//! 2. **Cursor vs materialized peak residency.** A pipeline-able lineitem
+//!    scan is drained through a `Cursor` (batch 1024) and compared to the
+//!    fully materialized `execute` result.
+//!
+//! Deterministic gates (always enforced, CI runs them):
+//!
+//! * prepared results are byte-identical to one-shot results;
+//! * the plan cache actually engages: every re-execution after the first is
+//!   a `prepared_cache_hits` increment, zero further misses;
+//! * the parameterized statement returns the same rows as the one-shot with
+//!   the value inlined as a literal, for every binding;
+//! * the cursor streams (`is_streaming`), returns exactly the materialized
+//!   rows, and its peak resident row count never exceeds the batch size.
+//!
+//! Wall-clock speedups are reported, not gated (host-dependent).
+//!
+//! ```text
+//! cargo run --release -p bench --bin pr4_prepared                 # scale 2, 20 iters
+//! cargo run --release -p bench --bin pr4_prepared -- --scale 0.2 --iters 5
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mtbase::{EngineConfig, Value};
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{gen, loader, queries, MthDeployment};
+use mtrewrite::OptLevel;
+
+const TENANTS: i64 = 10;
+const QUERIES: [usize; 3] = [1, 6, 22];
+const CLIENTS: [i64; 2] = [1, 2];
+const CURSOR_BATCH: usize = 1024;
+
+fn scope_sql() -> String {
+    let ids: Vec<String> = (1..=TENANTS).map(|t| t.to_string()).collect();
+    format!("SET SCOPE = \"IN ({})\"", ids.join(", "))
+}
+
+struct PreparedCell {
+    uncached_seconds: f64,
+    one_shot_seconds: f64,
+    prepared_seconds: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    result_rows: usize,
+    identical: bool,
+}
+
+/// Measure one (query, client) cell: `iters` executions of the same SQL
+/// through three front-ends — cold (plan cache cleared before every call:
+/// the full per-statement parse + rewrite + plan cost this PR amortizes),
+/// one-shot (`Connection::query`, which shares the plan cache), and
+/// prepared (`prepare` once, `execute` per call) — gating on identical
+/// results and on cache-hit engagement for the prepared run.
+fn measure_prepared(dep: &MthDeployment, client: i64, query: usize, iters: usize) -> PreparedCell {
+    let sql = queries::query(query);
+    let mut conn = dep.server.connect(client);
+    conn.set_opt_level(OptLevel::O2);
+    conn.execute(&scope_sql()).expect("scope");
+
+    // Cold front-end loop: every call re-parses, re-resolves, re-rewrites
+    // and re-plans — the pre-PR-4 per-statement cost.
+    let mut uncached = mtbase::ResultSet::default();
+    let start = Instant::now();
+    for _ in 0..iters {
+        dep.server.clear_plan_cache();
+        uncached = conn.query(&sql).unwrap_or_else(|e| panic!("Q{query}: {e}"));
+    }
+    let uncached_seconds = start.elapsed().as_secs_f64();
+
+    // One-shot loop (parse + D' + cache lookup per call).
+    let mut one_shot = mtbase::ResultSet::default();
+    let start = Instant::now();
+    for _ in 0..iters {
+        one_shot = conn.query(&sql).unwrap_or_else(|e| panic!("Q{query}: {e}"));
+    }
+    let one_shot_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(uncached, one_shot, "Q{query}: cache changed the result");
+
+    // Prepared loop (parse once; front-end from the plan cache).
+    let mut stmt = conn.prepare(&sql).expect("prepare");
+    let before = dep.server.stats();
+    let mut prepared = mtbase::ResultSet::default();
+    let start = Instant::now();
+    for _ in 0..iters {
+        prepared = stmt.execute().unwrap_or_else(|e| panic!("Q{query}: {e}"));
+    }
+    let prepared_seconds = start.elapsed().as_secs_f64();
+    let delta = dep.server.stats().delta_from(&before);
+
+    PreparedCell {
+        uncached_seconds,
+        one_shot_seconds,
+        prepared_seconds,
+        cache_hits: delta.prepared_cache_hits,
+        cache_misses: delta.prepared_cache_misses,
+        result_rows: prepared.rows.len(),
+        identical: prepared == one_shot,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 2.0_f64;
+    let mut iters = 20usize;
+    let mut out_path = "BENCH_pr4.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale expects a number");
+            }
+            "--iters" => {
+                i += 1;
+                iters = args[i]
+                    .parse::<usize>()
+                    .expect("--iters expects a count")
+                    .max(2);
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: pr4_prepared [--scale F] [--iters N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let config = MthConfig {
+        scale,
+        tenants: TENANTS,
+        distribution: TenantDistribution::Uniform,
+        seed: 42,
+    };
+    eprintln!("generating MT-H data (scale {scale}, {TENANTS} tenants) ...");
+    let data = gen::generate(&config);
+    let dep = loader::load_from_data(config, EngineConfig::postgres_like(), &data);
+    // The loader grants read-all only to the default benchmark client.
+    for c in CLIENTS {
+        dep.server.grant_read_all(c);
+    }
+
+    let mut ok = true;
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"benchmark\": \"prepared statements with plan caching and streaming cursors (PR 4)\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"scale\": {scale}, \"tenants\": {TENANTS}, \"scope\": \"IN (1..{TENANTS})\", \"level\": \"o2\", \"iters\": {iters}, \"clients\": [1, 2]}},"
+    )
+    .unwrap();
+
+    // ------------------------------------------------------------------
+    // 1. Prepared re-execute vs one-shot, per query × client.
+    // ------------------------------------------------------------------
+    writeln!(json, "  \"prepared\": [").unwrap();
+    let mut cells: Vec<String> = Vec::new();
+    for &query in &QUERIES {
+        for &client in &CLIENTS {
+            eprintln!("measuring Q{query} as client {client} ...");
+            let cell = measure_prepared(&dep, client, query, iters);
+            let speedup = cell.one_shot_seconds / cell.prepared_seconds.max(1e-9);
+            let amortized = cell.uncached_seconds / cell.prepared_seconds.max(1e-9);
+            println!(
+                "Q{query:<2} C={client}  cold {:>9.6}s   one-shot {:>9.6}s   prepared {:>9.6}s   amortized {amortized:.2}x   hits {}/{} executions",
+                cell.uncached_seconds, cell.one_shot_seconds, cell.prepared_seconds, cell.cache_hits, iters
+            );
+            if !cell.identical {
+                eprintln!("ERROR: Q{query} C={client} prepared result differs from one-shot");
+                ok = false;
+            }
+            if cell.cache_hits < (iters as u64 - 1) || cell.cache_misses > 1 {
+                eprintln!(
+                    "ERROR: Q{query} C={client} plan cache did not engage (hits {}, misses {})",
+                    cell.cache_hits, cell.cache_misses
+                );
+                ok = false;
+            }
+            cells.push(format!(
+                "    {{\"query\": {query}, \"client\": {client}, \"uncached_seconds\": {:.6}, \"one_shot_seconds\": {:.6}, \"prepared_seconds\": {:.6}, \"speedup_vs_one_shot\": {speedup:.3}, \"speedup_vs_uncached\": {amortized:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \"result_rows\": {}, \"identical_results\": {}}}",
+                cell.uncached_seconds,
+                cell.one_shot_seconds,
+                cell.prepared_seconds,
+                cell.cache_hits,
+                cell.cache_misses,
+                cell.result_rows,
+                cell.identical
+            ));
+        }
+    }
+    writeln!(json, "{}", cells.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+
+    // ------------------------------------------------------------------
+    // 2. Parameterized Q6: rebind per iteration, never replan.
+    // ------------------------------------------------------------------
+    {
+        eprintln!("measuring parameterized Q6 rebinds ...");
+        let template = "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+             WHERE l_shipdate >= DATE '1994-01-01' \
+             AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR \
+             AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < ?";
+        let mut conn = dep.server.connect(1);
+        conn.set_opt_level(OptLevel::O2);
+        conn.execute(&scope_sql()).expect("scope");
+        let mut stmt = conn.prepare(template).expect("prepare Q6 template");
+        let bounds = [11i64, 24, 35, 48];
+        let before = dep.server.stats();
+        let mut identical = true;
+        for (i, &bound) in bounds.iter().cycle().take(iters).enumerate() {
+            let prepared = stmt
+                .execute_with(&[Value::Int(bound)])
+                .expect("parameterized Q6");
+            if i < bounds.len() {
+                let inlined = conn
+                    .query(&template.replace('?', &bound.to_string()))
+                    .expect("inlined Q6");
+                identical &= prepared == inlined;
+            }
+        }
+        let delta = dep.server.stats().delta_from(&before);
+        // First execution plans; every rebind after it must hit. The
+        // interleaved one-shot checks add their own lookups, so gate the
+        // prepared misses only.
+        let rebind_ok = delta.prepared_cache_misses <= 1 + bounds.len() as u64;
+        if !identical {
+            eprintln!("ERROR: parameterized Q6 differs from inlined literals");
+            ok = false;
+        }
+        if !rebind_ok {
+            eprintln!(
+                "ERROR: rebinding replanned (misses {})",
+                delta.prepared_cache_misses
+            );
+            ok = false;
+        }
+        println!(
+            "Q6 rebind x{iters}: cache hits {}, misses {} (inlined-literal results identical: {identical})",
+            delta.prepared_cache_hits, delta.prepared_cache_misses
+        );
+        writeln!(
+            json,
+            "  \"rebind_q6\": {{\"iters\": {iters}, \"cache_hits\": {}, \"cache_misses\": {}, \"identical_results\": {identical}}},",
+            delta.prepared_cache_hits, delta.prepared_cache_misses
+        )
+        .unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Cursor streaming vs materialized execution.
+    // ------------------------------------------------------------------
+    {
+        eprintln!("measuring cursor residency ...");
+        let sql = "SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity < 30";
+        let mut conn = dep.server.connect(1);
+        conn.set_opt_level(OptLevel::O2);
+        conn.execute(&scope_sql()).expect("scope");
+        let mut stmt = conn.prepare(sql).expect("prepare scan");
+
+        let start = Instant::now();
+        let materialized = stmt.execute().expect("materialized scan");
+        let materialized_seconds = start.elapsed().as_secs_f64();
+
+        let mut cursor = stmt.cursor_with_batch(CURSOR_BATCH).expect("cursor");
+        let start = Instant::now();
+        let mut streamed_rows = 0usize;
+        let mut identical = true;
+        let mut offset = 0usize;
+        while let Some(batch) = cursor.next_batch().expect("fetch") {
+            identical &= materialized.rows[offset..offset + batch.len()] == batch[..];
+            offset += batch.len();
+            streamed_rows += batch.len();
+        }
+        let cursor_seconds = start.elapsed().as_secs_f64();
+        identical &= streamed_rows == materialized.rows.len();
+
+        let streaming = cursor.is_streaming();
+        let peak = cursor.peak_resident_rows();
+        if !identical {
+            eprintln!("ERROR: cursor rows differ from materialized execution");
+            ok = false;
+        }
+        if !streaming {
+            eprintln!("ERROR: pipeline-able scan did not stream");
+            ok = false;
+        }
+        if peak > CURSOR_BATCH {
+            eprintln!("ERROR: cursor held {peak} rows resident (batch {CURSOR_BATCH})");
+            ok = false;
+        }
+        let reduction = materialized.rows.len() as f64 / peak.max(1) as f64;
+        println!(
+            "cursor: {} result rows, peak resident {} ({}x fewer than materialized), streamed in {:.6}s vs {:.6}s materialized",
+            materialized.rows.len(),
+            peak,
+            reduction as u64,
+            cursor_seconds,
+            materialized_seconds
+        );
+        writeln!(
+            json,
+            "  \"cursor\": {{\"query\": \"{sql}\", \"batch_rows\": {CURSOR_BATCH}, \"result_rows\": {}, \"peak_resident_rows\": {peak}, \"residency_reduction\": {reduction:.1}, \"materialized_seconds\": {materialized_seconds:.6}, \"cursor_seconds\": {cursor_seconds:.6}, \"streaming\": {streaming}, \"identical_results\": {identical}}}",
+            materialized.rows.len()
+        )
+        .unwrap();
+    }
+
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, json).expect("write results file");
+    eprintln!("wrote {out_path}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -11,20 +11,37 @@ use mtsql::ast::{
     Comparability, Expr, GrantObject, Grantee, Insert, InsertSource, Query, ScopeSpec, Select,
     SelectItem, Statement, TableRef,
 };
+use parking_lot::RwLock;
 
 use crate::error::{MtError, Result};
 use crate::server::{unsupported, MtBase};
+
+/// Mutable per-connection session state, shared between the connection and
+/// the prepared [`crate::prepared::Statement`]s it hands out — so a
+/// `SET SCOPE` or opt-level change on the connection is observed by every
+/// statement prepared from it (the statement's next execution resolves a
+/// different effective dataset and misses the plan cache, i.e. replans).
+pub(crate) struct Session {
+    pub(crate) scope: ScopeSpec,
+    pub(crate) level: Option<OptLevel>,
+}
 
 /// A client connection to MTBase.
 ///
 /// The client tenant `C` is fixed at connect time (derived from the
 /// connection string in the paper); the dataset `D` is controlled with
 /// `SET SCOPE = "..."` and defaults to `{C}`.
+///
+/// Repeated statements should use the prepared API —
+/// [`Connection::prepare`] → [`crate::Statement::bind`] →
+/// `execute`/`cursor` — which parses once and serves the scope-resolution /
+/// rewrite / planning front-end from the server's plan cache on every
+/// re-execution. [`Connection::execute`] and [`Connection::query`] remain as
+/// thin one-shot wrappers over the same cached front-end.
 pub struct Connection {
     server: Arc<MtBase>,
     client: TenantId,
-    scope: ScopeSpec,
-    level: Option<OptLevel>,
+    session: Arc<RwLock<Session>>,
     /// Engine-counter delta recorded around the last executed statement.
     last_stats: StatsSnapshot,
 }
@@ -34,8 +51,10 @@ impl Connection {
         Connection {
             server,
             client,
-            scope: ScopeSpec::Simple(vec![client]),
-            level: None,
+            session: Arc::new(RwLock::new(Session {
+                scope: ScopeSpec::Simple(vec![client]),
+                level: None,
+            })),
             last_stats: StatsSnapshot::default(),
         }
     }
@@ -46,18 +65,21 @@ impl Connection {
     }
 
     /// The current scope specification.
-    pub fn scope(&self) -> &ScopeSpec {
-        &self.scope
+    pub fn scope(&self) -> ScopeSpec {
+        self.session.read().scope.clone()
     }
 
     /// Override the optimization level for this connection (defaults to the
-    /// server-wide level).
+    /// server-wide level). Prepared statements pick the change up on their
+    /// next execution.
     pub fn set_opt_level(&mut self, level: OptLevel) {
-        self.level = Some(level);
+        self.session.write().level = Some(level);
     }
 
     fn opt_level(&self) -> OptLevel {
-        self.level
+        self.session
+            .read()
+            .level
             .unwrap_or_else(|| self.server.default_opt_level())
     }
 
@@ -80,6 +102,29 @@ impl Connection {
         self.execute(sql)
     }
 
+    /// Prepare an MTSQL query for repeated execution: parse it once, count
+    /// its `?` / `$n` parameter placeholders, and return a
+    /// [`crate::Statement`] whose `bind` → `execute`/`cursor` lifecycle
+    /// serves the scope-resolution / rewrite / planning front-end from the
+    /// server's plan cache (see the crate docs for the full lifecycle).
+    pub fn prepare(&self, sql: &str) -> Result<crate::Statement> {
+        let stmt = mtsql::parse_statement(sql)?;
+        let query = match stmt {
+            Statement::Select(q) => q,
+            _ => {
+                return Err(unsupported(
+                    "prepare expects a SELECT statement (DDL/DML execute one-shot)",
+                ))
+            }
+        };
+        Ok(crate::Statement::new(
+            Arc::clone(&self.server),
+            self.client,
+            Arc::clone(&self.session),
+            query,
+        ))
+    }
+
     /// Rewrite a query without executing it (useful to inspect what MTBase
     /// sends to the DBMS).
     pub fn rewrite_only(&mut self, sql: &str) -> Result<Query> {
@@ -91,7 +136,9 @@ impl Connection {
     /// (scope ∩ read privileges on the referenced tables), then apply the
     /// MT-to-SQL rewrite at this connection's optimization level.
     fn rewrite(&self, query: &Query) -> Result<Query> {
-        let dataset = self.effective_dataset(&Statement::Select(query.clone()))?;
+        let dataset = self
+            .server
+            .effective_dataset_for_query(self.client, &self.scope(), query)?;
         let catalog = self.server.catalog.read();
         let rewriter =
             Rewriter::with_inline_registry(&catalog, self.server.inline_registry.read().clone());
@@ -103,31 +150,14 @@ impl Connection {
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ResultSet> {
         let before = self.server.stats();
         let result = self.execute_statement_inner(stmt);
-        let after = self.server.stats();
-        // Saturating: a concurrent `reset_stats` may move counters backwards.
-        self.last_stats = StatsSnapshot {
-            rows_scanned: after.rows_scanned.saturating_sub(before.rows_scanned),
-            partitions_scanned: after
-                .partitions_scanned
-                .saturating_sub(before.partitions_scanned),
-            partitions_pruned: after
-                .partitions_pruned
-                .saturating_sub(before.partitions_pruned),
-            parallel_scans: after.parallel_scans.saturating_sub(before.parallel_scans),
-            rows_vectorized: after.rows_vectorized.saturating_sub(before.rows_vectorized),
-            late_materialized: after
-                .late_materialized
-                .saturating_sub(before.late_materialized),
-            udf_calls: after.udf_calls.saturating_sub(before.udf_calls),
-            udf_cache_hits: after.udf_cache_hits.saturating_sub(before.udf_cache_hits),
-        };
+        self.last_stats = self.server.stats().delta_from(&before);
         result
     }
 
     fn execute_statement_inner(&mut self, stmt: &Statement) -> Result<ResultSet> {
         match stmt {
             Statement::SetScope(spec) => {
-                self.scope = spec.clone();
+                self.session.write().scope = spec.clone();
                 Ok(ResultSet::default())
             }
             Statement::Select(query) => self.execute_select(query),
@@ -178,10 +208,18 @@ impl Connection {
                 Ok(ResultSet::default())
             }
             Statement::CreateView(_) | Statement::DropView { .. } | Statement::DropTable { .. } => {
-                let mut engine = self.server.engine.write();
+                // Catalog first, engine second — never hold the engine lock
+                // while taking the catalog lock (the plan-cache front-end
+                // acquires them in catalog → engine order).
                 if let Statement::DropTable { name, .. } = stmt {
                     self.server.catalog.write().drop_table(name);
+                } else {
+                    // View definitions live in the engine; bump the epoch
+                    // explicitly so cached plans that expanded the old view
+                    // invalidate.
+                    self.server.catalog.write().bump_epoch();
                 }
+                let mut engine = self.server.engine.write();
                 Ok(engine.execute_statement(stmt)?)
             }
             Statement::CreateFunction(cf) => {
@@ -205,55 +243,48 @@ impl Connection {
     // Queries
     // ------------------------------------------------------------------
 
+    /// One-shot query execution: a thin wrapper over the prepared front-end
+    /// — resolve D', fetch (or build) the cached plan, execute it with no
+    /// bound parameters. Re-running the same SQL under an unchanged scope
+    /// and catalog epoch therefore skips rewrite and planning entirely.
     fn execute_select(&mut self, query: &Query) -> Result<ResultSet> {
-        let rewritten = self.rewrite(query)?;
+        let (cached, _hit) = self.server.resolve_cached_plan(
+            self.client,
+            &self.scope(),
+            self.opt_level(),
+            &query.to_string(),
+            query,
+        )?;
         let engine = self.server.engine.read();
-        Ok(engine.execute_query(&rewritten)?)
+        Ok(engine.execute_plan(&cached.plan, &[])?)
     }
 
-    /// `EXPLAIN <query>`: rewrite the query exactly like `execute_select`
-    /// would (same scope, same optimization level), then render the physical
-    /// plan the engine would run — instead of running it.
+    /// `EXPLAIN <query>`: resolve the plan exactly like `execute_select`
+    /// would (same scope, same optimization level, same plan cache), then
+    /// render it instead of running it. A plan served from the prepared
+    /// cache is marked `(cached)` on its first line, making reuse visible.
     fn execute_explain(&mut self, query: &Query) -> Result<ResultSet> {
-        let rewritten = self.rewrite(query)?;
+        let (cached, hit) = self.server.resolve_cached_plan(
+            self.client,
+            &self.scope(),
+            self.opt_level(),
+            &query.to_string(),
+            query,
+        )?;
         let engine = self.server.engine.read();
-        Ok(engine.explain_query(&rewritten)?)
+        let mut rs = engine.explain_plan(&cached.plan);
+        if hit {
+            if let Some(first) = rs.rows.first_mut().and_then(|r| r.first_mut()) {
+                let line = first.as_str().unwrap_or_default();
+                *first = Value::str(format!("{line} (cached)"));
+            }
+        }
+        Ok(rs)
     }
 
     /// Resolve the scope into `D` (evaluating complex scopes on the engine).
     fn resolve_dataset(&self) -> Result<Vec<TenantId>> {
-        match &self.scope {
-            ScopeSpec::Simple(ids) => Ok(ids.clone()),
-            ScopeSpec::AllTenants => Ok(self.server.catalog.read().tenants().to_vec()),
-            ScopeSpec::Complex { from, selection } => {
-                let catalog = self.server.catalog.read();
-                let rewriter = Rewriter::with_inline_registry(
-                    &catalog,
-                    self.server.inline_registry.read().clone(),
-                );
-                let scope_query = rewriter.rewrite_scope(from, selection, self.client)?;
-                drop(catalog);
-                let engine = self.server.engine.read();
-                let result = engine.execute_query(&scope_query)?;
-                let mut ids: Vec<TenantId> = result
-                    .rows
-                    .iter()
-                    .filter_map(|r| r.first().and_then(Value::as_i64))
-                    .collect();
-                ids.sort_unstable();
-                ids.dedup();
-                Ok(ids)
-            }
-        }
-    }
-
-    /// Resolve the scope and prune it by the client's read privileges on the
-    /// tenant-specific tables referenced by the statement (D → D').
-    fn effective_dataset(&self, stmt: &Statement) -> Result<Vec<TenantId>> {
-        let dataset = self.resolve_dataset()?;
-        let tables = self.server.referenced_tables(stmt);
-        let catalog = self.server.catalog.read();
-        Ok(catalog.prune_dataset(self.client, &dataset, &tables))
+        self.server.resolve_dataset(self.client, &self.scope())
     }
 
     fn grant_object_tables(&self, object: &GrantObject) -> Vec<String> {
@@ -285,35 +316,10 @@ impl Connection {
                 .ok_or_else(|| MtError::Other(format!("unknown table `{}`", insert.table)))?
         };
 
-        // Determine the source rows, presented in C's format.
+        // Determine the source rows, presented in C's format. VALUES lists
+        // are column-free expressions: one engine call evaluates them all.
         let source_rows: Vec<Vec<Value>> = match &insert.source {
-            InsertSource::Values(rows) => {
-                let engine = self.server.engine.read();
-                let empty = mtsql::ast::Query::from_select(Select {
-                    projection: rows
-                        .first()
-                        .map(|r| r.iter().cloned().map(SelectItem::expr).collect())
-                        .unwrap_or_default(),
-                    ..Select::default()
-                });
-                let mut out = Vec::new();
-                for row in rows {
-                    let q = mtsql::ast::Query::from_select(Select {
-                        projection: row.iter().cloned().map(SelectItem::expr).collect(),
-                        ..Select::default()
-                    });
-                    out.push(
-                        engine
-                            .execute_query(&q)?
-                            .rows
-                            .into_iter()
-                            .next()
-                            .unwrap_or_default(),
-                    );
-                }
-                let _ = empty;
-                out
-            }
+            InsertSource::Values(rows) => self.server.engine.read().eval_values(rows)?,
             InsertSource::Query(q) => {
                 // Sub-queries of DML are interpreted exactly like queries.
                 self.execute_select(q)?.rows

@@ -1,0 +1,153 @@
+//! Server-side LRU cache of prepared physical plans.
+//!
+//! The front-end work MTBase performs per statement — scope resolution,
+//! privilege pruning (D → D'), the MT-to-SQL rewrite and physical planning —
+//! depends only on the inputs captured in [`PlanCacheKey`]. Caching the
+//! resulting plan under that key amortizes the whole front-end across
+//! repeated executions: the hot path of a prepared statement is a hash
+//! lookup plus [`mtengine::Engine::execute_plan`].
+//!
+//! Invalidation is wholesale, via the key's `epoch` component: every catalog
+//! mutation (DDL, GRANT/REVOKE, tenant registration, view changes) bumps
+//! [`mtcatalog::Catalog::epoch`], so plans derived under an older epoch can
+//! never be served again — they age out of the LRU. `SET SCOPE` needs no
+//! epoch: the scope changes the effective dataset `D'`, which is part of the
+//! key itself.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mtcatalog::TenantId;
+use mtengine::plan::Plan;
+use mtrewrite::OptLevel;
+use mtsql::ast::Query;
+
+/// Default number of cached plans per server.
+pub(crate) const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Everything the rewrite + plan front-end depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PlanCacheKey {
+    /// Normalized SQL: the canonical print of the parsed query, so
+    /// whitespace/case variants of the same statement share one entry.
+    pub sql: String,
+    /// The client tenant `C` (conversions target its formats).
+    pub client: TenantId,
+    /// The effective dataset `D'` (scope ∩ read privileges), resolved at
+    /// lookup time — `SET SCOPE` and privilege changes land here.
+    pub dataset: Vec<TenantId>,
+    /// The optimization level the rewrite ran at.
+    pub level: OptLevel,
+    /// The catalog schema/privilege epoch the plan was derived under.
+    pub epoch: u64,
+}
+
+/// A cached front-end product: the rewritten query (for observability) and
+/// the physical plan (for execution).
+#[derive(Debug)]
+pub(crate) struct CachedPlan {
+    /// The rewritten plain-SQL query the plan was lowered from.
+    pub rewritten: Query,
+    /// The physical plan, shared between the cache and running statements.
+    pub plan: Arc<Plan>,
+}
+
+/// A small least-recently-used map. Eviction scans for the minimum stamp —
+/// linear, but the capacity is small (128) and eviction is off the hot path.
+pub(crate) struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<PlanCacheKey, (Arc<CachedPlan>, u64)>,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Look up a plan, refreshing its recency on hit.
+    pub(crate) fn get(&mut self, key: &PlanCacheKey) -> Option<Arc<CachedPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(plan, stamp)| {
+            *stamp = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry when full.
+    pub(crate) fn insert(&mut self, key: PlanCacheKey, plan: Arc<CachedPlan>) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (plan, self.tick));
+    }
+
+    /// Number of cached plans.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drop every cached plan.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sql: &str, epoch: u64) -> PlanCacheKey {
+        PlanCacheKey {
+            sql: sql.to_string(),
+            client: 1,
+            dataset: vec![1, 2],
+            level: OptLevel::O4,
+            epoch,
+        }
+    }
+
+    fn plan() -> Arc<CachedPlan> {
+        let query = mtsql::parse_query("SELECT 1").unwrap();
+        let engine = mtengine::Engine::new(mtengine::EngineConfig::default());
+        let plan = engine.plan_query(&query).unwrap();
+        Arc::new(CachedPlan {
+            rewritten: query,
+            plan: Arc::new(plan),
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(key("a", 0), plan());
+        cache.insert(key("b", 0), plan());
+        assert!(cache.get(&key("a", 0)).is_some()); // refresh a
+        cache.insert(key("c", 0), plan()); // evicts b
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("b", 0)).is_none());
+        assert!(cache.get(&key("a", 0)).is_some());
+        assert!(cache.get(&key("c", 0)).is_some());
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let mut cache = PlanCache::new(4);
+        cache.insert(key("a", 0), plan());
+        assert!(cache.get(&key("a", 1)).is_none(), "stale epoch must miss");
+        assert!(cache.get(&key("a", 0)).is_some());
+    }
+}

@@ -6,12 +6,13 @@ use std::sync::Arc;
 use mtcatalog::{Catalog, ConversionFnPair, TenantId, TTID_COLUMN};
 use mtengine::udf::UdfImpl;
 use mtengine::{Engine, EngineConfig, ResultSet, Value};
-use mtrewrite::{InlineRegistry, OptLevel};
-use mtsql::ast::{CreateTable, Statement, TableGenerality};
-use parking_lot::RwLock;
+use mtrewrite::{InlineRegistry, OptLevel, Rewriter};
+use mtsql::ast::{CreateTable, Query, ScopeSpec, TableGenerality};
+use parking_lot::{Mutex, RwLock};
 
 use crate::connection::Connection;
 use crate::error::{MtError, Result};
+use crate::plan_cache::{CachedPlan, PlanCache, PlanCacheKey, PLAN_CACHE_CAPACITY};
 
 /// Shared MTBase state. Connections borrow it through an [`Arc`].
 pub struct MtBase {
@@ -19,6 +20,8 @@ pub struct MtBase {
     pub(crate) engine: RwLock<Engine>,
     pub(crate) inline_registry: RwLock<InlineRegistry>,
     pub(crate) default_level: RwLock<OptLevel>,
+    /// Prepared-plan LRU shared by all connections (see [`crate::plan_cache`]).
+    pub(crate) plan_cache: Mutex<PlanCache>,
 }
 
 impl MtBase {
@@ -29,6 +32,7 @@ impl MtBase {
             engine: RwLock::new(Engine::new(engine_config)),
             inline_registry: RwLock::new(InlineRegistry::new()),
             default_level: RwLock::new(OptLevel::O4),
+            plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         })
     }
 
@@ -44,6 +48,7 @@ impl MtBase {
             engine: RwLock::new(engine),
             inline_registry: RwLock::new(inline_registry),
             default_level: RwLock::new(OptLevel::O4),
+            plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         })
     }
 
@@ -79,9 +84,14 @@ impl MtBase {
         from_impl: UdfImpl,
         inline: Option<(mtrewrite::InlineSpec, mtrewrite::InlineSpec)>,
     ) {
-        let mut engine = self.engine.write();
-        engine.register_udf(&pair.to_universal, pair.immutable, to_impl);
-        engine.register_udf(&pair.from_universal, pair.immutable, from_impl);
+        {
+            // Engine guard released before the catalog lock below: the
+            // plan-cache front-end acquires catalog → engine, so holding
+            // engine while taking catalog would invert the lock order.
+            let mut engine = self.engine.write();
+            engine.register_udf(&pair.to_universal, pair.immutable, to_impl);
+            engine.register_udf(&pair.from_universal, pair.immutable, from_impl);
+        }
         if let Some((to_spec, from_spec)) = inline {
             let mut reg = self.inline_registry.write();
             reg.register(&pair.to_universal, to_spec);
@@ -168,18 +178,133 @@ impl MtBase {
         conn.execute(sql)
     }
 
-    /// Collect all base-table names referenced anywhere in a statement (used
-    /// for privilege pruning of the dataset).
-    pub(crate) fn referenced_tables(&self, stmt: &Statement) -> Vec<String> {
-        let mut out = Vec::new();
-        match stmt {
-            Statement::Select(q) => collect_tables_query(q, &mut out),
-            Statement::Insert(i) => out.push(i.table.clone()),
-            Statement::Update(u) => out.push(u.table.clone()),
-            Statement::Delete(d) => out.push(d.table.clone()),
-            _ => {}
+    /// Number of plans currently held by the prepared-plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.lock().len()
+    }
+
+    /// Drop every cached plan. Correctness never depends on this — stale
+    /// plans are invalidated by the epoch key — but benchmarks use it to
+    /// measure the uncached front-end cost, and long-lived deployments may
+    /// use it to release memory after a large ad-hoc workload.
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.lock().clear();
+    }
+
+    /// Resolve a scope specification into the dataset `D` (complex scopes
+    /// are evaluated against the engine, per Listing 12 of the paper).
+    pub(crate) fn resolve_dataset(
+        &self,
+        client: TenantId,
+        scope: &ScopeSpec,
+    ) -> Result<Vec<TenantId>> {
+        match scope {
+            ScopeSpec::Simple(ids) => Ok(ids.clone()),
+            ScopeSpec::AllTenants => Ok(self.catalog.read().tenants().to_vec()),
+            ScopeSpec::Complex { from, selection } => {
+                let scope_query = {
+                    let catalog = self.catalog.read();
+                    let rewriter = Rewriter::with_inline_registry(
+                        &catalog,
+                        self.inline_registry.read().clone(),
+                    );
+                    rewriter.rewrite_scope(from, selection, client)?
+                };
+                let engine = self.engine.read();
+                let result = engine.execute_query(&scope_query)?;
+                let mut ids: Vec<TenantId> = result
+                    .rows
+                    .iter()
+                    .filter_map(|r| r.first().and_then(Value::as_i64))
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                Ok(ids)
+            }
         }
-        out
+    }
+
+    /// Resolve the scope and prune it by `client`'s read privileges on the
+    /// tenant-specific tables the query references (D → D').
+    pub(crate) fn effective_dataset_for_query(
+        &self,
+        client: TenantId,
+        scope: &ScopeSpec,
+        query: &Query,
+    ) -> Result<Vec<TenantId>> {
+        let dataset = self.resolve_dataset(client, scope)?;
+        let mut tables = Vec::new();
+        collect_tables_query(query, &mut tables);
+        let catalog = self.catalog.read();
+        Ok(catalog.prune_dataset(client, &dataset, &tables))
+    }
+
+    /// The complete per-execution front-end shared by one-shot queries,
+    /// `EXPLAIN` and prepared statements: resolve the effective dataset D'
+    /// for (client, scope) — always re-evaluated, correctness depends on it
+    /// — then fetch (or build) the cached plan under the current level and
+    /// catalog epoch.
+    pub(crate) fn resolve_cached_plan(
+        &self,
+        client: TenantId,
+        scope: &ScopeSpec,
+        level: OptLevel,
+        sql_key: &str,
+        query: &Query,
+    ) -> Result<(Arc<CachedPlan>, bool)> {
+        let dataset = self.effective_dataset_for_query(client, scope, query)?;
+        self.cached_plan(sql_key, client, query, &dataset, level)
+    }
+
+    /// The prepared-plan front-end: look the query up in the plan cache
+    /// under `(normalized SQL, C, D', level, catalog epoch)`; on a miss, run
+    /// rewrite + planning once and cache the result. Returns the plan and
+    /// whether it was a hit; the outcome is recorded in the engine's
+    /// `prepared_cache_hits` / `prepared_cache_misses` counters.
+    pub(crate) fn cached_plan(
+        &self,
+        sql_key: &str,
+        client: TenantId,
+        query: &Query,
+        dataset: &[TenantId],
+        level: OptLevel,
+    ) -> Result<(Arc<CachedPlan>, bool)> {
+        // The epoch and the rewrite read the catalog under one guard, so the
+        // cached plan is consistent with the epoch in its key. The engine
+        // lock is never taken while the catalog guard is held (lock order is
+        // catalog → release → engine everywhere; inverting it can deadlock
+        // against writers that hold the engine lock).
+        let (key, rewritten) = {
+            let catalog = self.catalog.read();
+            let key = PlanCacheKey {
+                sql: sql_key.to_string(),
+                client,
+                dataset: dataset.to_vec(),
+                level,
+                epoch: catalog.epoch(),
+            };
+            if let Some(hit) = self.plan_cache.lock().get(&key) {
+                drop(catalog);
+                self.engine.read().note_prepared_cache(true);
+                return Ok((hit, true));
+            }
+            let rewriter =
+                Rewriter::with_inline_registry(&catalog, self.inline_registry.read().clone());
+            let rewritten = rewriter.rewrite_query(query, client, dataset, level)?;
+            (key, rewritten)
+        };
+        let plan = {
+            let engine = self.engine.read();
+            let plan = engine.plan_query(&rewritten)?;
+            engine.note_prepared_cache(false);
+            plan
+        };
+        let cached = Arc::new(CachedPlan {
+            rewritten,
+            plan: Arc::new(plan),
+        });
+        self.plan_cache.lock().insert(key, Arc::clone(&cached));
+        Ok((cached, false))
     }
 }
 
@@ -340,12 +465,12 @@ mod tests {
 
     #[test]
     fn referenced_tables_cover_subqueries() {
-        let server = MtBase::new(EngineConfig::default());
-        let stmt = mtsql::parse_statement(
+        let query = mtsql::parse_query(
             "SELECT a FROM t1 WHERE b IN (SELECT b FROM t2) AND EXISTS (SELECT 1 FROM t3 JOIN t4 ON x = y)",
         )
         .unwrap();
-        let tables = server.referenced_tables(&stmt);
+        let mut tables = Vec::new();
+        collect_tables_query(&query, &mut tables);
         assert_eq!(tables, vec!["t1", "t2", "t3", "t4"]);
     }
 

@@ -53,12 +53,35 @@ pub struct Catalog {
     tenants: Vec<TenantId>,
     conversions: BTreeMap<String, ConversionFnPair>,
     privileges: PrivilegeStore,
+    /// Monotonic change counter, bumped by every mutation that can change
+    /// what a rewritten query looks like: DDL (tables, conversions, views
+    /// via [`Catalog::bump_epoch`]), tenant registration, and any access to
+    /// the mutable privilege store (GRANT / REVOKE). Cached rewrite/plan
+    /// artifacts key on this epoch, so a bump invalidates them wholesale
+    /// instead of tracking fine-grained dependencies.
+    epoch: u64,
 }
 
 impl Catalog {
     /// Create an empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // -- change epoch ---------------------------------------------------------
+
+    /// The current schema/privilege epoch. Two reads returning the same
+    /// value guarantee that no catalog mutation happened in between, so a
+    /// rewrite/plan derived under that epoch is still valid.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bump the epoch explicitly. Catalog mutators bump it themselves; this
+    /// is for schema changes the catalog does not see directly (CREATE /
+    /// DROP VIEW live in the engine) but that still invalidate cached plans.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     // -- tables -------------------------------------------------------------
@@ -91,16 +114,22 @@ impl Catalog {
                 columns,
             },
         );
+        self.bump_epoch();
     }
 
     /// Register a table directly from metadata (used by the MT-H generator).
     pub fn register_table(&mut self, table: TableMeta) {
         self.tables.insert(table.name.to_ascii_lowercase(), table);
+        self.bump_epoch();
     }
 
     /// Remove a table; returns whether it existed.
     pub fn drop_table(&mut self, name: &str) -> bool {
-        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+        let existed = self.tables.remove(&name.to_ascii_lowercase()).is_some();
+        if existed {
+            self.bump_epoch();
+        }
+        existed
     }
 
     /// Look up a table by case-insensitive name.
@@ -142,6 +171,9 @@ impl Catalog {
         if !self.tenants.contains(&tenant) {
             self.tenants.push(tenant);
             self.tenants.sort_unstable();
+            // A new tenant changes `IN ()` (all-tenants) scope resolution,
+            // so cached plans derived from the old tenant set must go.
+            self.bump_epoch();
         }
     }
 
@@ -164,6 +196,7 @@ impl Catalog {
             .insert(pair.to_universal.to_ascii_lowercase(), pair.clone());
         self.conversions
             .insert(pair.from_universal.to_ascii_lowercase(), pair);
+        self.bump_epoch();
     }
 
     /// Look up a conversion pair by either of its function names.
@@ -184,7 +217,11 @@ impl Catalog {
     // -- privileges -----------------------------------------------------------
 
     /// Mutable access to the privilege store (used when executing DCL).
+    /// Handing out the mutable reference counts as a mutation: the epoch is
+    /// bumped unconditionally, because any GRANT/REVOKE may change the
+    /// effective dataset D' of cached plans.
     pub fn privileges_mut(&mut self) -> &mut PrivilegeStore {
+        self.bump_epoch();
         &mut self.privileges
     }
 

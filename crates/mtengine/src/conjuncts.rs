@@ -20,7 +20,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use mtsql::ast::{BinaryOperator, ColumnRef, Expr, FunctionCall};
-use mtsql::visit::{collect_aggregate_calls, collect_columns, contains_subquery};
+use mtsql::visit::{collect_aggregate_calls, collect_columns, contains_param, contains_subquery};
 
 use crate::schema::Schema;
 use crate::table::{ColumnBucket, ColumnVec};
@@ -145,6 +145,40 @@ pub fn partition_keys_of_conjunct(
     }
 }
 
+/// Is this conjunct a partition-key predicate whose key expressions involve
+/// parameter placeholders (`ttid = $1`, `ttid IN ($1, 3)`)? Such a conjunct
+/// cannot prune at plan time — the parameter value is unknown — but
+/// re-resolves to a concrete key set at execution time once parameters are
+/// bound (see the executor's effective-prune-keys computation). The key side
+/// must be column- and sub-query-free so binding alone makes it constant.
+pub fn is_param_partition_key_conjunct(
+    conjunct: &Expr,
+    schema: &Schema,
+    partition_col: usize,
+) -> bool {
+    let is_partition_column =
+        |e: &Expr| matches!(e, Expr::Column(c) if schema.resolve(c) == Some(partition_col));
+    let bindable_const = |e: &Expr| !has_columns(e) && !contains_subquery(e);
+    match conjunct {
+        Expr::BinaryOp {
+            left,
+            op: BinaryOperator::Eq,
+            right,
+        } => {
+            (is_partition_column(left) && bindable_const(right) && contains_param(right))
+                || (is_partition_column(right) && bindable_const(left) && contains_param(left))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } if is_partition_column(expr) => {
+            list.iter().all(bindable_const) && list.iter().any(contains_param)
+        }
+        _ => false,
+    }
+}
+
 /// Does the expression contain an aggregate call (outside sub-queries)?
 pub fn contains_aggregate(expr: &Expr) -> bool {
     let mut calls = Vec::new();
@@ -162,6 +196,7 @@ pub fn map_columns(expr: &Expr, subst: &mut dyn FnMut(&ColumnRef) -> Option<Expr
     Some(match expr {
         Expr::Column(c) => return subst(c),
         Expr::Literal(l) => Expr::Literal(l.clone()),
+        Expr::Param(i) => Expr::Param(*i),
         Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
             left: map_box(left, subst)?,
             op: *op,
@@ -316,6 +351,19 @@ impl CompiledPred {
     pub fn is_fast(&self) -> bool {
         !matches!(self, CompiledPred::Generic(_))
     }
+
+    /// The pre-resolved column index of a fast predicate form; `None` for
+    /// the interpreted fallback. Lets callers that read columns individually
+    /// (streaming cursors) fetch only the predicate's column.
+    pub fn column_index(&self) -> Option<usize> {
+        match self {
+            CompiledPred::Compare { idx, .. }
+            | CompiledPred::InSet { idx, .. }
+            | CompiledPred::Between { idx, .. }
+            | CompiledPred::Like { idx, .. } => Some(*idx),
+            CompiledPred::Generic(_) => None,
+        }
+    }
 }
 
 /// Does the operator hold for the given concrete ordering?
@@ -338,6 +386,29 @@ fn ord_opt_matches(op: BinaryOperator, ord: Option<Ordering>) -> bool {
     ord.is_some_and(|o| ord_matches(op, o))
 }
 
+/// SQL three-valued `v [NOT] BETWEEN lo AND hi`, reduced to the WHERE-clause
+/// outcome (UNKNOWN filters the row). `inside` is evaluated as
+/// `(v >= lo) AND (v <= hi)` under three-valued logic: a NULL or otherwise
+/// incomparable operand makes a leg UNKNOWN, a definite `false` leg makes the
+/// whole AND false, and `NOT` maps UNKNOWN to UNKNOWN — so NULL rows satisfy
+/// neither `BETWEEN` nor `NOT BETWEEN`, matching PostgreSQL. This is the
+/// single definition all three evaluation paths (interpreter, compiled row
+/// predicates, column kernels) share.
+#[inline]
+pub fn between_matches(v: &Value, lo: &Value, hi: &Value, negated: bool) -> bool {
+    let ge = v.compare(lo).map(|o| o != Ordering::Less);
+    let le = v.compare(hi).map(|o| o != Ordering::Greater);
+    let inside = match (ge, le) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    };
+    match inside {
+        Some(b) => b != negated,
+        None => false,
+    }
+}
+
 /// Evaluate one *fast* compiled predicate against a single value (the value
 /// of the predicate's column in some row). Panics on
 /// [`CompiledPred::Generic`] — callers route those through the interpreter.
@@ -356,18 +427,7 @@ pub fn fast_pred_value(pred: &CompiledPred, v: &Value) -> bool {
         }
         CompiledPred::Between {
             lo, hi, negated, ..
-        } => {
-            // Mirrors the interpreter's `Expr::Between`: a NULL value makes
-            // `inside` false, which `negated` flips — so NULL rows *satisfy*
-            // NOT BETWEEN. This deviates from SQL three-valued logic
-            // (PostgreSQL filters the UNKNOWN row) and is a known engine-wide
-            // quirk; the column kernels reproduce it so the columnar and row
-            // layouts stay result-identical. Fix it in the interpreter first
-            // if it is ever fixed (see ROADMAP).
-            let inside = matches!(v.compare(lo), Some(Ordering::Greater | Ordering::Equal))
-                && matches!(v.compare(hi), Some(Ordering::Less | Ordering::Equal));
-            inside != *negated
-        }
+        } => between_matches(v, lo, hi, *negated),
         CompiledPred::Like {
             pattern, negated, ..
         } => match v.as_str() {
@@ -521,9 +581,9 @@ impl Selection {
 /// (column type, constant type) pair; every other combination falls back to a
 /// per-value loop over [`fast_pred_value`] — same code as the row path — so
 /// columnar and row scans are result-identical by construction. NULL slots
-/// follow the row path's semantics: they never satisfy a comparison, IN or
-/// LIKE, but a `NOT BETWEEN` keeps them (the row path computes
-/// `inside = false`, then flips it through `negated`).
+/// follow the row path's three-valued semantics: they never satisfy a
+/// comparison, IN, LIKE, BETWEEN or NOT BETWEEN (the comparison is UNKNOWN
+/// and UNKNOWN rows are filtered, see [`between_matches`]).
 ///
 /// Panics on [`CompiledPred::Generic`]; the executor interprets those against
 /// late-materialized rows instead.
@@ -574,29 +634,30 @@ pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Sel
         } => {
             let col = bucket.column(*idx);
             let negated = *negated;
-            // NULL rows mirror the row path: `inside` is false (NULL compares
-            // to nothing), so the row survives exactly when `negated` is set.
+            // NULL rows mirror the row path's three-valued logic: the
+            // comparison is UNKNOWN, and UNKNOWN filters the row for both
+            // BETWEEN and NOT BETWEEN (see [`between_matches`]).
             match (col.data(), lo, hi) {
                 (ColumnVec::Int(xs), Value::Int(lo), Value::Int(hi)) => {
                     let (lo, hi) = (*lo, *hi);
-                    sel.retain(|i| {
-                        let inside = !col.is_null(i) && xs[i] >= lo && xs[i] <= hi;
-                        inside != negated
-                    });
+                    sel.retain(|i| !col.is_null(i) && ((xs[i] >= lo && xs[i] <= hi) != negated));
                 }
-                (ColumnVec::Float(xs), Value::Float(lo), Value::Float(hi)) => {
+                // NaN bounds make every comparison UNKNOWN — leave those to
+                // the generic fallback; a NaN *value* is likewise UNKNOWN
+                // and filtered for both polarities, matching the row path.
+                (ColumnVec::Float(xs), Value::Float(lo), Value::Float(hi))
+                    if !lo.is_nan() && !hi.is_nan() =>
+                {
                     let (lo, hi) = (*lo, *hi);
                     sel.retain(|i| {
-                        let inside = !col.is_null(i) && xs[i] >= lo && xs[i] <= hi;
-                        inside != negated
+                        !col.is_null(i)
+                            && !xs[i].is_nan()
+                            && ((xs[i] >= lo && xs[i] <= hi) != negated)
                     });
                 }
                 (ColumnVec::Date(xs), Value::Date(lo), Value::Date(hi)) => {
                     let (lo, hi) = (*lo, *hi);
-                    sel.retain(|i| {
-                        let inside = !col.is_null(i) && xs[i] >= lo && xs[i] <= hi;
-                        inside != negated
-                    });
+                    sel.retain(|i| !col.is_null(i) && ((xs[i] >= lo && xs[i] <= hi) != negated));
                 }
                 _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
             }
@@ -741,6 +802,45 @@ mod tests {
         assert!(Selection::all(0).is_empty());
     }
 
+    /// SQL three-valued logic: a NULL operand satisfies neither BETWEEN nor
+    /// NOT BETWEEN (the comparison is UNKNOWN and WHERE filters it), and a
+    /// NULL *bound* only decides the outcome when the other leg already
+    /// fails. Pinned here for the compiled row form; the kernel-equivalence
+    /// test below pins the column kernels to this, and the engine-level
+    /// `not_between_filters_null_rows_on_every_path` test pins the
+    /// interpreter.
+    #[test]
+    fn null_rows_satisfy_neither_between_nor_not_between() {
+        let inside = CompiledPred::Between {
+            idx: 0,
+            lo: Value::Int(1),
+            hi: Value::Int(10),
+            negated: false,
+        };
+        let outside = CompiledPred::Between {
+            idx: 0,
+            lo: Value::Int(1),
+            hi: Value::Int(10),
+            negated: true,
+        };
+        assert!(!fast_pred_value(&inside, &Value::Null));
+        assert!(!fast_pred_value(&outside, &Value::Null), "NOT BETWEEN 3VL");
+        // Non-null sanity.
+        assert!(fast_pred_value(&inside, &Value::Int(5)));
+        assert!(!fast_pred_value(&outside, &Value::Int(5)));
+        assert!(fast_pred_value(&outside, &Value::Int(11)));
+        // NULL bound: `5 NOT BETWEEN NULL AND 10` is UNKNOWN (filtered),
+        // but `11 NOT BETWEEN NULL AND 10` is definitely true (false leg).
+        let null_lo = CompiledPred::Between {
+            idx: 0,
+            lo: Value::Null,
+            hi: Value::Int(10),
+            negated: true,
+        };
+        assert!(!fast_pred_value(&null_lo, &Value::Int(5)));
+        assert!(fast_pred_value(&null_lo, &Value::Int(11)));
+    }
+
     /// Every kernel must agree with the row-path evaluation of the same
     /// predicate over the same values — including NULLs, type promotions
     /// and the Mixed fallback.
@@ -754,6 +854,9 @@ mod tests {
             vec![Value::Null, Value::Float(0.07), Value::str("TRUCK")],
             vec![Value::Int(-3), Value::Float(0.061), Value::Null],
             vec![Value::Int(100), Value::Float(-1.0), Value::str("MAILBOX")],
+            // NaN is UNKNOWN in every comparison: filtered by BETWEEN and
+            // NOT BETWEEN alike, on both layouts.
+            vec![Value::Int(7), Value::Float(f64::NAN), Value::str("AIR")],
         ];
         let mut bucket = ColumnBucket::new(3);
         for r in &rows {
@@ -790,6 +893,14 @@ mod tests {
                 idx: 1,
                 lo: Value::Int(0),
                 hi: Value::Float(0.065),
+                negated: true,
+            },
+            // A NaN bound makes the comparison UNKNOWN for every row; the
+            // kernel must defer to the generic fallback and agree.
+            CompiledPred::Between {
+                idx: 1,
+                lo: Value::Float(f64::NAN),
+                hi: Value::Float(1.0),
                 negated: true,
             },
             // Typed negated BETWEEN on the Int column (NULL at row 2).

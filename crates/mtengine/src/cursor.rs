@@ -1,0 +1,605 @@
+//! Streaming cursors: pull rows out of a physical plan batch-at-a-time
+//! instead of materializing the whole result set.
+//!
+//! A cursor drains a [`Plan`] in one of two modes, decided on the first
+//! fetch:
+//!
+//! * **Streaming** — for *pipeline-able* plans (an optional [`Plan::Limit`]
+//!   over an optional non-DISTINCT [`Plan::Project`] over a chain of
+//!   sub-query-free [`Plan::Filter`]s over one [`Plan::SeqScan`]), the
+//!   cursor walks the scan's selected partition buckets directly, evaluating
+//!   the pushed predicates per row and projecting qualifying rows into the
+//!   output batch. Only one batch of rows is resident at any time; columnar
+//!   buckets materialize rows solely for predicate survivors (fast
+//!   predicates read just their own column first). Peak memory is
+//!   `O(batch)` instead of `O(result)`.
+//! * **Materialized** — every other plan shape (sorts, aggregations, joins,
+//!   DISTINCT, sub-queries) executes once through the regular executor on
+//!   the first fetch and the cursor then drains the buffered rows in
+//!   batches, exposing the same pull interface.
+//!
+//! The cursor state ([`CursorState`]) holds plain positions and owned rows —
+//! no borrows of the engine — so a client can hold a cursor across lock
+//! acquisitions and fetch each batch under a fresh shared borrow (this is
+//! what `mtbase`'s `Cursor` does). The trade-off: a streaming cursor reads
+//! the *live* table state on every fetch, so concurrent DML between batches
+//! may be (partially) observed, exactly like a server-side cursor without
+//! snapshot isolation.
+
+use mtsql::ast::{Expr, SelectItem};
+use mtsql::visit::contains_subquery;
+
+use crate::conjuncts::{fast_pred_value, CompiledPred};
+use crate::error::Result;
+use crate::exec::{Env, Executor};
+use crate::plan::{Plan, Project, SeqScan};
+use crate::table::{Bucket, Row, SharedRow};
+use crate::{Engine, Value};
+
+/// Default number of rows per cursor batch.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// One fetched batch: the rows plus whether the cursor is exhausted.
+#[derive(Debug, Default)]
+pub struct CursorBatch {
+    /// The rows of this batch (at most the requested batch size).
+    pub rows: Vec<Row>,
+    /// `true` when no further rows will be produced.
+    pub done: bool,
+}
+
+/// Resumable position of an open cursor. Create with [`CursorState::new`],
+/// then pass to [`Engine::fetch_cursor_batch`] until it reports `done`.
+#[derive(Debug, Default)]
+pub struct CursorState {
+    mode: Option<Mode>,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Streaming(StreamPos),
+    Materialized { rows: Vec<SharedRow>, next: usize },
+}
+
+/// Scan position of a streaming cursor.
+#[derive(Debug, Default)]
+struct StreamPos {
+    /// Index into the ordered list of selected partition buckets.
+    bucket: usize,
+    /// Next row id within that bucket.
+    row: usize,
+    /// Next loose-row index (after all buckets are exhausted).
+    loose: usize,
+    /// Rows emitted so far (LIMIT accounting across batches).
+    emitted: u64,
+    /// Bucket pruning counters are recorded once, on the first batch.
+    counted_partitions: bool,
+    done: bool,
+    /// Compiled once on the first batch (see [`StreamFilters`]).
+    compiled: Option<StreamFilters>,
+}
+
+/// Per-cursor invariants compiled on the first fetch: the effective pruning
+/// key set and the compiled predicate filters depend only on `(plan,
+/// params)`, which are fixed for the cursor's lifetime — recompiling them
+/// per batch would turn small batch sizes into a per-row CPU regression.
+/// Only the selected-bucket *list* is re-derived on every fetch, because a
+/// streaming cursor reads live table state.
+#[derive(Debug)]
+struct StreamFilters {
+    prune_keys: Option<std::collections::BTreeSet<i64>>,
+    /// Filter for rows inside selected buckets (residual conjuncts when
+    /// pruning selected the buckets; the full pushed filter otherwise).
+    bucket_filter: Vec<CompiledPred>,
+    /// Full pushed filter for loose rows (their partition keys are
+    /// arbitrary, so pruning predicates re-check).
+    loose_filter: Vec<CompiledPred>,
+    /// Residual filter stages above the scan, compiled per stage.
+    stages: Vec<Vec<CompiledPred>>,
+}
+
+impl CursorState {
+    /// A fresh cursor positioned before the first row.
+    pub fn new() -> Self {
+        CursorState::default()
+    }
+
+    /// Whether the cursor runs in streaming mode. `None` before the first
+    /// fetch (the mode is decided then).
+    pub fn is_streaming(&self) -> Option<bool> {
+        self.mode.as_ref().map(|m| matches!(m, Mode::Streaming(_)))
+    }
+
+    /// Rows currently buffered inside the cursor state (the materialized
+    /// fallback holds the full result; streaming holds none — batches are
+    /// handed to the caller).
+    pub fn buffered_rows(&self) -> usize {
+        match &self.mode {
+            Some(Mode::Materialized { rows, next }) => rows.len().saturating_sub(*next),
+            _ => 0,
+        }
+    }
+}
+
+/// The decomposed shape of a pipeline-able plan.
+struct StreamShape<'p> {
+    limit: Option<u64>,
+    project: Option<&'p Project>,
+    /// Residual filter stages between the projection head and the scan,
+    /// innermost first. All their conjuncts resolve against the scan schema.
+    filters: Vec<&'p [Expr]>,
+    scan: &'p SeqScan,
+}
+
+/// Does the plan stream? `Some(shape)` for `[Limit] [Project] Filter* SeqScan`
+/// chains whose projection and filters are DISTINCT- and sub-query-free.
+/// Everything else (blocking operators, sub-query predicates) falls back to
+/// the materialized mode.
+fn stream_shape(plan: &Plan) -> Option<StreamShape<'_>> {
+    let mut limit = None;
+    let mut cur = plan;
+    if let Plan::Limit { input, limit: n } = cur {
+        limit = Some(*n);
+        cur = input;
+    }
+    let mut project = None;
+    if let Plan::Project(p) = cur {
+        let plain = p.items.iter().all(|item| match item {
+            SelectItem::Expr { expr, .. } => !contains_subquery(expr),
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => true,
+        });
+        if p.distinct || p.items.len() != p.visible_width || !plain {
+            return None;
+        }
+        project = Some(p);
+        cur = &p.input;
+    }
+    let mut filters: Vec<&[Expr]> = Vec::new();
+    loop {
+        match cur {
+            Plan::Filter { input, predicates } => {
+                if predicates.iter().any(contains_subquery) {
+                    return None;
+                }
+                filters.push(predicates);
+                cur = input;
+            }
+            Plan::SeqScan(scan) => {
+                return Some(StreamShape {
+                    limit,
+                    project,
+                    filters,
+                    scan,
+                })
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// `true` when the plan would be drained in streaming mode (used by clients
+/// and benches to report whether a cursor avoids full materialization).
+pub fn plan_streams(plan: &Plan) -> bool {
+    stream_shape(plan).is_some()
+}
+
+impl Engine {
+    /// Fetch the next batch (at most `max_rows` rows) of the cursor over
+    /// `plan`. The same `plan` and `params` must be passed on every fetch of
+    /// one cursor; the state carries only positions and buffered rows, so
+    /// the borrow of the engine ends with each call.
+    pub fn fetch_cursor_batch(
+        &self,
+        plan: &Plan,
+        params: &[Value],
+        state: &mut CursorState,
+        max_rows: usize,
+    ) -> Result<CursorBatch> {
+        let max_rows = max_rows.max(1);
+        let executor = Executor::with_params(self, params.to_vec());
+        if state.mode.is_none() {
+            state.mode = Some(match stream_shape(plan) {
+                Some(_) => Mode::Streaming(StreamPos::default()),
+                None => {
+                    let rel = executor.execute_plan(plan, None)?;
+                    Mode::Materialized {
+                        rows: rel.rows,
+                        next: 0,
+                    }
+                }
+            });
+        }
+        match state.mode.as_mut().expect("mode decided above") {
+            Mode::Materialized { rows, next } => {
+                let end = (*next + max_rows).min(rows.len());
+                let batch: Vec<Row> = rows[*next..end].iter().map(|r| r.to_vec()).collect();
+                *next = end;
+                Ok(CursorBatch {
+                    rows: batch,
+                    done: end == rows.len(),
+                })
+            }
+            Mode::Streaming(pos) => {
+                let shape = stream_shape(plan).expect("mode was decided as streaming");
+                fetch_streaming(&executor, self, &shape, pos, max_rows)
+            }
+        }
+    }
+}
+
+/// Advance a streaming cursor by one batch: resume the scan at the recorded
+/// (bucket, row) position, evaluate pushed predicates and filter stages per
+/// row, project, and stop as soon as the batch is full or the LIMIT is
+/// reached. Fast predicates read only their own column, so non-qualifying
+/// rows of columnar buckets are never materialized.
+fn fetch_streaming(
+    executor: &Executor,
+    engine: &Engine,
+    shape: &StreamShape,
+    pos: &mut StreamPos,
+    max_rows: usize,
+) -> Result<CursorBatch> {
+    if pos.done {
+        return Ok(CursorBatch {
+            rows: Vec::new(),
+            done: true,
+        });
+    }
+    let scan = shape.scan;
+    let table = engine.database().table(&scan.table)?;
+
+    // Compile the cursor-lifetime invariants once, on the first batch.
+    if pos.compiled.is_none() {
+        let prune_keys = executor
+            .effective_prune_keys(scan, table.partition_column())
+            .into_owned();
+        // Rows inside selected buckets satisfy the pruning predicates by
+        // construction; loose rows (and every row when nothing pruned)
+        // re-check the full pushed filter — mirroring the batch executor.
+        let bucket_filter = if prune_keys.is_some() {
+            executor.compile_filter(&scan.residual, &scan.schema)
+        } else {
+            executor.compile_full_scan_filter(scan)
+        };
+        pos.compiled = Some(StreamFilters {
+            prune_keys,
+            bucket_filter,
+            loose_filter: executor.compile_full_scan_filter(scan),
+            stages: shape
+                .filters
+                .iter()
+                .map(|preds| executor.compile_filter(preds, &scan.schema))
+                .collect(),
+        });
+    }
+    // Taken out of the state for the duration of the batch (the loop below
+    // needs `pos` mutably) and put back before returning.
+    let filters = pos.compiled.take().expect("compiled above");
+    let StreamFilters {
+        prune_keys,
+        bucket_filter,
+        loose_filter,
+        stages: stage_filters,
+    } = &filters;
+
+    // Selected buckets in key order — the same deterministic order on every
+    // batch (BTreeMap iteration), which is what makes (bucket, row) a
+    // resumable position.
+    let selected: Vec<&Bucket> = match prune_keys {
+        Some(keys) => table
+            .partitions()
+            .filter(|(k, _)| keys.contains(k))
+            .map(|(_, b)| b)
+            .collect(),
+        None => table.partitions().map(|(_, b)| b).collect(),
+    };
+    if !pos.counted_partitions {
+        let scanned = selected.len() as u64;
+        let total = table.partition_count() as u64;
+        engine.note_partitions(scanned, total.saturating_sub(scanned));
+        pos.counted_partitions = true;
+    }
+
+    let mut out: Vec<Row> = Vec::new();
+    let mut visited: u64 = 0;
+    let mut materialized: u64 = 0;
+
+    'produce: loop {
+        if out.len() >= max_rows {
+            break;
+        }
+        if shape.limit.is_some_and(|lim| pos.emitted >= lim) {
+            pos.done = true;
+            break;
+        }
+        // Next candidate row: buckets first, then loose rows. Bucket rows
+        // check fast predicates column-wise *before* materializing; the
+        // remaining (interpreted) conjuncts run on the materialized row.
+        let (row, remaining) = if pos.bucket < selected.len() {
+            let bucket = selected[pos.bucket];
+            if pos.row >= bucket.len() {
+                pos.bucket += 1;
+                pos.row = 0;
+                continue;
+            }
+            let i = pos.row;
+            pos.row += 1;
+            visited += 1;
+            let reader = bucket.reader();
+            // Fast predicates first, reading only the predicate's column.
+            for pred in bucket_filter {
+                if let Some(idx) = pred.column_index() {
+                    if !fast_pred_value(pred, &reader.value(i, idx)) {
+                        continue 'produce;
+                    }
+                }
+            }
+            let row = reader.materialize(i);
+            if matches!(bucket, Bucket::Columnar(_)) {
+                materialized += 1;
+            }
+            let remaining: Vec<&CompiledPred> =
+                bucket_filter.iter().filter(|p| !p.is_fast()).collect();
+            (row, remaining)
+        } else if pos.loose < table.loose_rows().len() {
+            let row = SharedRow::clone(&table.loose_rows()[pos.loose]);
+            pos.loose += 1;
+            visited += 1;
+            (row, loose_filter.iter().collect())
+        } else {
+            pos.done = true;
+            break;
+        };
+        for pred in remaining {
+            if !executor.filter_matches(std::slice::from_ref(pred), &scan.schema, &row, None)? {
+                continue 'produce;
+            }
+        }
+        // Residual filter stages above the scan.
+        for stage in stage_filters {
+            if !executor.filter_matches(stage, &scan.schema, &row, None)? {
+                continue 'produce;
+            }
+        }
+        // Projection head.
+        let out_row = match shape.project {
+            Some(p) => {
+                let env = Env {
+                    schema: &scan.schema,
+                    row: &row,
+                    parent: None,
+                };
+                executor.project_row(&p.items, &env)?
+            }
+            None => row.to_vec(),
+        };
+        pos.emitted += 1;
+        out.push(out_row);
+    }
+
+    pos.compiled = Some(filters);
+    engine.note_rows_scanned(visited);
+    engine.note_vectorized(0, materialized);
+    Ok(CursorBatch {
+        rows: out,
+        done: pos.done,
+    })
+}
+
+/// A borrowing row iterator over a plan — the engine-level streaming
+/// interface (`mtbase`'s `Cursor` provides the lock-friendly counterpart on
+/// top of [`CursorState`]).
+///
+/// ```
+/// use mtengine::{Engine, EngineConfig, Value};
+///
+/// let mut engine = Engine::new(EngineConfig::default());
+/// engine.create_table("t", &["a"]);
+/// engine
+///     .insert_values("t", (0..10).map(|i| vec![Value::Int(i)]).collect())
+///     .unwrap();
+/// let plan = engine
+///     .plan_query(&mtsql::parse_query("SELECT a FROM t WHERE a >= $1").unwrap())
+///     .unwrap();
+/// let rows: Vec<_> = engine
+///     .row_iter(&plan, vec![Value::Int(7)])
+///     .collect::<Result<Vec<_>, _>>()
+///     .unwrap();
+/// assert_eq!(rows.len(), 3);
+/// ```
+pub struct RowIter<'e> {
+    engine: &'e Engine,
+    plan: &'e Plan,
+    params: Vec<Value>,
+    state: CursorState,
+    batch: std::vec::IntoIter<Row>,
+    batch_size: usize,
+    done: bool,
+}
+
+impl<'e> RowIter<'e> {
+    pub(crate) fn new(engine: &'e Engine, plan: &'e Plan, params: Vec<Value>) -> Self {
+        RowIter {
+            engine,
+            plan,
+            params,
+            state: CursorState::new(),
+            batch: Vec::new().into_iter(),
+            batch_size: DEFAULT_BATCH_ROWS,
+            done: false,
+        }
+    }
+
+    /// Override the internal batch size (rows fetched per engine call).
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.batch_size = rows.max(1);
+        self
+    }
+
+    /// Whether the underlying cursor streams (never holds the full result).
+    /// `None` until the first row was pulled.
+    pub fn is_streaming(&self) -> Option<bool> {
+        self.state.is_streaming()
+    }
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Result<Row>> {
+        loop {
+            if let Some(row) = self.batch.next() {
+                return Some(Ok(row));
+            }
+            if self.done {
+                return None;
+            }
+            match self.engine.fetch_cursor_batch(
+                self.plan,
+                &self.params,
+                &mut self.state,
+                self.batch_size,
+            ) {
+                Ok(batch) => {
+                    self.done = batch.done;
+                    if batch.rows.is_empty() && self.done {
+                        return None;
+                    }
+                    self.batch = batch.rows.into_iter();
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn engine_with_rows(n: i64) -> Engine {
+        let mut e = Engine::new(EngineConfig::default());
+        e.create_table("t", &["ttid", "v"]);
+        e.set_table_partition("t", "ttid").unwrap();
+        e.insert_values(
+            "t",
+            (0..n)
+                .map(|i| vec![Value::Int(i % 4), Value::Int(i)])
+                .collect(),
+        )
+        .unwrap();
+        e
+    }
+
+    fn plan(e: &Engine, sql: &str) -> Plan {
+        e.plan_query(&mtsql::parse_query(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_batch_execution() {
+        let e = engine_with_rows(1000);
+        for sql in [
+            "SELECT v FROM t WHERE v >= 100",
+            "SELECT ttid, v FROM t WHERE ttid = 2 AND v % 2 = 0",
+            "SELECT v + 1 FROM t WHERE v BETWEEN 10 AND 20",
+            "SELECT v FROM t WHERE v > 500 LIMIT 7",
+            "SELECT * FROM t",
+        ] {
+            let p = plan(&e, sql);
+            let batch = e.execute_plan(&p, &[]).unwrap();
+            let streamed: Vec<Row> = e
+                .row_iter(&p, Vec::new())
+                .with_batch_size(13)
+                .collect::<Result<Vec<_>>>()
+                .unwrap();
+            assert_eq!(streamed, batch.rows, "{sql}");
+        }
+    }
+
+    #[test]
+    fn pipeline_plans_stream_and_blocking_plans_materialize() {
+        let e = engine_with_rows(100);
+        let streaming = plan(&e, "SELECT v FROM t WHERE v > 3");
+        assert!(plan_streams(&streaming));
+        let blocking = plan(&e, "SELECT v FROM t ORDER BY v DESC");
+        assert!(!plan_streams(&blocking));
+        let aggregated = plan(&e, "SELECT SUM(v) FROM t");
+        assert!(!plan_streams(&aggregated));
+        let distinct = plan(&e, "SELECT DISTINCT ttid FROM t");
+        assert!(!plan_streams(&distinct));
+        let subquery = plan(&e, "SELECT v FROM t WHERE v = (SELECT MAX(v) FROM t)");
+        assert!(!plan_streams(&subquery));
+
+        let mut iter = e.row_iter(&blocking, Vec::new());
+        let first = iter.next().unwrap().unwrap();
+        assert_eq!(first, vec![Value::Int(99)]);
+        assert_eq!(iter.is_streaming(), Some(false));
+    }
+
+    #[test]
+    fn streaming_batches_bound_resident_rows() {
+        let e = engine_with_rows(1000);
+        let p = plan(&e, "SELECT v FROM t WHERE v >= 0");
+        let mut state = CursorState::new();
+        let mut total = 0;
+        loop {
+            let batch = e.fetch_cursor_batch(&p, &[], &mut state, 10).unwrap();
+            assert!(batch.rows.len() <= 10, "batch overflowed");
+            assert_eq!(state.buffered_rows(), 0, "streaming must not buffer");
+            total += batch.rows.len();
+            if batch.done {
+                break;
+            }
+        }
+        assert_eq!(total, 1000);
+        assert_eq!(state.is_streaming(), Some(true));
+    }
+
+    #[test]
+    fn materialized_cursor_drains_in_batches() {
+        let e = engine_with_rows(25);
+        let p = plan(&e, "SELECT v FROM t ORDER BY v");
+        let mut state = CursorState::new();
+        let first = e.fetch_cursor_batch(&p, &[], &mut state, 10).unwrap();
+        assert_eq!(first.rows.len(), 10);
+        assert!(!first.done);
+        assert_eq!(state.buffered_rows(), 15);
+        let rest = e.fetch_cursor_batch(&p, &[], &mut state, 100).unwrap();
+        assert_eq!(rest.rows.len(), 15);
+        assert!(rest.done);
+    }
+
+    #[test]
+    fn bound_params_stream_with_bind_time_pruning() {
+        let e = engine_with_rows(1000);
+        e.reset_stats();
+        let p = plan(&e, "SELECT v FROM t WHERE ttid = $1");
+        let rows: Vec<Row> = e
+            .row_iter(&p, vec![Value::Int(2)])
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(rows.len(), 250);
+        let stats = e.stats();
+        assert_eq!(
+            stats.partitions_pruned, 3,
+            "bind-time pruning must skip the 3 foreign buckets, stats: {stats:?}"
+        );
+        assert_eq!(stats.rows_scanned, 250);
+    }
+
+    #[test]
+    fn limit_is_respected_across_batches() {
+        let e = engine_with_rows(1000);
+        let p = plan(&e, "SELECT v FROM t WHERE v >= 0 LIMIT 30");
+        let rows: Vec<Row> = e
+            .row_iter(&p, Vec::new())
+            .with_batch_size(7)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(rows.len(), 30);
+    }
+}

@@ -32,8 +32,8 @@ use mtsql::ast::*;
 use mtsql::visit::contains_subquery;
 
 use crate::conjuncts::{
-    eval_vectorized, fast_filter_matches, fast_pred_matches, flip_comparison, has_columns,
-    CompiledPred, Selection,
+    between_matches, eval_vectorized, fast_filter_matches, fast_pred_matches, flip_comparison,
+    has_columns, CompiledPred, Selection,
 };
 use crate::error::{err, EngineError, Result};
 use crate::plan::{HashAggregate, Plan, Planner, Project, SeqScan, SortKey};
@@ -182,6 +182,12 @@ impl<'a> Env<'a> {
 /// Per-query executor borrowing the engine (tables, UDFs, statistics).
 pub struct Executor<'e> {
     engine: &'e Engine,
+    /// Bound parameter values; `Expr::Param(i)` evaluates to `params[i]`.
+    /// Empty for statements without parameters — evaluating an unbound
+    /// parameter is an error, and constant folding over an unbound parameter
+    /// simply fails (so planning a parameterized query defers those
+    /// predicates to execution time).
+    params: Vec<Value>,
     /// Cache of uncorrelated sub-query results, keyed by their SQL text.
     subquery_cache: RefCell<HashMap<String, Rc<Relation>>>,
     /// Cache of sub-query plans (correlated sub-queries re-execute per outer
@@ -206,8 +212,15 @@ pub struct Executor<'e> {
 impl<'e> Executor<'e> {
     /// Create an executor for one top-level query.
     pub fn new(engine: &'e Engine) -> Self {
+        Executor::with_params(engine, Vec::new())
+    }
+
+    /// Create an executor with bound parameter values (`Expr::Param(i)`
+    /// evaluates to `params[i]`).
+    pub fn with_params(engine: &'e Engine, params: Vec<Value>) -> Self {
         Executor {
             engine,
+            params,
             subquery_cache: RefCell::new(HashMap::new()),
             plan_cache: RefCell::new(HashMap::new()),
             like_cache: RefCell::new(HashMap::new()),
@@ -467,6 +480,7 @@ impl<'e> Executor<'e> {
     /// row.
     fn exec_scan(&self, scan: &SeqScan, outer: Option<&Env>) -> Result<Relation> {
         let table = self.engine.database().table(&scan.table)?;
+        let prune_keys = self.effective_prune_keys(scan, table.partition_column());
 
         let mut rows: Vec<SharedRow> = Vec::new();
         let mut tally = ScanTally::default();
@@ -476,7 +490,7 @@ impl<'e> Executor<'e> {
         // Loose rows carry arbitrary partition keys, so the full pushed
         // filter (including pruning predicates) applies to them; the pruned
         // branch compiles it only when loose rows exist.
-        let full_filter = match &scan.prune_keys {
+        let full_filter = match &*prune_keys {
             Some(keys) => {
                 // Rows inside a selected bucket satisfy the pruning
                 // predicates by construction (the bucket key *is* the ttid
@@ -537,6 +551,43 @@ impl<'e> Executor<'e> {
             schema: scan.schema.clone(),
             rows,
         })
+    }
+
+    /// The scan's effective partition-key set: the statically planned keys
+    /// intersected with the key sets its parameter-dependent pruning
+    /// conjuncts fold to now that parameters are bound. A conjunct whose
+    /// parameters are (still) unbound simply contributes nothing — the
+    /// conjunct is also part of the scan's residual filter, so correctness
+    /// never depends on this pruning. `None` scans every bucket.
+    ///
+    /// The common case (no parameter-dependent pruning) borrows the plan's
+    /// static key set — correlated sub-queries re-execute their scans per
+    /// outer row, so this path must not allocate.
+    pub(crate) fn effective_prune_keys<'s>(
+        &self,
+        scan: &'s SeqScan,
+        partition_col: Option<usize>,
+    ) -> std::borrow::Cow<'s, Option<std::collections::BTreeSet<i64>>> {
+        use std::borrow::Cow;
+        if scan.param_pruning.is_empty() || self.params.is_empty() {
+            return Cow::Borrowed(&scan.prune_keys);
+        }
+        let Some(pidx) = partition_col else {
+            return Cow::Borrowed(&scan.prune_keys);
+        };
+        let mut keys = scan.prune_keys.clone();
+        let fold = |e: &Expr| self.fold_const(e);
+        for c in &scan.param_pruning {
+            if let Some(k) =
+                crate::conjuncts::partition_keys_of_conjunct(c, &scan.schema, pidx, &fold)
+            {
+                keys = Some(match keys {
+                    None => k,
+                    Some(prev) => prev.intersection(&k).copied().collect(),
+                });
+            }
+        }
+        Cow::Owned(keys)
     }
 
     /// Scan the selected buckets, serially or on a scoped thread pool. The
@@ -728,7 +779,7 @@ impl<'e> Executor<'e> {
 
     /// The full pushed filter of a scan — pruning predicates followed by the
     /// residual ones — as applied to loose rows and un-pruned scans.
-    fn compile_full_scan_filter(&self, scan: &SeqScan) -> Vec<CompiledPred> {
+    pub(crate) fn compile_full_scan_filter(&self, scan: &SeqScan) -> Vec<CompiledPred> {
         let mut preds = self.compile_filter(&scan.pruning, &scan.schema);
         preds.extend(self.compile_filter(&scan.residual, &scan.schema));
         preds
@@ -790,7 +841,7 @@ impl<'e> Executor<'e> {
     /// Compile conjuncts into the fast per-row predicate forms where possible
     /// (pre-resolved column index, pre-folded constants, precompiled LIKE
     /// patterns); everything else falls back to interpreted evaluation.
-    fn compile_filter(&self, conjuncts: &[Expr], schema: &Schema) -> Vec<CompiledPred> {
+    pub(crate) fn compile_filter(&self, conjuncts: &[Expr], schema: &Schema) -> Vec<CompiledPred> {
         conjuncts
             .iter()
             .map(|c| self.compile_pred(c, schema))
@@ -891,7 +942,7 @@ impl<'e> Executor<'e> {
     /// `true` when every compiled conjunct accepts the row. The fast forms
     /// compare against borrowed values; only the generic fallback builds an
     /// evaluation environment.
-    fn filter_matches(
+    pub(crate) fn filter_matches(
         &self,
         filter: &[CompiledPred],
         schema: &Schema,
@@ -1184,9 +1235,7 @@ impl<'e> Executor<'e> {
                 let v = self.eval_in_group(expr, ctx)?;
                 let lo = self.eval_in_group(low, ctx)?;
                 let hi = self.eval_in_group(high, ctx)?;
-                let inside = matches!(v.compare(&lo), Some(Ordering::Greater | Ordering::Equal))
-                    && matches!(v.compare(&hi), Some(Ordering::Less | Ordering::Equal));
-                Ok(Value::Bool(inside != *negated))
+                Ok(Value::Bool(between_matches(&v, &lo, &hi, *negated)))
             }
             Expr::InList {
                 expr,
@@ -1247,6 +1296,14 @@ impl<'e> Executor<'e> {
     pub fn eval(&self, expr: &Expr, env: &Env) -> Result<Value> {
         match expr {
             Expr::Literal(l) => literal_value(l),
+            Expr::Param(index) => match self.params.get(*index) {
+                Some(v) => Ok(v.clone()),
+                None => err(format!(
+                    "parameter ${} is not bound ({} value(s) bound)",
+                    index + 1,
+                    self.params.len()
+                )),
+            },
             Expr::Column(c) => match env.lookup_ref(c) {
                 Some((v, escaped)) => {
                     if escaped {
@@ -1357,12 +1414,12 @@ impl<'e> Executor<'e> {
                 high,
                 negated,
             } => {
+                // SQL three-valued logic: a NULL operand makes the outcome
+                // UNKNOWN, which satisfies neither BETWEEN nor NOT BETWEEN.
                 let v = self.eval(expr, env)?;
                 let lo = self.eval(low, env)?;
                 let hi = self.eval(high, env)?;
-                let inside = matches!(v.compare(&lo), Some(Ordering::Greater | Ordering::Equal))
-                    && matches!(v.compare(&hi), Some(Ordering::Less | Ordering::Equal));
-                Ok(Value::Bool(inside != *negated))
+                Ok(Value::Bool(between_matches(&v, &lo, &hi, *negated)))
             }
             Expr::Like {
                 expr,
@@ -1528,7 +1585,7 @@ impl<'e> Executor<'e> {
         Ok(rel)
     }
 
-    fn project_row(&self, projection: &[SelectItem], env: &Env) -> Result<Row> {
+    pub(crate) fn project_row(&self, projection: &[SelectItem], env: &Env) -> Result<Row> {
         let mut out = Vec::with_capacity(projection.len());
         for item in projection {
             match item {

@@ -57,6 +57,19 @@
 //! renders the plan, including pushed conjuncts, live partition-pruning
 //! counts and parallel-scan eligibility.
 //!
+//! # Parameters and cursors
+//!
+//! Plans are plain owned data, so callers may lower once
+//! ([`Engine::plan_query`]) and re-execute many times
+//! ([`Engine::execute_plan`]) with different bound parameter values —
+//! `Expr::Param` placeholders evaluate against the executor's bound slice,
+//! and partition-key predicates over parameters (`ttid = $1`) re-resolve
+//! their pruning key sets at execution time. [`Engine::row_iter`] (and the
+//! lower-level [`Engine::fetch_cursor_batch`]) stream pipeline-able plans
+//! batch-at-a-time instead of materializing the full result — see the
+//! [`cursor`] module. The MTBase middleware builds its prepared-statement
+//! API on exactly these entry points.
+//!
 //! # Observability
 //!
 //! [`stats::StatsSnapshot`] exposes `rows_scanned` (rows actually visited,
@@ -84,6 +97,7 @@
 //! ```
 
 pub mod conjuncts;
+pub mod cursor;
 pub mod error;
 pub mod exec;
 pub mod plan;
@@ -103,6 +117,7 @@ use crate::stats::{EngineCounters, StatsSnapshot};
 use crate::table::{Database, Row, Table};
 use crate::udf::{UdfImpl, UdfRegistry};
 
+pub use crate::cursor::{CursorBatch, CursorState, RowIter, DEFAULT_BATCH_ROWS};
 pub use crate::error::{EngineError, Result};
 pub use crate::value::Value;
 
@@ -286,6 +301,22 @@ impl Engine {
         Ok(())
     }
 
+    /// Evaluate rows of column-free expressions (e.g. the VALUES lists of an
+    /// INSERT) to concrete values in one engine call — no per-row probe
+    /// queries.
+    pub fn eval_values(&self, rows: &[Vec<mtsql::ast::Expr>]) -> Result<Vec<Row>> {
+        let executor = Executor::new(self);
+        let schema = Schema::new();
+        let env = Env {
+            schema: &schema,
+            row: &[],
+            parent: None,
+        };
+        rows.iter()
+            .map(|exprs| exprs.iter().map(|e| executor.eval(e, &env)).collect())
+            .collect()
+    }
+
     /// Bulk-insert pre-built rows.
     pub fn insert_values(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
         let t = self.db.table_mut(table)?;
@@ -317,6 +348,13 @@ impl Engine {
         }
     }
 
+    /// Note one prepared-plan cache lookup outcome (called by the MTBase
+    /// middleware, which owns the cache; the counter lives here so it resets
+    /// and snapshots together with the execution statistics).
+    pub fn note_prepared_cache(&self, hit: bool) {
+        self.counters.add_prepared_cache(hit);
+    }
+
     /// Snapshot the execution statistics.
     pub fn stats(&self) -> StatsSnapshot {
         let udf = self.udfs.stats();
@@ -329,6 +367,8 @@ impl Engine {
             late_materialized: self.counters.late_materialized(),
             udf_calls: udf.calls,
             udf_cache_hits: udf.cache_hits,
+            prepared_cache_hits: self.counters.prepared_cache_hits(),
+            prepared_cache_misses: self.counters.prepared_cache_misses(),
         }
     }
 
@@ -361,15 +401,44 @@ impl Engine {
         Ok(ResultSet::from_relation(rel))
     }
 
+    /// Lower a parsed query to its physical plan without executing it. The
+    /// plan is plain owned data (no engine borrows), so callers may cache it
+    /// and re-execute via [`Engine::execute_plan`] — the prepared-statement
+    /// path of the MTBase middleware.
+    pub fn plan_query(&self, query: &Query) -> Result<plan::Plan> {
+        plan::Planner::new(self).plan_query(query)
+    }
+
+    /// Execute a previously lowered plan with the given bound parameter
+    /// values (empty for parameter-free statements).
+    pub fn execute_plan(&self, plan: &plan::Plan, params: &[Value]) -> Result<ResultSet> {
+        let executor = Executor::with_params(self, params.to_vec());
+        let rel = executor.execute_plan(plan, None)?;
+        Ok(ResultSet::from_relation(rel))
+    }
+
+    /// Stream a previously lowered plan row-by-row (see [`cursor::RowIter`]).
+    /// Pipeline-able plans never materialize the full result set; blocking
+    /// plans materialize internally and expose the same pull interface.
+    pub fn row_iter<'e>(&'e self, plan: &'e plan::Plan, params: Vec<Value>) -> RowIter<'e> {
+        RowIter::new(self, plan, params)
+    }
+
     /// Lower a query to its physical plan and render it as an `EXPLAIN`
     /// result: one `QUERY PLAN` column, one row per plan line.
     pub fn explain_query(&self, query: &Query) -> Result<ResultSet> {
         let plan = plan::Planner::new(self).plan_query(query)?;
-        let text = plan::explain(self, &plan);
-        Ok(ResultSet {
+        Ok(self.explain_plan(&plan))
+    }
+
+    /// Render an already-lowered plan as an `EXPLAIN` result (used by the
+    /// middleware to explain cached prepared plans).
+    pub fn explain_plan(&self, plan: &plan::Plan) -> ResultSet {
+        let text = plan::explain(self, plan);
+        ResultSet {
             columns: vec!["QUERY PLAN".to_string()],
             rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
-        })
+        }
     }
 
     /// Execute a parsed statement (queries, DDL and DML).
@@ -1043,6 +1112,61 @@ mod tests {
         e.execute("DELETE FROM Employees WHERE ttid = 1").unwrap();
         let rs = e.query("SELECT COUNT(*) FROM Employees").unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    /// NULL rows must satisfy neither `BETWEEN` nor `NOT BETWEEN` on every
+    /// evaluation path: the compiled fast predicate / column kernel
+    /// (constant bounds, columnar and row layouts) and the interpreter
+    /// (column-dependent bounds force `CompiledPred::Generic`), plus the
+    /// group-evaluation path (HAVING). SQL three-valued logic — PostgreSQL
+    /// filters the UNKNOWN row; this engine used to let NULLs pass
+    /// NOT BETWEEN (see ROADMAP).
+    #[test]
+    fn not_between_filters_null_rows_on_every_path() {
+        for columnar in [true, false] {
+            let config = if columnar {
+                EngineConfig::default()
+            } else {
+                EngineConfig::default().without_columnar_scan()
+            };
+            let mut e = Engine::new(config);
+            e.create_table("t", &["ttid", "v"]);
+            e.set_table_partition("t", "ttid").unwrap();
+            e.insert_values(
+                "t",
+                vec![
+                    vec![Value::Int(1), Value::Null],
+                    vec![Value::Int(1), Value::Int(5)],
+                    vec![Value::Int(1), Value::Int(50)],
+                    vec![Value::Int(2), Value::Null],
+                ],
+            )
+            .unwrap();
+
+            // Compiled path (kernel on columnar, fast predicate on rows).
+            let rs = e.query("SELECT v FROM t WHERE v BETWEEN 1 AND 10").unwrap();
+            assert_eq!(rs.rows, vec![vec![Value::Int(5)]], "columnar={columnar}");
+            let rs = e
+                .query("SELECT v FROM t WHERE v NOT BETWEEN 1 AND 10")
+                .unwrap();
+            assert_eq!(rs.rows, vec![vec![Value::Int(50)]], "columnar={columnar}");
+
+            // Interpreted path: column-dependent bounds cannot compile.
+            let rs = e
+                .query("SELECT v FROM t WHERE v NOT BETWEEN ttid AND ttid + 9")
+                .unwrap();
+            assert_eq!(rs.rows, vec![vec![Value::Int(50)]], "columnar={columnar}");
+
+            // Group path: MIN over tenant 2's all-NULL group is NULL, which
+            // must not satisfy the HAVING's NOT BETWEEN.
+            let rs = e
+                .query(
+                    "SELECT ttid FROM t GROUP BY ttid \
+                     HAVING MIN(v) NOT BETWEEN 1 AND 10 ORDER BY ttid",
+                )
+                .unwrap();
+            assert!(rs.rows.is_empty(), "columnar={columnar}: {rs:?}");
+        }
     }
 
     #[test]

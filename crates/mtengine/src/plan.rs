@@ -37,8 +37,8 @@ use mtsql::ast::*;
 use mtsql::visit::{collect_aggregate_calls, contains_subquery, split_conjuncts};
 
 use crate::conjuncts::{
-    contains_aggregate, equi_join_keys, expr_resolvable, is_consumed_equi_key, map_columns,
-    partition_keys_of_conjunct, take_applicable,
+    contains_aggregate, equi_join_keys, expr_resolvable, is_consumed_equi_key,
+    is_param_partition_key_conjunct, map_columns, partition_keys_of_conjunct, take_applicable,
 };
 use crate::error::Result;
 use crate::exec::Executor;
@@ -72,6 +72,13 @@ pub struct SeqScan {
     pub residual: Vec<Expr>,
     /// Keys selected by the pruning predicates; `None` scans every bucket.
     pub prune_keys: Option<BTreeSet<i64>>,
+    /// Partition-key predicates whose key side contains parameter
+    /// placeholders (`ttid = $1`). They cannot prune at plan time, so they
+    /// are *also* members of `residual` (correctness never depends on them);
+    /// once parameters are bound, the executor folds them to key sets and
+    /// intersects those into the effective pruning set — prepared statements
+    /// keep scan-time tenant pruning without replanning per bind.
+    pub param_pruning: Vec<Expr>,
 }
 
 impl SeqScan {
@@ -577,6 +584,7 @@ impl<'e> Planner<'e> {
     ) -> SeqScan {
         let mut prune_keys: Option<BTreeSet<i64>> = None;
         let mut pruning: Vec<Expr> = Vec::new();
+        let mut param_pruning: Vec<Expr> = Vec::new();
         if self.engine.config().partition_pruning {
             if let Some(pidx) = partition_col {
                 // Fold key expressions with the executor's full constant
@@ -591,6 +599,10 @@ impl<'e> Planner<'e> {
                             None => keys,
                             Some(prev) => prev.intersection(&keys).copied().collect(),
                         });
+                    } else if is_param_partition_key_conjunct(c, &schema, pidx) {
+                        // The key depends on a statement parameter: defer to
+                        // bind time. The conjunct stays in `residual` below.
+                        param_pruning.push(c.clone());
                     }
                 }
             }
@@ -606,6 +618,7 @@ impl<'e> Planner<'e> {
             pruning,
             residual,
             prune_keys,
+            param_pruning,
         }
     }
 
@@ -863,9 +876,11 @@ pub(crate) fn substitute_aliases(expr: &Expr, aliases: &HashMap<String, Expr>) -
             query: query.clone(),
             negated: *negated,
         },
-        Expr::Literal(_) | Expr::Column(_) | Expr::Exists { .. } | Expr::ScalarSubquery(_) => {
-            expr.clone()
-        }
+        Expr::Literal(_)
+        | Expr::Param(_)
+        | Expr::Column(_)
+        | Expr::Exists { .. }
+        | Expr::ScalarSubquery(_) => expr.clone(),
     }
 }
 
@@ -948,6 +963,12 @@ fn render(engine: &Engine, plan: &Plan, depth: usize, out: &mut String) {
                     ));
                 }
                 (None, _) => {}
+            }
+            if !scan.param_pruning.is_empty() {
+                notes.push(format!(
+                    "prune at bind: {}",
+                    join_exprs(&scan.param_pruning)
+                ));
             }
             // `vectorized` marks scans over columnar buckets: predicates run
             // as column kernels, rows late-materialize. A hybrid scan runs

@@ -35,6 +35,43 @@ pub struct StatsSnapshot {
     pub udf_calls: u64,
     /// UDF invocations answered from the immutable-result cache.
     pub udf_cache_hits: u64,
+    /// Statement executions served from the prepared-plan cache (the parse /
+    /// scope-resolution / rewrite / planning front-end was skipped entirely).
+    pub prepared_cache_hits: u64,
+    /// Statement executions that had to run the full rewrite/plan front-end
+    /// (first execution, or a catalog/privilege epoch change invalidated the
+    /// cached plan).
+    pub prepared_cache_misses: u64,
+}
+
+impl StatsSnapshot {
+    /// Field-wise `self - before`, saturating at zero (a concurrent
+    /// `reset_stats` may move counters backwards). Used to attribute the
+    /// shared engine counters to one statement execution.
+    pub fn delta_from(&self, before: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            rows_scanned: self.rows_scanned.saturating_sub(before.rows_scanned),
+            partitions_scanned: self
+                .partitions_scanned
+                .saturating_sub(before.partitions_scanned),
+            partitions_pruned: self
+                .partitions_pruned
+                .saturating_sub(before.partitions_pruned),
+            parallel_scans: self.parallel_scans.saturating_sub(before.parallel_scans),
+            rows_vectorized: self.rows_vectorized.saturating_sub(before.rows_vectorized),
+            late_materialized: self
+                .late_materialized
+                .saturating_sub(before.late_materialized),
+            udf_calls: self.udf_calls.saturating_sub(before.udf_calls),
+            udf_cache_hits: self.udf_cache_hits.saturating_sub(before.udf_cache_hits),
+            prepared_cache_hits: self
+                .prepared_cache_hits
+                .saturating_sub(before.prepared_cache_hits),
+            prepared_cache_misses: self
+                .prepared_cache_misses
+                .saturating_sub(before.prepared_cache_misses),
+        }
+    }
 }
 
 /// Internal atomic counters owned by the engine.
@@ -46,6 +83,8 @@ pub struct EngineCounters {
     parallel_scans: AtomicU64,
     rows_vectorized: AtomicU64,
     late_materialized: AtomicU64,
+    prepared_cache_hits: AtomicU64,
+    prepared_cache_misses: AtomicU64,
 }
 
 impl EngineCounters {
@@ -109,6 +148,25 @@ impl EngineCounters {
         self.late_materialized.load(Ordering::Relaxed)
     }
 
+    /// Record one prepared-plan cache lookup outcome.
+    pub fn add_prepared_cache(&self, hit: bool) {
+        if hit {
+            self.prepared_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.prepared_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current prepared-plan cache hit count.
+    pub fn prepared_cache_hits(&self) -> u64 {
+        self.prepared_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Current prepared-plan cache miss count.
+    pub fn prepared_cache_misses(&self) -> u64 {
+        self.prepared_cache_misses.load(Ordering::Relaxed)
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.rows_scanned.store(0, Ordering::Relaxed);
@@ -117,6 +175,8 @@ impl EngineCounters {
         self.parallel_scans.store(0, Ordering::Relaxed);
         self.rows_vectorized.store(0, Ordering::Relaxed);
         self.late_materialized.store(0, Ordering::Relaxed);
+        self.prepared_cache_hits.store(0, Ordering::Relaxed);
+        self.prepared_cache_misses.store(0, Ordering::Relaxed);
     }
 }
 

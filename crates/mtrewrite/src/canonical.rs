@@ -437,7 +437,11 @@ fn rewrite_expr(
             }
             expr.clone()
         }
-        Expr::Literal(_) => expr.clone(),
+        // Parameters are client-format constants bound at execution time;
+        // like literals they pass through the canonical rewrite unchanged
+        // (comparisons against convertible attributes convert the attribute
+        // side, which is exactly what makes the bound value comparable).
+        Expr::Literal(_) | Expr::Param(_) => expr.clone(),
         Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
             left: Box::new(rewrite_expr(left, catalog, settings, bindings)?),
             op: *op,

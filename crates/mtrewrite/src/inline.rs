@@ -232,7 +232,7 @@ impl InlineState<'_> {
             }
         }
         match expr {
-            Expr::Column(_) | Expr::Literal(_) => expr.clone(),
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => expr.clone(),
             Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
                 left: Box::new(self.inline_expr(left)),
                 op: *op,

@@ -235,6 +235,11 @@ pub enum Expr {
         expr: Box<Expr>,
         data_type: DataType,
     },
+    /// A prepared-statement parameter placeholder (`?` or `$n` in SQL),
+    /// holding its 0-based parameter index. Parameters are bound to concrete
+    /// values at execution time (`Statement::bind` in the mtbase client API);
+    /// the rewriter and planner treat them as opaque client-format constants.
+    Param(usize),
 }
 
 impl Expr {
@@ -298,6 +303,11 @@ impl Expr {
             acc = Expr::and(acc, p);
         }
         Some(acc)
+    }
+
+    /// Parameter placeholder with a 0-based index (`$1` ⇒ `Expr::param(0)`).
+    pub fn param(index: usize) -> Self {
+        Expr::Param(index)
     }
 
     /// Scalar function call helper.

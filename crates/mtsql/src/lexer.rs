@@ -100,6 +100,24 @@ impl<'a> Lexer<'a> {
                     }
                     TokenKind::AtIdent(ident)
                 }
+                b'?' => self.single(TokenKind::Question),
+                b'$' => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                    if start == self.pos {
+                        return Err(ParseError::at(
+                            "expected parameter number after `$`",
+                            offset,
+                        ));
+                    }
+                    let n: u32 = self.input[start..self.pos].parse().map_err(|_| {
+                        ParseError::at("parameter number out of range after `$`", offset)
+                    })?;
+                    TokenKind::DollarParam(n)
+                }
                 b'"' => self.quoted_identifier()?,
                 c if c.is_ascii_digit() => self.number(),
                 c if c.is_ascii_alphabetic() || c == b'_' => {

@@ -44,10 +44,25 @@ pub fn parse_expression(input: &str) -> Result<Expr> {
     Ok(e)
 }
 
+/// Parameter placeholder style seen so far in one statement. The two styles
+/// cannot be mixed: `?` auto-numbers left to right while `$n` is explicit,
+/// and combining them would silently alias positions (PostgreSQL rejects
+/// the mix too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParamStyle {
+    Question,
+    Dollar,
+}
+
 /// The parser state: a token stream and a cursor.
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Next auto-assigned index for `?` placeholders (each `?` takes the next
+    /// position, matching the JDBC/ODBC convention).
+    next_param: usize,
+    /// Which placeholder style this statement uses, once one was seen.
+    param_style: Option<ParamStyle>,
 }
 
 impl Parser {
@@ -56,7 +71,24 @@ impl Parser {
         Ok(Parser {
             tokens: tokenize(input)?,
             pos: 0,
+            next_param: 0,
+            param_style: None,
         })
+    }
+
+    /// Record the placeholder style of the statement, rejecting a mix.
+    fn note_param_style(&mut self, style: ParamStyle) -> Result<()> {
+        match self.param_style {
+            None => {
+                self.param_style = Some(style);
+                Ok(())
+            }
+            Some(seen) if seen == style => Ok(()),
+            Some(_) => Err(ParseError::at(
+                "cannot mix `?` and `$n` parameter placeholders in one statement",
+                self.offset(),
+            )),
+        }
     }
 
     // -- token helpers ------------------------------------------------------
@@ -579,6 +611,25 @@ impl Parser {
             TokenKind::StringLit(s) => {
                 self.advance();
                 Ok(Expr::Literal(Literal::String(s)))
+            }
+            TokenKind::Question => {
+                self.advance();
+                self.note_param_style(ParamStyle::Question)?;
+                let index = self.next_param;
+                self.next_param += 1;
+                Ok(Expr::Param(index))
+            }
+            TokenKind::DollarParam(n) => {
+                self.advance();
+                self.note_param_style(ParamStyle::Dollar)?;
+                if n == 0 {
+                    return Err(ParseError::at(
+                        "parameter numbers start at $1",
+                        self.offset(),
+                    ));
+                }
+                // `$n` is 1-based in SQL; indices are 0-based internally.
+                Ok(Expr::Param((n - 1) as usize))
             }
             TokenKind::Keyword(kw) => match kw.as_str() {
                 "NULL" => {
@@ -1437,6 +1488,45 @@ mod tests {
     fn parses_derived_table() {
         let q = parse_query("SELECT x.a FROM (SELECT a FROM t) AS x").unwrap();
         assert!(matches!(q.body.from[0], TableRef::Derived { .. }));
+    }
+
+    #[test]
+    fn question_mark_parameters_auto_number_in_order() {
+        let q = parse_query("SELECT a FROM t WHERE a > ? AND b BETWEEN ? AND ?").unwrap();
+        let mut max = None;
+        crate::visit::max_param_index_query(&q, &mut max);
+        assert_eq!(max, Some(2));
+        assert_eq!(crate::visit::param_count_query(&q), 3);
+        // The printed form uses explicit positions and round-trips.
+        let printed = q.to_string();
+        assert!(
+            printed.contains("$1") && printed.contains("$3"),
+            "{printed}"
+        );
+        assert_eq!(parse_query(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn dollar_parameters_are_one_based_and_cannot_mix_with_question_marks() {
+        let e = parse_expression("a = $2").unwrap();
+        match e {
+            Expr::BinaryOp { right, .. } => assert_eq!(*right, Expr::Param(1)),
+            other => panic!("expected comparison, got {other:?}"),
+        }
+        // Mixing styles would silently alias positions; it is rejected in
+        // either order (matching PostgreSQL).
+        assert!(parse_query("SELECT a FROM t WHERE a = $2 AND b = ?").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE a = ? AND b = $1").is_err());
+        // `$0` is invalid, as is a bare `$`.
+        assert!(parse_expression("a = $0").is_err());
+        assert!(parse_expression("a = $").is_err());
+    }
+
+    #[test]
+    fn parameters_inside_subqueries_count_toward_the_statement() {
+        let q = parse_query("SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE c = ?) AND d = ?")
+            .unwrap();
+        assert_eq!(crate::visit::param_count_query(&q), 2);
     }
 
     #[test]

@@ -245,6 +245,8 @@ impl fmt::Display for Expr {
                 None => write!(f, "SUBSTRING({expr} FROM {start})"),
             },
             Expr::Cast { expr, data_type } => write!(f, "CAST({expr} AS {data_type})"),
+            // Printed 1-based so the text re-parses to the same index.
+            Expr::Param(index) => write!(f, "${}", index + 1),
         }
     }
 }

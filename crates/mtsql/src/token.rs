@@ -28,6 +28,10 @@ pub enum TokenKind {
     StringLit(String),
     /// `@name` — reference to a conversion function in a `CONVERTIBLE` clause.
     AtIdent(String),
+    /// `?` — a positional parameter placeholder (auto-numbered by the parser).
+    Question,
+    /// `$n` — an explicitly numbered parameter placeholder (1-based in SQL).
+    DollarParam(u32),
     /// `(`
     LParen,
     /// `)`
@@ -74,6 +78,8 @@ impl fmt::Display for TokenKind {
             TokenKind::Number(n) => write!(f, "number `{n}`"),
             TokenKind::StringLit(s) => write!(f, "string '{s}'"),
             TokenKind::AtIdent(s) => write!(f, "@{s}"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::DollarParam(n) => write!(f, "${n}"),
             TokenKind::LParen => write!(f, "`(`"),
             TokenKind::RParen => write!(f, "`)`"),
             TokenKind::Comma => write!(f, "`,`"),

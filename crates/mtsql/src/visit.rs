@@ -40,8 +40,133 @@ pub fn contains_subquery(expr: &Expr) -> bool {
                 || length.as_deref().is_some_and(contains_subquery)
         }
         Expr::Cast { expr, .. } => contains_subquery(expr),
-        Expr::Column(_) | Expr::Literal(_) => false,
+        Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => false,
     }
+}
+
+/// Does this expression contain a parameter placeholder anywhere outside of
+/// nested sub-queries? (Parameters inside a sub-query still belong to the
+/// same statement-wide parameter list, so those are counted too.)
+pub fn contains_param(expr: &Expr) -> bool {
+    let mut max = None;
+    max_param_index(expr, &mut max);
+    max.is_some()
+}
+
+/// Track the highest parameter index used anywhere in an expression,
+/// *including* inside sub-queries — parameters are numbered per statement.
+pub fn max_param_index(expr: &Expr, max: &mut Option<usize>) {
+    let mut bump = |i: usize| {
+        *max = Some(max.map_or(i, |m: usize| m.max(i)));
+    };
+    match expr {
+        Expr::Param(i) => bump(*i),
+        Expr::Column(_) | Expr::Literal(_) => {}
+        Expr::BinaryOp { left, right, .. } => {
+            max_param_index(left, max);
+            max_param_index(right, max);
+        }
+        Expr::UnaryOp { expr, .. } => max_param_index(expr, max),
+        Expr::Function(f) => f.args.iter().for_each(|a| max_param_index(a, max)),
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                max_param_index(o, max);
+            }
+            for (w, t) in when_then {
+                max_param_index(w, max);
+                max_param_index(t, max);
+            }
+            if let Some(e) = else_expr {
+                max_param_index(e, max);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            max_param_index(expr, max);
+            list.iter().for_each(|i| max_param_index(i, max));
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            max_param_index(expr, max);
+            max_param_index(low, max);
+            max_param_index(high, max);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            max_param_index(expr, max);
+            max_param_index(pattern, max);
+        }
+        Expr::IsNull { expr, .. } => max_param_index(expr, max),
+        Expr::Extract { expr, .. } => max_param_index(expr, max),
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            max_param_index(expr, max);
+            max_param_index(start, max);
+            if let Some(l) = length {
+                max_param_index(l, max);
+            }
+        }
+        Expr::Cast { expr, .. } => max_param_index(expr, max),
+        Expr::InSubquery { expr, query, .. } => {
+            max_param_index(expr, max);
+            max_param_index_query(query, max);
+        }
+        Expr::Exists { query, .. } => max_param_index_query(query, max),
+        Expr::ScalarSubquery(q) => max_param_index_query(q, max),
+    }
+}
+
+/// Track the highest parameter index used anywhere in a query.
+pub fn max_param_index_query(query: &Query, max: &mut Option<usize>) {
+    fn visit_table_ref(t: &TableRef, max: &mut Option<usize>) {
+        match t {
+            TableRef::Table { .. } => {}
+            TableRef::Derived { query, .. } => max_param_index_query(query, max),
+            TableRef::Join {
+                left, right, on, ..
+            } => {
+                visit_table_ref(left, max);
+                visit_table_ref(right, max);
+                if let Some(cond) = on {
+                    max_param_index(cond, max);
+                }
+            }
+        }
+    }
+    for item in &query.body.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            max_param_index(expr, max);
+        }
+    }
+    for t in &query.body.from {
+        visit_table_ref(t, max);
+    }
+    if let Some(sel) = &query.body.selection {
+        max_param_index(sel, max);
+    }
+    for g in &query.body.group_by {
+        max_param_index(g, max);
+    }
+    if let Some(h) = &query.body.having {
+        max_param_index(h, max);
+    }
+    for o in &query.order_by {
+        max_param_index(&o.expr, max);
+    }
+}
+
+/// Number of parameter slots a query needs bound: the highest parameter
+/// index used anywhere plus one (0 for a parameter-free query).
+pub fn param_count_query(query: &Query) -> usize {
+    let mut max = None;
+    max_param_index_query(query, &mut max);
+    max.map_or(0, |m| m + 1)
 }
 
 /// Collect every column reference of an expression. Columns inside sub-queries
@@ -50,7 +175,7 @@ pub fn contains_subquery(expr: &Expr) -> bool {
 pub fn collect_columns(expr: &Expr, out: &mut Vec<ColumnRef>) {
     match expr {
         Expr::Column(c) => out.push(c.clone()),
-        Expr::Literal(_) => {}
+        Expr::Literal(_) | Expr::Param(_) => {}
         Expr::BinaryOp { left, right, .. } => {
             collect_columns(left, out);
             collect_columns(right, out);
@@ -170,7 +295,7 @@ pub fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
         Expr::Cast { expr, .. } => collect_aggregate_calls(expr, out),
         // Aggregates inside sub-queries belong to the sub-query.
         Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {}
-        Expr::Column(_) | Expr::Literal(_) => {}
+        Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => {}
     }
 }
 

@@ -8,7 +8,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use mtbase::testkit::running_example_server;
-use mtbase::{EngineConfig, OptLevel};
+use mtbase::{EngineConfig, OptLevel, Value};
 
 fn main() {
     let server = running_example_server(EngineConfig::postgres_like());
@@ -67,4 +67,42 @@ fn main() {
         "\naverage salary across both tenants (USD): {}",
         avg.rows[0][0]
     );
+
+    // The prepared API: parse + rewrite + plan once, then re-execute with
+    // different parameter bindings — every call after the first serves the
+    // whole front-end from the server's plan cache.
+    let mut stmt = conn
+        .prepare("SELECT E_name, E_salary FROM Employees WHERE E_salary > $1 ORDER BY E_salary")
+        .expect("prepare");
+    println!("\nprepared: employees above a salary threshold (USD):");
+    for threshold in [60_000.0, 120_000.0, 240_000.0] {
+        let rs = stmt
+            .execute_with(&[Value::Float(threshold)])
+            .expect("prepared execute");
+        println!("  > {threshold:>9}: {} employee(s)", rs.rows.len());
+    }
+    let stats = stmt.last_query_stats();
+    println!(
+        "  last execution: {} plan-cache hit(s), {} miss(es)",
+        stats.prepared_cache_hits, stats.prepared_cache_misses
+    );
+
+    // Results can also be pulled through a cursor batch-at-a-time. Simple
+    // scan–filter–project plans stream without ever materializing the full
+    // result; blocking plans (sorts, aggregates — or, as here at o4, the
+    // conversion-inlining joins) materialize internally behind the same
+    // pull interface.
+    let mut scan = conn
+        .prepare("SELECT E_name, E_salary FROM Employees WHERE E_salary > $1")
+        .expect("prepare scan");
+    scan.bind(&[Value::Float(0.0)]).expect("bind");
+    let mut cursor = scan.cursor_with_batch(2).expect("cursor");
+    println!("\ncursor over all employees, 2 rows per batch:");
+    let mut batch_no = 0;
+    while let Some(batch) = cursor.next_batch().expect("fetch") {
+        batch_no += 1;
+        for row in &batch {
+            println!("  batch {batch_no}: {:<10} {:>12}", row[0], row[1]);
+        }
+    }
 }

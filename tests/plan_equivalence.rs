@@ -111,6 +111,119 @@ proptest! {
     }
 }
 
+/// Parameterized query templates for the prepared-statement equivalence
+/// property, paired with pools of candidate parameter vectors.
+const PREPARED_TEMPLATES: [&str; 4] = [
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+     WHERE l_quantity < ? AND l_discount BETWEEN ? AND ?",
+    "SELECT l_orderkey, l_quantity FROM lineitem \
+     WHERE l_quantity >= $1 AND l_shipmode = $2 ORDER BY l_orderkey, l_quantity",
+    "SELECT COUNT(*) FROM lineitem WHERE ttid = ?",
+    "SELECT l_returnflag, COUNT(*) AS cnt FROM lineitem \
+     WHERE l_quantity BETWEEN ? AND ? GROUP BY l_returnflag ORDER BY l_returnflag",
+];
+
+fn template_params(template_idx: usize, variant: usize) -> Vec<mtbase::Value> {
+    use mtbase::Value;
+    match template_idx {
+        0 => {
+            let q = [11, 24, 35][variant % 3];
+            let lo = [0.02, 0.05][variant % 2];
+            vec![Value::Int(q), Value::Float(lo), Value::Float(lo + 0.02)]
+        }
+        1 => {
+            let q = [45, 48][variant % 2];
+            let mode = ["MAIL", "SHIP", "RAIL"][variant % 3];
+            vec![Value::Int(q), Value::str(mode)]
+        }
+        2 => vec![Value::Int((variant % 4) as i64 + 1)],
+        _ => {
+            let lo = [5, 20][variant % 2] as i64;
+            vec![Value::Int(lo), Value::Int(lo + 15)]
+        }
+    }
+}
+
+/// Render a parameter value as a SQL literal (for the inlined one-shot
+/// counterpart of a prepared execution).
+fn literal(v: &mtbase::Value) -> String {
+    use mtbase::Value;
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Str(s) => format!("'{s}'"),
+        other => panic!("no literal form for {other:?}"),
+    }
+}
+
+/// Substitute `?` / `$n` placeholders with inlined literals, in order (the
+/// templates use each parameter exactly once, in positional order).
+fn inline_literals(template: &str, params: &[mtbase::Value]) -> String {
+    let mut out = String::new();
+    let mut next = 0usize;
+    let mut chars = template.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '?' => {
+                out.push_str(&literal(&params[next]));
+                next += 1;
+            }
+            '$' if chars.peek().is_some_and(|c| c.is_ascii_digit()) => {
+                let mut n = 0usize;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n * 10 + d as usize;
+                    chars.next();
+                }
+                out.push_str(&literal(&params[n - 1]));
+                next = next.max(n);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Prepared + bound execution must be byte-identical to one-shot
+    /// `execute` with the parameter values inlined as literals, across the
+    /// {columnar, row} × {parallel, serial} configuration cross — binding
+    /// must not change what the plan computes, only what it is compared to.
+    #[test]
+    fn prepared_execution_equals_one_shot_with_literals(
+        t_idx in 0_usize..PREPARED_TEMPLATES.len(),
+        variant in 0_usize..6,
+        level_idx in 0_usize..LEVELS.len(),
+        scope_idx in 0_usize..SCOPES.len(),
+    ) {
+        let f = fixtures();
+        let template = PREPARED_TEMPLATES[t_idx];
+        let params = template_params(t_idx, variant);
+        let level = LEVELS[level_idx];
+        let scope = SCOPES[scope_idx];
+        let inlined = inline_literals(template, &params);
+
+        for dep in [&f.parallel, &f.serial, &f.row_parallel, &f.row_serial] {
+            let mut conn = dep.server.connect(1);
+            conn.set_opt_level(level);
+            conn.execute(scope).expect("scope statement");
+            let mut stmt = conn.prepare(template)
+                .unwrap_or_else(|e| panic!("prepare `{template}`: {e}"));
+            let prepared = stmt.execute_with(&params)
+                .unwrap_or_else(|e| panic!("prepared `{template}` {params:?}: {e}"));
+            // Draining the same statement through a cursor must agree too.
+            let mut cursor = stmt.cursor_with_batch(128).unwrap();
+            let mut streamed: Vec<Vec<mtbase::Value>> = Vec::new();
+            while let Some(batch) = cursor.next_batch().unwrap() {
+                streamed.extend(batch);
+            }
+            let one_shot = conn.query(&inlined)
+                .unwrap_or_else(|e| panic!("one-shot `{inlined}`: {e}"));
+            prop_assert_eq!(&prepared.rows, &one_shot.rows);
+            prop_assert_eq!(&streamed, &one_shot.rows);
+        }
+    }
+}
+
 /// The columnar configurations must actually exercise the vectorized scan
 /// path, and the row configurations must never report it.
 #[test]

@@ -1,0 +1,362 @@
+//! Integration tests for the session API v2: prepare / bind / execute /
+//! cursor, the server-side prepared-plan cache and its invalidation rules.
+//!
+//! The key acceptance properties pinned here:
+//!
+//! * re-executing a prepared statement with different parameters performs
+//!   zero parse/rewrite/plan work — observable as `prepared_cache_hits`
+//!   incrementing and `EXPLAIN` marking the plan `(cached)`;
+//! * results are byte-identical to one-shot `execute` with the parameter
+//!   values inlined as literals;
+//! * cached plans are *invalidated* (never served stale) by DROP/CREATE
+//!   TABLE, by GRANT/REVOKE that change the effective dataset D', and by
+//!   `SET SCOPE`;
+//! * draining a pipeline-able plan through a `Cursor` never materializes the
+//!   full result set.
+
+use mtbase::testkit::running_example_server;
+use mtbase::{EngineConfig, MtBase, Value};
+use std::sync::Arc;
+
+fn example_server() -> Arc<MtBase> {
+    let server = running_example_server(EngineConfig::default());
+    server.grant_read_all(0);
+    server
+}
+
+#[test]
+fn prepared_execution_matches_one_shot_with_inlined_literals() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+
+    let mut stmt = conn
+        .prepare("SELECT E_name, E_salary FROM Employees WHERE E_salary > ? ORDER BY E_name")
+        .unwrap();
+    assert_eq!(stmt.param_count(), 1);
+
+    for threshold in [60_000.0, 117_000.0, 999_999.0] {
+        let prepared = stmt.execute_with(&[Value::Float(threshold)]).unwrap();
+        let one_shot = conn
+            .query(&format!(
+                "SELECT E_name, E_salary FROM Employees WHERE E_salary > {threshold} \
+                 ORDER BY E_name"
+            ))
+            .unwrap();
+        assert_eq!(prepared, one_shot, "threshold {threshold}");
+    }
+}
+
+#[test]
+fn dollar_n_parameters_bind_positionally() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+    let mut stmt = conn
+        .prepare("SELECT E_name FROM Employees WHERE E_age BETWEEN $1 AND $2 ORDER BY E_name")
+        .unwrap();
+    assert_eq!(stmt.param_count(), 2);
+    let rs = stmt
+        .execute_with(&[Value::Int(40), Value::Int(50)])
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![vec![Value::str("Alice")], vec![Value::str("Ed")]]
+    );
+}
+
+#[test]
+fn bind_checks_arity() {
+    let server = example_server();
+    let conn = server.connect(0);
+    let mut stmt = conn
+        .prepare("SELECT E_name FROM Employees WHERE E_age > ?")
+        .unwrap();
+    assert!(stmt.bind(&[]).is_err());
+    assert!(stmt.bind(&[Value::Int(1), Value::Int(2)]).is_err());
+    assert!(stmt.execute().is_err(), "unbound execute must fail");
+    assert!(stmt.bind(&[Value::Int(30)]).is_ok());
+    assert!(stmt.execute().is_ok());
+}
+
+#[test]
+fn re_execution_hits_the_plan_cache() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+    let mut stmt = conn
+        .prepare("SELECT COUNT(*) FROM Employees WHERE E_age > ?")
+        .unwrap();
+
+    server.reset_stats();
+    stmt.execute_with(&[Value::Int(30)]).unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.prepared_cache_misses, 1, "first execution plans");
+    assert_eq!(stats.prepared_cache_hits, 0);
+    assert_eq!(stmt.last_query_stats().prepared_cache_misses, 1);
+
+    // Re-execute with a *different* parameter: same key, zero front-end
+    // work — only the hit counter moves.
+    stmt.execute_with(&[Value::Int(45)]).unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.prepared_cache_misses, 1);
+    assert_eq!(stats.prepared_cache_hits, 1, "re-execution must hit");
+    assert_eq!(stmt.last_query_stats().prepared_cache_hits, 1);
+
+    stmt.execute_with(&[Value::Int(70)]).unwrap();
+    assert_eq!(server.stats().prepared_cache_hits, 2);
+    assert_eq!(server.plan_cache_len(), 1, "one plan serves all bindings");
+}
+
+#[test]
+fn one_shot_queries_share_the_cache_and_explain_marks_reuse() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+    let sql = "SELECT E_name FROM Employees WHERE E_age > 40 ORDER BY E_name";
+
+    // First EXPLAIN: the plan is not cached yet — no marker.
+    let rs = conn.query(&format!("EXPLAIN {sql}")).unwrap();
+    let first_line = rs.rows[0][0].as_str().unwrap().to_string();
+    assert!(
+        !first_line.contains("(cached)"),
+        "fresh plan must not claim caching: {first_line}"
+    );
+
+    // Execute, then EXPLAIN again: same key → served from cache, marked.
+    conn.query(sql).unwrap();
+    let rs = conn.query(&format!("EXPLAIN {sql}")).unwrap();
+    let marked_line = rs.rows[0][0].as_str().unwrap();
+    assert!(
+        marked_line.contains("(cached)"),
+        "EXPLAIN of a cached plan must say so: {marked_line}"
+    );
+    assert_eq!(marked_line.trim_end_matches(" (cached)"), first_line);
+}
+
+#[test]
+fn ddl_invalidates_cached_plans() {
+    let server = MtBase::new(EngineConfig::default());
+    let mut conn = server.connect(1);
+    conn.execute(
+        "CREATE TABLE items SPECIFIC (i_id INTEGER NOT NULL SPECIFIC, \
+         i_v INTEGER NOT NULL COMPARABLE)",
+    )
+    .unwrap();
+    conn.execute("INSERT INTO items (i_id, i_v) VALUES (1, 10), (2, 20)")
+        .unwrap();
+
+    let mut stmt = conn.prepare("SELECT COUNT(*) FROM items").unwrap();
+    assert_eq!(stmt.execute().unwrap().scalar(), Some(&Value::Int(2)));
+
+    // DROP + CREATE a fresh (empty) table: the cached plan must not survive.
+    conn.execute("DROP TABLE items").unwrap();
+    conn.execute(
+        "CREATE TABLE items SPECIFIC (i_id INTEGER NOT NULL SPECIFIC, \
+         i_v INTEGER NOT NULL COMPARABLE)",
+    )
+    .unwrap();
+    server.reset_stats();
+    assert_eq!(
+        stmt.execute().unwrap().scalar(),
+        Some(&Value::Int(0)),
+        "stale plan served after DDL"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.prepared_cache_misses, 1, "DDL must force a replan");
+    assert_eq!(stats.prepared_cache_hits, 0);
+}
+
+#[test]
+fn grant_and_revoke_invalidate_cached_plans() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+    let mut stmt = conn.prepare("SELECT COUNT(*) FROM Employees").unwrap();
+    // grant_read_all(0) gave client 0 access to tenant 1's share: 6 rows.
+    assert_eq!(stmt.execute().unwrap().scalar(), Some(&Value::Int(6)));
+
+    // Tenant 1 revokes: D' shrinks to {0}; the old plan (with its D-filter
+    // over {0, 1}) must not be served.
+    let mut owner = server.connect(1);
+    owner.execute("REVOKE READ ON Employees FROM 0").unwrap();
+    assert_eq!(
+        stmt.execute().unwrap().scalar(),
+        Some(&Value::Int(3)),
+        "stale plan served after REVOKE"
+    );
+
+    // Granting again restores the wider dataset.
+    let mut owner = server.connect(1);
+    owner.execute("GRANT READ ON Employees TO 0").unwrap();
+    assert_eq!(stmt.execute().unwrap().scalar(), Some(&Value::Int(6)));
+}
+
+#[test]
+fn set_scope_invalidates_cached_plans() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+    let mut stmt = conn.prepare("SELECT COUNT(*) FROM Employees").unwrap();
+    assert_eq!(stmt.execute().unwrap().scalar(), Some(&Value::Int(6)));
+
+    // Narrow the scope on the *connection*: the prepared statement shares
+    // the session, so its next execution resolves the new D' and replans.
+    conn.execute("SET SCOPE = \"IN (0)\"").unwrap();
+    assert_eq!(
+        stmt.execute().unwrap().scalar(),
+        Some(&Value::Int(3)),
+        "stale plan served after SET SCOPE"
+    );
+
+    // And back: the earlier plan is still in the cache (epoch unchanged),
+    // so widening the scope again is a pure cache hit.
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+    server.reset_stats();
+    assert_eq!(stmt.execute().unwrap().scalar(), Some(&Value::Int(6)));
+    assert_eq!(server.stats().prepared_cache_hits, 1);
+}
+
+#[test]
+fn cursor_streams_without_materializing_pipeline_results() {
+    let server = MtBase::new(EngineConfig::default());
+    let mut conn = server.connect(1);
+    conn.execute(
+        "CREATE TABLE big SPECIFIC (b_id INTEGER NOT NULL SPECIFIC, \
+         b_v INTEGER NOT NULL COMPARABLE)",
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..5000)
+        .map(|i| vec![Value::Int(1), Value::Int(i), Value::Int(i % 100)])
+        .collect();
+    server.load_rows("big", rows).unwrap();
+
+    let mut stmt = conn
+        .prepare("SELECT b_id, b_v FROM big WHERE b_v < ?")
+        .unwrap();
+    stmt.bind(&[Value::Int(90)]).unwrap();
+    let materialized = stmt.execute().unwrap();
+    assert_eq!(materialized.rows.len(), 4500);
+
+    let mut cursor = stmt.cursor_with_batch(64).unwrap();
+    assert_eq!(cursor.columns(), materialized.columns.as_slice());
+    let mut streamed: Vec<Vec<Value>> = Vec::new();
+    while let Some(batch) = cursor.next_batch().unwrap() {
+        assert!(batch.len() <= 64);
+        streamed.extend(batch);
+    }
+    assert_eq!(streamed, materialized.rows, "cursor must match execute");
+    assert!(cursor.is_streaming());
+    assert!(
+        cursor.peak_resident_rows() <= 64,
+        "streaming cursor materialized {} rows at once",
+        cursor.peak_resident_rows()
+    );
+    assert_eq!(cursor.rows_fetched(), 4500);
+}
+
+#[test]
+fn cursor_over_blocking_plans_exposes_the_same_pull_interface() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+    let mut stmt = conn
+        .prepare("SELECT E_name FROM Employees ORDER BY E_salary DESC")
+        .unwrap();
+    let expected = stmt.execute().unwrap();
+
+    let mut cursor = stmt.cursor_with_batch(2).unwrap();
+    let mut rows = Vec::new();
+    while let Some(row) = cursor.next_row().unwrap() {
+        rows.push(row);
+    }
+    assert_eq!(rows, expected.rows);
+    assert!(!cursor.is_streaming(), "ORDER BY blocks");
+}
+
+#[test]
+fn bound_ttid_parameters_prune_partitions_at_bind_time() {
+    let server = MtBase::new(EngineConfig::default());
+    let mut conn = server.connect(1);
+    conn.execute("CREATE TABLE ev SPECIFIC (e_v INTEGER NOT NULL COMPARABLE)")
+        .unwrap();
+    // Load rows for four tenants directly (bypassing privileges).
+    let rows: Vec<Vec<Value>> = (0..400)
+        .map(|i| vec![Value::Int(i % 4 + 1), Value::Int(i)])
+        .collect();
+    server.load_rows("ev", rows).unwrap();
+    for t in 1..=4 {
+        server.register_tenant(t);
+        let mut owner = server.connect(t);
+        owner.execute("GRANT READ ON ev TO 1").unwrap();
+    }
+    conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+
+    // The rewrite adds `ttid IN (1,2,3,4)`; the *user* restriction on a
+    // single tenant arrives as a bound parameter. Static pruning keeps the
+    // scope set; bind-time pruning must intersect it down to one bucket.
+    let mut stmt = conn
+        .prepare("SELECT COUNT(*) FROM ev WHERE ttid = ?")
+        .unwrap();
+    server.reset_stats();
+    let rs = stmt.execute_with(&[Value::Int(3)]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(100)));
+    let stats = stmt.last_query_stats();
+    assert_eq!(
+        stats.rows_scanned, 100,
+        "bind-time pruning must scan one bucket, stats: {stats:?}"
+    );
+    assert_eq!(stats.partitions_scanned, 1);
+    assert_eq!(stats.partitions_pruned, 3);
+
+    // Rebinding moves the pruning to the other bucket without replanning.
+    let rs = stmt.execute_with(&[Value::Int(1)]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(100)));
+    let stats = stmt.last_query_stats();
+    assert_eq!(stats.partitions_pruned, 3);
+    assert_eq!(stats.prepared_cache_hits, 1, "rebind must not replan");
+}
+
+#[test]
+fn lru_evicts_under_pressure_but_keeps_serving() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    // Flood the cache with distinct one-shot statements.
+    for i in 0..200 {
+        conn.query(&format!("SELECT COUNT(*) FROM Employees WHERE E_age > {i}"))
+            .unwrap();
+    }
+    assert!(server.plan_cache_len() <= 128, "LRU capacity exceeded");
+    // Still fully functional afterwards.
+    let rs = conn.query("SELECT COUNT(*) FROM Employees").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn prepare_rejects_non_select_statements() {
+    let server = example_server();
+    let conn = server.connect(0);
+    assert!(conn.prepare("DROP TABLE Employees").is_err());
+    assert!(conn
+        .prepare("INSERT INTO Regions (Re_reg_id, Re_name) VALUES (9, 'X')")
+        .is_err());
+}
+
+#[test]
+fn rewritten_sql_is_observable_on_prepared_statements() {
+    let server = example_server();
+    let mut conn = server.connect(0);
+    conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
+    let mut stmt = conn
+        .prepare("SELECT AVG(E_salary) FROM Employees WHERE E_age > $1")
+        .unwrap();
+    let rewritten = stmt.rewritten().unwrap().to_string();
+    assert!(
+        rewritten.contains("$1"),
+        "parameter must survive the rewrite: {rewritten}"
+    );
+    assert!(
+        rewritten.contains("ttid"),
+        "rewrite must add D-filters: {rewritten}"
+    );
+}
