@@ -574,8 +574,25 @@ impl Selection {
     }
 }
 
+/// The match bitmap of one fast compiled predicate over a dictionary: entry
+/// `c` is the predicate's outcome for dictionary value `c`. Resolving the
+/// predicate costs one [`fast_pred_value`] call *per distinct value* (≤
+/// [`crate::table::DICT_MAX_DISTINCT`]) instead of one per row — this is the
+/// code-space form of equality, IN, BETWEEN-on-strings and LIKE. Because each
+/// entry is computed by the row path's own [`fast_pred_value`], the bitmap is
+/// result-identical to per-row evaluation by construction.
+pub fn dict_filter_bitmap(pred: &CompiledPred, dict: &[Arc<str>]) -> Vec<bool> {
+    dict.iter()
+        .map(|s| fast_pred_value(pred, &Value::Str(Arc::clone(s))))
+        .collect()
+}
+
 /// Apply one fast compiled predicate to a columnar bucket, column-at-a-time,
-/// narrowing `sel` to the rows that satisfy it.
+/// narrowing `sel` to the rows that satisfy it. Returns the number of rows
+/// evaluated *in code space* (dictionary-encoded columns: the predicate is
+/// resolved against the dictionary once via [`dict_filter_bitmap`] and rows
+/// compare codes) — 0 for every other column layout; callers feed it into
+/// the `dict_kernel_rows` counter.
 ///
 /// The typed kernels below mirror [`Value::compare`] exactly for their
 /// (column type, constant type) pair; every other combination falls back to a
@@ -587,7 +604,20 @@ impl Selection {
 ///
 /// Panics on [`CompiledPred::Generic`]; the executor interprets those against
 /// late-materialized rows instead.
-pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Selection) {
+pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Selection) -> u64 {
+    // Dictionary-encoded predicate columns take the code-space kernel for
+    // every predicate form: resolve once against the dictionary, compare
+    // codes per row. NULL slots hold placeholder codes; the null check runs
+    // first, so the bitmap is never indexed for them.
+    if let Some(idx) = pred.column_index() {
+        let col = bucket.column(idx);
+        if let ColumnVec::Dict(d) = col.data() {
+            let bitmap = dict_filter_bitmap(pred, d.dict());
+            let evaluated = sel.count() as u64;
+            sel.retain(|i| !col.is_null(i) && bitmap[d.code(i) as usize]);
+            return evaluated;
+        }
+    }
     match pred {
         CompiledPred::Compare { idx, op, value } => {
             let col = bucket.column(*idx);
@@ -710,6 +740,7 @@ pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Sel
         }
         CompiledPred::Generic(_) => unreachable!("column kernels only run compiled predicates"),
     }
+    0
 }
 
 #[cfg(test)]
@@ -931,5 +962,120 @@ mod tests {
                 .collect();
             assert_eq!(kernel_hits, row_hits, "kernel disagrees for {pred:?}");
         }
+    }
+
+    /// The dictionary code-space kernels must agree with the row path for
+    /// every fast predicate form — including NULLs, empty strings, negated
+    /// variants and non-string constants (UNKNOWN comparisons).
+    #[test]
+    fn dict_kernels_match_row_path() {
+        use crate::table::ColumnBucket;
+
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::str("MAIL")],
+            vec![Value::Int(2), Value::Null],
+            vec![Value::Int(3), Value::str("")],
+            vec![Value::Int(4), Value::str("SHIP")],
+            vec![Value::Int(5), Value::str("MAILBOX")],
+            vec![Value::Int(6), Value::str("AIR")],
+            vec![Value::Int(7), Value::str("MAIL")],
+        ];
+        let mut bucket = ColumnBucket::with_dictionary(2);
+        for r in &rows {
+            bucket.push_row(r);
+        }
+        // The string column must actually be dictionary-encoded, otherwise
+        // this test silently degenerates to the plain Str kernels.
+        assert!(bucket.column(1).is_dict());
+        let preds = vec![
+            CompiledPred::Compare {
+                idx: 1,
+                op: BinaryOperator::Eq,
+                value: Value::str("MAIL"),
+            },
+            CompiledPred::Compare {
+                idx: 1,
+                op: BinaryOperator::NotEq,
+                value: Value::str("MAIL"),
+            },
+            // String order through the sorted dictionary.
+            CompiledPred::Compare {
+                idx: 1,
+                op: BinaryOperator::Lt,
+                value: Value::str("MAILZ"),
+            },
+            // Incomparable constant: UNKNOWN for every row, like the row path.
+            CompiledPred::Compare {
+                idx: 1,
+                op: BinaryOperator::Eq,
+                value: Value::Int(5),
+            },
+            CompiledPred::InSet {
+                idx: 1,
+                values: vec![Value::str("MAIL"), Value::str("SHIP")],
+                negated: false,
+            },
+            CompiledPred::InSet {
+                idx: 1,
+                values: vec![Value::str("MAIL"), Value::str("SHIP")],
+                negated: true,
+            },
+            CompiledPred::Between {
+                idx: 1,
+                lo: Value::str("AIR"),
+                hi: Value::str("MAILZ"),
+                negated: false,
+            },
+            CompiledPred::Between {
+                idx: 1,
+                lo: Value::str("AIR"),
+                hi: Value::str("MAILZ"),
+                negated: true,
+            },
+            CompiledPred::Like {
+                idx: 1,
+                pattern: Arc::new(LikePattern::new("MAIL%")),
+                negated: false,
+            },
+            CompiledPred::Like {
+                idx: 1,
+                pattern: Arc::new(LikePattern::new("MAIL%")),
+                negated: true,
+            },
+            // Empty pattern matches only the empty string.
+            CompiledPred::Like {
+                idx: 1,
+                pattern: Arc::new(LikePattern::new("")),
+                negated: false,
+            },
+        ];
+        for pred in &preds {
+            let mut sel = Selection::all(rows.len());
+            let dict_rows = eval_vectorized(pred, &bucket, &mut sel);
+            assert_eq!(
+                dict_rows,
+                rows.len() as u64,
+                "dict kernel did not engage for {pred:?}"
+            );
+            let mut kernel_hits = Vec::new();
+            sel.for_each(|i| kernel_hits.push(i));
+            let row_hits: Vec<usize> = (0..rows.len())
+                .filter(|&i| fast_pred_matches(pred, &rows[i]))
+                .collect();
+            assert_eq!(kernel_hits, row_hits, "dict kernel disagrees for {pred:?}");
+        }
+    }
+
+    /// `dict_filter_bitmap` resolves a LIKE against the dictionary once:
+    /// entry per distinct value, outcomes identical to per-row matching.
+    #[test]
+    fn dict_bitmap_resolves_pattern_per_distinct_value() {
+        let dict: Vec<Arc<str>> = vec![Arc::from("AIR"), Arc::from("MAIL"), Arc::from("MAILBOX")];
+        let pred = CompiledPred::Like {
+            idx: 0,
+            pattern: Arc::new(LikePattern::new("MAIL%")),
+            negated: false,
+        };
+        assert_eq!(dict_filter_bitmap(&pred, &dict), vec![false, true, true]);
     }
 }

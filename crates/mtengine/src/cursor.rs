@@ -29,11 +29,11 @@
 use mtsql::ast::{Expr, SelectItem};
 use mtsql::visit::contains_subquery;
 
-use crate::conjuncts::{fast_pred_value, CompiledPred};
+use crate::conjuncts::{dict_filter_bitmap, fast_pred_value, CompiledPred};
 use crate::error::Result;
 use crate::exec::{Env, Executor};
 use crate::plan::{Plan, Project, SeqScan};
-use crate::table::{Bucket, Row, SharedRow};
+use crate::table::{Bucket, ColumnVec, Row, SharedRow};
 use crate::{Engine, Value};
 
 /// Default number of rows per cursor batch.
@@ -77,6 +77,24 @@ struct StreamPos {
     done: bool,
     /// Compiled once on the first batch (see [`StreamFilters`]).
     compiled: Option<StreamFilters>,
+    /// Dictionary state of the bucket currently being scanned (resolved on
+    /// bucket entry, reset per fetch).
+    dict_bitmaps: Option<BucketDict>,
+}
+
+/// Per-bucket dictionary state of a streaming cursor: the predicate bitmaps
+/// (the predicate resolved against the bucket's dictionary once; rows
+/// compare codes) and whether materializing a row decodes any dictionary —
+/// both hoisted out of the per-row loop.
+#[derive(Debug)]
+struct BucketDict {
+    /// Index into the selected-bucket list this state belongs to.
+    bucket: usize,
+    /// Per bucket-filter predicate: the match bitmap when that predicate's
+    /// column is dictionary-encoded in this bucket.
+    bitmaps: Vec<Option<Vec<bool>>>,
+    /// Does this bucket hold any dictionary-encoded column?
+    has_dict: bool,
 }
 
 /// Per-cursor invariants compiled on the first fetch: the effective pruning
@@ -256,11 +274,7 @@ fn fetch_streaming(
         // Rows inside selected buckets satisfy the pruning predicates by
         // construction; loose rows (and every row when nothing pruned)
         // re-check the full pushed filter — mirroring the batch executor.
-        let bucket_filter = if prune_keys.is_some() {
-            executor.compile_filter(&scan.residual, &scan.schema)
-        } else {
-            executor.compile_full_scan_filter(scan)
-        };
+        let bucket_filter = executor.compile_bucket_filter(scan, prune_keys.is_some());
         pos.compiled = Some(StreamFilters {
             prune_keys,
             bucket_filter,
@@ -299,10 +313,16 @@ fn fetch_streaming(
         engine.note_partitions(scanned, total.saturating_sub(scanned));
         pos.counted_partitions = true;
     }
+    // Dictionary bitmaps are keyed by bucket *index*, which is only stable
+    // within one fetch — the selected list is re-derived from live table
+    // state, and DML between batches may re-bucket rows. Resolve afresh per
+    // batch (cheap: ≤ DICT_MAX_DISTINCT evaluations per predicate).
+    pos.dict_bitmaps = None;
 
     let mut out: Vec<Row> = Vec::new();
     let mut visited: u64 = 0;
     let mut materialized: u64 = 0;
+    let mut dict_rows: u64 = 0;
 
     'produce: loop {
         if out.len() >= max_rows {
@@ -322,21 +342,73 @@ fn fetch_streaming(
                 pos.row = 0;
                 continue;
             }
+            // Entering a bucket: resolve the fast predicates against its
+            // dictionaries once (per-row checks below compare codes), and
+            // note once whether materializing decodes any dictionary.
+            if pos.dict_bitmaps.as_ref().map(|b| b.bucket) != Some(pos.bucket) {
+                let (bitmaps, has_dict) = match bucket.as_columns() {
+                    Some(cols) => (
+                        bucket_filter
+                            .iter()
+                            .map(|pred| {
+                                pred.column_index()
+                                    .and_then(|idx| match cols.column(idx).data() {
+                                        ColumnVec::Dict(d) => {
+                                            Some(dict_filter_bitmap(pred, d.dict()))
+                                        }
+                                        _ => None,
+                                    })
+                            })
+                            .collect(),
+                        cols.dict_column_count() > 0,
+                    ),
+                    None => (vec![None; bucket_filter.len()], false),
+                };
+                pos.dict_bitmaps = Some(BucketDict {
+                    bucket: pos.bucket,
+                    bitmaps,
+                    has_dict,
+                });
+            }
             let i = pos.row;
             pos.row += 1;
             visited += 1;
             let reader = bucket.reader();
-            // Fast predicates first, reading only the predicate's column.
-            for pred in bucket_filter {
-                if let Some(idx) = pred.column_index() {
-                    if !fast_pred_value(pred, &reader.value(i, idx)) {
-                        continue 'produce;
+            let dict = pos.dict_bitmaps.as_ref().expect("set above");
+            let bitmaps = &dict.bitmaps;
+            // Fast predicates first, reading only the predicate's column
+            // (dictionary-encoded columns compare codes, no decode).
+            for (pi, pred) in bucket_filter.iter().enumerate() {
+                let Some(idx) = pred.column_index() else {
+                    continue;
+                };
+                match bitmaps.get(pi).and_then(Option::as_ref) {
+                    Some(bitmap) => {
+                        let cols = bucket.as_columns().expect("dict bitmap implies columnar");
+                        let col = cols.column(idx);
+                        dict_rows += 1;
+                        let hit = !col.is_null(i)
+                            && match col.data() {
+                                ColumnVec::Dict(d) => bitmap[d.code(i) as usize],
+                                _ => unreachable!("bitmap built from a dict column"),
+                            };
+                        if !hit {
+                            continue 'produce;
+                        }
+                    }
+                    None => {
+                        if !fast_pred_value(pred, &reader.value(i, idx)) {
+                            continue 'produce;
+                        }
                     }
                 }
             }
             let row = reader.materialize(i);
             if matches!(bucket, Bucket::Columnar(_)) {
                 materialized += 1;
+                if dict.has_dict {
+                    dict_rows += 1;
+                }
             }
             let remaining: Vec<&CompiledPred> =
                 bucket_filter.iter().filter(|p| !p.is_fast()).collect();
@@ -380,6 +452,7 @@ fn fetch_streaming(
     pos.compiled = Some(filters);
     engine.note_rows_scanned(visited);
     engine.note_vectorized(0, materialized);
+    engine.note_dict_kernel_rows(dict_rows);
     Ok(CursorBatch {
         rows: out,
         done: pos.done,
@@ -589,6 +662,51 @@ mod tests {
             "bind-time pruning must skip the 3 foreign buckets, stats: {stats:?}"
         );
         assert_eq!(stats.rows_scanned, 250);
+    }
+
+    /// Streaming over dictionary-encoded columns compares codes per row
+    /// (engagement visible through `dict_kernel_rows`) and returns exactly
+    /// what batch execution returns.
+    #[test]
+    fn streaming_dict_predicates_match_batch_execution() {
+        let mut e = Engine::new(EngineConfig::default());
+        e.create_table("t", &["ttid", "mode", "v"]);
+        e.set_table_partition("t", "ttid").unwrap();
+        let modes = ["MAIL", "SHIP", "RAIL", "AIR"];
+        e.insert_values(
+            "t",
+            (0..400)
+                .map(|i| {
+                    let mode = if i % 13 == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(modes[(i % 4) as usize])
+                    };
+                    vec![Value::Int(i % 3), mode, Value::Int(i)]
+                })
+                .collect(),
+        )
+        .unwrap();
+        for sql in [
+            "SELECT v FROM t WHERE mode IN ('MAIL', 'SHIP')",
+            "SELECT v FROM t WHERE mode LIKE 'MA%' AND ttid = 1",
+            "SELECT mode FROM t WHERE mode NOT LIKE 'MA%' LIMIT 40",
+        ] {
+            let p = plan(&e, sql);
+            let batch = e.execute_plan(&p, &[]).unwrap();
+            e.reset_stats();
+            let streamed: Vec<Row> = e
+                .row_iter(&p, Vec::new())
+                .with_batch_size(17)
+                .collect::<Result<Vec<_>>>()
+                .unwrap();
+            assert_eq!(streamed, batch.rows, "{sql}");
+            assert!(
+                e.stats().dict_kernel_rows > 0,
+                "{sql}: cursor did not compare codes, stats: {:?}",
+                e.stats()
+            );
+        }
     }
 
     #[test]

@@ -105,6 +105,9 @@ struct ScanTally {
     vectorized: u64,
     /// Rows late-materialized from columnar buckets after qualifying.
     materialized: u64,
+    /// Rows processed through dictionary code space (per-predicate code
+    /// kernels, code-space grouping, dictionary-decoding materializations).
+    dict: u64,
 }
 
 impl ScanTally {
@@ -112,6 +115,37 @@ impl ScanTally {
         self.visited += other.visited;
         self.vectorized += other.vectorized;
         self.materialized += other.materialized;
+        self.dict += other.dict;
+    }
+}
+
+/// Select the partition buckets a scan visits under an optional pruning key
+/// set, together with the `(scanned, pruned)` bucket counts. Shared by the
+/// standard scan and the code-space grouping scan so bucket selection and
+/// partition accounting can never drift apart.
+fn select_buckets<'t>(
+    table: &'t crate::table::Table,
+    prune_keys: &Option<std::collections::BTreeSet<i64>>,
+) -> (Vec<&'t Bucket>, u64, u64) {
+    match prune_keys {
+        Some(keys) => {
+            let mut selected = Vec::new();
+            let (mut scanned, mut pruned) = (0u64, 0u64);
+            for (key, bucket) in table.partitions() {
+                if keys.contains(&key) {
+                    scanned += 1;
+                    selected.push(bucket);
+                } else {
+                    pruned += 1;
+                }
+            }
+            (selected, scanned, pruned)
+        }
+        None => {
+            let selected: Vec<&Bucket> = table.partitions().map(|(_, b)| b).collect();
+            let scanned = selected.len() as u64;
+            (selected, scanned, 0)
+        }
     }
 }
 
@@ -137,11 +171,16 @@ fn scan_bucket_fast(
         Bucket::Columnar(cols) => {
             let mut sel = Selection::all(cols.len());
             for pred in filter {
-                eval_vectorized(pred, cols, &mut sel);
+                tally.dict += eval_vectorized(pred, cols, &mut sel);
             }
             tally.visited = cols.len() as u64;
             tally.vectorized = cols.len() as u64;
             tally.materialized = sel.count() as u64;
+            if cols.dict_column_count() > 0 {
+                // Qualifying rows decode their dictionary columns while
+                // materializing.
+                tally.dict += tally.materialized;
+            }
             sel.for_each(|i| out.push(cols.materialize(i)));
         }
     }
@@ -380,12 +419,31 @@ impl<'e> Executor<'e> {
     }
 
     /// Grouping head: hash rows into groups (first-seen order), evaluate
-    /// aggregates, HAVING and the output items per group.
+    /// aggregates, HAVING and the output items per group. When the input is
+    /// a base-table scan whose group keys are dictionary-encoded columns,
+    /// grouping runs in *code space* (see [`Executor::try_group_on_codes`]);
+    /// otherwise rows are grouped by their evaluated key values.
     fn exec_hash_aggregate(&self, agg: &HashAggregate, outer: Option<&Env>) -> Result<Relation> {
-        let input = self.execute_plan(&agg.input, outer)?;
+        let grouped = match self.try_group_on_codes(agg, outer)? {
+            Some(grouped) => grouped,
+            None => {
+                let input = self.execute_plan(&agg.input, outer)?;
+                self.group_by_values(agg, input, outer)?
+            }
+        };
+        self.finish_aggregate(agg, grouped, outer)
+    }
 
-        // Build groups preserving first-seen order. The index map *owns* each
-        // key (moved in, never cloned); lookups borrow the candidate key.
+    /// The standard grouping path: evaluate the group expressions per input
+    /// row and hash the key values, preserving first-seen group order. The
+    /// index map *owns* each key (moved in, never cloned); lookups borrow
+    /// the candidate key.
+    fn group_by_values(
+        &self,
+        agg: &HashAggregate,
+        input: Relation,
+        outer: Option<&Env>,
+    ) -> Result<GroupedInput> {
         let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut members: Vec<Vec<usize>> = Vec::new();
         for (i, row) in input.rows.iter().enumerate() {
@@ -411,6 +469,27 @@ impl<'e> Executor<'e> {
         for (key, g) in group_index {
             keys[g] = key;
         }
+        Ok(GroupedInput {
+            input,
+            keys,
+            members,
+        })
+    }
+
+    /// Evaluate aggregates, HAVING and the output items per group — the
+    /// shared back half of hash aggregation, identical for both grouping
+    /// paths.
+    fn finish_aggregate(
+        &self,
+        agg: &HashAggregate,
+        grouped: GroupedInput,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let GroupedInput {
+            input,
+            mut keys,
+            mut members,
+        } = grouped;
         // Aggregates without GROUP BY over empty input still produce one row.
         if members.is_empty() && agg.group_exprs.is_empty() {
             members.push(Vec::new());
@@ -470,6 +549,247 @@ impl<'e> Executor<'e> {
         })
     }
 
+    /// Code-space grouping: when the aggregation input is a base-table scan
+    /// over columnar buckets whose group keys are plain columns with at
+    /// least one dictionary-encoded among them, perform the scan and the
+    /// grouping in one pass — per bucket, rows map their group through a
+    /// small `codes -> group` memo (one key *evaluation* per distinct code
+    /// combination instead of one per row; Q1's `l_returnflag, l_linestatus`
+    /// hashes two `u32`s per row instead of two strings).
+    ///
+    /// Returns `None` (deferring to the standard path) whenever any piece
+    /// does not fit: non-column group keys, row-layout tables, interpreted
+    /// conjuncts (their error/UDF evaluation order must stay identical to
+    /// the hybrid scan), no dictionary-encoded group column anywhere, or a
+    /// scan large enough to fan out to worker threads — this path scans
+    /// serially, and losing the parallel fan-out would cost more than
+    /// per-row key hashing saves, so such scans keep the standard
+    /// scan-then-group pipeline. Buckets whose group columns were demoted
+    /// below the scan still group correctly — they evaluate key values per
+    /// row, same as the standard path — and buckets this executor re-scans
+    /// repeatedly (correlated sub-queries) switch to the shared
+    /// once-materialized row cache ([`Executor::repeated_bucket_rows`]),
+    /// same as the standard path. Results are identical to the standard
+    /// path by construction: rows are visited in bucket order, groups keep
+    /// first-seen order, and the memoized key values are exactly the
+    /// column values.
+    fn try_group_on_codes(
+        &self,
+        agg: &HashAggregate,
+        outer: Option<&Env>,
+    ) -> Result<Option<GroupedInput>> {
+        let _ = outer; // group keys are scan columns; outer rows never resolve them
+        if !self.engine.config().dictionary_encoding || agg.group_exprs.is_empty() {
+            return Ok(None);
+        }
+        let Plan::SeqScan(scan) = agg.input.as_ref() else {
+            return Ok(None);
+        };
+        let Ok(table) = self.engine.database().table(&scan.table) else {
+            return Ok(None);
+        };
+        if !table.is_columnar() {
+            return Ok(None);
+        }
+        let mut group_cols: Vec<usize> = Vec::with_capacity(agg.group_exprs.len());
+        for e in &agg.group_exprs {
+            match e {
+                Expr::Column(c) => match scan.schema.resolve(c) {
+                    Some(idx) => group_cols.push(idx),
+                    None => return Ok(None),
+                },
+                _ => return Ok(None),
+            }
+        }
+
+        let prune_keys = self.effective_prune_keys(scan, table.partition_column());
+        let bucket_filter = self.compile_bucket_filter(scan, prune_keys.is_some());
+        if !bucket_filter.iter().all(CompiledPred::is_fast) {
+            return Ok(None);
+        }
+        let loose_filter = if table.loose_rows().is_empty() {
+            Vec::new()
+        } else {
+            self.compile_full_scan_filter(scan)
+        };
+        if !loose_filter.iter().all(CompiledPred::is_fast) {
+            return Ok(None);
+        }
+
+        let (selected, buckets_scanned, buckets_pruned) = select_buckets(table, &prune_keys);
+        let any_dict_group = selected.iter().any(|b| {
+            b.as_columns()
+                .is_some_and(|c| group_cols.iter().any(|&g| c.column(g).is_dict()))
+        });
+        if !any_dict_group {
+            return Ok(None);
+        }
+        // A scan that would fan out to worker threads keeps the standard
+        // path — this one-pass grouping scan runs serially, and the PR 2
+        // parallel win dwarfs the code-space hashing win on scans that big.
+        let total_rows: usize = selected.iter().map(|b| b.len()).sum();
+        if scan_worker_count(
+            self.engine.config().parallel_scan,
+            selected.len(),
+            total_rows,
+        ) > 1
+        {
+            return Ok(None);
+        }
+
+        // Sentinel group-key code for NULL slots (dictionaries are bounded
+        // far below it, so it can never collide with a real code).
+        const NULL_CODE: u32 = u32::MAX;
+
+        let mut rows: Vec<SharedRow> = Vec::new();
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut tally = ScanTally::default();
+
+        // Shared group lookup: first-seen order, keyed by value — so groups
+        // merge across buckets (each bucket has its own dictionary) exactly
+        // like the standard path.
+        let group_of = |key: Vec<Value>,
+                        group_index: &mut HashMap<Vec<Value>, usize>,
+                        keys: &mut Vec<Vec<Value>>,
+                        members: &mut Vec<Vec<usize>>|
+         -> usize {
+            match group_index.get(key.as_slice()) {
+                Some(&g) => g,
+                None => {
+                    keys.push(key.clone());
+                    members.push(Vec::new());
+                    group_index.insert(key, members.len() - 1);
+                    members.len() - 1
+                }
+            }
+        };
+
+        for bucket in selected {
+            let Bucket::Columnar(cols) = bucket else {
+                // Defensive: columnar tables only hold columnar buckets, but
+                // a row bucket would group correctly by value regardless.
+                for row in bucket.iter_rows() {
+                    tally.visited += 1;
+                    if !fast_filter_matches(&bucket_filter, &row) {
+                        continue;
+                    }
+                    let key: Vec<Value> = group_cols.iter().map(|&g| row[g].clone()).collect();
+                    let g = group_of(key, &mut group_index, &mut keys, &mut members);
+                    members[g].push(rows.len());
+                    rows.push(row);
+                }
+                continue;
+            };
+            // Participate in the repeated-scan row cache (PR 3): a bucket
+            // this executor re-scans per outer row (correlated sub-queries)
+            // switches to its once-materialized rows instead of
+            // re-vectorizing — grouping then evaluates key values per
+            // cached row, exactly like the standard path over cached rows.
+            if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols) {
+                tally.visited += cached.len() as u64;
+                if freshly_built {
+                    tally.materialized += cached.len() as u64;
+                }
+                for row in cached.iter() {
+                    if !fast_filter_matches(&bucket_filter, row) {
+                        continue;
+                    }
+                    let key: Vec<Value> = group_cols.iter().map(|&g| row[g].clone()).collect();
+                    let g = group_of(key, &mut group_index, &mut keys, &mut members);
+                    members[g].push(rows.len());
+                    rows.push(SharedRow::clone(row));
+                }
+                continue;
+            }
+            let mut sel = Selection::all(cols.len());
+            for pred in &bucket_filter {
+                tally.dict += eval_vectorized(pred, cols, &mut sel);
+            }
+            tally.visited += cols.len() as u64;
+            tally.vectorized += cols.len() as u64;
+            if cols.dict_column_count() > 0 {
+                tally.dict += sel.count() as u64;
+            }
+            let all_dict = group_cols.iter().all(|&g| cols.column(g).is_dict());
+            if all_dict {
+                // Code-space grouping: one key evaluation per distinct code
+                // combination, one memo hit per row after that.
+                let mut memo: HashMap<Vec<u32>, usize> = HashMap::new();
+                sel.for_each(|i| {
+                    let codes: Vec<u32> = group_cols
+                        .iter()
+                        .map(|&g| {
+                            let col = cols.column(g);
+                            if col.is_null(i) {
+                                NULL_CODE
+                            } else {
+                                match col.data() {
+                                    crate::table::ColumnVec::Dict(d) => d.code(i),
+                                    _ => unreachable!("all_dict checked above"),
+                                }
+                            }
+                        })
+                        .collect();
+                    let g = match memo.get(&codes) {
+                        Some(&g) => g,
+                        None => {
+                            let key: Vec<Value> = group_cols
+                                .iter()
+                                .map(|&g| cols.column(g).value(i))
+                                .collect();
+                            let g = group_of(key, &mut group_index, &mut keys, &mut members);
+                            memo.insert(codes, g);
+                            g
+                        }
+                    };
+                    members[g].push(rows.len());
+                    rows.push(cols.materialize(i));
+                    tally.materialized += 1;
+                    tally.dict += 1;
+                });
+            } else {
+                // A demoted bucket: evaluate key values per row, exactly
+                // like the standard path would.
+                sel.for_each(|i| {
+                    let key: Vec<Value> = group_cols
+                        .iter()
+                        .map(|&g| cols.column(g).value(i))
+                        .collect();
+                    let g = group_of(key, &mut group_index, &mut keys, &mut members);
+                    members[g].push(rows.len());
+                    rows.push(cols.materialize(i));
+                    tally.materialized += 1;
+                });
+            }
+        }
+        for row in table.loose_rows() {
+            tally.visited += 1;
+            if !fast_filter_matches(&loose_filter, row) {
+                continue;
+            }
+            let key: Vec<Value> = group_cols.iter().map(|&g| row[g].clone()).collect();
+            let g = group_of(key, &mut group_index, &mut keys, &mut members);
+            members[g].push(rows.len());
+            rows.push(SharedRow::clone(row));
+        }
+
+        self.engine.note_rows_scanned(tally.visited);
+        self.engine.note_partitions(buckets_scanned, buckets_pruned);
+        self.engine
+            .note_vectorized(tally.vectorized, tally.materialized);
+        self.engine.note_dict_kernel_rows(tally.dict);
+        Ok(Some(GroupedInput {
+            input: Relation {
+                schema: scan.schema.clone(),
+                rows,
+            },
+            keys,
+            members,
+        }))
+    }
+
     // ------------------------------------------------------------------
     // Scans
     // ------------------------------------------------------------------
@@ -484,55 +804,27 @@ impl<'e> Executor<'e> {
 
         let mut rows: Vec<SharedRow> = Vec::new();
         let mut tally = ScanTally::default();
-        let mut buckets_scanned: u64 = 0;
-        let mut buckets_pruned: u64 = 0;
+        let (selected, buckets_scanned, buckets_pruned) = select_buckets(table, &prune_keys);
+        let bucket_filter = self.compile_bucket_filter(scan, prune_keys.is_some());
+        self.scan_buckets(
+            &selected,
+            &bucket_filter,
+            &scan.schema,
+            outer,
+            &mut rows,
+            &mut tally,
+        )?;
 
         // Loose rows carry arbitrary partition keys, so the full pushed
         // filter (including pruning predicates) applies to them; the pruned
         // branch compiles it only when loose rows exist.
-        let full_filter = match &*prune_keys {
-            Some(keys) => {
-                // Rows inside a selected bucket satisfy the pruning
-                // predicates by construction (the bucket key *is* the ttid
-                // value), so only the residual filter runs per bucketed row.
-                let residual_filter = self.compile_filter(&scan.residual, &scan.schema);
-                let mut selected: Vec<&Bucket> = Vec::new();
-                for (key, bucket) in table.partitions() {
-                    if keys.contains(&key) {
-                        buckets_scanned += 1;
-                        selected.push(bucket);
-                    } else {
-                        buckets_pruned += 1;
-                    }
-                }
-                self.scan_buckets(
-                    &selected,
-                    &residual_filter,
-                    &scan.schema,
-                    outer,
-                    &mut rows,
-                    &mut tally,
-                )?;
-                if table.loose_rows().is_empty() {
-                    None
-                } else {
-                    Some(self.compile_full_scan_filter(scan))
-                }
-            }
-            None => {
-                buckets_scanned = table.partition_count() as u64;
-                let full_filter = self.compile_full_scan_filter(scan);
-                let selected: Vec<&Bucket> = table.partitions().map(|(_, b)| b).collect();
-                self.scan_buckets(
-                    &selected,
-                    &full_filter,
-                    &scan.schema,
-                    outer,
-                    &mut rows,
-                    &mut tally,
-                )?;
-                Some(full_filter)
-            }
+        let full_filter = if prune_keys.is_none() {
+            // The un-pruned bucket filter already is the full pushed filter.
+            Some(bucket_filter)
+        } else if table.loose_rows().is_empty() {
+            None
+        } else {
+            Some(self.compile_full_scan_filter(scan))
         };
         if let Some(full_filter) = &full_filter {
             for row in table.loose_rows() {
@@ -547,6 +839,7 @@ impl<'e> Executor<'e> {
         self.engine.note_partitions(buckets_scanned, buckets_pruned);
         self.engine
             .note_vectorized(tally.vectorized, tally.materialized);
+        self.engine.note_dict_kernel_rows(tally.dict);
         Ok(Relation {
             schema: scan.schema.clone(),
             rows,
@@ -688,6 +981,7 @@ impl<'e> Executor<'e> {
             } else {
                 0
             },
+            dict: 0,
         };
         let interpreted: Vec<&CompiledPred> = filter.iter().filter(|p| !p.is_fast()).collect();
         'rows: for row in cached {
@@ -750,10 +1044,13 @@ impl<'e> Executor<'e> {
                 }
                 let mut sel = Selection::all(cols.len());
                 for pred in filter.iter().filter(|p| p.is_fast()) {
-                    eval_vectorized(pred, cols, &mut sel);
+                    tally.dict += eval_vectorized(pred, cols, &mut sel);
                 }
                 tally.visited += cols.len() as u64;
                 tally.vectorized += cols.len() as u64;
+                if cols.dict_column_count() > 0 {
+                    tally.dict += sel.count() as u64;
+                }
                 let interpreted: Vec<&CompiledPred> =
                     filter.iter().filter(|p| !p.is_fast()).collect();
                 let mut survivors: Vec<usize> = Vec::with_capacity(sel.count());
@@ -783,6 +1080,20 @@ impl<'e> Executor<'e> {
         let mut preds = self.compile_filter(&scan.pruning, &scan.schema);
         preds.extend(self.compile_filter(&scan.residual, &scan.schema));
         preds
+    }
+
+    /// The filter applied to rows *inside* the scanned partition buckets:
+    /// when pruning selected the buckets, rows satisfy the pruning
+    /// predicates by construction (the bucket key *is* the partition value)
+    /// and only the residual conjuncts run; otherwise the full pushed
+    /// filter applies. Shared by the batch scan, the code-space grouping
+    /// scan and the streaming cursor so the choice can never drift apart.
+    pub(crate) fn compile_bucket_filter(&self, scan: &SeqScan, pruned: bool) -> Vec<CompiledPred> {
+        if pruned {
+            self.compile_filter(&scan.residual, &scan.schema)
+        } else {
+            self.compile_full_scan_filter(scan)
+        }
     }
 
     /// Does this scan's per-bucket filter compile entirely to fast predicate
@@ -1600,6 +1911,16 @@ impl<'e> Executor<'e> {
         }
         Ok(out)
     }
+}
+
+/// Grouped aggregation input: the input relation plus group keys and
+/// per-group member row indices, in first-seen group order. Produced by
+/// either grouping path (by value, or in dictionary code space) and consumed
+/// by the shared aggregate/HAVING/projection back half.
+struct GroupedInput {
+    input: Relation,
+    keys: Vec<Vec<Value>>,
+    members: Vec<Vec<usize>>,
 }
 
 /// Group-evaluation context: key values, precomputed aggregates and a

@@ -149,6 +149,16 @@ pub struct EngineConfig {
     /// evaluated — such a query can fail on the row layout and succeed on
     /// the columnar one.
     pub columnar_scan: bool,
+    /// Dictionary-encode low-cardinality string columns of columnar buckets:
+    /// a `u32` code array plus a shared sorted dictionary per column, with
+    /// automatic demotion to the plain layout past
+    /// [`table::DICT_MAX_DISTINCT`] distinct values. Scans resolve string
+    /// predicates against the dictionary once and compare codes
+    /// ([`conjuncts::dict_filter_bitmap`]), and `GROUP BY` over dictionary
+    /// columns groups on codes. Only effective together with
+    /// `columnar_scan`; disabling keeps plain `Arc<str>` arrays — the
+    /// equivalence baseline, results are identical either way.
+    pub dictionary_encoding: bool,
 }
 
 impl Default for EngineConfig {
@@ -158,6 +168,7 @@ impl Default for EngineConfig {
             partition_pruning: true,
             parallel_scan: 1,
             columnar_scan: true,
+            dictionary_encoding: true,
         }
     }
 }
@@ -196,6 +207,14 @@ impl EngineConfig {
     /// against.
     pub fn without_columnar_scan(mut self) -> Self {
         self.columnar_scan = false;
+        self
+    }
+
+    /// Disable dictionary encoding (builder-style): columnar string columns
+    /// keep plain `Arc<str>` arrays, the baseline the code-space kernels are
+    /// verified against.
+    pub fn without_dictionary_encoding(mut self) -> Self {
+        self.dictionary_encoding = false;
         self
     }
 }
@@ -285,6 +304,7 @@ impl Engine {
     pub fn create_table_owned(&mut self, name: &str, columns: Vec<String>) {
         self.db.create_table(name, columns);
         if let Ok(table) = self.db.table_mut(name) {
+            table.set_dictionary(self.config.columnar_scan && self.config.dictionary_encoding);
             table.set_columnar(self.config.columnar_scan);
         }
     }
@@ -348,6 +368,14 @@ impl Engine {
         }
     }
 
+    /// Note rows processed through dictionary code space (kernel, grouping
+    /// or decode — see [`stats::StatsSnapshot::dict_kernel_rows`]).
+    pub(crate) fn note_dict_kernel_rows(&self, rows: u64) {
+        if rows > 0 {
+            self.counters.add_dict_kernel_rows(rows);
+        }
+    }
+
     /// Note one prepared-plan cache lookup outcome (called by the MTBase
     /// middleware, which owns the cache; the counter lives here so it resets
     /// and snapshots together with the execution statistics).
@@ -365,6 +393,8 @@ impl Engine {
             parallel_scans: self.counters.parallel_scans(),
             rows_vectorized: self.counters.rows_vectorized(),
             late_materialized: self.counters.late_materialized(),
+            dict_kernel_rows: self.counters.dict_kernel_rows(),
+            dict_columns: self.db.tables().map(|t| t.dict_column_count() as u64).sum(),
             udf_calls: udf.calls,
             udf_cache_hits: udf.cache_hits,
             prepared_cache_hits: self.counters.prepared_cache_hits(),
@@ -660,6 +690,7 @@ impl Engine {
     /// Load a pre-built table wholesale (used by the MT-H generator). The
     /// bucket layout is re-encoded to follow [`EngineConfig::columnar_scan`].
     pub fn load_table(&mut self, mut table: Table) {
+        table.set_dictionary(self.config.columnar_scan && self.config.dictionary_encoding);
         table.set_columnar(self.config.columnar_scan);
         self.db.insert_table(table);
     }
@@ -1167,6 +1198,189 @@ mod tests {
                 .unwrap();
             assert!(rs.rows.is_empty(), "columnar={columnar}: {rs:?}");
         }
+    }
+
+    /// LIKE follows SQL three-valued logic on every evaluation path: a NULL
+    /// operand (or NULL pattern) makes the outcome UNKNOWN, which satisfies
+    /// neither `LIKE` nor `NOT LIKE`; the empty string is a real value (it
+    /// matches `''` and `'%'` and satisfies `NOT LIKE 'MAIL%'`). Pinned for
+    /// the interpreter (dynamic / column-dependent patterns force
+    /// `CompiledPred::Generic`), the compiled fast predicate (row layout),
+    /// the vectorized kernel (columnar layout), the dictionary bitmap path
+    /// (columnar + dictionary encoding) and the group/HAVING context —
+    /// mirroring the PR 4 `NOT BETWEEN` fix.
+    #[test]
+    fn like_three_valued_logic_on_every_path() {
+        for (dict, columnar) in [(true, true), (false, true), (false, false)] {
+            let config = EngineConfig {
+                dictionary_encoding: dict,
+                columnar_scan: columnar,
+                ..EngineConfig::default()
+            };
+            let mut e = Engine::new(config);
+            e.create_table("t", &["ttid", "s"]);
+            e.set_table_partition("t", "ttid").unwrap();
+            e.insert_values(
+                "t",
+                vec![
+                    vec![Value::Int(1), Value::Null],
+                    vec![Value::Int(1), Value::str("")],
+                    vec![Value::Int(1), Value::str("MAIL")],
+                    vec![Value::Int(1), Value::str("MAILBOX")],
+                    vec![Value::Int(2), Value::Null],
+                ],
+            )
+            .unwrap();
+            let label = format!("dict={dict} columnar={columnar}");
+            if dict && columnar {
+                // The fixture must actually exercise the dictionary path.
+                assert_eq!(e.stats().dict_columns, 1, "{label}");
+            }
+
+            // Compiled path (dictionary bitmap / Str kernel / fast pred).
+            let rs = e.query("SELECT s FROM t WHERE s LIKE 'MAIL%'").unwrap();
+            assert_eq!(
+                rs.rows,
+                vec![vec![Value::str("MAIL")], vec![Value::str("MAILBOX")]],
+                "{label}"
+            );
+            // NULL rows satisfy neither polarity; '' satisfies NOT LIKE.
+            let rs = e.query("SELECT s FROM t WHERE s NOT LIKE 'MAIL%'").unwrap();
+            assert_eq!(rs.rows, vec![vec![Value::str("")]], "{label}");
+            // The empty string matches the empty pattern and the bare '%'.
+            let rs = e.query("SELECT s FROM t WHERE s LIKE ''").unwrap();
+            assert_eq!(rs.rows, vec![vec![Value::str("")]], "{label}");
+            let rs = e.query("SELECT COUNT(*) FROM t WHERE s LIKE '%'").unwrap();
+            assert_eq!(rs.rows[0][0], Value::Int(3), "{label}");
+
+            // Interpreted path: a column-dependent pattern cannot compile.
+            let rs = e
+                .query("SELECT s FROM t WHERE s LIKE s || '%' AND s LIKE 'MAIL%'")
+                .unwrap();
+            assert_eq!(rs.rows.len(), 2, "{label}");
+            // A NULL pattern is UNKNOWN for every row, on both polarities.
+            let rs = e.query("SELECT s FROM t WHERE s LIKE NULL").unwrap();
+            assert!(rs.rows.is_empty(), "{label}: {rs:?}");
+            let rs = e.query("SELECT s FROM t WHERE s NOT LIKE NULL").unwrap();
+            assert!(rs.rows.is_empty(), "{label}: {rs:?}");
+
+            // Group path: MIN over tenant 2's all-NULL group is NULL, which
+            // must satisfy neither LIKE nor NOT LIKE in HAVING.
+            for polarity in ["LIKE", "NOT LIKE"] {
+                let rs = e
+                    .query(&format!(
+                        "SELECT ttid FROM t GROUP BY ttid \
+                         HAVING MIN(s) {polarity} 'ZZZ%' ORDER BY ttid"
+                    ))
+                    .unwrap();
+                let expected: Vec<Vec<Value>> = if polarity == "LIKE" {
+                    vec![]
+                } else {
+                    vec![vec![Value::Int(1)]]
+                };
+                assert_eq!(rs.rows, expected, "{label} HAVING {polarity}");
+            }
+        }
+    }
+
+    /// GROUP BY over dictionary-encoded columns groups on codes (the
+    /// engagement is visible through `dict_kernel_rows`) and returns exactly
+    /// what the no-dictionary baseline returns — including NULL group keys
+    /// and groups spanning several partition buckets (whose dictionaries
+    /// assign different codes to the same string).
+    #[test]
+    fn dictionary_grouping_matches_baseline_and_engages() {
+        let run = |dict: bool| {
+            let config = if dict {
+                EngineConfig::default()
+            } else {
+                EngineConfig::default().without_dictionary_encoding()
+            };
+            let mut e = Engine::new(config);
+            e.create_table("t", &["ttid", "flag", "v"]);
+            e.set_table_partition("t", "ttid").unwrap();
+            let flags = ["R", "A", "N"];
+            e.insert_values(
+                "t",
+                (0..300)
+                    .map(|i| {
+                        let flag = if i % 10 == 9 {
+                            Value::Null
+                        } else {
+                            Value::str(flags[(i % 3) as usize])
+                        };
+                        vec![Value::Int(i % 4), flag, Value::Int(i)]
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            e.reset_stats();
+            let rs = e
+                .query(
+                    "SELECT flag, COUNT(*) AS cnt, SUM(v) AS total FROM t \
+                     WHERE v >= 10 GROUP BY flag ORDER BY cnt, flag",
+                )
+                .unwrap();
+            (rs, e.stats())
+        };
+        let (dict_rs, dict_stats) = run(true);
+        let (base_rs, base_stats) = run(false);
+        assert_eq!(dict_rs, base_rs);
+        assert_eq!(dict_stats.rows_scanned, base_stats.rows_scanned);
+        assert_eq!(dict_stats.partitions_pruned, base_stats.partitions_pruned);
+        assert!(
+            dict_stats.dict_kernel_rows > 0,
+            "code-space grouping did not engage: {dict_stats:?}"
+        );
+        assert_eq!(base_stats.dict_kernel_rows, 0);
+        assert_eq!(base_stats.dict_columns, 0);
+        assert!(dict_stats.dict_columns > 0);
+    }
+
+    /// Dictionary predicates on scans engage the code-space kernel and agree
+    /// with the baseline, and `EXPLAIN` carries the `dict` marker only on
+    /// dictionary-encoded deployments.
+    #[test]
+    fn dictionary_kernels_engage_on_string_predicates() {
+        let run = |dict: bool| {
+            let config = if dict {
+                EngineConfig::default()
+            } else {
+                EngineConfig::default().without_dictionary_encoding()
+            };
+            let mut e = Engine::new(config);
+            e.create_table("t", &["ttid", "mode"]);
+            e.set_table_partition("t", "ttid").unwrap();
+            let modes = ["MAIL", "SHIP", "RAIL", "AIR"];
+            e.insert_values(
+                "t",
+                (0..200)
+                    .map(|i| vec![Value::Int(i % 2), Value::str(modes[(i % 4) as usize])])
+                    .collect(),
+            )
+            .unwrap();
+            e.reset_stats();
+            let rs = e
+                .query("SELECT COUNT(*) FROM t WHERE mode IN ('MAIL', 'SHIP') AND ttid = 1")
+                .unwrap();
+            let explain = e
+                .execute("EXPLAIN SELECT COUNT(*) FROM t WHERE mode IN ('MAIL', 'SHIP')")
+                .unwrap();
+            let text: String = explain
+                .rows
+                .iter()
+                .map(|r| format!("{}\n", r[0].as_str().unwrap()))
+                .collect();
+            (rs, e.stats(), text)
+        };
+        let (dict_rs, dict_stats, dict_explain) = run(true);
+        let (base_rs, base_stats, base_explain) = run(false);
+        assert_eq!(dict_rs, base_rs);
+        assert_eq!(dict_rs.rows[0][0], Value::Int(50));
+        assert!(dict_stats.dict_kernel_rows > 0, "{dict_stats:?}");
+        assert_eq!(base_stats.dict_kernel_rows, 0);
+        assert!(dict_explain.contains("dict"), "{dict_explain}");
+        assert!(!base_explain.contains("dict"), "{base_explain}");
     }
 
     #[test]

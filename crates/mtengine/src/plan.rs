@@ -982,6 +982,14 @@ fn render(engine: &Engine, plan: &Plan, depth: usize, out: &mut String) {
                     } else {
                         notes.push("vectorized: hybrid (interpreted conjunct)".to_string());
                     }
+                    // `dict` marks scans over buckets holding at least one
+                    // dictionary-encoded column: string predicates on those
+                    // columns resolve against the dictionary once and
+                    // compare codes, and dictionary group keys group on
+                    // codes.
+                    if table.dict_column_count() > 0 {
+                        notes.push("dict".to_string());
+                    }
                 }
             }
             let budget = engine.config().parallel_scan;

@@ -31,6 +31,17 @@ pub struct StatsSnapshot {
     /// late_materialized` is the materialization reduction the `pr3`
     /// bench reports.
     pub late_materialized: u64,
+    /// Rows processed through dictionary *code space*: per-predicate rows
+    /// whose filter ran as a code-comparison kernel (the predicate resolved
+    /// against the dictionary once), rows whose group keys resolved through
+    /// per-bucket code memoization, and rows late-materialized with at least
+    /// one dictionary-decoded column. An engagement counter — one row can
+    /// count several times (once per code-space step it took).
+    pub dict_kernel_rows: u64,
+    /// Columns currently dictionary-encoded across all tables (a live gauge
+    /// computed at snapshot time, not an accumulating counter: one per
+    /// (table, column) pair with at least one dictionary-encoded bucket).
+    pub dict_columns: u64,
     /// UDF invocations that executed the function body.
     pub udf_calls: u64,
     /// UDF invocations answered from the immutable-result cache.
@@ -62,6 +73,12 @@ impl StatsSnapshot {
             late_materialized: self
                 .late_materialized
                 .saturating_sub(before.late_materialized),
+            dict_kernel_rows: self
+                .dict_kernel_rows
+                .saturating_sub(before.dict_kernel_rows),
+            // A gauge, not a counter: the delta keeps the current value so
+            // per-statement snapshots still report the live encoding state.
+            dict_columns: self.dict_columns,
             udf_calls: self.udf_calls.saturating_sub(before.udf_calls),
             udf_cache_hits: self.udf_cache_hits.saturating_sub(before.udf_cache_hits),
             prepared_cache_hits: self
@@ -83,6 +100,7 @@ pub struct EngineCounters {
     parallel_scans: AtomicU64,
     rows_vectorized: AtomicU64,
     late_materialized: AtomicU64,
+    dict_kernel_rows: AtomicU64,
     prepared_cache_hits: AtomicU64,
     prepared_cache_misses: AtomicU64,
 }
@@ -148,6 +166,16 @@ impl EngineCounters {
         self.late_materialized.load(Ordering::Relaxed)
     }
 
+    /// Record rows processed through dictionary code space.
+    pub fn add_dict_kernel_rows(&self, rows: u64) {
+        self.dict_kernel_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Current dictionary code-space row count.
+    pub fn dict_kernel_rows(&self) -> u64 {
+        self.dict_kernel_rows.load(Ordering::Relaxed)
+    }
+
     /// Record one prepared-plan cache lookup outcome.
     pub fn add_prepared_cache(&self, hit: bool) {
         if hit {
@@ -175,6 +203,7 @@ impl EngineCounters {
         self.parallel_scans.store(0, Ordering::Relaxed);
         self.rows_vectorized.store(0, Ordering::Relaxed);
         self.late_materialized.store(0, Ordering::Relaxed);
+        self.dict_kernel_rows.store(0, Ordering::Relaxed);
         self.prepared_cache_hits.store(0, Ordering::Relaxed);
         self.prepared_cache_misses.store(0, Ordering::Relaxed);
     }

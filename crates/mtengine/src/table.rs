@@ -44,6 +44,136 @@ pub type SharedRow = Arc<[Value]>;
 // Columnar bucket storage
 // ---------------------------------------------------------------------------
 
+/// Maximum number of distinct values a dictionary-encoded string column may
+/// hold. The 257th distinct value demotes the column to the plain
+/// [`ColumnVec::Str`] layout (see [`DictColumn`]). Low enough that resolving
+/// a predicate against the whole dictionary is trivially cheap, high enough
+/// to cover every low-cardinality MT-H column (`l_returnflag`,
+/// `l_linestatus`, `l_shipmode`, `p_type`, nation/region names).
+pub const DICT_MAX_DISTINCT: usize = 256;
+
+/// A dictionary-encoded string column: one `u32` code per row into a shared
+/// *sorted* dictionary of distinct values. Because the dictionary is kept
+/// sorted, code order equals string order; inserting a new distinct value
+/// remaps the existing codes at or above its insertion point (cheap — the
+/// dictionary is bounded by [`DICT_MAX_DISTINCT`] entries, so at most that
+/// many remap passes ever happen per bucket).
+///
+/// NULL rows store an arbitrary placeholder code that remap passes may push
+/// past the dictionary length; the owning [`Column`]'s null bitmap is checked
+/// before any code is interpreted, so placeholder codes are never read as
+/// dictionary indices on the query paths.
+#[derive(Debug, Clone, Default)]
+pub struct DictColumn {
+    /// Per-row codes into `dict` (placeholder for NULL rows).
+    codes: Vec<u32>,
+    /// Sorted distinct values; `Arc`-shared with every reader.
+    dict: Vec<Arc<str>>,
+}
+
+impl DictColumn {
+    /// A dictionary column with `len` placeholder slots (NULL backfill).
+    fn with_len(len: usize) -> Self {
+        DictColumn {
+            codes: vec![0; len],
+            dict: Vec::new(),
+        }
+    }
+
+    /// The per-row code array.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The code of row `row`. Only meaningful for non-NULL rows (NULL slots
+    /// hold placeholders) — callers check the null bitmap first.
+    #[inline]
+    pub fn code(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// The sorted dictionary of distinct values.
+    pub fn dict(&self) -> &[Arc<str>] {
+        &self.dict
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code of `value` in the dictionary, when present.
+    pub fn lookup(&self, value: &str) -> Option<u32> {
+        self.dict
+            .binary_search_by(|d| d.as_ref().cmp(value))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// The decoded value of a non-NULL row.
+    #[inline]
+    pub fn value(&self, row: usize) -> Arc<str> {
+        Arc::clone(&self.dict[self.codes[row] as usize])
+    }
+
+    /// Append one value, growing the dictionary if needed. Returns `false`
+    /// (without appending) when the value would push the dictionary past
+    /// [`DICT_MAX_DISTINCT`] — the caller demotes the column to plain layout.
+    fn push(&mut self, value: &Arc<str>) -> bool {
+        match self
+            .dict
+            .binary_search_by(|d| d.as_ref().cmp(value.as_ref()))
+        {
+            Ok(code) => {
+                self.codes.push(code as u32);
+                true
+            }
+            Err(at) => {
+                if self.dict.len() >= DICT_MAX_DISTINCT {
+                    return false;
+                }
+                // Keep the dictionary sorted: codes at or above the insertion
+                // point shift up by one (placeholder codes of NULL rows shift
+                // too — harmless, they are never read).
+                for code in &mut self.codes {
+                    if *code >= at as u32 {
+                        *code += 1;
+                    }
+                }
+                self.dict.insert(at, Arc::clone(value));
+                self.codes.push(at as u32);
+                true
+            }
+        }
+    }
+
+    /// Append a placeholder slot for a NULL row.
+    fn push_null(&mut self) {
+        self.codes.push(0);
+    }
+
+    /// Decode every slot into a plain string array (demotion). Placeholder
+    /// codes of NULL rows may be out of range; they decode to an arbitrary
+    /// value, masked by the null bitmap exactly like other placeholders.
+    fn decode_all(&self) -> Vec<Arc<str>> {
+        let fallback: Arc<str> = self.dict.first().cloned().unwrap_or_else(|| Arc::from(""));
+        self.codes
+            .iter()
+            .map(|&c| {
+                self.dict
+                    .get(c as usize)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::clone(&fallback))
+            })
+            .collect()
+    }
+}
+
 /// One typed column array of a [`ColumnBucket`].
 ///
 /// The variant is decided by the first non-null value stored; a later value
@@ -66,6 +196,10 @@ pub enum ColumnVec {
     Date(Vec<i32>),
     /// `Value::Str` payloads (interned, cloning is a pointer bump).
     Str(Vec<Arc<str>>),
+    /// Low-cardinality `Value::Str` payloads, dictionary-encoded: `u32`
+    /// codes into a shared sorted dictionary. Demotes to [`ColumnVec::Str`]
+    /// when the distinct-value count passes [`DICT_MAX_DISTINCT`].
+    Dict(DictColumn),
     /// Mixed-type fallback storing the values directly.
     Mixed(Vec<Value>),
 }
@@ -76,19 +210,26 @@ pub enum ColumnVec {
 pub struct Column {
     data: ColumnVec,
     nulls: Vec<u64>,
+    /// Dictionary-encode low-cardinality string payloads?
+    dict: bool,
 }
 
 impl Column {
-    fn new() -> Self {
+    fn new(dict: bool) -> Self {
         Column {
             data: ColumnVec::Untyped,
             nulls: Vec::new(),
+            dict,
         }
     }
 
     /// Append `value` as row `row` (callers push rows in order, so `row` is
-    /// also the column length before the push).
-    fn push(&mut self, value: &Value, row: usize) {
+    /// also the column length before the push). Returns the column's
+    /// dictionary transition: `+1` when it adopted the dictionary layout,
+    /// `-1` when it left it (cardinality or type demotion), `0` otherwise —
+    /// the owning [`Table`] keeps its `dict_columns` gauge current from
+    /// these deltas instead of re-walking buckets per stats snapshot.
+    fn push(&mut self, value: &Value, row: usize) -> i8 {
         if row.is_multiple_of(64) {
             self.nulls.push(0);
         }
@@ -106,10 +247,12 @@ impl Column {
                     let placeholder = xs.first().cloned().unwrap_or_else(|| Arc::from(""));
                     xs.push(placeholder);
                 }
+                ColumnVec::Dict(d) => d.push_null(),
                 ColumnVec::Mixed(xs) => xs.push(Value::Null),
             }
-            return;
+            return 0;
         }
+        let mut delta: i8 = 0;
         if matches!(self.data, ColumnVec::Untyped) {
             // First non-null value: adopt its type, backfilling placeholders
             // for the `row` null slots that preceded it.
@@ -118,6 +261,10 @@ impl Column {
                 Value::Float(_) => ColumnVec::Float(vec![0.0; row]),
                 Value::Bool(_) => ColumnVec::Bool(vec![false; row]),
                 Value::Date(_) => ColumnVec::Date(vec![0; row]),
+                Value::Str(_) if self.dict => {
+                    delta = 1;
+                    ColumnVec::Dict(DictColumn::with_len(row))
+                }
                 Value::Str(_) => ColumnVec::Str(vec![Arc::from(""); row]),
                 Value::Null => unreachable!("null handled above"),
             };
@@ -128,9 +275,22 @@ impl Column {
             (ColumnVec::Bool(xs), Value::Bool(x)) => xs.push(*x),
             (ColumnVec::Date(xs), Value::Date(x)) => xs.push(*x),
             (ColumnVec::Str(xs), Value::Str(x)) => xs.push(Arc::clone(x)),
+            (ColumnVec::Dict(d), Value::Str(x)) => {
+                if !d.push(x) {
+                    // Cardinality passed the dictionary threshold: demote to
+                    // the plain string layout and append there.
+                    let mut values = d.decode_all();
+                    values.push(Arc::clone(x));
+                    self.data = ColumnVec::Str(values);
+                    delta -= 1;
+                }
+            }
             (ColumnVec::Mixed(xs), v) => xs.push(v.clone()),
             // Type mismatch: demote to the mixed layout and retry.
             (_, v) => {
+                if matches!(self.data, ColumnVec::Dict(_)) {
+                    delta -= 1;
+                }
                 self.demote_to_mixed(row);
                 let ColumnVec::Mixed(xs) = &mut self.data else {
                     unreachable!("demote_to_mixed installs Mixed");
@@ -138,6 +298,7 @@ impl Column {
                 xs.push(v.clone());
             }
         }
+        delta
     }
 
     /// Rebuild the first `len` slots as a [`ColumnVec::Mixed`] array.
@@ -164,6 +325,7 @@ impl Column {
             ColumnVec::Bool(xs) => Value::Bool(xs[row]),
             ColumnVec::Date(xs) => Value::Date(xs[row]),
             ColumnVec::Str(xs) => Value::Str(Arc::clone(&xs[row])),
+            ColumnVec::Dict(d) => Value::Str(d.value(row)),
             ColumnVec::Mixed(xs) => xs[row].clone(),
         }
     }
@@ -171,6 +333,11 @@ impl Column {
     /// The typed array behind this column (kernel input).
     pub fn data(&self) -> &ColumnVec {
         &self.data
+    }
+
+    /// Is this column currently dictionary-encoded?
+    pub fn is_dict(&self) -> bool {
+        matches!(self.data, ColumnVec::Dict(_))
     }
 }
 
@@ -183,18 +350,47 @@ pub struct ColumnBucket {
 }
 
 impl ColumnBucket {
-    /// An empty bucket with `width` columns.
+    /// An empty bucket with `width` columns (no dictionary encoding).
     pub fn new(width: usize) -> Self {
         ColumnBucket {
             len: 0,
-            columns: (0..width).map(|_| Column::new()).collect(),
+            columns: (0..width).map(|_| Column::new(false)).collect(),
         }
+    }
+
+    /// An empty bucket whose string columns dictionary-encode while their
+    /// distinct-value count stays under [`DICT_MAX_DISTINCT`].
+    pub fn with_dictionary(width: usize) -> Self {
+        ColumnBucket {
+            len: 0,
+            columns: (0..width).map(|_| Column::new(true)).collect(),
+        }
+    }
+
+    /// Number of columns currently dictionary-encoded in this bucket.
+    pub fn dict_column_count(&self) -> usize {
+        self.columns.iter().filter(|c| c.is_dict()).count()
     }
 
     /// Append one row (arity is the caller's responsibility).
     pub fn push_row(&mut self, row: &[Value]) {
         for (column, value) in self.columns.iter_mut().zip(row) {
             column.push(value, self.len);
+        }
+        self.len += 1;
+    }
+
+    /// Append one row, applying each column's dictionary transition to
+    /// `dict_buckets` (per table column: how many of the table's buckets
+    /// currently dictionary-encode it). Used by [`Table::push_shared`] to
+    /// keep the `dict_columns` gauge current without walking buckets.
+    fn push_row_tracked(&mut self, row: &[Value], dict_buckets: &mut [u32]) {
+        for (col, (column, value)) in self.columns.iter_mut().zip(row).enumerate() {
+            match column.push(value, self.len) {
+                1 => dict_buckets[col] += 1,
+                -1 => dict_buckets[col] = dict_buckets[col].saturating_sub(1),
+                _ => {}
+            }
         }
         self.len += 1;
     }
@@ -310,10 +506,12 @@ impl Bucket {
         }
     }
 
-    fn push(&mut self, row: SharedRow) {
+    /// Append one row, applying dictionary transitions of columnar buckets
+    /// to `dict_buckets` (see [`ColumnBucket::push_row_tracked`]).
+    fn push(&mut self, row: SharedRow, dict_buckets: &mut [u32]) {
         match self {
             Bucket::Rows(rows) => rows.push(row),
-            Bucket::Columnar(cols) => cols.push_row(&row),
+            Bucket::Columnar(cols) => cols.push_row_tracked(&row, dict_buckets),
         }
     }
 
@@ -363,6 +561,14 @@ pub struct Table {
     partition_col: Option<usize>,
     /// Store partition buckets in the columnar layout?
     columnar: bool,
+    /// Dictionary-encode low-cardinality string columns of columnar buckets?
+    dict: bool,
+    /// Per table column: number of partition buckets currently
+    /// dictionary-encoding it. Maintained incrementally from the column
+    /// transitions reported by pushes (lazily sized on first bucketed push,
+    /// cleared with the buckets), so the `dict_columns` stats gauge costs
+    /// O(width) instead of a walk over every bucket.
+    dict_bucket_cols: Vec<u32>,
     /// Rows bucketed by partition-key value (partitioned tables only).
     buckets: BTreeMap<i64, Bucket>,
     /// Rows of unpartitioned tables, plus rows of partitioned tables whose
@@ -379,6 +585,8 @@ impl Table {
             columns,
             partition_col: None,
             columnar: false,
+            dict: false,
+            dict_bucket_cols: Vec::new(),
             buckets: BTreeMap::new(),
             loose: Vec::new(),
         }
@@ -428,6 +636,36 @@ impl Table {
     /// Do the partition buckets use the columnar layout?
     pub fn is_columnar(&self) -> bool {
         self.columnar
+    }
+
+    /// Enable or disable dictionary encoding for the string columns of
+    /// columnar buckets, re-encoding any existing rows. A no-op on the row
+    /// layout (the flag still sticks and applies if the table later switches
+    /// to columnar buckets).
+    pub fn set_dictionary(&mut self, dict: bool) {
+        if dict == self.dict {
+            return;
+        }
+        self.dict = dict;
+        if self.columnar {
+            let rows = self.take_rows();
+            for row in rows {
+                self.push_shared(row);
+            }
+        }
+    }
+
+    /// Is dictionary encoding enabled for this table's columnar buckets?
+    pub fn is_dictionary(&self) -> bool {
+        self.dict
+    }
+
+    /// Number of columns currently dictionary-encoded in at least one
+    /// partition bucket. O(width) — read from the incrementally maintained
+    /// per-column bucket counts, not by walking buckets (the stats gauge
+    /// reads this on every snapshot, twice per middleware statement).
+    pub fn dict_column_count(&self) -> usize {
+        self.dict_bucket_cols.iter().filter(|&&c| c > 0).count()
     }
 
     /// The declared partition column index, if any.
@@ -483,16 +721,22 @@ impl Table {
                     let key = *key;
                     let width = self.columns.len();
                     let columnar = self.columnar;
+                    let dict = self.dict;
+                    if self.dict_bucket_cols.len() != width {
+                        self.dict_bucket_cols = vec![0; width];
+                    }
                     self.buckets
                         .entry(key)
                         .or_insert_with(|| {
-                            if columnar {
+                            if columnar && dict {
+                                Bucket::Columnar(ColumnBucket::with_dictionary(width))
+                            } else if columnar {
                                 Bucket::Columnar(ColumnBucket::new(width))
                             } else {
                                 Bucket::Rows(Vec::new())
                             }
                         })
-                        .push(row);
+                        .push(row, &mut self.dict_bucket_cols);
                 }
                 _ => self.loose.push(row),
             },
@@ -519,6 +763,8 @@ impl Table {
                 Bucket::Columnar(cols) => out.extend((0..cols.len()).map(|i| cols.materialize(i))),
             }
         }
+        // No buckets left ⇒ no dictionary-encoded columns left.
+        self.dict_bucket_cols.clear();
         out.append(&mut self.loose);
         out
     }
@@ -774,6 +1020,125 @@ mod tests {
         assert_eq!(bucket.value(1, 1), Value::Int(7));
         assert_eq!(bucket.value(0, 2), Value::Null);
         assert_eq!(bucket.value(1, 2), Value::str("x"));
+    }
+
+    fn dict_table() -> Table {
+        let mut t = Table::new("t", vec!["ttid".into(), "s".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.set_dictionary(true);
+        t.set_columnar(true);
+        t
+    }
+
+    #[test]
+    fn dictionary_encodes_low_cardinality_strings_sorted() {
+        let mut t = dict_table();
+        for s in ["MAIL", "SHIP", "AIR", "MAIL", "RAIL", "AIR"] {
+            t.push_row(vec![Value::Int(1), Value::str(s)]).unwrap();
+        }
+        let bucket = t.partition(1).unwrap().as_columns().unwrap();
+        assert_eq!(bucket.dict_column_count(), 1);
+        let ColumnVec::Dict(d) = bucket.column(1).data() else {
+            panic!(
+                "expected a dictionary column, got {:?}",
+                bucket.column(1).data()
+            );
+        };
+        // The dictionary is sorted and deduplicated; code order = string order.
+        let dict: Vec<&str> = d.dict().iter().map(|s| s.as_ref()).collect();
+        assert_eq!(dict, vec!["AIR", "MAIL", "RAIL", "SHIP"]);
+        assert_eq!(d.codes(), &[1, 3, 0, 1, 2, 0]);
+        assert_eq!(d.lookup("RAIL"), Some(2));
+        assert_eq!(d.lookup("TRUCK"), None);
+        // Decoded values round-trip through the generic reader.
+        assert_eq!(bucket.value(1, 1), Value::str("SHIP"));
+        assert_eq!(t.dict_column_count(), 1);
+    }
+
+    #[test]
+    fn dictionary_handles_nulls_and_preserves_rows() {
+        let mut t = dict_table();
+        // NULLs before the first value, between values, and an empty string.
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(1), Value::str("b")],
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(1), Value::str("")],
+            vec![Value::Int(1), Value::str("a")],
+        ];
+        for r in rows.clone() {
+            t.push_row(r).unwrap();
+        }
+        let all: Vec<Vec<Value>> = t.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(all, rows);
+        let bucket = t.partition(1).unwrap().as_columns().unwrap();
+        assert!(bucket.column(1).is_null(0));
+        assert!(bucket.column(1).is_null(2));
+        assert_eq!(bucket.value(3, 1), Value::str(""));
+    }
+
+    #[test]
+    fn dictionary_demotes_past_the_distinct_threshold() {
+        let mut t = dict_table();
+        let rows: Vec<Row> = (0..=DICT_MAX_DISTINCT as i64)
+            .map(|i| vec![Value::Int(1), Value::str(format!("v{i:05}"))])
+            .collect();
+        for (n, r) in rows.clone().into_iter().enumerate() {
+            t.push_row(r).unwrap();
+            let bucket = t.partition(1).unwrap().as_columns().unwrap();
+            let is_dict = bucket.column(1).is_dict();
+            // Exactly the (threshold + 1)-th distinct value demotes.
+            assert_eq!(is_dict, n < DICT_MAX_DISTINCT, "after {} rows", n + 1);
+        }
+        let bucket = t.partition(1).unwrap().as_columns().unwrap();
+        assert!(matches!(bucket.column(1).data(), ColumnVec::Str(_)));
+        assert_eq!(t.dict_column_count(), 0);
+        // Every value survived the demotion, in order.
+        let all: Vec<Vec<Value>> = t.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(all, rows);
+    }
+
+    #[test]
+    fn dictionary_demotion_keeps_null_slots_null() {
+        let mut t = dict_table();
+        t.push_row(vec![Value::Int(1), Value::Null]).unwrap();
+        for i in 0..=DICT_MAX_DISTINCT as i64 {
+            t.push_row(vec![Value::Int(1), Value::str(format!("v{i:05}"))])
+                .unwrap();
+        }
+        let bucket = t.partition(1).unwrap().as_columns().unwrap();
+        assert!(matches!(bucket.column(1).data(), ColumnVec::Str(_)));
+        assert_eq!(bucket.value(0, 1), Value::Null);
+        assert_eq!(bucket.value(1, 1), Value::str("v00000"));
+    }
+
+    #[test]
+    fn dictionary_column_demotes_to_mixed_on_type_flip() {
+        let mut t = dict_table();
+        t.push_row(vec![Value::Int(1), Value::str("a")]).unwrap();
+        t.push_row(vec![Value::Int(1), Value::Int(7)]).unwrap();
+        let bucket = t.partition(1).unwrap().as_columns().unwrap();
+        assert!(matches!(bucket.column(1).data(), ColumnVec::Mixed(_)));
+        assert_eq!(bucket.value(0, 1), Value::str("a"));
+        assert_eq!(bucket.value(1, 1), Value::Int(7));
+    }
+
+    #[test]
+    fn set_dictionary_re_encodes_existing_buckets_both_ways() {
+        let mut t = Table::new("t", vec!["ttid".into(), "s".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.set_columnar(true);
+        for s in ["x", "y", "x"] {
+            t.push_row(vec![Value::Int(1), Value::str(s)]).unwrap();
+        }
+        let before: Vec<Vec<Value>> = t.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(t.dict_column_count(), 0);
+        t.set_dictionary(true);
+        assert_eq!(t.dict_column_count(), 1);
+        assert_eq!(t.rows().map(|r| r.to_vec()).collect::<Vec<_>>(), before);
+        t.set_dictionary(false);
+        assert_eq!(t.dict_column_count(), 0);
+        assert_eq!(t.rows().map(|r| r.to_vec()).collect::<Vec<_>>(), before);
     }
 
     #[test]

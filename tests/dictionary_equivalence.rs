@@ -1,0 +1,292 @@
+//! Differential MT-H sweep pinning the dictionary-encoding tentpole: all 22
+//! MT-H queries run across the {dict, no-dict} × {columnar, row} ×
+//! {parallel, serial} configuration cross on the *same* generated data, and
+//! every cell must return identical row-sets with identical `rows_scanned`
+//! and `partitions_pruned` counters. Dictionary encoding is a physical
+//! storage decision — any observable difference is an executor bug.
+//!
+//! Also pinned here: the code-space kernels actually engage on the
+//! dictionary deployments (`dict_kernel_rows`), and cardinality-threshold
+//! demotion mid-table neither changes query results nor invalidates prepared
+//! statements bound across the demotion.
+
+use std::sync::{Arc, OnceLock};
+
+use mtbase::{EngineConfig, MtBase, Value};
+use mth::gen::{self, GeneratedData};
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{loader, queries, MthDeployment};
+use mtrewrite::OptLevel;
+use mtsql::ast::Statement;
+
+const TENANTS: i64 = 4;
+const SCOPE: &str = "SET SCOPE = \"IN (1, 2)\"";
+
+/// The full configuration cross, labelled for failure messages.
+struct Fixtures {
+    cells: Vec<(&'static str, MthDeployment)>,
+}
+
+fn fixtures() -> &'static Fixtures {
+    static FIXTURES: OnceLock<Fixtures> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let config = MthConfig {
+            scale: 0.08,
+            tenants: TENANTS,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        };
+        let data: GeneratedData = gen::generate(&config);
+        let load = |engine_config| loader::load_from_data(config, engine_config, &data);
+        let base = EngineConfig::postgres_like;
+        Fixtures {
+            cells: vec![
+                ("dict/columnar/serial", load(base())),
+                ("dict/columnar/parallel", load(base().with_parallel_scan(4))),
+                (
+                    "nodict/columnar/serial",
+                    load(base().without_dictionary_encoding()),
+                ),
+                (
+                    "nodict/columnar/parallel",
+                    load(base().without_dictionary_encoding().with_parallel_scan(4)),
+                ),
+                // Dictionary encoding only applies to columnar buckets; the
+                // row-layout cells pin that the flag stays inert there.
+                ("dict/row/serial", load(base().without_columnar_scan())),
+                (
+                    "dict/row/parallel",
+                    load(base().without_columnar_scan().with_parallel_scan(4)),
+                ),
+                (
+                    "nodict/row/serial",
+                    load(base().without_columnar_scan().without_dictionary_encoding()),
+                ),
+                (
+                    "nodict/row/parallel",
+                    load(
+                        base()
+                            .without_columnar_scan()
+                            .without_dictionary_encoding()
+                            .with_parallel_scan(4),
+                    ),
+                ),
+            ],
+        }
+    })
+}
+
+/// Run one query and return its result plus the scan counters the sweep
+/// compares across configurations.
+fn run(
+    dep: &MthDeployment,
+    query: usize,
+    level: OptLevel,
+    label: &str,
+) -> (mtbase::ResultSet, u64, u64) {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(level);
+    conn.execute(SCOPE).expect("scope statement");
+    let rs = conn
+        .query(&queries::query(query))
+        .unwrap_or_else(|e| panic!("Q{query} at {level:?} on {label}: {e}"));
+    let stats = conn.last_query_stats();
+    (rs, stats.rows_scanned, stats.partitions_pruned)
+}
+
+/// All 22 MT-H queries at o2: identical results and identical scan counters
+/// across the whole {dict, no-dict} × {columnar, row} × {parallel, serial}
+/// cross.
+#[test]
+fn all_queries_agree_across_the_dictionary_cross() {
+    let f = fixtures();
+    for query in queries::all_query_numbers() {
+        let (reference_label, reference_dep) = &f.cells[0];
+        let reference = run(reference_dep, query, OptLevel::O2, reference_label);
+        for (label, dep) in &f.cells[1..] {
+            let (rs, rows_scanned, pruned) = run(dep, query, OptLevel::O2, label);
+            assert_eq!(
+                reference.0, rs,
+                "Q{query}: {label} differs from {reference_label}"
+            );
+            assert_eq!(
+                reference.1, rows_scanned,
+                "Q{query}: rows_scanned differs on {label}"
+            );
+            assert_eq!(
+                reference.2, pruned,
+                "Q{query}: partitions_pruned differs on {label}"
+            );
+        }
+    }
+}
+
+/// The o4 rewrites wrap scans in derived tables; the dictionary axis must
+/// stay invisible there too. A focused subset keeps the sweep fast — the
+/// kernel-heavy queries plus the correlated Q22.
+#[test]
+fn kernel_heavy_queries_agree_at_o4() {
+    let f = fixtures();
+    for query in [1usize, 6, 12, 14, 22] {
+        let (reference_label, reference_dep) = &f.cells[0];
+        let reference = run(reference_dep, query, OptLevel::O4, reference_label);
+        for (label, dep) in &f.cells[1..] {
+            let (rs, rows_scanned, pruned) = run(dep, query, OptLevel::O4, label);
+            assert_eq!(
+                reference.0, rs,
+                "Q{query} at o4: {label} differs from {reference_label}"
+            );
+            assert_eq!(
+                reference.1, rows_scanned,
+                "Q{query} at o4: rows_scanned differs on {label}"
+            );
+            assert_eq!(
+                reference.2, pruned,
+                "Q{query} at o4: partitions_pruned differs on {label}"
+            );
+        }
+    }
+}
+
+/// The dictionary deployments must actually exercise the code-space paths —
+/// predicate kernels (Q12's `l_shipmode IN`), code-space grouping (Q1's
+/// `l_returnflag, l_linestatus`) and dictionary-decoding materialization
+/// (Q6, Q14) — and the no-dictionary / row deployments must never report
+/// them.
+#[test]
+fn dictionary_paths_engage_only_on_dictionary_deployments() {
+    let f = fixtures();
+    let stats_for = |cell: usize, query: usize| {
+        let (label, dep) = &f.cells[cell];
+        let mut conn = dep.server.connect(1);
+        conn.set_opt_level(OptLevel::O2);
+        conn.execute(SCOPE).expect("scope statement");
+        conn.query(&queries::query(query))
+            .unwrap_or_else(|e| panic!("Q{query} on {label}: {e}"));
+        conn.last_query_stats()
+    };
+    for query in [1usize, 6, 12, 14] {
+        let dict = stats_for(0, query);
+        assert!(
+            dict.dict_kernel_rows > 0,
+            "Q{query} did not engage dictionary code space: {dict:?}"
+        );
+        for cell in [2, 4, 6] {
+            let baseline = stats_for(cell, query);
+            assert_eq!(
+                baseline.dict_kernel_rows, 0,
+                "Q{query} on {} reported dictionary rows",
+                f.cells[cell].0
+            );
+        }
+    }
+    // The gauge: the dictionary deployment holds encoded columns, the
+    // baseline holds none.
+    assert!(f.cells[0].1.server.stats().dict_columns > 0);
+    assert_eq!(f.cells[2].1.server.stats().dict_columns, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality-threshold demotion
+// ---------------------------------------------------------------------------
+
+/// A minimal tenant-specific deployment for the demotion tests: one table
+/// with a low-cardinality tag column, two tenants, no conversion functions.
+fn demotion_server() -> Arc<MtBase> {
+    let server = MtBase::new(EngineConfig::default());
+    let ddl = "CREATE TABLE Items SPECIFIC (
+        I_item_id INTEGER NOT NULL SPECIFIC,
+        I_tag VARCHAR(32) NOT NULL COMPARABLE
+    )";
+    match mtsql::parse_statement(ddl).expect("DDL parses") {
+        Statement::CreateTable(ct) => server.create_table(&ct).expect("create table"),
+        _ => unreachable!(),
+    }
+    for t in 1..=2 {
+        server.register_tenant(t);
+    }
+    server.grant_read_all(1);
+    // 40 rows cycling over 4 tags per tenant: comfortably dictionary-encoded.
+    let tags = ["alpha", "beta", "gamma", "delta"];
+    let rows: Vec<Vec<Value>> = (0..80)
+        .map(|i| {
+            vec![
+                Value::Int(i % 2 + 1),
+                Value::Int(i),
+                Value::str(tags[(i % 4) as usize]),
+            ]
+        })
+        .collect();
+    server.load_rows("Items", rows).expect("load Items");
+    server
+}
+
+/// Inserting past the distinct-value threshold demotes the dictionary column
+/// mid-table without changing query results, and a prepared statement bound
+/// across the demotion keeps returning correct rows from its cached plan.
+#[test]
+fn demotion_mid_table_preserves_results_and_prepared_statements() {
+    let server = demotion_server();
+    assert!(
+        server.stats().dict_columns > 0,
+        "the tag column must start dictionary-encoded: {:?}",
+        server.stats()
+    );
+
+    let mut conn = server.connect(1);
+    conn.execute("SET SCOPE = \"IN (1, 2)\"").unwrap();
+    let count_alpha = "SELECT COUNT(*) FROM Items WHERE I_tag = 'alpha'";
+    let before = conn.query(count_alpha).unwrap();
+    assert_eq!(before.rows[0][0], Value::Int(20));
+
+    // Prepare (and execute once) before the demotion, so the plan is cached.
+    let mut stmt = conn
+        .prepare("SELECT I_item_id FROM Items WHERE I_tag = ? ORDER BY I_item_id")
+        .unwrap();
+    let prepared_before = stmt.execute_with(&[Value::str("beta")]).unwrap();
+    assert_eq!(prepared_before.rows.len(), 20);
+
+    // Blow past DICT_MAX_DISTINCT with unique tags in tenant 1's bucket.
+    let overflow: Vec<Vec<Value>> = (0..mtengine::table::DICT_MAX_DISTINCT as i64 + 8)
+        .map(|i| {
+            vec![
+                Value::Int(1),
+                Value::Int(1000 + i),
+                Value::str(format!("unique-{i:05}")),
+            ]
+        })
+        .collect();
+    server.load_rows("Items", overflow).expect("overflow load");
+    assert_eq!(
+        server.stats().dict_columns,
+        1,
+        "tenant 1's tag column demotes; tenant 2's stays encoded: {:?}",
+        server.stats()
+    );
+
+    // One-shot results are unchanged for the old rows and see the new ones.
+    let after = conn.query(count_alpha).unwrap();
+    assert_eq!(after, before, "demotion changed query results");
+    let uniques = conn
+        .query("SELECT COUNT(*) FROM Items WHERE I_tag LIKE 'unique-%'")
+        .unwrap();
+    assert_eq!(
+        uniques.rows[0][0],
+        Value::Int(mtengine::table::DICT_MAX_DISTINCT as i64 + 8)
+    );
+
+    // The statement prepared before the demotion still binds and returns
+    // correct rows — both for dictionary-era and post-demotion values.
+    let prepared_after = stmt.execute_with(&[Value::str("beta")]).unwrap();
+    assert_eq!(
+        prepared_after, prepared_before,
+        "prepared beta rows drifted"
+    );
+    let prepared_unique = stmt.execute_with(&[Value::str("unique-00003")]).unwrap();
+    assert_eq!(prepared_unique.rows, vec![vec![Value::Int(1003)]]);
+    assert!(
+        stmt.last_query_stats().prepared_cache_hits > 0,
+        "re-execution must come from the plan cache: {:?}",
+        stmt.last_query_stats()
+    );
+}

@@ -1,8 +1,11 @@
 //! Property tests pinning executor equivalence across storage and scan
 //! configurations: for randomized MT-H queries at o1–o4, the {columnar, row}
-//! × {parallel, serial, unpruned} cross of engine configurations must return
-//! identical row-sets. All six configurations load the *same* generated
-//! data, so any divergence is an executor bug, not a data artifact.
+//! × {parallel, serial, unpruned} cross of engine configurations — plus the
+//! dictionary-encoding axis on the columnar layout — must return identical
+//! row-sets. All configurations load the *same* generated data, so any
+//! divergence is an executor bug, not a data artifact. (The exhaustive
+//! dictionary sweep over all 22 queries lives in
+//! `tests/dictionary_equivalence.rs`.)
 
 use std::sync::OnceLock;
 
@@ -25,12 +28,16 @@ const SCOPES: [&str; 3] = [
 ];
 
 struct Fixtures {
-    /// Columnar buckets (the default layout), pruning on, parallel scans.
+    /// Columnar buckets (the default layout, dictionary-encoded), pruning
+    /// on, parallel scans.
     parallel: MthDeployment,
     /// Columnar buckets, serial scans.
     serial: MthDeployment,
     /// Columnar buckets, partition pruning disabled (full-scan baseline).
     unpruned: MthDeployment,
+    /// Columnar buckets without dictionary encoding — the plain `Arc<str>`
+    /// baseline the code-space kernels are verified against.
+    nodict: MthDeployment,
     /// Row buckets, pruning on, parallel scans.
     row_parallel: MthDeployment,
     /// Row buckets, serial scans — the PR 1/PR 2 storage baseline.
@@ -56,6 +63,7 @@ fn fixtures() -> &'static Fixtures {
             parallel: load(EngineConfig::postgres_like().with_parallel_scan(4)),
             serial: load(EngineConfig::postgres_like()),
             unpruned: load(EngineConfig::postgres_like().without_partition_pruning()),
+            nodict: load(EngineConfig::postgres_like().without_dictionary_encoding()),
             row_parallel: load(
                 EngineConfig::postgres_like()
                     .with_parallel_scan(4)
@@ -97,6 +105,7 @@ proptest! {
         let columnar_parallel = run(&f.parallel, scope, query, level);
         let columnar_serial = run(&f.serial, scope, query, level);
         let columnar_unpruned = run(&f.unpruned, scope, query, level);
+        let columnar_nodict = run(&f.nodict, scope, query, level);
         let row_parallel = run(&f.row_parallel, scope, query, level);
         let row_serial = run(&f.row_serial, scope, query, level);
         let row_unpruned = run(&f.row_unpruned, scope, query, level);
@@ -105,6 +114,7 @@ proptest! {
         // identifies the failing cell through the stringified expressions.
         prop_assert_eq!(&columnar_parallel, &columnar_serial);
         prop_assert_eq!(&columnar_serial, &columnar_unpruned);
+        prop_assert_eq!(&columnar_serial, &columnar_nodict);
         prop_assert_eq!(&columnar_serial, &row_serial);
         prop_assert_eq!(&row_parallel, &row_serial);
         prop_assert_eq!(&row_serial, &row_unpruned);

@@ -41,6 +41,22 @@ fn row_deployment() -> MthDeployment {
     )
 }
 
+/// The same deployment with dictionary encoding disabled (columnar buckets
+/// keep plain `Arc<str>` arrays — the code-space kernel baseline).
+fn nodict_deployment() -> MthDeployment {
+    loader::load(
+        MthConfig {
+            scale: 0.05,
+            tenants: 4,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        },
+        EngineConfig::postgres_like()
+            .with_parallel_scan(4)
+            .without_dictionary_encoding(),
+    )
+}
+
 fn explain(dep: &MthDeployment, query: usize, level: OptLevel) -> String {
     let mut conn = dep.server.connect(1);
     conn.set_opt_level(level);
@@ -106,6 +122,28 @@ fn explain_marks_columnar_scans_vectorized() {
         "row-layout scan must not claim vectorized execution:\n{row_text}"
     );
     check_golden("explain_q6_o2_row.txt", &row_text);
+}
+
+/// Scans over buckets holding dictionary-encoded columns carry the `dict`
+/// marker; a deployment without dictionary encoding (still columnar, still
+/// vectorized) must not. The no-dict plan is pinned as its own golden
+/// snapshot, the counterpart of `explain_q6_o2_row.txt`.
+#[test]
+fn explain_marks_dictionary_scans() {
+    let dep = deployment();
+    let text = explain(&dep, 6, OptLevel::O2);
+    assert!(
+        text.contains("SeqScan lineitem") && text.contains("dict"),
+        "dictionary-encoded lineitem scan not marked dict:\n{text}"
+    );
+
+    let nodict_dep = nodict_deployment();
+    let nodict_text = explain(&nodict_dep, 6, OptLevel::O2);
+    assert!(
+        nodict_text.contains("vectorized") && !nodict_text.contains("dict"),
+        "no-dict scan must stay vectorized but unmarked:\n{nodict_text}"
+    );
+    check_golden("explain_q6_o2_nodict.txt", &nodict_text);
 }
 
 /// At o4 every conversion-heavy query wraps its scans in the `mt_partials`
