@@ -159,7 +159,7 @@ fn main() {
     let dep = loader::load_from_data(config, EngineConfig::postgres_like(), &data);
     // The loader grants read-all only to the default benchmark client.
     for c in CLIENTS {
-        dep.server.grant_read_all(c);
+        dep.server.grant_read_all(c).expect("grant read");
     }
 
     let mut ok = true;

@@ -169,6 +169,26 @@ impl Connection {
                     Grantee::All => dataset,
                 };
                 let tables = self.grant_object_tables(&grant.object);
+                // Write-ahead: DCL records reach the WAL before the catalog
+                // changes (engine lock released before taking catalog).
+                {
+                    let mut engine = self.server.engine.write();
+                    if engine.is_durable() {
+                        let mask = crate::server::encode_privileges(&grant.privileges);
+                        for &grantee in &grantees {
+                            engine
+                                .log_meta(mtengine::MetaOp::RegisterTenant { tenant: grantee })?;
+                            for table in &tables {
+                                engine.log_meta(mtengine::MetaOp::Grant {
+                                    owner: self.client,
+                                    grantee,
+                                    table: table.clone(),
+                                    privileges: mask,
+                                })?;
+                            }
+                        }
+                    }
+                }
                 let mut catalog = self.server.catalog.write();
                 for grantee in grantees {
                     catalog.register_tenant(grantee);
@@ -190,6 +210,22 @@ impl Connection {
                     Grantee::All => dataset,
                 };
                 let tables = self.grant_object_tables(&revoke.object);
+                {
+                    let mut engine = self.server.engine.write();
+                    if engine.is_durable() {
+                        let mask = crate::server::encode_privileges(&revoke.privileges);
+                        for &grantee in &grantees {
+                            for table in &tables {
+                                engine.log_meta(mtengine::MetaOp::Revoke {
+                                    owner: self.client,
+                                    grantee,
+                                    table: table.clone(),
+                                    privileges: mask,
+                                })?;
+                            }
+                        }
+                    }
+                }
                 let mut catalog = self.server.catalog.write();
                 for grantee in grantees {
                     for table in &tables {
@@ -207,18 +243,29 @@ impl Connection {
                 self.server.create_table(ct)?;
                 Ok(ResultSet::default())
             }
-            Statement::CreateView(_) | Statement::DropView { .. } | Statement::DropTable { .. } => {
-                // Catalog first, engine second — never hold the engine lock
-                // while taking the catalog lock (the plan-cache front-end
-                // acquires them in catalog → engine order).
-                if let Statement::DropTable { name, .. } = stmt {
-                    self.server.catalog.write().drop_table(name);
-                } else {
-                    // View definitions live in the engine; bump the epoch
-                    // explicitly so cached plans that expanded the old view
-                    // invalidate.
-                    self.server.catalog.write().bump_epoch();
+            Statement::DropTable { name, if_exists } => {
+                // Engine first: the physical drop and its catalog record are
+                // one WAL transaction. The catalog entry goes second, after
+                // the transaction is durable (locks are never held together —
+                // the plan-cache front-end acquires catalog → engine).
+                let existed = {
+                    let mut engine = self.server.engine.write();
+                    let meta = engine
+                        .is_durable()
+                        .then(|| mtengine::MetaOp::DropTable { name: name.clone() });
+                    engine.drop_table_logged(name, meta)?
+                };
+                if !existed && !if_exists {
+                    return Err(MtError::Engine(format!("no such table `{name}`")));
                 }
+                self.server.catalog.write().drop_table(name);
+                Ok(ResultSet::default())
+            }
+            Statement::CreateView(_) | Statement::DropView { .. } => {
+                // View definitions live in the engine; bump the epoch
+                // explicitly so cached plans that expanded the old view
+                // invalidate.
+                self.server.catalog.write().bump_epoch();
                 let mut engine = self.server.engine.write();
                 Ok(engine.execute_statement(stmt)?)
             }

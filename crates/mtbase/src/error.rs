@@ -13,6 +13,14 @@ pub enum MtError {
     Engine(String),
     /// The client lacks a privilege required by the statement.
     Privilege(String),
+    /// The durability layer failed: a WAL I/O error, a short read or a
+    /// corrupt record during recovery, or a writer left dead by a
+    /// (simulated) crash. The in-memory state still reflects exactly the
+    /// committed prefix.
+    Durability(String),
+    /// A pinned cursor snapshot can no longer be served (the underlying
+    /// table was destructively rewritten). Re-open the cursor.
+    Snapshot(String),
     /// Anything else (unsupported feature, configuration problem, ...).
     Other(String),
 }
@@ -24,6 +32,8 @@ impl fmt::Display for MtError {
             MtError::Rewrite(m) => write!(f, "rewrite error: {m}"),
             MtError::Engine(m) => write!(f, "engine error: {m}"),
             MtError::Privilege(m) => write!(f, "privilege error: {m}"),
+            MtError::Durability(m) => write!(f, "durability error: {m}"),
+            MtError::Snapshot(m) => write!(f, "snapshot error: {m}"),
             MtError::Other(m) => write!(f, "error: {m}"),
         }
     }
@@ -45,7 +55,12 @@ impl From<mtrewrite::RewriteError> for MtError {
 
 impl From<mtengine::EngineError> for MtError {
     fn from(e: mtengine::EngineError) -> Self {
-        MtError::Engine(e.message)
+        use mtengine::EngineErrorKind as K;
+        match e.kind() {
+            K::Io | K::ShortRead | K::Corrupt | K::Poisoned => MtError::Durability(e.message),
+            K::SnapshotInvalidated => MtError::Snapshot(e.message),
+            K::General => MtError::Engine(e.message),
+        }
     }
 }
 

@@ -36,7 +36,7 @@
 //! use mtengine::Value;
 //!
 //! let server = running_example_server(mtengine::EngineConfig::default());
-//! server.grant_read_all(0); // tenant 1 shares her data with tenant 0
+//! server.grant_read_all(0).unwrap(); // tenant 1 shares her data with tenant 0
 //! let mut conn = server.connect(0);
 //! conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
 //! // Tenant 1 stores salaries in EUR; tenant 0 sees them converted to USD.

@@ -140,12 +140,12 @@ impl Statement {
     pub fn cursor_with_batch(&mut self, batch_rows: usize) -> Result<Cursor> {
         self.check_bound()?;
         let cached = self.resolve()?;
-        Ok(Cursor::new(
+        Cursor::new(
             Arc::clone(&self.server),
             Arc::clone(&cached.plan),
             self.params.clone(),
             batch_rows,
-        ))
+        )
     }
 
     /// The plain-SQL rewrite this statement currently executes (resolved
@@ -194,9 +194,14 @@ impl Statement {
 /// The cursor owns no engine borrow: each [`Cursor::next_batch`] acquires
 /// the engine's shared lock, advances the underlying
 /// [`mtengine::cursor::CursorState`] by one batch and releases the lock —
-/// so long-lived cursors do not starve writers. Streaming cursors read live
-/// table state; DML interleaved between batches may be partially observed,
-/// like a server-side cursor without snapshot isolation.
+/// so long-lived cursors do not starve writers.
+///
+/// The cursor is pinned to the engine's mutation epoch at open
+/// ([`mtengine::Engine::pin_cursor`]): rows committed by concurrent DML
+/// after the open are never observed, and blocking plans materialize their
+/// snapshot at open. A destructive rewrite (UPDATE/DELETE) of a table the
+/// cursor is streaming invalidates it — the next fetch fails with
+/// [`MtError::Snapshot`](crate::MtError).
 pub struct Cursor {
     server: Arc<MtBase>,
     plan: Arc<Plan>,
@@ -212,20 +217,33 @@ pub struct Cursor {
 }
 
 impl Cursor {
-    fn new(server: Arc<MtBase>, plan: Arc<Plan>, params: Vec<Value>, batch_rows: usize) -> Self {
+    fn new(
+        server: Arc<MtBase>,
+        plan: Arc<Plan>,
+        params: Vec<Value>,
+        batch_rows: usize,
+    ) -> Result<Self> {
         let columns = plan.schema().names();
-        Cursor {
+        let mut state = CursorState::new();
+        {
+            // Pin under the open-time shared borrow: everything committed up
+            // to here is visible, nothing after. Blocking plans materialize
+            // inside this borrow, so they cannot interleave with writers.
+            let engine = server.engine.read();
+            engine.pin_cursor(&plan, &params, &mut state)?;
+        }
+        Ok(Cursor {
             server,
             plan,
             params,
-            state: CursorState::new(),
+            state,
             columns,
             batch_rows: batch_rows.max(1),
             pending: Vec::new().into_iter(),
             done: false,
             peak_resident: 0,
             rows_fetched: 0,
-        }
+        })
     }
 
     /// Output column names.

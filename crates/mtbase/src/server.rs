@@ -3,11 +3,11 @@
 
 use std::sync::Arc;
 
-use mtcatalog::{Catalog, ConversionFnPair, TenantId, TTID_COLUMN};
+use mtcatalog::{Catalog, ConversionFnPair, Privilege, TenantId, TTID_COLUMN};
 use mtengine::udf::UdfImpl;
-use mtengine::{Engine, EngineConfig, ResultSet, Value};
+use mtengine::{Engine, EngineConfig, MetaOp, ResultSet, Value};
 use mtrewrite::{InlineRegistry, OptLevel, Rewriter};
-use mtsql::ast::{CreateTable, Query, ScopeSpec, TableGenerality};
+use mtsql::ast::{CreateTable, Query, ScopeSpec, Statement, TableGenerality};
 use parking_lot::{Mutex, RwLock};
 
 use crate::connection::Connection;
@@ -52,10 +52,70 @@ impl MtBase {
         })
     }
 
+    /// Open (or create) a durable MTBase deployment backed by the WAL at
+    /// `path`: replay the committed engine state, rebuild the catalog from
+    /// the logged DDL/DCL records, and couple the catalog epoch to the
+    /// replay horizon (so cached-plan epochs never repeat across a crash).
+    /// Conversion functions are **not** recovered — native closures do not
+    /// serialize — so re-register them via [`MtBase::register_conversion`]
+    /// after open, exactly as on a fresh instance.
+    pub fn open_durable(engine_config: EngineConfig, path: &std::path::Path) -> Result<Arc<Self>> {
+        let mut engine = Engine::open(engine_config, path)?;
+        let mut catalog = Catalog::new();
+        for op in engine.take_recovered_meta() {
+            match op {
+                MetaOp::CreateTableDdl { sql } => match mtsql::parse_statement(&sql) {
+                    Ok(Statement::CreateTable(ct)) => catalog.register_create_table(&ct),
+                    _ => {
+                        return Err(MtError::Durability(format!(
+                            "recovered catalog record is not a CREATE TABLE: {sql}"
+                        )))
+                    }
+                },
+                MetaOp::RegisterTenant { tenant } => catalog.register_tenant(tenant),
+                MetaOp::Grant {
+                    owner,
+                    grantee,
+                    table,
+                    privileges,
+                } => {
+                    catalog.register_tenant(grantee);
+                    catalog.privileges_mut().grant(
+                        owner,
+                        &table,
+                        grantee,
+                        &decode_privileges(privileges),
+                    );
+                }
+                MetaOp::Revoke {
+                    owner,
+                    grantee,
+                    table,
+                    privileges,
+                } => {
+                    catalog.privileges_mut().revoke(
+                        owner,
+                        &table,
+                        grantee,
+                        &decode_privileges(privileges),
+                    );
+                }
+                MetaOp::DropTable { name } => {
+                    catalog.drop_table(&name);
+                }
+            }
+        }
+        catalog.set_epoch_floor(engine.wal_last_lsn());
+        Ok(Self::from_parts(engine, catalog, InlineRegistry::new()))
+    }
+
     /// Open a connection for the given client tenant (the connection string's
-    /// ttid in the paper). The scope defaults to `{C}`.
+    /// ttid in the paper). The scope defaults to `{C}`. Tenant registration
+    /// is idempotent; on a durable deployment whose WAL writer has failed,
+    /// the registration is skipped here and the failure surfaces on the
+    /// connection's first logged statement instead.
     pub fn connect(self: &Arc<Self>, client: TenantId) -> Connection {
-        self.catalog.write().register_tenant(client);
+        let _ = self.register_tenant(client);
         Connection::new(Arc::clone(self), client)
     }
 
@@ -70,8 +130,19 @@ impl MtBase {
     }
 
     /// Register a tenant (tenants are also registered implicitly on connect).
-    pub fn register_tenant(&self, tenant: TenantId) {
+    /// On durable deployments the registration is logged *before* it is
+    /// applied, so recovery sees exactly the registered tenants.
+    pub fn register_tenant(&self, tenant: TenantId) -> Result<()> {
+        if self.catalog.read().has_tenant(tenant) {
+            return Ok(());
+        }
+        // Write-ahead: log, then apply. A racing duplicate registration logs
+        // twice; catalog replay is idempotent.
+        self.engine
+            .write()
+            .log_meta(MetaOp::RegisterTenant { tenant })?;
         self.catalog.write().register_tenant(tenant);
+        Ok(())
     }
 
     /// Register a conversion-function pair: catalog metadata, the native UDF
@@ -106,18 +177,29 @@ impl MtBase {
     /// Tenant-specific tables are partitioned by `ttid`, so scans can prune
     /// foreign tenants that the statement's scope excludes.
     pub fn create_table(&self, ct: &CreateTable) -> Result<()> {
-        self.catalog.write().register_create_table(ct);
         let tenant_specific = ct.generality == TableGenerality::TenantSpecific;
         let mut columns: Vec<String> = Vec::new();
         if tenant_specific {
             columns.push(TTID_COLUMN.to_string());
         }
         columns.extend(ct.columns.iter().map(|c| c.name.clone()));
-        let mut engine = self.engine.write();
-        engine.create_table_owned(&ct.name, columns);
-        if tenant_specific {
-            engine.set_table_partition(&ct.name, TTID_COLUMN)?;
+        {
+            // Engine first: the physical table, its partition declaration and
+            // the catalog DDL record (logged as SQL text, reparsed on
+            // recovery) commit as one WAL transaction. The catalog is only
+            // updated after that transaction is durable.
+            let mut engine = self.engine.write();
+            let meta = engine.is_durable().then(|| MetaOp::CreateTableDdl {
+                sql: ct.to_string(),
+            });
+            engine.create_table_logged(
+                &ct.name,
+                columns,
+                tenant_specific.then_some(TTID_COLUMN),
+                meta,
+            )?;
         }
+        self.catalog.write().register_create_table(ct);
         Ok(())
     }
 
@@ -147,28 +229,53 @@ impl MtBase {
         self.engine.read().stats()
     }
 
+    /// Install a crash-fault injection clock on the engine's WAL writer
+    /// (test harness hook — see [`mtengine::FailpointClock`]). No effect on
+    /// a non-durable deployment.
+    pub fn set_failpoint_clock(&self, clock: std::sync::Arc<mtengine::FailpointClock>) {
+        self.engine.write().set_failpoint_clock(clock);
+    }
+
     /// Grant `grantee` read access to every registered tenant's share of all
     /// tenant-specific tables. This is the setup used by the MT-H benchmark,
     /// where the querying client (e.g. a research institution) has been given
     /// access to the entire joint dataset.
-    pub fn grant_read_all(&self, grantee: TenantId) {
-        let mut catalog = self.catalog.write();
-        let owners: Vec<TenantId> = catalog.tenants().to_vec();
-        let tables: Vec<String> = catalog
-            .tables()
-            .filter(|t| t.is_tenant_specific())
-            .map(|t| t.name.clone())
-            .collect();
-        for owner in owners {
-            for table in &tables {
-                catalog.privileges_mut().grant(
-                    owner,
-                    table,
-                    grantee,
-                    &[mtcatalog::Privilege::Read],
-                );
+    pub fn grant_read_all(&self, grantee: TenantId) -> Result<()> {
+        let (owners, tables) = {
+            let catalog = self.catalog.read();
+            let owners: Vec<TenantId> = catalog.tenants().to_vec();
+            let tables: Vec<String> = catalog
+                .tables()
+                .filter(|t| t.is_tenant_specific())
+                .map(|t| t.name.clone())
+                .collect();
+            (owners, tables)
+        };
+        // Write-ahead: every grant is logged before any is applied.
+        {
+            let mut engine = self.engine.write();
+            if engine.is_durable() {
+                for owner in &owners {
+                    for table in &tables {
+                        engine.log_meta(MetaOp::Grant {
+                            owner: *owner,
+                            grantee,
+                            table: table.clone(),
+                            privileges: encode_privileges(&[Privilege::Read]),
+                        })?;
+                    }
+                }
             }
         }
+        let mut catalog = self.catalog.write();
+        for owner in owners {
+            for table in &tables {
+                catalog
+                    .privileges_mut()
+                    .grant(owner, table, grantee, &[Privilege::Read]);
+            }
+        }
+        Ok(())
     }
 
     /// Execute a statement issued by `client` outside of any connection (used
@@ -457,6 +564,38 @@ fn from_prefix(
 /// Convenience: the error for statements the middleware cannot execute.
 pub(crate) fn unsupported(what: &str) -> MtError {
     MtError::Other(format!("unsupported statement: {what}"))
+}
+
+/// Every privilege in its WAL bit position: bit `i` of a logged privilege
+/// mask is `PRIVILEGE_BITS[i]` (see [`MetaOp::privilege_bit`]).
+pub(crate) const PRIVILEGE_BITS: [Privilege; 6] = [
+    Privilege::Read,
+    Privilege::Insert,
+    Privilege::Update,
+    Privilege::Delete,
+    Privilege::Grant,
+    Privilege::Revoke,
+];
+
+/// Encode a privilege list as the WAL bitmask.
+pub(crate) fn encode_privileges(privileges: &[Privilege]) -> u8 {
+    privileges.iter().fold(0u8, |mask, p| {
+        let idx = PRIVILEGE_BITS
+            .iter()
+            .position(|b| b == p)
+            .unwrap_or_default();
+        mask | MetaOp::privilege_bit(idx)
+    })
+}
+
+/// Decode a WAL privilege bitmask back into the privilege list.
+pub(crate) fn decode_privileges(mask: u8) -> Vec<Privilege> {
+    PRIVILEGE_BITS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & MetaOp::privilege_bit(*i) != 0)
+        .map(|(_, p)| *p)
+        .collect()
 }
 
 #[cfg(test)]

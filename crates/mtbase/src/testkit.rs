@@ -55,7 +55,7 @@ pub fn running_example_server(config: EngineConfig) -> Arc<MtBase> {
 
     // Tenants and conversion functions.
     for t in 0..2 {
-        server.register_tenant(t);
+        server.register_tenant(t).expect("register tenant");
     }
     let (to_impl, from_impl) = currency_udfs_from_rates(Arc::new(|t: TenantId| example_rates(t)));
     server.register_conversion(
@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn cross_tenant_query_converts_salaries_to_client_format() {
         let server = server();
-        server.grant_read_all(0);
+        server.grant_read_all(0).expect("grant read");
         let mut conn = server.connect(0);
         conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
         // Ed earns 1,000,000 EUR = 1,250,000 USD for client 0.
@@ -217,7 +217,7 @@ mod tests {
     #[test]
     fn same_query_for_tenant_one_returns_eur() {
         let server = server();
-        server.grant_read_all(1);
+        server.grant_read_all(1).expect("grant read");
         let mut conn = server.connect(1);
         conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
         // Alice earns 150,000 USD = 120,000 EUR for client 1.
@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn every_optimization_level_returns_the_same_result() {
         let server = server();
-        server.grant_read_all(0);
+        server.grant_read_all(0).expect("grant read");
         let mut reference: Option<Vec<Vec<Value>>> = None;
         for level in OptLevel::ALL {
             let mut conn = server.connect(0);
@@ -265,7 +265,7 @@ mod tests {
     #[test]
     fn join_across_tenants_respects_ttid() {
         let server = server();
-        server.grant_read_all(0);
+        server.grant_read_all(0).expect("grant read");
         let mut conn = server.connect(0);
         conn.execute("SET SCOPE = \"IN (0, 1)\"").unwrap();
         let rs = conn
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn complex_scope_selects_tenants_by_predicate() {
         let server = server();
-        server.grant_read_all(0);
+        server.grant_read_all(0).expect("grant read");
         let mut conn = server.connect(0);
         // Tenants owning at least one employee earning > 180k USD (client
         // format): tenant 1 (Nancy 250k, Ed 1.25M); tenant 0's max is 150k.

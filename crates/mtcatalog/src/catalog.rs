@@ -84,6 +84,14 @@ impl Catalog {
         self.epoch += 1;
     }
 
+    /// Raise the epoch to at least `floor`. Called after WAL recovery with
+    /// the last replayed LSN, so catalog epochs never repeat across a crash:
+    /// cached plan artifacts keyed on a pre-crash epoch can never collide
+    /// with a post-recovery catalog state.
+    pub fn set_epoch_floor(&mut self, floor: u64) {
+        self.epoch = self.epoch.max(floor);
+    }
+
     // -- tables -------------------------------------------------------------
 
     /// Register a table from a parsed MTSQL `CREATE TABLE` statement, applying

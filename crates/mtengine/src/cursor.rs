@@ -21,16 +21,27 @@
 //! The cursor state ([`CursorState`]) holds plain positions and owned rows —
 //! no borrows of the engine — so a client can hold a cursor across lock
 //! acquisitions and fetch each batch under a fresh shared borrow (this is
-//! what `mtbase`'s `Cursor` does). The trade-off: a streaming cursor reads
-//! the *live* table state on every fetch, so concurrent DML between batches
-//! may be (partially) observed, exactly like a server-side cursor without
-//! snapshot isolation.
+//! what `mtbase`'s `Cursor` does).
+//!
+//! # Snapshot isolation
+//!
+//! By default a streaming cursor reads the *live* table state on every
+//! fetch. [`Engine::pin_cursor`] upgrades it to snapshot reads: the cursor
+//! records the engine's mutation epoch at open, streaming fetches bound
+//! every bucket (and the loose-row tail) by the row count that was visible
+//! at that epoch (see the watermarks in [`crate::table`]), and blocking
+//! plans materialize eagerly under the open-time lock. A pinned cursor
+//! therefore never yields a row committed after it was opened. Destructive
+//! rewrites (UPDATE/DELETE/re-layout) shuffle surviving rows across
+//! buckets, so they *invalidate* older pinned cursors instead of serving
+//! them wrong rows — the fetch fails with
+//! [`EngineErrorKind::SnapshotInvalidated`].
 
 use mtsql::ast::{Expr, SelectItem};
 use mtsql::visit::contains_subquery;
 
 use crate::conjuncts::{dict_filter_bitmap, fast_pred_value, CompiledPred};
-use crate::error::Result;
+use crate::error::{EngineError, EngineErrorKind, Result};
 use crate::exec::{Env, Executor};
 use crate::plan::{Plan, Project, SeqScan};
 use crate::table::{Bucket, ColumnVec, Row, SharedRow};
@@ -53,6 +64,9 @@ pub struct CursorBatch {
 #[derive(Debug, Default)]
 pub struct CursorState {
     mode: Option<Mode>,
+    /// The mutation epoch this cursor is pinned to ([`Engine::pin_cursor`]);
+    /// `None` reads live state.
+    snapshot: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -137,6 +151,11 @@ impl CursorState {
             _ => 0,
         }
     }
+
+    /// The mutation epoch this cursor is pinned to, if any.
+    pub fn snapshot(&self) -> Option<u64> {
+        self.snapshot
+    }
 }
 
 /// The decomposed shape of a pipeline-able plan.
@@ -202,6 +221,24 @@ pub fn plan_streams(plan: &Plan) -> bool {
 }
 
 impl Engine {
+    /// Pin a cursor to the engine's current mutation epoch, **before** the
+    /// first fetch and under the same shared borrow that opened the cursor.
+    /// Streaming fetches then never observe rows committed after this call;
+    /// plans that cannot stream materialize *now* (still under the caller's
+    /// lock), so their result is the open-time state by construction.
+    pub fn pin_cursor(&self, plan: &Plan, params: &[Value], state: &mut CursorState) -> Result<()> {
+        state.snapshot = Some(self.current_epoch());
+        if state.mode.is_none() && stream_shape(plan).is_none() {
+            let executor = Executor::with_params(self, params.to_vec());
+            let rel = executor.execute_plan(plan, None)?;
+            state.mode = Some(Mode::Materialized {
+                rows: rel.rows,
+                next: 0,
+            });
+        }
+        Ok(())
+    }
+
     /// Fetch the next batch (at most `max_rows` rows) of the cursor over
     /// `plan`. The same `plan` and `params` must be passed on every fetch of
     /// one cursor; the state carries only positions and buffered rows, so
@@ -214,6 +251,7 @@ impl Engine {
         max_rows: usize,
     ) -> Result<CursorBatch> {
         let max_rows = max_rows.max(1);
+        let snapshot = state.snapshot;
         let executor = Executor::with_params(self, params.to_vec());
         if state.mode.is_none() {
             state.mode = Some(match stream_shape(plan) {
@@ -239,7 +277,7 @@ impl Engine {
             }
             Mode::Streaming(pos) => {
                 let shape = stream_shape(plan).expect("mode was decided as streaming");
-                fetch_streaming(&executor, self, &shape, pos, max_rows)
+                fetch_streaming(&executor, self, &shape, pos, snapshot, max_rows)
             }
         }
     }
@@ -255,6 +293,7 @@ fn fetch_streaming(
     engine: &Engine,
     shape: &StreamShape,
     pos: &mut StreamPos,
+    snapshot: Option<u64>,
     max_rows: usize,
 ) -> Result<CursorBatch> {
     if pos.done {
@@ -265,6 +304,21 @@ fn fetch_streaming(
     }
     let scan = shape.scan;
     let table = engine.database().table(&scan.table)?;
+    // A destructive rewrite (UPDATE/DELETE/re-layout) after the pin shuffles
+    // surviving rows across buckets — the recorded (bucket, row) position no
+    // longer addresses snapshot rows, so fail rather than serve wrong data.
+    if let Some(s) = snapshot {
+        if table.rewrite_epoch() > s {
+            return Err(EngineError::with_kind(
+                EngineErrorKind::SnapshotInvalidated,
+                format!(
+                    "cursor pinned at epoch {s} invalidated: `{}` was rewritten at epoch {}",
+                    scan.table,
+                    table.rewrite_epoch()
+                ),
+            ));
+        }
+    }
 
     // Compile the cursor-lifetime invariants once, on the first batch.
     if pos.compiled.is_none() {
@@ -299,13 +353,12 @@ fn fetch_streaming(
     // Selected buckets in key order — the same deterministic order on every
     // batch (BTreeMap iteration), which is what makes (bucket, row) a
     // resumable position.
-    let selected: Vec<&Bucket> = match prune_keys {
+    let selected: Vec<(i64, &Bucket)> = match prune_keys {
         Some(keys) => table
             .partitions()
             .filter(|(k, _)| keys.contains(k))
-            .map(|(_, b)| b)
             .collect(),
-        None => table.partitions().map(|(_, b)| b).collect(),
+        None => table.partitions().collect(),
     };
     if !pos.counted_partitions {
         let scanned = selected.len() as u64;
@@ -336,8 +389,15 @@ fn fetch_streaming(
         // check fast predicates column-wise *before* materializing; the
         // remaining (interpreted) conjuncts run on the materialized row.
         let (row, remaining) = if pos.bucket < selected.len() {
-            let bucket = selected[pos.bucket];
-            if pos.row >= bucket.len() {
+            let (key, bucket) = selected[pos.bucket];
+            // A pinned cursor only walks the prefix of the bucket that was
+            // visible at its snapshot epoch (appends are strictly ordered,
+            // so the watermark prefix *is* the snapshot content).
+            let visible = match snapshot {
+                Some(s) => table.visible_bucket_len(key, s).min(bucket.len()),
+                None => bucket.len(),
+            };
+            if pos.row >= visible {
                 pos.bucket += 1;
                 pos.row = 0;
                 continue;
@@ -413,7 +473,12 @@ fn fetch_streaming(
             let remaining: Vec<&CompiledPred> =
                 bucket_filter.iter().filter(|p| !p.is_fast()).collect();
             (row, remaining)
-        } else if pos.loose < table.loose_rows().len() {
+        } else if pos.loose
+            < match snapshot {
+                Some(s) => table.visible_loose_len(s).min(table.loose_rows().len()),
+                None => table.loose_rows().len(),
+            }
+        {
             let row = SharedRow::clone(&table.loose_rows()[pos.loose]);
             pos.loose += 1;
             visited += 1;
@@ -707,6 +772,67 @@ mod tests {
                 e.stats()
             );
         }
+    }
+
+    #[test]
+    fn pinned_cursor_never_observes_later_inserts() {
+        let mut e = engine_with_rows(100);
+        let p = plan(&e, "SELECT v FROM t WHERE v >= 0");
+        let mut pinned = CursorState::new();
+        e.pin_cursor(&p, &[], &mut pinned).unwrap();
+        let mut live = CursorState::new();
+        let first = e.fetch_cursor_batch(&p, &[], &mut pinned, 10).unwrap();
+        assert_eq!(first.rows.len(), 10);
+        // A concurrent INSERT lands between batches.
+        e.insert_values("t", vec![vec![Value::Int(1), Value::Int(1000)]])
+            .unwrap();
+        let mut total = first.rows.len();
+        loop {
+            let batch = e.fetch_cursor_batch(&p, &[], &mut pinned, 10).unwrap();
+            assert!(batch.rows.iter().all(|r| r[0] != Value::Int(1000)));
+            total += batch.rows.len();
+            if batch.done {
+                break;
+            }
+        }
+        assert_eq!(total, 100, "pinned cursor must stop at its snapshot");
+        // An unpinned cursor opened before the INSERT reads live state.
+        let mut live_total = 0;
+        loop {
+            let batch = e.fetch_cursor_batch(&p, &[], &mut live, 32).unwrap();
+            live_total += batch.rows.len();
+            if batch.done {
+                break;
+            }
+        }
+        assert_eq!(live_total, 101);
+    }
+
+    #[test]
+    fn pinned_cursor_is_invalidated_by_rewrites() {
+        let mut e = engine_with_rows(50);
+        let p = plan(&e, "SELECT v FROM t WHERE v >= 0");
+        let mut state = CursorState::new();
+        e.pin_cursor(&p, &[], &mut state).unwrap();
+        e.fetch_cursor_batch(&p, &[], &mut state, 5).unwrap();
+        e.execute("DELETE FROM t WHERE v < 10").unwrap();
+        let err = e.fetch_cursor_batch(&p, &[], &mut state, 5).unwrap_err();
+        assert_eq!(err.kind(), EngineErrorKind::SnapshotInvalidated);
+    }
+
+    #[test]
+    fn pinned_blocking_plans_materialize_at_open() {
+        let mut e = engine_with_rows(20);
+        let p = plan(&e, "SELECT v FROM t ORDER BY v DESC");
+        let mut state = CursorState::new();
+        e.pin_cursor(&p, &[], &mut state).unwrap();
+        assert_eq!(state.buffered_rows(), 20, "must materialize at open");
+        e.insert_values("t", vec![vec![Value::Int(0), Value::Int(999)]])
+            .unwrap();
+        let batch = e.fetch_cursor_batch(&p, &[], &mut state, 100).unwrap();
+        assert!(batch.done);
+        assert_eq!(batch.rows.len(), 20);
+        assert_eq!(batch.rows[0], vec![Value::Int(19)]);
     }
 
     #[test]

@@ -71,19 +71,18 @@ pub(crate) fn scan_worker_count(budget: usize, bucket_count: usize, total_rows: 
 /// so one large bucket behind small ones still lands in its own chunk.
 fn chunk_buckets<'a>(buckets: &[&'a Bucket], threads: usize, total: usize) -> Vec<Vec<&'a Bucket>> {
     let target = total.div_ceil(threads);
-    let mut chunks: Vec<Vec<&'a Bucket>> = vec![Vec::new()];
+    let mut chunks: Vec<Vec<&'a Bucket>> = Vec::new();
+    let mut current: Vec<&'a Bucket> = Vec::new();
     let mut filled = 0usize;
     for bucket in buckets {
-        if filled > 0 && filled + bucket.len() > target && chunks.len() < threads {
-            chunks.push(Vec::new());
+        if filled > 0 && filled + bucket.len() > target && chunks.len() + 1 < threads {
+            chunks.push(std::mem::take(&mut current));
             filled = 0;
         }
-        chunks
-            .last_mut()
-            .expect("chunks is never empty")
-            .push(bucket);
+        current.push(bucket);
         filled += bucket.len();
     }
+    chunks.push(current);
     chunks
 }
 
@@ -923,10 +922,18 @@ impl<'e> Executor<'e> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("scan worker panicked"))
-                    .collect::<Vec<_>>()
+                    .map(|h| h.join())
+                    .collect::<Vec<std::thread::Result<_>>>()
             });
-            for (local, chunk_tally) in results {
+            for joined in results {
+                // A panicking worker surfaces as a typed error, not a
+                // cascading panic on the coordinating thread.
+                let (local, chunk_tally) = joined.map_err(|_| {
+                    EngineError::with_kind(
+                        crate::EngineErrorKind::Poisoned,
+                        "parallel scan worker panicked",
+                    )
+                })?;
                 rows.extend(local);
                 tally.absorb(chunk_tally);
             }

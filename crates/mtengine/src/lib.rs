@@ -106,7 +106,9 @@ pub mod stats;
 pub mod table;
 pub mod udf;
 pub mod value;
+pub mod wal;
 
+use std::path::Path;
 use std::sync::Arc;
 
 use mtsql::ast::{InsertSource, Query, Statement};
@@ -118,8 +120,9 @@ use crate::table::{Database, Row, Table};
 use crate::udf::{UdfImpl, UdfRegistry};
 
 pub use crate::cursor::{CursorBatch, CursorState, RowIter, DEFAULT_BATCH_ROWS};
-pub use crate::error::{EngineError, Result};
+pub use crate::error::{EngineError, EngineErrorKind, Result};
 pub use crate::value::Value;
+pub use crate::wal::{CrashMode, FailpointClock, MetaOp};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -159,6 +162,13 @@ pub struct EngineConfig {
     /// `columnar_scan`; disabling keeps plain `Arc<str>` arrays — the
     /// equivalence baseline, results are identical either way.
     pub dictionary_encoding: bool,
+    /// Log every mutation to a write-ahead log before applying it in
+    /// memory (see the [`wal`] module). Requires a log path, so the flag
+    /// is effective through [`Engine::open`] (which sets it); on
+    /// [`Engine::new`] it is inert — there is nowhere to write. Default
+    /// `false`: the engine stays the in-memory substrate of the earlier
+    /// PRs with zero logging overhead.
+    pub durability: bool,
 }
 
 impl Default for EngineConfig {
@@ -169,6 +179,7 @@ impl Default for EngineConfig {
             parallel_scan: 1,
             columnar_scan: true,
             dictionary_encoding: true,
+            durability: false,
         }
     }
 }
@@ -217,6 +228,15 @@ impl EngineConfig {
         self.dictionary_encoding = false;
         self
     }
+
+    /// Request write-ahead logging (builder-style). Only effective when the
+    /// engine is opened against a log path ([`Engine::open`], which sets
+    /// this flag itself — the builder exists so deployment code can carry
+    /// the intent in its configuration matrix).
+    pub fn with_durability(mut self) -> Self {
+        self.durability = true;
+        self
+    }
 }
 
 /// The result of a query: column names plus materialized rows.
@@ -248,6 +268,11 @@ pub struct Engine {
     udfs: UdfRegistry,
     counters: EngineCounters,
     config: EngineConfig,
+    /// The write-ahead log, present on durable engines ([`Engine::open`]).
+    wal: Option<wal::Wal>,
+    /// Catalog records found during recovery, handed to the middleware via
+    /// [`Engine::take_recovered_meta`].
+    recovered_meta: Vec<MetaOp>,
 }
 
 impl Engine {
@@ -258,6 +283,107 @@ impl Engine {
             udfs: UdfRegistry::new(config.cache_immutable_udfs),
             counters: EngineCounters::new(),
             config,
+            wal: None,
+            recovered_meta: Vec::new(),
+        }
+    }
+
+    /// Open a durable engine against a write-ahead log file: replay the
+    /// log's committed prefix (rebuilding every table under *this*
+    /// configuration's physical layout — columnar/dictionary equivalence
+    /// makes the layout a free choice at recovery time), truncate any
+    /// untrusted tail, and log every subsequent mutation before applying
+    /// it. Catalog records found in the log are stashed for
+    /// [`Engine::take_recovered_meta`]; UDFs are *not* recovered (closures
+    /// don't serialize) — the host re-registers them after open.
+    pub fn open(mut config: EngineConfig, path: &Path) -> Result<Engine> {
+        config.durability = true;
+        let mut recovery = wal::recover(path)?;
+        let mut engine = Engine::new(config);
+        for record in std::mem::take(&mut recovery.records) {
+            engine.apply_record(record)?;
+        }
+        engine.wal = Some(wal::Wal::open_at(path, &recovery)?);
+        Ok(engine)
+    }
+
+    /// Is this engine logging mutations to a WAL?
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The LSN of the last record appended to the WAL (0 when not durable
+    /// or nothing has been logged). After recovery this is the replay
+    /// horizon — the middleware couples the catalog epoch to it.
+    pub fn wal_last_lsn(&self) -> u64 {
+        self.wal.as_ref().map_or(0, wal::Wal::last_lsn)
+    }
+
+    /// Take the catalog records recovered from the log (middleware replay).
+    pub fn take_recovered_meta(&mut self) -> Vec<MetaOp> {
+        std::mem::take(&mut self.recovered_meta)
+    }
+
+    /// Install a crash-fault injection clock on the WAL writer (no-op on
+    /// non-durable engines). See [`FailpointClock`].
+    pub fn set_failpoint_clock(&mut self, clock: Arc<FailpointClock>) {
+        if let Some(w) = &mut self.wal {
+            w.set_failpoint_clock(clock);
+        }
+    }
+
+    /// The current mutation epoch — what snapshot readers pin at open.
+    pub fn current_epoch(&self) -> u64 {
+        self.db.current_epoch()
+    }
+
+    /// Append records plus a commit marker to the WAL and sync, or do
+    /// nothing on non-durable engines. Callers apply the mutation in
+    /// memory only after this returns `Ok` (write-ahead ordering).
+    fn log(&mut self, records: &[wal::Record]) -> Result<()> {
+        if let Some(w) = &mut self.wal {
+            w.commit(records)?;
+        }
+        Ok(())
+    }
+
+    /// Log one catalog mutation on behalf of the middleware (its own
+    /// transaction). No-op on non-durable engines.
+    pub fn log_meta(&mut self, op: MetaOp) -> Result<()> {
+        self.log(&[wal::Record::Meta(op)])
+    }
+
+    /// Apply one recovered WAL record (replay path; never logs).
+    fn apply_record(&mut self, record: wal::Record) -> Result<()> {
+        match record {
+            wal::Record::CreateTable { name, columns } => {
+                self.apply_create_table(&name, columns);
+                Ok(())
+            }
+            wal::Record::SetPartition { table, column } => {
+                self.apply_set_partition(&table, &column)
+            }
+            wal::Record::InsertRows { table, rows } => self.apply_insert_rows(&table, rows),
+            wal::Record::ReplaceRows { table, rows } => self.apply_replace_rows(&table, rows),
+            wal::Record::DropTable { name } => {
+                self.db.bump_epoch();
+                self.db.drop_table(&name);
+                Ok(())
+            }
+            wal::Record::CreateView { name, sql } => {
+                let query = mtsql::parse_query(&sql)?;
+                self.db.create_view(&name, query);
+                Ok(())
+            }
+            wal::Record::DropView { name } => {
+                self.db.drop_view(&name);
+                Ok(())
+            }
+            wal::Record::Meta(op) => {
+                self.recovered_meta.push(op);
+                Ok(())
+            }
+            wal::Record::Commit => Ok(()),
         }
     }
 
@@ -294,29 +420,122 @@ impl Engine {
         self.register_udf(name, immutable, Arc::new(f));
     }
 
-    /// Create (or replace) a table with the given column names.
+    /// Create (or replace) a table with the given column names. Panics if
+    /// the WAL write fails — test/setup convenience; durable code paths use
+    /// [`Engine::create_table_owned`].
     pub fn create_table(&mut self, name: &str, columns: &[&str]) {
-        self.create_table_owned(name, columns.iter().map(|c| c.to_string()).collect());
+        self.create_table_owned(name, columns.iter().map(|c| c.to_string()).collect())
+            .expect("create_table: WAL append failed");
     }
 
     /// Create (or replace) a table with owned column names. The bucket
     /// layout follows [`EngineConfig::columnar_scan`].
-    pub fn create_table_owned(&mut self, name: &str, columns: Vec<String>) {
+    pub fn create_table_owned(&mut self, name: &str, columns: Vec<String>) -> Result<()> {
+        if self.wal.is_some() {
+            self.log(&[wal::Record::CreateTable {
+                name: name.to_string(),
+                columns: columns.clone(),
+            }])?;
+        }
+        self.apply_create_table(name, columns);
+        Ok(())
+    }
+
+    /// Create a table, declare its partition column and record a catalog
+    /// entry — all in **one** WAL transaction, so recovery replays either
+    /// every effect or none. This is the middleware's table-creation path;
+    /// `meta` carries the catalog-side DDL record.
+    pub fn create_table_logged(
+        &mut self,
+        name: &str,
+        columns: Vec<String>,
+        partition: Option<&str>,
+        meta: Option<MetaOp>,
+    ) -> Result<()> {
+        // Validate before logging: an invalid statement appends nothing.
+        if let Some(column) = partition {
+            if !columns.iter().any(|c| c.eq_ignore_ascii_case(column)) {
+                return error::err(format!("no column `{column}` in `{name}` to partition by"));
+            }
+        }
+        if self.wal.is_some() {
+            let mut records = vec![wal::Record::CreateTable {
+                name: name.to_string(),
+                columns: columns.clone(),
+            }];
+            if let Some(column) = partition {
+                records.push(wal::Record::SetPartition {
+                    table: name.to_string(),
+                    column: column.to_string(),
+                });
+            }
+            if let Some(op) = meta {
+                records.push(wal::Record::Meta(op));
+            }
+            self.log(&records)?;
+        }
+        self.apply_create_table(name, columns);
+        if let Some(column) = partition {
+            self.apply_set_partition(name, column)?;
+        }
+        Ok(())
+    }
+
+    fn apply_create_table(&mut self, name: &str, columns: Vec<String>) {
+        let epoch = self.db.bump_epoch();
         self.db.create_table(name, columns);
         if let Ok(table) = self.db.table_mut(name) {
             table.set_dictionary(self.config.columnar_scan && self.config.dictionary_encoding);
             table.set_columnar(self.config.columnar_scan);
+            table.begin_write(epoch);
+            // Replacing a table invalidates snapshots pinned on the old one.
+            table.force_rewrite_epoch(epoch);
         }
     }
 
     /// Declare the partition column of a table (typically the invisible
     /// `ttid` of tenant-specific tables). Existing rows are re-bucketed.
     pub fn set_table_partition(&mut self, table: &str, column: &str) -> Result<()> {
+        // Validate before logging: an invalid statement appends nothing.
+        if self.db.table(table)?.column_index(column).is_none() {
+            return error::err(format!("no column `{column}` in `{table}` to partition by"));
+        }
+        if self.wal.is_some() {
+            self.log(&[wal::Record::SetPartition {
+                table: table.to_string(),
+                column: column.to_string(),
+            }])?;
+        }
+        self.apply_set_partition(table, column)
+    }
+
+    /// Drop a table, logging the engine drop and an optional catalog record
+    /// in **one** WAL transaction. Returns whether the table existed (no
+    /// record is logged for a missing table).
+    pub fn drop_table_logged(&mut self, name: &str, meta: Option<MetaOp>) -> Result<bool> {
+        if !self.db.has_table(name) {
+            return Ok(false);
+        }
+        if self.wal.is_some() {
+            let mut records = vec![wal::Record::DropTable {
+                name: name.to_string(),
+            }];
+            if let Some(op) = meta {
+                records.push(wal::Record::Meta(op));
+            }
+            self.log(&records)?;
+        }
+        self.db.bump_epoch();
+        self.db.drop_table(name);
+        Ok(true)
+    }
+
+    fn apply_set_partition(&mut self, table: &str, column: &str) -> Result<()> {
+        let epoch = self.db.bump_epoch();
         let t = self.db.table_mut(table)?;
+        t.begin_write(epoch);
         if !t.set_partition_column(Some(column)) {
-            return Err(EngineError::new(format!(
-                "no column `{column}` in `{table}` to partition by"
-            )));
+            return error::err(format!("no column `{column}` in `{table}` to partition by"));
         }
         Ok(())
     }
@@ -339,7 +558,38 @@ impl Engine {
 
     /// Bulk-insert pre-built rows.
     pub fn insert_values(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        // Validate arity up front so an invalid batch logs nothing.
+        let width = self.db.table(table)?.columns.len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+            return error::err(format!(
+                "row arity {} does not match table `{table}` with {width} columns",
+                bad.len(),
+            ));
+        }
+        if self.wal.is_some() {
+            self.log(&[wal::Record::InsertRows {
+                table: table.to_string(),
+                rows: rows.clone(),
+            }])?;
+        }
+        self.apply_insert_rows(table, rows)
+    }
+
+    fn apply_insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        let epoch = self.db.bump_epoch();
         let t = self.db.table_mut(table)?;
+        t.begin_write(epoch);
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    fn apply_replace_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        let epoch = self.db.bump_epoch();
+        let t = self.db.table_mut(table)?;
+        t.begin_write(epoch);
+        t.take_rows();
         for row in rows {
             t.push_row(row)?;
         }
@@ -478,10 +728,17 @@ impl Engine {
             Statement::Explain(q) => self.explain_query(q),
             Statement::CreateTable(ct) => {
                 let columns: Vec<String> = ct.columns.iter().map(|c| c.name.clone()).collect();
-                self.create_table_owned(&ct.name, columns);
+                self.create_table_owned(&ct.name, columns)?;
                 Ok(ResultSet::default())
             }
             Statement::CreateView(cv) => {
+                if self.wal.is_some() {
+                    // Views are logged as SQL text and reparsed on replay.
+                    self.log(&[wal::Record::CreateView {
+                        name: cv.name.clone(),
+                        sql: cv.query.to_string(),
+                    }])?;
+                }
                 self.db.create_view(&cv.name, cv.query.clone());
                 Ok(ResultSet::default())
             }
@@ -497,27 +754,42 @@ impl Engine {
                 Ok(ResultSet::default())
             }
             Statement::DropTable { name, if_exists } => {
-                let existed = self.db.drop_table(name);
-                if !existed && !if_exists {
-                    return Err(EngineError::new(format!("no such table `{name}`")));
+                // Existence is checked *before* logging so a no-op DROP of a
+                // missing table appends nothing to the WAL.
+                if !self.db.has_table(name) {
+                    if *if_exists {
+                        return Ok(ResultSet::default());
+                    }
+                    return error::err(format!("no such table `{name}`"));
                 }
+                self.log(&[wal::Record::DropTable { name: name.clone() }])?;
+                self.db.bump_epoch();
+                self.db.drop_table(name);
                 Ok(ResultSet::default())
             }
             Statement::DropView { name, if_exists } => {
-                let existed = self.db.drop_view(name);
-                if !existed && !if_exists {
-                    return Err(EngineError::new(format!("no such view `{name}`")));
+                if !self.db.has_view(name) {
+                    if *if_exists {
+                        return Ok(ResultSet::default());
+                    }
+                    return error::err(format!("no such view `{name}`"));
                 }
+                self.log(&[wal::Record::DropView { name: name.clone() }])?;
+                self.db.drop_view(name);
                 Ok(ResultSet::default())
             }
             Statement::Insert(insert) => {
+                // `build_insert_rows` validates arity and fills defaults, so
+                // the rows logged here are exactly the rows applied below.
                 let rows = self.build_insert_rows(insert)?;
-                let table = self.db.table_mut(&insert.table)?;
-                let mut count = 0i64;
-                for row in rows {
-                    table.push_row(row)?;
-                    count += 1;
+                let count = rows.len() as i64;
+                if self.wal.is_some() {
+                    self.log(&[wal::Record::InsertRows {
+                        table: insert.table.clone(),
+                        rows: rows.clone(),
+                    }])?;
                 }
+                self.apply_insert_rows(&insert.table, rows)?;
                 Ok(ResultSet {
                     columns: vec!["rows_inserted".to_string()],
                     rows: vec![vec![Value::Int(count)]],
@@ -565,7 +837,17 @@ impl Engine {
                     }
                 }
                 let changed = new_rows.iter().filter(|(m, _)| *m).count() as i64;
+                if self.wal.is_some() {
+                    // UPDATE rewrites storage wholesale (take + re-push), so
+                    // it logs as a full-replacement record.
+                    self.log(&[wal::Record::ReplaceRows {
+                        table: update.table.clone(),
+                        rows: new_rows.iter().map(|(_, r)| r.to_vec()).collect(),
+                    }])?;
+                }
+                let epoch = self.db.bump_epoch();
                 let table = self.db.table_mut(&update.table)?;
+                table.begin_write(epoch);
                 table.take_rows();
                 for (_, row) in new_rows {
                     // Re-bucketing on insert keeps the partition layout right
@@ -607,7 +889,15 @@ impl Engine {
                         }
                     }
                 }
+                if self.wal.is_some() {
+                    self.log(&[wal::Record::ReplaceRows {
+                        table: delete.table.clone(),
+                        rows: keep.iter().map(|r| r.to_vec()).collect(),
+                    }])?;
+                }
+                let epoch = self.db.bump_epoch();
                 let table = self.db.table_mut(&delete.table)?;
+                table.begin_write(epoch);
                 table.take_rows();
                 for row in keep {
                     table.push_shared(row);
@@ -689,10 +979,33 @@ impl Engine {
 
     /// Load a pre-built table wholesale (used by the MT-H generator). The
     /// bucket layout is re-encoded to follow [`EngineConfig::columnar_scan`].
-    pub fn load_table(&mut self, mut table: Table) {
+    /// On durable engines the whole batch — schema, partition declaration
+    /// and every row — is one WAL transaction.
+    pub fn load_table(&mut self, mut table: Table) -> Result<()> {
+        if self.wal.is_some() {
+            let mut records = vec![wal::Record::CreateTable {
+                name: table.name.clone(),
+                columns: table.columns.clone(),
+            }];
+            if let Some(idx) = table.partition_column() {
+                records.push(wal::Record::SetPartition {
+                    table: table.name.clone(),
+                    column: table.columns[idx].clone(),
+                });
+            }
+            records.push(wal::Record::InsertRows {
+                table: table.name.clone(),
+                rows: table.rows().map(|r| r.to_vec()).collect(),
+            });
+            self.log(&records)?;
+        }
+        let epoch = self.db.bump_epoch();
         table.set_dictionary(self.config.columnar_scan && self.config.dictionary_encoding);
         table.set_columnar(self.config.columnar_scan);
+        table.begin_write(epoch);
+        table.force_rewrite_epoch(epoch);
         self.db.insert_table(table);
+        Ok(())
     }
 }
 

@@ -25,6 +25,21 @@
 //! do not care about the layout (DML, generic filters) stay layout-agnostic.
 //! Loose rows (non-integer partition keys, unpartitioned tables) always use
 //! the row layout.
+//!
+//! # Snapshot watermarks
+//!
+//! Buckets are append-only between destructive rewrites, so snapshot
+//! isolation reduces to *length* visibility: every push records a
+//! `(epoch, len)` watermark per bucket (and for the loose rows), where the
+//! epoch is the [`Database`]-wide mutation counter stamped via
+//! [`Table::begin_write`]. A reader pinned to snapshot `s` sees
+//! [`Table::visible_bucket_len`] rows of each bucket — the largest
+//! watermark whose epoch is ≤ `s` — and therefore never observes rows a
+//! later mutation appended. Destructive rewrites ([`Table::take_rows`]:
+//! UPDATE, DELETE, re-partitioning, layout changes) invalidate older
+//! snapshots instead: they record the rewriting epoch
+//! ([`Table::rewrite_epoch`]), and cursors pinned before it fail with a
+//! typed error rather than silently reading rewritten storage.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -575,6 +590,17 @@ pub struct Table {
     /// partition key is not an integer (never produced by the MT layout, but
     /// kept correct regardless). Always row layout.
     loose: Vec<SharedRow>,
+    /// Per bucket: `(epoch, len)` watermarks in epoch order — the bucket
+    /// length after the last push of each writing epoch (see the module
+    /// docs on snapshot watermarks).
+    bucket_marks: BTreeMap<i64, Vec<(u64, u32)>>,
+    /// Watermarks for the loose rows, mirroring `bucket_marks`.
+    loose_marks: Vec<(u64, u32)>,
+    /// The epoch stamped on subsequent pushes (set by [`Table::begin_write`]).
+    write_epoch: u64,
+    /// The epoch of the last destructive rewrite ([`Table::take_rows`]);
+    /// snapshots pinned before it cannot be served from this table.
+    rewrite_epoch: u64,
 }
 
 impl Table {
@@ -589,6 +615,75 @@ impl Table {
             dict_bucket_cols: Vec::new(),
             buckets: BTreeMap::new(),
             loose: Vec::new(),
+            bucket_marks: BTreeMap::new(),
+            loose_marks: Vec::new(),
+            write_epoch: 0,
+            rewrite_epoch: 0,
+        }
+    }
+
+    /// Stamp subsequent pushes with `epoch` (the database mutation counter).
+    /// Watermarks written at epoch 0 — pushes that never went through a
+    /// mutation entry point, e.g. pre-built tables — are visible to every
+    /// snapshot.
+    pub fn begin_write(&mut self, epoch: u64) {
+        self.write_epoch = epoch;
+    }
+
+    /// The epoch of the last destructive rewrite. Readers pinned to an
+    /// older snapshot must not serve rows from this table.
+    pub fn rewrite_epoch(&self) -> u64 {
+        self.rewrite_epoch
+    }
+
+    /// Force the rewrite epoch (used when a whole pre-built table replaces
+    /// this name, which invalidates older snapshots exactly like a rewrite).
+    pub fn force_rewrite_epoch(&mut self, epoch: u64) {
+        self.rewrite_epoch = self.rewrite_epoch.max(epoch);
+    }
+
+    fn mark(marks: &mut Vec<(u64, u32)>, epoch: u64, len: u32) {
+        match marks.last_mut() {
+            Some((e, l)) if *e == epoch => *l = len,
+            _ => marks.push((epoch, len)),
+        }
+    }
+
+    /// Rows of bucket `key` visible to `snapshot`: the largest watermark
+    /// length recorded at an epoch ≤ `snapshot`. `u64::MAX` (or any epoch
+    /// at/after the last write) sees the full bucket.
+    pub fn visible_bucket_len(&self, key: i64, snapshot: u64) -> usize {
+        let full = self.partition_len(key);
+        if snapshot == u64::MAX {
+            return full;
+        }
+        match self.bucket_marks.get(&key).map(Vec::as_slice) {
+            None | Some([]) => full,
+            Some(marks) => {
+                if marks.last().is_some_and(|&(e, _)| e <= snapshot) {
+                    return full;
+                }
+                let idx = marks.partition_point(|&(e, _)| e <= snapshot);
+                if idx == 0 {
+                    0
+                } else {
+                    marks[idx - 1].1 as usize
+                }
+            }
+        }
+    }
+
+    /// Loose rows visible to `snapshot` (see [`Table::visible_bucket_len`]).
+    pub fn visible_loose_len(&self, snapshot: u64) -> usize {
+        let full = self.loose.len();
+        if snapshot == u64::MAX || self.loose_marks.last().is_none_or(|&(e, _)| e <= snapshot) {
+            return full;
+        }
+        let idx = self.loose_marks.partition_point(|&(e, _)| e <= snapshot);
+        if idx == 0 {
+            0
+        } else {
+            self.loose_marks[idx - 1].1 as usize
         }
     }
 
@@ -715,6 +810,7 @@ impl Table {
     /// Append an already-shared row, routing it into its partition bucket.
     /// The arity must have been checked by the caller.
     pub fn push_shared(&mut self, row: SharedRow) {
+        let epoch = self.write_epoch;
         match self.partition_col {
             Some(idx) => match row.get(idx) {
                 Some(Value::Int(key)) => {
@@ -725,22 +821,30 @@ impl Table {
                     if self.dict_bucket_cols.len() != width {
                         self.dict_bucket_cols = vec![0; width];
                     }
-                    self.buckets
-                        .entry(key)
-                        .or_insert_with(|| {
-                            if columnar && dict {
-                                Bucket::Columnar(ColumnBucket::with_dictionary(width))
-                            } else if columnar {
-                                Bucket::Columnar(ColumnBucket::new(width))
-                            } else {
-                                Bucket::Rows(Vec::new())
-                            }
-                        })
-                        .push(row, &mut self.dict_bucket_cols);
+                    let bucket = self.buckets.entry(key).or_insert_with(|| {
+                        if columnar && dict {
+                            Bucket::Columnar(ColumnBucket::with_dictionary(width))
+                        } else if columnar {
+                            Bucket::Columnar(ColumnBucket::new(width))
+                        } else {
+                            Bucket::Rows(Vec::new())
+                        }
+                    });
+                    bucket.push(row, &mut self.dict_bucket_cols);
+                    let len = bucket.len() as u32;
+                    Self::mark(self.bucket_marks.entry(key).or_default(), epoch, len);
                 }
-                _ => self.loose.push(row),
+                _ => {
+                    self.loose.push(row);
+                    let len = self.loose.len() as u32;
+                    Self::mark(&mut self.loose_marks, epoch, len);
+                }
             },
-            None => self.loose.push(row),
+            None => {
+                self.loose.push(row);
+                let len = self.loose.len() as u32;
+                Self::mark(&mut self.loose_marks, epoch, len);
+            }
         }
     }
 
@@ -766,6 +870,11 @@ impl Table {
         // No buckets left ⇒ no dictionary-encoded columns left.
         self.dict_bucket_cols.clear();
         out.append(&mut self.loose);
+        // The old storage is gone: snapshots pinned before this epoch can
+        // no longer be served, and the watermarks restart with the re-push.
+        self.bucket_marks.clear();
+        self.loose_marks.clear();
+        self.rewrite_epoch = self.rewrite_epoch.max(self.write_epoch);
         out
     }
 
@@ -785,12 +894,28 @@ impl Table {
 pub struct Database {
     tables: BTreeMap<String, Table>,
     views: BTreeMap<String, Query>,
+    /// Mutation counter: bumped once per engine mutation, stamped onto the
+    /// rows that mutation pushes (via [`Table::begin_write`]) and pinned by
+    /// snapshot readers. Epoch 0 is "before any tracked mutation".
+    epoch: u64,
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The current mutation epoch — what a snapshot reader pins.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the mutation epoch and return the new value (stamped onto
+    /// the rows the mutation is about to push).
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
     }
 
     /// Create (or replace) a table.
@@ -849,6 +974,11 @@ impl Database {
     /// Get a view definition by name.
     pub fn view(&self, name: &str) -> Option<&Query> {
         self.views.get(&name.to_ascii_lowercase())
+    }
+
+    /// Does a view with that name exist?
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.contains_key(&name.to_ascii_lowercase())
     }
 }
 
@@ -1139,6 +1269,60 @@ mod tests {
         t.set_dictionary(false);
         assert_eq!(t.dict_column_count(), 0);
         assert_eq!(t.rows().map(|r| r.to_vec()).collect::<Vec<_>>(), before);
+    }
+
+    #[test]
+    fn snapshot_watermarks_bound_visible_rows() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.begin_write(1);
+        t.push_row(tenant_row(1, 10)).unwrap();
+        t.push_row(tenant_row(1, 11)).unwrap();
+        t.begin_write(3);
+        t.push_row(tenant_row(1, 12)).unwrap();
+        t.push_row(tenant_row(2, 20)).unwrap();
+        // Snapshot 1 sees only epoch-1 rows; bucket 2 does not exist yet.
+        assert_eq!(t.visible_bucket_len(1, 1), 2);
+        assert_eq!(t.visible_bucket_len(1, 2), 2);
+        assert_eq!(t.visible_bucket_len(2, 1), 0);
+        // Snapshot 3 (and "current") see everything.
+        assert_eq!(t.visible_bucket_len(1, 3), 3);
+        assert_eq!(t.visible_bucket_len(2, 3), 1);
+        assert_eq!(t.visible_bucket_len(1, u64::MAX), 3);
+        // Snapshot 0 predates every tracked write.
+        assert_eq!(t.visible_bucket_len(1, 0), 0);
+    }
+
+    #[test]
+    fn snapshot_watermarks_cover_loose_rows() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.begin_write(2);
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        t.begin_write(5);
+        t.push_row(vec![Value::Int(2)]).unwrap();
+        assert_eq!(t.visible_loose_len(1), 0);
+        assert_eq!(t.visible_loose_len(2), 1);
+        assert_eq!(t.visible_loose_len(4), 1);
+        assert_eq!(t.visible_loose_len(5), 2);
+        assert_eq!(t.visible_loose_len(u64::MAX), 2);
+    }
+
+    #[test]
+    fn take_rows_records_the_rewrite_epoch() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.begin_write(1);
+        t.push_row(tenant_row(1, 10)).unwrap();
+        assert_eq!(t.rewrite_epoch(), 0);
+        t.begin_write(4);
+        let rows = t.take_rows();
+        assert_eq!(t.rewrite_epoch(), 4);
+        // Re-pushed rows watermark at the rewriting epoch: older snapshots
+        // are invalidated, the rewriter's own snapshot sees everything.
+        for row in rows {
+            t.push_shared(row);
+        }
+        assert_eq!(t.visible_bucket_len(1, 4), 1);
     }
 
     #[test]

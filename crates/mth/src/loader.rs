@@ -118,8 +118,41 @@ pub fn load_from_data(
     engine_config: EngineConfig,
     data: &GeneratedData,
 ) -> MthDeployment {
-    let server = MtBase::new(engine_config);
+    load_into(MtBase::new(engine_config), config, data)
+}
 
+/// Load a deployment whose middleware writes a WAL at `wal_path` (the file
+/// is created; an existing log is replayed first, so call this on a fresh
+/// path for a clean load). Every batch of the load is logged, which makes
+/// the deployment recoverable via [`reopen_durable`].
+pub fn load_durable_from_data(
+    config: MthConfig,
+    engine_config: EngineConfig,
+    data: &GeneratedData,
+    wal_path: &std::path::Path,
+) -> mtbase::Result<MthDeployment> {
+    Ok(load_into(
+        MtBase::open_durable(engine_config, wal_path)?,
+        config,
+        data,
+    ))
+}
+
+/// Re-open a durable MT-H deployment from its WAL: tables, tenants and
+/// privileges recover from the log; the conversion functions and inline
+/// specs (native closures — never logged) are re-registered exactly as at
+/// first load. The single-tenant baseline is not durable, so the result is
+/// the bare middleware, not an [`MthDeployment`].
+pub fn reopen_durable(
+    engine_config: EngineConfig,
+    wal_path: &std::path::Path,
+) -> mtbase::Result<Arc<MtBase>> {
+    let server = MtBase::open_durable(engine_config, wal_path)?;
+    register_mth_conversions(&server);
+    Ok(server)
+}
+
+fn load_into(server: Arc<MtBase>, config: MthConfig, data: &GeneratedData) -> MthDeployment {
     // Schema.
     for ddl in MTH_DDL {
         match mtsql::parse_statement(ddl).expect("MT-H DDL parses") {
@@ -130,10 +163,78 @@ pub fn load_from_data(
 
     // Tenants.
     for t in 1..=config.tenants {
-        server.register_tenant(t);
+        server.register_tenant(t).expect("register tenant");
     }
 
     // Conversion functions: currency (constant factor) and phone (prefix).
+    register_mth_conversions(&server);
+
+    // The Tenant meta table (drives conversion-function inlining).
+    {
+        let meta_rows: Vec<Vec<Value>> = (1..=config.tenants)
+            .map(|t| {
+                let (to, from) = MthConfig::currency_rates(t);
+                vec![
+                    Value::Int(t),
+                    Value::Float(to),
+                    Value::Float(from),
+                    Value::str(MthConfig::phone_prefix(t)),
+                ]
+            })
+            .collect();
+        server
+            .raw_execute(
+                "CREATE TABLE Tenant GLOBAL (
+                    T_tenant_key INTEGER NOT NULL,
+                    T_currency_to DECIMAL(15,6) NOT NULL,
+                    T_currency_from DECIMAL(15,6) NOT NULL,
+                    T_phone_prefix VARCHAR(8) NOT NULL)",
+            )
+            .expect("create Tenant meta table");
+        server.load_rows("Tenant", meta_rows).expect("load Tenant");
+    }
+
+    // Data.
+    for (table, rows) in &data.mt {
+        server
+            .load_rows(table, rows.clone())
+            .unwrap_or_else(|e| panic!("loading MT table {table}: {e}"));
+    }
+
+    // The benchmark client (tenant 1) has been granted access to everything.
+    server.grant_read_all(1).expect("grant read");
+
+    // Baseline single-tenant database.
+    let mut baseline = Engine::new(EngineConfig::postgres_like());
+    let baseline_tables: [(&str, &[&str]); 8] = [
+        ("region", columns::REGION),
+        ("nation", columns::NATION),
+        ("supplier", columns::SUPPLIER),
+        ("part", columns::PART),
+        ("partsupp", columns::PARTSUPP),
+        ("customer", columns::CUSTOMER),
+        ("orders", columns::ORDERS),
+        ("lineitem", columns::LINEITEM),
+    ];
+    for (table, cols) in baseline_tables {
+        baseline.create_table(table, cols);
+        baseline
+            .insert_values(table, data.baseline[table].clone())
+            .unwrap_or_else(|e| panic!("loading baseline table {table}: {e}"));
+    }
+
+    MthDeployment {
+        server,
+        baseline,
+        config,
+    }
+}
+
+/// Register the MT-H conversion-function pairs (currency factor + phone
+/// prefix) with their inline specifications. Shared by the initial load and
+/// by [`reopen_durable`] — UDF closures never reach the WAL, so recovery
+/// re-runs this wiring.
+pub fn register_mth_conversions(server: &Arc<MtBase>) {
     let (currency_to, currency_from) =
         currency_udfs_from_rates(Arc::new(MthConfig::currency_rates));
     server.register_conversion(
@@ -172,66 +273,6 @@ pub fn load_from_data(
             },
         )),
     );
-
-    // The Tenant meta table (drives conversion-function inlining).
-    {
-        let meta_rows: Vec<Vec<Value>> = (1..=config.tenants)
-            .map(|t| {
-                let (to, from) = MthConfig::currency_rates(t);
-                vec![
-                    Value::Int(t),
-                    Value::Float(to),
-                    Value::Float(from),
-                    Value::str(MthConfig::phone_prefix(t)),
-                ]
-            })
-            .collect();
-        server
-            .raw_execute(
-                "CREATE TABLE Tenant GLOBAL (
-                    T_tenant_key INTEGER NOT NULL,
-                    T_currency_to DECIMAL(15,6) NOT NULL,
-                    T_currency_from DECIMAL(15,6) NOT NULL,
-                    T_phone_prefix VARCHAR(8) NOT NULL)",
-            )
-            .expect("create Tenant meta table");
-        server.load_rows("Tenant", meta_rows).expect("load Tenant");
-    }
-
-    // Data.
-    for (table, rows) in &data.mt {
-        server
-            .load_rows(table, rows.clone())
-            .unwrap_or_else(|e| panic!("loading MT table {table}: {e}"));
-    }
-
-    // The benchmark client (tenant 1) has been granted access to everything.
-    server.grant_read_all(1);
-
-    // Baseline single-tenant database.
-    let mut baseline = Engine::new(EngineConfig::postgres_like());
-    let baseline_tables: [(&str, &[&str]); 8] = [
-        ("region", columns::REGION),
-        ("nation", columns::NATION),
-        ("supplier", columns::SUPPLIER),
-        ("part", columns::PART),
-        ("partsupp", columns::PARTSUPP),
-        ("customer", columns::CUSTOMER),
-        ("orders", columns::ORDERS),
-        ("lineitem", columns::LINEITEM),
-    ];
-    for (table, cols) in baseline_tables {
-        baseline.create_table(table, cols);
-        baseline
-            .insert_values(table, data.baseline[table].clone())
-            .unwrap_or_else(|e| panic!("loading baseline table {table}: {e}"));
-    }
-
-    MthDeployment {
-        server,
-        baseline,
-        config,
-    }
 }
 
 #[cfg(test)]

@@ -190,10 +190,11 @@ fn dictionary_paths_engage_only_on_dictionary_deployments() {
 // Cardinality-threshold demotion
 // ---------------------------------------------------------------------------
 
-/// A minimal tenant-specific deployment for the demotion tests: one table
-/// with a low-cardinality tag column, two tenants, no conversion functions.
-fn demotion_server() -> Arc<MtBase> {
-    let server = MtBase::new(EngineConfig::default());
+/// A minimal tenant-specific deployment for the demotion and isolation
+/// tests: one table with a low-cardinality tag column, two tenants, no
+/// conversion functions.
+fn items_server(engine_config: EngineConfig) -> Arc<MtBase> {
+    let server = MtBase::new(engine_config);
     let ddl = "CREATE TABLE Items SPECIFIC (
         I_item_id INTEGER NOT NULL SPECIFIC,
         I_tag VARCHAR(32) NOT NULL COMPARABLE
@@ -203,9 +204,9 @@ fn demotion_server() -> Arc<MtBase> {
         _ => unreachable!(),
     }
     for t in 1..=2 {
-        server.register_tenant(t);
+        server.register_tenant(t).expect("register tenant");
     }
-    server.grant_read_all(1);
+    server.grant_read_all(1).expect("grant read");
     // 40 rows cycling over 4 tags per tenant: comfortably dictionary-encoded.
     let tags = ["alpha", "beta", "gamma", "delta"];
     let rows: Vec<Vec<Value>> = (0..80)
@@ -221,12 +222,28 @@ fn demotion_server() -> Arc<MtBase> {
     server
 }
 
+/// The {dict, no-dict} × {columnar, row} cross the isolation tests sweep —
+/// snapshot semantics are a logical property and must not depend on the
+/// physical layout.
+fn isolation_cells() -> Vec<(&'static str, EngineConfig)> {
+    let base = EngineConfig::default;
+    vec![
+        ("dict/columnar", base()),
+        ("nodict/columnar", base().without_dictionary_encoding()),
+        ("dict/row", base().without_columnar_scan()),
+        (
+            "nodict/row",
+            base().without_columnar_scan().without_dictionary_encoding(),
+        ),
+    ]
+}
+
 /// Inserting past the distinct-value threshold demotes the dictionary column
 /// mid-table without changing query results, and a prepared statement bound
 /// across the demotion keeps returning correct rows from its cached plan.
 #[test]
 fn demotion_mid_table_preserves_results_and_prepared_statements() {
-    let server = demotion_server();
+    let server = items_server(EngineConfig::default());
     assert!(
         server.stats().dict_columns > 0,
         "the tag column must start dictionary-encoded: {:?}",
@@ -289,4 +306,162 @@ fn demotion_mid_table_preserves_results_and_prepared_statements() {
         "re-execution must come from the plan cache: {:?}",
         stmt.last_query_stats()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Writers racing scanners & cursor snapshot isolation
+// ---------------------------------------------------------------------------
+
+/// A writer appends whole batches (one row per tag, atomically — one WAL-style
+/// transaction per `load_rows`) while a scanner races it with one-shot
+/// queries. Every scan must observe a batch-atomic snapshot: the per-tag
+/// counts are always identical, never a half-applied batch — in every cell of
+/// the layout cross.
+#[test]
+fn scanner_racing_writer_only_observes_whole_batches() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let tags = ["alpha", "beta", "gamma", "delta"];
+    for (label, engine_config) in isolation_cells() {
+        let server = items_server(engine_config);
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let server = Arc::clone(&server);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for batch in 0..50i64 {
+                    let rows: Vec<Vec<Value>> = tags
+                        .iter()
+                        .enumerate()
+                        .map(|(t, tag)| {
+                            vec![
+                                Value::Int(1),
+                                Value::Int(10_000 + batch * 4 + t as i64),
+                                Value::str(*tag),
+                            ]
+                        })
+                        .collect();
+                    server.load_rows("Items", rows).expect("racing batch");
+                }
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+
+        let mut conn = server.connect(1);
+        conn.execute(SCOPE).expect("scope statement");
+        let mut scans = 0u64;
+        loop {
+            let finished = done.load(Ordering::SeqCst);
+            let rs = conn
+                .query("SELECT I_tag, COUNT(*) FROM Items GROUP BY I_tag")
+                .unwrap_or_else(|e| panic!("{label}: racing scan failed: {e}"));
+            assert_eq!(rs.rows.len(), 4, "{label}: a tag group went missing");
+            let first = &rs.rows[0][1];
+            for row in &rs.rows {
+                assert_eq!(
+                    &row[1], first,
+                    "{label}: scan observed a half-applied batch: {:?}",
+                    rs.rows
+                );
+            }
+            scans += 1;
+            if finished {
+                break;
+            }
+        }
+        writer.join().expect("writer thread");
+        assert!(scans > 0);
+        let total = conn.query("SELECT COUNT(*) FROM Items").unwrap();
+        assert_eq!(
+            total.rows[0][0],
+            Value::Int(80 + 50 * 4),
+            "{label}: final row count"
+        );
+    }
+}
+
+/// A cursor opened before a concurrent INSERT never yields the new rows —
+/// streaming cursors are bounded by the open-time watermark, blocking plans
+/// materialize at open — in every cell of the layout cross, even when the
+/// writer commits *while* the cursor is being drained.
+#[test]
+fn cursor_opened_before_insert_never_observes_it() {
+    for (label, engine_config) in isolation_cells() {
+        let server = items_server(engine_config);
+        let mut conn = server.connect(1);
+        conn.execute(SCOPE).expect("scope statement");
+
+        // Streaming shape (scan–filter–project): drained batch-at-a-time
+        // while a racing writer commits between fetches.
+        let mut stmt = conn
+            .prepare("SELECT I_item_id FROM Items WHERE I_tag = 'alpha'")
+            .unwrap();
+        let mut cursor = stmt.cursor_with_batch(4).unwrap();
+        assert!(cursor.is_streaming(), "{label}: expected a streaming plan");
+        let writer = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                for i in 0..100i64 {
+                    server
+                        .load_rows(
+                            "Items",
+                            vec![vec![
+                                Value::Int(1),
+                                Value::Int(5_000 + i),
+                                Value::str("alpha"),
+                            ]],
+                        )
+                        .expect("racing insert");
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        while let Some(batch) = cursor.next_batch().unwrap() {
+            for row in batch {
+                match row[0] {
+                    Value::Int(id) => seen.push(id),
+                    ref other => panic!("{label}: unexpected id value {other:?}"),
+                }
+            }
+        }
+        writer.join().expect("writer thread");
+        seen.sort_unstable();
+        let expected: Vec<i64> = (0..80).filter(|i| i % 4 == 0).collect();
+        assert_eq!(
+            seen, expected,
+            "{label}: pinned streaming cursor leaked post-open rows"
+        );
+
+        // A fresh one-shot query (and a fresh cursor) see the new rows.
+        let live = conn
+            .query("SELECT COUNT(*) FROM Items WHERE I_tag = 'alpha'")
+            .unwrap();
+        assert_eq!(live.rows[0][0], Value::Int(20 + 100), "{label}: live count");
+
+        // Blocking shape (ORDER BY materializes at open): rows committed
+        // after the open never appear either.
+        let mut blocking = conn
+            .prepare("SELECT I_item_id FROM Items WHERE I_tag = 'beta' ORDER BY I_item_id")
+            .unwrap();
+        let mut cursor = blocking.cursor().unwrap();
+        assert!(!cursor.is_streaming(), "{label}: expected a blocking plan");
+        server
+            .load_rows(
+                "Items",
+                vec![vec![Value::Int(1), Value::Int(7_000), Value::str("beta")]],
+            )
+            .expect("post-open insert");
+        let mut ids = Vec::new();
+        while let Some(row) = cursor.next_row().unwrap() {
+            match row[0] {
+                Value::Int(id) => ids.push(id),
+                ref other => panic!("{label}: unexpected id value {other:?}"),
+            }
+        }
+        let expected: Vec<i64> = (0..80).filter(|i| i % 4 == 1).collect();
+        assert_eq!(
+            ids, expected,
+            "{label}: pinned blocking cursor leaked post-open rows"
+        );
+    }
 }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 fn example_server() -> Arc<MtBase> {
     let server = running_example_server(EngineConfig::default());
-    server.grant_read_all(0);
+    server.grant_read_all(0).expect("grant read");
     server
 }
 
@@ -286,7 +286,7 @@ fn bound_ttid_parameters_prune_partitions_at_bind_time() {
         .collect();
     server.load_rows("ev", rows).unwrap();
     for t in 1..=4 {
-        server.register_tenant(t);
+        server.register_tenant(t).expect("register tenant");
         let mut owner = server.connect(t);
         owner.execute("GRANT READ ON ev TO 1").unwrap();
     }
