@@ -572,6 +572,46 @@ impl Selection {
             }
         }
     }
+
+    /// Narrow the selection word-at-a-time: for every 64-row chunk whose
+    /// word still has a bit set, `mask(chunk_start, chunk_len)` returns the
+    /// match bitmap of rows `chunk_start .. chunk_start + chunk_len` (bit
+    /// `k` set ⇒ row `chunk_start + k` matches), which is ANDed in. Chunks
+    /// earlier predicates already emptied are skipped without evaluating
+    /// `mask` — the word-level form of short-circuiting a conjunction.
+    /// Kernels build the mask with branchless 64-lane loops the compiler
+    /// can unroll and autovectorize.
+    pub fn narrow_words(&mut self, mut mask: impl FnMut(usize, usize) -> u64) {
+        for (w, word) in self.words.iter_mut().enumerate() {
+            if *word == 0 {
+                continue;
+            }
+            let start = w * 64;
+            *word &= mask(start, (self.len - start).min(64));
+        }
+    }
+}
+
+/// Build the match mask of one 64-lane chunk: bit `k` is set when row
+/// `offset + start + k` of the column is non-null and `pred` holds for its
+/// value. No early exit and no data-dependent branches — the predicate
+/// outcome is accumulated as a bit — so the loop autovectorizes over the
+/// typed column array.
+#[inline]
+fn chunk_mask<T: Copy>(
+    vals: &[T],
+    is_null: impl Fn(usize) -> bool,
+    offset: usize,
+    start: usize,
+    len: usize,
+    pred: impl Fn(T) -> bool,
+) -> u64 {
+    let mut m = 0u64;
+    for k in 0..len {
+        let i = offset + start + k;
+        m |= ((!is_null(i) && pred(vals[i])) as u64) << k;
+    }
+    m
 }
 
 /// The match bitmap of one fast compiled predicate over a dictionary: entry
@@ -588,33 +628,63 @@ pub fn dict_filter_bitmap(pred: &CompiledPred, dict: &[Arc<str>]) -> Vec<bool> {
 }
 
 /// Apply one fast compiled predicate to a columnar bucket, column-at-a-time,
-/// narrowing `sel` to the rows that satisfy it. Returns the number of rows
-/// evaluated *in code space* (dictionary-encoded columns: the predicate is
-/// resolved against the dictionary once via [`dict_filter_bitmap`] and rows
-/// compare codes) — 0 for every other column layout; callers feed it into
-/// the `dict_kernel_rows` counter.
+/// narrowing `sel` to the rows that satisfy it. Equivalent to
+/// [`eval_vectorized_range`] at offset 0 over the whole bucket.
+pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Selection) -> u64 {
+    eval_vectorized_range(pred, bucket, 0, sel)
+}
+
+/// Apply one fast compiled predicate to the row range
+/// `[offset, offset + sel.len())` of a columnar bucket, narrowing `sel`
+/// (whose bit `i` stands for bucket row `offset + i`) to the rows that
+/// satisfy it. Morsel workers evaluate their row range this way without
+/// copying columns. Returns the number of rows evaluated *in code space*
+/// (dictionary-encoded columns: the predicate is resolved against the
+/// dictionary once via [`dict_filter_bitmap`] and rows compare codes) — 0
+/// for every other column layout; callers feed it into the
+/// `dict_kernel_rows` counter.
 ///
-/// The typed kernels below mirror [`Value::compare`] exactly for their
-/// (column type, constant type) pair; every other combination falls back to a
-/// per-value loop over [`fast_pred_value`] — same code as the row path — so
-/// columnar and row scans are result-identical by construction. NULL slots
-/// follow the row path's three-valued semantics: they never satisfy a
-/// comparison, IN, LIKE, BETWEEN or NOT BETWEEN (the comparison is UNKNOWN
-/// and UNKNOWN rows are filtered, see [`between_matches`]).
+/// The dictionary and typed numeric/date kernels run through
+/// [`Selection::narrow_words`]: branchless 64-lane chunk loops over the raw
+/// `u32` code / `i64` / `f64` / day-number arrays that the compiler can
+/// autovectorize, with already-empty selection words skipped entirely. They
+/// mirror [`Value::compare`] exactly for their (column type, constant type)
+/// pair; string kernels and every other combination fall back to a
+/// per-value loop — the string fallbacks chase heap pointers, and
+/// [`fast_pred_value`] is the same code as the row path — so columnar and
+/// row scans are result-identical by construction. NULL slots follow the
+/// row path's three-valued semantics: they never satisfy a comparison, IN,
+/// LIKE, BETWEEN or NOT BETWEEN (the comparison is UNKNOWN and UNKNOWN rows
+/// are filtered, see [`between_matches`]).
 ///
 /// Panics on [`CompiledPred::Generic`]; the executor interprets those against
 /// late-materialized rows instead.
-pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Selection) -> u64 {
+pub fn eval_vectorized_range(
+    pred: &CompiledPred,
+    bucket: &ColumnBucket,
+    offset: usize,
+    sel: &mut Selection,
+) -> u64 {
     // Dictionary-encoded predicate columns take the code-space kernel for
     // every predicate form: resolve once against the dictionary, compare
-    // codes per row. NULL slots hold placeholder codes; the null check runs
-    // first, so the bitmap is never indexed for them.
+    // codes per row. NULL slots hold placeholder codes (always in-bounds),
+    // so the chunk loop may index the bitmap before the null bit wins.
     if let Some(idx) = pred.column_index() {
         let col = bucket.column(idx);
         if let ColumnVec::Dict(d) = col.data() {
             let bitmap = dict_filter_bitmap(pred, d.dict());
             let evaluated = sel.count() as u64;
-            sel.retain(|i| !col.is_null(i) && bitmap[d.code(i) as usize]);
+            let codes = d.codes();
+            sel.narrow_words(|start, len| {
+                chunk_mask(
+                    codes,
+                    |i| col.is_null(i),
+                    offset,
+                    start,
+                    len,
+                    |c| bitmap[c as usize],
+                )
+            });
             return evaluated;
         }
     }
@@ -625,35 +695,90 @@ pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Sel
             match (col.data(), value) {
                 (ColumnVec::Int(xs), Value::Int(k)) => {
                     let k = *k;
-                    sel.retain(|i| !col.is_null(i) && ord_matches(op, xs[i].cmp(&k)));
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| ord_matches(op, x.cmp(&k)),
+                        )
+                    });
                 }
                 (ColumnVec::Int(xs), Value::Float(f)) => {
                     let f = *f;
-                    sel.retain(|i| {
-                        !col.is_null(i) && ord_opt_matches(op, (xs[i] as f64).partial_cmp(&f))
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| ord_opt_matches(op, (x as f64).partial_cmp(&f)),
+                        )
                     });
                 }
                 (ColumnVec::Float(xs), Value::Int(k)) => {
                     let k = *k as f64;
-                    sel.retain(|i| !col.is_null(i) && ord_opt_matches(op, xs[i].partial_cmp(&k)));
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| ord_opt_matches(op, x.partial_cmp(&k)),
+                        )
+                    });
                 }
                 (ColumnVec::Float(xs), Value::Float(f)) => {
                     let f = *f;
-                    sel.retain(|i| !col.is_null(i) && ord_opt_matches(op, xs[i].partial_cmp(&f)));
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| ord_opt_matches(op, x.partial_cmp(&f)),
+                        )
+                    });
                 }
                 (ColumnVec::Date(xs), Value::Date(d)) => {
                     let d = *d;
-                    sel.retain(|i| !col.is_null(i) && ord_matches(op, xs[i].cmp(&d)));
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| ord_matches(op, x.cmp(&d)),
+                        )
+                    });
                 }
                 (ColumnVec::Date(xs), Value::Int(k)) => {
                     let k = *k;
-                    sel.retain(|i| !col.is_null(i) && ord_matches(op, (xs[i] as i64).cmp(&k)));
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| ord_matches(op, (x as i64).cmp(&k)),
+                        )
+                    });
                 }
                 (ColumnVec::Str(xs), Value::Str(s)) => {
                     let s: &str = s;
-                    sel.retain(|i| !col.is_null(i) && ord_matches(op, xs[i].as_ref().cmp(s)));
+                    sel.retain(|i| {
+                        let i = offset + i;
+                        !col.is_null(i) && ord_matches(op, xs[i].as_ref().cmp(s))
+                    });
                 }
-                _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(offset + i))),
             }
         }
         CompiledPred::Between {
@@ -670,7 +795,16 @@ pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Sel
             match (col.data(), lo, hi) {
                 (ColumnVec::Int(xs), Value::Int(lo), Value::Int(hi)) => {
                     let (lo, hi) = (*lo, *hi);
-                    sel.retain(|i| !col.is_null(i) && ((xs[i] >= lo && xs[i] <= hi) != negated));
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| (x >= lo && x <= hi) != negated,
+                        )
+                    });
                 }
                 // NaN bounds make every comparison UNKNOWN — leave those to
                 // the generic fallback; a NaN *value* is likewise UNKNOWN
@@ -679,17 +813,31 @@ pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Sel
                     if !lo.is_nan() && !hi.is_nan() =>
                 {
                     let (lo, hi) = (*lo, *hi);
-                    sel.retain(|i| {
-                        !col.is_null(i)
-                            && !xs[i].is_nan()
-                            && ((xs[i] >= lo && xs[i] <= hi) != negated)
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| !x.is_nan() && ((x >= lo && x <= hi) != negated),
+                        )
                     });
                 }
                 (ColumnVec::Date(xs), Value::Date(lo), Value::Date(hi)) => {
                     let (lo, hi) = (*lo, *hi);
-                    sel.retain(|i| !col.is_null(i) && ((xs[i] >= lo && xs[i] <= hi) != negated));
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| (x >= lo && x <= hi) != negated,
+                        )
+                    });
                 }
-                _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(offset + i))),
             }
         }
         CompiledPred::InSet {
@@ -708,10 +856,20 @@ pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Sel
                             _ => None,
                         })
                         .collect();
-                    sel.retain(|i| !col.is_null(i) && (set.contains(&xs[i]) != negated));
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| set.contains(&x) != negated,
+                        )
+                    });
                 }
                 ColumnVec::Str(xs) if values.iter().all(|v| matches!(v, Value::Str(_))) => {
                     sel.retain(|i| {
+                        let i = offset + i;
                         if col.is_null(i) {
                             return false;
                         }
@@ -721,7 +879,7 @@ pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Sel
                         found != negated
                     });
                 }
-                _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(offset + i))),
             }
         }
         CompiledPred::Like {
@@ -733,9 +891,12 @@ pub fn eval_vectorized(pred: &CompiledPred, bucket: &ColumnBucket, sel: &mut Sel
             let negated = *negated;
             match col.data() {
                 ColumnVec::Str(xs) => {
-                    sel.retain(|i| !col.is_null(i) && (pattern.matches(&xs[i]) != negated));
+                    sel.retain(|i| {
+                        let i = offset + i;
+                        !col.is_null(i) && (pattern.matches(&xs[i]) != negated)
+                    });
                 }
-                _ => sel.retain(|i| fast_pred_value(pred, &col.value(i))),
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(offset + i))),
             }
         }
         CompiledPred::Generic(_) => unreachable!("column kernels only run compiled predicates"),
@@ -961,6 +1122,114 @@ mod tests {
                 .filter(|&i| fast_pred_matches(pred, &rows[i]))
                 .collect();
             assert_eq!(kernel_hits, row_hits, "kernel disagrees for {pred:?}");
+        }
+    }
+
+    /// `narrow_words` skips chunks earlier predicates already emptied (the
+    /// mask closure never sees them) and masks the ragged tail exactly like
+    /// `retain`.
+    #[test]
+    fn narrow_words_skips_dead_words_and_masks_tail() {
+        let mut sel = Selection::all(70);
+        sel.retain(|i| i < 5); // word 1 (rows 64..70) goes empty
+        let mut chunks = Vec::new();
+        sel.narrow_words(|start, len| {
+            chunks.push((start, len));
+            !0
+        });
+        assert_eq!(chunks, vec![(0, 64)], "empty word skipped, tail not seen");
+        assert_eq!(sel.count(), 5);
+        // The tail chunk reports its ragged length, and mask bits beyond the
+        // current selection can only narrow, never widen.
+        let mut sel = Selection::all(70);
+        let mut chunks = Vec::new();
+        sel.narrow_words(|start, len| {
+            chunks.push((start, len));
+            0b1010
+        });
+        assert_eq!(chunks, vec![(0, 64), (64, 6)]);
+        let mut seen = Vec::new();
+        sel.for_each(|i| seen.push(i));
+        assert_eq!(seen, vec![1, 3, 65, 67]);
+    }
+
+    /// Evaluating a predicate over a row *range* (what morsel workers do)
+    /// must select exactly the rows the whole-bucket kernels select within
+    /// that range — across word boundaries, ragged tails, NULLs and every
+    /// kernel family (typed chunk kernels, string fallbacks, dictionary
+    /// code space).
+    #[test]
+    fn range_kernels_match_whole_bucket_kernels() {
+        use crate::table::ColumnBucket;
+
+        let n = 200;
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    if i % 13 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int((i % 29) as i64)
+                    },
+                    Value::Float(i as f64 * 0.01),
+                    Value::str(["MAIL", "SHIP", "TRUCK", "AIR"][i % 4]),
+                ]
+            })
+            .collect();
+        let mut plain = ColumnBucket::new(3);
+        let mut dict = ColumnBucket::with_dictionary(3);
+        for r in &rows {
+            plain.push_row(r);
+            dict.push_row(r);
+        }
+        assert!(dict.column(2).is_dict());
+        let preds = vec![
+            CompiledPred::Compare {
+                idx: 0,
+                op: BinaryOperator::Lt,
+                value: Value::Int(14),
+            },
+            CompiledPred::Between {
+                idx: 1,
+                lo: Value::Float(0.30),
+                hi: Value::Float(1.20),
+                negated: false,
+            },
+            CompiledPred::InSet {
+                idx: 2,
+                values: vec![Value::str("MAIL"), Value::str("AIR")],
+                negated: false,
+            },
+            CompiledPred::Like {
+                idx: 2,
+                pattern: Arc::new(LikePattern::new("%AI%")),
+                negated: false,
+            },
+        ];
+        // Offsets exercise word-aligned, mid-word and ragged-tail ranges.
+        let ranges = [(0, n), (64, 134), (37, 103), (128, 200), (190, 199)];
+        for bucket in [&plain, &dict] {
+            for pred in &preds {
+                let mut whole = Selection::all(n);
+                eval_vectorized(pred, bucket, &mut whole);
+                let mut whole_hits = Vec::new();
+                whole.for_each(|i| whole_hits.push(i));
+                for &(start, end) in &ranges {
+                    let mut sel = Selection::all(end - start);
+                    eval_vectorized_range(pred, bucket, start, &mut sel);
+                    let mut range_hits = Vec::new();
+                    sel.for_each(|i| range_hits.push(start + i));
+                    let expected: Vec<usize> = whole_hits
+                        .iter()
+                        .copied()
+                        .filter(|&i| i >= start && i < end)
+                        .collect();
+                    assert_eq!(
+                        range_hits, expected,
+                        "range [{start}, {end}) disagrees for {pred:?}"
+                    );
+                }
+            }
         }
     }
 

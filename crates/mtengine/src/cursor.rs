@@ -227,9 +227,14 @@ impl Engine {
     /// plans that cannot stream materialize *now* (still under the caller's
     /// lock), so their result is the open-time state by construction.
     pub fn pin_cursor(&self, plan: &Plan, params: &[Value], state: &mut CursorState) -> Result<()> {
-        state.snapshot = Some(self.current_epoch());
+        let epoch = self.current_epoch();
+        state.snapshot = Some(epoch);
         if state.mode.is_none() && stream_shape(plan).is_none() {
-            let executor = Executor::with_params(self, params.to_vec());
+            let mut executor = Executor::with_params(self, params.to_vec());
+            // Bound the materializing execution at the pin epoch: even under
+            // the caller's shared borrow, morsel workers must never size
+            // their row ranges past the open-time watermark.
+            executor.pin_snapshot(epoch);
             let rel = executor.execute_plan(plan, None)?;
             state.mode = Some(Mode::Materialized {
                 rows: rel.rows,

@@ -11,12 +11,19 @@
 //! [`Plan::SeqScan`] evaluates its pushed conjuncts *during* the scan
 //! (non-qualifying rows are never copied), skips partition buckets its
 //! `ttid = k` / `ttid IN (...)` pruning predicates exclude, and — when
-//! [`crate::EngineConfig::parallel_scan`] allows and every pushed conjunct
-//! compiled to a fast predicate form — fans the selected buckets out to a
-//! scoped thread pool, merging the per-bucket outputs in bucket order so the
-//! result is bit-identical to a serial scan. Buckets stored in the columnar
-//! layout ([`crate::EngineConfig::columnar_scan`]) are scanned *vectorized*:
-//! the compiled predicates run as column kernels over a selection bitmap
+//! [`crate::EngineConfig::parallel_scan`] (or its `MT_THREADS` execution-time
+//! override) allows — runs *morsel-driven*: the selected buckets are split
+//! into fixed-size row-range morsels ([`crate::EngineConfig::morsel_rows`])
+//! pulled by a scoped worker pool, each worker running the whole filter per
+//! morsel — column kernels first, interpreted conjuncts on the
+//! late-materialized survivors — and the per-morsel outputs merge in morsel
+//! order, so the result is bit-identical to a serial scan. When the scan
+//! feeds a `HashAggregate` directly, workers additionally fold their morsel
+//! into a *partial aggregate state*; the partial states merge in morsel
+//! order on the coordinator, parallelizing scan→filter→aggregate end to end.
+//! Buckets stored in the columnar layout
+//! ([`crate::EngineConfig::columnar_scan`]) are scanned *vectorized*: the
+//! compiled predicates run as column kernels over a selection bitmap
 //! (see [`crate::conjuncts::eval_vectorized`]) and only the qualifying row
 //! ids are late-materialized into [`SharedRow`]s. Uncorrelated sub-queries
 //! are evaluated once per query and cached; sub-query *plans* are cached
@@ -32,8 +39,8 @@ use mtsql::ast::*;
 use mtsql::visit::contains_subquery;
 
 use crate::conjuncts::{
-    between_matches, eval_vectorized, fast_filter_matches, fast_pred_matches, flip_comparison,
-    has_columns, CompiledPred, Selection,
+    between_matches, eval_vectorized, eval_vectorized_range, fast_filter_matches,
+    fast_pred_matches, flip_comparison, has_columns, CompiledPred, Selection,
 };
 use crate::error::{err, EngineError, Result};
 use crate::plan::{HashAggregate, Plan, Planner, Project, SeqScan, SortKey};
@@ -52,38 +59,158 @@ const PARALLEL_SCAN_MIN_ROWS: usize = 8192;
 /// spawned thread always has enough work to amortize its spawn cost.
 const PARALLEL_SCAN_MIN_ROWS_PER_WORKER: usize = 4096;
 
-/// Number of workers a scan over `total_rows` spread across `bucket_count`
-/// buckets uses under a `parallel_scan` budget — `1` means serial. Shared by
-/// the scan itself and the EXPLAIN renderer so both report the same decision.
-pub(crate) fn scan_worker_count(budget: usize, bucket_count: usize, total_rows: usize) -> usize {
+/// The process-wide execution-time parallel budget: the `MT_THREADS`
+/// environment variable (a positive integer), when set, overrides
+/// [`crate::EngineConfig::parallel_scan`] for every engine in the process —
+/// benches and CI matrix legs force the worker pool on without touching
+/// deployment configuration. Parsed once per process; EXPLAIN deliberately
+/// keeps rendering from the *configured* budget so plan snapshots stay
+/// stable under the override.
+pub(crate) fn effective_parallel_budget(config: &crate::EngineConfig) -> usize {
+    static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    OVERRIDE
+        .get_or_init(|| {
+            std::env::var("MT_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or(config.parallel_scan)
+}
+
+/// The configured morsel size, with `0` falling back to the default.
+pub(crate) fn morsel_rows(config: &crate::EngineConfig) -> usize {
+    if config.morsel_rows == 0 {
+        crate::DEFAULT_MORSEL_ROWS
+    } else {
+        config.morsel_rows
+    }
+}
+
+/// Number of workers a scan over `total_rows` split into `morsel_count`
+/// morsels uses under a parallel budget — `1` means serial. Shared by the
+/// scan itself and the EXPLAIN renderer so both report the same decision.
+/// Budgeting on morsels (not buckets) means a single oversized bucket still
+/// spreads across the whole pool instead of monopolizing one worker.
+pub(crate) fn scan_worker_count(budget: usize, morsel_count: usize, total_rows: usize) -> usize {
     if total_rows < PARALLEL_SCAN_MIN_ROWS {
         return 1;
     }
     budget
         .max(1)
-        .min(bucket_count)
+        .min(morsel_count)
         .min((total_rows / PARALLEL_SCAN_MIN_ROWS_PER_WORKER).max(1))
 }
 
-/// Split buckets into at most `threads` contiguous chunks balanced by row
-/// count (chunk order preserves bucket order). A new chunk opens when adding
-/// the next bucket would push the current chunk past the per-worker target,
-/// so one large bucket behind small ones still lands in its own chunk.
-fn chunk_buckets<'a>(buckets: &[&'a Bucket], threads: usize, total: usize) -> Vec<Vec<&'a Bucket>> {
-    let target = total.div_ceil(threads);
-    let mut chunks: Vec<Vec<&'a Bucket>> = Vec::new();
-    let mut current: Vec<&'a Bucket> = Vec::new();
-    let mut filled = 0usize;
-    for bucket in buckets {
-        if filled > 0 && filled + bucket.len() > target && chunks.len() + 1 < threads {
-            chunks.push(std::mem::take(&mut current));
-            filled = 0;
+/// One unit of pooled scan work: a row range of one selected bucket. Morsels
+/// are bounded at the scan's per-bucket *visible* length, so a pooled scan
+/// under a pinned snapshot never observes rows appended after the pin.
+#[derive(Debug, Clone, Copy)]
+struct Morsel {
+    /// Index into the scan's selected-bucket list.
+    bucket: usize,
+    /// First row of the range.
+    start: usize,
+    /// One past the last row of the range.
+    end: usize,
+}
+
+/// Split the selected buckets into fixed-size row-range morsels, in bucket
+/// order. Morsels of one bucket are contiguous and ascending, so merging
+/// per-morsel outputs in morsel order reproduces the serial row order
+/// exactly.
+fn build_morsels(selected: &[(&Bucket, usize)], step: usize) -> Vec<Morsel> {
+    let step = step.max(1);
+    let mut morsels = Vec::new();
+    for (bucket, &(_, visible)) in selected.iter().enumerate() {
+        let mut start = 0;
+        while start < visible {
+            let end = (start + step).min(visible);
+            morsels.push(Morsel { bucket, start, end });
+            start = end;
         }
-        current.push(bucket);
-        filled += bucket.len();
     }
-    chunks.push(current);
-    chunks
+    morsels
+}
+
+/// The number of morsels [`build_morsels`] would produce, without building
+/// them (serial-path bail-out sizing).
+fn morsel_count(selected: &[(&Bucket, usize)], step: usize) -> usize {
+    let step = step.max(1);
+    selected.iter().map(|&(_, v)| v.div_ceil(step)).sum()
+}
+
+/// Run `work` over every morsel on a pool of `threads` scoped workers.
+/// Workers *pull* morsels from a shared index — a slow morsel never stalls
+/// the rest of the pool — and each worker evaluates through its own
+/// [`Executor`] (the engine is shared and `Sync`; executor-local caches are
+/// not). Results are returned in morsel order regardless of which worker
+/// produced them; a panicking worker surfaces as a typed error; and when
+/// several morsels fail, the error of the lowest morsel index wins — the one
+/// the serial scan would have hit first.
+fn run_morsel_pool<T, F>(
+    engine: &Engine,
+    params: &[Value],
+    threads: usize,
+    morsels: &[Morsel],
+    work: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&Executor, Morsel) -> Result<T> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+    let next = AtomicUsize::new(0);
+    let joined = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, work) = (&next, &work);
+                scope.spawn(move || {
+                    let worker = Executor::with_params(engine, params.to_vec());
+                    let mut done: Vec<(usize, Result<T>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                        let Some(morsel) = morsels.get(i) else { break };
+                        done.push((i, work(&worker, *morsel)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join())
+            .collect::<Vec<std::thread::Result<_>>>()
+    });
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None)
+        .take(morsels.len())
+        .collect();
+    let mut first_err: Option<(usize, EngineError)> = None;
+    for outcome in joined {
+        let done = outcome.map_err(|_| {
+            EngineError::with_kind(
+                crate::EngineErrorKind::Poisoned,
+                "parallel scan worker panicked",
+            )
+        })?;
+        for (i, result) in done {
+            match result {
+                Ok(v) => slots[i] = Some(v),
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|f| i < f.0) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every morsel index is pulled exactly once"))
+        .collect())
 }
 
 /// Per-bucket state of [`Executor::repeated_bucket_rows`]: how many times
@@ -118,14 +245,27 @@ impl ScanTally {
     }
 }
 
+/// Sentinel group-key code for NULL slots in code-space grouping
+/// (dictionaries are bounded far below it, so it can never collide with a
+/// real code). Shared by the serial code-space grouping scan and the
+/// morsel workers' per-morsel code memos.
+const NULL_CODE: u32 = u32::MAX;
+
 /// Select the partition buckets a scan visits under an optional pruning key
-/// set, together with the `(scanned, pruned)` bucket counts. Shared by the
-/// standard scan and the code-space grouping scan so bucket selection and
-/// partition accounting can never drift apart.
+/// set, each paired with its *visible length* — the whole bucket normally,
+/// or the rows visible at the executor's pinned snapshot epoch — together
+/// with the `(scanned, pruned)` bucket counts. Shared by every scan path so
+/// bucket selection, snapshot bounding and partition accounting can never
+/// drift apart.
 fn select_buckets<'t>(
     table: &'t crate::table::Table,
     prune_keys: &Option<std::collections::BTreeSet<i64>>,
-) -> (Vec<&'t Bucket>, u64, u64) {
+    snapshot: Option<u64>,
+) -> (Vec<(&'t Bucket, usize)>, u64, u64) {
+    let visible = |key: i64, bucket: &Bucket| match snapshot {
+        Some(s) => table.visible_bucket_len(key, s).min(bucket.len()),
+        None => bucket.len(),
+    };
     match prune_keys {
         Some(keys) => {
             let mut selected = Vec::new();
@@ -133,7 +273,7 @@ fn select_buckets<'t>(
             for (key, bucket) in table.partitions() {
                 if keys.contains(&key) {
                     scanned += 1;
-                    selected.push(bucket);
+                    selected.push((bucket, visible(key, bucket)));
                 } else {
                     pruned += 1;
                 }
@@ -141,25 +281,30 @@ fn select_buckets<'t>(
             (selected, scanned, pruned)
         }
         None => {
-            let selected: Vec<&Bucket> = table.partitions().map(|(_, b)| b).collect();
+            let selected: Vec<(&Bucket, usize)> = table
+                .partitions()
+                .map(|(k, b)| (b, visible(k, b)))
+                .collect();
             let scanned = selected.len() as u64;
             (selected, scanned, 0)
         }
     }
 }
 
-/// Scan one bucket with a filter of *fast* predicates only. Pure (no engine
-/// access), so parallel scan workers call it too. Row buckets run the
-/// per-row compiled filter; columnar buckets run the predicates as column
-/// kernels over a selection bitmap and materialize the surviving row ids.
+/// Scan the first `visible` rows of one bucket with a filter of *fast*
+/// predicates only. Pure (no engine access). Row buckets run the per-row
+/// compiled filter; columnar buckets run the predicates as column kernels
+/// over a selection bitmap and materialize the surviving row ids.
 fn scan_bucket_fast(
     bucket: &Bucket,
+    visible: usize,
     filter: &[CompiledPred],
     out: &mut Vec<SharedRow>,
 ) -> ScanTally {
     let mut tally = ScanTally::default();
     match bucket {
         Bucket::Rows(rows) => {
+            let rows = &rows[..visible.min(rows.len())];
             tally.visited = rows.len() as u64;
             for row in rows {
                 if fast_filter_matches(filter, row) {
@@ -168,12 +313,13 @@ fn scan_bucket_fast(
             }
         }
         Bucket::Columnar(cols) => {
-            let mut sel = Selection::all(cols.len());
+            let visible = visible.min(cols.len());
+            let mut sel = Selection::all(visible);
             for pred in filter {
                 tally.dict += eval_vectorized(pred, cols, &mut sel);
             }
-            tally.visited = cols.len() as u64;
-            tally.vectorized = cols.len() as u64;
+            tally.visited = visible as u64;
+            tally.vectorized = visible as u64;
             tally.materialized = sel.count() as u64;
             if cols.dict_column_count() > 0 {
                 // Qualifying rows decode their dictionary columns while
@@ -245,6 +391,12 @@ pub struct Executor<'e> {
     /// `true` while the executor detected an escape to an outer row during the
     /// currently executing sub-query (conservative correlation detection).
     correlation_witness: Cell<bool>,
+    /// When set, every base-table scan of this executor is bounded at this
+    /// mutation-epoch watermark: per-bucket visible lengths and the
+    /// loose-row prefix resolve through the table's write marks, so neither
+    /// serial scans nor pooled morsels ever observe rows appended after the
+    /// pin. Set by snapshot cursors before materializing blocking plans.
+    snapshot: Option<u64>,
 }
 
 impl<'e> Executor<'e> {
@@ -264,7 +416,14 @@ impl<'e> Executor<'e> {
             like_cache: RefCell::new(HashMap::new()),
             bucket_row_cache: RefCell::new(HashMap::new()),
             correlation_witness: Cell::new(false),
+            snapshot: None,
         }
+    }
+
+    /// Bound every scan of this executor at the given mutation-epoch
+    /// watermark (snapshot-isolated cursors).
+    pub(crate) fn pin_snapshot(&mut self, epoch: u64) {
+        self.snapshot = Some(epoch);
     }
 
     /// Materialized rows of a columnar bucket this executor scans
@@ -279,6 +438,7 @@ impl<'e> Executor<'e> {
     fn repeated_bucket_rows(
         &self,
         cols: &crate::table::ColumnBucket,
+        visible: usize,
     ) -> Option<(Rc<Vec<SharedRow>>, bool)> {
         let key = cols as *const crate::table::ColumnBucket as usize;
         let mut cache = self.bucket_row_cache.borrow_mut();
@@ -289,8 +449,12 @@ impl<'e> Executor<'e> {
                 None
             }
             slot => {
+                // The visible bound is stable for the executor's lifetime
+                // (the engine is borrowed for the whole query and the
+                // snapshot never changes), so caching the bounded prefix is
+                // safe.
                 let rows = Rc::new(
-                    (0..cols.len())
+                    (0..visible.min(cols.len()))
                         .map(|i| cols.materialize(i))
                         .collect::<Vec<_>>(),
                 );
@@ -419,10 +583,16 @@ impl<'e> Executor<'e> {
 
     /// Grouping head: hash rows into groups (first-seen order), evaluate
     /// aggregates, HAVING and the output items per group. When the input is
-    /// a base-table scan whose group keys are dictionary-encoded columns,
-    /// grouping runs in *code space* (see [`Executor::try_group_on_codes`]);
-    /// otherwise rows are grouped by their evaluated key values.
+    /// a base-table scan large enough for the worker pool, the whole
+    /// scan→filter→group→fold pipeline runs morsel-parallel (see
+    /// [`Executor::try_parallel_aggregate`]); when it is a serial scan whose
+    /// group keys are dictionary-encoded columns, grouping runs in *code
+    /// space* (see [`Executor::try_group_on_codes`]); otherwise rows are
+    /// grouped by their evaluated key values.
     fn exec_hash_aggregate(&self, agg: &HashAggregate, outer: Option<&Env>) -> Result<Relation> {
+        if let Some(rel) = self.try_parallel_aggregate(agg, outer)? {
+            return Ok(rel);
+        }
         let grouped = match self.try_group_on_codes(agg, outer)? {
             Some(grouped) => grouped,
             None => {
@@ -476,8 +646,8 @@ impl<'e> Executor<'e> {
     }
 
     /// Evaluate aggregates, HAVING and the output items per group — the
-    /// shared back half of hash aggregation, identical for both grouping
-    /// paths.
+    /// shared back half of hash aggregation, identical for both serial
+    /// grouping paths.
     fn finish_aggregate(
         &self,
         agg: &HashAggregate,
@@ -498,25 +668,48 @@ impl<'e> Executor<'e> {
         // A group with no members (global aggregate over an empty input) still
         // needs a representative row so that non-aggregated columns (e.g. the
         // constant factors of inlined conversion functions) resolve — to NULL.
-        let null_row: Row = vec![Value::Null; input.schema.len()];
-        let mut rows: Vec<SharedRow> = Vec::new();
-        for (key, group_members) in keys.iter().zip(&members) {
-            let mut agg_values = Vec::with_capacity(agg.aggregates.len());
+        let null_row: SharedRow = vec![Value::Null; input.schema.len()].into();
+        let mut agg_values: Vec<Vec<Value>> = Vec::with_capacity(keys.len());
+        let mut reps: Vec<SharedRow> = Vec::with_capacity(keys.len());
+        for group_members in &members {
+            let mut per_group = Vec::with_capacity(agg.aggregates.len());
             for call in &agg.aggregates {
-                agg_values.push(self.eval_aggregate(call, &input, group_members, outer)?);
+                per_group.push(self.eval_aggregate(call, &input, group_members, outer)?);
             }
-            let first_row: &[Value] = group_members
-                .first()
-                .map(|&i| input.rows[i].as_ref())
-                .unwrap_or(&null_row);
+            agg_values.push(per_group);
+            reps.push(
+                group_members
+                    .first()
+                    .map(|&i| SharedRow::clone(&input.rows[i]))
+                    .unwrap_or_else(|| SharedRow::clone(&null_row)),
+            );
+        }
+        self.emit_groups(agg, &input.schema, &keys, &agg_values, &reps, outer)
+    }
+
+    /// Evaluate HAVING and the output items per group and assemble the
+    /// output relation — the shared back half of *every* aggregation path
+    /// (serial and morsel-parallel), operating on precomputed per-group
+    /// aggregate values and representative rows.
+    fn emit_groups(
+        &self,
+        agg: &HashAggregate,
+        schema: &Schema,
+        keys: &[Vec<Value>],
+        agg_values: &[Vec<Value>],
+        reps: &[SharedRow],
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let mut rows: Vec<SharedRow> = Vec::new();
+        for (g, key) in keys.iter().enumerate() {
             let gctx = GroupContext {
                 group_exprs: &agg.group_exprs,
                 group_key: key,
                 aggregates: &agg.aggregates,
-                agg_values: &agg_values,
+                agg_values: &agg_values[g],
                 env: Env {
-                    schema: &input.schema,
-                    row: first_row,
+                    schema,
+                    row: &reps[g],
                     parent: outer,
                 },
             };
@@ -615,30 +808,29 @@ impl<'e> Executor<'e> {
             return Ok(None);
         }
 
-        let (selected, buckets_scanned, buckets_pruned) = select_buckets(table, &prune_keys);
-        let any_dict_group = selected.iter().any(|b| {
+        let (selected, buckets_scanned, buckets_pruned) =
+            select_buckets(table, &prune_keys, self.snapshot);
+        let any_dict_group = selected.iter().any(|&(b, _)| {
             b.as_columns()
                 .is_some_and(|c| group_cols.iter().any(|&g| c.column(g).is_dict()))
         });
         if !any_dict_group {
             return Ok(None);
         }
-        // A scan that would fan out to worker threads keeps the standard
-        // path — this one-pass grouping scan runs serially, and the PR 2
-        // parallel win dwarfs the code-space hashing win on scans that big.
-        let total_rows: usize = selected.iter().map(|b| b.len()).sum();
+        // A scan the worker pool would engage keeps the standard path — its
+        // aggregation runs morsel-parallel end to end (or, when
+        // `try_parallel_aggregate` declined for sub-query reasons, at least
+        // its scan pools), and this one-pass grouping scan runs serially.
+        let total_rows: usize = selected.iter().map(|&(_, v)| v).sum();
+        let step = morsel_rows(&self.engine.config());
         if scan_worker_count(
-            self.engine.config().parallel_scan,
-            selected.len(),
+            effective_parallel_budget(&self.engine.config()),
+            morsel_count(&selected, step),
             total_rows,
         ) > 1
         {
             return Ok(None);
         }
-
-        // Sentinel group-key code for NULL slots (dictionaries are bounded
-        // far below it, so it can never collide with a real code).
-        const NULL_CODE: u32 = u32::MAX;
 
         let mut rows: Vec<SharedRow> = Vec::new();
         let mut keys: Vec<Vec<Value>> = Vec::new();
@@ -665,11 +857,11 @@ impl<'e> Executor<'e> {
             }
         };
 
-        for bucket in selected {
+        for &(bucket, visible) in &selected {
             let Bucket::Columnar(cols) = bucket else {
                 // Defensive: columnar tables only hold columnar buckets, but
                 // a row bucket would group correctly by value regardless.
-                for row in bucket.iter_rows() {
+                for row in bucket.iter_rows().take(visible) {
                     tally.visited += 1;
                     if !fast_filter_matches(&bucket_filter, &row) {
                         continue;
@@ -686,7 +878,7 @@ impl<'e> Executor<'e> {
             // switches to its once-materialized rows instead of
             // re-vectorizing — grouping then evaluates key values per
             // cached row, exactly like the standard path over cached rows.
-            if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols) {
+            if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols, visible) {
                 tally.visited += cached.len() as u64;
                 if freshly_built {
                     tally.materialized += cached.len() as u64;
@@ -702,12 +894,13 @@ impl<'e> Executor<'e> {
                 }
                 continue;
             }
-            let mut sel = Selection::all(cols.len());
+            let visible = visible.min(cols.len());
+            let mut sel = Selection::all(visible);
             for pred in &bucket_filter {
                 tally.dict += eval_vectorized(pred, cols, &mut sel);
             }
-            tally.visited += cols.len() as u64;
-            tally.vectorized += cols.len() as u64;
+            tally.visited += visible as u64;
+            tally.vectorized += visible as u64;
             if cols.dict_column_count() > 0 {
                 tally.dict += sel.count() as u64;
             }
@@ -763,7 +956,7 @@ impl<'e> Executor<'e> {
                 });
             }
         }
-        for row in table.loose_rows() {
+        for row in self.visible_loose_rows(table) {
             tally.visited += 1;
             if !fast_filter_matches(&loose_filter, row) {
                 continue;
@@ -789,6 +982,302 @@ impl<'e> Executor<'e> {
         }))
     }
 
+    /// Morsel-parallel aggregation: when the aggregation input is a plain
+    /// base-table scan large enough for the worker pool, run
+    /// scan → filter → partial aggregation per morsel on the pool and merge
+    /// the per-morsel partial states in morsel order — Q1/Q6-style
+    /// scan-and-aggregate queries parallelize end to end instead of only at
+    /// selection, and the input rows are never collected into one relation
+    /// (each worker keeps at most a morsel's rows live). Merging in morsel
+    /// order reproduces the serial path exactly: groups keep first-seen
+    /// order and every aggregate's values fold in row order (float SUM/AVG
+    /// are not associative, so fold order is part of result identity).
+    /// Loose rows (bounded at the snapshot) fold in serially after the
+    /// pool; HAVING, the output items and DISTINCT run on the coordinator
+    /// via the shared [`Executor::emit_groups`] back half.
+    ///
+    /// Returns `None` — deferring to the serial paths — for correlated
+    /// inputs (an outer row in scope), non-scan inputs, sub-query-bearing
+    /// group or aggregate expressions (each worker would re-execute the
+    /// sub-query against its own cold cache), and scans the pool would not
+    /// engage anyway. UDFs in group keys or aggregate arguments are fine:
+    /// they evaluate on the workers, and the engine's UDF registry is
+    /// shared and thread-safe, so call/cache-hit totals stay exact.
+    fn try_parallel_aggregate(
+        &self,
+        agg: &HashAggregate,
+        outer: Option<&Env>,
+    ) -> Result<Option<Relation>> {
+        if outer.is_some() {
+            return Ok(None);
+        }
+        let Plan::SeqScan(scan) = agg.input.as_ref() else {
+            return Ok(None);
+        };
+        let Ok(table) = self.engine.database().table(&scan.table) else {
+            return Ok(None);
+        };
+        if agg.group_exprs.iter().any(contains_subquery)
+            || agg
+                .aggregates
+                .iter()
+                .any(|c| c.args.iter().any(contains_subquery))
+        {
+            return Ok(None);
+        }
+        let budget = effective_parallel_budget(&self.engine.config());
+        if budget <= 1 {
+            return Ok(None);
+        }
+        let prune_keys = self.effective_prune_keys(scan, table.partition_column());
+        let (selected, buckets_scanned, buckets_pruned) =
+            select_buckets(table, &prune_keys, self.snapshot);
+        let total: usize = selected.iter().map(|&(_, v)| v).sum();
+        let morsels = build_morsels(&selected, morsel_rows(&self.engine.config()));
+        let threads = scan_worker_count(budget, morsels.len(), total);
+        if threads <= 1 {
+            return Ok(None);
+        }
+        let bucket_filter = self.compile_bucket_filter(scan, prune_keys.is_some());
+        // Plain-column group keys unlock the per-morsel code memo over
+        // dictionary-encoded buckets (the worker-side analogue of
+        // `try_group_on_codes`).
+        let group_cols: Option<Vec<usize>> = agg
+            .group_exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Column(c) => scan.schema.resolve(c),
+                _ => None,
+            })
+            .collect();
+
+        let partials =
+            run_morsel_pool(self.engine, &self.params, threads, &morsels, |worker, m| {
+                worker.agg_morsel_partial(
+                    selected[m.bucket].0,
+                    m,
+                    &bucket_filter,
+                    agg,
+                    &scan.schema,
+                    group_cols.as_deref(),
+                )
+            })?;
+
+        // Merge partial states in morsel order: first-seen group order and
+        // per-group value order match the serial single pass exactly.
+        let mut tally = ScanTally::default();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut merged = AggPartial::with_aggregates(agg.aggregates.len());
+        let merges = partials.len() as u64;
+        for partial in partials {
+            tally.absorb(partial.tally);
+            let AggPartial {
+                keys,
+                reps,
+                counts,
+                mut args,
+                ..
+            } = partial;
+            for (p, key) in keys.into_iter().enumerate() {
+                let g = merged.group_of(key, &mut index, &reps[p]);
+                merged.counts[g] += counts[p];
+                for (a, per_agg) in args.iter_mut().enumerate() {
+                    merged.args[a][g].append(&mut per_agg[p]);
+                }
+            }
+        }
+
+        // Loose rows carry arbitrary partition keys; fold them in serially
+        // (they are few — the write path spills them only until the next
+        // bucket rebuild) with the same filter choice as the serial scan.
+        let loose_filter = if prune_keys.is_none() {
+            Some(bucket_filter)
+        } else if self.visible_loose_rows(table).is_empty() {
+            None
+        } else {
+            Some(self.compile_full_scan_filter(scan))
+        };
+        if let Some(loose_filter) = &loose_filter {
+            for row in self.visible_loose_rows(table) {
+                tally.visited += 1;
+                if !self.filter_matches(loose_filter, &scan.schema, row, None)? {
+                    continue;
+                }
+                let env = Env {
+                    schema: &scan.schema,
+                    row,
+                    parent: None,
+                };
+                let key = agg
+                    .group_exprs
+                    .iter()
+                    .map(|e| self.eval(e, &env))
+                    .collect::<Result<Vec<_>>>()?;
+                let g = merged.group_of(key, &mut index, row);
+                self.accumulate_partial(agg, &mut merged, g, &env)?;
+            }
+        }
+
+        self.engine.note_rows_scanned(tally.visited);
+        self.engine.note_partitions(buckets_scanned, buckets_pruned);
+        self.engine
+            .note_vectorized(tally.vectorized, tally.materialized);
+        self.engine.note_dict_kernel_rows(tally.dict);
+        self.engine.note_parallel_scan();
+        self.engine
+            .note_morsel_scan(morsels.len() as u64, threads as u64);
+        self.engine.note_partial_agg_merges(merges);
+
+        let AggPartial {
+            mut keys,
+            mut reps,
+            mut counts,
+            mut args,
+            ..
+        } = merged;
+        // Aggregates without GROUP BY over empty input still produce one
+        // row, represented by an all-NULL row (same as the serial path).
+        if keys.is_empty() && agg.group_exprs.is_empty() {
+            keys.push(Vec::new());
+            reps.push(vec![Value::Null; scan.schema.len()].into());
+            counts.push(0);
+            for per_agg in &mut args {
+                per_agg.push(Vec::new());
+            }
+        }
+        let mut agg_values: Vec<Vec<Value>> = Vec::with_capacity(keys.len());
+        for g in 0..keys.len() {
+            let mut per_group = Vec::with_capacity(agg.aggregates.len());
+            for (a, call) in agg.aggregates.iter().enumerate() {
+                per_group.push(self.fold_aggregate(
+                    call,
+                    std::mem::take(&mut args[a][g]),
+                    counts[g] as usize,
+                )?);
+            }
+            agg_values.push(per_group);
+        }
+        self.emit_groups(agg, &scan.schema, &keys, &agg_values, &reps, outer)
+            .map(Some)
+    }
+
+    /// Scan one morsel and fold its qualifying rows into a partial
+    /// aggregation state. Columnar buckets whose group columns are all
+    /// dictionary-encoded (under an all-fast filter) group through a
+    /// per-morsel `codes -> group` memo, exactly like the serial code-space
+    /// path; everything else evaluates the group keys per row. Aggregate
+    /// arguments evaluate per qualifying row (skipping NULLs), then the
+    /// row buffer is dropped — a worker's live memory is bounded by the
+    /// morsel size, not the scan size.
+    fn agg_morsel_partial(
+        &self,
+        bucket: &Bucket,
+        morsel: Morsel,
+        filter: &[CompiledPred],
+        agg: &HashAggregate,
+        schema: &Schema,
+        group_cols: Option<&[usize]>,
+    ) -> Result<AggPartial> {
+        let mut partial = AggPartial::with_aggregates(agg.aggregates.len());
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        if let (Bucket::Columnar(cols), Some(gcols)) = (bucket, group_cols) {
+            let all_dict = !gcols.is_empty() && gcols.iter().all(|&g| cols.column(g).is_dict());
+            if all_dict && filter.iter().all(CompiledPred::is_fast) {
+                let Morsel { start, end, .. } = morsel;
+                let mut sel = Selection::all(end - start);
+                for pred in filter {
+                    partial.tally.dict += eval_vectorized_range(pred, cols, start, &mut sel);
+                }
+                partial.tally.visited = (end - start) as u64;
+                partial.tally.vectorized = (end - start) as u64;
+                if cols.dict_column_count() > 0 {
+                    partial.tally.dict += sel.count() as u64;
+                }
+                let mut memo: HashMap<Vec<u32>, usize> = HashMap::new();
+                let mut survivors: Vec<usize> = Vec::with_capacity(sel.count());
+                sel.for_each(|i| survivors.push(start + i));
+                for i in survivors {
+                    let codes: Vec<u32> = gcols
+                        .iter()
+                        .map(|&g| {
+                            let col = cols.column(g);
+                            if col.is_null(i) {
+                                NULL_CODE
+                            } else {
+                                match col.data() {
+                                    crate::table::ColumnVec::Dict(d) => d.code(i),
+                                    _ => unreachable!("all_dict checked above"),
+                                }
+                            }
+                        })
+                        .collect();
+                    let row = cols.materialize(i);
+                    partial.tally.materialized += 1;
+                    partial.tally.dict += 1;
+                    let g = match memo.get(&codes) {
+                        Some(&g) => g,
+                        None => {
+                            let key: Vec<Value> =
+                                gcols.iter().map(|&g| cols.column(g).value(i)).collect();
+                            let g = partial.group_of(key, &mut index, &row);
+                            memo.insert(codes, g);
+                            g
+                        }
+                    };
+                    let env = Env {
+                        schema,
+                        row: &row,
+                        parent: None,
+                    };
+                    self.accumulate_partial(agg, &mut partial, g, &env)?;
+                }
+                return Ok(partial);
+            }
+        }
+        // Generic: scan the morsel (hybrid filter included), then group by
+        // evaluated key values.
+        let mut rows_buf: Vec<SharedRow> = Vec::new();
+        partial.tally = self.scan_morsel(bucket, morsel, filter, schema, &mut rows_buf)?;
+        for row in rows_buf {
+            let env = Env {
+                schema,
+                row: &row,
+                parent: None,
+            };
+            let key = agg
+                .group_exprs
+                .iter()
+                .map(|e| self.eval(e, &env))
+                .collect::<Result<Vec<_>>>()?;
+            let g = partial.group_of(key, &mut index, &row);
+            self.accumulate_partial(agg, &mut partial, g, &env)?;
+        }
+        Ok(partial)
+    }
+
+    /// Fold one qualifying row into group `g` of a partial state: bump the
+    /// member count and append each aggregate's non-null argument value (in
+    /// row order).
+    fn accumulate_partial(
+        &self,
+        agg: &HashAggregate,
+        partial: &mut AggPartial,
+        g: usize,
+        env: &Env,
+    ) -> Result<()> {
+        partial.counts[g] += 1;
+        for (a, call) in agg.aggregates.iter().enumerate() {
+            let Some(arg) = call.args.first() else {
+                continue;
+            };
+            let v = self.eval(arg, env)?;
+            if !v.is_null() {
+                partial.args[a][g].push(v);
+            }
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Scans
     // ------------------------------------------------------------------
@@ -803,7 +1292,8 @@ impl<'e> Executor<'e> {
 
         let mut rows: Vec<SharedRow> = Vec::new();
         let mut tally = ScanTally::default();
-        let (selected, buckets_scanned, buckets_pruned) = select_buckets(table, &prune_keys);
+        let (selected, buckets_scanned, buckets_pruned) =
+            select_buckets(table, &prune_keys, self.snapshot);
         let bucket_filter = self.compile_bucket_filter(scan, prune_keys.is_some());
         self.scan_buckets(
             &selected,
@@ -826,7 +1316,7 @@ impl<'e> Executor<'e> {
             Some(self.compile_full_scan_filter(scan))
         };
         if let Some(full_filter) = &full_filter {
-            for row in table.loose_rows() {
+            for row in self.visible_loose_rows(table) {
                 tally.visited += 1;
                 if self.filter_matches(full_filter, &scan.schema, row, outer)? {
                     rows.push(SharedRow::clone(row));
@@ -882,72 +1372,134 @@ impl<'e> Executor<'e> {
         Cow::Owned(keys)
     }
 
-    /// Scan the selected buckets, serially or on a scoped thread pool. The
-    /// parallel path requires every predicate to be in a compiled fast form
-    /// (pure value comparisons — no expression evaluation, no engine access)
-    /// and merges per-chunk outputs in bucket order, so results and row order
-    /// are identical to the serial scan. Columnar buckets are scanned
-    /// vectorized on either path.
+    /// The table's loose rows, bounded at the executor's pinned snapshot.
+    fn visible_loose_rows<'t>(&self, table: &'t crate::table::Table) -> &'t [SharedRow] {
+        let loose = table.loose_rows();
+        match self.snapshot {
+            Some(s) => &loose[..table.visible_loose_len(s).min(loose.len())],
+            None => loose,
+        }
+    }
+
+    /// Scan the selected buckets, serially or morsel-driven on a scoped
+    /// worker pool: the buckets split into fixed-size row-range morsels
+    /// pulled by the workers, each worker runs the whole filter per morsel
+    /// (column kernels first, interpreted conjuncts on the late-materialized
+    /// survivors), and per-morsel outputs merge in morsel order — results
+    /// and row order are identical to the serial scan by construction.
+    /// Filters with interpreted conjuncts pool too (each worker evaluates
+    /// through its own executor); only correlated scans under an outer row
+    /// with interpreted conjuncts stay serial, because those conjuncts must
+    /// resolve against the coordinator's environment chain. Columnar buckets
+    /// are scanned vectorized on every path.
     fn scan_buckets(
         &self,
-        buckets: &[&Bucket],
+        selected: &[(&Bucket, usize)],
         filter: &[CompiledPred],
         schema: &Schema,
         outer: Option<&Env>,
         rows: &mut Vec<SharedRow>,
         tally: &mut ScanTally,
     ) -> Result<()> {
-        let total: usize = buckets.iter().map(|b| b.len()).sum();
-        let threads = scan_worker_count(self.engine.config().parallel_scan, buckets.len(), total);
+        let total: usize = selected.iter().map(|&(_, v)| v).sum();
+        let budget = effective_parallel_budget(&self.engine.config());
         let fast = filter.iter().all(CompiledPred::is_fast);
-        let chunks = if threads > 1 && fast {
-            chunk_buckets(buckets, threads, total)
+        let pool = if budget > 1 && (fast || outer.is_none()) {
+            let morsels = build_morsels(selected, morsel_rows(&self.engine.config()));
+            let threads = scan_worker_count(budget, morsels.len(), total);
+            (threads > 1).then_some((morsels, threads))
         } else {
-            Vec::new()
+            None
         };
-        if chunks.len() > 1 {
-            let results = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            let mut local: Vec<SharedRow> = Vec::new();
-                            let mut tally = ScanTally::default();
-                            for bucket in chunk {
-                                tally.absorb(scan_bucket_fast(bucket, filter, &mut local));
-                            }
-                            (local, tally)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join())
-                    .collect::<Vec<std::thread::Result<_>>>()
-            });
-            for joined in results {
-                // A panicking worker surfaces as a typed error, not a
-                // cascading panic on the coordinating thread.
-                let (local, chunk_tally) = joined.map_err(|_| {
-                    EngineError::with_kind(
-                        crate::EngineErrorKind::Poisoned,
-                        "parallel scan worker panicked",
-                    )
+        if let Some((morsels, threads)) = pool {
+            let results =
+                run_morsel_pool(self.engine, &self.params, threads, &morsels, |worker, m| {
+                    let mut local: Vec<SharedRow> = Vec::new();
+                    let t =
+                        worker.scan_morsel(selected[m.bucket].0, m, filter, schema, &mut local)?;
+                    Ok((local, t))
                 })?;
+            for (local, morsel_tally) in results {
                 rows.extend(local);
-                tally.absorb(chunk_tally);
+                tally.absorb(morsel_tally);
             }
             self.engine.note_parallel_scan();
+            self.engine
+                .note_morsel_scan(morsels.len() as u64, threads as u64);
         } else if fast {
-            for bucket in buckets {
-                tally.absorb(self.scan_bucket_fast_serial(bucket, filter, rows)?);
+            for &(bucket, visible) in selected {
+                tally.absorb(self.scan_bucket_fast_serial(bucket, visible, filter, rows)?);
             }
         } else {
-            for bucket in buckets {
-                self.scan_bucket_interpreted(bucket, filter, schema, outer, rows, tally)?;
+            for &(bucket, visible) in selected {
+                tally.absorb(
+                    self.scan_bucket_interpreted(bucket, visible, filter, schema, outer, rows)?,
+                );
             }
         }
         Ok(())
+    }
+
+    /// Scan one morsel — a row range of one bucket — through the whole
+    /// filter: fast predicates run as column kernels over the range (row
+    /// buckets evaluate the compiled filter per row), interpreted conjuncts
+    /// run on the surviving late-materialized rows, same hybrid order as the
+    /// serial columnar scan. Morsel-pool workers call this with their own
+    /// executor; the range is pre-bounded at the scan's snapshot watermark
+    /// by morsel construction. Deliberately bypasses the repeated-scan row
+    /// cache — each pooled scan sees a fresh worker executor, so the cache
+    /// could never reach its engagement threshold and would only skew
+    /// the materialization accounting.
+    fn scan_morsel(
+        &self,
+        bucket: &Bucket,
+        morsel: Morsel,
+        filter: &[CompiledPred],
+        schema: &Schema,
+        out: &mut Vec<SharedRow>,
+    ) -> Result<ScanTally> {
+        let mut tally = ScanTally::default();
+        let Morsel { start, end, .. } = morsel;
+        match bucket {
+            Bucket::Rows(rows) => {
+                tally.visited = (end - start) as u64;
+                for row in &rows[start..end] {
+                    if self.filter_matches(filter, schema, row, None)? {
+                        out.push(SharedRow::clone(row));
+                    }
+                }
+            }
+            Bucket::Columnar(cols) => {
+                let mut sel = Selection::all(end - start);
+                for pred in filter.iter().filter(|p| p.is_fast()) {
+                    tally.dict += eval_vectorized_range(pred, cols, start, &mut sel);
+                }
+                tally.visited = (end - start) as u64;
+                tally.vectorized = (end - start) as u64;
+                if cols.dict_column_count() > 0 {
+                    tally.dict += sel.count() as u64;
+                }
+                let interpreted: Vec<&CompiledPred> =
+                    filter.iter().filter(|p| !p.is_fast()).collect();
+                let mut survivors: Vec<usize> = Vec::with_capacity(sel.count());
+                sel.for_each(|i| survivors.push(start + i));
+                for i in survivors {
+                    let row = cols.materialize(i);
+                    tally.materialized += 1;
+                    let mut ok = true;
+                    for pred in &interpreted {
+                        if !self.filter_matches(std::slice::from_ref(*pred), schema, &row, None)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        Ok(tally)
     }
 
     /// Serial fast-filter scan of one bucket: like [`scan_bucket_fast`], but
@@ -956,15 +1508,16 @@ impl<'e> Executor<'e> {
     fn scan_bucket_fast_serial(
         &self,
         bucket: &Bucket,
+        visible: usize,
         filter: &[CompiledPred],
         out: &mut Vec<SharedRow>,
     ) -> Result<ScanTally> {
         if let Bucket::Columnar(cols) = bucket {
-            if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols) {
+            if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols, visible) {
                 return self.scan_cached_rows(&cached, freshly_built, filter, None, out);
             }
         }
-        Ok(scan_bucket_fast(bucket, filter, out))
+        Ok(scan_bucket_fast(bucket, visible, filter, out))
     }
 
     /// Scan the once-materialized rows of a repeatedly-scanned columnar
@@ -1023,15 +1576,16 @@ impl<'e> Executor<'e> {
     fn scan_bucket_interpreted(
         &self,
         bucket: &Bucket,
+        visible: usize,
         filter: &[CompiledPred],
         schema: &Schema,
         outer: Option<&Env>,
         rows: &mut Vec<SharedRow>,
-        tally: &mut ScanTally,
-    ) -> Result<()> {
+    ) -> Result<ScanTally> {
+        let mut tally = ScanTally::default();
         match bucket {
             Bucket::Rows(bucket_rows) => {
-                for row in bucket_rows {
+                for row in &bucket_rows[..visible.min(bucket_rows.len())] {
                     tally.visited += 1;
                     if self.filter_matches(filter, schema, row, outer)? {
                         rows.push(SharedRow::clone(row));
@@ -1039,7 +1593,7 @@ impl<'e> Executor<'e> {
                 }
             }
             Bucket::Columnar(cols) => {
-                if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols) {
+                if let Some((cached, freshly_built)) = self.repeated_bucket_rows(cols, visible) {
                     tally.absorb(self.scan_cached_rows(
                         &cached,
                         freshly_built,
@@ -1047,14 +1601,15 @@ impl<'e> Executor<'e> {
                         Some((schema, outer)),
                         rows,
                     )?);
-                    return Ok(());
+                    return Ok(tally);
                 }
-                let mut sel = Selection::all(cols.len());
+                let visible = visible.min(cols.len());
+                let mut sel = Selection::all(visible);
                 for pred in filter.iter().filter(|p| p.is_fast()) {
                     tally.dict += eval_vectorized(pred, cols, &mut sel);
                 }
-                tally.visited += cols.len() as u64;
-                tally.vectorized += cols.len() as u64;
+                tally.visited += visible as u64;
+                tally.vectorized += visible as u64;
                 if cols.dict_column_count() > 0 {
                     tally.dict += sel.count() as u64;
                 }
@@ -1078,7 +1633,7 @@ impl<'e> Executor<'e> {
                 }
             }
         }
-        Ok(())
+        Ok(tally)
     }
 
     /// The full pushed filter of a scan — pruning predicates followed by the
@@ -1401,6 +1956,9 @@ impl<'e> Executor<'e> {
     // Aggregates
     // ------------------------------------------------------------------
 
+    /// Evaluate one aggregate over a group's member rows: collect the
+    /// argument's non-null values in row order, then fold them via
+    /// [`Executor::fold_aggregate`].
     fn eval_aggregate(
         &self,
         agg: &FunctionCall,
@@ -1408,15 +1966,10 @@ impl<'e> Executor<'e> {
         members: &[usize],
         outer: Option<&Env>,
     ) -> Result<Value> {
-        let name = agg.name.to_ascii_uppercase();
-        // COUNT(*) — no argument.
-        if agg.args.is_empty() {
-            if name != "COUNT" {
-                return err(format!("aggregate `{name}` requires an argument"));
-            }
-            return Ok(Value::Int(members.len() as i64));
-        }
-        let arg = &agg.args[0];
+        // COUNT(*) — no argument; folds from the member count alone.
+        let Some(arg) = agg.args.first() else {
+            return self.fold_aggregate(agg, Vec::new(), members.len());
+        };
         let mut values = Vec::with_capacity(members.len());
         for &i in members {
             let env = Env {
@@ -1428,6 +1981,28 @@ impl<'e> Executor<'e> {
             if !v.is_null() {
                 values.push(v);
             }
+        }
+        self.fold_aggregate(agg, values, members.len())
+    }
+
+    /// Fold an aggregate over its collected non-null argument values (in
+    /// row order — float SUM/AVG are not associative, so the order is part
+    /// of result identity). The morsel-parallel path concatenates per-morsel
+    /// value lists in morsel order and folds here once per group, so DISTINCT
+    /// dedup (first occurrence wins) and the fold itself are shared verbatim
+    /// with the serial path.
+    fn fold_aggregate(
+        &self,
+        agg: &FunctionCall,
+        mut values: Vec<Value>,
+        member_count: usize,
+    ) -> Result<Value> {
+        let name = agg.name.to_ascii_uppercase();
+        if agg.args.is_empty() {
+            if name != "COUNT" {
+                return err(format!("aggregate `{name}` requires an argument"));
+            }
+            return Ok(Value::Int(member_count as i64));
         }
         if agg.distinct {
             let mut seen = std::collections::HashSet::new();
@@ -1930,6 +2505,57 @@ struct GroupedInput {
     members: Vec<Vec<usize>>,
 }
 
+/// Partial aggregation state of one morsel (and the coordinator's merge
+/// target): groups in first-seen order, a representative (first) row per
+/// group, member counts, and — per aggregate — the non-null argument values
+/// in row order. Merging partials in morsel order reproduces the serial
+/// path's first-seen group order and exact fold order.
+#[derive(Default)]
+struct AggPartial {
+    tally: ScanTally,
+    keys: Vec<Vec<Value>>,
+    reps: Vec<SharedRow>,
+    counts: Vec<u64>,
+    /// `args[a][g]` = non-null values of aggregate `a`'s argument in group
+    /// `g`, in row order. Aggregates without arguments (`COUNT(*)`) keep
+    /// empty lists and fold from the member count alone.
+    args: Vec<Vec<Vec<Value>>>,
+}
+
+impl AggPartial {
+    /// Empty state sized for `n` aggregates.
+    fn with_aggregates(n: usize) -> Self {
+        AggPartial {
+            args: vec![Vec::new(); n],
+            ..AggPartial::default()
+        }
+    }
+
+    /// Group index for `key`, creating the group — with `rep` as its
+    /// representative row — on first sight. `index` is the caller's
+    /// key-to-group map (kept outside so merge loops can reuse it).
+    fn group_of(
+        &mut self,
+        key: Vec<Value>,
+        index: &mut HashMap<Vec<Value>, usize>,
+        rep: &SharedRow,
+    ) -> usize {
+        match index.get(key.as_slice()) {
+            Some(&g) => g,
+            None => {
+                self.keys.push(key.clone());
+                self.reps.push(SharedRow::clone(rep));
+                self.counts.push(0);
+                for per_agg in &mut self.args {
+                    per_agg.push(Vec::new());
+                }
+                index.insert(key, self.keys.len() - 1);
+                self.keys.len() - 1
+            }
+        }
+    }
+}
+
 /// Group-evaluation context: key values, precomputed aggregates and a
 /// representative row for functionally dependent columns.
 struct GroupContext<'a> {
@@ -2184,28 +2810,44 @@ mod tests {
     }
 
     #[test]
-    fn chunking_splits_a_large_bucket_off_small_predecessors() {
+    fn morsels_split_within_buckets_and_respect_visible_bounds() {
+        let big = Bucket::Rows(
+            (0..10_000)
+                .map(|i| SharedRow::from(vec![Value::Int(i)]))
+                .collect(),
+        );
         let small = Bucket::Rows(
             (0..100)
                 .map(|i| SharedRow::from(vec![Value::Int(i)]))
                 .collect(),
         );
-        let large = Bucket::Rows(
-            (0..20_000)
-                .map(|i| SharedRow::from(vec![Value::Int(i)]))
-                .collect(),
-        );
-        let buckets: Vec<&Bucket> = vec![&small, &large];
-        let chunks = chunk_buckets(&buckets, 2, 20_100);
+        // The second bucket's visible length is snapshot-bounded below its
+        // physical length; morsels must never cross the watermark.
+        let selected: Vec<(&Bucket, usize)> = vec![(&big, 10_000), (&small, 60)];
+        let morsels = build_morsels(&selected, 4096);
+        assert_eq!(morsels.len(), 4, "3 for the big bucket + 1 small");
+        assert_eq!((morsels[0].start, morsels[0].end), (0, 4096));
+        assert_eq!((morsels[2].start, morsels[2].end), (8192, 10_000));
         assert_eq!(
-            chunks.len(),
-            2,
-            "the large bucket must land in its own chunk"
+            (morsels[3].bucket, morsels[3].start, morsels[3].end),
+            (1, 0, 60)
         );
-        assert_eq!(chunks[0].len(), 1);
-        assert_eq!(chunks[1].len(), 1);
-        // Order-preserving: small bucket first.
-        assert_eq!(chunks[0][0].len(), 100);
+        assert_eq!(morsel_count(&selected, 4096), morsels.len());
+        // A fully invisible bucket contributes no morsels at all.
+        assert_eq!(morsel_count(&[(&small, 0)], 4096), 0);
+    }
+
+    #[test]
+    fn worker_count_budgets_on_morsels_not_buckets() {
+        // One oversized bucket used to cap the pool at a single worker
+        // (bucket-count cap); budgeting on morsel count spreads it across
+        // the whole pool.
+        assert_eq!(scan_worker_count(4, 5, 20_000), 4);
+        assert_eq!(scan_worker_count(4, 1, 20_000), 1);
+        // The engagement floor still keeps small scans serial.
+        assert_eq!(scan_worker_count(4, 2, 8_000), 1);
+        // And every worker must own enough rows to amortize its spawn.
+        assert_eq!(scan_worker_count(8, 8, 9_000), 2);
     }
 
     #[test]

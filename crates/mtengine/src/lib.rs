@@ -50,12 +50,19 @@
 //! `NestedLoopJoin`, `HashAggregate`, `Sort`, `Limit`, `Project`,
 //! `Subquery`), and [`exec::Executor`] walks that DAG. Pushdown is a plan
 //! transformation, so it also crosses derived-table boundaries (conjuncts
-//! transpose through sub-select projections onto the base scans), and scans
-//! may fan their selected buckets out to a scoped thread pool
-//! (`EngineConfig::parallel_scan`) when every pushed conjunct compiled to a
-//! fast predicate form. `EXPLAIN <query>` (or [`Engine::explain_query`])
-//! renders the plan, including pushed conjuncts, live partition-pruning
-//! counts and parallel-scan eligibility.
+//! transpose through sub-select projections onto the base scans), and large
+//! scans run *morsel-driven*: the selected buckets are split into fixed-size
+//! row-range morsels ([`EngineConfig::morsel_rows`]) pulled by a scoped
+//! worker pool (`EngineConfig::parallel_scan`, overridable at execution time
+//! through the `MT_THREADS` environment variable). Each worker runs the
+//! whole pipeline per morsel — predicate kernels, late materialization and,
+//! when the scan feeds a `HashAggregate`, per-worker partial aggregation
+//! states merged in morsel order — so results are bit-identical to a serial
+//! scan. Interpreted (non-fast-form) conjuncts run hybrid on the workers:
+//! kernels narrow the selection first, survivors are checked interpreted.
+//! `EXPLAIN <query>` (or [`Engine::explain_query`]) renders the plan,
+//! including pushed conjuncts, live partition-pruning counts and morsel
+//! engagement.
 //!
 //! # Parameters and cursors
 //!
@@ -75,7 +82,10 @@
 //! [`stats::StatsSnapshot`] exposes `rows_scanned` (rows actually visited,
 //! after pruning), `partitions_scanned` / `partitions_pruned` (bucket
 //! accounting per scan), `parallel_scans` (scans that fanned out to worker
-//! threads), `rows_vectorized` / `late_materialized` (columnar-scan
+//! threads), `morsels_dispatched` / `morsel_workers` / `partial_agg_merges`
+//! (morsel-pool accounting: row ranges pulled by workers, workers spawned,
+//! and partial aggregate states merged back into the final aggregate),
+//! `rows_vectorized` / `late_materialized` (columnar-scan
 //! accounting: rows covered by column kernels vs. rows actually built) and
 //! the UDF call/cache counters. Pruning can be disabled per engine
 //! (`EngineConfig::partition_pruning`) to recover the full-scan baseline
@@ -124,6 +134,9 @@ pub use crate::error::{EngineError, EngineErrorKind, Result};
 pub use crate::value::Value;
 pub use crate::wal::{CrashMode, FailpointClock, MetaOp};
 
+/// Default morsel size in rows (see [`EngineConfig::morsel_rows`]).
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -134,12 +147,24 @@ pub struct EngineConfig {
     /// predicates exclude. Disabling falls back to full scans (the pre-
     /// partitioning behaviour) — useful as a benchmark baseline.
     pub partition_pruning: bool,
-    /// Maximum worker threads a single base-table scan may fan its partition
-    /// buckets out to. `0` or `1` scans serially. Parallel scans require
-    /// every pushed conjunct to compile to a fast predicate form and merge
-    /// per-bucket outputs in bucket order, so results are identical to a
-    /// serial scan.
+    /// Maximum worker threads a single base-table scan may fan out to. `0`
+    /// or `1` scans serially. Pooled scans split their selected buckets into
+    /// fixed-size row-range morsels (see [`EngineConfig::morsel_rows`])
+    /// pulled by the workers, and per-morsel outputs — row batches, or
+    /// partial aggregate states when the scan feeds a `HashAggregate` — are
+    /// merged in morsel order, so results are identical to a serial scan.
+    /// Interpreted conjuncts run hybrid on the workers (kernels first,
+    /// interpreted evaluation on survivors). The `MT_THREADS` environment
+    /// variable, when set to a positive integer, overrides this budget at
+    /// execution time for every engine in the process (deterministic
+    /// bench/CI runs force the pool on without touching deployment
+    /// configuration); `EXPLAIN` keeps reporting the configured budget.
     pub parallel_scan: usize,
+    /// Rows per morsel — the unit of work the pool's workers pull. Smaller
+    /// morsels balance better across workers; larger ones amortize per-morsel
+    /// overhead. `0` falls back to the default (4096). Scans smaller than
+    /// one pool engagement threshold (8192 rows) always run serially.
+    pub morsel_rows: usize,
     /// Store partition buckets in the columnar layout (typed per-column
     /// arrays + null bitmaps) and scan them vectorized: compiled predicates
     /// run as column kernels over a selection bitmap and only qualifying
@@ -177,6 +202,7 @@ impl Default for EngineConfig {
             cache_immutable_udfs: true,
             partition_pruning: true,
             parallel_scan: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
             columnar_scan: true,
             dictionary_encoding: true,
             durability: false,
@@ -210,6 +236,12 @@ impl EngineConfig {
     /// Set the parallel-scan worker budget (builder-style).
     pub fn with_parallel_scan(mut self, threads: usize) -> Self {
         self.parallel_scan = threads;
+        self
+    }
+
+    /// Set the morsel size in rows (builder-style). `0` keeps the default.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows;
         self
     }
 
@@ -611,6 +643,16 @@ impl Engine {
         self.counters.add_parallel_scan();
     }
 
+    /// Note one pooled scan's morsel accounting (called by the executor).
+    pub(crate) fn note_morsel_scan(&self, morsels: u64, workers: u64) {
+        self.counters.add_morsel_scan(morsels, workers);
+    }
+
+    /// Note partial aggregate states merged into a final aggregate.
+    pub(crate) fn note_partial_agg_merges(&self, n: u64) {
+        self.counters.add_partial_agg_merges(n);
+    }
+
     /// Note one scan's vectorized-evaluation accounting.
     pub(crate) fn note_vectorized(&self, rows: u64, materialized: u64) {
         if rows > 0 || materialized > 0 {
@@ -641,6 +683,9 @@ impl Engine {
             partitions_scanned: self.counters.partitions_scanned(),
             partitions_pruned: self.counters.partitions_pruned(),
             parallel_scans: self.counters.parallel_scans(),
+            morsels_dispatched: self.counters.morsels_dispatched(),
+            morsel_workers: self.counters.morsel_workers(),
+            partial_agg_merges: self.counters.partial_agg_merges(),
             rows_vectorized: self.counters.rows_vectorized(),
             late_materialized: self.counters.late_materialized(),
             dict_kernel_rows: self.counters.dict_kernel_rows(),

@@ -930,6 +930,49 @@ fn join_exprs(exprs: &[Expr]) -> String {
         .join(" AND ")
 }
 
+/// Mirror of the executor's morsel-pool sizing over a scan's selected
+/// buckets, at plan time: full bucket lengths (EXPLAIN has no snapshot) and
+/// the *configured* budget — the `MT_THREADS` execution-time override
+/// deliberately does not affect rendering, so plan snapshots stay stable
+/// under forced-pool CI legs. `None` when the configured budget is serial.
+fn scan_pool_workers(engine: &Engine, scan: &SeqScan) -> Option<usize> {
+    let budget = engine.config().parallel_scan;
+    if budget <= 1 {
+        return None;
+    }
+    let table = engine.database().table(&scan.table).ok()?;
+    let selected: Vec<usize> = match &scan.prune_keys {
+        Some(keys) => table
+            .partitions()
+            .filter(|(k, _)| keys.contains(k))
+            .map(|(_, b)| b.len())
+            .collect(),
+        None => table.partitions().map(|(_, b)| b.len()).collect(),
+    };
+    let total: usize = selected.iter().sum();
+    let step = crate::exec::morsel_rows(&engine.config()).max(1);
+    let morsels: usize = selected.iter().map(|len| len.div_ceil(step)).sum();
+    Some(crate::exec::scan_worker_count(budget, morsels, total))
+}
+
+/// Mirror of the executor's morsel-parallel aggregation gate
+/// (`try_parallel_aggregate`): a plain base-table scan input, sub-query-free
+/// group and aggregate expressions, and a scan the pool would engage.
+fn aggregate_pools(engine: &Engine, agg: &HashAggregate) -> bool {
+    let Plan::SeqScan(scan) = agg.input.as_ref() else {
+        return false;
+    };
+    if agg.group_exprs.iter().any(contains_subquery)
+        || agg
+            .aggregates
+            .iter()
+            .any(|c| c.args.iter().any(contains_subquery))
+    {
+        return false;
+    }
+    scan_pool_workers(engine, scan).is_some_and(|workers| workers > 1)
+}
+
 fn render(engine: &Engine, plan: &Plan, depth: usize, out: &mut String) {
     indent(out, depth);
     match plan {
@@ -992,33 +1035,18 @@ fn render(engine: &Engine, plan: &Plan, depth: usize, out: &mut String) {
                     }
                 }
             }
-            let budget = engine.config().parallel_scan;
-            if budget > 1 {
-                if !compiles_fast {
-                    notes.push("parallel: serial fallback (interpreted filter)".to_string());
-                } else if let Ok(table) = engine.database().table(&scan.table) {
-                    // Mirror the executor's live sizing decision so EXPLAIN
-                    // and the `parallel_scans` counter agree.
-                    let (bucket_count, total_rows) = match &scan.prune_keys {
-                        Some(keys) => {
-                            let selected: Vec<usize> = table
-                                .partitions()
-                                .filter(|(k, _)| keys.contains(k))
-                                .map(|(_, b)| b.len())
-                                .collect();
-                            (selected.len(), selected.iter().sum())
-                        }
-                        None => (
-                            table.partition_count(),
-                            table.partitions().map(|(_, b)| b.len()).sum(),
-                        ),
-                    };
-                    let workers = crate::exec::scan_worker_count(budget, bucket_count, total_rows);
-                    if workers > 1 {
-                        notes.push(format!("parallel: up to {workers} workers"));
-                    } else {
-                        notes.push("parallel: off (scan too small)".to_string());
-                    }
+            // Morsel engagement: the worker pool engages whenever the
+            // configured budget allows more than one worker over the scan's
+            // morsels. Interpreted conjuncts run *hybrid* on the workers, so
+            // they no longer force a serial scan. Worker counts are elided
+            // (and the `MT_THREADS` execution-time override deliberately
+            // ignored) so the rendering stays stable across machines and CI
+            // matrix legs.
+            if let Some(workers) = scan_pool_workers(engine, scan) {
+                if workers > 1 {
+                    notes.push("morsel: parallel".to_string());
+                } else {
+                    notes.push("morsel: off (scan too small)".to_string());
                 }
             }
             if !notes.is_empty() {
@@ -1103,6 +1131,13 @@ fn render(engine: &Engine, plan: &Plan, depth: usize, out: &mut String) {
             }
             if a.distinct {
                 out.push_str("; distinct");
+            }
+            // `morsel partials` marks aggregations whose whole
+            // scan→filter→partial-aggregate pipeline runs on the worker
+            // pool, partial states merged in morsel order (worker count
+            // elided for snapshot stability).
+            if aggregate_pools(engine, a) {
+                out.push_str("; morsel partials");
             }
             out.push_str("]\n");
             render(engine, &a.input, depth + 1, out);
@@ -1429,7 +1464,7 @@ mod tests {
     }
 
     #[test]
-    fn explain_reports_parallel_workers_only_when_the_scan_would_fan_out() {
+    fn explain_reports_morsel_engagement_only_when_the_scan_would_pool() {
         let mut e = Engine::new(EngineConfig::default().with_parallel_scan(4));
         e.create_table("big", &["ttid", "v"]);
         e.insert_values(
@@ -1442,12 +1477,25 @@ mod tests {
         e.set_table_partition("big", "ttid").unwrap();
         let plan = plan_of(&e, "SELECT v FROM big WHERE v >= 0");
         let text = explain(&e, &plan);
-        assert!(text.contains("parallel: up to 4 workers"), "{text}");
+        assert!(text.contains("morsel: parallel"), "{text}");
+
+        // Interpreted residual conjuncts run hybrid on the workers now —
+        // they no longer force a serial scan.
+        let plan = plan_of(&e, "SELECT v FROM big WHERE v + 0 >= 0");
+        let text = explain(&e, &plan);
+        assert!(text.contains("morsel: parallel"), "{text}");
+
+        // An aggregate over a pool-sized scan advertises partial-state
+        // merging; worker counts are elided everywhere for golden stability.
+        let plan = plan_of(&e, "SELECT SUM(v) FROM big WHERE v >= 0");
+        let text = explain(&e, &plan);
+        assert!(text.contains("morsel partials"), "{text}");
+        assert!(!text.contains("workers"), "{text}");
 
         // A scoped scan below the row threshold must say so instead.
         let plan = plan_of(&e, "SELECT v FROM big WHERE ttid = 1 AND v >= 0");
         let text = explain(&e, &plan);
-        assert!(text.contains("parallel: off (scan too small)"), "{text}");
+        assert!(text.contains("morsel: off (scan too small)"), "{text}");
     }
 
     #[test]

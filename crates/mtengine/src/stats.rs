@@ -21,6 +21,20 @@ pub struct StatsSnapshot {
     pub partitions_pruned: u64,
     /// Base-table scans that fanned their buckets out to worker threads.
     pub parallel_scans: u64,
+    /// Fixed-size row-range morsels dispatched to the worker pool. Every
+    /// pooled scan (and pooled aggregation) splits its selected buckets into
+    /// morsels of [`crate::EngineConfig::morsel_rows`] rows; this counts the
+    /// morsels actually pulled by workers.
+    pub morsels_dispatched: u64,
+    /// Worker threads spawned by pooled scans, accumulated per scan (a scan
+    /// running 3 workers adds 3). `morsels_dispatched / morsel_workers` is
+    /// the average pull depth per worker.
+    pub morsel_workers: u64,
+    /// Partial `HashAggregate` states merged into a final aggregate: one per
+    /// morsel whose partial groups were folded into the coordinator's state.
+    /// Zero for scans without an aggregation pipeline (plain pooled scans
+    /// merge row batches, not aggregate states).
+    pub partial_agg_merges: u64,
     /// Rows whose scan predicates were evaluated column-at-a-time by the
     /// vectorized kernels (columnar buckets only).
     pub rows_vectorized: u64,
@@ -69,6 +83,13 @@ impl StatsSnapshot {
                 .partitions_pruned
                 .saturating_sub(before.partitions_pruned),
             parallel_scans: self.parallel_scans.saturating_sub(before.parallel_scans),
+            morsels_dispatched: self
+                .morsels_dispatched
+                .saturating_sub(before.morsels_dispatched),
+            morsel_workers: self.morsel_workers.saturating_sub(before.morsel_workers),
+            partial_agg_merges: self
+                .partial_agg_merges
+                .saturating_sub(before.partial_agg_merges),
             rows_vectorized: self.rows_vectorized.saturating_sub(before.rows_vectorized),
             late_materialized: self
                 .late_materialized
@@ -98,6 +119,9 @@ pub struct EngineCounters {
     partitions_scanned: AtomicU64,
     partitions_pruned: AtomicU64,
     parallel_scans: AtomicU64,
+    morsels_dispatched: AtomicU64,
+    morsel_workers: AtomicU64,
+    partial_agg_merges: AtomicU64,
     rows_vectorized: AtomicU64,
     late_materialized: AtomicU64,
     dict_kernel_rows: AtomicU64,
@@ -146,6 +170,34 @@ impl EngineCounters {
     /// Current parallel-scan count.
     pub fn parallel_scans(&self) -> u64 {
         self.parallel_scans.load(Ordering::Relaxed)
+    }
+
+    /// Record one pooled scan's morsel accounting: morsels dispatched and
+    /// workers spawned.
+    pub fn add_morsel_scan(&self, morsels: u64, workers: u64) {
+        self.morsels_dispatched
+            .fetch_add(morsels, Ordering::Relaxed);
+        self.morsel_workers.fetch_add(workers, Ordering::Relaxed);
+    }
+
+    /// Current dispatched-morsel count.
+    pub fn morsels_dispatched(&self) -> u64 {
+        self.morsels_dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Current accumulated worker count.
+    pub fn morsel_workers(&self) -> u64 {
+        self.morsel_workers.load(Ordering::Relaxed)
+    }
+
+    /// Record partial aggregate states merged into a final aggregate.
+    pub fn add_partial_agg_merges(&self, n: u64) {
+        self.partial_agg_merges.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current partial-aggregate merge count.
+    pub fn partial_agg_merges(&self) -> u64 {
+        self.partial_agg_merges.load(Ordering::Relaxed)
     }
 
     /// Record one scan's vectorized-evaluation accounting: rows covered by
@@ -201,6 +253,9 @@ impl EngineCounters {
         self.partitions_scanned.store(0, Ordering::Relaxed);
         self.partitions_pruned.store(0, Ordering::Relaxed);
         self.parallel_scans.store(0, Ordering::Relaxed);
+        self.morsels_dispatched.store(0, Ordering::Relaxed);
+        self.morsel_workers.store(0, Ordering::Relaxed);
+        self.partial_agg_merges.store(0, Ordering::Relaxed);
         self.rows_vectorized.store(0, Ordering::Relaxed);
         self.late_materialized.store(0, Ordering::Relaxed);
         self.dict_kernel_rows.store(0, Ordering::Relaxed);

@@ -187,6 +187,171 @@ fn dictionary_paths_engage_only_on_dictionary_deployments() {
 }
 
 // ---------------------------------------------------------------------------
+// Morsel-driven parallel execution
+// ---------------------------------------------------------------------------
+
+/// The {morsel, serial} axis at a scale where the pool actually engages: the
+/// scale-0.08 cross above stays below the parallel-scan row floor (its
+/// "parallel" cells pin that the pool declines small scans), so this sweep
+/// loads the same generator output at scale 2.0 and compares a pooled
+/// deployment against the serial baseline.
+struct MorselFixtures {
+    morsel: MthDeployment,
+    serial: MthDeployment,
+}
+
+fn morsel_fixtures() -> &'static MorselFixtures {
+    static FIXTURES: OnceLock<MorselFixtures> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let config = MthConfig {
+            scale: 2.0,
+            tenants: TENANTS,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        };
+        let data: GeneratedData = gen::generate(&config);
+        let load = |engine_config| loader::load_from_data(config, engine_config, &data);
+        MorselFixtures {
+            morsel: load(EngineConfig::postgres_like().with_parallel_scan(4)),
+            serial: load(EngineConfig::postgres_like()),
+        }
+    })
+}
+
+/// All 22 MT-H queries at o2: morsel-driven execution must be invisible —
+/// identical row-sets and identical scan counters against the serial
+/// baseline.
+#[test]
+fn all_queries_agree_between_morsel_and_serial_execution() {
+    let f = morsel_fixtures();
+    for query in queries::all_query_numbers() {
+        let reference = run(&f.serial, query, OptLevel::O2, "serial");
+        let (rs, rows_scanned, pruned) = run(&f.morsel, query, OptLevel::O2, "morsel");
+        assert_eq!(reference.0, rs, "Q{query}: morsel differs from serial");
+        assert_eq!(
+            reference.1, rows_scanned,
+            "Q{query}: rows_scanned differs under the pool"
+        );
+        assert_eq!(
+            reference.2, pruned,
+            "Q{query}: partitions_pruned differs under the pool"
+        );
+    }
+}
+
+/// Q1 and Q6 must run scan → filter → partial-aggregate end to end under the
+/// worker pool: morsels dispatched, more than one worker, and per-morsel
+/// partial aggregate states merged at the end.
+#[test]
+fn q1_and_q6_aggregate_under_the_morsel_pool() {
+    let f = morsel_fixtures();
+    for query in [1usize, 6] {
+        let mut conn = f.morsel.server.connect(1);
+        conn.set_opt_level(OptLevel::O2);
+        conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+        conn.query(&queries::query(query)).unwrap();
+        let stats = conn.last_query_stats();
+        assert!(
+            stats.morsels_dispatched > 0,
+            "Q{query}: expected morsels on the pooled deployment, stats: {stats:?}"
+        );
+        assert!(
+            stats.morsel_workers > 1,
+            "Q{query}: expected more than one pool worker, stats: {stats:?}"
+        );
+        assert!(
+            stats.partial_agg_merges > 0,
+            "Q{query}: expected per-morsel partial aggregates, stats: {stats:?}"
+        );
+
+        // The serial baseline must report none of it (unless an MT_THREADS
+        // override deliberately forces the pool on, as CI's forced leg does).
+        if std::env::var("MT_THREADS").is_err() {
+            let mut conn = f.serial.server.connect(1);
+            conn.set_opt_level(OptLevel::O2);
+            conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+            conn.query(&queries::query(query)).unwrap();
+            let stats = conn.last_query_stats();
+            assert_eq!(
+                stats.morsels_dispatched, 0,
+                "Q{query}: serial dispatched morsels"
+            );
+            assert_eq!(stats.morsel_workers, 0, "Q{query}: serial reported workers");
+            assert_eq!(
+                stats.partial_agg_merges, 0,
+                "Q{query}: serial merged partials"
+            );
+        }
+    }
+}
+
+/// A blocking cursor pinned before racing INSERTs must materialize from its
+/// open-time watermark even when the scan itself runs on the morsel pool —
+/// every morsel is bounded at the cursor's per-bucket `(epoch, len)`
+/// snapshot, so post-pin rows never leak into the drained result.
+#[test]
+fn pinned_cursor_under_the_morsel_pool_never_observes_racing_inserts() {
+    let server = items_server(EngineConfig::default().with_parallel_scan(4));
+    // Grow Items past the parallel-scan row floor so the pinned scan pools:
+    // 12_000 extra 'gamma' rows in tenant 1's bucket.
+    let bulk: Vec<Vec<Value>> = (0..12_000i64)
+        .map(|i| vec![Value::Int(1), Value::Int(100_000 + i), Value::str("gamma")])
+        .collect();
+    server.load_rows("Items", bulk).expect("bulk load");
+
+    let mut conn = server.connect(1);
+    conn.execute(SCOPE).expect("scope statement");
+    let mut stmt = conn
+        .prepare("SELECT I_item_id FROM Items WHERE I_tag = 'gamma' ORDER BY I_item_id")
+        .unwrap();
+    let before = server.stats();
+    let mut cursor = stmt.cursor_with_batch(512).unwrap();
+    assert!(!cursor.is_streaming(), "ORDER BY must materialize at open");
+    assert!(
+        server.stats().morsels_dispatched > before.morsels_dispatched,
+        "the pinned materializing scan was expected to run on the pool"
+    );
+
+    // Commit new matching rows while the cursor drains.
+    let writer = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            for i in 0..50i64 {
+                server
+                    .load_rows(
+                        "Items",
+                        vec![vec![
+                            Value::Int(1),
+                            Value::Int(200_000 + i),
+                            Value::str("gamma"),
+                        ]],
+                    )
+                    .expect("racing insert");
+            }
+        })
+    };
+    let mut seen = 0usize;
+    while let Some(batch) = cursor.next_batch().unwrap() {
+        for row in &batch {
+            match row[0] {
+                // 20 pre-bulk gamma rows carry ids < 100_000.
+                Value::Int(id) => assert!(id < 200_000, "post-pin row {id} leaked"),
+                ref other => panic!("unexpected id value {other:?}"),
+            }
+        }
+        seen += batch.len();
+    }
+    writer.join().expect("writer thread");
+    assert_eq!(seen, 20 + 12_000, "pinned cursor row count");
+
+    // A fresh query sees the racing rows.
+    let live = conn
+        .query("SELECT COUNT(*) FROM Items WHERE I_tag = 'gamma'")
+        .unwrap();
+    assert_eq!(live.rows[0][0], Value::Int(20 + 12_000 + 50));
+}
+
+// ---------------------------------------------------------------------------
 // Cardinality-threshold demotion
 // ---------------------------------------------------------------------------
 

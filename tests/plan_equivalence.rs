@@ -276,13 +276,63 @@ fn parallel_path_engages_on_large_scans() {
         stats.parallel_scans > 0,
         "expected Q6's lineitem scan to fan out, stats: {stats:?}"
     );
+    assert!(
+        stats.morsels_dispatched > 0 && stats.morsel_workers > 1,
+        "expected the worker pool to pull row-range morsels, stats: {stats:?}"
+    );
+    assert!(
+        stats.partial_agg_merges > 0,
+        "expected Q6's global SUM to merge per-morsel partial states, stats: {stats:?}"
+    );
 
-    // The serial deployment must never report parallel scans.
+    // The serial deployment must never report parallel scans. (An MT_THREADS
+    // override deliberately forces the pool on for every deployment — CI's
+    // forced-pool leg relies on that — so the zero-asserts only hold without
+    // the override.)
+    if std::env::var("MT_THREADS").is_err() {
+        let mut conn = f.serial.server.connect(1);
+        conn.set_opt_level(OptLevel::O2);
+        conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+        conn.query(&queries::query(6)).unwrap();
+        let stats = conn.last_query_stats();
+        assert_eq!(stats.parallel_scans, 0);
+        assert_eq!(stats.morsels_dispatched, 0);
+        assert_eq!(stats.partial_agg_merges, 0);
+    }
+}
+
+/// Scans that keep an interpreted residual conjunct used to fall back to a
+/// serial scan; under the morsel scheduler the hybrid path runs on the pool
+/// too, with results and scan counters identical to the serial deployment.
+#[test]
+fn interpreted_residual_conjuncts_engage_the_pool() {
+    let f = fixtures();
+    // `l_quantity + 0` defeats the fast-predicate compiler, leaving a
+    // Generic conjunct that must be interpreted per surviving row.
+    let q = "SELECT l_orderkey, l_quantity FROM lineitem \
+             WHERE l_quantity + 0 < 10 ORDER BY l_orderkey, l_quantity";
+
+    let mut conn = f.parallel.server.connect(1);
+    conn.set_opt_level(OptLevel::O2);
+    conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
+    let pooled = conn.query(q).unwrap();
+    let pooled_stats = conn.last_query_stats();
+    assert!(
+        pooled_stats.parallel_scans > 0 && pooled_stats.morsels_dispatched > 0,
+        "hybrid filter must still run on the morsel pool, stats: {pooled_stats:?}"
+    );
+
     let mut conn = f.serial.server.connect(1);
     conn.set_opt_level(OptLevel::O2);
     conn.execute("SET SCOPE = \"IN (1, 2, 3, 4)\"").unwrap();
-    conn.query(&queries::query(6)).unwrap();
-    assert_eq!(conn.last_query_stats().parallel_scans, 0);
+    let serial = conn.query(q).unwrap();
+    let serial_stats = conn.last_query_stats();
+    assert_eq!(pooled, serial);
+    assert_eq!(pooled_stats.rows_scanned, serial_stats.rows_scanned);
+    assert_eq!(
+        pooled_stats.partitions_pruned,
+        serial_stats.partitions_pruned
+    );
 }
 
 /// Aggregates that appear only inside HAVING composites (BETWEEN, IS NULL)

@@ -57,6 +57,20 @@ fn nodict_deployment() -> MthDeployment {
     )
 }
 
+/// The same deployment with parallel scans left at the serial default — the
+/// baseline the morsel annotations are pinned against.
+fn serial_deployment() -> MthDeployment {
+    loader::load(
+        MthConfig {
+            scale: 0.05,
+            tenants: 4,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        },
+        EngineConfig::postgres_like(),
+    )
+}
+
 fn explain(dep: &MthDeployment, query: usize, level: OptLevel) -> String {
     let mut conn = dep.server.connect(1);
     conn.set_opt_level(level);
@@ -144,6 +158,28 @@ fn explain_marks_dictionary_scans() {
         "no-dict scan must stay vectorized but unmarked:\n{nodict_text}"
     );
     check_golden("explain_q6_o2_nodict.txt", &nodict_text);
+}
+
+/// On a serial deployment EXPLAIN carries no morsel annotation at all — the
+/// notes describe the pool, and there is none to describe. The serial plan
+/// is pinned as its own golden snapshot (the scheduler-off counterpart of
+/// `explain_q6_o2.txt`).
+#[test]
+fn explain_omits_morsel_notes_on_serial_deployments() {
+    let dep = deployment();
+    let text = explain(&dep, 6, OptLevel::O2);
+    assert!(
+        text.contains("morsel:"),
+        "pooled deployment lost its morsel annotation:\n{text}"
+    );
+
+    let serial_dep = serial_deployment();
+    let serial_text = explain(&serial_dep, 6, OptLevel::O2);
+    assert!(
+        !serial_text.contains("morsel"),
+        "serial plan must not mention the morsel scheduler:\n{serial_text}"
+    );
+    check_golden("explain_q6_o2_serial.txt", &serial_text);
 }
 
 /// At o4 every conversion-heavy query wraps its scans in the `mt_partials`
