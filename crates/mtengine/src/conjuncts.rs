@@ -16,7 +16,7 @@
 //! and materialize full rows for the surviving row ids alone.
 
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
 use mtsql::ast::{BinaryOperator, ColumnRef, Expr, FunctionCall};
@@ -341,6 +341,19 @@ pub enum CompiledPred {
         /// `NOT LIKE` when set.
         negated: bool,
     },
+    /// `column ∈ key set` — the probe-side membership kernel of a
+    /// decorrelated semi join: the build side's key values, shared as a hash
+    /// set and probed per row *before* materialization (the "bloom" filter
+    /// of the unnested plan; exact, not approximate). Never produced by the
+    /// predicate compiler — the executor injects it into the probe scan's
+    /// filter. NULL never matches (the set holds no NULLs, and a NULL probe
+    /// key cannot equal anything).
+    KeySet {
+        /// Column index into the scan schema.
+        idx: usize,
+        /// The build-side key values (one key column's projection).
+        set: Arc<HashSet<Value>>,
+    },
     /// Any other conjunct, evaluated by the interpreter (no kernel form).
     Generic(Expr),
 }
@@ -360,7 +373,8 @@ impl CompiledPred {
             CompiledPred::Compare { idx, .. }
             | CompiledPred::InSet { idx, .. }
             | CompiledPred::Between { idx, .. }
-            | CompiledPred::Like { idx, .. } => Some(*idx),
+            | CompiledPred::Like { idx, .. }
+            | CompiledPred::KeySet { idx, .. } => Some(*idx),
             CompiledPred::Generic(_) => None,
         }
     }
@@ -434,6 +448,7 @@ pub fn fast_pred_value(pred: &CompiledPred, v: &Value) -> bool {
             Some(text) => pattern.matches(text) != *negated,
             None => false,
         },
+        CompiledPred::KeySet { set, .. } => !v.is_null() && set.contains(v),
         CompiledPred::Generic(_) => unreachable!("fast paths only run compiled predicates"),
     }
 }
@@ -444,7 +459,8 @@ pub fn fast_pred_matches(pred: &CompiledPred, row: &[Value]) -> bool {
         CompiledPred::Compare { idx, .. }
         | CompiledPred::InSet { idx, .. }
         | CompiledPred::Between { idx, .. }
-        | CompiledPred::Like { idx, .. } => *idx,
+        | CompiledPred::Like { idx, .. }
+        | CompiledPred::KeySet { idx, .. } => *idx,
         CompiledPred::Generic(_) => unreachable!("fast paths only run compiled predicates"),
     };
     fast_pred_value(pred, &row[idx])
@@ -894,6 +910,46 @@ pub fn eval_vectorized_range(
                     sel.retain(|i| {
                         let i = offset + i;
                         !col.is_null(i) && (pattern.matches(&xs[i]) != negated)
+                    });
+                }
+                _ => sel.retain(|i| fast_pred_value(pred, &col.value(offset + i))),
+            }
+        }
+        CompiledPred::KeySet { idx, set } => {
+            let col = bucket.column(*idx);
+            match col.data() {
+                // Typed numeric/date lanes probe the shared set per value;
+                // `Value`'s `Hash`/`Eq` coerce Int and Float consistently
+                // with join-key equality, so the kernel matches the exact
+                // post-materialization membership check row for row.
+                ColumnVec::Int(xs) => {
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| set.contains(&Value::Int(x)),
+                        )
+                    });
+                }
+                ColumnVec::Date(xs) => {
+                    sel.narrow_words(|s, l| {
+                        chunk_mask(
+                            xs,
+                            |i| col.is_null(i),
+                            offset,
+                            s,
+                            l,
+                            |x| set.contains(&Value::Date(x)),
+                        )
+                    });
+                }
+                ColumnVec::Str(xs) => {
+                    sel.retain(|i| {
+                        let i = offset + i;
+                        !col.is_null(i) && set.contains(&Value::Str(Arc::clone(&xs[i])))
                     });
                 }
                 _ => sel.retain(|i| fast_pred_value(pred, &col.value(offset + i))),

@@ -31,7 +31,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -43,7 +43,7 @@ use crate::conjuncts::{
     fast_pred_matches, flip_comparison, has_columns, CompiledPred, Selection,
 };
 use crate::error::{err, EngineError, Result};
-use crate::plan::{HashAggregate, Plan, Planner, Project, SeqScan, SortKey};
+use crate::plan::{HashAggregate, JoinVariant, Plan, Planner, Project, SeqScan, SortKey};
 use crate::schema::Schema;
 use crate::table::{Bucket, BucketRead, Row, SharedRow};
 use crate::value::{add_months, civil_from_days, parse_date, Value};
@@ -506,11 +506,14 @@ impl<'e> Executor<'e> {
                 residual,
                 kind,
                 ..
-            } => {
-                let l = self.execute_plan(left, outer)?;
-                let r = self.execute_plan(right, outer)?;
-                self.hash_join(&l, &r, keys, residual, *kind, outer)
-            }
+            } => match kind {
+                JoinVariant::Plain(k) => {
+                    let l = self.execute_plan(left, outer)?;
+                    let r = self.execute_plan(right, outer)?;
+                    self.hash_join(&l, &r, keys, residual, *k, outer)
+                }
+                variant => self.key_join(left, right, keys, residual, *variant, outer),
+            },
             Plan::NestedLoopJoin {
                 left,
                 right,
@@ -1911,6 +1914,294 @@ impl<'e> Executor<'e> {
             }
         }
         Ok(Relation { schema, rows })
+    }
+
+    /// Execute a decorrelated semi-/anti-/aggregate-join (see
+    /// [`crate::decorrelate`]): materialize the build (right) side once,
+    /// project its keys into a hash map (NULL keys skipped — they equal
+    /// nothing), and filter the probe (left) side by key membership,
+    /// emitting probe rows unchanged and in order. When the probe side is a
+    /// base-table scan with plain column keys, the probe runs *inside* the
+    /// scan pipeline ([`Executor::key_join_scan`]); otherwise the probe plan
+    /// materializes and filters row-wise through the environment chain.
+    fn key_join(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        keys: &[(Expr, Expr)],
+        residual: &[Expr],
+        variant: JoinVariant,
+        outer: Option<&Env>,
+    ) -> Result<Relation> {
+        let build = self.execute_plan(right, outer)?;
+        let mut map: HashMap<Vec<Value>, usize> = HashMap::with_capacity(build.rows.len());
+        for (i, row) in build.rows.iter().enumerate() {
+            let env = Env {
+                schema: &build.schema,
+                row,
+                parent: outer,
+            };
+            let key = keys
+                .iter()
+                .map(|(_, r)| self.eval(r, &env))
+                .collect::<Result<Vec<_>>>()?;
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            map.entry(key).or_insert(i);
+        }
+        self.engine.note_subquery_unnested(1);
+
+        if let Plan::SeqScan(scan) = left {
+            if let Some(rel) =
+                self.key_join_scan(scan, keys, residual, variant, &build, &map, outer)?
+            {
+                return Ok(rel);
+            }
+        }
+        let l = self.execute_plan(left, outer)?;
+        let combined = l.schema.concat(&build.schema);
+        let mut rows = Vec::new();
+        for lrow in &l.rows {
+            let env = Env {
+                schema: &l.schema,
+                row: lrow,
+                parent: outer,
+            };
+            let key = keys
+                .iter()
+                .map(|(p, _)| self.eval(p, &env))
+                .collect::<Result<Vec<_>>>()?;
+            if self.key_probe_matches(
+                &key, variant, &map, &build, residual, lrow, &combined, outer,
+            )? {
+                rows.push(SharedRow::clone(lrow));
+            }
+        }
+        Ok(Relation {
+            schema: l.schema,
+            rows,
+        })
+    }
+
+    /// Membership outcome of one probe row against the build-key map. The
+    /// `Single` variant looks up its (unique) build row, NULL-extends on a
+    /// miss, and evaluates the rewritten comparison over the concatenated
+    /// row — a miss therefore compares against NULL aggregates and fails,
+    /// matching the interpreted aggregate over an empty inner set.
+    #[allow(clippy::too_many_arguments)]
+    fn key_probe_matches(
+        &self,
+        key: &[Value],
+        variant: JoinVariant,
+        map: &HashMap<Vec<Value>, usize>,
+        build: &Relation,
+        residual: &[Expr],
+        lrow: &[Value],
+        combined: &Schema,
+        outer: Option<&Env>,
+    ) -> Result<bool> {
+        let has_null = key.iter().any(Value::is_null);
+        match variant {
+            JoinVariant::Semi => Ok(!has_null && map.contains_key(key)),
+            JoinVariant::Anti => Ok(has_null || !map.contains_key(key)),
+            JoinVariant::Single => {
+                let hit = if has_null {
+                    None
+                } else {
+                    map.get(key).copied()
+                };
+                let row = match hit {
+                    Some(i) => concat_rows(lrow, &build.rows[i]),
+                    None => {
+                        let mut r = Vec::with_capacity(lrow.len() + build.schema.len());
+                        r.extend_from_slice(lrow);
+                        r.extend(std::iter::repeat_n(Value::Null, build.schema.len()));
+                        r
+                    }
+                };
+                let env = Env {
+                    schema: combined,
+                    row: &row,
+                    parent: outer,
+                };
+                for r in residual {
+                    if !self.eval(r, &env)?.as_bool().unwrap_or(false) {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            JoinVariant::Plain(_) => unreachable!("plain joins use hash_join"),
+        }
+    }
+
+    /// Probe a decorrelated join inside the probe-side scan itself:
+    /// snapshot-bounded bucket selection, the scan's compiled filter — plus,
+    /// for semi joins, the build-key columns injected as membership kernels
+    /// ([`CompiledPred::KeySet`], code space on dictionary-encoded keys), so
+    /// non-matching rows are never materialized — and the PR 7 morsel pool
+    /// with the key probe running per morsel on the workers. Returns `None`
+    /// when a probe key is not a plain scan column; the caller falls back to
+    /// materialize-then-filter (correctness never depends on this path).
+    #[allow(clippy::too_many_arguments)]
+    fn key_join_scan(
+        &self,
+        scan: &SeqScan,
+        keys: &[(Expr, Expr)],
+        residual: &[Expr],
+        variant: JoinVariant,
+        build: &Relation,
+        map: &HashMap<Vec<Value>, usize>,
+        outer: Option<&Env>,
+    ) -> Result<Option<Relation>> {
+        let mut key_cols = Vec::with_capacity(keys.len());
+        for (probe, _) in keys {
+            let Expr::Column(c) = probe else {
+                return Ok(None);
+            };
+            let Some(idx) = scan.schema.resolve(c) else {
+                return Ok(None);
+            };
+            key_cols.push(idx);
+        }
+
+        let table = self.engine.database().table(&scan.table)?;
+        let prune_keys = self.effective_prune_keys(scan, table.partition_column());
+        let (selected, buckets_scanned, buckets_pruned) =
+            select_buckets(table, &prune_keys, self.snapshot);
+        let mut bucket_filter = self.compile_bucket_filter(scan, prune_keys.is_some());
+        // Per-column build-key sets are a superset filter for multi-key
+        // joins; the exact tuple probe below still runs on the survivors.
+        // Anti/aggregate joins keep (or NULL-extend) non-matching rows, so
+        // only semi joins may pre-filter.
+        if variant == JoinVariant::Semi {
+            for (i, &idx) in key_cols.iter().enumerate() {
+                let set: HashSet<Value> = map.keys().map(|k| k[i].clone()).collect();
+                bucket_filter.push(CompiledPred::KeySet {
+                    idx,
+                    set: Arc::new(set),
+                });
+            }
+        }
+
+        let combined = scan.schema.concat(&build.schema);
+        let probe_key = |key: &mut Vec<Value>, row: &[Value]| {
+            key.clear();
+            key.extend(key_cols.iter().map(|&i| row[i].clone()));
+        };
+        let total: usize = selected.iter().map(|&(_, v)| v).sum();
+        let budget = effective_parallel_budget(&self.engine.config());
+        let fast = bucket_filter.iter().all(CompiledPred::is_fast);
+        let mut rows: Vec<SharedRow> = Vec::new();
+        let mut tally = ScanTally::default();
+        // Same pool gate as `scan_buckets`; the probe itself is pool-safe by
+        // construction (keys read by index, and the rewritten residual only
+        // references the probe and build schemas — see `decorrelate`).
+        let pool = if budget > 1 && (fast || outer.is_none()) {
+            let morsels = build_morsels(&selected, morsel_rows(&self.engine.config()));
+            let threads = scan_worker_count(budget, morsels.len(), total);
+            (threads > 1).then_some((morsels, threads))
+        } else {
+            None
+        };
+        if let Some((morsels, threads)) = pool {
+            let results =
+                run_morsel_pool(self.engine, &self.params, threads, &morsels, |worker, m| {
+                    let mut local: Vec<SharedRow> = Vec::new();
+                    let t = worker.scan_morsel(
+                        selected[m.bucket].0,
+                        m,
+                        &bucket_filter,
+                        &scan.schema,
+                        &mut local,
+                    )?;
+                    let mut kept: Vec<SharedRow> = Vec::with_capacity(local.len());
+                    let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+                    for row in local {
+                        probe_key(&mut key, &row);
+                        if worker.key_probe_matches(
+                            &key, variant, map, build, residual, &row, &combined, None,
+                        )? {
+                            kept.push(row);
+                        }
+                    }
+                    Ok((kept, t))
+                })?;
+            for (local, t) in results {
+                rows.extend(local);
+                tally.absorb(t);
+            }
+            self.engine.note_parallel_scan();
+            self.engine
+                .note_morsel_scan(morsels.len() as u64, threads as u64);
+        } else {
+            let mut scanned: Vec<SharedRow> = Vec::new();
+            if fast {
+                for &(bucket, visible) in &selected {
+                    tally.absorb(self.scan_bucket_fast_serial(
+                        bucket,
+                        visible,
+                        &bucket_filter,
+                        &mut scanned,
+                    )?);
+                }
+            } else {
+                for &(bucket, visible) in &selected {
+                    tally.absorb(self.scan_bucket_interpreted(
+                        bucket,
+                        visible,
+                        &bucket_filter,
+                        &scan.schema,
+                        outer,
+                        &mut scanned,
+                    )?);
+                }
+            }
+            let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+            for row in scanned {
+                probe_key(&mut key, &row);
+                if self.key_probe_matches(
+                    &key, variant, map, build, residual, &row, &combined, outer,
+                )? {
+                    rows.push(row);
+                }
+            }
+        }
+
+        // Loose rows: full pushed filter (the bucket filter already is the
+        // full filter when nothing was pruned), then the exact key probe.
+        let full_filter = if prune_keys.is_none() {
+            Some(bucket_filter)
+        } else if table.loose_rows().is_empty() {
+            None
+        } else {
+            Some(self.compile_full_scan_filter(scan))
+        };
+        if let Some(full_filter) = &full_filter {
+            let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+            for row in self.visible_loose_rows(table) {
+                tally.visited += 1;
+                if self.filter_matches(full_filter, &scan.schema, row, outer)? {
+                    probe_key(&mut key, row);
+                    if self.key_probe_matches(
+                        &key, variant, map, build, residual, row, &combined, outer,
+                    )? {
+                        rows.push(SharedRow::clone(row));
+                    }
+                }
+            }
+        }
+
+        self.engine.note_rows_scanned(tally.visited);
+        self.engine.note_partitions(buckets_scanned, buckets_pruned);
+        self.engine
+            .note_vectorized(tally.vectorized, tally.materialized);
+        self.engine.note_dict_kernel_rows(tally.dict);
+        Ok(Some(Relation {
+            schema: scan.schema.clone(),
+            rows,
+        }))
     }
 
     fn nested_loop_join(

@@ -108,6 +108,7 @@
 
 pub mod conjuncts;
 pub mod cursor;
+pub mod decorrelate;
 pub mod error;
 pub mod exec;
 pub mod plan;
@@ -187,6 +188,15 @@ pub struct EngineConfig {
     /// `columnar_scan`; disabling keeps plain `Arc<str>` arrays — the
     /// equivalence baseline, results are identical either way.
     pub dictionary_encoding: bool,
+    /// Unnest correlated sub-queries at plan time: correlated
+    /// `EXISTS`/`NOT EXISTS` predicates become semi-/anti-join variants of
+    /// `HashJoin`, and correlated scalar-aggregate comparisons become
+    /// aggregate-then-join plans (see the [`decorrelate`] module). The
+    /// rewrite fires only when it is provably equivalent to the interpreted
+    /// per-row sub-query; anything else keeps the correlated `Filter`.
+    /// Disabling keeps every sub-query interpreted — the equivalence
+    /// baseline, results are identical either way.
+    pub decorrelation: bool,
     /// Log every mutation to a write-ahead log before applying it in
     /// memory (see the [`wal`] module). Requires a log path, so the flag
     /// is effective through [`Engine::open`] (which sets it); on
@@ -205,6 +215,7 @@ impl Default for EngineConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             columnar_scan: true,
             dictionary_encoding: true,
+            decorrelation: true,
             durability: false,
         }
     }
@@ -258,6 +269,14 @@ impl EngineConfig {
     /// verified against.
     pub fn without_dictionary_encoding(mut self) -> Self {
         self.dictionary_encoding = false;
+        self
+    }
+
+    /// Disable sub-query decorrelation (builder-style): correlated
+    /// sub-queries stay interpreted per outer row, the baseline the
+    /// unnested join plans are verified against.
+    pub fn without_decorrelation(mut self) -> Self {
+        self.decorrelation = false;
         self
     }
 
@@ -668,6 +687,15 @@ impl Engine {
         }
     }
 
+    /// Note correlated sub-queries executed as unnested join plans (one per
+    /// semi-/anti-/aggregate-join node executed — counted at execution time
+    /// so prepared-plan cache hits still report engagement).
+    pub(crate) fn note_subquery_unnested(&self, n: u64) {
+        if n > 0 {
+            self.counters.add_subqueries_unnested(n);
+        }
+    }
+
     /// Note one prepared-plan cache lookup outcome (called by the MTBase
     /// middleware, which owns the cache; the counter lives here so it resets
     /// and snapshots together with the execution statistics).
@@ -689,6 +717,7 @@ impl Engine {
             rows_vectorized: self.counters.rows_vectorized(),
             late_materialized: self.counters.late_materialized(),
             dict_kernel_rows: self.counters.dict_kernel_rows(),
+            subqueries_unnested: self.counters.subqueries_unnested(),
             dict_columns: self.db.tables().map(|t| t.dict_column_count() as u64).sum(),
             udf_calls: udf.calls,
             udf_cache_hits: udf.cache_hits,

@@ -116,6 +116,34 @@ pub struct HashAggregate {
     pub schema: Schema,
 }
 
+/// How a [`Plan::HashJoin`] combines its probe (left) and build (right)
+/// sides. `Plain` carries the SQL join kinds; the other variants are
+/// produced only by sub-query decorrelation (see the [`crate::decorrelate`]
+/// module) and act as *filters* on the probe side: they emit probe rows
+/// unchanged (and in order), so they are drop-in replacements for an
+/// interpreted correlated predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinVariant {
+    /// An ordinary SQL join producing concatenated rows.
+    Plain(JoinKind),
+    /// Semi join (decorrelated `EXISTS`): emit probe rows with at least one
+    /// build-side key match. NULL probe keys never match (`=` over NULL is
+    /// not true), matching the interpreted `EXISTS` over an empty inner set.
+    Semi,
+    /// Anti join (decorrelated `NOT EXISTS`): emit probe rows with *no*
+    /// build-side key match — including rows with NULL probe keys, which
+    /// cannot match anything.
+    Anti,
+    /// Aggregate join (decorrelated scalar-aggregate comparison): look up at
+    /// most one build row per probe row (build keys are the GROUP BY keys of
+    /// an aggregated build side, hence unique), null-extend on a miss, and
+    /// emit the probe row iff the rewritten comparison in `residual` holds
+    /// over the concatenated row. A miss yields NULL aggregates, so the
+    /// comparison is not-true — exactly the interpreted aggregate-over-empty
+    /// behaviour (`AVG`/`SUM`/`MIN`/`MAX` only; `COUNT` is never rewritten).
+    Single,
+}
+
 /// A physical operator DAG node.
 #[derive(Debug, Clone)]
 pub enum Plan {
@@ -135,9 +163,11 @@ pub enum Plan {
         right: Box<Plan>,
         /// `(left key, right key)` equi-join pairs.
         keys: Vec<(Expr, Expr)>,
-        /// Non-equi ON conjuncts checked per candidate pair.
+        /// Non-equi ON conjuncts checked per candidate pair. For
+        /// [`JoinVariant::Single`] this holds the rewritten scalar
+        /// comparison, evaluated over the concatenated probe+build row.
         residual: Vec<Expr>,
-        kind: JoinKind,
+        kind: JoinVariant,
         schema: Schema,
     },
     NestedLoopJoin {
@@ -187,7 +217,7 @@ impl Plan {
 
 /// Lowers queries into [`Plan`]s against one engine's catalog and config.
 pub struct Planner<'e> {
-    engine: &'e Engine,
+    pub(crate) engine: &'e Engine,
 }
 
 impl<'e> Planner<'e> {
@@ -203,7 +233,7 @@ impl<'e> Planner<'e> {
 
     /// Lower a query with extra conjuncts pushed down from an enclosing
     /// query (derived-table pushdown); they join the WHERE conjunct pool.
-    fn plan(&self, query: &Query, extra: Vec<Expr>) -> Result<Plan> {
+    pub(crate) fn plan(&self, query: &Query, extra: Vec<Expr>) -> Result<Plan> {
         let select = &query.body;
         let input = self.plan_from_where(select, extra)?;
 
@@ -355,7 +385,7 @@ impl<'e> Planner<'e> {
                         right: Box::new(right),
                         keys,
                         residual: Vec::new(),
-                        kind: JoinKind::Inner,
+                        kind: JoinVariant::Plain(JoinKind::Inner),
                         schema,
                     }
                 }
@@ -391,7 +421,13 @@ impl<'e> Planner<'e> {
             remaining = still;
         }
 
-        // Whatever is left (correlated predicates, sub-queries, ...).
+        // Whatever is left (correlated predicates, sub-queries, ...): first
+        // give decorrelation a chance to rewrite correlated sub-query
+        // conjuncts into semi-/anti-/aggregate-join nodes over `current`;
+        // anything it cannot prove equivalent stays interpreted.
+        if self.engine.config().decorrelation {
+            remaining = self.decorrelate_conjuncts(&mut current, remaining)?;
+        }
         if !remaining.is_empty() {
             current = Plan::Filter {
                 input: Box::new(current),
@@ -500,7 +536,7 @@ impl<'e> Planner<'e> {
                         right: Box::new(r),
                         keys,
                         residual,
-                        kind: *kind,
+                        kind: JoinVariant::Plain(*kind),
                         schema,
                     }
                 };
@@ -624,7 +660,7 @@ impl<'e> Planner<'e> {
 
     /// Schema of a FROM item when it is a plain base table (not a view);
     /// usable for pushability checks without planning the item.
-    fn base_table_schema(&self, table_ref: &TableRef) -> Option<Schema> {
+    pub(crate) fn base_table_schema(&self, table_ref: &TableRef) -> Option<Schema> {
         match table_ref {
             TableRef::Table { name, alias } if self.engine.database().view(name).is_none() => {
                 let binding = alias.as_deref().unwrap_or(name);
@@ -1071,9 +1107,25 @@ fn render(engine: &Engine, plan: &Plan, depth: usize, out: &mut String) {
                 .map(|(l, r)| format!("{l} = {r}"))
                 .collect::<Vec<_>>()
                 .join(" AND ");
-            out.push_str(&format!("HashJoin {kind:?} [{keys_text}]"));
+            // Plain SQL joins keep the historic `HashJoin Inner`/`Left`
+            // rendering; the decorrelated variants get their own labels plus
+            // a note on how the build-side key set reaches the probe side.
+            let kind_text = match kind {
+                JoinVariant::Plain(k) => format!("{k:?}"),
+                JoinVariant::Semi => "semi".to_string(),
+                JoinVariant::Anti => "anti".to_string(),
+                JoinVariant::Single => "agg-join".to_string(),
+            };
+            out.push_str(&format!("HashJoin {kind_text} [{keys_text}]"));
             if !residual.is_empty() {
                 out.push_str(&format!(" [residual: {}]", join_exprs(residual)));
+            }
+            match kind {
+                JoinVariant::Semi => out.push_str(" [bloom: build-key kernel on probe scan]"),
+                JoinVariant::Anti | JoinVariant::Single => {
+                    out.push_str(" [bloom: build-key set probe]")
+                }
+                JoinVariant::Plain(_) => {}
             }
             out.push('\n');
             render(engine, left, depth + 1, out);

@@ -52,6 +52,12 @@ pub struct StatsSnapshot {
     /// one dictionary-decoded column. An engagement counter — one row can
     /// count several times (once per code-space step it took).
     pub dict_kernel_rows: u64,
+    /// Correlated sub-queries executed as unnested join plans: one per
+    /// semi-/anti-/aggregate-join node executed (counted at execution time,
+    /// so prepared-plan cache hits still report engagement). Zero when
+    /// [`crate::EngineConfig::decorrelation`] is off or a query's
+    /// sub-queries were not rewritable.
+    pub subqueries_unnested: u64,
     /// Columns currently dictionary-encoded across all tables (a live gauge
     /// computed at snapshot time, not an accumulating counter: one per
     /// (table, column) pair with at least one dictionary-encoded bucket).
@@ -97,6 +103,9 @@ impl StatsSnapshot {
             dict_kernel_rows: self
                 .dict_kernel_rows
                 .saturating_sub(before.dict_kernel_rows),
+            subqueries_unnested: self
+                .subqueries_unnested
+                .saturating_sub(before.subqueries_unnested),
             // A gauge, not a counter: the delta keeps the current value so
             // per-statement snapshots still report the live encoding state.
             dict_columns: self.dict_columns,
@@ -125,6 +134,7 @@ pub struct EngineCounters {
     rows_vectorized: AtomicU64,
     late_materialized: AtomicU64,
     dict_kernel_rows: AtomicU64,
+    subqueries_unnested: AtomicU64,
     prepared_cache_hits: AtomicU64,
     prepared_cache_misses: AtomicU64,
 }
@@ -228,6 +238,16 @@ impl EngineCounters {
         self.dict_kernel_rows.load(Ordering::Relaxed)
     }
 
+    /// Record correlated sub-queries executed as unnested join plans.
+    pub fn add_subqueries_unnested(&self, n: u64) {
+        self.subqueries_unnested.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current unnested sub-query count.
+    pub fn subqueries_unnested(&self) -> u64 {
+        self.subqueries_unnested.load(Ordering::Relaxed)
+    }
+
     /// Record one prepared-plan cache lookup outcome.
     pub fn add_prepared_cache(&self, hit: bool) {
         if hit {
@@ -259,6 +279,7 @@ impl EngineCounters {
         self.rows_vectorized.store(0, Ordering::Relaxed);
         self.late_materialized.store(0, Ordering::Relaxed);
         self.dict_kernel_rows.store(0, Ordering::Relaxed);
+        self.subqueries_unnested.store(0, Ordering::Relaxed);
         self.prepared_cache_hits.store(0, Ordering::Relaxed);
         self.prepared_cache_misses.store(0, Ordering::Relaxed);
     }

@@ -148,6 +148,179 @@ fn kernel_heavy_queries_agree_at_o4() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Decorrelation axis
+// ---------------------------------------------------------------------------
+
+/// MT-H queries whose correlated sub-queries unnest into join plans (Q2's
+/// MIN-over-partsupp, Q4's EXISTS, Q17's AVG threshold, Q20's nested SUM,
+/// Q22's NOT EXISTS). Pinned as a constant so the engagement assert below
+/// fails loudly if a rewrite silently stops firing — a shrinking set is a
+/// regression, not a neutral plan change.
+const DECORRELATING: &[usize] = &[2, 4, 17, 20, 22];
+
+/// The `without_decorrelation()` twins of the configuration cross: identical
+/// generator output and physical layout, correlated sub-queries interpreted
+/// per outer row. Decorrelation is a pure plan rewrite — every cell must
+/// return identical row-sets; only the scan counters may (and for Q22,
+/// massively do) differ.
+fn baseline_fixtures() -> &'static Fixtures {
+    static FIXTURES: OnceLock<Fixtures> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let config = MthConfig {
+            scale: 0.08,
+            tenants: TENANTS,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        };
+        let data: GeneratedData = gen::generate(&config);
+        let load = |engine_config| loader::load_from_data(config, engine_config, &data);
+        let base = || EngineConfig::postgres_like().without_decorrelation();
+        Fixtures {
+            cells: vec![
+                ("nodecorr/dict/columnar/serial", load(base())),
+                (
+                    "nodecorr/dict/columnar/parallel",
+                    load(base().with_parallel_scan(4)),
+                ),
+                (
+                    "nodecorr/nodict/columnar/serial",
+                    load(base().without_dictionary_encoding()),
+                ),
+                (
+                    "nodecorr/nodict/columnar/parallel",
+                    load(base().without_dictionary_encoding().with_parallel_scan(4)),
+                ),
+                (
+                    "nodecorr/dict/row/serial",
+                    load(base().without_columnar_scan()),
+                ),
+                (
+                    "nodecorr/dict/row/parallel",
+                    load(base().without_columnar_scan().with_parallel_scan(4)),
+                ),
+                (
+                    "nodecorr/nodict/row/serial",
+                    load(base().without_columnar_scan().without_dictionary_encoding()),
+                ),
+                (
+                    "nodecorr/nodict/row/parallel",
+                    load(
+                        base()
+                            .without_columnar_scan()
+                            .without_dictionary_encoding()
+                            .with_parallel_scan(4),
+                    ),
+                ),
+            ],
+        }
+    })
+}
+
+/// All 22 MT-H queries, decorrelated vs interpreted, cell by cell across the
+/// whole {dict, no-dict} × {columnar, row} × {parallel, serial} cross:
+/// row-sets must be bit-identical. Scan counters are deliberately *not*
+/// compared across this axis — cutting them is the point of the rewrite.
+#[test]
+fn all_queries_agree_with_and_without_decorrelation() {
+    let decorr = fixtures();
+    let baseline = baseline_fixtures();
+    for query in queries::all_query_numbers() {
+        for ((label, dep), (blabel, bdep)) in decorr.cells.iter().zip(&baseline.cells) {
+            let (rs, _, _) = run(dep, query, OptLevel::O2, label);
+            let (brs, _, _) = run(bdep, query, OptLevel::O2, blabel);
+            assert_eq!(
+                rs, brs,
+                "Q{query}: decorrelated {label} differs from interpreted {blabel}"
+            );
+        }
+    }
+}
+
+/// The decorrelating queries at o4, where rewrites wrap scans in derived
+/// tables and Q22's probe side is itself a join tree — the relation-probe
+/// fallback path must agree with the interpreted plans too.
+#[test]
+fn decorrelating_queries_agree_with_interpreted_plans_at_o4() {
+    let decorr = fixtures();
+    let baseline = baseline_fixtures();
+    for &query in DECORRELATING {
+        for ((label, dep), (blabel, bdep)) in decorr.cells.iter().zip(&baseline.cells) {
+            let (rs, _, _) = run(dep, query, OptLevel::O4, label);
+            let (brs, _, _) = run(bdep, query, OptLevel::O4, blabel);
+            assert_eq!(
+                rs, brs,
+                "Q{query} at o4: decorrelated {label} differs from interpreted {blabel}"
+            );
+        }
+    }
+}
+
+/// Engagement + rows-scanned ceiling: every query in `DECORRELATING` must
+/// actually report `subqueries_unnested` (the rewrite fires), the interpreted
+/// baseline must never report it, and the unnested plans must scan no more
+/// rows than the interpreted ones. Q22 — the motivating two-orders-of-
+/// magnitude case — additionally gets an absolute ceiling: at most 3× the
+/// scoped base rows of the two tables it touches, so a regression back to
+/// per-outer-row rescans fails even if the baseline regresses with it.
+#[test]
+fn decorrelation_engages_and_caps_rows_scanned() {
+    let f = fixtures();
+    let b = baseline_fixtures();
+    for &query in DECORRELATING {
+        let (_, rows_scanned, _) = run(&f.cells[0].1, query, OptLevel::O2, "decorr");
+        let stats = {
+            let mut conn = f.cells[0].1.server.connect(1);
+            conn.set_opt_level(OptLevel::O2);
+            conn.execute(SCOPE).unwrap();
+            conn.query(&queries::query(query)).unwrap();
+            conn.last_query_stats()
+        };
+        assert!(
+            stats.subqueries_unnested > 0,
+            "Q{query}: decorrelation did not fire: {stats:?}"
+        );
+        let (_, baseline_scanned, _) = run(&b.cells[0].1, query, OptLevel::O2, "nodecorr");
+        let bstats = {
+            let mut conn = b.cells[0].1.server.connect(1);
+            conn.set_opt_level(OptLevel::O2);
+            conn.execute(SCOPE).unwrap();
+            conn.query(&queries::query(query)).unwrap();
+            conn.last_query_stats()
+        };
+        assert_eq!(
+            bstats.subqueries_unnested, 0,
+            "Q{query}: the no-decorrelation baseline rewrote a subquery"
+        );
+        // The build side scans each inner table exactly once, so the
+        // unnested plan stays within a small constant of the interpreted
+        // count even at scales tiny enough for the interpreted plan's
+        // repeated-scan row cache to win outright (Q2 here). A rewrite that
+        // regressed to per-outer-row rescans would blow far past this.
+        assert!(
+            rows_scanned <= 3 * baseline_scanned,
+            "Q{query}: unnested plan scanned {rows_scanned} rows vs interpreted {baseline_scanned}"
+        );
+    }
+
+    // Q22's absolute ceiling: scoped base rows of customer + orders, measured
+    // through the same scan counters the ceiling is expressed in.
+    let base_rows = |table: &str| {
+        let mut conn = f.cells[0].1.server.connect(1);
+        conn.set_opt_level(OptLevel::O2);
+        conn.execute(SCOPE).unwrap();
+        conn.query(&format!("SELECT COUNT(*) FROM {table}"))
+            .unwrap();
+        conn.last_query_stats().rows_scanned
+    };
+    let base = base_rows("customer") + base_rows("orders");
+    let (_, q22_scanned, _) = run(&f.cells[0].1, 22, OptLevel::O2, "decorr");
+    assert!(
+        q22_scanned <= 3 * base,
+        "Q22 scanned {q22_scanned} rows; ceiling is 3x base rows ({base})"
+    );
+}
+
 /// The dictionary deployments must actually exercise the code-space paths —
 /// predicate kernels (Q12's `l_shipmode IN`), code-space grouping (Q1's
 /// `l_returnflag, l_linestatus`) and dictionary-decoding materialization

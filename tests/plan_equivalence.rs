@@ -335,6 +335,136 @@ fn interpreted_residual_conjuncts_engage_the_pool() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Decorrelated join semantics
+// ---------------------------------------------------------------------------
+
+/// Build a two-table deployment for the decorrelation property: an outer
+/// `Cust` and an inner `Ords` with nullable join-key columns, rows spread
+/// across two tenants so the scope rewrite injects `ttid` equi-correlations
+/// into the sub-queries (exactly the Q22 shape). Tables are tiny — a fresh
+/// pair of servers per generated case keeps the decorrelated and interpreted
+/// deployments bit-identical in content.
+fn join_server(
+    engine_config: EngineConfig,
+    cust: &[(Option<i64>, i64)],
+    ords: &[(Option<i64>, i64)],
+) -> std::sync::Arc<mtbase::MtBase> {
+    use mtbase::Value;
+    use mtsql::ast::Statement;
+    let server = mtbase::MtBase::new(engine_config);
+    for ddl in [
+        "CREATE TABLE Cust SPECIFIC (c_id INTEGER SPECIFIC, c_val INTEGER NOT NULL SPECIFIC)",
+        "CREATE TABLE Ords SPECIFIC (o_cust INTEGER SPECIFIC, o_val INTEGER NOT NULL SPECIFIC)",
+    ] {
+        match mtsql::parse_statement(ddl).expect("DDL parses") {
+            Statement::CreateTable(ct) => server.create_table(&ct).expect("create table"),
+            _ => unreachable!(),
+        }
+    }
+    for t in 1..=2 {
+        server.register_tenant(t).expect("register tenant");
+    }
+    server.grant_read_all(1).expect("grant read");
+    let int_or_null = |v: Option<i64>| v.map_or(Value::Null, Value::Int);
+    let rows = |data: &[(Option<i64>, i64)]| -> Vec<Vec<Value>> {
+        data.iter()
+            .enumerate()
+            .map(|(i, &(key, val))| {
+                vec![
+                    Value::Int(i as i64 % 2 + 1),
+                    int_or_null(key),
+                    Value::Int(val),
+                ]
+            })
+            .collect()
+    };
+    if !cust.is_empty() {
+        server.load_rows("Cust", rows(cust)).expect("load Cust");
+    }
+    if !ords.is_empty() {
+        server.load_rows("Ords", rows(ords)).expect("load Ords");
+    }
+    server
+}
+
+/// Correlated predicate templates over `Cust`/`Ords`. The first five unnest
+/// (equi-correlated EXISTS / NOT EXISTS / scalar aggregates on either side
+/// of the comparison); the last two are deliberate bail cases — a non-equi
+/// correlation and a COUNT aggregate (whose zero-over-empty vs NULL-over-
+/// empty semantics the rewrite refuses to touch) — pinning that the planner
+/// falls back to the interpreted sub-query rather than rewriting wrongly.
+const JOIN_TEMPLATES: [&str; 7] = [
+    "EXISTS (SELECT 1 FROM Ords WHERE o_cust = c_id AND o_val > {k})",
+    "NOT EXISTS (SELECT 1 FROM Ords WHERE o_cust = c_id AND o_val > {k})",
+    "c_val < (SELECT AVG(o_val) FROM Ords WHERE o_cust = c_id)",
+    "c_val >= (SELECT SUM(o_val) FROM Ords WHERE o_cust = c_id)",
+    "(SELECT MAX(o_val) FROM Ords WHERE o_cust = c_id) > {k}",
+    "NOT EXISTS (SELECT 1 FROM Ords WHERE o_cust = c_id AND o_val <> c_val)",
+    "c_val < (SELECT COUNT(*) FROM Ords WHERE o_cust = c_id)",
+];
+const UNNESTING_TEMPLATES: usize = 5;
+
+proptest! {
+    /// Decorrelated semi-/anti-/aggregate-joins must agree with the
+    /// interpreted correlated plans on randomized data — including NULL join
+    /// keys on both sides (anti-join 3VL: a NULL probe key matches nothing,
+    /// so `NOT EXISTS` keeps the row) and empty inner sides (scalar
+    /// aggregates over zero rows are NULL, never zero). The unnesting
+    /// templates must actually rewrite, and the baseline deployment must
+    /// never report an unnested sub-query.
+    #[test]
+    fn decorrelated_joins_match_interpreted_subqueries(
+        template_idx in 0_usize..JOIN_TEMPLATES.len(),
+        cust_n in 0_usize..10,
+        ords_n in 0_usize..12,
+        k in 0_i64..12,
+        seed in 0_u64..1_000_000,
+    ) {
+        // Derive table contents from the seed with a local SplitMix step —
+        // ~1 in 5 join keys NULL, values small enough to collide often.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 27)
+        };
+        let mut gen_rows = |n: usize| -> Vec<(Option<i64>, i64)> {
+            (0..n)
+                .map(|_| {
+                    let key = if next() % 5 == 0 { None } else { Some((next() % 6) as i64) };
+                    (key, (next() % 12) as i64)
+                })
+                .collect()
+        };
+        let cust = gen_rows(cust_n);
+        let ords = gen_rows(ords_n);
+
+        let decorr = join_server(EngineConfig::default(), &cust, &ords);
+        let interp = join_server(EngineConfig::default().without_decorrelation(), &cust, &ords);
+        let pred = JOIN_TEMPLATES[template_idx].replace("{k}", &k.to_string());
+        let sql = format!("SELECT c_id, c_val FROM Cust WHERE {pred} ORDER BY c_val, c_id");
+
+        let run = |server: &std::sync::Arc<mtbase::MtBase>| {
+            let mut conn = server.connect(1);
+            conn.set_opt_level(OptLevel::O2);
+            conn.execute("SET SCOPE = \"IN (1, 2)\"").expect("scope statement");
+            let rs = conn.query(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            (rs, conn.last_query_stats().subqueries_unnested)
+        };
+        let (drs, dunnested) = run(&decorr);
+        let (irs, iunnested) = run(&interp);
+        prop_assert_eq!(&drs, &irs);
+        prop_assert_eq!(iunnested, 0);
+        if template_idx < UNNESTING_TEMPLATES {
+            prop_assert!(dunnested > 0);
+        } else {
+            prop_assert_eq!(dunnested, 0);
+        }
+    }
+}
+
 /// Aggregates that appear only inside HAVING composites (BETWEEN, IS NULL)
 /// must give identical results at every optimization level: either the o3
 /// distribution handles them or it backs off to the undistributed form — it

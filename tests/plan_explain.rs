@@ -71,6 +71,23 @@ fn serial_deployment() -> MthDeployment {
     )
 }
 
+/// The same deployment with sub-query decorrelation disabled — correlated
+/// EXISTS / scalar sub-queries stay interpreted per outer row, the baseline
+/// the semi-/anti-join plans are pinned against.
+fn nodecorr_deployment() -> MthDeployment {
+    loader::load(
+        MthConfig {
+            scale: 0.05,
+            tenants: 4,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        },
+        EngineConfig::postgres_like()
+            .with_parallel_scan(4)
+            .without_decorrelation(),
+    )
+}
+
 fn explain(dep: &MthDeployment, query: usize, level: OptLevel) -> String {
     let mut conn = dep.server.connect(1);
     conn.set_opt_level(level);
@@ -180,6 +197,32 @@ fn explain_omits_morsel_notes_on_serial_deployments() {
         "serial plan must not mention the morsel scheduler:\n{serial_text}"
     );
     check_golden("explain_q6_o2_serial.txt", &serial_text);
+}
+
+/// Q22's correlated `NOT EXISTS` now plans as an anti join with a build-key
+/// bloom annotation; on the no-decorrelation baseline the sub-query stays in
+/// the filter, interpreted per outer row. The baseline plan is pinned as its
+/// own golden snapshot (the rewrite-off counterpart of `explain_q22_o2.txt`).
+#[test]
+fn explain_shows_decorrelated_joins() {
+    let dep = deployment();
+    let text = explain(&dep, 22, OptLevel::O2);
+    assert!(
+        text.contains("HashJoin anti") && text.contains("[bloom:"),
+        "Q22 lost its decorrelated anti join:\n{text}"
+    );
+    assert!(
+        !text.contains("NOT EXISTS"),
+        "Q22's EXISTS sub-query survived decorrelation:\n{text}"
+    );
+
+    let nodecorr_dep = nodecorr_deployment();
+    let nodecorr_text = explain(&nodecorr_dep, 22, OptLevel::O2);
+    assert!(
+        nodecorr_text.contains("NOT EXISTS") && !nodecorr_text.contains("HashJoin anti"),
+        "baseline plan must keep the interpreted sub-query:\n{nodecorr_text}"
+    );
+    check_golden("explain_q22_o2_nodecorr.txt", &nodecorr_text);
 }
 
 /// At o4 every conversion-heavy query wraps its scans in the `mt_partials`
