@@ -1,0 +1,198 @@
+//! Benchmark for the static plan verifier (PR 9): run the full 22-query
+//! MT-H sweep twice on the same generated data — once with
+//! `EngineConfig::with_verify_plans()` and once with verification off — and
+//! write wall-clock plus the `plans_verified` counter to `BENCH_pr9.json`.
+//!
+//! The gates are deterministic and always enforced (CI runs them too):
+//!
+//! * results must be byte-identical between the verified and unverified
+//!   runs on every query — the verifier is read-only over the plan DAG;
+//! * every verified run must report `plans_verified > 0` and the
+//!   unverified run must never report it (the engagement gate).
+//!
+//! The overhead ceiling (`--max-overhead-pct`) defaults to **0**, meaning
+//! *disabled*, per the PR 2 convention — shared CI runners are too noisy
+//! for timing asserts. On a quiet host `--max-overhead-pct 2` asserts the
+//! verifier costs less than 2% of sweep wall-clock.
+//!
+//! ```text
+//! cargo run --release -p bench --bin pr9_verify                 # scale 1, 3 runs
+//! cargo run --release -p bench --bin pr9_verify -- --scale 0.5 --runs 1
+//! cargo run --release -p bench --bin pr9_verify -- --max-overhead-pct 2
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mtbase::EngineConfig;
+use mth::params::{MthConfig, TenantDistribution};
+use mth::{gen, loader, queries, MthDeployment};
+use mtrewrite::OptLevel;
+
+const TENANTS: i64 = 10;
+
+struct Cell {
+    seconds: f64,
+    plans_verified: u64,
+    result: mtbase::ResultSet,
+}
+
+fn measure(dep: &MthDeployment, query: usize, runs: usize) -> Cell {
+    let mut conn = dep.server.connect(1);
+    conn.set_opt_level(OptLevel::O2);
+    let ids: Vec<String> = (1..=TENANTS).map(|t| t.to_string()).collect();
+    conn.execute(&format!("SET SCOPE = \"IN ({})\"", ids.join(", ")))
+        .expect("scope");
+    let sql = queries::query(query);
+    let mut best = f64::INFINITY;
+    let mut plans_verified = 0;
+    let mut result = mtbase::ResultSet::default();
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let rs = conn.query(&sql).unwrap_or_else(|e| panic!("Q{query}: {e}"));
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        plans_verified = conn.last_query_stats().plans_verified;
+        result = rs;
+    }
+    Cell {
+        seconds: best,
+        plans_verified,
+        result,
+    }
+}
+
+fn main() {
+    // The engagement gate below asserts the *unverified* deployment never
+    // verifies a plan, so an inherited MT_VERIFY override must not leak in.
+    std::env::remove_var("MT_VERIFY");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0_f64;
+    let mut runs = 3usize;
+    let mut max_overhead_pct = 0.0_f64;
+    let mut out_path = "BENCH_pr9.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale expects a number");
+            }
+            "--runs" => {
+                i += 1;
+                runs = args[i].parse().expect("--runs expects a count");
+            }
+            "--max-overhead-pct" => {
+                i += 1;
+                max_overhead_pct = args[i]
+                    .parse()
+                    .expect("--max-overhead-pct expects a number");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: pr9_verify [--scale F] [--runs N] [--max-overhead-pct F] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let config = MthConfig {
+        scale,
+        tenants: TENANTS,
+        distribution: TenantDistribution::Uniform,
+        seed: 42,
+    };
+    eprintln!("generating MT-H data (scale {scale}, {TENANTS} tenants) ...");
+    let data = gen::generate(&config);
+    let dep_verified = loader::load_from_data(
+        config,
+        EngineConfig::postgres_like().with_verify_plans(),
+        &data,
+    );
+    let dep_plain = loader::load_from_data(config, EngineConfig::postgres_like(), &data);
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"benchmark\": \"static plan verification (PR 9)\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"scale\": {scale}, \"tenants\": {TENANTS}, \"scope\": \"IN (1..{TENANTS})\", \"level\": \"o2\", \"runs\": {runs}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"cells\": [").unwrap();
+
+    let mut ok = true;
+    let mut total_verified = 0.0_f64;
+    let mut total_plain = 0.0_f64;
+    let query_numbers: Vec<usize> = queries::all_query_numbers().collect();
+    for (n, &query) in query_numbers.iter().enumerate() {
+        let plain = measure(&dep_plain, query, runs);
+        let verified = measure(&dep_verified, query, runs);
+        total_plain += plain.seconds;
+        total_verified += verified.seconds;
+        println!(
+            "Q{query:<3} plain {:>9.6}s   verified {:>9.6}s   plans_verified {}",
+            plain.seconds, verified.seconds, verified.plans_verified
+        );
+        if plain.result != verified.result {
+            eprintln!("ERROR: Q{query}: results differ between verified and plain runs");
+            ok = false;
+        }
+        if verified.plans_verified == 0 {
+            eprintln!("ERROR: Q{query}: the verified run did not verify a plan");
+            ok = false;
+        }
+        if plain.plans_verified != 0 {
+            eprintln!("ERROR: Q{query}: the plain run reported verified plans");
+            ok = false;
+        }
+        writeln!(
+            json,
+            "    {{\"query\": \"Q{query}\", \"plain_seconds\": {:.6}, \"verified_seconds\": {:.6}, \"plans_verified\": {}, \"identical_results\": {}}}{}",
+            plain.seconds,
+            verified.seconds,
+            verified.plans_verified,
+            plain.result == verified.result,
+            if n + 1 == query_numbers.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    let overhead_pct = (total_verified - total_plain) / total_plain.max(1e-9) * 100.0;
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"total_plain_seconds\": {total_plain:.6},").unwrap();
+    writeln!(json, "  \"total_verified_seconds\": {total_verified:.6},").unwrap();
+    writeln!(json, "  \"overhead_pct\": {overhead_pct:.3}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    println!(
+        "sweep total: plain {total_plain:.3}s, verified {total_verified:.3}s, overhead {overhead_pct:+.2}%"
+    );
+    // The overhead ceiling depends on the host and defaults to disabled
+    // (see module docs); result identity and engagement always gate.
+    if max_overhead_pct > 0.0 && overhead_pct > max_overhead_pct {
+        eprintln!(
+            "ERROR: verifier overhead {overhead_pct:.2}% exceeds the allowed {max_overhead_pct:.2}%"
+        );
+        ok = false;
+    }
+
+    std::fs::write(&out_path, json).expect("write results file");
+    eprintln!("wrote {out_path}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

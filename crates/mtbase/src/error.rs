@@ -21,6 +21,10 @@ pub enum MtError {
     /// A pinned cursor snapshot can no longer be served (the underlying
     /// table was destructively rewritten). Re-open the cursor.
     Snapshot(String),
+    /// The static plan verifier rejected a physical plan before execution —
+    /// a planner or rewrite defect, never a data problem. The message names
+    /// the operator and the violated structural invariant.
+    Plan(String),
     /// Anything else (unsupported feature, configuration problem, ...).
     Other(String),
 }
@@ -34,6 +38,7 @@ impl fmt::Display for MtError {
             MtError::Privilege(m) => write!(f, "privilege error: {m}"),
             MtError::Durability(m) => write!(f, "durability error: {m}"),
             MtError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            MtError::Plan(m) => write!(f, "plan verification error: {m}"),
             MtError::Other(m) => write!(f, "error: {m}"),
         }
     }
@@ -59,6 +64,7 @@ impl From<mtengine::EngineError> for MtError {
         match e.kind() {
             K::Io | K::ShortRead | K::Corrupt | K::Poisoned => MtError::Durability(e.message),
             K::SnapshotInvalidated => MtError::Snapshot(e.message),
+            K::Plan => MtError::Plan(e.message),
             K::General => MtError::Engine(e.message),
         }
     }

@@ -228,6 +228,17 @@ impl Engine {
     /// lock), so their result is the open-time state by construction.
     pub fn pin_cursor(&self, plan: &Plan, params: &[Value], state: &mut CursorState) -> Result<()> {
         let epoch = self.current_epoch();
+        if crate::verify::verify_enabled(&self.config) {
+            // Snapshot discipline: every scan of the pinned plan must still
+            // have an addressable watermark at the pin epoch.
+            let opts = crate::verify::VerifyOptions {
+                param_count: Some(params.len()),
+                pinned_epoch: Some(epoch),
+                ..Default::default()
+            };
+            crate::verify::verify_plan_with(self, plan, opts)?;
+            self.counters.add_plans_verified(1);
+        }
         state.snapshot = Some(epoch);
         if state.mode.is_none() && stream_shape(plan).is_none() {
             let mut executor = Executor::with_params(self, params.to_vec());
@@ -258,19 +269,23 @@ impl Engine {
         let max_rows = max_rows.max(1);
         let snapshot = state.snapshot;
         let executor = Executor::with_params(self, params.to_vec());
-        if state.mode.is_none() {
-            state.mode = Some(match stream_shape(plan) {
-                Some(_) => Mode::Streaming(StreamPos::default()),
-                None => {
-                    let rel = executor.execute_plan(plan, None)?;
-                    Mode::Materialized {
-                        rows: rel.rows,
-                        next: 0,
+        let mode = match state.mode.as_mut() {
+            Some(mode) => mode,
+            None => {
+                let decided = match stream_shape(plan) {
+                    Some(_) => Mode::Streaming(StreamPos::default()),
+                    None => {
+                        let rel = executor.execute_plan(plan, None)?;
+                        Mode::Materialized {
+                            rows: rel.rows,
+                            next: 0,
+                        }
                     }
-                }
-            });
-        }
-        match state.mode.as_mut().expect("mode decided above") {
+                };
+                state.mode.insert(decided)
+            }
+        };
+        match mode {
             Mode::Materialized { rows, next } => {
                 let end = (*next + max_rows).min(rows.len());
                 let batch: Vec<Row> = rows[*next..end].iter().map(|r| r.to_vec()).collect();
@@ -281,7 +296,15 @@ impl Engine {
                 })
             }
             Mode::Streaming(pos) => {
-                let shape = stream_shape(plan).expect("mode was decided as streaming");
+                // The mode was decided as streaming from this same plan, so
+                // the shape must still resolve — fail typed rather than
+                // serve wrong rows if a caller swapped plans between fetches.
+                let Some(shape) = stream_shape(plan) else {
+                    return Err(EngineError::new(
+                        "cursor opened streaming but the plan no longer streams \
+                         (a different plan was passed to a later fetch)",
+                    ));
+                };
                 fetch_streaming(&executor, self, &shape, pos, snapshot, max_rows)
             }
         }
@@ -325,29 +348,31 @@ fn fetch_streaming(
         }
     }
 
-    // Compile the cursor-lifetime invariants once, on the first batch.
-    if pos.compiled.is_none() {
-        let prune_keys = executor
-            .effective_prune_keys(scan, table.partition_column())
-            .into_owned();
-        // Rows inside selected buckets satisfy the pruning predicates by
-        // construction; loose rows (and every row when nothing pruned)
-        // re-check the full pushed filter — mirroring the batch executor.
-        let bucket_filter = executor.compile_bucket_filter(scan, prune_keys.is_some());
-        pos.compiled = Some(StreamFilters {
-            prune_keys,
-            bucket_filter,
-            loose_filter: executor.compile_full_scan_filter(scan),
-            stages: shape
-                .filters
-                .iter()
-                .map(|preds| executor.compile_filter(preds, &scan.schema))
-                .collect(),
-        });
-    }
-    // Taken out of the state for the duration of the batch (the loop below
-    // needs `pos` mutably) and put back before returning.
-    let filters = pos.compiled.take().expect("compiled above");
+    // Compile the cursor-lifetime invariants once, on the first batch. Taken
+    // out of the state for the duration of the batch (the loop below needs
+    // `pos` mutably) and put back before returning.
+    let filters = match pos.compiled.take() {
+        Some(filters) => filters,
+        None => {
+            let prune_keys = executor
+                .effective_prune_keys(scan, table.partition_column())
+                .into_owned();
+            // Rows inside selected buckets satisfy the pruning predicates by
+            // construction; loose rows (and every row when nothing pruned)
+            // re-check the full pushed filter — mirroring the batch executor.
+            let bucket_filter = executor.compile_bucket_filter(scan, prune_keys.is_some());
+            StreamFilters {
+                prune_keys,
+                bucket_filter,
+                loose_filter: executor.compile_full_scan_filter(scan),
+                stages: shape
+                    .filters
+                    .iter()
+                    .map(|preds| executor.compile_filter(preds, &scan.schema))
+                    .collect(),
+            }
+        }
+    };
     let StreamFilters {
         prune_keys,
         bucket_filter,
@@ -439,7 +464,11 @@ fn fetch_streaming(
             pos.row += 1;
             visited += 1;
             let reader = bucket.reader();
-            let dict = pos.dict_bitmaps.as_ref().expect("set above");
+            let Some(dict) = pos.dict_bitmaps.as_ref() else {
+                return Err(EngineError::new(
+                    "cursor dictionary state missing after bucket entry",
+                ));
+            };
             let bitmaps = &dict.bitmaps;
             // Fast predicates first, reading only the predicate's column
             // (dictionary-encoded columns compare codes, no decode).
@@ -449,7 +478,11 @@ fn fetch_streaming(
                 };
                 match bitmaps.get(pi).and_then(Option::as_ref) {
                     Some(bitmap) => {
-                        let cols = bucket.as_columns().expect("dict bitmap implies columnar");
+                        let Some(cols) = bucket.as_columns() else {
+                            return Err(EngineError::new(
+                                "dictionary bitmap resolved on a non-columnar bucket",
+                            ));
+                        };
                         let col = cols.column(idx);
                         dict_rows += 1;
                         let hit = !col.is_null(i)

@@ -28,6 +28,12 @@ pub enum EngineErrorKind {
     /// A pinned snapshot can no longer be served because the underlying
     /// storage was destructively rewritten (UPDATE/DELETE/re-layout).
     SnapshotInvalidated,
+    /// The static plan verifier ([`crate::verify`]) rejected a physical
+    /// plan before execution: a structural invariant of the operator DAG
+    /// (schema arithmetic, column bounds, join-variant rules, pruning or
+    /// parameter discipline) did not hold. Execution never starts on such
+    /// a plan — the error names the operator and the violated invariant.
+    Plan,
 }
 
 /// Errors produced while executing statements against the engine.

@@ -207,10 +207,21 @@ where
     if let Some((_, e)) = first_err {
         return Err(e);
     }
-    Ok(slots
-        .into_iter()
-        .map(|s| s.expect("every morsel index is pulled exactly once"))
-        .collect())
+    let mut results = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(v) => results.push(v),
+            // Every morsel index is pulled exactly once by construction; an
+            // empty slot means a worker died without reporting.
+            None => {
+                return Err(EngineError::with_kind(
+                    crate::EngineErrorKind::Poisoned,
+                    format!("morsel {i} was never completed by any worker"),
+                ))
+            }
+        }
+    }
+    Ok(results)
 }
 
 /// Per-bucket state of [`Executor::repeated_bucket_rows`]: how many times
@@ -484,6 +495,17 @@ impl<'e> Executor<'e> {
     /// sub-queries): lower it to a physical plan and walk that.
     pub fn execute_query(&self, query: &Query, outer: Option<&Env>) -> Result<Relation> {
         let plan = Planner::new(self.engine).plan_query(query)?;
+        if crate::verify::verify_enabled(&self.engine.config) {
+            let opts = crate::verify::VerifyOptions {
+                param_count: Some(self.params.len()),
+                // Correlated sub-queries reference enclosing-scope columns
+                // that only resolve against the outer environment.
+                outer: outer.is_some(),
+                ..Default::default()
+            };
+            crate::verify::verify_plan_with(self.engine, &plan, opts)?;
+            self.engine.counters.add_plans_verified(1);
+        }
         self.execute_plan(&plan, outer)
     }
 
@@ -2077,6 +2099,21 @@ impl<'e> Executor<'e> {
         // only semi joins may pre-filter.
         if variant == JoinVariant::Semi {
             for (i, &idx) in key_cols.iter().enumerate() {
+                // The only legal key-set injection site: a decorrelated
+                // probe's own scan columns. Under verification, re-check the
+                // resolved index against the scan schema before the kernel
+                // is installed (the static verifier cannot see this far).
+                if crate::verify::verify_enabled(&self.engine.config) && idx >= scan.schema.len() {
+                    return Err(crate::verify::PlanError {
+                        class: crate::verify::PlanErrorClass::Variant,
+                        node: format!("SeqScan {}", scan.table),
+                        detail: format!(
+                            "key-set kernel column {idx} out of probe schema width {}",
+                            scan.schema.len()
+                        ),
+                    }
+                    .into());
+                }
                 let set: HashSet<Value> = map.keys().map(|k| k[i].clone()).collect();
                 bucket_filter.push(CompiledPred::KeySet {
                     idx,
@@ -2751,6 +2788,18 @@ impl<'e> Executor<'e> {
             Some(plan) => plan,
             None => {
                 let plan = Rc::new(Planner::new(self.engine).plan_query(query)?);
+                if crate::verify::verify_enabled(&self.engine.config) {
+                    // Verified once per distinct sub-query text (the plan
+                    // cache makes re-executions skip this), leniently: outer
+                    // scope columns resolve in the enclosing environment.
+                    let opts = crate::verify::VerifyOptions {
+                        param_count: Some(self.params.len()),
+                        outer: true,
+                        ..Default::default()
+                    };
+                    crate::verify::verify_plan_with(self.engine, &plan, opts)?;
+                    self.engine.counters.add_plans_verified(1);
+                }
                 self.plan_cache
                     .borrow_mut()
                     .insert(key.clone(), Rc::clone(&plan));

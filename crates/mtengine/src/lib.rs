@@ -117,6 +117,7 @@ pub mod stats;
 pub mod table;
 pub mod udf;
 pub mod value;
+pub mod verify;
 pub mod wal;
 
 use std::path::Path;
@@ -133,6 +134,7 @@ use crate::udf::{UdfImpl, UdfRegistry};
 pub use crate::cursor::{CursorBatch, CursorState, RowIter, DEFAULT_BATCH_ROWS};
 pub use crate::error::{EngineError, EngineErrorKind, Result};
 pub use crate::value::Value;
+pub use crate::verify::{PlanError, PlanErrorClass};
 pub use crate::wal::{CrashMode, FailpointClock, MetaOp};
 
 /// Default morsel size in rows (see [`EngineConfig::morsel_rows`]).
@@ -204,6 +206,16 @@ pub struct EngineConfig {
     /// `false`: the engine stays the in-memory substrate of the earlier
     /// PRs with zero logging overhead.
     pub durability: bool,
+    /// Run the static plan verifier ([`verify`]) over every freshly
+    /// planned operator DAG (and re-check parameter bounds when a cached
+    /// plan is bound): a corrupt plan is rejected with a typed
+    /// [`EngineErrorKind::Plan`] error *before* execution instead of
+    /// producing wrong rows or an obscure evaluation error. Always on in
+    /// debug builds, opt-in in release; the `MT_VERIFY` environment
+    /// variable (`1`/`0`) overrides the configured value process-wide,
+    /// mirroring `MT_THREADS`. `EXPLAIN` verifies unconditionally so its
+    /// `verified` marker is identical across build profiles.
+    pub verify_plans: bool,
 }
 
 impl Default for EngineConfig {
@@ -217,6 +229,7 @@ impl Default for EngineConfig {
             dictionary_encoding: true,
             decorrelation: true,
             durability: false,
+            verify_plans: cfg!(debug_assertions),
         }
     }
 }
@@ -286,6 +299,22 @@ impl EngineConfig {
     /// the intent in its configuration matrix).
     pub fn with_durability(mut self) -> Self {
         self.durability = true;
+        self
+    }
+
+    /// Force the static plan verifier on (builder-style) regardless of the
+    /// build profile — release deployments that want corrupt plans rejected
+    /// before execution.
+    pub fn with_verify_plans(mut self) -> Self {
+        self.verify_plans = true;
+        self
+    }
+
+    /// Force the static plan verifier off (builder-style) — the zero-check
+    /// baseline the `pr9_verify` bench compares against. `MT_VERIFY=1`
+    /// still overrides at execution time.
+    pub fn without_verify_plans(mut self) -> Self {
+        self.verify_plans = false;
         self
     }
 }
@@ -476,7 +505,7 @@ impl Engine {
     /// [`Engine::create_table_owned`].
     pub fn create_table(&mut self, name: &str, columns: &[&str]) {
         self.create_table_owned(name, columns.iter().map(|c| c.to_string()).collect())
-            .expect("create_table: WAL append failed");
+            .expect("create_table: WAL append failed"); // lint:allow(expect) documented test/setup panic
     }
 
     /// Create (or replace) a table with owned column names. The bucket
@@ -723,6 +752,7 @@ impl Engine {
             udf_cache_hits: udf.cache_hits,
             prepared_cache_hits: self.counters.prepared_cache_hits(),
             prepared_cache_misses: self.counters.prepared_cache_misses(),
+            plans_verified: self.counters.plans_verified(),
         }
     }
 
@@ -760,12 +790,29 @@ impl Engine {
     /// and re-execute via [`Engine::execute_plan`] — the prepared-statement
     /// path of the MTBase middleware.
     pub fn plan_query(&self, query: &Query) -> Result<plan::Plan> {
-        plan::Planner::new(self).plan_query(query)
+        let plan = plan::Planner::new(self).plan_query(query)?;
+        if verify::verify_enabled(&self.config) {
+            let opts = verify::VerifyOptions {
+                param_count: Some(mtsql::visit::param_count_query(query)),
+                ..Default::default()
+            };
+            verify::verify_plan_with(self, &plan, opts)?;
+            self.counters.add_plans_verified(1);
+        }
+        Ok(plan)
     }
 
     /// Execute a previously lowered plan with the given bound parameter
     /// values (empty for parameter-free statements).
     pub fn execute_plan(&self, plan: &plan::Plan, params: &[Value]) -> Result<ResultSet> {
+        if verify::verify_enabled(&self.config) {
+            let opts = verify::VerifyOptions {
+                param_count: Some(params.len()),
+                ..Default::default()
+            };
+            verify::verify_plan_with(self, plan, opts)?;
+            self.counters.add_plans_verified(1);
+        }
         let executor = Executor::with_params(self, params.to_vec());
         let rel = executor.execute_plan(plan, None)?;
         Ok(ResultSet::from_relation(rel))
@@ -789,9 +836,20 @@ impl Engine {
     /// middleware to explain cached prepared plans).
     pub fn explain_plan(&self, plan: &plan::Plan) -> ResultSet {
         let text = plan::explain(self, plan);
+        // EXPLAIN always runs the verifier regardless of configuration, so
+        // the marker line is deterministic across debug and release builds
+        // and golden plan snapshots pin the verifier's engagement.
+        let marker = match verify::verify_plan(self, plan) {
+            Ok(report) => format!("verified ({} operators)", report.operators),
+            Err(e) => format!("NOT verified: {e}"),
+        };
         ResultSet {
             columns: vec!["QUERY PLAN".to_string()],
-            rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
+            rows: text
+                .lines()
+                .map(|l| vec![Value::str(l)])
+                .chain(std::iter::once(vec![Value::str(marker)]))
+                .collect(),
         }
     }
 

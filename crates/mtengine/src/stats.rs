@@ -73,6 +73,11 @@ pub struct StatsSnapshot {
     /// (first execution, or a catalog/privilege epoch change invalidated the
     /// cached plan).
     pub prepared_cache_misses: u64,
+    /// Plans accepted by the static verifier ([`crate::verify`]) before
+    /// execution. Zero when [`crate::EngineConfig::verify_plans`] is off —
+    /// the `pr9_verify` bench reads this to prove the verifier actually
+    /// engaged on the measured leg.
+    pub plans_verified: u64,
 }
 
 impl StatsSnapshot {
@@ -117,6 +122,7 @@ impl StatsSnapshot {
             prepared_cache_misses: self
                 .prepared_cache_misses
                 .saturating_sub(before.prepared_cache_misses),
+            plans_verified: self.plans_verified.saturating_sub(before.plans_verified),
         }
     }
 }
@@ -137,6 +143,7 @@ pub struct EngineCounters {
     subqueries_unnested: AtomicU64,
     prepared_cache_hits: AtomicU64,
     prepared_cache_misses: AtomicU64,
+    plans_verified: AtomicU64,
 }
 
 impl EngineCounters {
@@ -267,6 +274,16 @@ impl EngineCounters {
         self.prepared_cache_misses.load(Ordering::Relaxed)
     }
 
+    /// Record plans accepted by the static verifier.
+    pub fn add_plans_verified(&self, n: u64) {
+        self.plans_verified.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current verified-plan count.
+    pub fn plans_verified(&self) -> u64 {
+        self.plans_verified.load(Ordering::Relaxed)
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.rows_scanned.store(0, Ordering::Relaxed);
@@ -282,6 +299,7 @@ impl EngineCounters {
         self.subqueries_unnested.store(0, Ordering::Relaxed);
         self.prepared_cache_hits.store(0, Ordering::Relaxed);
         self.prepared_cache_misses.store(0, Ordering::Relaxed);
+        self.plans_verified.store(0, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,1248 @@
+//! Static verification of physical plans: a structural analyzer over the
+//! operator DAG that rejects corrupt plans *before* execution.
+//!
+//! Four stacked plan-transforming layers (conjunct pushdown, derived-table
+//! transposition, sub-query decorrelation, morsel scheduling) each promise
+//! to preserve semantics. Their invariants used to be checked only
+//! dynamically, by the 22-query differential sweeps; this module checks them
+//! statically, walking every operator of a freshly planned DAG:
+//!
+//! * **Schema arithmetic, bottom-up.** A scan's schema matches its table's
+//!   column count; a plain join's schema is the concatenation of its inputs;
+//!   a projection's schema is exactly its visible width; a derived table
+//!   re-qualifies without changing arity.
+//! * **Column resolution.** Every pushed scan conjunct is sub-query-free and
+//!   resolves entirely against the scan's schema (the `take_applicable`
+//!   contract); filter predicates, projection items, group/aggregate
+//!   expressions and join residuals resolve against their input schemas.
+//! * **Compiled predicates.** The scan filter compiles to [`CompiledPred`]s
+//!   whose pre-resolved column indices are in bounds, and the compiler never
+//!   produces a [`CompiledPred::KeySet`] — key-set membership kernels are
+//!   injected by the executor into decorrelated probe scans only.
+//! * **Join variants.** Hash joins carry at least one key pair, each side
+//!   resolving against its own input. Semi/anti joins emit the probe schema
+//!   unchanged and carry no residual; `Single` (aggregate) joins emit the
+//!   probe schema and evaluate their rewritten comparison over the
+//!   concatenated probe+build row; decorrelated key pairs must agree on
+//!   comparison class (a string key can never equal a numeric key — such a
+//!   join would silently emit nothing).
+//! * **Pruning discipline.** Pruning conjuncts and bind-time
+//!   (`param_pruning`) conjuncts reference exactly the table's declared
+//!   partition column (`ttid`), a scan with resolved prune keys scans a
+//!   partitioned table, and every `param_pruning` member is also a
+//!   `residual` member (correctness never depends on bind-time pruning).
+//! * **Bounds.** Sort keys index into the projected row — visible items
+//!   plus hidden ORDER BY keys — and `prune_to` strips exactly back to the
+//!   visible width; parameter placeholders stay below the bound-parameter
+//!   count.
+//! * **Snapshot discipline.** Under a pinned cursor epoch, every scanned
+//!   table's rewrite epoch is at or below the pin — the per-bucket
+//!   watermarks addressed by `visible_bucket_len` are only meaningful then.
+//!
+//! Violations surface as a typed [`PlanError`] (kind
+//! [`EngineErrorKind::Plan`](crate::EngineErrorKind) once converted), naming
+//! the operator and the violated invariant. The verifier runs behind
+//! [`EngineConfig::verify_plans`](crate::EngineConfig) — always-on in debug
+//! builds, opt-in in release, overridable process-wide via `MT_VERIFY=1`/`0`
+//! — and unconditionally under `EXPLAIN`, which appends a `verified` marker
+//! so plan snapshots pin the verifier's engagement.
+
+use std::fmt;
+
+use mtsql::ast::{ColumnRef, Expr, SelectItem};
+use mtsql::visit::{collect_columns, contains_subquery, max_param_index};
+
+use crate::conjuncts::CompiledPred;
+use crate::error::{EngineError, EngineErrorKind};
+use crate::exec::Executor;
+use crate::plan::{HashAggregate, JoinVariant, Plan, Project, SeqScan};
+use crate::schema::Schema;
+use crate::table::ColumnVec;
+use crate::{Engine, EngineConfig};
+
+/// What kind of invariant a [`PlanError`] reports. Mutation tests assert the
+/// class, not the message, so reworded diagnostics never break them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanErrorClass {
+    /// Output arity/schema inconsistency between an operator and its inputs.
+    Schema,
+    /// An expression references a column its input schema cannot resolve.
+    Column,
+    /// A compiled predicate's pre-resolved column index is out of bounds,
+    /// or an illegal predicate form reached a scan filter.
+    Predicate,
+    /// A hash-join key pair is missing, unresolvable, or compares
+    /// incompatible classes.
+    JoinKey,
+    /// A join-variant rule is violated (semi/anti residual or schema,
+    /// `Single` schema, key-set injection discipline).
+    Variant,
+    /// Partition-pruning conjuncts do not resolve to the partition column,
+    /// or prune keys exist without a partitioned table.
+    Pruning,
+    /// A parameter placeholder indexes past the bound-parameter count.
+    Param,
+    /// A sort key or width bound indexes past the operator's row width.
+    Bounds,
+    /// A scan under a pinned cursor epoch has no valid watermark (the table
+    /// was rewritten past the pin).
+    Snapshot,
+}
+
+impl fmt::Display for PlanErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self {
+            PlanErrorClass::Schema => "schema",
+            PlanErrorClass::Column => "column",
+            PlanErrorClass::Predicate => "predicate",
+            PlanErrorClass::JoinKey => "join-key",
+            PlanErrorClass::Variant => "variant",
+            PlanErrorClass::Pruning => "pruning",
+            PlanErrorClass::Param => "param",
+            PlanErrorClass::Bounds => "bounds",
+            PlanErrorClass::Snapshot => "snapshot",
+        };
+        f.write_str(tag)
+    }
+}
+
+/// A rejected plan: the violated invariant class, the operator it anchors to
+/// and a human-readable detail line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    pub class: PlanErrorClass,
+    /// The operator the violation anchors to (e.g. `SeqScan lineitem`,
+    /// `HashJoin[semi]`).
+    pub node: String,
+    pub detail: String,
+}
+
+impl PlanError {
+    fn new(class: PlanErrorClass, node: impl Into<String>, detail: impl Into<String>) -> Self {
+        PlanError {
+            class,
+            node: node.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan rejected [{}] at {}: {}",
+            self.class, self.node, self.detail
+        )
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::with_kind(EngineErrorKind::Plan, e.to_string())
+    }
+}
+
+/// What a successful verification covered, for the `EXPLAIN` marker and the
+/// overhead bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Operators walked.
+    pub operators: usize,
+    /// Individual invariant checks evaluated.
+    pub checks: u64,
+}
+
+/// How strictly to verify, and against what execution context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyOptions {
+    /// Bound-parameter count to check `Expr::Param` indices against;
+    /// `None` skips the parameter-bound check (plan-time verification of a
+    /// statement whose parameters bind later).
+    pub param_count: Option<usize>,
+    /// Cursor pin epoch: every scanned table's rewrite epoch must be at or
+    /// below it (snapshot watermarks stay addressable).
+    pub pinned_epoch: Option<u64>,
+    /// Lenient outer-scope mode for correlated sub-plans: a column that
+    /// does not resolve locally is assumed to bind in the enclosing query's
+    /// scope instead of failing. Scan conjuncts stay strict — pushdown only
+    /// ever pushes fully resolvable conjuncts.
+    pub outer: bool,
+}
+
+/// Is the verifier enabled for this configuration? The `MT_VERIFY`
+/// environment variable (`1`/`true`/`on` forces on, `0`/`false`/`off`
+/// forces off), parsed once per process, overrides the configured value —
+/// mirroring the `MT_THREADS` execution-time override.
+pub fn verify_enabled(config: &EngineConfig) -> bool {
+    static OVERRIDE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    OVERRIDE
+        .get_or_init(|| {
+            let raw = std::env::var("MT_VERIFY").ok()?;
+            match raw.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" => Some(true),
+                "0" | "false" | "off" => Some(false),
+                _ => None,
+            }
+        })
+        .unwrap_or(config.verify_plans)
+}
+
+/// Verify a plan strictly (top-level statement context).
+pub fn verify_plan(engine: &Engine, plan: &Plan) -> Result<VerifyReport, PlanError> {
+    verify_plan_with(engine, plan, VerifyOptions::default())
+}
+
+/// Verify a plan under explicit options (parameter counts, pinned cursor
+/// epochs, lenient outer-scope mode for correlated sub-plans).
+pub fn verify_plan_with(
+    engine: &Engine,
+    plan: &Plan,
+    opts: VerifyOptions,
+) -> Result<VerifyReport, PlanError> {
+    let mut v = Verifier {
+        engine,
+        opts,
+        report: VerifyReport::default(),
+    };
+    v.walk(plan)?;
+    v.check_params(plan)?;
+    Ok(v.report)
+}
+
+/// Comparison class of a statically inferable column or expression.
+/// [`crate::Value::compare`] resolves strings only against strings and
+/// everything else through the numeric fallback, so two classes suffice;
+/// anything not provable stays `Unknown` and passes every check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TypeClass {
+    Str,
+    Num,
+    Unknown,
+}
+
+impl TypeClass {
+    fn compatible(self, other: TypeClass) -> bool {
+        self == TypeClass::Unknown || other == TypeClass::Unknown || self == other
+    }
+}
+
+struct Verifier<'e> {
+    engine: &'e Engine,
+    opts: VerifyOptions,
+    report: VerifyReport,
+}
+
+impl Verifier<'_> {
+    fn check(&mut self) {
+        self.report.checks += 1;
+    }
+
+    /// Every column of `expr` resolves against `schema`; in outer mode an
+    /// unresolved column is assumed to bind in the enclosing scope.
+    fn columns_resolve(
+        &mut self,
+        expr: &Expr,
+        schema: &Schema,
+        node: &str,
+        lenient: bool,
+    ) -> Result<(), PlanError> {
+        let mut cols: Vec<ColumnRef> = Vec::new();
+        collect_columns(expr, &mut cols);
+        for col in cols {
+            self.check();
+            if schema.resolve(&col).is_none() && !(lenient && self.opts.outer) {
+                return Err(PlanError::new(
+                    PlanErrorClass::Column,
+                    node,
+                    format!(
+                        "`{}` does not resolve in a {}-column input",
+                        col.to_display(),
+                        schema.len()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The runtime row width an operator produces — its schema width, plus
+    /// the hidden ORDER BY key columns a projection head appends behind it.
+    fn row_width(&self, plan: &Plan) -> usize {
+        match plan {
+            Plan::Project(p) => items_width(&p.items, p.input.schema()),
+            Plan::HashAggregate(a) => items_width(&a.items, a.input.schema()),
+            other => other.schema().len(),
+        }
+    }
+
+    fn walk(&mut self, plan: &Plan) -> Result<(), PlanError> {
+        self.report.operators += 1;
+        match plan {
+            Plan::Empty { .. } => Ok(()),
+            Plan::SeqScan(scan) => self.verify_scan(scan),
+            Plan::Filter { input, predicates } => {
+                self.walk(input)?;
+                let node = "Filter";
+                for p in predicates {
+                    self.columns_resolve(p, input.schema(), node, true)?;
+                }
+                Ok(())
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                keys,
+                residual,
+                kind,
+                schema,
+            } => {
+                self.walk(left)?;
+                self.walk(right)?;
+                self.verify_hash_join(left, right, keys, residual, *kind, schema)
+            }
+            Plan::NestedLoopJoin {
+                left,
+                right,
+                predicates,
+                schema,
+                ..
+            } => {
+                self.walk(left)?;
+                self.walk(right)?;
+                let node = "NestedLoopJoin";
+                let concat = left.schema().concat(right.schema());
+                self.check();
+                if schema.len() != concat.len() {
+                    return Err(PlanError::new(
+                        PlanErrorClass::Schema,
+                        node,
+                        format!(
+                            "output width {} != left {} + right {}",
+                            schema.len(),
+                            left.schema().len(),
+                            right.schema().len()
+                        ),
+                    ));
+                }
+                for p in predicates {
+                    self.columns_resolve(p, &concat, node, true)?;
+                }
+                Ok(())
+            }
+            Plan::Subquery {
+                input,
+                alias,
+                schema,
+            } => {
+                self.walk(input)?;
+                self.check();
+                if schema.len() != input.schema().len() {
+                    return Err(PlanError::new(
+                        PlanErrorClass::Schema,
+                        format!("Subquery AS {alias}"),
+                        format!(
+                            "re-qualification changed arity: {} -> {}",
+                            input.schema().len(),
+                            schema.len()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            Plan::Project(p) => self.verify_project(p),
+            Plan::HashAggregate(a) => self.verify_aggregate(a),
+            Plan::Sort {
+                input,
+                keys,
+                prune_to,
+            } => {
+                self.walk(input)?;
+                let node = "Sort";
+                let width = self.row_width(input);
+                for key in keys {
+                    self.check();
+                    if key.col >= width {
+                        return Err(PlanError::new(
+                            PlanErrorClass::Bounds,
+                            node,
+                            format!("sort key column {} out of row width {width}", key.col),
+                        ));
+                    }
+                }
+                if let Some(w) = prune_to {
+                    self.check();
+                    // Stripping hidden keys must land exactly on the visible
+                    // width of the projection head beneath.
+                    let visible = match input.as_ref() {
+                        Plan::Project(p) => Some(p.visible_width),
+                        Plan::HashAggregate(a) => Some(a.visible_width),
+                        _ => None,
+                    };
+                    if *w > width || visible.is_some_and(|v| v != *w) {
+                        return Err(PlanError::new(
+                            PlanErrorClass::Bounds,
+                            node,
+                            format!(
+                                "prune_to {w} inconsistent with visible width {visible:?} \
+                                 (row width {width})"
+                            ),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Plan::Limit { input, .. } => self.walk(input),
+        }
+    }
+
+    fn verify_scan(&mut self, scan: &SeqScan) -> Result<(), PlanError> {
+        let node = format!("SeqScan {}", scan.table);
+        let Ok(table) = self.engine.database().table(&scan.table) else {
+            return Err(PlanError::new(
+                PlanErrorClass::Schema,
+                node,
+                "table does not exist in the catalog",
+            ));
+        };
+        self.check();
+        if scan.schema.len() != table.columns.len() {
+            return Err(PlanError::new(
+                PlanErrorClass::Schema,
+                node,
+                format!(
+                    "scan schema width {} != table width {}",
+                    scan.schema.len(),
+                    table.columns.len()
+                ),
+            ));
+        }
+
+        // Pushed conjuncts: sub-query-free and fully resolvable against the
+        // scan schema — strict even in outer mode (`take_applicable` only
+        // pushes conjuncts it fully resolved).
+        for conjunct in scan
+            .pruning
+            .iter()
+            .chain(&scan.residual)
+            .chain(&scan.param_pruning)
+        {
+            self.check();
+            if contains_subquery(conjunct) {
+                return Err(PlanError::new(
+                    PlanErrorClass::Predicate,
+                    &node,
+                    format!("pushed conjunct `{conjunct}` contains a sub-query"),
+                ));
+            }
+            self.columns_resolve(conjunct, &scan.schema, &node, false)?;
+        }
+
+        // Pruning discipline: prune keys and pruning conjuncts require a
+        // declared partition column, and every pruning conjunct references
+        // exactly that column.
+        let partition = table.partition_column();
+        if scan.prune_keys.is_some() || !scan.pruning.is_empty() || !scan.param_pruning.is_empty() {
+            self.check();
+            let Some(pidx) = partition else {
+                return Err(PlanError::new(
+                    PlanErrorClass::Pruning,
+                    &node,
+                    "pruning state on a table without a partition column",
+                ));
+            };
+            for conjunct in scan.pruning.iter().chain(&scan.param_pruning) {
+                let mut cols: Vec<ColumnRef> = Vec::new();
+                collect_columns(conjunct, &mut cols);
+                for col in cols {
+                    self.check();
+                    if scan.schema.resolve(&col) != Some(pidx) {
+                        return Err(PlanError::new(
+                            PlanErrorClass::Pruning,
+                            &node,
+                            format!(
+                                "pruning conjunct `{conjunct}` references `{}`, \
+                                 not the partition column",
+                                col.to_display()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // Bind-time pruning conjuncts are also residual members: pruning
+        // with them is an optimization, never a correctness dependency.
+        for conjunct in &scan.param_pruning {
+            self.check();
+            if !scan.residual.contains(conjunct) {
+                return Err(PlanError::new(
+                    PlanErrorClass::Pruning,
+                    &node,
+                    format!("bind-time pruning conjunct `{conjunct}` missing from the residual"),
+                ));
+            }
+        }
+
+        // The compiled filter: fast forms carry in-bounds column indices and
+        // the compiler never emits the executor-injected key-set kernel.
+        let executor = Executor::new(self.engine);
+        let compiled = executor.compile_filter(&scan.pruning, &scan.schema);
+        let residual = executor.compile_filter(&scan.residual, &scan.schema);
+        for pred in compiled.iter().chain(&residual) {
+            self.check();
+            if matches!(pred, CompiledPred::KeySet { .. }) {
+                return Err(PlanError::new(
+                    PlanErrorClass::Variant,
+                    &node,
+                    "the predicate compiler must never produce a key-set kernel \
+                     (executor-injected on decorrelated probes only)",
+                ));
+            }
+            if let Some(idx) = pred.column_index() {
+                if idx >= scan.schema.len() {
+                    return Err(PlanError::new(
+                        PlanErrorClass::Predicate,
+                        &node,
+                        format!(
+                            "compiled predicate column index {idx} out of schema width {}",
+                            scan.schema.len()
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Snapshot discipline: under a pinned cursor epoch the per-bucket
+        // watermarks are addressable only while the table has not been
+        // destructively rewritten past the pin.
+        if let Some(epoch) = self.opts.pinned_epoch {
+            self.check();
+            if table.rewrite_epoch() > epoch {
+                return Err(PlanError::new(
+                    PlanErrorClass::Snapshot,
+                    &node,
+                    format!(
+                        "scan pinned at epoch {epoch} has no watermark: table rewritten \
+                         at epoch {}",
+                        table.rewrite_epoch()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_hash_join(
+        &mut self,
+        left: &Plan,
+        right: &Plan,
+        keys: &[(Expr, Expr)],
+        residual: &[Expr],
+        kind: JoinVariant,
+        schema: &Schema,
+    ) -> Result<(), PlanError> {
+        let node = match kind {
+            JoinVariant::Plain(k) => format!("HashJoin[{k:?}]"),
+            JoinVariant::Semi => "HashJoin[semi]".to_string(),
+            JoinVariant::Anti => "HashJoin[anti]".to_string(),
+            JoinVariant::Single => "HashJoin[single]".to_string(),
+        };
+        self.check();
+        if keys.is_empty() {
+            return Err(PlanError::new(
+                PlanErrorClass::JoinKey,
+                &node,
+                "hash join without key pairs (non-equi joins plan as nested loops)",
+            ));
+        }
+        for (lk, rk) in keys {
+            self.columns_resolve(lk, left.schema(), &node, true)?;
+            self.columns_resolve(rk, right.schema(), &node, true)?;
+        }
+        match kind {
+            JoinVariant::Plain(_) => {
+                self.check();
+                let concat = left.schema().concat(right.schema());
+                if schema.len() != concat.len() {
+                    return Err(PlanError::new(
+                        PlanErrorClass::Schema,
+                        &node,
+                        format!(
+                            "output width {} != left {} + right {}",
+                            schema.len(),
+                            left.schema().len(),
+                            right.schema().len()
+                        ),
+                    ));
+                }
+                for p in residual {
+                    self.columns_resolve(p, &concat, &node, true)?;
+                }
+            }
+            JoinVariant::Semi | JoinVariant::Anti => {
+                self.check();
+                if schema != left.schema() {
+                    return Err(PlanError::new(
+                        PlanErrorClass::Variant,
+                        &node,
+                        "semi/anti joins emit the probe schema unchanged",
+                    ));
+                }
+                self.check();
+                if !residual.is_empty() {
+                    return Err(PlanError::new(
+                        PlanErrorClass::Variant,
+                        &node,
+                        "semi/anti joins carry no residual (decorrelation bails out instead)",
+                    ));
+                }
+            }
+            JoinVariant::Single => {
+                self.check();
+                if schema != left.schema() {
+                    return Err(PlanError::new(
+                        PlanErrorClass::Variant,
+                        &node,
+                        "aggregate joins emit the probe schema unchanged",
+                    ));
+                }
+                let concat = left.schema().concat(right.schema());
+                for p in residual {
+                    self.columns_resolve(p, &concat, &node, true)?;
+                }
+            }
+        }
+        // Decorrelated key pairs are planner-synthesized, so a comparison-
+        // class mismatch is a rewrite defect, not user input: a string key
+        // never equals a numeric key and the join would silently emit
+        // nothing (semi/single) or everything (anti).
+        if kind != JoinVariant::Plain(mtsql::ast::JoinKind::Inner) {
+            if let JoinVariant::Semi | JoinVariant::Anti | JoinVariant::Single = kind {
+                for (lk, rk) in keys {
+                    self.check();
+                    let lc = self.expr_class(left, lk);
+                    let rc = self.expr_class(right, rk);
+                    if !lc.compatible(rc) {
+                        return Err(PlanError::new(
+                            PlanErrorClass::JoinKey,
+                            &node,
+                            format!("key pair `{lk}` = `{rk}` compares {lc:?} against {rc:?}"),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_project(&mut self, p: &Project) -> Result<(), PlanError> {
+        self.walk(&p.input)?;
+        let node = "Project";
+        let width = items_width(&p.items, p.input.schema());
+        self.check();
+        if p.visible_width > width || p.schema.len() != p.visible_width {
+            return Err(PlanError::new(
+                PlanErrorClass::Schema,
+                node,
+                format!(
+                    "visible width {} / schema width {} inconsistent with {} projected columns",
+                    p.visible_width,
+                    p.schema.len(),
+                    width
+                ),
+            ));
+        }
+        for item in &p.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.columns_resolve(expr, p.input.schema(), node, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_aggregate(&mut self, a: &HashAggregate) -> Result<(), PlanError> {
+        self.walk(&a.input)?;
+        let node = "HashAggregate";
+        let width = items_width(&a.items, a.input.schema());
+        self.check();
+        if a.visible_width > width || a.schema.len() != a.visible_width {
+            return Err(PlanError::new(
+                PlanErrorClass::Schema,
+                node,
+                format!(
+                    "visible width {} / schema width {} inconsistent with {} projected columns",
+                    a.visible_width,
+                    a.schema.len(),
+                    width
+                ),
+            ));
+        }
+        let input_schema = a.input.schema();
+        for g in &a.group_exprs {
+            self.columns_resolve(g, input_schema, node, true)?;
+        }
+        for call in &a.aggregates {
+            for arg in &call.args {
+                self.columns_resolve(arg, input_schema, node, true)?;
+            }
+        }
+        if let Some(h) = &a.having {
+            self.columns_resolve(h, input_schema, node, true)?;
+        }
+        for item in &a.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.columns_resolve(expr, input_schema, node, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Highest `Expr::Param` index anywhere in the plan must stay below the
+    /// bound-parameter count.
+    fn check_params(&mut self, plan: &Plan) -> Result<(), PlanError> {
+        let Some(count) = self.opts.param_count else {
+            return Ok(());
+        };
+        let mut max: Option<usize> = None;
+        each_expr(plan, &mut |e| max_param_index(e, &mut max));
+        self.check();
+        if let Some(m) = max {
+            if m >= count {
+                return Err(PlanError::new(
+                    PlanErrorClass::Param,
+                    "plan",
+                    format!("parameter ${} referenced but only {count} bound", m + 1),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Comparison class of an expression over one side of a join: a plain
+    /// column traces to its base-table storage class; a literal is its own
+    /// class; anything else stays `Unknown`.
+    fn expr_class(&self, plan: &Plan, expr: &Expr) -> TypeClass {
+        match expr {
+            Expr::Column(c) => match plan.schema().resolve(c) {
+                Some(idx) => self.column_class(plan, idx),
+                None => TypeClass::Unknown,
+            },
+            Expr::Literal(lit) => match lit {
+                mtsql::ast::Literal::String(_) => TypeClass::Str,
+                mtsql::ast::Literal::Boolean(_)
+                | mtsql::ast::Literal::Integer(_)
+                | mtsql::ast::Literal::Float(_) => TypeClass::Num,
+                _ => TypeClass::Unknown,
+            },
+            _ => TypeClass::Unknown,
+        }
+    }
+
+    /// Trace an output column of an operator to its storage class, walking
+    /// through pass-through operators and single-column projections.
+    fn column_class(&self, plan: &Plan, idx: usize) -> TypeClass {
+        match plan {
+            Plan::SeqScan(scan) => {
+                let Ok(table) = self.engine.database().table(&scan.table) else {
+                    return TypeClass::Unknown;
+                };
+                if idx >= table.columns.len() {
+                    return TypeClass::Unknown;
+                }
+                for (_, bucket) in table.partitions() {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    if let Some(cols) = bucket.as_columns() {
+                        return match cols.column(idx).data() {
+                            ColumnVec::Str(_) | ColumnVec::Dict(_) => TypeClass::Str,
+                            ColumnVec::Int(_)
+                            | ColumnVec::Float(_)
+                            | ColumnVec::Bool(_)
+                            | ColumnVec::Date(_) => TypeClass::Num,
+                            ColumnVec::Untyped | ColumnVec::Mixed(_) => TypeClass::Unknown,
+                        };
+                    }
+                }
+                // Row-form storage (unpartitioned tables, or columnar scans
+                // disabled): sample the first stored value instead.
+                table
+                    .rows()
+                    .find_map(|row| match row.get(idx) {
+                        Some(crate::Value::Str(_)) => Some(TypeClass::Str),
+                        Some(
+                            crate::Value::Int(_)
+                            | crate::Value::Float(_)
+                            | crate::Value::Bool(_)
+                            | crate::Value::Date(_),
+                        ) => Some(TypeClass::Num),
+                        _ => None,
+                    })
+                    .unwrap_or(TypeClass::Unknown)
+            }
+            Plan::Filter { input, .. } | Plan::Limit { input, .. } => self.column_class(input, idx),
+            Plan::Sort { input, .. } => self.column_class(input, idx),
+            Plan::Subquery { input, .. } => self.column_class(input, idx),
+            Plan::HashJoin {
+                left, right, kind, ..
+            } => match kind {
+                JoinVariant::Plain(_) => {
+                    let lw = left.schema().len();
+                    if idx < lw {
+                        self.column_class(left, idx)
+                    } else {
+                        self.column_class(right, idx - lw)
+                    }
+                }
+                _ => self.column_class(left, idx),
+            },
+            Plan::NestedLoopJoin { left, right, .. } => {
+                let lw = left.schema().len();
+                if idx < lw {
+                    self.column_class(left, idx)
+                } else {
+                    self.column_class(right, idx - lw)
+                }
+            }
+            Plan::Project(p) => match resolve_item(&p.items, idx) {
+                Some(Expr::Column(c)) => match p.input.schema().resolve(c) {
+                    Some(inner) => self.column_class(&p.input, inner),
+                    None => TypeClass::Unknown,
+                },
+                Some(Expr::Literal(lit)) => match lit {
+                    mtsql::ast::Literal::String(_) => TypeClass::Str,
+                    mtsql::ast::Literal::Integer(_) | mtsql::ast::Literal::Float(_) => {
+                        TypeClass::Num
+                    }
+                    _ => TypeClass::Unknown,
+                },
+                _ => TypeClass::Unknown,
+            },
+            Plan::HashAggregate(_) | Plan::Empty { .. } => TypeClass::Unknown,
+        }
+    }
+}
+
+/// The expression a projected column index maps to, when the item list is
+/// wildcard-free up to that index (wildcards make index mapping
+/// input-dependent; give up and stay `Unknown`).
+fn resolve_item(items: &[SelectItem], idx: usize) -> Option<&Expr> {
+    let mut i = 0usize;
+    for item in items {
+        match item {
+            SelectItem::Expr { expr, .. } => {
+                if i == idx {
+                    return Some(expr);
+                }
+                i += 1;
+            }
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => return None,
+        }
+    }
+    None
+}
+
+/// The row width an item list produces over an input schema (wildcards
+/// expand to the input's columns).
+fn items_width(items: &[SelectItem], input: &Schema) -> usize {
+    items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { .. } => 1,
+            SelectItem::Wildcard => input.len(),
+            SelectItem::QualifiedWildcard(q) => input.indices_of_qualifier(q).len(),
+        })
+        .sum()
+}
+
+/// Visit every expression embedded in a plan DAG (predicates, keys,
+/// residuals, projection items, group/aggregate/having expressions).
+fn each_expr<'p>(plan: &'p Plan, f: &mut impl FnMut(&'p Expr)) {
+    let items = |list: &'p [SelectItem], f: &mut dyn FnMut(&'p Expr)| {
+        for item in list {
+            if let SelectItem::Expr { expr, .. } = item {
+                f(expr);
+            }
+        }
+    };
+    match plan {
+        Plan::Empty { .. } => {}
+        Plan::SeqScan(scan) => {
+            for e in scan
+                .pruning
+                .iter()
+                .chain(&scan.residual)
+                .chain(&scan.param_pruning)
+            {
+                f(e);
+            }
+        }
+        Plan::Filter { input, predicates } => {
+            predicates.iter().for_each(&mut *f);
+            each_expr(input, f);
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            ..
+        } => {
+            for (l, r) in keys {
+                f(l);
+                f(r);
+            }
+            residual.iter().for_each(&mut *f);
+            each_expr(left, f);
+            each_expr(right, f);
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            predicates,
+            ..
+        } => {
+            predicates.iter().for_each(&mut *f);
+            each_expr(left, f);
+            each_expr(right, f);
+        }
+        Plan::Subquery { input, .. } => each_expr(input, f),
+        Plan::Project(p) => {
+            items(&p.items, f);
+            each_expr(&p.input, f);
+        }
+        Plan::HashAggregate(a) => {
+            a.group_exprs.iter().for_each(&mut *f);
+            for call in &a.aggregates {
+                call.args.iter().for_each(&mut *f);
+            }
+            if let Some(h) = &a.having {
+                f(h);
+            }
+            items(&a.items, f);
+            each_expr(&a.input, f);
+        }
+        Plan::Sort { input, .. } | Plan::Limit { input, .. } => each_expr(input, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SortKey;
+    use crate::Value;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new(EngineConfig::default());
+        e.create_table("t", &["ttid", "a", "s"]);
+        e.set_table_partition("t", "ttid").unwrap();
+        e.insert_values(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::str("x")],
+                vec![Value::Int(2), Value::Int(20), Value::str("y")],
+            ],
+        )
+        .unwrap();
+        e.create_table("u", &["k", "v"]);
+        e.insert_values("u", vec![vec![Value::Int(1), Value::str("z")]])
+            .unwrap();
+        e
+    }
+
+    fn plan_of(engine: &Engine, sql: &str) -> Plan {
+        engine
+            .plan_query(&mtsql::parse_query(sql).unwrap())
+            .unwrap()
+    }
+
+    fn class_of(err: PlanError) -> PlanErrorClass {
+        err.class
+    }
+
+    #[test]
+    fn clean_plans_verify() {
+        let e = engine();
+        for sql in [
+            "SELECT a FROM t WHERE ttid = 1",
+            "SELECT t.a, u.v FROM t, u WHERE t.a = u.k",
+            "SELECT ttid, SUM(a) FROM t GROUP BY ttid ORDER BY SUM(a) DESC",
+            "SELECT DISTINCT s FROM t ORDER BY s",
+        ] {
+            let plan = plan_of(&e, sql);
+            let report = verify_plan(&e, &plan).unwrap_or_else(|err| panic!("{sql}: {err}"));
+            assert!(report.operators >= 1 && report.checks >= 1);
+        }
+    }
+
+    #[test]
+    fn bad_column_index_in_pushed_conjunct_is_rejected() {
+        let e = engine();
+        let mut plan = plan_of(&e, "SELECT a FROM t WHERE a > 5");
+        // Corrupt the pushed conjunct to reference a column the scan's
+        // schema cannot resolve.
+        mutate_scan(&mut plan, |scan| {
+            scan.residual = vec![mtsql::parse_expression("nope > 5").unwrap()];
+        });
+        let err = verify_plan(&e, &plan).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Column);
+    }
+
+    #[test]
+    fn subquery_in_pushed_conjunct_is_rejected() {
+        let e = engine();
+        let mut plan = plan_of(&e, "SELECT a FROM t WHERE a > 5");
+        mutate_scan(&mut plan, |scan| {
+            scan.residual = vec![mtsql::parse_expression("a > (SELECT k FROM u)").unwrap()];
+        });
+        let err = verify_plan(&e, &plan).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Predicate);
+    }
+
+    #[test]
+    fn scan_schema_arity_mismatch_is_rejected() {
+        let e = engine();
+        let mut plan = plan_of(&e, "SELECT a FROM t");
+        mutate_scan(&mut plan, |scan| {
+            scan.schema = Schema::qualified("t", &["ttid".into(), "a".into()]);
+        });
+        let err = verify_plan(&e, &plan).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Schema);
+    }
+
+    #[test]
+    fn pruning_on_non_partition_column_is_rejected() {
+        let e = engine();
+        let mut plan = plan_of(&e, "SELECT a FROM t WHERE ttid = 1");
+        mutate_scan(&mut plan, |scan| {
+            scan.pruning = vec![mtsql::parse_expression("a = 1").unwrap()];
+        });
+        let err = verify_plan(&e, &plan).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Pruning);
+    }
+
+    #[test]
+    fn prune_keys_on_unpartitioned_table_are_rejected() {
+        let e = engine();
+        let mut plan = plan_of(&e, "SELECT v FROM u");
+        mutate_scan(&mut plan, |scan| {
+            scan.prune_keys = Some([1i64].into_iter().collect());
+        });
+        let err = verify_plan(&e, &plan).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Pruning);
+    }
+
+    #[test]
+    fn param_pruning_outside_residual_is_rejected() {
+        let e = engine();
+        let mut plan = plan_of(&e, "SELECT a FROM t WHERE ttid = $1");
+        mutate_scan(&mut plan, |scan| {
+            scan.residual.clear();
+        });
+        let err = verify_plan(&e, &plan).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Pruning);
+    }
+
+    #[test]
+    fn out_of_range_param_is_rejected() {
+        let e = engine();
+        let plan = plan_of(&e, "SELECT a FROM t WHERE a = $2");
+        let err = verify_plan_with(
+            &e,
+            &plan,
+            VerifyOptions {
+                param_count: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Param);
+        verify_plan_with(
+            &e,
+            &plan,
+            VerifyOptions {
+                param_count: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn semi_join_with_wrong_schema_or_residual_is_rejected() {
+        let e = engine();
+        let probe = plan_of(&e, "SELECT a FROM t");
+        let build = plan_of(&e, "SELECT k FROM u");
+        let keys = vec![(
+            mtsql::parse_expression("a").unwrap(),
+            mtsql::parse_expression("k").unwrap(),
+        )];
+        // Wrong output schema: semi joins must emit the probe schema.
+        let bad_schema = Plan::HashJoin {
+            left: Box::new(probe.clone()),
+            right: Box::new(build.clone()),
+            keys: keys.clone(),
+            residual: vec![],
+            kind: JoinVariant::Semi,
+            schema: probe.schema().concat(build.schema()),
+        };
+        assert_eq!(
+            class_of(verify_plan(&e, &bad_schema).unwrap_err()),
+            PlanErrorClass::Variant
+        );
+        // A residual on a semi join means decorrelation failed to bail out.
+        let bad_residual = Plan::HashJoin {
+            left: Box::new(probe.clone()),
+            right: Box::new(build.clone()),
+            keys: keys.clone(),
+            residual: vec![mtsql::parse_expression("a > 0").unwrap()],
+            kind: JoinVariant::Semi,
+            schema: probe.schema().clone(),
+        };
+        assert_eq!(
+            class_of(verify_plan(&e, &bad_residual).unwrap_err()),
+            PlanErrorClass::Variant
+        );
+        // The well-formed semi join passes.
+        let good = Plan::HashJoin {
+            left: Box::new(probe.clone()),
+            right: Box::new(build),
+            keys,
+            residual: vec![],
+            kind: JoinVariant::Semi,
+            schema: probe.schema().clone(),
+        };
+        verify_plan(&e, &good).unwrap();
+    }
+
+    #[test]
+    fn mismatched_join_key_classes_are_rejected() {
+        let e = engine();
+        let probe = plan_of(&e, "SELECT a FROM t");
+        let build = plan_of(&e, "SELECT v FROM u");
+        // `a` is an Int column, `v` a Str column: the semi join could never
+        // match and must be rejected as a decorrelation defect.
+        let plan = Plan::HashJoin {
+            left: Box::new(probe.clone()),
+            right: Box::new(build),
+            keys: vec![(
+                mtsql::parse_expression("a").unwrap(),
+                mtsql::parse_expression("v").unwrap(),
+            )],
+            residual: vec![],
+            kind: JoinVariant::Semi,
+            schema: probe.schema().clone(),
+        };
+        let err = verify_plan(&e, &plan).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::JoinKey);
+    }
+
+    #[test]
+    fn hash_join_without_keys_is_rejected() {
+        let e = engine();
+        let probe = plan_of(&e, "SELECT a FROM t");
+        let build = plan_of(&e, "SELECT k FROM u");
+        let plan = Plan::HashJoin {
+            left: Box::new(probe.clone()),
+            right: Box::new(build),
+            keys: vec![],
+            residual: vec![],
+            kind: JoinVariant::Semi,
+            schema: probe.schema().clone(),
+        };
+        assert_eq!(
+            class_of(verify_plan(&e, &plan).unwrap_err()),
+            PlanErrorClass::JoinKey
+        );
+    }
+
+    #[test]
+    fn sort_key_out_of_bounds_is_rejected() {
+        let e = engine();
+        let mut plan = plan_of(&e, "SELECT a FROM t ORDER BY a");
+        if let Plan::Sort { keys, .. } = &mut plan {
+            keys[0] = SortKey { col: 99, asc: true };
+        } else {
+            panic!("expected a Sort head, got {plan:?}");
+        }
+        let err = verify_plan(&e, &plan).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Bounds);
+    }
+
+    #[test]
+    fn missing_watermark_under_pinned_epoch_is_rejected() {
+        let mut e = engine();
+        // A destructive rewrite bumps the table's rewrite epoch past any
+        // previously pinned cursor.
+        e.execute("UPDATE t SET a = 11 WHERE ttid = 1").unwrap();
+        let pinned = VerifyOptions {
+            pinned_epoch: Some(0),
+            ..Default::default()
+        };
+        let plan = plan_of(&e, "SELECT a FROM t");
+        let err = verify_plan_with(&e, &plan, pinned).unwrap_err();
+        assert_eq!(class_of(err), PlanErrorClass::Snapshot);
+        // Pinning at the current epoch is fine.
+        let now = VerifyOptions {
+            pinned_epoch: Some(e.current_epoch()),
+            ..Default::default()
+        };
+        verify_plan_with(&e, &plan, now).unwrap();
+    }
+
+    #[test]
+    fn outer_mode_tolerates_correlated_columns() {
+        let e = engine();
+        // A filter referencing a column of the *enclosing* query: strict
+        // mode rejects, outer mode assumes outer-scope binding.
+        let input = plan_of(&e, "SELECT k FROM u");
+        let plan = Plan::Filter {
+            input: Box::new(input),
+            predicates: vec![mtsql::parse_expression("k = t.a").unwrap()],
+        };
+        assert_eq!(
+            class_of(verify_plan(&e, &plan).unwrap_err()),
+            PlanErrorClass::Column
+        );
+        verify_plan_with(
+            &e,
+            &plan,
+            VerifyOptions {
+                outer: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn error_converts_to_typed_engine_error() {
+        let err = PlanError::new(PlanErrorClass::Bounds, "Sort", "sort key out of range");
+        let engine_err: EngineError = err.into();
+        assert_eq!(engine_err.kind(), EngineErrorKind::Plan);
+        assert!(engine_err.to_string().contains("[bounds]"));
+        assert!(engine_err.to_string().contains("Sort"));
+    }
+
+    /// Apply `f` to the first SeqScan found in the plan (panics if none).
+    fn mutate_scan(plan: &mut Plan, f: impl FnOnce(&mut SeqScan)) {
+        fn find(plan: &mut Plan) -> Option<&mut SeqScan> {
+            match plan {
+                Plan::SeqScan(s) => Some(s),
+                Plan::Filter { input, .. }
+                | Plan::Subquery { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Limit { input, .. } => find(input),
+                Plan::Project(p) => find(&mut p.input),
+                Plan::HashAggregate(a) => find(&mut a.input),
+                Plan::HashJoin { left, right, .. } | Plan::NestedLoopJoin { left, right, .. } => {
+                    find(left).or_else(|| find(right))
+                }
+                Plan::Empty { .. } => None,
+            }
+        }
+        f(find(plan).expect("plan has a SeqScan"))
+    }
+}

@@ -382,7 +382,9 @@ impl<'a> Buf<'a> {
 
     fn u64(&mut self, what: &str) -> Result<u64> {
         let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn i64(&mut self, what: &str) -> Result<i64> {
@@ -534,7 +536,7 @@ fn read_frame(data: &[u8], pos: usize) -> Result<Option<(usize, u64, Record)>> {
             "WAL ends inside a frame length prefix",
         ));
     }
-    let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4-byte slice"));
+    let len = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
     if len == 0 || len > MAX_FRAME {
         return Err(EngineError::with_kind(
             EngineErrorKind::Corrupt,
@@ -555,7 +557,12 @@ fn read_frame(data: &[u8], pos: usize) -> Result<Option<(usize, u64, Record)>> {
         ));
     }
     let payload = &data[body_start..body_end];
-    let stored_crc = u32::from_le_bytes(data[body_end..frame_end].try_into().expect("4-byte"));
+    let stored_crc = u32::from_le_bytes([
+        data[body_end],
+        data[body_end + 1],
+        data[body_end + 2],
+        data[body_end + 3],
+    ]);
     if crc32(payload) != stored_crc {
         return Err(EngineError::with_kind(
             EngineErrorKind::Corrupt,

@@ -465,6 +465,96 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Static plan verification (PR 9)
+// ---------------------------------------------------------------------------
+
+/// Small deployments with the static plan verifier forced **on**, crossing
+/// the two axes that change plan *shape*: decorrelation (join variants) and
+/// dictionary encoding (scan kernels). Scale is small — these cells pin that
+/// every plan the planner can produce for the MT-H workload passes
+/// verification, not performance.
+struct VerifyFixtures {
+    decorr_dict: MthDeployment,
+    decorr_nodict: MthDeployment,
+    interp_dict: MthDeployment,
+    interp_nodict: MthDeployment,
+}
+
+fn verify_fixtures() -> &'static VerifyFixtures {
+    static FIXTURES: OnceLock<VerifyFixtures> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let config = MthConfig {
+            scale: 0.05,
+            tenants: TENANTS,
+            distribution: TenantDistribution::Uniform,
+            seed: 42,
+        };
+        let data: GeneratedData = gen::generate(&config);
+        let load = |engine_config| loader::load_from_data(config, engine_config, &data);
+        VerifyFixtures {
+            decorr_dict: load(EngineConfig::postgres_like().with_verify_plans()),
+            decorr_nodict: load(
+                EngineConfig::postgres_like()
+                    .without_dictionary_encoding()
+                    .with_verify_plans(),
+            ),
+            interp_dict: load(
+                EngineConfig::postgres_like()
+                    .without_decorrelation()
+                    .with_verify_plans(),
+            ),
+            interp_nodict: load(
+                EngineConfig::postgres_like()
+                    .without_decorrelation()
+                    .without_dictionary_encoding()
+                    .with_verify_plans(),
+            ),
+        }
+    })
+}
+
+/// Every MT-H query must plan *and verify* cleanly at o2 and o4 across the
+/// {decorrelate, interpret} × {dict, no-dict} configuration cross — the
+/// verifier must reject corrupt plans, never legitimate planner output. The
+/// per-config results must also still agree (verification is read-only).
+#[test]
+fn all_queries_verify_clean_across_the_config_matrix() {
+    let f = verify_fixtures();
+    let cells = [
+        ("decorr+dict", &f.decorr_dict),
+        ("decorr+nodict", &f.decorr_nodict),
+        ("interp+dict", &f.interp_dict),
+        ("interp+nodict", &f.interp_nodict),
+    ];
+    for query in queries::all_query_numbers() {
+        for level in [OptLevel::O2, OptLevel::O4] {
+            let mut baseline: Option<mtbase::ResultSet> = None;
+            for (name, dep) in cells {
+                let mut conn = dep.server.connect(1);
+                conn.set_opt_level(level);
+                conn.execute("SET SCOPE = \"IN (1, 3)\"")
+                    .expect("scope statement");
+                let rs = conn
+                    .query(&queries::query(query))
+                    .unwrap_or_else(|e| panic!("Q{query} at {level:?} on {name}: {e}"));
+                assert!(
+                    conn.last_query_stats().plans_verified > 0,
+                    "Q{query} at {level:?} on {name}: verifier did not engage"
+                );
+                if let Some(base) = &baseline {
+                    assert_eq!(
+                        base, &rs,
+                        "Q{query} at {level:?}: {name} diverged under verification"
+                    );
+                } else {
+                    baseline = Some(rs);
+                }
+            }
+        }
+    }
+}
+
 /// Aggregates that appear only inside HAVING composites (BETWEEN, IS NULL)
 /// must give identical results at every optimization level: either the o3
 /// distribution handles them or it backs off to the undistributed form — it
