@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use mtcatalog::{Privilege, TenantId, TTID_COLUMN};
 use mtengine::stats::StatsSnapshot;
-use mtengine::{ResultSet, Value};
+use mtengine::{LockTarget, ResultSet, Transaction, Value};
 use mtrewrite::{OptLevel, Rewriter};
 use mtsql::ast::{
     Comparability, Expr, GrantObject, Grantee, Insert, InsertSource, Query, ScopeSpec, Select,
@@ -44,6 +44,23 @@ pub struct Connection {
     session: Arc<RwLock<Session>>,
     /// Engine-counter delta recorded around the last executed statement.
     last_stats: StatsSnapshot,
+    /// The open multi-statement transaction, if a `BEGIN` is pending. The
+    /// connection owns it; `COMMIT` runs the server's three-phase group
+    /// commit, `ROLLBACK` (or dropping the connection, or a failed DML
+    /// statement) undoes it.
+    txn: Option<Transaction>,
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        // A connection abandoned mid-transaction must not leave staged rows
+        // or writer locks behind.
+        if let Some(txn) = self.txn.take() {
+            let owner = txn.id();
+            self.server.engine.write().txn_rollback(txn);
+            self.server.locks.release_all(owner);
+        }
+    }
 }
 
 impl Connection {
@@ -56,7 +73,13 @@ impl Connection {
                 level: None,
             })),
             last_stats: StatsSnapshot::default(),
+            txn: None,
         }
+    }
+
+    /// `true` while a `BEGIN` is open on this connection.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
     }
 
     /// The client tenant of this connection.
@@ -155,6 +178,14 @@ impl Connection {
     }
 
     fn execute_statement_inner(&mut self, stmt: &Statement) -> Result<ResultSet> {
+        self.server.check_env()?;
+        match stmt {
+            Statement::Begin => return self.begin_txn(),
+            Statement::Commit => return self.commit_txn(),
+            Statement::Rollback => return self.rollback_txn(),
+            _ if self.txn.is_some() => return self.execute_in_txn(stmt),
+            _ => {}
+        }
         match stmt {
             Statement::SetScope(spec) => {
                 self.session.write().scope = spec.clone();
@@ -283,6 +314,64 @@ impl Connection {
             }
             Statement::Insert(insert) => self.execute_insert(insert),
             Statement::Update(_) | Statement::Delete(_) => self.execute_update_delete(stmt),
+            // Dispatched before this match; kept for exhaustiveness.
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(MtError::Other(
+                "transaction control statements are dispatched before this match".to_string(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-statement transactions (BEGIN / COMMIT / ROLLBACK)
+    // ------------------------------------------------------------------
+
+    fn begin_txn(&mut self) -> Result<ResultSet> {
+        if self.txn.is_some() {
+            return Err(MtError::Other(
+                "a transaction is already open on this connection \
+                 (nested BEGIN is not supported)"
+                    .to_string(),
+            ));
+        }
+        self.txn = Some(self.server.engine.write().begin_transaction());
+        Ok(ResultSet::default())
+    }
+
+    fn commit_txn(&mut self) -> Result<ResultSet> {
+        let txn = self.txn.take().ok_or_else(|| {
+            MtError::Other("COMMIT without an open transaction (BEGIN first)".to_string())
+        })?;
+        self.server.finish_txn_commit(txn)?;
+        Ok(ResultSet::default())
+    }
+
+    fn rollback_txn(&mut self) -> Result<ResultSet> {
+        let txn = self.txn.take().ok_or_else(|| {
+            MtError::Other("ROLLBACK without an open transaction (BEGIN first)".to_string())
+        })?;
+        let owner = txn.id();
+        self.server.engine.write().txn_rollback(txn);
+        self.server.locks.release_all(owner);
+        Ok(ResultSet::default())
+    }
+
+    /// Route one statement executed while a transaction is open. Queries
+    /// read the live state (the transaction sees its own writes); DML joins
+    /// the transaction — staged for one WAL commit, undone together on
+    /// rollback, with a failed DML statement rolling the whole transaction
+    /// back (its locks are released, a later COMMIT reports no open
+    /// transaction). DDL, DCL and `SET SCOPE` are rejected: they commit on
+    /// their own and cannot be staged or rolled back here.
+    fn execute_in_txn(&mut self, stmt: &Statement) -> Result<ResultSet> {
+        match stmt {
+            Statement::Select(query) => self.execute_select_live(query),
+            Statement::Explain(query) => self.execute_explain(query),
+            Statement::Insert(insert) => self.execute_insert(insert),
+            Statement::Update(_) | Statement::Delete(_) => self.execute_update_delete(stmt),
+            _ => Err(unsupported(
+                "DDL, DCL and SET SCOPE inside a transaction \
+                 (these statements commit on their own — COMMIT or ROLLBACK first)",
+            )),
         }
     }
 
@@ -304,6 +393,21 @@ impl Connection {
         )?;
         let engine = self.server.engine.read();
         Ok(engine.execute_plan(&cached.plan, &[])?)
+    }
+
+    /// In-transaction query execution: the same cached front-end, but the
+    /// plan runs against the *live* state instead of the committed snapshot
+    /// floor, so the transaction observes its own staged writes.
+    fn execute_select_live(&mut self, query: &Query) -> Result<ResultSet> {
+        let (cached, _hit) = self.server.resolve_cached_plan(
+            self.client,
+            &self.scope(),
+            self.opt_level(),
+            &query.to_string(),
+            query,
+        )?;
+        let engine = self.server.engine.read();
+        Ok(engine.execute_plan_live(&cached.plan, &[])?)
     }
 
     /// `EXPLAIN <query>`: resolve the plan exactly like `execute_select`
@@ -367,10 +471,10 @@ impl Connection {
         // are column-free expressions: one engine call evaluates them all.
         let source_rows: Vec<Vec<Value>> = match &insert.source {
             InsertSource::Values(rows) => self.server.engine.read().eval_values(rows)?,
-            InsertSource::Query(q) => {
-                // Sub-queries of DML are interpreted exactly like queries.
-                self.execute_select(q)?.rows
-            }
+            // Sub-queries of DML are interpreted exactly like queries — on
+            // the live state inside a transaction (read-your-writes).
+            InsertSource::Query(q) if self.txn.is_some() => self.execute_select_live(q)?.rows,
+            InsertSource::Query(q) => self.execute_select(q)?.rows,
         };
 
         let column_names: Vec<String> = if insert.columns.is_empty() {
@@ -392,8 +496,24 @@ impl Connection {
             })
             .collect();
 
-        let mut inserted = 0i64;
+        // Build every tenant's full-width rows (and the writer locks they
+        // need) up front; nothing is applied until the locks are held. A
+        // tenant-specific insert lands in tenant d's partition bucket, so
+        // two tenants' inserts take different bucket locks and commit in
+        // parallel; a global table's rows are unbucketed (loose).
+        let target_columns = {
+            let engine = self.server.engine.read();
+            let table = engine.database().table(&insert.table)?;
+            table.columns.clone()
+        };
+        let mut full_rows: Vec<Vec<Value>> = Vec::new();
+        let mut targets: Vec<LockTarget> = Vec::new();
         for d in writable {
+            if table_meta.is_tenant_specific() {
+                targets.push(LockTarget::Bucket(d));
+            } else if targets.is_empty() {
+                targets.push(LockTarget::Loose);
+            }
             for row in &source_rows {
                 let mut converted = Vec::with_capacity(row.len());
                 for (value, column) in row.iter().zip(&column_names) {
@@ -410,11 +530,6 @@ impl Connection {
                     physical_columns.insert(0, TTID_COLUMN.to_string());
                     physical_row.insert(0, Value::Int(d));
                 }
-                let target_columns = {
-                    let engine = self.server.engine.read();
-                    let table = engine.database().table(&insert.table)?;
-                    table.columns.clone()
-                };
                 // Build a full-width row in storage order.
                 let mut full = vec![Value::Null; target_columns.len()];
                 for (col, val) in physical_columns.iter().zip(physical_row) {
@@ -426,9 +541,15 @@ impl Connection {
                         })?;
                     full[idx] = val;
                 }
-                self.server.load_rows(&insert.table, vec![full])?;
-                inserted += 1;
+                full_rows.push(full);
             }
+        }
+        let inserted = full_rows.len() as i64;
+        if !full_rows.is_empty() {
+            self.run_dml_in_txn(&insert.table, &targets, |engine, txn| {
+                engine.txn_insert_rows(txn, &insert.table, full_rows)?;
+                Ok(0)
+            })?;
         }
         Ok(ResultSet {
             columns: vec!["rows_inserted".to_string()],
@@ -436,12 +557,64 @@ impl Connection {
         })
     }
 
-    fn execute_update_delete(&mut self, stmt: &Statement) -> Result<ResultSet> {
-        let (table, selection, is_update) = match stmt {
-            Statement::Update(u) => (u.table.clone(), u.selection.clone(), true),
-            Statement::Delete(d) => (d.table.clone(), d.selection.clone(), false),
-            _ => unreachable!("only called for UPDATE/DELETE"),
+    /// Run one DML statement's engine work under this connection's open
+    /// transaction — or, when none is open, under an *implicit* transaction
+    /// committed on the spot through the server's three-phase group commit
+    /// (so a multi-row, multi-tenant statement costs at most one fsync, and
+    /// concurrent statements share even that).
+    ///
+    /// The writer locks are acquired *before* the engine lock is taken —
+    /// acquisition can block for seconds behind a conflicting transaction —
+    /// and are held until the transaction resolves. Any error rolls the
+    /// whole transaction back (the undo log restores every earlier
+    /// statement) and releases its locks.
+    fn run_dml_in_txn(
+        &mut self,
+        table: &str,
+        targets: &[LockTarget],
+        work: impl FnOnce(&mut mtengine::Engine, &mut Transaction) -> Result<i64>,
+    ) -> Result<i64> {
+        let (mut txn, implicit) = match self.txn.take() {
+            Some(txn) => (txn, false),
+            None => (self.server.engine.write().begin_transaction(), true),
         };
+        let owner = txn.id();
+        let applied = (|| {
+            self.server.locks.acquire(owner, table, targets)?;
+            work(&mut self.server.engine.write(), &mut txn)
+        })();
+        match applied {
+            Ok(affected) => {
+                if implicit {
+                    self.server.finish_txn_commit(txn)?;
+                } else {
+                    self.txn = Some(txn);
+                }
+                Ok(affected)
+            }
+            Err(e) => {
+                self.server.engine.write().txn_rollback(txn);
+                self.server.locks.release_all(owner);
+                Err(e)
+            }
+        }
+    }
+
+    fn execute_update_delete(&mut self, stmt: &Statement) -> Result<ResultSet> {
+        let (table, selection, assignments) = match stmt {
+            Statement::Update(u) => (
+                u.table.clone(),
+                u.selection.clone(),
+                Some(u.assignments.clone()),
+            ),
+            Statement::Delete(d) => (d.table.clone(), d.selection.clone(), None),
+            _ => {
+                return Err(MtError::Other(
+                    "execute_update_delete expects UPDATE or DELETE".to_string(),
+                ))
+            }
+        };
+        let is_update = assignments.is_some();
         let dataset = self.resolve_dataset()?;
         let needed = if is_update {
             Privilege::Update
@@ -456,7 +629,9 @@ impl Connection {
                 .ok_or_else(|| MtError::Other(format!("unknown table `{table}`")))?
         };
 
-        let mut affected = 0i64;
+        // Build the per-tenant engine statements first; nothing is applied
+        // until the whole-table lock below is held.
+        let mut per_tenant: Vec<Statement> = Vec::new();
         for d in dataset {
             if !self
                 .server
@@ -482,42 +657,52 @@ impl Connection {
                     .body
                     .selection
             };
-            match stmt {
-                Statement::Update(u) => {
+            per_tenant.push(match &assignments {
+                Some(assigns) => {
                     // Convert assignment values into tenant d's format by
                     // wrapping convertible targets in conversion calls; the
                     // engine evaluates them per row.
-                    let mut assignments = Vec::new();
-                    for (col, value_expr) in &u.assignments {
-                        let wrapped = self.wrap_assignment_for_owner(
-                            &table_meta.name,
-                            col,
-                            value_expr.clone(),
-                            d,
-                        );
-                        assignments.push((col.clone(), wrapped));
-                    }
-                    let update = mtsql::ast::Update {
+                    let assignments = assigns
+                        .iter()
+                        .map(|(col, value_expr)| {
+                            let wrapped = self.wrap_assignment_for_owner(
+                                &table_meta.name,
+                                col,
+                                value_expr.clone(),
+                                d,
+                            );
+                            (col.clone(), wrapped)
+                        })
+                        .collect();
+                    Statement::Update(mtsql::ast::Update {
                         table: table.clone(),
                         assignments,
                         selection: rewritten_selection,
-                    };
-                    let mut engine = self.server.engine.write();
-                    let rs = engine.execute_statement(&Statement::Update(update))?;
-                    affected += rs.scalar().and_then(Value::as_i64).unwrap_or(0);
+                    })
                 }
-                Statement::Delete(_) => {
-                    let delete = mtsql::ast::Delete {
-                        table: table.clone(),
-                        selection: rewritten_selection,
-                    };
-                    let mut engine = self.server.engine.write();
-                    let rs = engine.execute_statement(&Statement::Delete(delete))?;
-                    affected += rs.scalar().and_then(Value::as_i64).unwrap_or(0);
-                }
-                _ => unreachable!(),
-            }
+                None => Statement::Delete(mtsql::ast::Delete {
+                    table: table.clone(),
+                    selection: rewritten_selection,
+                }),
+            });
         }
+
+        // UPDATE / DELETE rewrite the whole row set, so they take the
+        // whole-table lock; every tenant's statement joins one transaction
+        // (implicit when no BEGIN is open), so the multi-tenant statement
+        // commits with at most one fsync.
+        let affected = if per_tenant.is_empty() {
+            0
+        } else {
+            self.run_dml_in_txn(&table, &[LockTarget::Whole], |engine, txn| {
+                let mut affected = 0i64;
+                for stmt in &per_tenant {
+                    let rs = engine.txn_execute_statement(txn, stmt)?;
+                    affected += rs.scalar().and_then(Value::as_i64).unwrap_or(0);
+                }
+                Ok(affected)
+            })?
+        };
         Ok(ResultSet {
             columns: vec![if is_update {
                 "rows_updated"

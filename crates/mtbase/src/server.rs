@@ -1,11 +1,11 @@
 //! The MTBase server: catalog + engine + conversion functions, shared by all
 //! client connections.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use mtcatalog::{Catalog, ConversionFnPair, Privilege, TenantId, TTID_COLUMN};
 use mtengine::udf::UdfImpl;
-use mtengine::{Engine, EngineConfig, MetaOp, ResultSet, Value};
+use mtengine::{Engine, EngineConfig, LockManager, MetaOp, ResultSet, Transaction, Value};
 use mtrewrite::{InlineRegistry, OptLevel, Rewriter};
 use mtsql::ast::{CreateTable, Query, ScopeSpec, Statement, TableGenerality};
 use parking_lot::{Mutex, RwLock};
@@ -22,6 +22,14 @@ pub struct MtBase {
     pub(crate) default_level: RwLock<OptLevel>,
     /// Prepared-plan LRU shared by all connections (see [`crate::plan_cache`]).
     pub(crate) plan_cache: Mutex<PlanCache>,
+    /// Row/bucket-level writer locks for multi-statement transactions
+    /// (see [`mtengine::LockManager`]). Never acquired while the engine
+    /// lock is held — lock acquisition can block for seconds waiting on a
+    /// conflicting transaction, and everything else would stall behind it.
+    pub(crate) locks: LockManager,
+    /// Cached outcome of the strict environment-override validation (first
+    /// statement of the deployment; durable opens also validate eagerly).
+    env_check: OnceLock<std::result::Result<(), String>>,
 }
 
 impl MtBase {
@@ -33,6 +41,8 @@ impl MtBase {
             inline_registry: RwLock::new(InlineRegistry::new()),
             default_level: RwLock::new(OptLevel::O4),
             plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            locks: LockManager::new(),
+            env_check: OnceLock::new(),
         })
     }
 
@@ -49,7 +59,20 @@ impl MtBase {
             inline_registry: RwLock::new(inline_registry),
             default_level: RwLock::new(OptLevel::O4),
             plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            locks: LockManager::new(),
+            env_check: OnceLock::new(),
         })
+    }
+
+    /// Validate the `MT_THREADS` / `MT_VERIFY` / `WAL_FAULT_MODE`
+    /// environment overrides once per deployment, surfacing a typo'd value
+    /// as a clear error on the first statement instead of a silently
+    /// applied default (see [`mtengine::validate_env_overrides`]).
+    pub(crate) fn check_env(&self) -> Result<()> {
+        let outcome = self
+            .env_check
+            .get_or_init(|| mtengine::validate_env_overrides().map_err(|e| e.to_string()));
+        outcome.clone().map_err(MtError::Other)
     }
 
     /// Open (or create) a durable MTBase deployment backed by the WAL at
@@ -60,6 +83,10 @@ impl MtBase {
     /// serialize — so re-register them via [`MtBase::register_conversion`]
     /// after open, exactly as on a fresh instance.
     pub fn open_durable(engine_config: EngineConfig, path: &std::path::Path) -> Result<Arc<Self>> {
+        // Validate the environment overrides before touching the WAL: a
+        // typo'd `WAL_FAULT_MODE` must fail the startup, not silently run
+        // the deployment without the requested fault injection.
+        mtengine::validate_env_overrides()?;
         let mut engine = Engine::open(engine_config, path)?;
         let mut catalog = Catalog::new();
         for op in engine.take_recovered_meta() {
@@ -296,6 +323,51 @@ impl MtBase {
     /// use it to release memory after a large ad-hoc workload.
     pub fn clear_plan_cache(&self) {
         self.plan_cache.lock().clear();
+    }
+
+    /// Commit an open transaction: the three-phase group-commit protocol.
+    ///
+    /// 1. **Append** — under the engine write lock, the staged records plus
+    ///    one commit marker go to the WAL tail (fast: no fsync in
+    ///    group-commit mode).
+    /// 2. **Flush** — *outside* the engine lock, wait until a flush covers
+    ///    the commit LSN ([`mtengine::WalHandle::wait_durable`]). This is
+    ///    the batching window: concurrent committers park here and one
+    ///    leader's `fsync` covers them all.
+    /// 3. **Publish** — retake the engine lock and lift the transaction's
+    ///    epochs above the committed visibility floor; only now do snapshot
+    ///    readers observe the rows. Then release the writer locks.
+    ///
+    /// Any failure before publish rolls the in-memory application back, so
+    /// memory never claims a commit the log does not have: a failed append
+    /// logged nothing, and a failed flush poisons the WAL writer — recovery
+    /// trusts nothing past the last synced LSN, so the undo keeps memory
+    /// and log in agreement.
+    pub(crate) fn finish_txn_commit(&self, mut txn: Transaction) -> Result<()> {
+        let owner = txn.id();
+        let appended: Result<()> = (|| {
+            let (lsn, handle) = {
+                let mut engine = self.engine.write();
+                let lsn = engine.txn_append(&mut txn)?;
+                (lsn, engine.wal_handle())
+            };
+            if let (Some(lsn), Some(handle)) = (lsn, handle) {
+                handle.wait_durable(lsn)?;
+            }
+            Ok(())
+        })();
+        match appended {
+            Ok(()) => {
+                self.engine.write().txn_publish(txn);
+                self.locks.release_all(owner);
+                Ok(())
+            }
+            Err(e) => {
+                self.engine.write().txn_rollback(txn);
+                self.locks.release_all(owner);
+                Err(e)
+            }
+        }
     }
 
     /// Resolve a scope specification into the dataset `D` (complex scopes

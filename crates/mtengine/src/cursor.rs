@@ -227,7 +227,12 @@ impl Engine {
     /// plans that cannot stream materialize *now* (still under the caller's
     /// lock), so their result is the open-time state by construction.
     pub fn pin_cursor(&self, plan: &Plan, params: &[Value], state: &mut CursorState) -> Result<()> {
-        let epoch = self.current_epoch();
+        // Pin the *committed* floor, not the live epoch: while a
+        // multi-statement transaction is open its statements carry epochs
+        // above the floor, and a cursor must never observe rows a ROLLBACK
+        // (or a crash before COMMIT) takes back. With no open transaction
+        // the floor equals the live epoch.
+        let epoch = self.committed_epoch();
         if crate::verify::verify_enabled(&self.config) {
             // Snapshot discipline: every scan of the pinned plan must still
             // have an addressable watermark at the pin epoch.

@@ -273,6 +273,15 @@ fn select_buckets<'t>(
     prune_keys: &Option<std::collections::BTreeSet<i64>>,
     snapshot: Option<u64>,
 ) -> (Vec<(&'t Bucket, usize)>, u64, u64) {
+    // A snapshot older than the table's last full rewrite cannot be
+    // reconstructed — the pre-rewrite storage is gone and the write marks
+    // would bound every bucket at zero rows. Cursors reject this case with a
+    // typed error before scanning; the per-statement committed-floor
+    // snapshot instead falls back to the live (rewritten) state here — a
+    // documented read-uncommitted window limited to tables a concurrent
+    // open transaction has rewritten (UPDATE / DELETE), closed for the
+    // common append-only case.
+    let snapshot = snapshot.filter(|&s| table.rewrite_epoch() <= s);
     let visible = |key: i64, bucket: &Bucket| match snapshot {
         Some(s) => table.visible_bucket_len(key, s).min(bucket.len()),
         None => bucket.len(),
@@ -1398,9 +1407,11 @@ impl<'e> Executor<'e> {
     }
 
     /// The table's loose rows, bounded at the executor's pinned snapshot.
+    /// Like `select_buckets`, a snapshot predating the table's last full
+    /// rewrite falls back to the live state (it cannot be reconstructed).
     fn visible_loose_rows<'t>(&self, table: &'t crate::table::Table) -> &'t [SharedRow] {
         let loose = table.loose_rows();
-        match self.snapshot {
+        match self.snapshot.filter(|&s| table.rewrite_epoch() <= s) {
             Some(s) => &loose[..table.visible_loose_len(s).min(loose.len())],
             None => loose,
         }

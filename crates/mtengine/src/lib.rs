@@ -111,10 +111,12 @@ pub mod cursor;
 pub mod decorrelate;
 pub mod error;
 pub mod exec;
+pub mod lock;
 pub mod plan;
 pub mod schema;
 pub mod stats;
 pub mod table;
+pub mod txn;
 pub mod udf;
 pub mod value;
 pub mod verify;
@@ -133,12 +135,51 @@ use crate::udf::{UdfImpl, UdfRegistry};
 
 pub use crate::cursor::{CursorBatch, CursorState, RowIter, DEFAULT_BATCH_ROWS};
 pub use crate::error::{EngineError, EngineErrorKind, Result};
+pub use crate::lock::{LockManager, LockTarget};
+pub use crate::txn::Transaction;
 pub use crate::value::Value;
 pub use crate::verify::{PlanError, PlanErrorClass};
-pub use crate::wal::{CrashMode, FailpointClock, MetaOp};
+pub use crate::wal::{CrashMode, FailpointClock, MetaOp, WalHandle};
 
 /// Default morsel size in rows (see [`EngineConfig::morsel_rows`]).
 pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// Validate the process-wide environment overrides eagerly: `MT_THREADS`
+/// (positive integer), `MT_VERIFY` (`1`/`true`/`on` or `0`/`false`/`off`)
+/// and `WAL_FAULT_MODE` (a [`CrashMode`] name). The lazy readers of these
+/// variables run deep inside execution where "could not parse" has no good
+/// answer, so they ignore malformed values — the MTBase server calls this
+/// at startup instead, turning a typo'd override into a clear startup error
+/// rather than a silently applied default.
+pub fn validate_env_overrides() -> Result<()> {
+    if let Ok(raw) = std::env::var("MT_THREADS") {
+        let valid = raw.trim().parse::<usize>().map(|n| n > 0).unwrap_or(false);
+        if !valid {
+            return error::err(format!(
+                "invalid MT_THREADS value `{raw}`: expected a positive integer \
+                 (the parallel-scan worker budget)"
+            ));
+        }
+    }
+    if let Ok(raw) = std::env::var("MT_VERIFY") {
+        let valid = matches!(
+            raw.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "0" | "false" | "off"
+        );
+        if !valid {
+            return error::err(format!(
+                "invalid MT_VERIFY value `{raw}`: expected 1/true/on or 0/false/off \
+                 (the static plan verifier override)"
+            ));
+        }
+    }
+    if let Ok(raw) = std::env::var("WAL_FAULT_MODE") {
+        if let Err(e) = wal::CrashMode::parse(raw.trim()) {
+            return error::err(format!("invalid WAL_FAULT_MODE value: {e}"));
+        }
+    }
+    Ok(())
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -216,6 +257,14 @@ pub struct EngineConfig {
     /// mirroring `MT_THREADS`. `EXPLAIN` verifies unconditionally so its
     /// `verified` marker is identical across build profiles.
     pub verify_plans: bool,
+    /// Batch concurrent committers' fsyncs behind a single flush (see
+    /// [`wal::WalHandle`]): a committer appends its frames under a short
+    /// critical section, then parks until a flush covers its commit LSN —
+    /// whoever arrives first syncs for everyone appended meanwhile.
+    /// Disabling recovers the PR 6 behaviour (one inline fsync per commit,
+    /// writers fully serialized) as the bench baseline. Only meaningful on
+    /// durable engines.
+    pub group_commit: bool,
 }
 
 impl Default for EngineConfig {
@@ -230,6 +279,7 @@ impl Default for EngineConfig {
             decorrelation: true,
             durability: false,
             verify_plans: cfg!(debug_assertions),
+            group_commit: true,
         }
     }
 }
@@ -317,6 +367,14 @@ impl EngineConfig {
         self.verify_plans = false;
         self
     }
+
+    /// Disable group commit (builder-style): every WAL commit syncs inline
+    /// under the writer lock, one fsync per transaction — the PR 6 baseline
+    /// the `pr10_txn` bench compares against.
+    pub fn without_group_commit(mut self) -> Self {
+        self.group_commit = false;
+        self
+    }
 }
 
 /// The result of a query: column names plus materialized rows.
@@ -349,10 +407,15 @@ pub struct Engine {
     counters: EngineCounters,
     config: EngineConfig,
     /// The write-ahead log, present on durable engines ([`Engine::open`]).
-    wal: Option<wal::Wal>,
+    /// Shared (`Arc`) so commit waiters can park on [`wal::WalHandle::wait_durable`]
+    /// *without* holding the engine lock — that release is what lets
+    /// concurrent committers batch behind one fsync.
+    wal: Option<Arc<wal::WalHandle>>,
     /// Catalog records found during recovery, handed to the middleware via
     /// [`Engine::take_recovered_meta`].
     recovered_meta: Vec<MetaOp>,
+    /// Transaction id allocator (see [`Engine::begin_transaction`]).
+    pub(crate) txn_seq: u64,
 }
 
 impl Engine {
@@ -365,6 +428,7 @@ impl Engine {
             config,
             wal: None,
             recovered_meta: Vec::new(),
+            txn_seq: 0,
         }
     }
 
@@ -383,7 +447,11 @@ impl Engine {
         for record in std::mem::take(&mut recovery.records) {
             engine.apply_record(record)?;
         }
-        engine.wal = Some(wal::Wal::open_at(path, &recovery)?);
+        engine.wal = Some(wal::WalHandle::open_at(
+            path,
+            &recovery,
+            config.group_commit,
+        )?);
         Ok(engine)
     }
 
@@ -396,7 +464,14 @@ impl Engine {
     /// or nothing has been logged). After recovery this is the replay
     /// horizon — the middleware couples the catalog epoch to it.
     pub fn wal_last_lsn(&self) -> u64 {
-        self.wal.as_ref().map_or(0, wal::Wal::last_lsn)
+        self.wal.as_ref().map_or(0, |w| w.last_lsn())
+    }
+
+    /// The shared WAL writer handle, when durable. Commit paths clone the
+    /// `Arc` so they can wait for durability ([`wal::WalHandle::wait_durable`])
+    /// after releasing the engine lock — the group-commit window.
+    pub fn wal_handle(&self) -> Option<Arc<wal::WalHandle>> {
+        self.wal.clone()
     }
 
     /// Take the catalog records recovered from the log (middleware replay).
@@ -407,21 +482,29 @@ impl Engine {
     /// Install a crash-fault injection clock on the WAL writer (no-op on
     /// non-durable engines). See [`FailpointClock`].
     pub fn set_failpoint_clock(&mut self, clock: Arc<FailpointClock>) {
-        if let Some(w) = &mut self.wal {
+        if let Some(w) = &self.wal {
             w.set_failpoint_clock(clock);
         }
     }
 
-    /// The current mutation epoch — what snapshot readers pin at open.
+    /// The current mutation epoch — the newest watermark any row carries.
     pub fn current_epoch(&self) -> u64 {
         self.db.current_epoch()
+    }
+
+    /// The newest epoch visible to readers outside a transaction: one below
+    /// the oldest open transaction's first statement, or the current epoch
+    /// when none is open. Snapshot readers (cursors, and per-statement
+    /// snapshots while a transaction is open) pin this.
+    pub fn committed_epoch(&self) -> u64 {
+        self.db.committed_epoch()
     }
 
     /// Append records plus a commit marker to the WAL and sync, or do
     /// nothing on non-durable engines. Callers apply the mutation in
     /// memory only after this returns `Ok` (write-ahead ordering).
     fn log(&mut self, records: &[wal::Record]) -> Result<()> {
-        if let Some(w) = &mut self.wal {
+        if let Some(w) = &self.wal {
             w.commit(records)?;
         }
         Ok(())
@@ -753,6 +836,12 @@ impl Engine {
             prepared_cache_hits: self.counters.prepared_cache_hits(),
             prepared_cache_misses: self.counters.prepared_cache_misses(),
             plans_verified: self.counters.plans_verified(),
+            txn_commits: self.counters.txn_commits(),
+            txn_rollbacks: self.counters.txn_rollbacks(),
+            // Gauges from the WAL writer (like `dict_columns`, not reset by
+            // `reset_stats` — `delta_from` handles windowing).
+            wal_commits: self.wal.as_ref().map_or(0, |w| w.commits()),
+            wal_fsyncs: self.wal.as_ref().map_or(0, |w| w.fsyncs()),
         }
     }
 
@@ -803,8 +892,28 @@ impl Engine {
     }
 
     /// Execute a previously lowered plan with the given bound parameter
-    /// values (empty for parameter-free statements).
+    /// values (empty for parameter-free statements). While a transaction is
+    /// open somewhere on the engine, the statement runs against the
+    /// committed-epoch snapshot so uncommitted (and later rolled-back) rows
+    /// are never observed; with no open transaction the snapshot equals the
+    /// live state and the read is unbounded (the common, zero-cost path).
     pub fn execute_plan(&self, plan: &plan::Plan, params: &[Value]) -> Result<ResultSet> {
+        self.execute_plan_pinned(plan, params, false)
+    }
+
+    /// Like [`Engine::execute_plan`] but always reading the live state —
+    /// the read-your-writes path for the session that *owns* the open
+    /// transaction.
+    pub fn execute_plan_live(&self, plan: &plan::Plan, params: &[Value]) -> Result<ResultSet> {
+        self.execute_plan_pinned(plan, params, true)
+    }
+
+    fn execute_plan_pinned(
+        &self,
+        plan: &plan::Plan,
+        params: &[Value],
+        live: bool,
+    ) -> Result<ResultSet> {
         if verify::verify_enabled(&self.config) {
             let opts = verify::VerifyOptions {
                 param_count: Some(params.len()),
@@ -813,7 +922,10 @@ impl Engine {
             verify::verify_plan_with(self, plan, opts)?;
             self.counters.add_plans_verified(1);
         }
-        let executor = Executor::with_params(self, params.to_vec());
+        let mut executor = Executor::with_params(self, params.to_vec());
+        if !live && self.db.has_uncommitted() {
+            executor.pin_snapshot(self.db.committed_epoch());
+        }
         let rel = executor.execute_plan(plan, None)?;
         Ok(ResultSet::from_relation(rel))
     }
@@ -1042,6 +1154,14 @@ impl Engine {
             Statement::Grant(_) | Statement::Revoke(_) | Statement::SetScope(_) => {
                 Err(EngineError::new(
                     "DCL and SCOPE statements are handled by the MTBase middleware, not the engine",
+                ))
+            }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                // Transaction control is session state: the middleware owns
+                // the open [`Transaction`] and drives the engine through
+                // `begin_transaction` / `txn_*` instead.
+                Err(EngineError::new(
+                    "transaction control statements are handled by the MTBase session, not the engine",
                 ))
             }
         }

@@ -78,6 +78,21 @@ pub struct StatsSnapshot {
     /// the `pr9_verify` bench reads this to prove the verifier actually
     /// engaged on the measured leg.
     pub plans_verified: u64,
+    /// Multi-statement transactions published ([`crate::Engine::txn_publish`]).
+    pub txn_commits: u64,
+    /// Multi-statement transactions rolled back — explicit `ROLLBACK` plus
+    /// commit failures undone via the undo log.
+    pub txn_rollbacks: u64,
+    /// WAL commit markers appended (one per logged transaction — implicit
+    /// single-statement and explicit multi-statement alike). A gauge read
+    /// from the WAL writer, *not* cleared by [`crate::Engine::reset_stats`];
+    /// window with [`StatsSnapshot::delta_from`].
+    pub wal_commits: u64,
+    /// fsync (`sync_data`) calls issued by the WAL writer. With group commit
+    /// on and concurrent committers, `wal_fsyncs / wal_commits` drops below
+    /// one — the batching the `pr10_txn` bench measures. Same gauge
+    /// semantics as [`StatsSnapshot::wal_commits`].
+    pub wal_fsyncs: u64,
 }
 
 impl StatsSnapshot {
@@ -123,6 +138,10 @@ impl StatsSnapshot {
                 .prepared_cache_misses
                 .saturating_sub(before.prepared_cache_misses),
             plans_verified: self.plans_verified.saturating_sub(before.plans_verified),
+            txn_commits: self.txn_commits.saturating_sub(before.txn_commits),
+            txn_rollbacks: self.txn_rollbacks.saturating_sub(before.txn_rollbacks),
+            wal_commits: self.wal_commits.saturating_sub(before.wal_commits),
+            wal_fsyncs: self.wal_fsyncs.saturating_sub(before.wal_fsyncs),
         }
     }
 }
@@ -144,6 +163,8 @@ pub struct EngineCounters {
     prepared_cache_hits: AtomicU64,
     prepared_cache_misses: AtomicU64,
     plans_verified: AtomicU64,
+    txn_commits: AtomicU64,
+    txn_rollbacks: AtomicU64,
 }
 
 impl EngineCounters {
@@ -284,6 +305,26 @@ impl EngineCounters {
         self.plans_verified.load(Ordering::Relaxed)
     }
 
+    /// Record one transaction published.
+    pub fn add_txn_commit(&self) {
+        self.txn_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current published-transaction count.
+    pub fn txn_commits(&self) -> u64 {
+        self.txn_commits.load(Ordering::Relaxed)
+    }
+
+    /// Record one transaction rolled back.
+    pub fn add_txn_rollback(&self) {
+        self.txn_rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current rolled-back-transaction count.
+    pub fn txn_rollbacks(&self) -> u64 {
+        self.txn_rollbacks.load(Ordering::Relaxed)
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.rows_scanned.store(0, Ordering::Relaxed);
@@ -300,6 +341,8 @@ impl EngineCounters {
         self.prepared_cache_hits.store(0, Ordering::Relaxed);
         self.prepared_cache_misses.store(0, Ordering::Relaxed);
         self.plans_verified.store(0, Ordering::Relaxed);
+        self.txn_commits.store(0, Ordering::Relaxed);
+        self.txn_rollbacks.store(0, Ordering::Relaxed);
     }
 }
 

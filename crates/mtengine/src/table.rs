@@ -41,7 +41,7 @@
 //! ([`Table::rewrite_epoch`]), and cursors pinned before it fail with a
 //! typed error rather than silently reading rewritten storage.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use mtsql::ast::Query;
@@ -170,6 +170,14 @@ impl DictColumn {
     /// Append a placeholder slot for a NULL row.
     fn push_null(&mut self) {
         self.codes.push(0);
+    }
+
+    /// Drop every row past `len` (rollback of appended rows). The dictionary
+    /// keeps entries the surviving rows may no longer reference — harmless:
+    /// code order still equals string order, and an unreferenced entry just
+    /// matches no row.
+    fn truncate(&mut self, len: usize) {
+        self.codes.truncate(len);
     }
 
     /// Decode every slot into a plain string array (demotion). Placeholder
@@ -345,6 +353,33 @@ impl Column {
         }
     }
 
+    /// Drop every row past `len` (rollback of appended rows). The layout is
+    /// kept as-is: a dictionary demotion that happened while the dropped rows
+    /// were pushed is not re-promoted, matching the recovery convention that
+    /// physical layout is never part of the durable state.
+    fn truncate(&mut self, len: usize) {
+        match &mut self.data {
+            ColumnVec::Untyped => {}
+            ColumnVec::Int(xs) => xs.truncate(len),
+            ColumnVec::Float(xs) => xs.truncate(len),
+            ColumnVec::Bool(xs) => xs.truncate(len),
+            ColumnVec::Date(xs) => xs.truncate(len),
+            ColumnVec::Str(xs) => xs.truncate(len),
+            ColumnVec::Dict(d) => d.truncate(len),
+            ColumnVec::Mixed(xs) => xs.truncate(len),
+        }
+        self.nulls.truncate(len.div_ceil(64));
+        // Pushes only ever *set* null bits (a fresh word is appended per 64
+        // rows), so the dropped rows' bits in the now-partial last word must
+        // be cleared here — otherwise rows pushed after the rollback would
+        // inherit the dropped rows' null flags.
+        if !len.is_multiple_of(64) {
+            if let Some(last) = self.nulls.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+    }
+
     /// The typed array behind this column (kernel input).
     pub fn data(&self) -> &ColumnVec {
         &self.data
@@ -408,6 +443,15 @@ impl ColumnBucket {
             }
         }
         self.len += 1;
+    }
+
+    /// Drop every row past `len` (rollback of appended rows). Layout
+    /// transitions are not reverted (see [`Column::truncate`]).
+    fn truncate(&mut self, len: usize) {
+        for column in &mut self.columns {
+            column.truncate(len);
+        }
+        self.len = len;
     }
 
     /// Number of rows.
@@ -527,6 +571,14 @@ impl Bucket {
         match self {
             Bucket::Rows(rows) => rows.push(row),
             Bucket::Columnar(cols) => cols.push_row_tracked(&row, dict_buckets),
+        }
+    }
+
+    /// Drop every row past `len` (rollback of appended rows).
+    fn truncate(&mut self, len: usize) {
+        match self {
+            Bucket::Rows(rows) => rows.truncate(len),
+            Bucket::Columnar(cols) => cols.truncate(len),
         }
     }
 
@@ -848,6 +900,61 @@ impl Table {
         }
     }
 
+    /// Length and watermark count of bucket `key` (`None` when the bucket
+    /// does not exist) — captured *before* a transactional statement appends,
+    /// so its undo record can truncate back on rollback.
+    pub fn bucket_state(&self, key: i64) -> Option<(u32, u32)> {
+        self.buckets.get(&key).map(|b| {
+            let marks = self.bucket_marks.get(&key).map_or(0, |m| m.len() as u32);
+            (b.len() as u32, marks)
+        })
+    }
+
+    /// Length and watermark count of the loose rows (see
+    /// [`Table::bucket_state`]).
+    pub fn loose_state(&self) -> (u32, u32) {
+        (self.loose.len() as u32, self.loose_marks.len() as u32)
+    }
+
+    /// Undo appends into bucket `key`: drop rows past `len` and watermarks
+    /// past `marks`, clamping surviving watermark lengths to the new bucket
+    /// length (a later undo step may have rebuilt the bucket with a single
+    /// full-length watermark). `existed == false` removes the bucket
+    /// entirely — it was created by the statement being undone.
+    pub fn truncate_bucket(&mut self, key: i64, existed: bool, len: u32, marks: u32) {
+        if !existed {
+            if let Some(Bucket::Columnar(cols)) = self.buckets.remove(&key).as_ref() {
+                for col in 0..self.columns.len() {
+                    if cols.column(col).is_dict() {
+                        if let Some(c) = self.dict_bucket_cols.get_mut(col) {
+                            *c = c.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            self.bucket_marks.remove(&key);
+            return;
+        }
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            bucket.truncate(len as usize);
+        }
+        if let Some(m) = self.bucket_marks.get_mut(&key) {
+            m.truncate(marks as usize);
+            for (_, l) in m.iter_mut() {
+                *l = (*l).min(len);
+            }
+        }
+    }
+
+    /// Undo appends to the loose rows (see [`Table::truncate_bucket`]).
+    pub fn truncate_loose(&mut self, len: u32, marks: u32) {
+        self.loose.truncate(len as usize);
+        self.loose_marks.truncate(marks as usize);
+        for (_, l) in self.loose_marks.iter_mut() {
+            *l = (*l).min(len);
+        }
+    }
+
     /// Iterate over all rows: partition buckets in key order, then loose
     /// rows. Rows from columnar buckets are materialized on the fly.
     pub fn rows(&self) -> impl Iterator<Item = SharedRow> + '_ {
@@ -898,6 +1005,10 @@ pub struct Database {
     /// rows that mutation pushes (via [`Table::begin_write`]) and pinned by
     /// snapshot readers. Epoch 0 is "before any tracked mutation".
     epoch: u64,
+    /// Epochs allocated by statements of still-open transactions. Readers
+    /// outside those transactions pin [`Database::committed_epoch`], which
+    /// stays below every unresolved epoch.
+    uncommitted: BTreeSet<u64>,
 }
 
 impl Database {
@@ -916,6 +1027,40 @@ impl Database {
     pub fn bump_epoch(&mut self) -> u64 {
         self.epoch += 1;
         self.epoch
+    }
+
+    /// Advance the epoch for a transactional statement whose commit is still
+    /// pending: the epoch is registered as uncommitted, holding the
+    /// committed visibility floor below it until the transaction resolves.
+    pub fn begin_uncommitted_epoch(&mut self) -> u64 {
+        let epoch = self.bump_epoch();
+        self.uncommitted.insert(epoch);
+        epoch
+    }
+
+    /// The newest epoch every reader outside a transaction may observe: one
+    /// below the oldest unresolved transaction epoch, or the current epoch
+    /// when no transaction is open. Snapshot readers pin this instead of
+    /// [`Database::current_epoch`], so uncommitted (and later rolled-back)
+    /// rows are never visible to them.
+    pub fn committed_epoch(&self) -> u64 {
+        match self.uncommitted.first() {
+            Some(&e) => e - 1,
+            None => self.epoch,
+        }
+    }
+
+    /// Are any transaction epochs unresolved?
+    pub fn has_uncommitted(&self) -> bool {
+        !self.uncommitted.is_empty()
+    }
+
+    /// Resolve a transaction's epochs (on commit *or* rollback): they stop
+    /// holding down the committed visibility floor.
+    pub fn resolve_epochs(&mut self, epochs: &[u64]) {
+        for e in epochs {
+            self.uncommitted.remove(e);
+        }
     }
 
     /// Create (or replace) a table.

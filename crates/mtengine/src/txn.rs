@@ -1,0 +1,504 @@
+//! Multi-statement transactions: staged WAL records plus in-memory undo.
+//!
+//! A [`Transaction`] collects the WAL records of every DML statement
+//! executed under it ([`Engine::txn_execute_statement`]) while applying the
+//! statements to the in-memory tables immediately — each under its own
+//! *uncommitted* epoch ([`crate::table::Database::begin_uncommitted_epoch`]),
+//! so snapshot readers outside the transaction (pinned to the committed
+//! epoch) never observe the staged rows. Alongside every statement the
+//! transaction records the inverse operation:
+//!
+//! * appends (INSERT) undo as **truncations** — the pre-statement length and
+//!   watermark count of every touched bucket (buckets are append-only, so
+//!   dropping the tail restores them bit-for-bit);
+//! * rewrites (UPDATE / DELETE) undo as a **full pre-image** — the engine
+//!   implements both as a row-set rewrite, so the undo is the row set it
+//!   replaced.
+//!
+//! `COMMIT` appends all staged records plus one commit marker to the WAL as
+//! a single log transaction ([`Engine::txn_append`]); after the caller has
+//! waited for durability (outside the engine lock — see
+//! [`crate::wal::WalHandle::wait_durable`]) it publishes the epochs
+//! ([`Engine::txn_publish`]). `ROLLBACK` — or a failed append/flush —
+//! replays the undo log in reverse ([`Engine::txn_rollback`]), restoring
+//! the pre-transaction state; nothing was logged, so recovery agrees.
+//!
+//! Physical layout transitions are deliberately *not* undone: a dictionary
+//! demotion triggered by rows that are later rolled back stays demoted,
+//! matching the recovery convention that layout is never part of the
+//! durable state (results are layout-independent).
+
+use std::collections::BTreeSet;
+
+use mtsql::ast::Statement;
+
+use crate::error::{err, EngineError, Result};
+use crate::exec::{Env, Executor};
+use crate::schema::Schema;
+use crate::table::{Row, SharedRow};
+use crate::wal::Record;
+use crate::{Engine, ResultSet, Value};
+
+/// The inverse of one transactional statement, replayed in reverse order on
+/// rollback.
+#[derive(Debug)]
+enum UndoOp {
+    /// Undo appends into one partition bucket: truncate back to the
+    /// pre-statement length and watermark count (`existed == false` removes
+    /// the bucket — the statement created it).
+    TruncateBucket {
+        table: String,
+        key: i64,
+        existed: bool,
+        len: u32,
+        marks: u32,
+    },
+    /// Undo appends to the loose rows, mirroring `TruncateBucket`.
+    TruncateLoose { table: String, len: u32, marks: u32 },
+    /// Undo a row-set rewrite: discard the current rows and re-push the
+    /// pre-statement image (at epoch 0, visible to every snapshot — the
+    /// restored rows *are* the committed state).
+    RestoreRows { table: String, rows: Vec<SharedRow> },
+}
+
+/// An open multi-statement transaction (see the module docs). Created by
+/// [`Engine::begin_transaction`]; resolved by exactly one of
+/// [`Engine::txn_publish`] or [`Engine::txn_rollback`].
+#[derive(Debug)]
+pub struct Transaction {
+    id: u64,
+    /// WAL records staged for the commit append, in statement order.
+    pending: Vec<Record>,
+    /// Undo log, in execution order (replayed in reverse).
+    undo: Vec<UndoOp>,
+    /// Uncommitted epochs allocated by this transaction's statements.
+    epochs: Vec<u64>,
+    /// DML statements executed so far.
+    statements: u64,
+}
+
+impl Transaction {
+    /// Unique id of this transaction on its engine — also used as the lock
+    /// owner for [`crate::lock::LockManager`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// DML statements executed under this transaction so far.
+    pub fn statements(&self) -> u64 {
+        self.statements
+    }
+
+    /// `true` when no statement staged anything to log.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl Engine {
+    /// Open a transaction. The engine does not track it — the caller owns
+    /// the [`Transaction`] and must resolve it via [`Engine::txn_publish`]
+    /// or [`Engine::txn_rollback`] (the middleware's session does this).
+    pub fn begin_transaction(&mut self) -> Transaction {
+        self.txn_seq += 1;
+        Transaction {
+            id: self.txn_seq,
+            pending: Vec::new(),
+            undo: Vec::new(),
+            epochs: Vec::new(),
+            statements: 0,
+        }
+    }
+
+    /// Execute one statement under an open transaction. DML stages its WAL
+    /// record and applies in memory under an uncommitted epoch; SELECT reads
+    /// the live state (the transaction sees its own writes). Everything else
+    /// — DDL, DCL — is rejected: those statements commit their own WAL
+    /// transaction and cannot be staged or rolled back here.
+    pub fn txn_execute_statement(
+        &mut self,
+        txn: &mut Transaction,
+        stmt: &Statement,
+    ) -> Result<ResultSet> {
+        match stmt {
+            Statement::Select(q) => self.execute_query(q),
+            Statement::Explain(q) => self.explain_query(q),
+            Statement::Insert(insert) => {
+                let rows = self.build_insert_rows(insert)?;
+                let count = rows.len() as i64;
+                self.txn_insert_rows(txn, &insert.table, rows)?;
+                txn.statements += 1;
+                Ok(ResultSet {
+                    columns: vec!["rows_inserted".to_string()],
+                    rows: vec![vec![Value::Int(count)]],
+                })
+            }
+            Statement::Update(update) => {
+                let new_rows = self.compute_update_rows(update)?;
+                let changed = new_rows.iter().filter(|(m, _)| *m).count() as i64;
+                let rows: Vec<SharedRow> = new_rows.into_iter().map(|(_, r)| r).collect();
+                self.txn_replace_rows(txn, &update.table, rows)?;
+                txn.statements += 1;
+                Ok(ResultSet {
+                    columns: vec!["rows_updated".to_string()],
+                    rows: vec![vec![Value::Int(changed)]],
+                })
+            }
+            Statement::Delete(delete) => {
+                let (keep, removed) = self.compute_delete_rows(delete)?;
+                self.txn_replace_rows(txn, &delete.table, keep)?;
+                txn.statements += 1;
+                Ok(ResultSet {
+                    columns: vec!["rows_deleted".to_string()],
+                    rows: vec![vec![Value::Int(removed)]],
+                })
+            }
+            _ => err(
+                "only SELECT, INSERT, UPDATE and DELETE are allowed inside a transaction \
+                 (DDL and DCL statements commit on their own)",
+            ),
+        }
+    }
+
+    /// Stage and apply one INSERT batch under `txn` (the transactional
+    /// counterpart of [`Engine::insert_values`]). The rows staged for the
+    /// WAL are exactly the rows applied.
+    pub fn txn_insert_rows(
+        &mut self,
+        txn: &mut Transaction,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<()> {
+        // Validate arity up front so an invalid batch stages nothing.
+        let width = self.db.table(table)?.columns.len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+            return err(format!(
+                "row arity {} does not match table `{table}` with {width} columns",
+                bad.len(),
+            ));
+        }
+        // Record the pre-statement tail of every bucket the batch appends
+        // to; the undo truncates back to it.
+        let t = self.db.table(table)?;
+        let canonical = t.name.clone();
+        let mut keys: BTreeSet<i64> = BTreeSet::new();
+        let mut touches_loose = false;
+        match t.partition_column() {
+            Some(idx) => {
+                for row in &rows {
+                    match row.get(idx) {
+                        Some(Value::Int(k)) => {
+                            keys.insert(*k);
+                        }
+                        _ => touches_loose = true,
+                    }
+                }
+            }
+            None => touches_loose = true,
+        }
+        for key in keys {
+            let (existed, len, marks) = match t.bucket_state(key) {
+                Some((len, marks)) => (true, len, marks),
+                None => (false, 0, 0),
+            };
+            txn.undo.push(UndoOp::TruncateBucket {
+                table: canonical.clone(),
+                key,
+                existed,
+                len,
+                marks,
+            });
+        }
+        if touches_loose {
+            let (len, marks) = t.loose_state();
+            txn.undo.push(UndoOp::TruncateLoose {
+                table: canonical.clone(),
+                len,
+                marks,
+            });
+        }
+        if self.wal.is_some() {
+            txn.pending.push(Record::InsertRows {
+                table: canonical,
+                rows: rows.clone(),
+            });
+        }
+        let epoch = self.db.begin_uncommitted_epoch();
+        txn.epochs.push(epoch);
+        let t = self.db.table_mut(table)?;
+        t.begin_write(epoch);
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Stage and apply one full row-set rewrite (UPDATE / DELETE) under
+    /// `txn`, recording the replaced rows as the undo image.
+    fn txn_replace_rows(
+        &mut self,
+        txn: &mut Transaction,
+        table: &str,
+        rows: Vec<SharedRow>,
+    ) -> Result<()> {
+        let t = self.db.table(table)?;
+        let canonical = t.name.clone();
+        let pre_image: Vec<SharedRow> = t.rows().collect();
+        txn.undo.push(UndoOp::RestoreRows {
+            table: canonical.clone(),
+            rows: pre_image,
+        });
+        if self.wal.is_some() {
+            txn.pending.push(Record::ReplaceRows {
+                table: canonical,
+                rows: rows.iter().map(|r| r.to_vec()).collect(),
+            });
+        }
+        let epoch = self.db.begin_uncommitted_epoch();
+        txn.epochs.push(epoch);
+        let t = self.db.table_mut(table)?;
+        t.begin_write(epoch);
+        t.take_rows();
+        for row in rows {
+            t.push_shared(row);
+        }
+        Ok(())
+    }
+
+    /// Append the transaction's staged records plus one commit marker to
+    /// the WAL (group-commit append: the frames are not yet durable).
+    /// Returns the commit LSN to pass to
+    /// [`crate::wal::WalHandle::wait_durable`], or `None` when there is
+    /// nothing to log (empty transaction or non-durable engine) and no wait
+    /// is needed. On error nothing was logged — the caller must roll back.
+    pub fn txn_append(&mut self, txn: &mut Transaction) -> Result<Option<u64>> {
+        if txn.pending.is_empty() {
+            return Ok(None);
+        }
+        let Some(wal) = &self.wal else {
+            txn.pending.clear();
+            return Ok(None);
+        };
+        let lsn = wal.append_txn(&std::mem::take(&mut txn.pending))?;
+        Ok(Some(lsn))
+    }
+
+    /// Resolve a committed transaction: its epochs stop holding down the
+    /// committed visibility floor, making its rows visible to snapshot
+    /// readers. Call only after the WAL append (and durability wait)
+    /// succeeded.
+    pub fn txn_publish(&mut self, txn: Transaction) {
+        self.db.resolve_epochs(&txn.epochs);
+        self.counters.add_txn_commit();
+    }
+
+    /// Roll the transaction back: replay the undo log in reverse, restoring
+    /// the pre-transaction state, and resolve the epochs. Used by ROLLBACK
+    /// and by every commit failure after statements already applied.
+    pub fn txn_rollback(&mut self, txn: Transaction) {
+        for op in txn.undo.into_iter().rev() {
+            match op {
+                UndoOp::TruncateBucket {
+                    table,
+                    key,
+                    existed,
+                    len,
+                    marks,
+                } => {
+                    if let Ok(t) = self.db.table_mut(&table) {
+                        t.truncate_bucket(key, existed, len, marks);
+                    }
+                }
+                UndoOp::TruncateLoose { table, len, marks } => {
+                    if let Ok(t) = self.db.table_mut(&table) {
+                        t.truncate_loose(len, marks);
+                    }
+                }
+                UndoOp::RestoreRows { table, rows } => {
+                    if let Ok(t) = self.db.table_mut(&table) {
+                        // Epoch 0: the restored rows are the committed state,
+                        // visible to every snapshot. `begin_write` *before*
+                        // `take_rows` keeps the rewrite epoch where the
+                        // statement already put it.
+                        t.begin_write(0);
+                        t.take_rows();
+                        for row in rows {
+                            t.push_shared(row);
+                        }
+                    }
+                }
+            }
+        }
+        self.db.resolve_epochs(&txn.epochs);
+        self.counters.add_txn_rollback();
+    }
+
+    fn compute_update_rows(&self, update: &mtsql::ast::Update) -> Result<Vec<(bool, SharedRow)>> {
+        let (schema, assignments, selection) = {
+            let table = self.db.table(&update.table)?;
+            (
+                Schema::qualified(&table.name, &table.columns),
+                update.assignments.clone(),
+                update.selection.clone(),
+            )
+        };
+        let executor = Executor::new(self);
+        let table = self.db.table(&update.table)?;
+        let mut new_rows: Vec<(bool, SharedRow)> = Vec::new();
+        for row in table.rows() {
+            let env = Env {
+                schema: &schema,
+                row: &row,
+                parent: None,
+            };
+            let matches = match &selection {
+                Some(pred) => executor.eval(pred, &env)?.as_bool().unwrap_or(false),
+                None => true,
+            };
+            if matches {
+                let mut new_row = row.to_vec();
+                for (col, expr) in &assignments {
+                    let idx = table.column_index(col).ok_or_else(|| {
+                        EngineError::new(format!("no column `{col}` in `{}`", update.table))
+                    })?;
+                    new_row[idx] = executor.eval(expr, &env)?;
+                }
+                new_rows.push((true, new_row.into()));
+            } else {
+                new_rows.push((false, row));
+            }
+        }
+        Ok(new_rows)
+    }
+
+    fn compute_delete_rows(&self, delete: &mtsql::ast::Delete) -> Result<(Vec<SharedRow>, i64)> {
+        let (schema, selection) = {
+            let table = self.db.table(&delete.table)?;
+            (
+                Schema::qualified(&table.name, &table.columns),
+                delete.selection.clone(),
+            )
+        };
+        let executor = Executor::new(self);
+        let table = self.db.table(&delete.table)?;
+        let mut keep: Vec<SharedRow> = Vec::new();
+        let mut removed = 0i64;
+        for row in table.rows() {
+            let env = Env {
+                schema: &schema,
+                row: &row,
+                parent: None,
+            };
+            let matches = match &selection {
+                Some(pred) => executor.eval(pred, &env)?.as_bool().unwrap_or(false),
+                None => true,
+            };
+            if matches {
+                removed += 1;
+            } else {
+                keep.push(row);
+            }
+        }
+        Ok((keep, removed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn engine_with_rows() -> Engine {
+        let mut e = Engine::new(EngineConfig::default());
+        e.create_table("t", &["ttid", "v"]);
+        e.set_table_partition("t", "ttid").unwrap();
+        e.insert_values(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(11)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        e
+    }
+
+    fn all_rows(e: &Engine) -> Vec<Vec<Value>> {
+        e.query("SELECT ttid, v FROM t ORDER BY ttid, v")
+            .unwrap()
+            .rows
+    }
+
+    #[test]
+    fn rollback_of_inserts_truncates_back() {
+        let mut e = engine_with_rows();
+        let before = all_rows(&e);
+        let epoch_before = e.current_epoch();
+        let mut txn = e.begin_transaction();
+        let stmt = mtsql::parse_statement("INSERT INTO t VALUES (1, 12), (3, 30)").unwrap();
+        e.txn_execute_statement(&mut txn, &stmt).unwrap();
+        assert_eq!(all_rows(&e).len(), 5, "the transaction sees its writes");
+        assert_eq!(e.committed_epoch(), epoch_before, "floor held down");
+        e.txn_rollback(txn);
+        assert_eq!(all_rows(&e), before);
+        assert_eq!(e.committed_epoch(), e.current_epoch());
+        // The ttid=3 bucket created by the rolled-back insert is gone.
+        assert_eq!(e.database().table("t").unwrap().partition_count(), 2);
+    }
+
+    #[test]
+    fn rollback_of_update_restores_pre_image() {
+        let mut e = engine_with_rows();
+        let before = all_rows(&e);
+        let mut txn = e.begin_transaction();
+        let ins = mtsql::parse_statement("INSERT INTO t VALUES (2, 21)").unwrap();
+        let upd = mtsql::parse_statement("UPDATE t SET v = v + 100 WHERE ttid = 1").unwrap();
+        e.txn_execute_statement(&mut txn, &ins).unwrap();
+        e.txn_execute_statement(&mut txn, &upd).unwrap();
+        let mid = all_rows(&e);
+        assert!(mid.contains(&vec![Value::Int(1), Value::Int(110)]));
+        assert!(mid.contains(&vec![Value::Int(2), Value::Int(21)]));
+        e.txn_rollback(txn);
+        assert_eq!(all_rows(&e), before);
+    }
+
+    #[test]
+    fn rollback_of_delete_restores_rows() {
+        let mut e = engine_with_rows();
+        let before = all_rows(&e);
+        let mut txn = e.begin_transaction();
+        let del = mtsql::parse_statement("DELETE FROM t WHERE ttid = 1").unwrap();
+        let rs = e.txn_execute_statement(&mut txn, &del).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(2)]]);
+        assert_eq!(all_rows(&e).len(), 1);
+        e.txn_rollback(txn);
+        assert_eq!(all_rows(&e), before);
+    }
+
+    #[test]
+    fn publish_lifts_the_committed_floor() {
+        let mut e = engine_with_rows();
+        let mut txn = e.begin_transaction();
+        let stmt = mtsql::parse_statement("INSERT INTO t VALUES (1, 12)").unwrap();
+        e.txn_execute_statement(&mut txn, &stmt).unwrap();
+        assert!(e.committed_epoch() < e.current_epoch());
+        assert!(e.txn_append(&mut txn).unwrap().is_none(), "not durable");
+        e.txn_publish(txn);
+        assert_eq!(e.committed_epoch(), e.current_epoch());
+        assert_eq!(all_rows(&e).len(), 4);
+        let stats = e.stats();
+        assert_eq!(stats.txn_commits, 1);
+        assert_eq!(stats.txn_rollbacks, 0);
+    }
+
+    #[test]
+    fn ddl_is_rejected_inside_a_transaction() {
+        let mut e = engine_with_rows();
+        let mut txn = e.begin_transaction();
+        let stmt = mtsql::parse_statement("DROP TABLE t").unwrap();
+        let err = e.txn_execute_statement(&mut txn, &stmt).unwrap_err();
+        assert!(err.message.contains("inside a transaction"), "{err}");
+        e.txn_rollback(txn);
+    }
+}

@@ -207,6 +207,23 @@ pub fn verify_plan_with(
         opts,
         report: VerifyReport::default(),
     };
+    // Transaction discipline: a snapshot may only pin the committed floor.
+    // Epochs above it belong to open (uncommitted) transactions — pinning
+    // one would let a cursor observe rows a ROLLBACK must take back.
+    if let Some(epoch) = v.opts.pinned_epoch {
+        v.check();
+        let committed = engine.committed_epoch();
+        if epoch > committed {
+            return Err(PlanError::new(
+                PlanErrorClass::Snapshot,
+                "plan",
+                format!(
+                    "pin epoch {epoch} is above the committed floor {committed}: \
+                     epochs past it belong to open transactions"
+                ),
+            ));
+        }
+    }
     v.walk(plan)?;
     v.check_params(plan)?;
     Ok(v.report)

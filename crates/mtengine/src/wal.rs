@@ -40,7 +40,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::{EngineError, EngineErrorKind, Result};
 use crate::table::Row;
@@ -662,6 +662,23 @@ pub enum CrashMode {
     BitFlip,
 }
 
+impl CrashMode {
+    /// Parse the fault-mode names used by the `WAL_FAULT_MODE` environment
+    /// variable (CI shards the crash sweep across a mode matrix). Unknown
+    /// names are an error — a typo must abort the harness, not silently run
+    /// the wrong sweep.
+    pub fn parse(s: &str) -> std::result::Result<CrashMode, String> {
+        match s {
+            "torn-write" => Ok(CrashMode::TornWrite),
+            "pre-fsync-loss" => Ok(CrashMode::PreFsyncLoss),
+            "bit-flip" => Ok(CrashMode::BitFlip),
+            other => Err(format!(
+                "unknown WAL_FAULT_MODE `{other}` (expected `torn-write`, `pre-fsync-loss` or `bit-flip`)"
+            )),
+        }
+    }
+}
+
 /// Deterministic crash-fault injection hook for the WAL writer: counts
 /// appended frames and fires once when the count reaches `crash_at`.
 /// Create with [`FailpointClock::crash_at`] to inject, or
@@ -860,6 +877,292 @@ impl Wal {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Group-commit writer
+// ---------------------------------------------------------------------------
+
+/// Shared state of the group-commit writer, guarded by [`WalHandle::state`].
+struct WalState {
+    /// The log file, shared so a flush leader can `sync_data` outside the
+    /// mutex while other writers keep appending.
+    file: Arc<File>,
+    next_lsn: u64,
+    /// Current write offset.
+    len: u64,
+    /// Offset known durable (through the last successful sync).
+    synced_len: u64,
+    /// LSN of the last frame known durable.
+    synced_lsn: u64,
+    /// A flush leader is currently running `sync_data` outside the lock.
+    flushing: bool,
+    dead: bool,
+    /// An injected bit flip was appended; the next successful sync must
+    /// poison the writer (the frame is durable but corrupt).
+    poison_at_sync: bool,
+    clock: Option<Arc<FailpointClock>>,
+}
+
+/// Concurrent append side of the WAL with group commit: [`WalHandle::append_txn`]
+/// appends a transaction's frames plus a commit marker under a short
+/// critical section, and [`WalHandle::wait_durable`] parks the committer
+/// until a flush covers its commit LSN. Whichever committer finds no flush
+/// in flight becomes the leader and syncs *outside* the mutex — every
+/// transaction appended meanwhile rides the same `fsync`, so under
+/// concurrency the fsyncs-per-commit ratio drops below one.
+///
+/// With `group_commit` disabled the handle degrades to the PR 6 behaviour:
+/// each append syncs inline under the lock, one fsync per commit.
+pub struct WalHandle {
+    state: Mutex<WalState>,
+    /// Signalled after every flush completes (or the writer dies).
+    flushed: Condvar,
+    fsyncs: AtomicU64,
+    commits: AtomicU64,
+    group_commit: bool,
+}
+
+impl WalHandle {
+    /// Open (or create) the log for appending after [`recover`], mirroring
+    /// [`Wal::open_at`]: truncate to the committed prefix and continue LSNs
+    /// after the last committed one.
+    pub fn open_at(path: &Path, recovery: &Recovery, group_commit: bool) -> Result<Arc<WalHandle>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut len = recovery.valid_len;
+        if len < MAGIC.len() as u64 {
+            file.set_len(0)?;
+            (&file).write_all(MAGIC)?;
+            len = MAGIC.len() as u64;
+        } else {
+            file.set_len(len)?;
+        }
+        file.sync_data()?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::Start(len))?;
+        Ok(Arc::new(WalHandle {
+            state: Mutex::new(WalState {
+                file: Arc::new(file),
+                next_lsn: recovery.last_lsn + 1,
+                len,
+                synced_len: len,
+                synced_lsn: recovery.last_lsn,
+                flushing: false,
+                dead: false,
+                poison_at_sync: false,
+                clock: None,
+            }),
+            flushed: Condvar::new(),
+            fsyncs: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            group_commit,
+        }))
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, WalState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Install a crash-fault injection clock (tests only in practice).
+    pub fn set_failpoint_clock(&self, clock: Arc<FailpointClock>) {
+        self.lock_state().clock = Some(clock);
+    }
+
+    /// The LSN of the most recently appended frame (0 if none yet).
+    pub fn last_lsn(&self) -> u64 {
+        self.lock_state().next_lsn - 1
+    }
+
+    /// Total `sync_data` calls issued so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::SeqCst)
+    }
+
+    /// Total transactions appended (commit markers written) so far.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::SeqCst)
+    }
+
+    fn dead_err<T>() -> Result<T> {
+        Err(EngineError::with_kind(
+            EngineErrorKind::Poisoned,
+            "WAL writer is dead after a simulated crash; reopen to recover",
+        ))
+    }
+
+    fn write_state(state: &mut WalState, bytes: &[u8]) -> Result<()> {
+        if let Err(e) = (&*state.file).write_all(bytes) {
+            // A real write error leaves the tail in an unknown state; the
+            // writer must die so nothing applies on top of it.
+            state.dead = true;
+            return Err(e.into());
+        }
+        state.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Append `records` plus a commit marker under the state lock; the
+    /// frames are *not* durable yet (in group-commit mode) until a
+    /// [`WalHandle::wait_durable`] covering the returned commit LSN
+    /// succeeds. Failpoint semantics are identical to [`Wal::commit`].
+    pub fn append_txn(&self, records: &[Record]) -> Result<u64> {
+        let mut state = self.lock_state();
+        if state.dead {
+            return Self::dead_err();
+        }
+        let commit = [Record::Commit];
+        let result = self.append_locked(&mut state, records.iter().chain(commit.iter()));
+        if state.dead {
+            self.flushed.notify_all();
+        }
+        let lsn = result?;
+        self.commits.fetch_add(1, Ordering::SeqCst);
+        if !self.group_commit {
+            // PR 6 behaviour: sync inline, one fsync per commit, while
+            // still holding the lock (writers fully serialize).
+            self.sync_locked(&mut state)?;
+        }
+        Ok(lsn)
+    }
+
+    fn append_locked<'r>(
+        &self,
+        state: &mut WalState,
+        records: impl Iterator<Item = &'r Record>,
+    ) -> Result<u64> {
+        for record in records {
+            let frame = encode_frame(state.next_lsn, record);
+            match state.clock.as_ref().and_then(|c| c.tick()) {
+                None => Self::write_state(state, &frame)?,
+                Some(CrashMode::TornWrite) => {
+                    let torn = frame.len() / 2;
+                    Self::write_state(state, &frame[..torn])?;
+                    state.dead = true;
+                    return Err(EngineError::with_kind(
+                        EngineErrorKind::Poisoned,
+                        "simulated crash: torn WAL write",
+                    ));
+                }
+                Some(CrashMode::PreFsyncLoss) => {
+                    Self::write_state(state, &frame)?;
+                    state.file.set_len(state.synced_len)?;
+                    state.len = state.synced_len;
+                    use std::io::Seek;
+                    (&*state.file).seek(std::io::SeekFrom::Start(state.len))?;
+                    state.dead = true;
+                    return Err(EngineError::with_kind(
+                        EngineErrorKind::Poisoned,
+                        "simulated crash: WAL tail lost before fsync",
+                    ));
+                }
+                Some(CrashMode::BitFlip) => {
+                    let mut flipped = frame.clone();
+                    let at = 4 + (flipped.len() - 8) / 2;
+                    flipped[at] ^= 0x10;
+                    Self::write_state(state, &flipped)?;
+                    state.poison_at_sync = true;
+                }
+            }
+            state.next_lsn += 1;
+        }
+        Ok(state.next_lsn - 1)
+    }
+
+    /// Sync under the lock (non-group mode and the reopen path).
+    fn sync_locked(&self, state: &mut WalState) -> Result<()> {
+        match state.file.sync_data() {
+            Ok(()) => {
+                self.fsyncs.fetch_add(1, Ordering::SeqCst);
+                state.synced_len = state.len;
+                state.synced_lsn = state.next_lsn - 1;
+                if state.poison_at_sync {
+                    state.dead = true;
+                    state.poison_at_sync = false;
+                    self.flushed.notify_all();
+                    return Err(EngineError::with_kind(
+                        EngineErrorKind::Poisoned,
+                        "simulated crash: WAL frame committed with a flipped bit",
+                    ));
+                }
+                Ok(())
+            }
+            Err(e) => {
+                state.dead = true;
+                self.flushed.notify_all();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Block until a flush covers `lsn` (or the writer dies). The first
+    /// committer to arrive while no flush is in flight becomes the leader:
+    /// it snapshots the current tail, runs `sync_data` *outside* the lock,
+    /// then publishes the new durable watermark and wakes every parked
+    /// committer whose transaction the flush covered — that is the group
+    /// commit.
+    pub fn wait_durable(&self, lsn: u64) -> Result<()> {
+        let mut state = self.lock_state();
+        loop {
+            if state.synced_lsn >= lsn {
+                return Ok(());
+            }
+            if state.dead {
+                return Self::dead_err();
+            }
+            if state.flushing {
+                state = self.flushed.wait(state).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            state.flushing = true;
+            let file = Arc::clone(&state.file);
+            let target_len = state.len;
+            let target_lsn = state.next_lsn - 1;
+            let poison = state.poison_at_sync;
+            drop(state);
+            let synced = file.sync_data();
+            state = self.lock_state();
+            state.flushing = false;
+            match synced {
+                Ok(()) => {
+                    self.fsyncs.fetch_add(1, Ordering::SeqCst);
+                    state.synced_len = state.synced_len.max(target_len);
+                    state.synced_lsn = state.synced_lsn.max(target_lsn);
+                    if poison {
+                        state.dead = true;
+                        state.poison_at_sync = false;
+                        self.flushed.notify_all();
+                        return Err(EngineError::with_kind(
+                            EngineErrorKind::Poisoned,
+                            "simulated crash: WAL frame committed with a flipped bit",
+                        ));
+                    }
+                    self.flushed.notify_all();
+                }
+                Err(e) => {
+                    state.dead = true;
+                    self.flushed.notify_all();
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    /// Append one transaction and make it durable before returning — the
+    /// drop-in replacement for [`Wal::commit`] used by every auto-commit
+    /// statement. Returns the commit LSN.
+    pub fn commit(&self, records: &[Record]) -> Result<u64> {
+        let lsn = self.append_txn(records)?;
+        if self.group_commit {
+            self.wait_durable(lsn)?;
+        }
+        Ok(lsn)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1055,5 +1358,127 @@ mod tests {
     fn crc32_matches_known_vector() {
         // The canonical IEEE check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn handle_commit_round_trips_and_counts() {
+        let path = tmp("handle-roundtrip");
+        let records = sample_records();
+        {
+            let handle = WalHandle::open_at(&path, &Recovery::default(), true).unwrap();
+            handle.commit(&records[..2]).unwrap();
+            handle.commit(&records[2..]).unwrap();
+            assert_eq!(handle.commits(), 2);
+            assert!(handle.fsyncs() >= 1);
+            assert_eq!(handle.last_lsn(), 7);
+        }
+        let recovery = recover(&path).unwrap();
+        assert_eq!(recovery.records, records);
+        assert_eq!(recovery.last_lsn, 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_then_single_wait_batches_fsyncs() {
+        // The deterministic group-commit shape: several transactions are
+        // appended before anyone waits, then one flush makes them all
+        // durable — fsyncs-per-commit strictly below one.
+        let path = tmp("handle-batch");
+        let records = sample_records();
+        let handle = WalHandle::open_at(&path, &Recovery::default(), true).unwrap();
+        let mut last = 0;
+        for record in &records {
+            last = handle.append_txn(std::slice::from_ref(record)).unwrap();
+        }
+        assert_eq!(handle.fsyncs(), 0);
+        handle.wait_durable(last).unwrap();
+        assert_eq!(handle.fsyncs(), 1);
+        assert_eq!(handle.commits(), records.len() as u64);
+        drop(handle);
+        let recovery = recover(&path).unwrap();
+        assert_eq!(recovery.records, records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_committers_all_become_durable() {
+        let path = tmp("handle-threads");
+        let handle = WalHandle::open_at(&path, &Recovery::default(), true).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let handle = Arc::clone(&handle);
+                std::thread::spawn(move || {
+                    for i in 0..4 {
+                        let record = Record::InsertRows {
+                            table: "t".into(),
+                            rows: vec![vec![Value::Int(t), Value::Int(i)]],
+                        };
+                        handle.commit(&[record]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(handle.commits(), 32);
+        drop(handle);
+        let recovery = recover(&path).unwrap();
+        assert_eq!(recovery.records.len(), 32);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_group_mode_syncs_every_commit() {
+        let path = tmp("handle-nogroup");
+        let records = sample_records();
+        let handle = WalHandle::open_at(&path, &Recovery::default(), false).unwrap();
+        for record in &records {
+            handle.commit(std::slice::from_ref(record)).unwrap();
+        }
+        assert_eq!(handle.commits(), records.len() as u64);
+        assert_eq!(handle.fsyncs(), records.len() as u64);
+        drop(handle);
+        let recovery = recover(&path).unwrap();
+        assert_eq!(recovery.records, records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn handle_injected_crashes_match_wal_semantics() {
+        for mode in [
+            CrashMode::TornWrite,
+            CrashMode::PreFsyncLoss,
+            CrashMode::BitFlip,
+        ] {
+            let path = tmp(&format!("handle-failpoint-{mode:?}"));
+            let records = sample_records();
+            {
+                let handle = WalHandle::open_at(&path, &Recovery::default(), true).unwrap();
+                handle.commit(&records[..2]).unwrap();
+                let clock = FailpointClock::crash_at(4, mode);
+                handle.set_failpoint_clock(Arc::clone(&clock));
+                let err = handle.commit(&records[2..]).unwrap_err();
+                assert_eq!(err.kind(), EngineErrorKind::Poisoned, "{mode:?}");
+                assert!(clock.fired());
+                let err = handle.commit(&records[..1]).unwrap_err();
+                assert_eq!(err.kind(), EngineErrorKind::Poisoned, "{mode:?}");
+            }
+            let r = recover(&path).unwrap();
+            assert_eq!(r.records, records[..2], "{mode:?}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn crash_mode_parse_accepts_matrix_names_only() {
+        assert_eq!(CrashMode::parse("torn-write"), Ok(CrashMode::TornWrite));
+        assert_eq!(
+            CrashMode::parse("pre-fsync-loss"),
+            Ok(CrashMode::PreFsyncLoss)
+        );
+        assert_eq!(CrashMode::parse("bit-flip"), Ok(CrashMode::BitFlip));
+        assert!(CrashMode::parse("bitflip").is_err());
+        assert!(CrashMode::parse("").is_err());
     }
 }

@@ -40,6 +40,12 @@ pub enum Statement {
     Revoke(Revoke),
     /// MTSQL `SET SCOPE = "..."` — selects the dataset `D`.
     SetScope(ScopeSpec),
+    /// `BEGIN [TRANSACTION]` — open a multi-statement transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION]` — durably commit the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION]` — undo the open transaction.
+    Rollback,
 }
 
 /// A full query: a [`Select`] body plus `ORDER BY` / `LIMIT`.

@@ -234,6 +234,21 @@ impl Parser {
                 "GRANT" => self.parse_grant(),
                 "REVOKE" => self.parse_revoke(),
                 "SET" => self.parse_set_scope(),
+                "BEGIN" => {
+                    self.advance();
+                    self.accept_keyword("TRANSACTION");
+                    Ok(Statement::Begin)
+                }
+                "COMMIT" => {
+                    self.advance();
+                    self.accept_keyword("TRANSACTION");
+                    Ok(Statement::Commit)
+                }
+                "ROLLBACK" => {
+                    self.advance();
+                    self.accept_keyword("TRANSACTION");
+                    Ok(Statement::Rollback)
+                }
                 other => Err(ParseError::at(
                     format!("unexpected statement keyword `{other}`"),
                     self.offset(),

@@ -43,6 +43,9 @@ impl fmt::Display for Statement {
             Statement::Grant(g) => write!(f, "{g}"),
             Statement::Revoke(r) => write!(f, "{r}"),
             Statement::SetScope(s) => write!(f, "SET SCOPE = \"{s}\""),
+            Statement::Begin => write!(f, "BEGIN"),
+            Statement::Commit => write!(f, "COMMIT"),
+            Statement::Rollback => write!(f, "ROLLBACK"),
         }
     }
 }

@@ -188,6 +188,10 @@ pub const KEYWORDS: &[&str] = &[
     "CONCAT",
     "FOR",
     "EXPLAIN",
+    "BEGIN",
+    "COMMIT",
+    "ROLLBACK",
+    "TRANSACTION",
 ];
 
 /// Returns `true` when `word` (case-insensitive) is a SQL/MTSQL keyword.

@@ -4,13 +4,15 @@
 //! (in the same spirit as the vendored shims — no external parser crates)
 //! enforcing the repo rules CI gates on:
 //!
-//! 1. **No `unwrap()` / `expect()` / `panic!` in `crates/mtengine` non-test
-//!    code.** The engine's typed-error convention (PR 6) routes every
-//!    fallible path through `EngineError`; a panic in the middleware's
-//!    engine takes the whole server down. Test modules (everything from a
-//!    `#[cfg(test)]` line to end-of-file) are exempt, and a genuinely
-//!    infallible site can carry an inline `// lint:allow(...)` on the same
-//!    or the preceding line.
+//! 1. **No `unwrap()` / `expect()` / `panic!` in `crates/mtengine` and
+//!    `crates/mtbase` non-test code.** The typed-error convention (PR 6 for
+//!    the engine's `EngineError`, PR 10 for the middleware's `MtError`)
+//!    routes every fallible path through a `Result`; a panic in either
+//!    layer takes the whole server down. Test modules (everything from a
+//!    `#[cfg(test)]` line to end-of-file) and the test-support module
+//!    `mtbase/src/testkit.rs` are exempt, and a genuinely infallible site
+//!    can carry an inline `// lint:allow(...)` on the same or the
+//!    preceding line.
 //! 2. **No `Instant::now` in `crates/mtengine` non-test code.** Timing
 //!    belongs in the bench harness; a clock read inside a kernel loop is a
 //!    per-row syscall regression that profiles as "mysterious scan
@@ -64,6 +66,9 @@ fn run_lint() -> ExitCode {
     }
     let base_src = root.join("crates/mtbase/src");
     for file in rust_files(&base_src) {
+        if !is_test_support(&file) {
+            lint_engine_file(&file, &mut findings);
+        }
         lint_lock_order(&file, &mut findings);
     }
     for manifest in manifests(&root) {
@@ -86,6 +91,12 @@ fn run_lint() -> ExitCode {
         println!("xtask lint: {} finding(s)", findings.len());
         ExitCode::from(findings.len().min(250) as u8)
     }
+}
+
+/// Test-support sources exempt from the no-panic rule: `testkit.rs` is the
+/// shared example-deployment builder whose callers are all tests.
+fn is_test_support(file: &Path) -> bool {
+    file.file_name().is_some_and(|n| n == "testkit.rs")
 }
 
 /// The workspace root: walk up from the manifest dir of this crate.
@@ -393,6 +404,9 @@ mod tests {
             lint_engine_file(&file, &mut findings);
         }
         for file in rust_files(&root.join("crates/mtbase/src")) {
+            if !is_test_support(&file) {
+                lint_engine_file(&file, &mut findings);
+            }
             lint_lock_order(&file, &mut findings);
         }
         for manifest in manifests(&root) {
