@@ -356,15 +356,16 @@ impl Connection {
     }
 
     /// Route one statement executed while a transaction is open. Queries
-    /// read the live state (the transaction sees its own writes); DML joins
-    /// the transaction — staged for one WAL commit, undone together on
-    /// rollback, with a failed DML statement rolling the whole transaction
-    /// back (its locks are released, a later COMMIT reports no open
-    /// transaction). DDL, DCL and `SET SCOPE` are rejected: they commit on
-    /// their own and cannot be staged or rolled back here.
+    /// read at the transaction's snapshot (its own writes plus the
+    /// committed floor — never another open transaction's staged rows);
+    /// DML joins the transaction — staged for one WAL commit, undone
+    /// together on rollback, with a failed DML statement rolling the whole
+    /// transaction back (its locks are released, a later COMMIT reports no
+    /// open transaction). DDL, DCL and `SET SCOPE` are rejected: they
+    /// commit on their own and cannot be staged or rolled back here.
     fn execute_in_txn(&mut self, stmt: &Statement) -> Result<ResultSet> {
         match stmt {
-            Statement::Select(query) => self.execute_select_live(query),
+            Statement::Select(query) => self.execute_select_txn(query),
             Statement::Explain(query) => self.execute_explain(query),
             Statement::Insert(insert) => self.execute_insert(insert),
             Statement::Update(_) | Statement::Delete(_) => self.execute_update_delete(stmt),
@@ -396,9 +397,10 @@ impl Connection {
     }
 
     /// In-transaction query execution: the same cached front-end, but the
-    /// plan runs against the *live* state instead of the committed snapshot
-    /// floor, so the transaction observes its own staged writes.
-    fn execute_select_live(&mut self, query: &Query) -> Result<ResultSet> {
+    /// plan runs pinned to this connection's transaction — the committed
+    /// floor plus the transaction's own statement epochs — so it observes
+    /// its own staged writes but never another open transaction's.
+    fn execute_select_txn(&mut self, query: &Query) -> Result<ResultSet> {
         let (cached, _hit) = self.server.resolve_cached_plan(
             self.client,
             &self.scope(),
@@ -406,8 +408,13 @@ impl Connection {
             &query.to_string(),
             query,
         )?;
+        let Some(txn) = self.txn.as_ref() else {
+            return Err(MtError::Other(
+                "in-transaction query without an open transaction".to_string(),
+            ));
+        };
         let engine = self.server.engine.read();
-        Ok(engine.execute_plan_live(&cached.plan, &[])?)
+        Ok(engine.execute_plan_txn(&cached.plan, &[], txn)?)
     }
 
     /// `EXPLAIN <query>`: resolve the plan exactly like `execute_select`
@@ -471,9 +478,9 @@ impl Connection {
         // are column-free expressions: one engine call evaluates them all.
         let source_rows: Vec<Vec<Value>> = match &insert.source {
             InsertSource::Values(rows) => self.server.engine.read().eval_values(rows)?,
-            // Sub-queries of DML are interpreted exactly like queries — on
-            // the live state inside a transaction (read-your-writes).
-            InsertSource::Query(q) if self.txn.is_some() => self.execute_select_live(q)?.rows,
+            // Sub-queries of DML are interpreted exactly like queries — at
+            // the transaction's snapshot inside one (read-your-writes).
+            InsertSource::Query(q) if self.txn.is_some() => self.execute_select_txn(q)?.rows,
             InsertSource::Query(q) => self.execute_select(q)?.rows,
         };
 

@@ -44,7 +44,7 @@ use crate::conjuncts::{dict_filter_bitmap, fast_pred_value, CompiledPred};
 use crate::error::{EngineError, EngineErrorKind, Result};
 use crate::exec::{Env, Executor};
 use crate::plan::{Plan, Project, SeqScan};
-use crate::table::{Bucket, ColumnVec, Row, SharedRow};
+use crate::table::{Bucket, ColumnVec, Row, SharedRow, Snapshot};
 use crate::{Engine, Value};
 
 /// Default number of rows per cursor batch.
@@ -337,11 +337,14 @@ fn fetch_streaming(
     }
     let scan = shape.scan;
     let table = engine.database().table(&scan.table)?;
-    // A destructive rewrite (UPDATE/DELETE/re-layout) after the pin shuffles
-    // surviving rows across buckets — the recorded (bucket, row) position no
-    // longer addresses snapshot rows, so fail rather than serve wrong data.
+    // A *published* destructive rewrite (UPDATE/DELETE/re-layout) after the
+    // pin shuffles surviving rows across buckets — the recorded (bucket,
+    // row) position no longer addresses snapshot rows, so fail rather than
+    // serve wrong data. An open transaction's unpublished rewrite retains
+    // the pre-rewrite storage as a shadow, which `read_at` below resolves —
+    // positions stay valid because the shadow *is* the pinned storage.
     if let Some(s) = snapshot {
-        if table.rewrite_epoch() > s {
+        if !table.snapshot_servable(s) {
             return Err(EngineError::with_kind(
                 EngineErrorKind::SnapshotInvalidated,
                 format!(
@@ -352,6 +355,8 @@ fn fetch_streaming(
             ));
         }
     }
+    let pin = snapshot.map(Snapshot::At);
+    let view = table.read_at(pin.as_ref());
 
     // Compile the cursor-lifetime invariants once, on the first batch. Taken
     // out of the state for the duration of the batch (the loop below needs
@@ -389,15 +394,15 @@ fn fetch_streaming(
     // batch (BTreeMap iteration), which is what makes (bucket, row) a
     // resumable position.
     let selected: Vec<(i64, &Bucket)> = match prune_keys {
-        Some(keys) => table
+        Some(keys) => view
             .partitions()
             .filter(|(k, _)| keys.contains(k))
             .collect(),
-        None => table.partitions().collect(),
+        None => view.partitions().collect(),
     };
     if !pos.counted_partitions {
         let scanned = selected.len() as u64;
-        let total = table.partition_count() as u64;
+        let total = view.partition_count() as u64;
         engine.note_partitions(scanned, total.saturating_sub(scanned));
         pos.counted_partitions = true;
     }
@@ -428,10 +433,7 @@ fn fetch_streaming(
             // A pinned cursor only walks the prefix of the bucket that was
             // visible at its snapshot epoch (appends are strictly ordered,
             // so the watermark prefix *is* the snapshot content).
-            let visible = match snapshot {
-                Some(s) => table.visible_bucket_len(key, s).min(bucket.len()),
-                None => bucket.len(),
-            };
+            let visible = view.visible_bucket_len(key).min(bucket.len());
             if pos.row >= visible {
                 pos.bucket += 1;
                 pos.row = 0;
@@ -516,13 +518,8 @@ fn fetch_streaming(
             let remaining: Vec<&CompiledPred> =
                 bucket_filter.iter().filter(|p| !p.is_fast()).collect();
             (row, remaining)
-        } else if pos.loose
-            < match snapshot {
-                Some(s) => table.visible_loose_len(s).min(table.loose_rows().len()),
-                None => table.loose_rows().len(),
-            }
-        {
-            let row = SharedRow::clone(&table.loose_rows()[pos.loose]);
+        } else if pos.loose < view.visible_loose_len().min(view.loose_rows().len()) {
+            let row = SharedRow::clone(&view.loose_rows()[pos.loose]);
             pos.loose += 1;
             visited += 1;
             (row, loose_filter.iter().collect())

@@ -34,6 +34,14 @@ pub enum EngineErrorKind {
     /// parameter discipline) did not hold. Execution never starts on such
     /// a plan — the error names the operator and the violated invariant.
     Plan,
+    /// Two (or more) open transactions wait on each other's writer locks in
+    /// a cycle; this transaction was chosen as the victim and must roll
+    /// back. Retrying the whole transaction is the standard client response.
+    Deadlock,
+    /// A writer-lock acquisition exceeded its wait budget without a
+    /// detected cycle — the holder is just slow (e.g. a long statement or a
+    /// stalled client), not provably deadlocked.
+    LockTimeout,
 }
 
 /// Errors produced while executing statements against the engine.

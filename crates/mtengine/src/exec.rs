@@ -31,7 +31,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -45,7 +45,7 @@ use crate::conjuncts::{
 use crate::error::{err, EngineError, Result};
 use crate::plan::{HashAggregate, JoinVariant, Plan, Planner, Project, SeqScan, SortKey};
 use crate::schema::Schema;
-use crate::table::{Bucket, BucketRead, Row, SharedRow};
+use crate::table::{Bucket, BucketRead, Row, SharedRow, Snapshot};
 use crate::value::{add_months, civil_from_days, parse_date, Value};
 use crate::Engine;
 
@@ -264,36 +264,27 @@ const NULL_CODE: u32 = u32::MAX;
 
 /// Select the partition buckets a scan visits under an optional pruning key
 /// set, each paired with its *visible length* — the whole bucket normally,
-/// or the rows visible at the executor's pinned snapshot epoch — together
-/// with the `(scanned, pruned)` bucket counts. Shared by every scan path so
+/// or the rows visible at the executor's pinned snapshot — together with
+/// the `(scanned, pruned)` bucket counts. Shared by every scan path so
 /// bucket selection, snapshot bounding and partition accounting can never
-/// drift apart.
+/// drift apart. A snapshot that predates an open transaction's destructive
+/// rewrite is served from the table's retained pre-rewrite shadow (see
+/// [`crate::table::Table::read_at`]), so committed-floor readers never
+/// observe uncommitted rewritten storage.
 fn select_buckets<'t>(
     table: &'t crate::table::Table,
     prune_keys: &Option<std::collections::BTreeSet<i64>>,
-    snapshot: Option<u64>,
+    snapshot: Option<&Snapshot>,
 ) -> (Vec<(&'t Bucket, usize)>, u64, u64) {
-    // A snapshot older than the table's last full rewrite cannot be
-    // reconstructed — the pre-rewrite storage is gone and the write marks
-    // would bound every bucket at zero rows. Cursors reject this case with a
-    // typed error before scanning; the per-statement committed-floor
-    // snapshot instead falls back to the live (rewritten) state here — a
-    // documented read-uncommitted window limited to tables a concurrent
-    // open transaction has rewritten (UPDATE / DELETE), closed for the
-    // common append-only case.
-    let snapshot = snapshot.filter(|&s| table.rewrite_epoch() <= s);
-    let visible = |key: i64, bucket: &Bucket| match snapshot {
-        Some(s) => table.visible_bucket_len(key, s).min(bucket.len()),
-        None => bucket.len(),
-    };
+    let view = table.read_at(snapshot);
     match prune_keys {
         Some(keys) => {
             let mut selected = Vec::new();
             let (mut scanned, mut pruned) = (0u64, 0u64);
-            for (key, bucket) in table.partitions() {
+            for (key, bucket) in view.partitions() {
                 if keys.contains(&key) {
                     scanned += 1;
-                    selected.push((bucket, visible(key, bucket)));
+                    selected.push((bucket, view.visible_bucket_len(key).min(bucket.len())));
                 } else {
                     pruned += 1;
                 }
@@ -301,9 +292,9 @@ fn select_buckets<'t>(
             (selected, scanned, pruned)
         }
         None => {
-            let selected: Vec<(&Bucket, usize)> = table
+            let selected: Vec<(&Bucket, usize)> = view
                 .partitions()
-                .map(|(k, b)| (b, visible(k, b)))
+                .map(|(k, b)| (b, view.visible_bucket_len(k).min(b.len())))
                 .collect();
             let scanned = selected.len() as u64;
             (selected, scanned, 0)
@@ -412,11 +403,13 @@ pub struct Executor<'e> {
     /// currently executing sub-query (conservative correlation detection).
     correlation_witness: Cell<bool>,
     /// When set, every base-table scan of this executor is bounded at this
-    /// mutation-epoch watermark: per-bucket visible lengths and the
-    /// loose-row prefix resolve through the table's write marks, so neither
-    /// serial scans nor pooled morsels ever observe rows appended after the
-    /// pin. Set by snapshot cursors before materializing blocking plans.
-    snapshot: Option<u64>,
+    /// snapshot: per-bucket visible lengths and the loose-row prefix resolve
+    /// through the table's write marks (or an open transaction's pre-rewrite
+    /// shadow), so neither serial scans nor pooled morsels ever observe rows
+    /// the snapshot does not admit. Set by snapshot cursors before
+    /// materializing blocking plans, by the per-statement committed-floor
+    /// pin, and (as [`Snapshot::Txn`]) by in-transaction reads.
+    snapshot: Option<Snapshot>,
 }
 
 impl<'e> Executor<'e> {
@@ -441,9 +434,17 @@ impl<'e> Executor<'e> {
     }
 
     /// Bound every scan of this executor at the given mutation-epoch
-    /// watermark (snapshot-isolated cursors).
+    /// watermark (snapshot-isolated cursors, per-statement floor pins).
     pub(crate) fn pin_snapshot(&mut self, epoch: u64) {
-        self.snapshot = Some(epoch);
+        self.snapshot = Some(Snapshot::At(epoch));
+    }
+
+    /// Bound every scan at the committed floor *plus* one transaction's own
+    /// uncommitted epochs — the read-your-writes pin for statements running
+    /// inside that transaction (other open transactions' staged rows stay
+    /// invisible).
+    pub(crate) fn pin_txn_snapshot(&mut self, floor: u64, own: Arc<BTreeSet<u64>>) {
+        self.snapshot = Some(Snapshot::Txn { floor, own });
     }
 
     /// Materialized rows of a columnar bucket this executor scans
@@ -833,7 +834,7 @@ impl<'e> Executor<'e> {
         if !bucket_filter.iter().all(CompiledPred::is_fast) {
             return Ok(None);
         }
-        let loose_filter = if table.loose_rows().is_empty() {
+        let loose_filter = if self.visible_loose_rows(table).is_empty() {
             Vec::new()
         } else {
             self.compile_full_scan_filter(scan)
@@ -843,7 +844,7 @@ impl<'e> Executor<'e> {
         }
 
         let (selected, buckets_scanned, buckets_pruned) =
-            select_buckets(table, &prune_keys, self.snapshot);
+            select_buckets(table, &prune_keys, self.snapshot.as_ref());
         let any_dict_group = selected.iter().any(|&(b, _)| {
             b.as_columns()
                 .is_some_and(|c| group_cols.iter().any(|&g| c.column(g).is_dict()))
@@ -1065,7 +1066,7 @@ impl<'e> Executor<'e> {
         }
         let prune_keys = self.effective_prune_keys(scan, table.partition_column());
         let (selected, buckets_scanned, buckets_pruned) =
-            select_buckets(table, &prune_keys, self.snapshot);
+            select_buckets(table, &prune_keys, self.snapshot.as_ref());
         let total: usize = selected.iter().map(|&(_, v)| v).sum();
         let morsels = build_morsels(&selected, morsel_rows(&self.engine.config()));
         let threads = scan_worker_count(budget, morsels.len(), total);
@@ -1327,7 +1328,7 @@ impl<'e> Executor<'e> {
         let mut rows: Vec<SharedRow> = Vec::new();
         let mut tally = ScanTally::default();
         let (selected, buckets_scanned, buckets_pruned) =
-            select_buckets(table, &prune_keys, self.snapshot);
+            select_buckets(table, &prune_keys, self.snapshot.as_ref());
         let bucket_filter = self.compile_bucket_filter(scan, prune_keys.is_some());
         self.scan_buckets(
             &selected,
@@ -1344,7 +1345,7 @@ impl<'e> Executor<'e> {
         let full_filter = if prune_keys.is_none() {
             // The un-pruned bucket filter already is the full pushed filter.
             Some(bucket_filter)
-        } else if table.loose_rows().is_empty() {
+        } else if self.visible_loose_rows(table).is_empty() {
             None
         } else {
             Some(self.compile_full_scan_filter(scan))
@@ -1407,14 +1408,12 @@ impl<'e> Executor<'e> {
     }
 
     /// The table's loose rows, bounded at the executor's pinned snapshot.
-    /// Like `select_buckets`, a snapshot predating the table's last full
-    /// rewrite falls back to the live state (it cannot be reconstructed).
+    /// Like `select_buckets`, a snapshot predating an open transaction's
+    /// rewrite reads the retained pre-rewrite shadow.
     fn visible_loose_rows<'t>(&self, table: &'t crate::table::Table) -> &'t [SharedRow] {
-        let loose = table.loose_rows();
-        match self.snapshot.filter(|&s| table.rewrite_epoch() <= s) {
-            Some(s) => &loose[..table.visible_loose_len(s).min(loose.len())],
-            None => loose,
-        }
+        let view = table.read_at(self.snapshot.as_ref());
+        let loose = view.loose_rows();
+        &loose[..view.visible_loose_len().min(loose.len())]
     }
 
     /// Scan the selected buckets, serially or morsel-driven on a scoped
@@ -2102,7 +2101,7 @@ impl<'e> Executor<'e> {
         let table = self.engine.database().table(&scan.table)?;
         let prune_keys = self.effective_prune_keys(scan, table.partition_column());
         let (selected, buckets_scanned, buckets_pruned) =
-            select_buckets(table, &prune_keys, self.snapshot);
+            select_buckets(table, &prune_keys, self.snapshot.as_ref());
         let mut bucket_filter = self.compile_bucket_filter(scan, prune_keys.is_some());
         // Per-column build-key sets are a superset filter for multi-key
         // joins; the exact tuple probe below still runs on the survivors.
@@ -2221,7 +2220,7 @@ impl<'e> Executor<'e> {
         // full filter when nothing was pruned), then the exact key probe.
         let full_filter = if prune_keys.is_none() {
             Some(bucket_filter)
-        } else if table.loose_rows().is_empty() {
+        } else if self.visible_loose_rows(table).is_empty() {
             None
         } else {
             Some(self.compile_full_scan_filter(scan))

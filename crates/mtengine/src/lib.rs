@@ -874,6 +874,17 @@ impl Engine {
         Ok(ResultSet::from_relation(rel))
     }
 
+    /// Execute a parsed query pinned to `txn`'s snapshot: the committed
+    /// floor plus the transaction's own statement epochs, so the
+    /// transaction reads its own staged writes but never another open
+    /// transaction's.
+    pub fn execute_query_txn(&self, query: &Query, txn: &txn::Transaction) -> Result<ResultSet> {
+        let mut executor = Executor::new(self);
+        executor.pin_txn_snapshot(self.db.committed_epoch(), txn.own_epochs());
+        let rel = executor.execute_query(query, None)?;
+        Ok(ResultSet::from_relation(rel))
+    }
+
     /// Lower a parsed query to its physical plan without executing it. The
     /// plan is plain owned data (no engine borrows), so callers may cache it
     /// and re-execute via [`Engine::execute_plan`] — the prepared-statement
@@ -898,21 +909,27 @@ impl Engine {
     /// are never observed; with no open transaction the snapshot equals the
     /// live state and the read is unbounded (the common, zero-cost path).
     pub fn execute_plan(&self, plan: &plan::Plan, params: &[Value]) -> Result<ResultSet> {
-        self.execute_plan_pinned(plan, params, false)
+        self.execute_plan_pinned(plan, params, None)
     }
 
-    /// Like [`Engine::execute_plan`] but always reading the live state —
-    /// the read-your-writes path for the session that *owns* the open
-    /// transaction.
-    pub fn execute_plan_live(&self, plan: &plan::Plan, params: &[Value]) -> Result<ResultSet> {
-        self.execute_plan_pinned(plan, params, true)
+    /// Like [`Engine::execute_plan`] but pinned for the session that *owns*
+    /// the open transaction `txn`: the committed floor plus the
+    /// transaction's own statement epochs (read-your-writes without
+    /// observing other open transactions' staged rows).
+    pub fn execute_plan_txn(
+        &self,
+        plan: &plan::Plan,
+        params: &[Value],
+        txn: &txn::Transaction,
+    ) -> Result<ResultSet> {
+        self.execute_plan_pinned(plan, params, Some(txn))
     }
 
     fn execute_plan_pinned(
         &self,
         plan: &plan::Plan,
         params: &[Value],
-        live: bool,
+        txn: Option<&txn::Transaction>,
     ) -> Result<ResultSet> {
         if verify::verify_enabled(&self.config) {
             let opts = verify::VerifyOptions {
@@ -923,8 +940,12 @@ impl Engine {
             self.counters.add_plans_verified(1);
         }
         let mut executor = Executor::with_params(self, params.to_vec());
-        if !live && self.db.has_uncommitted() {
-            executor.pin_snapshot(self.db.committed_epoch());
+        match txn {
+            Some(txn) => executor.pin_txn_snapshot(self.db.committed_epoch(), txn.own_epochs()),
+            None if self.db.has_uncommitted() => {
+                executor.pin_snapshot(self.db.committed_epoch());
+            }
+            None => {}
         }
         let rel = executor.execute_plan(plan, None)?;
         Ok(ResultSet::from_relation(rel))
@@ -1025,7 +1046,7 @@ impl Engine {
             Statement::Insert(insert) => {
                 // `build_insert_rows` validates arity and fills defaults, so
                 // the rows logged here are exactly the rows applied below.
-                let rows = self.build_insert_rows(insert)?;
+                let rows = self.build_insert_rows(insert, None)?;
                 let count = rows.len() as i64;
                 if self.wal.is_some() {
                     self.log(&[wal::Record::InsertRows {
@@ -1167,7 +1188,11 @@ impl Engine {
         }
     }
 
-    fn build_insert_rows(&self, insert: &mtsql::ast::Insert) -> Result<Vec<Row>> {
+    fn build_insert_rows(
+        &self,
+        insert: &mtsql::ast::Insert,
+        txn: Option<&txn::Transaction>,
+    ) -> Result<Vec<Row>> {
         let table = self.db.table(&insert.table)?;
         let target_columns: Vec<String> = if insert.columns.is_empty() {
             table.columns.clone()
@@ -1183,7 +1208,13 @@ impl Engine {
             })
             .collect::<Result<Vec<_>>>()?;
 
-        let executor = Executor::new(self);
+        // An `INSERT ... SELECT` source inside a transaction reads at the
+        // transaction's snapshot, like every other in-transaction query.
+        let mut executor = Executor::new(self);
+        if let Some(txn) = txn {
+            executor.pin_txn_snapshot(self.db.committed_epoch(), txn.own_epochs());
+        }
+        let executor = executor;
         let source_rows: Vec<Row> = match &insert.source {
             InsertSource::Values(rows) => {
                 let empty_schema = Schema::new();

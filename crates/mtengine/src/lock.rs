@@ -15,16 +15,32 @@
 //!
 //! Locks are owned by a transaction id, reentrant per owner, granted
 //! all-or-nothing per [`LockManager::acquire`] call, and released together
-//! by [`LockManager::release_all`] at commit or rollback. Acquisition that
-//! cannot make progress (a conflicting owner never releases — in practice a
-//! deadlock between two open transactions) fails with a typed error after a
-//! bounded wait instead of hanging the connection.
+//! by [`LockManager::release_all`] at commit or rollback.
+//!
+//! # Deadlocks vs slow holders
+//!
+//! A blocked acquirer publishes what it waits for in a *waits-for* map that
+//! lives under the same mutex as the lock tables, so every parked owner's
+//! pending request is visible to every other acquirer. Before parking (and
+//! again on every wake-up) the acquirer walks the graph `owner → holders
+//! blocking its request → requests those holders are parked on → ...`; if
+//! the walk reaches the acquirer itself, the wait can never resolve and the
+//! acquirer loses immediately with [`EngineErrorKind::Deadlock`] — no
+//! multi-second heuristic wait. Because detection and granting both run
+//! under the one mutex, exactly one member of a cycle sees it (the check
+//! removes the victim's waits-for entry in the same critical section, which
+//! breaks the cycle for everyone else).
+//!
+//! A conflict that is *not* a cycle — the holder is just slow — waits up to
+//! the manager's budget ([`LockManager::with_timeout`]) and then fails with
+//! the distinct [`EngineErrorKind::LockTimeout`], so clients can tell
+//! "retry the transaction" (deadlock victim) from "the system is stalled".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-use crate::error::{EngineError, Result};
+use crate::error::{EngineError, EngineErrorKind, Result};
 
 /// What a writer locks inside one table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -67,6 +83,37 @@ impl TableLocks {
         }
     }
 
+    /// Every *other* owner whose holdings conflict with `owner` taking
+    /// `target` — the out-edges of the waits-for graph for one target.
+    fn blockers(&self, owner: u64, target: LockTarget, out: &mut BTreeSet<u64>) {
+        let mut push = |held: Option<u64>| {
+            if let Some(h) = held {
+                if h != owner {
+                    out.insert(h);
+                }
+            }
+        };
+        match target {
+            LockTarget::Whole => {
+                push(self.whole);
+                push(self.loose);
+                for &h in self.buckets.values() {
+                    if h != owner {
+                        out.insert(h);
+                    }
+                }
+            }
+            LockTarget::Bucket(key) => {
+                push(self.whole);
+                push(self.buckets.get(&key).copied());
+            }
+            LockTarget::Loose => {
+                push(self.whole);
+                push(self.loose);
+            }
+        }
+    }
+
     fn grant(&mut self, owner: u64, target: LockTarget) {
         match target {
             LockTarget::Whole => self.whole = Some(owner),
@@ -88,66 +135,154 @@ impl TableLocks {
     }
 }
 
-/// How long one blocked acquisition waits before giving up (the bound is
-/// `WAIT_SLICE × MAX_WAITS`; a genuine deadlock between two transactions
-/// resolves as a typed error on one side instead of two hung connections).
+/// Granted locks plus the waits-for map, guarded by one mutex so cycle
+/// detection always sees a consistent picture of both.
+#[derive(Debug, Default)]
+struct LockState {
+    tables: BTreeMap<String, TableLocks>,
+    /// `owner → (table key, requested targets)` for every parked acquirer.
+    waiting: BTreeMap<u64, (String, Vec<LockTarget>)>,
+}
+
+impl LockState {
+    /// Owners currently blocking `owner`'s request on `key`.
+    fn blockers_of(&self, owner: u64, key: &str, targets: &[LockTarget]) -> BTreeSet<u64> {
+        let mut out = BTreeSet::new();
+        if let Some(locks) = self.tables.get(key) {
+            for &t in targets {
+                locks.blockers(owner, t, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Does any waits-for path starting from `blockers` lead back to
+    /// `start`? Iterative DFS; owners without a `waiting` entry are running
+    /// (they will release eventually) and terminate their branch.
+    fn wait_cycles_back(&self, start: u64, blockers: &BTreeSet<u64>) -> bool {
+        let mut stack: Vec<u64> = blockers.iter().copied().collect();
+        let mut seen = BTreeSet::new();
+        while let Some(owner) = stack.pop() {
+            if owner == start {
+                return true;
+            }
+            if !seen.insert(owner) {
+                continue;
+            }
+            if let Some((key, targets)) = self.waiting.get(&owner) {
+                stack.extend(self.blockers_of(owner, key, targets));
+            }
+        }
+        false
+    }
+}
+
+/// How long one blocked acquisition sleeps between re-checks. Deadlocks do
+/// *not* wait for this — they are detected from the waits-for graph on the
+/// first check that observes the full cycle.
 const WAIT_SLICE: Duration = Duration::from_millis(50);
-const MAX_WAITS: u32 = 200;
+
+/// Default wait budget for a conflicting (but cycle-free) acquisition.
+const DEFAULT_WAIT: Duration = Duration::from_secs(10);
 
 /// Row/bucket-level writer locks shared by every connection of one server
 /// (see the module docs).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockManager {
-    tables: Mutex<BTreeMap<String, TableLocks>>,
+    state: Mutex<LockState>,
     released: Condvar,
+    max_waits: u32,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::with_timeout(DEFAULT_WAIT)
+    }
 }
 
 impl LockManager {
-    /// An empty lock manager.
+    /// A lock manager with the default wait budget.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn lock_tables(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, TableLocks>> {
-        self.tables.lock().unwrap_or_else(|e| e.into_inner())
+    /// A lock manager whose cycle-free lock waits give up after roughly
+    /// `budget` (rounded up to a whole number of wait slices; deadlocks are
+    /// still detected immediately regardless of the budget).
+    pub fn with_timeout(budget: Duration) -> Self {
+        let slice = WAIT_SLICE.as_millis().max(1);
+        let max_waits = budget.as_millis().div_ceil(slice).max(1) as u32;
+        LockManager {
+            state: Mutex::new(LockState::default()),
+            released: Condvar::new(),
+            max_waits,
+        }
     }
 
-    /// Take every target on `table` for `owner`, all-or-nothing: if any
-    /// target conflicts with another owner the call blocks until the holder
-    /// releases, and fails with a typed error after a bounded wait (a
-    /// deadlock between two open transactions must not hang both
-    /// connections forever).
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, LockState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Take every target on `table` for `owner`, all-or-nothing. A conflict
+    /// blocks until the holder releases; a waits-for cycle fails immediately
+    /// with [`EngineErrorKind::Deadlock`] (this owner is the victim); a
+    /// cycle-free wait that exhausts the manager's budget fails with
+    /// [`EngineErrorKind::LockTimeout`].
     pub fn acquire(&self, owner: u64, table: &str, targets: &[LockTarget]) -> Result<()> {
         let key = table.to_ascii_lowercase();
-        let mut tables = self.lock_tables();
+        let mut state = self.lock_state();
         let mut waits = 0u32;
         loop {
-            let locks = tables.entry(key.clone()).or_default();
+            let locks = state.tables.entry(key.clone()).or_default();
             if targets.iter().all(|&t| locks.available(owner, t)) {
                 for &t in targets {
                     locks.grant(owner, t);
                 }
+                state.waiting.remove(&owner);
                 return Ok(());
             }
-            if waits >= MAX_WAITS {
-                return Err(EngineError::new(format!(
-                    "lock wait on table `{table}` timed out (possible deadlock between open transactions)"
-                )));
+            // Publish the pending request *before* the cycle check so that
+            // whichever member of a forming cycle checks last sees every
+            // edge. Removing the entry again on the error paths breaks the
+            // cycle for the surviving members.
+            state.waiting.insert(owner, (key.clone(), targets.to_vec()));
+            let blockers = state.blockers_of(owner, &key, targets);
+            if state.wait_cycles_back(owner, &blockers) {
+                state.waiting.remove(&owner);
+                return Err(EngineError::with_kind(
+                    EngineErrorKind::Deadlock,
+                    format!(
+                        "deadlock detected: this transaction and the holder(s) of table \
+                         `{table}` are waiting on each other; this transaction was chosen \
+                         as the victim — roll back and retry"
+                    ),
+                ));
+            }
+            if waits >= self.max_waits {
+                state.waiting.remove(&owner);
+                return Err(EngineError::with_kind(
+                    EngineErrorKind::LockTimeout,
+                    format!(
+                        "lock wait on table `{table}` exceeded the {}ms budget (no deadlock \
+                         detected — the holding transaction is still running)",
+                        u64::from(self.max_waits) * WAIT_SLICE.as_millis() as u64
+                    ),
+                ));
             }
             waits += 1;
             let (guard, _) = self
                 .released
-                .wait_timeout(tables, WAIT_SLICE)
+                .wait_timeout(state, WAIT_SLICE)
                 .unwrap_or_else(|e| e.into_inner());
-            tables = guard;
+            state = guard;
         }
     }
 
     /// Release every lock `owner` holds, on every table, and wake blocked
     /// acquirers. Called once at commit or rollback.
     pub fn release_all(&self, owner: u64) {
-        let mut tables = self.lock_tables();
-        tables.retain(|_, locks| {
+        let mut state = self.lock_state();
+        state.tables.retain(|_, locks| {
             locks.release_owner(owner);
             !locks.is_empty()
         });
@@ -199,7 +334,7 @@ mod tests {
 
     #[test]
     fn conflict_rules_cover_every_target_pair() {
-        // The timeout path would take WAIT_SLICE × MAX_WAITS to observe, so
+        // The timeout path would take the full wait budget to observe, so
         // the conflict matrix is exercised directly on the lock table.
         let mut locks = TableLocks::default();
         locks.grant(1, LockTarget::Whole);
@@ -209,5 +344,93 @@ mod tests {
         assert!(locks.available(1, LockTarget::Bucket(1)));
         locks.release_owner(1);
         assert!(locks.available(2, LockTarget::Whole));
+    }
+
+    #[test]
+    fn deadlock_is_detected_quickly_and_exactly_one_side_loses() {
+        // Owner 1 holds `a` and wants `b`; owner 2 holds `b` and wants `a`.
+        // The waits-for walk must pick exactly one victim (Deadlock kind)
+        // and let the survivor proceed once the victim releases — long
+        // before the multi-second timeout budget.
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(1, "a", &[LockTarget::Whole]).unwrap();
+        lm.acquire(2, "b", &[LockTarget::Whole]).unwrap();
+        let contender = {
+            let lm = Arc::clone(&lm);
+            std::thread::spawn(move || {
+                let r = lm.acquire(1, "b", &[LockTarget::Whole]);
+                if r.is_err() {
+                    lm.release_all(1);
+                }
+                r
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        let started = std::time::Instant::now();
+        let main_r = lm.acquire(2, "a", &[LockTarget::Whole]);
+        if main_r.is_err() {
+            lm.release_all(2);
+        }
+        let thread_r = contender.join().unwrap();
+        let errs: Vec<&EngineError> = [&main_r, &thread_r]
+            .into_iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect();
+        assert_eq!(errs.len(), 1, "exactly one deadlock victim: {errs:?}");
+        assert_eq!(errs[0].kind(), EngineErrorKind::Deadlock);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "detection must not wait out the timeout budget"
+        );
+        lm.release_all(1);
+        lm.release_all(2);
+    }
+
+    #[test]
+    fn cycle_free_contention_times_out_with_the_distinct_kind() {
+        // Owner 1 holds the lock and is *running* (not waiting on anything),
+        // so no cycle exists; owner 2 must get LockTimeout, not Deadlock.
+        let lm = LockManager::with_timeout(Duration::from_millis(75));
+        lm.acquire(1, "t", &[LockTarget::Whole]).unwrap();
+        let err = lm.acquire(2, "t", &[LockTarget::Bucket(3)]).unwrap_err();
+        assert_eq!(err.kind(), EngineErrorKind::LockTimeout);
+        assert!(err.message.contains("budget"), "{}", err.message);
+        lm.release_all(1);
+        lm.acquire(2, "t", &[LockTarget::Bucket(3)]).unwrap();
+    }
+
+    #[test]
+    fn three_party_cycles_are_detected() {
+        // 1 holds a, wants b; 2 holds b, wants c; 3 holds c, wants a.
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(1, "a", &[LockTarget::Whole]).unwrap();
+        lm.acquire(2, "b", &[LockTarget::Whole]).unwrap();
+        lm.acquire(3, "c", &[LockTarget::Whole]).unwrap();
+        // Whichever way the acquire resolves, the owner then finishes its
+        // transaction (commit on success, rollback as the victim) and
+        // releases everything — that is what unblocks the survivors.
+        let spawn = |owner: u64, table: &'static str| {
+            let lm = Arc::clone(&lm);
+            std::thread::spawn(move || {
+                let r = lm.acquire(owner, table, &[LockTarget::Whole]);
+                lm.release_all(owner);
+                r
+            })
+        };
+        let t1 = spawn(1, "b");
+        std::thread::sleep(Duration::from_millis(30));
+        let t2 = spawn(2, "c");
+        std::thread::sleep(Duration::from_millis(30));
+        let r3 = {
+            let r = lm.acquire(3, "a", &[LockTarget::Whole]);
+            lm.release_all(3);
+            r
+        };
+        let results = [t1.join().unwrap(), t2.join().unwrap(), r3];
+        let victims = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(victims, 1, "one victim breaks the whole cycle: {results:?}");
+        for r in results.iter().filter_map(|r| r.as_ref().err()) {
+            assert_eq!(r.kind(), EngineErrorKind::Deadlock);
+        }
     }
 }

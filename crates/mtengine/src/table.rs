@@ -40,6 +40,20 @@
 //! snapshots instead: they record the rewriting epoch
 //! ([`Table::rewrite_epoch`]), and cursors pinned before it fail with a
 //! typed error rather than silently reading rewritten storage.
+//!
+//! # Rewrite shadows
+//!
+//! A destructive rewrite issued by a *still-open transaction* must not
+//! invalidate the committed floor: every other connection keeps reading at
+//! [`Database::committed_epoch`] until the transaction publishes, and a
+//! ROLLBACK takes the rewrite back entirely. [`Table::begin_txn_rewrite`]
+//! therefore moves the committed storage — buckets, loose rows, watermarks
+//! and the previous rewrite epoch — into a [`RewriteShadow`] instead of
+//! dropping it. Readers whose [`Snapshot`] does not admit the uncommitted
+//! rewrite are served from the shadow through [`Table::read_at`];
+//! [`Table::publish_rewrite`] drops the shadow at commit, and
+//! [`Table::rollback_rewrite`] restores it wholesale at rollback, leaving
+//! snapshot visibility exactly as the transaction found it.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -612,8 +626,84 @@ impl Iterator for BucketRows<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// What a reader is allowed to observe, expressed over mutation epochs.
+#[derive(Debug, Clone)]
+pub enum Snapshot {
+    /// A plain epoch pin: every row stamped at an epoch ≤ the pin is
+    /// visible. Used by cursors and by the per-statement committed floor.
+    At(u64),
+    /// A transaction-scoped pin: the committed floor plus the owning
+    /// transaction's *own* uncommitted statement epochs (read-your-writes
+    /// without observing other open transactions' staged rows).
+    Txn {
+        /// The committed floor at read time.
+        floor: u64,
+        /// The owning transaction's uncommitted epochs.
+        own: Arc<BTreeSet<u64>>,
+    },
+}
+
+impl Snapshot {
+    /// Is a row stamped at `epoch` visible to this snapshot?
+    pub fn admits(&self, epoch: u64) -> bool {
+        match self {
+            Snapshot::At(s) => epoch <= *s,
+            Snapshot::Txn { floor, own } => epoch <= *floor || own.contains(&epoch),
+        }
+    }
+
+    /// The plain epoch bound: the pin itself, or the committed floor of a
+    /// transaction-scoped snapshot.
+    pub fn floor(&self) -> u64 {
+        match self {
+            Snapshot::At(s) => *s,
+            Snapshot::Txn { floor, .. } => *floor,
+        }
+    }
+
+    /// The visible prefix length of storage carrying `marks` watermarks and
+    /// `full` rows: the whole prefix when the last watermark is admitted,
+    /// otherwise clipped at the floor. Sound for transaction-scoped
+    /// snapshots because the writer locks grant at most one open
+    /// transaction per bucket, so every non-admitted mark above the floor
+    /// belongs to a single *other* transaction — there is no interleaving
+    /// in which an admitted mark sits above a non-admitted one.
+    pub fn visible_len(&self, marks: &[(u64, u32)], full: usize) -> usize {
+        if marks.last().is_none_or(|&(e, _)| self.admits(e)) {
+            return full;
+        }
+        let floor = self.floor();
+        let idx = marks.partition_point(|&(e, _)| e <= floor);
+        if idx == 0 {
+            0
+        } else {
+            (marks[idx - 1].1 as usize).min(full)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tables
 // ---------------------------------------------------------------------------
+
+/// Committed pre-rewrite storage, retained while the transaction that
+/// issued a destructive rewrite (UPDATE / DELETE) is still open so the
+/// committed floor stays servable (see the module docs on rewrite shadows).
+#[derive(Debug, Clone, Default)]
+pub struct RewriteShadow {
+    buckets: BTreeMap<i64, Bucket>,
+    loose: Vec<SharedRow>,
+    bucket_marks: BTreeMap<i64, Vec<(u64, u32)>>,
+    loose_marks: Vec<(u64, u32)>,
+    /// The table's rewrite epoch *before* the shadowed rewrite — restored
+    /// on rollback, and the bound under which the shadow itself can serve
+    /// older pins.
+    rewrite_epoch: u64,
+    dict_bucket_cols: Vec<u32>,
+}
 
 /// An in-memory table: named columns plus rows, optionally bucketed by a
 /// partition column, with per-bucket storage in either the row or the
@@ -651,8 +741,12 @@ pub struct Table {
     /// The epoch stamped on subsequent pushes (set by [`Table::begin_write`]).
     write_epoch: u64,
     /// The epoch of the last destructive rewrite ([`Table::take_rows`]);
-    /// snapshots pinned before it cannot be served from this table.
+    /// snapshots pinned before it cannot be served from the live storage.
     rewrite_epoch: u64,
+    /// Committed pre-rewrite storage while an open transaction's rewrite is
+    /// unpublished (see the module docs on rewrite shadows). Boxed — the
+    /// overwhelmingly common state is `None`.
+    shadow: Option<Box<RewriteShadow>>,
 }
 
 impl Table {
@@ -671,6 +765,7 @@ impl Table {
             loose_marks: Vec::new(),
             write_epoch: 0,
             rewrite_epoch: 0,
+            shadow: None,
         }
     }
 
@@ -692,6 +787,96 @@ impl Table {
     /// this name, which invalidates older snapshots exactly like a rewrite).
     pub fn force_rewrite_epoch(&mut self, epoch: u64) {
         self.rewrite_epoch = self.rewrite_epoch.max(epoch);
+    }
+
+    /// Begin a *transactional* destructive rewrite at `epoch`, leaving the
+    /// table empty for the re-push. The first rewrite of a transaction
+    /// moves the committed storage into the rewrite shadow (so
+    /// committed-floor readers stay servable — see the module docs) and
+    /// returns `true`; the caller's undo record must restore the shadow via
+    /// [`Table::rollback_rewrite`]. A later rewrite of the *same*
+    /// transaction (the live storage is already uncommitted) discards the
+    /// live storage like [`Table::take_rows`] and returns `false` — the
+    /// existing shadow already restores the committed state.
+    pub fn begin_txn_rewrite(&mut self, epoch: u64) -> bool {
+        self.begin_write(epoch);
+        if self.shadow.is_some() {
+            self.take_rows();
+            return false;
+        }
+        self.shadow = Some(Box::new(RewriteShadow {
+            buckets: std::mem::take(&mut self.buckets),
+            loose: std::mem::take(&mut self.loose),
+            bucket_marks: std::mem::take(&mut self.bucket_marks),
+            loose_marks: std::mem::take(&mut self.loose_marks),
+            rewrite_epoch: self.rewrite_epoch,
+            dict_bucket_cols: std::mem::take(&mut self.dict_bucket_cols),
+        }));
+        self.rewrite_epoch = self.rewrite_epoch.max(epoch);
+        true
+    }
+
+    /// Publish a transactional rewrite: the pre-rewrite shadow is dropped
+    /// and the (now committed) rewritten storage is the only copy. Snapshots
+    /// pinned before the rewrite become unservable, exactly like a
+    /// non-transactional [`Table::take_rows`].
+    pub fn publish_rewrite(&mut self) {
+        self.shadow = None;
+    }
+
+    /// Roll a transactional rewrite back: discard the uncommitted live
+    /// storage and restore the committed pre-rewrite storage — including
+    /// its watermarks and rewrite epoch, so snapshot cursors pinned before
+    /// the aborted transaction keep working as if it never ran.
+    pub fn rollback_rewrite(&mut self) {
+        if let Some(shadow) = self.shadow.take() {
+            let s = *shadow;
+            self.buckets = s.buckets;
+            self.loose = s.loose;
+            self.bucket_marks = s.bucket_marks;
+            self.loose_marks = s.loose_marks;
+            self.rewrite_epoch = s.rewrite_epoch;
+            self.dict_bucket_cols = s.dict_bucket_cols;
+        }
+    }
+
+    /// Is a pre-rewrite shadow currently retained?
+    pub fn has_rewrite_shadow(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Can a reader pinned at `snapshot` be served — from the live storage
+    /// when the last rewrite is at or below the pin, else from the retained
+    /// pre-rewrite shadow of a still-open transaction?
+    pub fn snapshot_servable(&self, snapshot: u64) -> bool {
+        self.rewrite_epoch <= snapshot
+            || self
+                .shadow
+                .as_ref()
+                .is_some_and(|s| s.rewrite_epoch <= snapshot)
+    }
+
+    /// Resolve the storage a reader with `snapshot` scans: the live buckets
+    /// normally, or the retained pre-rewrite shadow when the snapshot does
+    /// not admit an open transaction's rewrite. An unservable pin (no
+    /// shadow, or the shadow itself rewritten past the pin) falls back to
+    /// the live storage — cursors and the plan verifier reject that case
+    /// via [`Table::snapshot_servable`] before scanning, and statement-level
+    /// floor pins never reach it (a *committed* rewrite is ≤ the floor by
+    /// construction).
+    pub fn read_at(&self, snapshot: Option<&Snapshot>) -> TableRead<'_> {
+        let shadow = match snapshot {
+            Some(s) if !s.admits(self.rewrite_epoch) => self
+                .shadow
+                .as_deref()
+                .filter(|sh| sh.rewrite_epoch <= s.floor()),
+            _ => None,
+        };
+        TableRead {
+            table: self,
+            shadow,
+            snapshot: snapshot.cloned(),
+        }
     }
 
     fn mark(marks: &mut Vec<(u64, u32)>, epoch: u64, len: u32) {
@@ -993,6 +1178,78 @@ impl Table {
     /// `true` when the table holds no rows.
     pub fn is_empty(&self) -> bool {
         self.loose.is_empty() && self.buckets.values().all(Bucket::is_empty)
+    }
+}
+
+/// One table's storage as resolved for a reader by [`Table::read_at`]:
+/// either the live buckets or an open transaction's pre-rewrite shadow,
+/// with visible lengths bounded at the reader's snapshot. Every scan path
+/// (serial, morsel-parallel, streaming cursors) routes bucket selection
+/// through this view so storage choice and snapshot bounding can never
+/// drift apart.
+#[derive(Clone)]
+pub struct TableRead<'t> {
+    table: &'t Table,
+    /// Read the shadow instead of the live storage?
+    shadow: Option<&'t RewriteShadow>,
+    /// Bound visible lengths at this snapshot (`None` = live, unbounded).
+    snapshot: Option<Snapshot>,
+}
+
+impl<'t> TableRead<'t> {
+    fn buckets(&self) -> &'t BTreeMap<i64, Bucket> {
+        match self.shadow {
+            Some(s) => &s.buckets,
+            None => &self.table.buckets,
+        }
+    }
+
+    fn bucket_marks(&self, key: i64) -> &'t [(u64, u32)] {
+        let marks = match self.shadow {
+            Some(s) => &s.bucket_marks,
+            None => &self.table.bucket_marks,
+        };
+        marks.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate over `(key, bucket)` of every partition bucket, in key order.
+    pub fn partitions(&self) -> impl Iterator<Item = (i64, &'t Bucket)> + '_ {
+        self.buckets().iter().map(|(k, b)| (*k, b))
+    }
+
+    /// Number of partition buckets in the resolved storage.
+    pub fn partition_count(&self) -> usize {
+        self.buckets().len()
+    }
+
+    /// Rows of bucket `key` visible to the reader's snapshot.
+    pub fn visible_bucket_len(&self, key: i64) -> usize {
+        let full = self.buckets().get(&key).map_or(0, Bucket::len);
+        match &self.snapshot {
+            None => full,
+            Some(s) => s.visible_len(self.bucket_marks(key), full),
+        }
+    }
+
+    /// The loose rows of the resolved storage (unbounded — pair with
+    /// [`TableRead::visible_loose_len`]).
+    pub fn loose_rows(&self) -> &'t [SharedRow] {
+        match self.shadow {
+            Some(s) => &s.loose,
+            None => &self.table.loose,
+        }
+    }
+
+    /// Loose rows visible to the reader's snapshot.
+    pub fn visible_loose_len(&self) -> usize {
+        let (marks, full) = match self.shadow {
+            Some(s) => (s.loose_marks.as_slice(), s.loose.len()),
+            None => (self.table.loose_marks.as_slice(), self.table.loose.len()),
+        };
+        match &self.snapshot {
+            None => full,
+            Some(s) => s.visible_len(marks, full),
+        }
     }
 }
 
@@ -1468,6 +1725,68 @@ mod tests {
             t.push_shared(row);
         }
         assert_eq!(t.visible_bucket_len(1, 4), 1);
+    }
+
+    #[test]
+    fn snapshot_visible_len_clips_at_the_floor() {
+        let at = Snapshot::At(5);
+        assert_eq!(at.visible_len(&[(3, 2), (5, 4)], 4), 4, "tail admitted");
+        assert_eq!(at.visible_len(&[(3, 2), (7, 4)], 4), 2, "clip at floor");
+        assert_eq!(at.visible_len(&[(7, 4)], 4), 0, "nothing admitted");
+        assert_eq!(at.visible_len(&[], 3), 3, "pre-watermark storage");
+        let own = std::sync::Arc::new(std::collections::BTreeSet::from([8u64]));
+        let txn = Snapshot::Txn { floor: 5, own };
+        assert!(txn.admits(5) && txn.admits(8) && !txn.admits(7));
+        // A bucket our transaction wrote last is fully visible; a bucket
+        // another open transaction wrote last clips at the floor.
+        assert_eq!(txn.visible_len(&[(3, 2), (8, 4)], 4), 4);
+        assert_eq!(txn.visible_len(&[(3, 2), (7, 4)], 4), 2);
+    }
+
+    #[test]
+    fn txn_rewrite_shadow_serves_floor_readers_and_rolls_back() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.begin_write(1);
+        t.push_row(tenant_row(1, 10)).unwrap();
+        t.push_row(tenant_row(1, 11)).unwrap();
+        // First transactional rewrite (epoch 3): committed storage moves
+        // into the shadow; the caller pushes the replacement row set.
+        assert!(t.begin_txn_rewrite(3));
+        t.push_row(tenant_row(1, 110)).unwrap();
+        let pinned = Snapshot::At(1);
+        let view = t.read_at(Some(&pinned));
+        assert_eq!(view.visible_bucket_len(1), 2, "floor reads the shadow");
+        assert_eq!(
+            t.read_at(None).visible_bucket_len(1),
+            1,
+            "live reads the rewrite"
+        );
+        // A second rewrite in the same transaction reuses the shadow.
+        assert!(!t.begin_txn_rewrite(4));
+        assert!(t.has_rewrite_shadow());
+        t.rollback_rewrite();
+        assert!(!t.has_rewrite_shadow());
+        assert_eq!(t.rewrite_epoch(), 0, "rewrite epoch restored");
+        assert_eq!(t.partition_len(1), 2, "committed rows restored");
+        assert!(t.snapshot_servable(1));
+    }
+
+    #[test]
+    fn publishing_a_txn_rewrite_drops_the_shadow() {
+        let mut t = Table::new("t", vec!["ttid".into(), "v".into()]);
+        t.set_partition_column(Some("ttid"));
+        t.begin_write(1);
+        t.push_row(tenant_row(1, 10)).unwrap();
+        assert!(t.begin_txn_rewrite(3));
+        t.push_row(tenant_row(1, 110)).unwrap();
+        t.publish_rewrite();
+        assert!(!t.has_rewrite_shadow());
+        assert_eq!(t.partition_len(1), 1);
+        // The commit makes the rewrite real: snapshots from before it are
+        // now invalid, exactly like a non-transactional rewrite.
+        assert!(!t.snapshot_servable(1));
+        assert!(t.snapshot_servable(3));
     }
 
     #[test]

@@ -11,9 +11,21 @@
 //! * appends (INSERT) undo as **truncations** — the pre-statement length and
 //!   watermark count of every touched bucket (buckets are append-only, so
 //!   dropping the tail restores them bit-for-bit);
-//! * rewrites (UPDATE / DELETE) undo as a **full pre-image** — the engine
-//!   implements both as a row-set rewrite, so the undo is the row set it
-//!   replaced.
+//! * rewrites (UPDATE / DELETE) undo by **restoring the rewrite shadow** —
+//!   the transaction's first rewrite of a table moves the committed storage
+//!   (buckets, watermarks, rewrite epoch) into a
+//!   [`crate::table::RewriteShadow`] instead of dropping it, which both
+//!   keeps committed-floor readers servable while the transaction is open
+//!   and makes rollback an exact restore: watermarks and the rewrite epoch
+//!   come back as they were, so snapshot cursors pinned before the aborted
+//!   transaction keep working.
+//!
+//! Reads inside the transaction — the SELECT branch of
+//! [`Engine::txn_execute_statement`] and the sub-queries of UPDATE / DELETE
+//! predicates — pin a *transaction-scoped* snapshot: the committed floor
+//! plus the transaction's own statement epochs
+//! ([`crate::exec::Executor::pin_txn_snapshot`]). The transaction sees its
+//! own staged rows but never another open transaction's.
 //!
 //! `COMMIT` appends all staged records plus one commit marker to the WAL as
 //! a single log transaction ([`Engine::txn_append`]); after the caller has
@@ -29,6 +41,7 @@
 //! durable state (results are layout-independent).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use mtsql::ast::Statement;
 
@@ -55,10 +68,13 @@ enum UndoOp {
     },
     /// Undo appends to the loose rows, mirroring `TruncateBucket`.
     TruncateLoose { table: String, len: u32, marks: u32 },
-    /// Undo a row-set rewrite: discard the current rows and re-push the
-    /// pre-statement image (at epoch 0, visible to every snapshot — the
-    /// restored rows *are* the committed state).
-    RestoreRows { table: String, rows: Vec<SharedRow> },
+    /// Undo a row-set rewrite: discard the uncommitted rewritten storage
+    /// and restore the committed pre-rewrite shadow — watermarks and
+    /// rewrite epoch included ([`crate::table::Table::rollback_rewrite`]).
+    /// Recorded only by the transaction's *first* rewrite of a table (the
+    /// one that created the shadow); later rewrites of the same table are
+    /// undone by the same restore.
+    RestoreShadow { table: String },
 }
 
 /// An open multi-statement transaction (see the module docs). Created by
@@ -93,6 +109,13 @@ impl Transaction {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// The transaction's own uncommitted epochs as the allowlist of a
+    /// read-your-writes snapshot pin (see
+    /// [`crate::exec::Executor::pin_txn_snapshot`]).
+    pub(crate) fn own_epochs(&self) -> Arc<BTreeSet<u64>> {
+        Arc::new(self.epochs.iter().copied().collect())
+    }
 }
 
 impl Engine {
@@ -111,9 +134,10 @@ impl Engine {
     }
 
     /// Execute one statement under an open transaction. DML stages its WAL
-    /// record and applies in memory under an uncommitted epoch; SELECT reads
-    /// the live state (the transaction sees its own writes). Everything else
-    /// — DDL, DCL — is rejected: those statements commit their own WAL
+    /// record and applies in memory under an uncommitted epoch; SELECT pins
+    /// the transaction-scoped snapshot (the transaction sees its own writes
+    /// but not other open transactions' staged rows). Everything else —
+    /// DDL, DCL — is rejected: those statements commit their own WAL
     /// transaction and cannot be staged or rolled back here.
     pub fn txn_execute_statement(
         &mut self,
@@ -121,10 +145,10 @@ impl Engine {
         stmt: &Statement,
     ) -> Result<ResultSet> {
         match stmt {
-            Statement::Select(q) => self.execute_query(q),
+            Statement::Select(q) => self.execute_query_txn(q, txn),
             Statement::Explain(q) => self.explain_query(q),
             Statement::Insert(insert) => {
-                let rows = self.build_insert_rows(insert)?;
+                let rows = self.build_insert_rows(insert, Some(txn))?;
                 let count = rows.len() as i64;
                 self.txn_insert_rows(txn, &insert.table, rows)?;
                 txn.statements += 1;
@@ -134,7 +158,7 @@ impl Engine {
                 })
             }
             Statement::Update(update) => {
-                let new_rows = self.compute_update_rows(update)?;
+                let new_rows = self.compute_update_rows(update, txn)?;
                 let changed = new_rows.iter().filter(|(m, _)| *m).count() as i64;
                 let rows: Vec<SharedRow> = new_rows.into_iter().map(|(_, r)| r).collect();
                 self.txn_replace_rows(txn, &update.table, rows)?;
@@ -145,7 +169,7 @@ impl Engine {
                 })
             }
             Statement::Delete(delete) => {
-                let (keep, removed) = self.compute_delete_rows(delete)?;
+                let (keep, removed) = self.compute_delete_rows(delete, txn)?;
                 self.txn_replace_rows(txn, &delete.table, keep)?;
                 txn.statements += 1;
                 Ok(ResultSet {
@@ -234,31 +258,29 @@ impl Engine {
     }
 
     /// Stage and apply one full row-set rewrite (UPDATE / DELETE) under
-    /// `txn`, recording the replaced rows as the undo image.
+    /// `txn`. The committed pre-rewrite storage moves into the table's
+    /// rewrite shadow (first rewrite of this table under `txn` only), which
+    /// serves committed-floor readers while the transaction is open and is
+    /// the undo image on rollback.
     fn txn_replace_rows(
         &mut self,
         txn: &mut Transaction,
         table: &str,
         rows: Vec<SharedRow>,
     ) -> Result<()> {
-        let t = self.db.table(table)?;
-        let canonical = t.name.clone();
-        let pre_image: Vec<SharedRow> = t.rows().collect();
-        txn.undo.push(UndoOp::RestoreRows {
-            table: canonical.clone(),
-            rows: pre_image,
-        });
+        let canonical = self.db.table(table)?.name.clone();
         if self.wal.is_some() {
             txn.pending.push(Record::ReplaceRows {
-                table: canonical,
+                table: canonical.clone(),
                 rows: rows.iter().map(|r| r.to_vec()).collect(),
             });
         }
         let epoch = self.db.begin_uncommitted_epoch();
         txn.epochs.push(epoch);
         let t = self.db.table_mut(table)?;
-        t.begin_write(epoch);
-        t.take_rows();
+        if t.begin_txn_rewrite(epoch) {
+            txn.undo.push(UndoOp::RestoreShadow { table: canonical });
+        }
         for row in rows {
             t.push_shared(row);
         }
@@ -285,9 +307,17 @@ impl Engine {
 
     /// Resolve a committed transaction: its epochs stop holding down the
     /// committed visibility floor, making its rows visible to snapshot
-    /// readers. Call only after the WAL append (and durability wait)
-    /// succeeded.
+    /// readers, and the pre-rewrite shadows of its UPDATE / DELETE
+    /// statements are dropped (the rewritten storage is committed now).
+    /// Call only after the WAL append (and durability wait) succeeded.
     pub fn txn_publish(&mut self, txn: Transaction) {
+        for op in &txn.undo {
+            if let UndoOp::RestoreShadow { table } = op {
+                if let Ok(t) = self.db.table_mut(table) {
+                    t.publish_rewrite();
+                }
+            }
+        }
         self.db.resolve_epochs(&txn.epochs);
         self.counters.add_txn_commit();
     }
@@ -314,17 +344,14 @@ impl Engine {
                         t.truncate_loose(len, marks);
                     }
                 }
-                UndoOp::RestoreRows { table, rows } => {
+                UndoOp::RestoreShadow { table } => {
                     if let Ok(t) = self.db.table_mut(&table) {
-                        // Epoch 0: the restored rows are the committed state,
-                        // visible to every snapshot. `begin_write` *before*
-                        // `take_rows` keeps the rewrite epoch where the
-                        // statement already put it.
-                        t.begin_write(0);
-                        t.take_rows();
-                        for row in rows {
-                            t.push_shared(row);
-                        }
+                        // Intermediate truncate undos may have run against
+                        // the doomed rewritten storage above; the restore
+                        // overwrites it wholesale with the committed
+                        // pre-rewrite storage, watermarks and rewrite epoch
+                        // included.
+                        t.rollback_rewrite();
                     }
                 }
             }
@@ -333,7 +360,11 @@ impl Engine {
         self.counters.add_txn_rollback();
     }
 
-    fn compute_update_rows(&self, update: &mtsql::ast::Update) -> Result<Vec<(bool, SharedRow)>> {
+    fn compute_update_rows(
+        &self,
+        update: &mtsql::ast::Update,
+        txn: &Transaction,
+    ) -> Result<Vec<(bool, SharedRow)>> {
         let (schema, assignments, selection) = {
             let table = self.db.table(&update.table)?;
             (
@@ -342,7 +373,13 @@ impl Engine {
                 update.selection.clone(),
             )
         };
-        let executor = Executor::new(self);
+        // Sub-queries in the WHERE clause or assignments read other tables;
+        // pin them to the transaction's snapshot so they never observe
+        // another open transaction's staged rows. (The rewritten table's
+        // own rows are iterated directly below: the whole-table writer lock
+        // guarantees no foreign uncommitted rows sit in it.)
+        let mut executor = Executor::new(self);
+        executor.pin_txn_snapshot(self.db.committed_epoch(), txn.own_epochs());
         let table = self.db.table(&update.table)?;
         let mut new_rows: Vec<(bool, SharedRow)> = Vec::new();
         for row in table.rows() {
@@ -371,7 +408,11 @@ impl Engine {
         Ok(new_rows)
     }
 
-    fn compute_delete_rows(&self, delete: &mtsql::ast::Delete) -> Result<(Vec<SharedRow>, i64)> {
+    fn compute_delete_rows(
+        &self,
+        delete: &mtsql::ast::Delete,
+        txn: &Transaction,
+    ) -> Result<(Vec<SharedRow>, i64)> {
         let (schema, selection) = {
             let table = self.db.table(&delete.table)?;
             (
@@ -379,7 +420,9 @@ impl Engine {
                 delete.selection.clone(),
             )
         };
-        let executor = Executor::new(self);
+        // See `compute_update_rows` on why the predicate executor is pinned.
+        let mut executor = Executor::new(self);
+        executor.pin_txn_snapshot(self.db.committed_epoch(), txn.own_epochs());
         let table = self.db.table(&delete.table)?;
         let mut keep: Vec<SharedRow> = Vec::new();
         let mut removed = 0i64;
@@ -500,5 +543,92 @@ mod tests {
         let err = e.txn_execute_statement(&mut txn, &stmt).unwrap_err();
         assert!(err.message.contains("inside a transaction"), "{err}");
         e.txn_rollback(txn);
+    }
+
+    #[test]
+    fn committed_floor_readers_do_not_see_an_open_rewrite() {
+        // The prepared-statement read path pins the committed floor while
+        // any transaction is open. An UPDATE staged inside a transaction
+        // rewrites the table's storage; the floor reader must be served the
+        // pre-update rows from the rewrite shadow — not the staged rewrite,
+        // and not an empty result.
+        let mut e = engine_with_rows();
+        let before = all_rows(&e);
+        let q = mtsql::parse_query("SELECT ttid, v FROM t ORDER BY ttid, v").unwrap();
+        let plan = e.plan_query(&q).unwrap();
+        let mut txn = e.begin_transaction();
+        let upd = mtsql::parse_statement("UPDATE t SET v = v + 100 WHERE ttid = 1").unwrap();
+        e.txn_execute_statement(&mut txn, &upd).unwrap();
+        assert_eq!(e.execute_plan(&plan, &[]).unwrap().rows, before);
+        e.txn_publish(txn);
+        let after = e.execute_plan(&plan, &[]).unwrap().rows;
+        assert!(after.contains(&vec![Value::Int(1), Value::Int(110)]));
+        assert!(!after.contains(&vec![Value::Int(1), Value::Int(10)]));
+    }
+
+    #[test]
+    fn committed_floor_readers_survive_a_rolled_back_delete() {
+        let mut e = engine_with_rows();
+        let before = all_rows(&e);
+        let q = mtsql::parse_query("SELECT ttid, v FROM t ORDER BY ttid, v").unwrap();
+        let plan = e.plan_query(&q).unwrap();
+        let mut txn = e.begin_transaction();
+        let del = mtsql::parse_statement("DELETE FROM t").unwrap();
+        e.txn_execute_statement(&mut txn, &del).unwrap();
+        // Mid-transaction: the table's live storage is empty, the shadow
+        // still serves the committed rows.
+        assert_eq!(e.execute_plan(&plan, &[]).unwrap().rows, before);
+        e.txn_rollback(txn);
+        assert_eq!(e.execute_plan(&plan, &[]).unwrap().rows, before);
+    }
+
+    #[test]
+    fn rollback_of_a_rewrite_restores_pinned_snapshots() {
+        // A cursor pinned before the transaction opened must survive the
+        // transaction aborting: rollback restores the pre-rewrite storage,
+        // watermarks *and* rewrite epoch, so `snapshot_servable` holds for
+        // the old floor again (it was permanently broken before the shadow
+        // mechanism — the epoch stayed bumped and the watermarks were gone).
+        let mut e = engine_with_rows();
+        let pinned = e.committed_epoch();
+        let mut txn = e.begin_transaction();
+        let upd = mtsql::parse_statement("UPDATE t SET v = 0 WHERE ttid = 1").unwrap();
+        e.txn_execute_statement(&mut txn, &upd).unwrap();
+        {
+            let t = e.database().table("t").unwrap();
+            assert!(t.has_rewrite_shadow());
+            assert!(t.snapshot_servable(pinned), "served from the shadow");
+        }
+        e.txn_rollback(txn);
+        let t = e.database().table("t").unwrap();
+        assert!(!t.has_rewrite_shadow());
+        assert!(t.rewrite_epoch() <= pinned, "rewrite epoch restored");
+        assert!(t.snapshot_servable(pinned));
+    }
+
+    #[test]
+    fn a_transaction_reads_its_own_writes_but_not_anothers() {
+        // Two transactions staging inserts into different buckets of the
+        // same table: each in-transaction read sees its own staged rows on
+        // top of the committed floor, and never the other's.
+        let mut e = engine_with_rows();
+        let mut t1 = e.begin_transaction();
+        let mut t2 = e.begin_transaction();
+        let i1 = mtsql::parse_statement("INSERT INTO t VALUES (1, 12)").unwrap();
+        let i2 = mtsql::parse_statement("INSERT INTO t VALUES (2, 21)").unwrap();
+        e.txn_execute_statement(&mut t1, &i1).unwrap();
+        e.txn_execute_statement(&mut t2, &i2).unwrap();
+        let q = mtsql::parse_query("SELECT ttid, v FROM t ORDER BY ttid, v").unwrap();
+        let r1 = e.execute_query_txn(&q, &t1).unwrap().rows;
+        assert!(r1.contains(&vec![Value::Int(1), Value::Int(12)]));
+        assert!(!r1.contains(&vec![Value::Int(2), Value::Int(21)]));
+        let r2 = e.execute_query_txn(&q, &t2).unwrap().rows;
+        assert!(r2.contains(&vec![Value::Int(2), Value::Int(21)]));
+        assert!(!r2.contains(&vec![Value::Int(1), Value::Int(12)]));
+        e.txn_rollback(t1);
+        e.txn_publish(t2);
+        let final_rows = all_rows(&e);
+        assert!(final_rows.contains(&vec![Value::Int(2), Value::Int(21)]));
+        assert!(!final_rows.contains(&vec![Value::Int(1), Value::Int(12)]));
     }
 }

@@ -533,10 +533,12 @@ impl Verifier<'_> {
 
         // Snapshot discipline: under a pinned cursor epoch the per-bucket
         // watermarks are addressable only while the table has not been
-        // destructively rewritten past the pin.
+        // destructively rewritten past the pin — or, for an open
+        // transaction's unpublished rewrite, while the pre-rewrite shadow
+        // still serves the pin.
         if let Some(epoch) = self.opts.pinned_epoch {
             self.check();
-            if table.rewrite_epoch() > epoch {
+            if !table.snapshot_servable(epoch) {
                 return Err(PlanError::new(
                     PlanErrorClass::Snapshot,
                     &node,

@@ -895,6 +895,11 @@ struct WalState {
     synced_lsn: u64,
     /// A flush leader is currently running `sync_data` outside the lock.
     flushing: bool,
+    /// Commit markers appended but not yet covered by a successful sync;
+    /// moved onto the durable [`WalHandle::commits`] counter by the flush
+    /// that covers them (a transaction whose flush fails rolls back and is
+    /// never counted).
+    pending_commits: u64,
     dead: bool,
     /// An injected bit flip was appended; the next successful sync must
     /// poison the writer (the frame is durable but corrupt).
@@ -952,6 +957,7 @@ impl WalHandle {
                 synced_len: len,
                 synced_lsn: recovery.last_lsn,
                 flushing: false,
+                pending_commits: 0,
                 dead: false,
                 poison_at_sync: false,
                 clock: None,
@@ -982,7 +988,10 @@ impl WalHandle {
         self.fsyncs.load(Ordering::SeqCst)
     }
 
-    /// Total transactions appended (commit markers written) so far.
+    /// Total *durable* transactions so far: commit markers covered by a
+    /// successful sync. A transaction whose covering flush fails (and
+    /// therefore rolls back) is never counted, so the fsyncs-per-commit
+    /// ratio reported by the stats is computed over real commits only.
     pub fn commits(&self) -> u64 {
         self.commits.load(Ordering::SeqCst)
     }
@@ -1020,7 +1029,10 @@ impl WalHandle {
             self.flushed.notify_all();
         }
         let lsn = result?;
-        self.commits.fetch_add(1, Ordering::SeqCst);
+        // Appended, not durable: the commit is counted by the sync that
+        // covers it (inline below in non-group mode, the group-commit
+        // leader's flush otherwise).
+        state.pending_commits += 1;
         if !self.group_commit {
             // PR 6 behaviour: sync inline, one fsync per commit, while
             // still holding the lock (writers fully serialize).
@@ -1074,6 +1086,10 @@ impl WalHandle {
 
     /// Sync under the lock (non-group mode and the reopen path).
     fn sync_locked(&self, state: &mut WalState) -> Result<()> {
+        // Either way the sync resolves, these appends stop being pending:
+        // they move onto the durable counter on success and are discarded
+        // on failure or poison (their transactions roll back).
+        let covered = std::mem::take(&mut state.pending_commits);
         match state.file.sync_data() {
             Ok(()) => {
                 self.fsyncs.fetch_add(1, Ordering::SeqCst);
@@ -1088,6 +1104,7 @@ impl WalHandle {
                         "simulated crash: WAL frame committed with a flipped bit",
                     ));
                 }
+                self.commits.fetch_add(covered, Ordering::SeqCst);
                 Ok(())
             }
             Err(e) => {
@@ -1122,6 +1139,10 @@ impl WalHandle {
             let target_len = state.len;
             let target_lsn = state.next_lsn - 1;
             let poison = state.poison_at_sync;
+            // This flush covers every append staged so far: on success they
+            // become durable commits; on failure or poison they are dropped
+            // (the failing transactions roll back and are never counted).
+            let covered = std::mem::take(&mut state.pending_commits);
             drop(state);
             let synced = file.sync_data();
             state = self.lock_state();
@@ -1140,6 +1161,7 @@ impl WalHandle {
                             "simulated crash: WAL frame committed with a flipped bit",
                         ));
                     }
+                    self.commits.fetch_add(covered, Ordering::SeqCst);
                     self.flushed.notify_all();
                 }
                 Err(e) => {
@@ -1468,6 +1490,26 @@ mod tests {
             assert_eq!(r.records, records[..2], "{mode:?}");
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn commits_counter_only_counts_durable_transactions() {
+        let path = tmp("handle-durable-commits");
+        let records = sample_records();
+        let handle = WalHandle::open_at(&path, &Recovery::default(), true).unwrap();
+        handle.commit(&records[..2]).unwrap();
+        assert_eq!(handle.commits(), 1);
+        // A transaction whose covering fsync crashes must never be counted:
+        // it was appended but did not become durable, and its statements
+        // roll back. Before the pending/durable split the counter was
+        // bumped at append time and survived the failed sync.
+        let clock = FailpointClock::crash_at(4, CrashMode::BitFlip);
+        handle.set_failpoint_clock(Arc::clone(&clock));
+        let err = handle.commit(&records[2..]).unwrap_err();
+        assert_eq!(err.kind(), EngineErrorKind::Poisoned);
+        assert!(clock.fired());
+        assert_eq!(handle.commits(), 1, "failed commit must not be counted");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
